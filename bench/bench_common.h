@@ -1,0 +1,61 @@
+// Shared plumbing for the bench binaries: CLI -> scaled Config, and the
+// banner that records the exact parameters a run used (so numbers in
+// EXPERIMENTS.md are reproducible).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/cli.h"
+#include "common/config.h"
+#include "analysis/report.h"
+
+namespace twl::bench {
+
+struct BenchSetup {
+  Config config;
+  std::uint64_t pages;
+  double endurance;
+};
+
+/// Flags: --pages, --endurance, --sigma, --seed. Each bench adds its own.
+inline BenchSetup make_setup(const CliArgs& args,
+                             std::uint64_t default_pages,
+                             double default_endurance) {
+  SimScale scale;
+  scale.pages =
+      static_cast<std::uint64_t>(args.get_int_or("pages",
+          static_cast<std::int64_t>(default_pages)));
+  scale.endurance_mean = args.get_double_or("endurance", default_endurance);
+  scale.endurance_sigma_frac = args.get_double_or("sigma", 0.11);
+  scale.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 20170618));
+  return BenchSetup{Config::scaled(scale), scale.pages,
+                    scale.endurance_mean};
+}
+
+inline void print_banner(const std::string& title, const BenchSetup& setup) {
+  std::printf("%s", heading(title).c_str());
+  std::printf(
+      "scaled device: %llu pages x 4KB, endurance mean %.0f (sigma %.0f%%), "
+      "seed %llu\n"
+      "real system:   32GB PCM, endurance mean 1e8 (sigma 11%%) — results\n"
+      "               extrapolate via lifetime fractions (see "
+      "EXPERIMENTS.md)\n\n",
+      static_cast<unsigned long long>(setup.pages), setup.endurance,
+      setup.config.endurance.sigma_frac * 100.0,
+      static_cast<unsigned long long>(setup.config.seed));
+}
+
+/// Abort on mistyped flags so sweep scripts fail loudly.
+inline void check_unconsumed(const CliArgs& args) {
+  const auto leftover = args.unconsumed();
+  if (!leftover.empty()) {
+    std::fprintf(stderr, "unknown flag(s):");
+    for (const auto& f : leftover) std::fprintf(stderr, " --%s", f.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+}
+
+}  // namespace twl::bench

@@ -1,0 +1,106 @@
+// Figure 7 reproduction: choosing the toss-up interval.
+//  (a) swap/write ratio (gmean over the PARSEC models) per interval;
+//  (b) lifetime under the scan attack per interval, against the 3-year
+//      server replacement floor.
+//
+// Expected shape (paper): ratio 37.9% at interval 1 dropping ~1/interval
+// (about 2.2% at 32); lifetime decreases as the interval grows; interval
+// 32 is the chosen operating point, above the 3-year floor.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "analysis/extrapolate.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "common/stats.h"
+#include "sim/attack_sim.h"
+#include "sim/memory_controller.h"
+#include "trace/parsec_model.h"
+#include "wl/tossup_wl.h"
+
+namespace {
+
+// Swap/write ratio of TWL at `interval` for one benchmark model, measured
+// over a fixed number of demand writes (the ratio converges quickly).
+double swap_ratio(const twl::Config& config, const twl::ParsecBenchmark& b,
+                  std::uint64_t pages, std::uint64_t writes) {
+  using namespace twl;
+  const EnduranceMap map(pages, config.endurance, config.seed);
+  TossUpWl wl(map, config.twl, config.wl_latencies,
+              config.endurance.table_bits, config.seed);
+  PcmDevice device(map);
+  MemoryController mc(device, wl, config, /*enable_timing=*/false);
+  const auto source = b.make_source(pages, config.seed);
+  while (wl.demand_writes() < writes) {
+    MemoryRequest req = source->next();
+    if (req.op != Op::kWrite) continue;
+    mc.submit(req, 0);
+  }
+  return static_cast<double>(wl.tossup_swaps()) /
+         static_cast<double>(wl.demand_writes());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace twl;
+  const CliArgs args(argc, argv);
+  const auto setup = bench::make_setup(args, 1024, 65536);
+  const auto ratio_writes = static_cast<std::uint64_t>(
+      args.get_int_or("ratio-writes", 200000));
+  bench::check_unconsumed(args);
+  bench::print_banner("Figure 7: choosing the toss-up interval", setup);
+
+  const double ideal_years = RealSystem{}.ideal_lifetime_years;
+  TextTable table;
+  table.add_row({"toss-up interval", "swap/write ratio (PARSEC gmean)",
+                 "scan lifetime (2-write swap)",
+                 "scan lifetime (3-write swap)",
+                 "scan lifetime (paper accounting)"});
+  for (const std::uint32_t interval : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    Config config = setup.config;
+    config.twl.tossup_interval = interval;
+
+    std::vector<double> ratios;
+    for (const auto& b : parsec_benchmarks()) {
+      // Geomean needs positive values; floor at one swap per run.
+      ratios.push_back(std::max(
+          swap_ratio(config, b, setup.pages, ratio_writes),
+          1.0 / static_cast<double>(ratio_writes)));
+    }
+
+    // Three accountings of swap wear (see EXPERIMENTS.md): with physical
+    // migration wear, within-pair endurance bias cancels under the scan's
+    // symmetric traffic and lifetime *rises* with the interval (swaps are
+    // purely parasitic); the paper's falling trend only appears when
+    // migration writes are treated as a performance cost but not as wear
+    // ("paper accounting").
+    std::vector<std::string> row{std::to_string(interval),
+                                 fmt_percent(geomean(ratios), 1)};
+    struct Variant {
+      bool two_write;
+      bool migration_wear;
+    };
+    for (const Variant v : {Variant{true, true}, Variant{false, true},
+                            Variant{true, false}}) {
+      Config variant = config;
+      variant.twl.two_write_swap = v.two_write;
+      variant.migration_wear = v.migration_wear;
+      AttackSimulator sim(variant);
+      ScanAttack scan(setup.pages);
+      const auto result =
+          sim.run(Scheme::kTossUpStrongWeak, scan, WriteCount{1} << 40);
+      row.push_back(fmt_lifetime_years(
+          years_from_fraction(result.fraction_of_ideal, ideal_years)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nminimum requirement (server replacement cycle): 3 years\n"
+      "paper reference: 37.9%% ratio at interval 1; ~2.2%% extra writes at "
+      "interval 32;\nlifetime decreases with larger intervals; chosen "
+      "operating point: 32.\n");
+  return 0;
+}

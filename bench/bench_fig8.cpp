@@ -1,0 +1,61 @@
+// Figure 8 reproduction: lifetime under the PARSEC benchmark models,
+// normalized to each benchmark's ideal lifetime, for BWL, SR, TWL and
+// NOWL, plus geometric means.
+//
+// Expected shape (paper): SR ~44% of ideal (weakest-page bound), BWL
+// ~75.6%, TWL ~79.6%, NOWL far below all of them.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "analysis/extrapolate.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "common/stats.h"
+#include "sim/lifetime_sim.h"
+#include "trace/parsec_model.h"
+
+int main(int argc, char** argv) {
+  using namespace twl;
+  const CliArgs args(argc, argv);
+  const auto setup = bench::make_setup(args, 2048, 16384);
+  bench::check_unconsumed(args);
+  bench::print_banner(
+      "Figure 8: normalized lifetime on PARSEC benchmark models", setup);
+
+  const std::vector<Scheme> schemes = {Scheme::kBloomWl,
+                                       Scheme::kSecurityRefresh,
+                                       Scheme::kTossUpStrongWeak,
+                                       Scheme::kNoWl};
+  LifetimeSimulator sim(setup.config);
+  std::map<Scheme, std::vector<double>> fractions;
+
+  TextTable table;
+  table.add_row({"benchmark", "BWL", "SR", "TWL", "NOWL"});
+  for (const auto& b : parsec_benchmarks()) {
+    std::vector<std::string> row{b.name};
+    for (const Scheme scheme : schemes) {
+      auto source = b.make_source(setup.pages, setup.config.seed);
+      const auto result =
+          sim.run(scheme, *source, sim.ideal_demand_writes() * 2);
+      fractions[scheme].push_back(std::max(result.fraction_of_ideal, 1e-9));
+      row.push_back(fmt_double(result.fraction_of_ideal, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> gmean_row{"Gmean"};
+  for (const Scheme scheme : schemes) {
+    gmean_row.push_back(fmt_double(geomean(fractions[scheme]), 3));
+  }
+  table.add_row(std::move(gmean_row));
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf(
+      "\nweakest-page bound for uniform levelers at this scale: %.3f "
+      "(at the paper's 8.4M pages: %.3f — SR's ~44%%)\n"
+      "paper reference (gmean of ideal): SR ~0.44, BWL ~0.756, TWL ~0.796.\n",
+      expected_min_endurance_fraction(setup.pages,
+                                      setup.config.endurance.sigma_frac),
+      expected_min_endurance_fraction(8388608, 0.11));
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Per-operation microbenchmarks (google-benchmark): the simulation-side
+// cost of each scheme's write path, the RNGs, and the table primitives.
+// These bound how large a lifetime experiment is practical.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "pcm/device.h"
+#include "sim/memory_controller.h"
+#include "tables/remapping_table.h"
+#include "trace/zipf.h"
+#include "wl/factory.h"
+
+namespace {
+
+using namespace twl;
+
+Config bench_config(std::uint64_t pages) {
+  SimScale scale;
+  scale.pages = pages;
+  scale.endurance_mean = 1e12;  // Never fails during the benchmark.
+  return Config::scaled(scale);
+}
+
+void BM_SchemeWrite(benchmark::State& state, Scheme scheme) {
+  const std::uint64_t pages = 4096;
+  const Config config = bench_config(pages);
+  const EnduranceMap map(pages, config.endurance, config.seed);
+  PcmDevice device(map);
+  const auto wl = make_wear_leveler(scheme, map, config);
+  MemoryController mc(device, *wl, config, /*enable_timing=*/false);
+  XorShift64Star rng(1);
+  const std::uint64_t space = wl->logical_pages();
+  for (auto _ : state) {
+    const MemoryRequest req{
+        Op::kWrite,
+        LogicalPageAddr(static_cast<std::uint32_t>(rng.next_below(space)))};
+    mc.submit(req, 0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_SchemeWriteTimed(benchmark::State& state, Scheme scheme) {
+  const std::uint64_t pages = 4096;
+  const Config config = bench_config(pages);
+  const EnduranceMap map(pages, config.endurance, config.seed);
+  PcmDevice device(map);
+  const auto wl = make_wear_leveler(scheme, map, config);
+  MemoryController mc(device, *wl, config, /*enable_timing=*/true);
+  XorShift64Star rng(1);
+  Cycles now = 0;
+  const std::uint64_t space = wl->logical_pages();
+  for (auto _ : state) {
+    const MemoryRequest req{
+        Op::kWrite,
+        LogicalPageAddr(static_cast<std::uint32_t>(rng.next_below(space)))};
+    now += mc.submit(req, now);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Feistel8(benchmark::State& state) {
+  Feistel8 f(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.next_alpha());
+  }
+}
+
+void BM_XorShift(benchmark::State& state) {
+  XorShift64Star rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler z(static_cast<std::uint64_t>(state.range(0)), 1.0);
+  XorShift64Star rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.sample(rng));
+  }
+}
+
+void BM_RemappingSwap(benchmark::State& state) {
+  RemappingTable rt(4096);
+  XorShift64Star rng(1);
+  for (auto _ : state) {
+    rt.swap_logical(
+        LogicalPageAddr(static_cast<std::uint32_t>(rng.next_below(4096))),
+        LogicalPageAddr(static_cast<std::uint32_t>(rng.next_below(4096))));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SchemeWrite, NOWL, Scheme::kNoWl);
+BENCHMARK_CAPTURE(BM_SchemeWrite, StartGap, Scheme::kStartGap);
+BENCHMARK_CAPTURE(BM_SchemeWrite, SR, Scheme::kSecurityRefresh);
+BENCHMARK_CAPTURE(BM_SchemeWrite, WRL, Scheme::kWearRateLeveling);
+BENCHMARK_CAPTURE(BM_SchemeWrite, BWL, Scheme::kBloomWl);
+BENCHMARK_CAPTURE(BM_SchemeWrite, TWL, Scheme::kTossUpStrongWeak);
+BENCHMARK_CAPTURE(BM_SchemeWriteTimed, NOWL, Scheme::kNoWl);
+BENCHMARK_CAPTURE(BM_SchemeWriteTimed, TWL, Scheme::kTossUpStrongWeak);
+BENCHMARK(BM_Feistel8);
+BENCHMARK(BM_XorShift);
+BENCHMARK(BM_ZipfSample)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_RemappingSwap);
+
+BENCHMARK_MAIN();

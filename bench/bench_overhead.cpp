@@ -1,0 +1,53 @@
+// Section 5.4 reproduction: design overhead of TWL (and the baselines) in
+// controller storage and logic gates.
+//
+// Expected values (paper): 80 bits per 4KB page (~2.5e-3 storage ratio);
+// <128 gates for the 8-bit Feistel RNG, 718 for the divider/comparators,
+// ~840 gates total.
+#include <cstdio>
+
+#include "analysis/overhead.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "wl/factory.h"
+
+int main(int argc, char** argv) {
+  using namespace twl;
+  const CliArgs args(argc, argv);
+  const auto setup = bench::make_setup(args, 1024, 16384);
+  bench::check_unconsumed(args);
+  bench::print_banner("Section 5.4: design overhead", setup);
+
+  const EnduranceMap map(setup.pages, setup.config.endurance,
+                         setup.config.seed);
+
+  TextTable storage;
+  storage.add_row({"scheme", "bits / 4KB page", "storage ratio"});
+  for (const Scheme s : all_schemes()) {
+    const auto wl = make_wear_leveler(s, map, setup.config);
+    const auto o = storage_overhead(*wl, setup.config.geometry.page_bytes);
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2e", o.ratio);
+    storage.add_row({wl->name(), std::to_string(o.bits_per_page), ratio});
+  }
+  std::printf("%s", storage.to_string().c_str());
+  std::printf("paper reference for TWL: 80 bits/4KB = 2.5e-3 "
+              "(WCT 7 + ET 27 + RT 23 + SWPT 23)\n");
+
+  const auto rng = feistel8_gates();
+  const auto engine = twl_engine_gates(setup.config.endurance.table_bits);
+  const auto total = twl_total_gates(setup.config.endurance.table_bits);
+
+  TextTable gates;
+  gates.add_row({"TWL logic block", "gates"});
+  for (const auto& [name, g] : total.items) {
+    gates.add_row({name, std::to_string(g)});
+  }
+  gates.add_row({"TOTAL", std::to_string(total.total())});
+  std::printf("\n%s", gates.to_string().c_str());
+  std::printf(
+      "paper reference: Feistel RNG < 128 (model: %u), divider+comparators "
+      "718 (model: %u), total ~840 (model: %u)\n",
+      rng.total(), engine.total(), total.total());
+  return 0;
+}

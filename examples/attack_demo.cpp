@@ -1,0 +1,59 @@
+// Attack demo: runs the paper's inconsistent-write attack (Section 3.2)
+// against a prediction-based scheme (BWL) and against TWL, narrating what
+// the attacker observes through the response-time side channel.
+//
+//   ./attack_demo [--pages N] [--endurance E] [--scheme BWL|WRL|TWL|SR]
+#include <cstdio>
+
+#include "analysis/extrapolate.h"
+#include "analysis/report.h"
+#include "common/cli.h"
+#include "sim/attack_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace twl;
+  const CliArgs args(argc, argv);
+  SimScale scale;
+  scale.pages = static_cast<std::uint64_t>(args.get_int_or("pages", 1024));
+  scale.endurance_mean = args.get_double_or("endurance", 32768);
+  const Config config = Config::scaled(scale);
+
+  std::printf("%s", heading("Inconsistent-write attack demo").c_str());
+  std::printf(
+      "The attacker writes N addresses with an ascending weight profile,\n"
+      "watches response times for the blocking swap phase, then reverses\n"
+      "the profile so the page the victim parked on its weakest cell is\n"
+      "exactly the page it hammers next.\n");
+
+  const double ideal_years = RealSystem{}.ideal_lifetime_years;
+  const std::vector<std::string> victims =
+      args.has("scheme") ? std::vector<std::string>{args.get_or("scheme", "")}
+                         : std::vector<std::string>{"BWL", "WRL", "SR", "TWL"};
+
+  for (const auto& name : victims) {
+    const Scheme scheme = parse_scheme(name);
+    AttackSimulator sim(config);
+    const auto attack = make_attack("inconsistent", scale.pages, 7);
+    const auto* inconsistent =
+        dynamic_cast<const InconsistentAttack*>(attack.get());
+    const auto r = sim.run(scheme, *attack, WriteCount{1} << 40);
+    const double years =
+        years_from_fraction(r.fraction_of_ideal, ideal_years);
+    std::printf(
+        "\nvictim %-4s: PCM died after %llu attacker writes "
+        "(extrapolated lifetime %s)\n"
+        "  swap phases the attacker detected and reacted to: %llu\n"
+        "  blocking reorganizations the victim performed:    %llu\n",
+        r.scheme.c_str(), static_cast<unsigned long long>(r.demand_writes),
+        fmt_lifetime_years(years).c_str(),
+        static_cast<unsigned long long>(
+            inconsistent ? inconsistent->phase_flips() : 0),
+        static_cast<unsigned long long>(r.stats.blocking_events));
+  }
+
+  std::printf(
+      "\nPrediction-based schemes (BWL, WRL) expose their swap phases and\n"
+      "die orders of magnitude early; SR and TWL never act on predictions,\n"
+      "so the reversed distribution buys the attacker nothing.\n");
+  return 0;
+}

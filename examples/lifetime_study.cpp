@@ -1,0 +1,65 @@
+// Lifetime study: how does each scheme's lifetime respond to the severity
+// of process variation? Sweeps the endurance sigma from 0 (no PV — where
+// PV-oblivious leveling is optimal) to 30% (where endurance-aware
+// allocation matters most) under a skewed workload.
+//
+//   ./lifetime_study [--pages N] [--endurance E] [--top-frac F]
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "common/cli.h"
+#include "sim/lifetime_sim.h"
+#include "trace/synthetic.h"
+#include "wl/factory.h"
+
+int main(int argc, char** argv) {
+  using namespace twl;
+  const CliArgs args(argc, argv);
+  const auto pages =
+      static_cast<std::uint64_t>(args.get_int_or("pages", 1024));
+  const double endurance = args.get_double_or("endurance", 16384);
+  const double top_frac = args.get_double_or("top-frac", 0.05);
+
+  std::printf("%s",
+              heading("Lifetime vs process-variation severity").c_str());
+  std::printf("workload: Zipf with %.0f%% of writes on the hottest page; "
+              "values are fractions of ideal lifetime\n\n",
+              top_frac * 100);
+
+  const std::vector<Scheme> schemes = {
+      Scheme::kSecurityRefresh, Scheme::kBloomWl, Scheme::kTossUpAdjacent,
+      Scheme::kTossUpStrongWeak};
+
+  TextTable table;
+  table.add_row({"sigma", "SR", "BWL", "TWL_ap", "TWL_swp"});
+  for (const double sigma : {0.0, 0.05, 0.11, 0.2, 0.3}) {
+    SimScale scale;
+    scale.pages = pages;
+    scale.endurance_mean = endurance;
+    scale.endurance_sigma_frac = sigma;
+    const Config config = Config::scaled(scale);
+    LifetimeSimulator sim(config);
+
+    std::vector<std::string> row{fmt_percent(sigma, 0)};
+    for (const Scheme scheme : schemes) {
+      SyntheticParams wp;
+      wp.pages = pages;
+      wp.zipf_s =
+          ZipfSampler::solve_exponent_for_top_fraction(pages, top_frac);
+      wp.read_frac = 0.0;
+      wp.seed = 5;
+      SyntheticTrace workload(wp, "zipf");
+      const auto r = sim.run(scheme, workload, WriteCount{1} << 40);
+      row.push_back(fmt_double(r.fraction_of_ideal, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nReading: at sigma=0 every page is identical, so uniform leveling\n"
+      "(SR) is near-ideal and endurance-aware bias buys nothing; as sigma\n"
+      "grows, SR decays with the weakest page while the PV-aware schemes\n"
+      "hold up — and strong-weak pairing increasingly beats adjacent\n"
+      "pairing because it equalizes the pairs' endurance *sums*.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "analysis/extrapolate.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace twl {
+
+double ideal_years_from_bandwidth(const RealSystem& real, double write_mbps) {
+  assert(write_mbps > 0);
+  const double page_writes_per_sec = write_mbps * 1e6 /
+                                     real.geometry.page_bytes *
+                                     kEffectiveWriteFactor;
+  const double total_writes = static_cast<double>(real.geometry.pages()) *
+                              real.endurance.mean;
+  return total_writes / page_writes_per_sec / kSecondsPerYear;
+}
+
+double years_from_fraction(double fraction, double ideal_years) {
+  return fraction * ideal_years;
+}
+
+double years_to_seconds(double years) { return years * kSecondsPerYear; }
+
+double inverse_normal_cdf(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam (2003).
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  const double q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+double expected_min_endurance_fraction(std::uint64_t pages,
+                                       double sigma_frac) {
+  assert(pages > 0);
+  const double p = 1.0 / (static_cast<double>(pages) + 1.0);
+  const double z = inverse_normal_cdf(p);
+  // Endurance draws are floored at 1% of the mean (pcm/endurance.cpp).
+  const double frac = 1.0 + sigma_frac * z;
+  return frac < 0.01 ? 0.01 : frac;
+}
+
+}  // namespace twl

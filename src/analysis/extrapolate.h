@@ -1,0 +1,57 @@
+// Extrapolation of scaled simulation results to the paper's real system.
+//
+// Lifetime simulations run on a scaled device (Section "Simulation
+// scaling" of DESIGN.md). The scale-invariant output is the *fraction of
+// ideal lifetime*: demand writes absorbed before the first page failure
+// divided by the device's total endurance. Multiplying the fraction by
+// the real system's ideal lifetime gives years.
+//
+// The real ideal lifetime follows from the write bandwidth via
+//
+//   page_write_rate = bandwidth / page_bytes * kappa
+//   ideal_years     = pages * E_mean / page_write_rate
+//
+// with kappa = 2: back-deriving from every row of Table 2 and from
+// Figure 6's "8 GB/s => ideal 6.6 years" anchor shows the paper
+// consistently charges ~2 page-wear events per page of raw traffic
+// (write amplification of sub-page updates to the 4 KB wear-tracking
+// granularity). See EXPERIMENTS.md for the derivation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.h"
+
+namespace twl {
+
+/// Effective write-traffic divisor (see header comment).
+inline constexpr double kEffectiveWriteFactor = 2.0;
+
+inline constexpr double kSecondsPerYear = 365.25 * 24 * 3600;
+
+/// Ideal lifetime of the real system at a given raw write bandwidth.
+[[nodiscard]] double ideal_years_from_bandwidth(const RealSystem& real,
+                                                double write_mbps);
+
+/// Years corresponding to a simulated lifetime fraction.
+[[nodiscard]] double years_from_fraction(double fraction,
+                                         double ideal_years);
+
+[[nodiscard]] double years_to_seconds(double years);
+
+/// Acklam's rational approximation of the standard normal quantile
+/// function (|relative error| < 1.2e-9). Exposed for tests.
+[[nodiscard]] double inverse_normal_cdf(double p);
+
+/// Expected endurance of the weakest of `pages` Gaussian draws, as a
+/// fraction of the mean: 1 + sigma_frac * Phi^-1(1/(pages+1)).
+///
+/// This is the analytic ceiling on any *uniform* (PV-oblivious) wear
+/// leveler's lifetime fraction — at the paper's 8M pages and sigma = 11%
+/// it evaluates to ~0.44, exactly Security Refresh's plateau in
+/// Figures 6/8. Scaled simulations have fewer pages and therefore a
+/// milder extreme value; benches report both.
+[[nodiscard]] double expected_min_endurance_fraction(std::uint64_t pages,
+                                                     double sigma_frac);
+
+}  // namespace twl

@@ -1,0 +1,63 @@
+#include "analysis/overhead.h"
+
+namespace twl {
+
+StorageOverhead storage_overhead(const WearLeveler& scheme,
+                                 std::uint32_t page_bytes) {
+  StorageOverhead o;
+  o.bits_per_page = scheme.storage_bits_per_page();
+  o.ratio = static_cast<double>(o.bits_per_page) /
+            (static_cast<double>(page_bytes) * 8.0);
+  return o;
+}
+
+std::uint32_t GateEstimate::total() const {
+  std::uint32_t sum = 0;
+  for (const auto& [_, gates] : items) sum += gates;
+  return sum;
+}
+
+GateEstimate feistel8_gates(const GateCosts& costs) {
+  // One round circuit reused over 4 cycles (matching the 4-cycle RNG
+  // latency of Table 1); keys are hard-wired.
+  GateEstimate e;
+  e.items.emplace_back("round function 4-bit XOR", 4 * costs.xor2);
+  e.items.emplace_back("round function 4-bit adder", costs.adder(4));
+  e.items.emplace_back("left-half XOR", 4 * costs.xor2);
+  e.items.emplace_back("8-bit state/counter register", costs.reg(8));
+  e.items.emplace_back("round control", 14);
+  return e;
+}
+
+GateEstimate twl_engine_gates(std::uint32_t endurance_bits,
+                              const GateCosts& costs) {
+  // The toss-up decision alpha < E/(E+E') is realized without a real
+  // divider as alpha*(E+E') < E*256: one wide adder (shared as the serial
+  // multiplier's accumulator), steering muxes, and a wide comparator.
+  GateEstimate e;
+  const std::uint32_t sum_bits = endurance_bits + 1;
+  e.items.emplace_back("endurance adder (shared with serial multiplier)",
+                       costs.adder(endurance_bits));
+  e.items.emplace_back("serial-multiplier steering muxes",
+                       sum_bits * costs.mux2);
+  e.items.emplace_back("multiplier control FSM", 24);
+  e.items.emplace_back("toss-up magnitude comparator",
+                       costs.comparator(endurance_bits + 8));
+  e.items.emplace_back("swap-judge address equality (23-bit)",
+                       23 * costs.xor2 + 8);
+  e.items.emplace_back("WCT interval comparator (7-bit)",
+                       costs.comparator(7));
+  return e;
+}
+
+GateEstimate twl_total_gates(std::uint32_t endurance_bits,
+                             const GateCosts& costs) {
+  GateEstimate total;
+  const GateEstimate rng = feistel8_gates(costs);
+  const GateEstimate engine = twl_engine_gates(endurance_bits, costs);
+  total.items.emplace_back("Feistel-8 RNG", rng.total());
+  for (const auto& item : engine.items) total.items.push_back(item);
+  return total;
+}
+
+}  // namespace twl

@@ -1,0 +1,70 @@
+// Hardware design-overhead model (Section 5.4).
+//
+// Storage: bits of controller SRAM reserved per PCM page by each scheme's
+// tables. For TWL: WCT 7 + ET 27 + RT 23 + SWPT 23 = 80 bits per 4 KB
+// page, a 2.5e-3 ratio.
+//
+// Logic: a gate-count estimate built from standard-cell costs. The paper
+// reports an 8-bit Feistel RNG at < 128 gates [10] and 718 gates of
+// synthesis results for the divider + comparators, 840 total; this model
+// reproduces those numbers from first principles so the estimate stays
+// auditable when parameters change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wl/wear_leveler.h"
+
+namespace twl {
+
+struct StorageOverhead {
+  std::uint32_t bits_per_page = 0;
+  double ratio = 0.0;  ///< bits / (page_bytes * 8).
+};
+
+[[nodiscard]] StorageOverhead storage_overhead(const WearLeveler& scheme,
+                                               std::uint32_t page_bytes);
+
+/// Gate costs of common primitives, in 2-input-NAND-equivalent gates.
+struct GateCosts {
+  std::uint32_t xor2 = 3;        ///< 2-input XOR.
+  std::uint32_t and2 = 1;
+  std::uint32_t mux2 = 3;        ///< 1-bit 2:1 mux.
+  std::uint32_t full_adder = 9;  ///< 1-bit full adder.
+  std::uint32_t dff = 6;         ///< Flip-flop.
+
+  [[nodiscard]] std::uint32_t adder(std::uint32_t bits) const {
+    return bits * full_adder;
+  }
+  [[nodiscard]] std::uint32_t comparator(std::uint32_t bits) const {
+    // Magnitude comparator ~ subtractor without the sum outputs.
+    return bits * (full_adder - 2);
+  }
+  [[nodiscard]] std::uint32_t reg(std::uint32_t bits) const {
+    return bits * dff;
+  }
+};
+
+struct GateEstimate {
+  std::vector<std::pair<std::string, std::uint32_t>> items;
+  [[nodiscard]] std::uint32_t total() const;
+};
+
+/// Gate estimate of the 8-bit 4-round Feistel RNG of common/rng.h.
+[[nodiscard]] GateEstimate feistel8_gates(const GateCosts& costs = {});
+
+/// Gate estimate of the TWL engine's arithmetic (the "divider and several
+/// comparators" of Section 5.4): the toss-up comparison
+/// alpha * (E + E_pair) < E * 256 realized with an adder, a shift-add
+/// multiplier and a wide comparator, plus the swap-judge address
+/// comparator and the WCT interval comparator.
+[[nodiscard]] GateEstimate twl_engine_gates(std::uint32_t endurance_bits = 27,
+                                            const GateCosts& costs = {});
+
+/// Complete TWL logic estimate (engine + RNG), the paper's ~840 gates.
+[[nodiscard]] GateEstimate twl_total_gates(std::uint32_t endurance_bits = 27,
+                                           const GateCosts& costs = {});
+
+}  // namespace twl

@@ -1,0 +1,69 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace twl {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  if (rows_.empty()) return "";
+  std::size_t cols = 0;
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> widths(cols, 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size(), ' ');
+      }
+    }
+    out << '\n';
+    if (r == 0) {
+      std::size_t line = 0;
+      for (std::size_t c = 0; c < cols; ++c) {
+        line += widths[c] + (c > 0 ? 2 : 0);
+      }
+      out << std::string(line, '-') << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+std::string fmt_lifetime_years(double years) {
+  const double seconds = years * 365.25 * 24 * 3600;
+  if (seconds < 120) return fmt_double(seconds, 0) + " s";
+  if (seconds < 2 * 3600) return fmt_double(seconds / 60, 1) + " min";
+  if (seconds < 2 * 86400) return fmt_double(seconds / 3600, 1) + " h";
+  if (years < 0.1) return fmt_double(seconds / 86400, 1) + " d";
+  return fmt_double(years, 2) + " yr";
+}
+
+std::string heading(const std::string& title) {
+  return "\n" + title + "\n" + std::string(title.size(), '=') + "\n";
+}
+
+}  // namespace twl

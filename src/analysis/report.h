@@ -1,0 +1,37 @@
+// Plain-text table rendering for the bench binaries: every experiment
+// prints the same rows/series the paper's tables and figures report, as
+// aligned ASCII.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace twl {
+
+class TextTable {
+ public:
+  /// First row added is the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("3.1", "0.044").
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+
+/// Percent formatting ("2.2%").
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 1);
+
+/// Years with adaptive units: sub-day lifetimes print as seconds/hours so
+/// the "98 seconds" style results of Figure 6 stay readable.
+[[nodiscard]] std::string fmt_lifetime_years(double years);
+
+/// A section heading with an underline.
+[[nodiscard]] std::string heading(const std::string& title);
+
+}  // namespace twl

@@ -1,0 +1,97 @@
+#include "attack/attacks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace twl {
+
+InconsistentAttack::InconsistentAttack(
+    LogicalPageAddr base, const InconsistentAttackParams& params)
+    : base_(base),
+      params_(params),
+      detector_(params.detector),
+      heavy_(params.heavy_weight) {
+  assert(params_.num_addrs >= 3);
+  assert(params_.mid_weight > 1 && params_.heavy_weight > params_.mid_weight);
+}
+
+std::uint32_t InconsistentAttack::weight_of(std::uint32_t idx) const {
+  // Phase A: W_0 = 1 < W_mid < W_{N-1} = heavy. Phase B reverses.
+  const std::uint32_t pos = reversed_ ? params_.num_addrs - 1 - idx : idx;
+  if (pos == 0) return 1;
+  if (pos == params_.num_addrs - 1) return heavy_;
+  return params_.mid_weight;
+}
+
+void InconsistentAttack::retarget_heavy(std::uint64_t observed_gap) {
+  // One full round (1 + mid*(N-2) + heavy writes) should fit comfortably
+  // inside the victim's inter-swap gap, with the rest of the gap spent
+  // hammering: put half the gap into the heavy weight.
+  const std::uint64_t fixed =
+      1 + static_cast<std::uint64_t>(params_.mid_weight) *
+              (params_.num_addrs - 2);
+  const std::uint64_t budget =
+      observed_gap > 2 * fixed ? observed_gap - fixed : fixed;
+  heavy_ = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      std::max<std::uint64_t>(budget / 2, params_.mid_weight + 1),
+      1u << 20));
+}
+
+void InconsistentAttack::advance() {
+  if (++issued_ >= weight_of(idx_)) {
+    issued_ = 0;
+    idx_ = (idx_ + 1) % params_.num_addrs;
+  }
+}
+
+MemoryRequest InconsistentAttack::next(Cycles last_latency) {
+  ++writes_since_flip_;
+  if (last_latency > 0 && detector_.observe(last_latency)) {
+    // A swap phase just completed: the victim has acted on the bait
+    // distribution. Reverse it (Step-1 <-> Step-2 of Section 3.2).
+    if (params_.adaptive && flips_ > 0) {
+      retarget_heavy(writes_since_flip_);
+    }
+    reversed_ = !reversed_;
+    ++flips_;
+    writes_since_flip_ = 0;
+    idx_ = 0;
+    issued_ = 0;
+  }
+  const MemoryRequest req{
+      Op::kWrite, LogicalPageAddr(base_.value() + idx_)};
+  advance();
+  return req;
+}
+
+std::unique_ptr<AttackProgram> make_attack(
+    const std::string& name, std::uint64_t logical_pages, std::uint64_t seed,
+    const InconsistentAttackParams& inconsistent_params) {
+  if (name == "repeat") {
+    return std::make_unique<RepeatAttack>(LogicalPageAddr(0));
+  }
+  if (name == "random") {
+    return std::make_unique<RandomAttack>(logical_pages, seed);
+  }
+  if (name == "scan") {
+    return std::make_unique<ScanAttack>(logical_pages);
+  }
+  if (name == "inconsistent" || name == "inconsistent-adaptive") {
+    InconsistentAttackParams p = inconsistent_params;
+    if (name == "inconsistent-adaptive") p.adaptive = true;
+    if (p.num_addrs == 0) {
+      p.num_addrs = static_cast<std::uint32_t>(logical_pages);
+    }
+    p.num_addrs = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(p.num_addrs, logical_pages));
+    return std::make_unique<InconsistentAttack>(LogicalPageAddr(0), p);
+  }
+  throw std::invalid_argument("unknown attack: " + name);
+}
+
+std::vector<std::string> all_attack_names() {
+  return {"repeat", "random", "scan", "inconsistent"};
+}
+
+}  // namespace twl

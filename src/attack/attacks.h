@@ -1,0 +1,146 @@
+// Wear-out attack programs (Sections 3 and 5.2).
+//
+// Each attack is a malicious program in the paper's threat model: it may
+// issue arbitrary (op, LA, data) tuples to the PCM and observe only the
+// response time of its own requests. The four modes evaluated in Figure 6:
+//
+//  * repeat       — hammer one fixed address (from [11]);
+//  * random       — uniformly random write addresses (from [11]);
+//  * scan         — consecutive write addresses, wrapping (from [11]);
+//  * inconsistent — the paper's contribution (Section 3.2): show one write
+//    distribution during the victim scheme's prediction phase and the
+//    *reverse* distribution after each detected swap phase, so that
+//    whatever page the scheme parks on its weakest cells is exactly the
+//    page that gets hammered next.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/swap_detector.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace twl {
+
+class AttackProgram {
+ public:
+  virtual ~AttackProgram() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Produce the next request given the measured latency of the previous
+  /// one (0 on the first call).
+  virtual MemoryRequest next(Cycles last_latency) = 0;
+};
+
+class RepeatAttack final : public AttackProgram {
+ public:
+  explicit RepeatAttack(LogicalPageAddr target) : target_(target) {}
+
+  [[nodiscard]] std::string name() const override { return "repeat"; }
+  MemoryRequest next(Cycles) override {
+    return MemoryRequest{Op::kWrite, target_};
+  }
+
+ private:
+  LogicalPageAddr target_;
+};
+
+class RandomAttack final : public AttackProgram {
+ public:
+  RandomAttack(std::uint64_t pages, std::uint64_t seed)
+      : pages_(pages), rng_(seed ^ 0xA77AC4ULL) {}
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+  MemoryRequest next(Cycles) override {
+    return MemoryRequest{
+        Op::kWrite,
+        LogicalPageAddr(static_cast<std::uint32_t>(rng_.next_below(pages_)))};
+  }
+
+ private:
+  std::uint64_t pages_;
+  XorShift64Star rng_;
+};
+
+class ScanAttack final : public AttackProgram {
+ public:
+  explicit ScanAttack(std::uint64_t pages) : pages_(pages) {}
+
+  [[nodiscard]] std::string name() const override { return "scan"; }
+  MemoryRequest next(Cycles) override {
+    const LogicalPageAddr la(static_cast<std::uint32_t>(pos_));
+    pos_ = (pos_ + 1) % pages_;
+    return MemoryRequest{Op::kWrite, la};
+  }
+
+ private:
+  std::uint64_t pages_;
+  std::uint64_t pos_ = 0;
+};
+
+struct InconsistentAttackParams {
+  /// N in Section 3.2. 0 (the default) means the whole logical space —
+  /// the attacker must rank *every* page, or untouched pages would be
+  /// colder than its bait and the victim scheme would park those on the
+  /// weak cells instead.
+  std::uint32_t num_addrs = 0;
+  std::uint32_t mid_weight = 2;   ///< W_k for the middle addresses.
+  std::uint32_t heavy_weight = 1024;  ///< W_N: the hammer budget per round.
+  /// Adapt the hammer budget to the victim's observed swap cadence: after
+  /// each detected swap, the heavy weight is retargeted so one attack
+  /// round fits inside the observed inter-swap gap. This implements the
+  /// paper's claim that the attack "does not rely on the fixed length of
+  /// prediction phase or running phase" (Section 3.2).
+  bool adaptive = false;
+  SwapDetectorParams detector{};
+};
+
+/// The inconsistent-write attack of Section 3.2.
+///
+/// Maintains N logical addresses. In phase A address 0 is written least
+/// (W=1) and address N-1 most (W=heavy); when the detector reports a
+/// completed swap phase the weights reverse (phase B hammers address 0,
+/// which the victim scheme just classified cold and parked on a weak
+/// page). Rounds repeat indefinitely.
+class InconsistentAttack final : public AttackProgram {
+ public:
+  InconsistentAttack(LogicalPageAddr base,
+                     const InconsistentAttackParams& params);
+
+  [[nodiscard]] std::string name() const override { return "inconsistent"; }
+  MemoryRequest next(Cycles last_latency) override;
+
+  [[nodiscard]] std::uint64_t phase_flips() const { return flips_; }
+  [[nodiscard]] bool in_reverse_phase() const { return reversed_; }
+  /// Current hammer budget (changes only in adaptive mode).
+  [[nodiscard]] std::uint32_t heavy_weight() const { return heavy_; }
+
+ private:
+  [[nodiscard]] std::uint32_t weight_of(std::uint32_t idx) const;
+  void advance();
+  void retarget_heavy(std::uint64_t observed_gap);
+
+  LogicalPageAddr base_;
+  InconsistentAttackParams params_;
+  SwapDetector detector_;
+  bool reversed_ = false;   ///< false: phase A (ascending), true: phase B.
+  std::uint32_t idx_ = 0;   ///< Current address index within the round.
+  std::uint32_t issued_ = 0;  ///< Writes already issued to addrs_[idx_].
+  std::uint32_t heavy_;
+  std::uint64_t writes_since_flip_ = 0;
+  std::uint64_t flips_ = 0;
+};
+
+/// Factory by name: "repeat", "random", "scan", "inconsistent".
+[[nodiscard]] std::unique_ptr<AttackProgram> make_attack(
+    const std::string& name, std::uint64_t logical_pages, std::uint64_t seed,
+    const InconsistentAttackParams& inconsistent_params = {});
+
+/// The four Figure 6 attack modes in paper order.
+[[nodiscard]] std::vector<std::string> all_attack_names();
+
+}  // namespace twl

@@ -1,0 +1,45 @@
+#include "attack/swap_detector.h"
+
+namespace twl {
+
+SwapDetector::SwapDetector(const SwapDetectorParams& params)
+    : params_(params) {}
+
+bool SwapDetector::observe(Cycles latency) {
+  const auto lat = static_cast<double>(latency);
+  ++samples_;
+
+  if (samples_ <= params_.warmup) {
+    // Establish the baseline before arming.
+    baseline_ = baseline_ == 0.0
+                    ? lat
+                    : baseline_ + (lat - baseline_) / static_cast<double>(
+                                                          samples_);
+    return false;
+  }
+
+  if (in_phase_) {
+    if (lat < params_.calm_factor * baseline_) {
+      in_phase_ = false;
+      spike_run_ = 0;
+      ++phases_;
+      return true;  // Swap phase just ended.
+    }
+    return false;
+  }
+
+  if (lat > params_.spike_factor * baseline_) {
+    if (++spike_run_ >= params_.min_run ||
+        lat > params_.bulk_factor * baseline_) {
+      in_phase_ = true;
+    }
+  } else {
+    spike_run_ = 0;
+    // Only track the baseline during calm periods so a long blocking
+    // phase cannot drag it upward.
+    baseline_ += params_.ewma_alpha * (lat - baseline_);
+  }
+  return false;
+}
+
+}  // namespace twl

@@ -1,0 +1,52 @@
+// Swap-phase detection over the memory response-time channel.
+//
+// Footnote 1 of the paper: "memory swaps will block all memory requests
+// ... which leads to an increase in memory response time". The attacker
+// measures each request's latency (rdtsc in the paper's model) and infers
+// when a bulk swap phase begins and ends. Single-page housekeeping swaps
+// (TWL toss-ups, SR refresh steps) delay only one or two requests and are
+// filtered out by requiring a run of consecutive slow responses.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace twl {
+
+struct SwapDetectorParams {
+  double ewma_alpha = 0.02;     ///< Baseline latency smoothing.
+  double spike_factor = 3.0;    ///< Latency > factor*baseline is a spike.
+  /// A single response this much above baseline is a bulk reorganization
+  /// by itself (a blocking phase drains before the attacker's next
+  /// request, so it shows up as one enormous latency, not a run). A lone
+  /// 2-page housekeeping swap only doubles one latency and stays below.
+  double bulk_factor = 8.0;
+  double calm_factor = 1.5;     ///< Latency < factor*baseline ends a phase.
+  std::uint32_t min_run = 4;    ///< Consecutive spikes that open a phase.
+  std::uint32_t warmup = 64;    ///< Samples before detection arms.
+};
+
+class SwapDetector {
+ public:
+  explicit SwapDetector(const SwapDetectorParams& params = {});
+
+  /// Feed one response latency. Returns true exactly when a swap phase is
+  /// observed to have *completed* (the paper's attacker flips its write
+  /// distribution on this event).
+  bool observe(Cycles latency);
+
+  [[nodiscard]] bool in_swap_phase() const { return in_phase_; }
+  [[nodiscard]] double baseline() const { return baseline_; }
+  [[nodiscard]] std::uint64_t phases_detected() const { return phases_; }
+
+ private:
+  SwapDetectorParams params_;
+  double baseline_ = 0.0;
+  std::uint64_t samples_ = 0;
+  std::uint32_t spike_run_ = 0;
+  bool in_phase_ = false;
+  std::uint64_t phases_ = 0;
+};
+
+}  // namespace twl

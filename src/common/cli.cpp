@@ -1,0 +1,72 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace twl {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--benchmark_", 0) == 0) continue;  // google-benchmark's.
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag, got: " + std::string(arg));
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name,
+                            const std::string& def) const {
+  return get(name).value_or(def);
+}
+
+std::int64_t CliArgs::get_int_or(const std::string& name,
+                                 std::int64_t def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  return std::stoll(*v);
+}
+
+double CliArgs::get_double_or(const std::string& name, double def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  return std::stod(*v);
+}
+
+bool CliArgs::get_bool_or(const std::string& name, bool def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+bool CliArgs::has(const std::string& name) const {
+  consumed_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::vector<std::string> CliArgs::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [k, _] : values_) {
+    if (!consumed_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace twl

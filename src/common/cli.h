@@ -1,0 +1,40 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Flags are `--name=value` or `--name value`; unknown flags are an error so
+// typos in sweep scripts fail loudly. Bench binaries built against
+// google-benchmark pass through flags starting with --benchmark_.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace twl {
+
+class CliArgs {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int_or(const std::string& name,
+                                        std::int64_t def) const;
+  [[nodiscard]] double get_double_or(const std::string& name,
+                                     double def) const;
+  [[nodiscard]] bool get_bool_or(const std::string& name, bool def) const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Names the caller never queried — used to reject typos.
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace twl

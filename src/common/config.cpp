@@ -1,0 +1,63 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace twl {
+
+PcmGeometry PcmGeometry::scaled_to_pages(std::uint64_t n) const {
+  assert(n > 0);
+  PcmGeometry g = *this;
+  g.capacity_bytes = n * page_bytes;
+  // Keep at least one bank, shrink bank count if the device got tiny so
+  // that every bank still holds at least one page.
+  g.banks = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(banks, std::max<std::uint64_t>(1, n)));
+  g.ranks = std::min(ranks, g.banks);
+  return g;
+}
+
+std::string to_string(TossBias b) {
+  switch (b) {
+    case TossBias::kInitialEndurance:
+      return "initial-endurance";
+    case TossBias::kRemainingEndurance:
+      return "remaining-endurance";
+  }
+  return "unknown";
+}
+
+std::string to_string(PairingPolicy p) {
+  switch (p) {
+    case PairingPolicy::kAdjacent:
+      return "adjacent";
+    case PairingPolicy::kStrongWeak:
+      return "strong-weak";
+    case PairingPolicy::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+Config Config::paper_default() { return Config{}; }
+
+Config Config::scaled(const SimScale& scale) {
+  Config c;
+  c.geometry = c.geometry.scaled_to_pages(scale.pages);
+  c.endurance.mean = scale.endurance_mean;
+  c.endurance.sigma_frac = scale.endurance_sigma_frac;
+  c.seed = scale.seed;
+  // SR regions cannot exceed the device, and small simulated devices use
+  // proportionally smaller regions so a multi-region (two-level) layout
+  // survives the scaling.
+  c.sr.region_pages = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(c.sr.region_pages, scale.pages / 8));
+  c.sr.region_pages = std::max<std::uint32_t>(c.sr.region_pages, 1);
+  c.sr.endurance_mean_hint = scale.endurance_mean;
+  // RBSG keeps multiple regions on scaled devices too.
+  c.rbsg.region_pages = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+      2, std::min<std::uint64_t>(c.rbsg.region_pages, scale.pages / 8)));
+  return c;
+}
+
+}  // namespace twl

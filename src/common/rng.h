@@ -1,0 +1,84 @@
+// Random number generation.
+//
+// Three generators are provided:
+//  * SplitMix64     — seeding / general-purpose, passes BigCrush-lite.
+//  * XorShift64Star — fast simulation-side randomness (workloads, PV draws).
+//  * Feistel8       — the hardware RNG the paper actually proposes for the
+//    TWL engine: an 8-bit-wide keyed Feistel network costing < 128 logic
+//    gates (Section 5.4, following Start-Gap's randomized variant [10]).
+//
+// The TWL engine in src/wl/tossup_wl.* uses Feistel8 so that the simulated
+// toss-up consumes exactly the randomness the proposed hardware would have.
+#pragma once
+
+#include <cstdint>
+
+namespace twl {
+
+/// SplitMix64 (Steele et al.). Used to expand a user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xorshift64* (Vigna). The workhorse generator for simulation decisions.
+class XorShift64Star {
+ public:
+  explicit XorShift64Star(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Standard normal via Box–Muller (cached second draw).
+  double next_gaussian();
+
+ private:
+  std::uint64_t state_;
+  double cached_gaussian_ = 0.0;
+  bool has_cached_ = false;
+};
+
+/// 8-bit keyed Feistel network, 4 rounds, 4-bit halves.
+///
+/// This is the gate-level RNG costed in Section 5.4 (< 128 gates). Each
+/// call encrypts an incrementing counter under per-round keys, yielding a
+/// pseudo-random byte; `next_alpha()` maps it to [0, 1) for the toss-up
+/// comparison against E_A / (E_A + E_B).
+class Feistel8 {
+ public:
+  explicit Feistel8(std::uint64_t seed);
+
+  /// Next pseudo-random byte.
+  std::uint8_t next_byte();
+
+  /// Next alpha in [0, 1) with 8-bit resolution, as the hardware would
+  /// produce (the comparator in Figure 4(b) is 8 bits wide).
+  double next_alpha();
+
+  /// Encrypt a single byte (exposed for the bijectivity property test:
+  /// a Feistel network is a permutation of its domain).
+  [[nodiscard]] std::uint8_t encrypt(std::uint8_t plaintext) const;
+
+  static constexpr int kRounds = 4;
+
+ private:
+  /// 4-bit round function: a tiny keyed S-box-like mix, implementable in a
+  /// handful of gates.
+  [[nodiscard]] static std::uint8_t round_fn(std::uint8_t half,
+                                             std::uint8_t key);
+
+  std::uint8_t keys_[kRounds] = {};
+  std::uint8_t counter_ = 0;
+};
+
+}  // namespace twl

@@ -1,0 +1,60 @@
+// Fixed-capacity inline vector.
+//
+// Write plans produced by wear levelers contain at most a handful of
+// physical page writes (a demand write plus up to two migration writes, or
+// a refresh swap).  Returning them in a heap-allocating std::vector on the
+// per-write fast path of a lifetime simulation would dominate the profile,
+// so plans use this trivially-copyable inline container instead.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+
+namespace twl {
+
+template <class T, std::size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+
+  SmallVec(std::initializer_list<T> init) {
+    assert(init.size() <= N);
+    for (const T& v : init) push_back(v);
+  }
+
+  void push_back(const T& v) {
+    assert(size_ < N && "SmallVec capacity exceeded");
+    items_[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] static constexpr std::size_t capacity() { return N; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return items_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return items_[i];
+  }
+
+  iterator begin() { return items_.data(); }
+  iterator end() { return items_.data() + size_; }
+  const_iterator begin() const { return items_.data(); }
+  const_iterator end() const { return items_.data() + size_; }
+
+ private:
+  std::array<T, N> items_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace twl

@@ -1,0 +1,66 @@
+// Streaming statistics used by the simulators and report generators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace twl {
+
+/// Welford-style running mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< Sample variance (n-1).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Geometric mean of strictly positive values. The paper reports Gmean
+/// across attacks (Figure 6) and benchmarks (Figures 8/9).
+[[nodiscard]] double geomean(std::span<const double> values);
+
+/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to the
+/// edge bins. Used for wear distribution reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const;
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Value below which `q` (in [0,1]) of the mass lies, interpolated
+  /// within the containing bin.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Coefficient of variation (stddev / mean) of a set of values; the
+/// standard single-number summary of how even a wear distribution is.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> values);
+
+}  // namespace twl

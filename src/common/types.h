@@ -1,0 +1,76 @@
+// Core strong types shared by every module.
+//
+// The paper (and the wear-leveling literature it builds on) is careful to
+// distinguish *logical* page addresses (what the program writes) from
+// *physical* page addresses (which PCM page actually takes the write).
+// Mixing the two spaces is the classic bug in wear-leveling code, so both
+// are strong types here: converting between them requires going through a
+// RemappingTable.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace twl {
+
+/// Count of clock cycles at the memory controller's clock.
+using Cycles = std::uint64_t;
+
+/// Count of writes (demand writes or physical page writes).
+using WriteCount = std::uint64_t;
+
+namespace detail {
+
+/// CRTP-free strong integer wrapper. Tag makes LogicalPageAddr and
+/// PhysicalPageAddr distinct, non-convertible types.
+template <class Tag>
+class PageAddr {
+ public:
+  using value_type = std::uint32_t;
+
+  PageAddr() = default;
+  constexpr explicit PageAddr(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+
+  friend constexpr auto operator<=>(PageAddr, PageAddr) = default;
+
+ private:
+  value_type value_ = 0;
+};
+
+}  // namespace detail
+
+struct LogicalTag {};
+struct PhysicalTag {};
+
+/// Page address in the program-visible (logical) space.
+using LogicalPageAddr = detail::PageAddr<LogicalTag>;
+/// Page address in the device (physical) space.
+using PhysicalPageAddr = detail::PageAddr<PhysicalTag>;
+
+/// Sentinel used for "no page" (e.g. unpaired entries).
+inline constexpr std::uint32_t kInvalidPage =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Memory operation type, as issued by programs and attackers.
+enum class Op : std::uint8_t { kRead, kWrite };
+
+/// A single memory request at page granularity (the paper assumes
+/// page-granularity writes with data-comparison write, Section 4.4).
+struct MemoryRequest {
+  Op op = Op::kRead;
+  LogicalPageAddr addr{};
+};
+
+}  // namespace twl
+
+template <class Tag>
+struct std::hash<twl::detail::PageAddr<Tag>> {
+  std::size_t operator()(twl::detail::PageAddr<Tag> a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,41 @@
+#include "pcm/device.h"
+
+#include <cassert>
+
+namespace twl {
+
+PcmDevice::PcmDevice(EnduranceMap endurance)
+    : endurance_(std::move(endurance)), wear_(endurance_.pages(), 0) {}
+
+bool PcmDevice::write(PhysicalPageAddr pa) {
+  assert(pa.value() < wear_.size());
+  ++total_writes_;
+  const WriteCount w = ++wear_[pa.value()];
+  if (w == endurance_.endurance(pa) && !first_failure_) {
+    first_failure_ = pa;
+    writes_at_failure_ = total_writes_;
+    return true;
+  }
+  return w >= endurance_.endurance(pa);
+}
+
+std::vector<double> PcmDevice::wear_fractions() const {
+  std::vector<double> out;
+  out.reserve(wear_.size());
+  for (std::size_t i = 0; i < wear_.size(); ++i) {
+    out.push_back(static_cast<double>(wear_[i]) /
+                  static_cast<double>(
+                      endurance_.endurance(PhysicalPageAddr(
+                          static_cast<std::uint32_t>(i)))));
+  }
+  return out;
+}
+
+void PcmDevice::reset_wear() {
+  std::fill(wear_.begin(), wear_.end(), 0);
+  total_writes_ = 0;
+  first_failure_.reset();
+  writes_at_failure_.reset();
+}
+
+}  // namespace twl

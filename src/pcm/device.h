@@ -1,0 +1,72 @@
+// PCM device wear model.
+//
+// Tracks per-page write counts against the EnduranceMap and reports the
+// first permanent failure (the lifetime event every experiment in the
+// paper measures). Data contents are not stored — data-comparison write
+// [16] is modeled in the timing layer, and no experiment depends on the
+// stored bytes — but the device asserts address validity and exposes the
+// full wear distribution for analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "pcm/endurance.h"
+
+namespace twl {
+
+class PcmDevice {
+ public:
+  explicit PcmDevice(EnduranceMap endurance);
+
+  /// Apply one page write. Returns true if this write wore the page out
+  /// (write count reached its endurance) — the first such event is latched
+  /// as the device failure.
+  bool write(PhysicalPageAddr pa);
+
+  [[nodiscard]] std::uint64_t pages() const { return endurance_.pages(); }
+  [[nodiscard]] WriteCount writes(PhysicalPageAddr pa) const {
+    return wear_[pa.value()];
+  }
+  [[nodiscard]] std::uint64_t endurance(PhysicalPageAddr pa) const {
+    return endurance_.endurance(pa);
+  }
+  [[nodiscard]] const EnduranceMap& endurance_map() const {
+    return endurance_;
+  }
+
+  [[nodiscard]] bool worn_out(PhysicalPageAddr pa) const {
+    return wear_[pa.value()] >= endurance_.endurance(pa);
+  }
+
+  /// True once any page has failed.
+  [[nodiscard]] bool failed() const { return first_failure_.has_value(); }
+  [[nodiscard]] std::optional<PhysicalPageAddr> first_failed_page() const {
+    return first_failure_;
+  }
+  /// Total physical page writes applied when the first page failed.
+  [[nodiscard]] std::optional<WriteCount> writes_at_first_failure() const {
+    return writes_at_failure_;
+  }
+
+  /// Total physical page writes applied so far (demand + migration).
+  [[nodiscard]] WriteCount total_writes() const { return total_writes_; }
+
+  /// Fraction of each page's endurance consumed; the standard wear-map
+  /// view for reports.
+  [[nodiscard]] std::vector<double> wear_fractions() const;
+
+  /// Reset wear (new device, same PV map).
+  void reset_wear();
+
+ private:
+  EnduranceMap endurance_;
+  std::vector<WriteCount> wear_;
+  WriteCount total_writes_ = 0;
+  std::optional<PhysicalPageAddr> first_failure_;
+  std::optional<WriteCount> writes_at_failure_;
+};
+
+}  // namespace twl

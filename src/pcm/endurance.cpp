@@ -1,0 +1,80 @@
+#include "pcm/endurance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace twl {
+
+EnduranceMap::EnduranceMap(std::uint64_t pages, const EnduranceParams& params,
+                           std::uint64_t seed) {
+  assert(pages > 0);
+  values_.reserve(pages);
+  XorShift64Star rng(seed ^ 0xE4D0'7A11'CE11'5EEDULL);
+  const double sigma = params.mean * params.sigma_frac;
+  const double floor = std::max(1.0, params.mean * 0.01);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    const double e = params.mean + sigma * rng.next_gaussian();
+    values_.push_back(static_cast<std::uint64_t>(std::max(e, floor)));
+  }
+  total_ = std::accumulate(values_.begin(), values_.end(), std::uint64_t{0});
+}
+
+EnduranceMap EnduranceMap::from_line_model(std::uint64_t pages,
+                                           std::uint32_t lines_per_page,
+                                           const EnduranceParams& line_params,
+                                           double dcw_fraction,
+                                           std::uint64_t seed) {
+  assert(pages > 0 && lines_per_page > 0);
+  assert(dcw_fraction > 0.0 && dcw_fraction <= 1.0);
+  XorShift64Star rng(seed ^ 0x11FE'11FEULL);
+  const double sigma = line_params.mean * line_params.sigma_frac;
+  const double floor = std::max(1.0, line_params.mean * 0.01);
+  std::vector<std::uint64_t> page_endurance;
+  page_endurance.reserve(pages);
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    double weakest = std::numeric_limits<double>::max();
+    for (std::uint32_t l = 0; l < lines_per_page; ++l) {
+      const double e =
+          std::max(line_params.mean + sigma * rng.next_gaussian(), floor);
+      weakest = std::min(weakest, e);
+    }
+    // Each page write only touches a line with probability dcw_fraction,
+    // so the weakest line survives ~1/dcw times more page writes.
+    page_endurance.push_back(
+        static_cast<std::uint64_t>(std::max(1.0, weakest / dcw_fraction)));
+  }
+  return EnduranceMap(std::move(page_endurance));
+}
+
+EnduranceMap::EnduranceMap(std::vector<std::uint64_t> values)
+    : values_(std::move(values)) {
+  assert(!values_.empty());
+  total_ = std::accumulate(values_.begin(), values_.end(), std::uint64_t{0});
+}
+
+std::vector<PhysicalPageAddr> EnduranceMap::sorted_by_endurance() const {
+  std::vector<PhysicalPageAddr> order;
+  order.reserve(values_.size());
+  for (std::uint32_t i = 0; i < values_.size(); ++i) {
+    order.emplace_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [this](PhysicalPageAddr a, PhysicalPageAddr b) {
+                     return values_[a.value()] < values_[b.value()];
+                   });
+  return order;
+}
+
+std::uint64_t EnduranceMap::min_endurance() const {
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+std::uint64_t EnduranceMap::max_endurance() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+}  // namespace twl

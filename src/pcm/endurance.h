@@ -1,0 +1,63 @@
+// Process-variation endurance model.
+//
+// Section 5.1: per-page endurance follows a Gaussian with mean 1e8 and a
+// standard deviation of 11% of the mean, tested by the manufacturer and
+// stored at page granularity. EnduranceMap is that manufacturer-test
+// result: the ground-truth writes-to-failure of each physical page.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace twl {
+
+class EnduranceMap {
+ public:
+  /// Draws per-page endurance from N(mean, (sigma_frac*mean)^2), truncated
+  /// below at 1% of the mean (a page with zero or negative endurance is a
+  /// manufacturing reject, not a PV sample).
+  EnduranceMap(std::uint64_t pages, const EnduranceParams& params,
+               std::uint64_t seed);
+
+  /// Construct from explicit values (tests, deterministic scenarios).
+  explicit EnduranceMap(std::vector<std::uint64_t> values);
+
+  /// Line-granularity PV model: each page consists of `lines_per_page`
+  /// lines whose endurance is drawn i.i.d. from `line_params`, and a page
+  /// write touches each line with probability `dcw_fraction` (data-
+  /// comparison write [16]). The page fails when its weakest line does,
+  /// i.e. after ~min_i(E_i) / dcw_fraction page writes. Compared to the
+  /// page-granularity model the effective distribution is min-of-n:
+  /// lower mean, tighter spread — the ablation bench quantifies the
+  /// lifetime consequences.
+  [[nodiscard]] static EnduranceMap from_line_model(
+      std::uint64_t pages, std::uint32_t lines_per_page,
+      const EnduranceParams& line_params, double dcw_fraction,
+      std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t endurance(PhysicalPageAddr pa) const {
+    return values_[pa.value()];
+  }
+  [[nodiscard]] std::uint64_t pages() const { return values_.size(); }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& values() const {
+    return values_;
+  }
+
+  /// Physical addresses sorted ascending by endurance (weakest first).
+  /// Used by SWP pairing and by wear-rate leveling's swap phase.
+  [[nodiscard]] std::vector<PhysicalPageAddr> sorted_by_endurance() const;
+
+  [[nodiscard]] std::uint64_t total_endurance() const { return total_; }
+  [[nodiscard]] std::uint64_t min_endurance() const;
+  [[nodiscard]] std::uint64_t max_endurance() const;
+
+ private:
+  std::vector<std::uint64_t> values_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace twl

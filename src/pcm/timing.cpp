@@ -1,0 +1,41 @@
+#include "pcm/timing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace twl {
+
+PcmTiming::PcmTiming(const PcmGeometry& geometry,
+                     const PcmTimingParams& params)
+    : banks_(std::max<std::uint32_t>(1, geometry.banks)),
+      bank_busy_until_(banks_, 0) {
+  const double lines = geometry.lines_per_page();
+  const auto write_batches = static_cast<Cycles>(
+      std::ceil(lines * kDcwFraction / kWriteParallelism));
+  const auto read_batches =
+      static_cast<Cycles>(std::ceil(lines / kReadParallelism));
+  page_write_cycles_ =
+      std::max<Cycles>(1, write_batches) * params.line_write_latency();
+  page_read_cycles_ = std::max<Cycles>(1, read_batches) * params.read_latency;
+}
+
+ServiceResult PcmTiming::service(PhysicalPageAddr pa, Op op, Cycles now) {
+  const std::uint32_t bank = bank_of(pa);
+  const Cycles start = std::max(now, bank_busy_until_[bank]);
+  const Cycles cost =
+      op == Op::kWrite ? page_write_cycles_ : page_read_cycles_;
+  const Cycles done = start + cost;
+  bank_busy_until_[bank] = done;
+  return {start, done};
+}
+
+void PcmTiming::block_all_until(Cycles until) {
+  for (Cycles& b : bank_busy_until_) b = std::max(b, until);
+}
+
+void PcmTiming::reset() {
+  std::fill(bank_busy_until_.begin(), bank_busy_until_.end(), Cycles{0});
+}
+
+}  // namespace twl

@@ -1,0 +1,39 @@
+#include "sim/attack_sim.h"
+
+namespace twl {
+
+AttackSimulator::AttackSimulator(const Config& config)
+    : config_(config),
+      endurance_(config.geometry.pages(), config.endurance, config.seed) {}
+
+AttackResult AttackSimulator::run(Scheme scheme, AttackProgram& attack,
+                                  WriteCount max_demand) {
+  PcmDevice device{endurance_};
+  const auto wl = make_wear_leveler(scheme, endurance_, config_);
+  MemoryController controller(device, *wl, config_, /*enable_timing=*/true);
+
+  const std::uint64_t space = wl->logical_pages();
+  Cycles now = 0;
+  Cycles last_latency = 0;
+  while (!device.failed() &&
+         controller.stats().demand_writes < max_demand) {
+    MemoryRequest req = attack.next(last_latency);
+    req.addr = LogicalPageAddr(req.addr.value() % space);
+    last_latency = controller.submit(req, now);
+    now += last_latency;  // Back-to-back issue, as fast as the memory allows.
+  }
+
+  AttackResult result;
+  result.failed = device.failed();
+  result.demand_writes = controller.stats().demand_writes;
+  result.fraction_of_ideal =
+      static_cast<double>(result.demand_writes) /
+      static_cast<double>(endurance_.total_endurance());
+  result.end_time = now;
+  result.stats = controller.stats();
+  result.scheme = wl->name();
+  result.attack = attack.name();
+  return result;
+}
+
+}  // namespace twl

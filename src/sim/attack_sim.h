@@ -1,0 +1,45 @@
+// Attack simulation.
+//
+// Closed-loop adversary: the attack program issues its next request as
+// soon as the previous one completes, observing each response latency —
+// the timing side channel that lets it detect swap phases. The run ends
+// when a page wears out (or at the write cap), mirroring Figure 6's
+// "lifetime under attacks" experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "attack/attacks.h"
+#include "common/config.h"
+#include "pcm/endurance.h"
+#include "sim/memory_controller.h"
+#include "wl/factory.h"
+
+namespace twl {
+
+struct AttackResult {
+  bool failed = false;
+  WriteCount demand_writes = 0;
+  double fraction_of_ideal = 0.0;
+  Cycles end_time = 0;
+  ControllerStats stats;
+  std::string scheme;
+  std::string attack;
+};
+
+class AttackSimulator {
+ public:
+  explicit AttackSimulator(const Config& config);
+
+  AttackResult run(Scheme scheme, AttackProgram& attack,
+                   WriteCount max_demand);
+
+  [[nodiscard]] const EnduranceMap& endurance() const { return endurance_; }
+
+ private:
+  Config config_;
+  EnduranceMap endurance_;
+};
+
+}  // namespace twl

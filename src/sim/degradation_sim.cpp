@@ -1,0 +1,64 @@
+#include "sim/degradation_sim.h"
+
+#include <cassert>
+
+namespace twl {
+
+DegradationSimulator::DegradationSimulator(const Config& config)
+    : config_(config),
+      endurance_(config.geometry.pages(), config.endurance, config.seed) {}
+
+DegradationResult DegradationSimulator::run(WearLeveler& wl,
+                                            RequestSource& source,
+                                            double alive_floor_frac,
+                                            WriteCount max_demand) {
+  assert(alive_floor_frac > 0.0 && alive_floor_frac < 1.0);
+  PcmDevice device(endurance_);
+  MemoryController controller(device, wl, config_, /*enable_timing=*/false);
+
+  const auto total_pages = static_cast<std::uint32_t>(device.pages());
+  const auto dead_limit = static_cast<std::uint32_t>(
+      static_cast<double>(total_pages) * (1.0 - alive_floor_frac));
+
+  DegradationResult result;
+  result.scheme = wl.name();
+
+  const std::uint64_t space = wl.logical_pages();
+  auto count_dead = [&] {
+    std::uint32_t dead = 0;
+    for (std::uint32_t p = 0; p < total_pages; ++p) {
+      if (device.worn_out(PhysicalPageAddr(p))) ++dead;
+    }
+    return dead;
+  };
+
+  WriteCount next_sample = 1;
+  while (controller.stats().demand_writes < max_demand) {
+    MemoryRequest req = source.next();
+    if (req.op != Op::kWrite) continue;
+    req.addr = LogicalPageAddr(req.addr.value() % space);
+    controller.submit(req, 0);
+
+    const WriteCount demand = controller.stats().demand_writes;
+    if (result.first_failure_writes == 0 && device.failed()) {
+      result.first_failure_writes = *device.writes_at_first_failure();
+    }
+    if (demand >= next_sample) {
+      next_sample = next_sample + next_sample / 4 + 1;  // ~Geometric.
+      const std::uint32_t dead = count_dead();
+      result.curve.push_back({demand, dead});
+      if (dead >= dead_limit) {
+        result.reached_floor = true;
+        result.floor_writes = demand;
+        break;
+      }
+    }
+  }
+  if (!result.reached_floor) {
+    result.floor_writes = controller.stats().demand_writes;
+  }
+  result.stats = controller.stats();
+  return result;
+}
+
+}  // namespace twl

@@ -1,0 +1,38 @@
+#include "sim/lifetime_sim.h"
+
+namespace twl {
+
+LifetimeSimulator::LifetimeSimulator(const Config& config)
+    : config_(config),
+      endurance_(config.geometry.pages(), config.endurance, config.seed) {}
+
+LifetimeResult LifetimeSimulator::run(Scheme scheme, RequestSource& source,
+                                      WriteCount max_demand) {
+  PcmDevice device{endurance_};
+  const auto wl = make_wear_leveler(scheme, endurance_, config_);
+  MemoryController controller(device, *wl, config_, /*enable_timing=*/false);
+
+  const std::uint64_t space = wl->logical_pages();
+  while (!device.failed() &&
+         controller.stats().demand_writes < max_demand) {
+    MemoryRequest req = source.next();
+    if (req.op != Op::kWrite) continue;  // Reads cause no wear.
+    req.addr = LogicalPageAddr(req.addr.value() % space);
+    controller.submit(req, 0);
+  }
+
+  LifetimeResult result;
+  result.failed = device.failed();
+  result.demand_writes = controller.stats().demand_writes;
+  result.physical_writes = controller.stats().physical_writes();
+  result.fraction_of_ideal =
+      static_cast<double>(result.demand_writes) /
+      static_cast<double>(endurance_.total_endurance());
+  result.wear = summarize_wear(device);
+  result.stats = controller.stats();
+  result.scheme = wl->name();
+  result.workload = source.name();
+  return result;
+}
+
+}  // namespace twl

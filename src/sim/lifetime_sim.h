@@ -1,0 +1,58 @@
+// Whole-lifetime simulation.
+//
+// Drives a workload through a scheme + device (timing disabled) until the
+// first page fails, and reports the lifetime as a *fraction of ideal*:
+// demand writes absorbed before first failure divided by the device's
+// total endurance. That fraction is the scale-invariant quantity behind
+// Figures 6 and 8 (years = fraction x the ideal lifetime of the real
+// system; see analysis/extrapolate.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/wear_report.h"
+#include "common/config.h"
+#include "pcm/endurance.h"
+#include "sim/memory_controller.h"
+#include "trace/synthetic.h"
+#include "wl/factory.h"
+
+namespace twl {
+
+struct LifetimeResult {
+  bool failed = false;  ///< False if the write cap was reached first.
+  WriteCount demand_writes = 0;
+  WriteCount physical_writes = 0;
+  double fraction_of_ideal = 0.0;
+  WearSummary wear;  ///< Device wear distribution at end of run.
+  ControllerStats stats;
+  std::string scheme;
+  std::string workload;
+};
+
+class LifetimeSimulator {
+ public:
+  /// The endurance map is drawn once from config and reused for every
+  /// run(), so schemes compete on the *same* device sample.
+  explicit LifetimeSimulator(const Config& config);
+
+  /// Run `scheme` against `source` until first failure or `max_demand`
+  /// demand writes. Addresses are folded into the scheme's logical space.
+  LifetimeResult run(Scheme scheme, RequestSource& source,
+                     WriteCount max_demand);
+
+  [[nodiscard]] const EnduranceMap& endurance() const { return endurance_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Demand writes needed to consume the whole device at 100% efficiency.
+  [[nodiscard]] WriteCount ideal_demand_writes() const {
+    return endurance_.total_endurance();
+  }
+
+ private:
+  Config config_;
+  EnduranceMap endurance_;
+};
+
+}  // namespace twl

@@ -1,0 +1,110 @@
+#include "sim/memory_controller.h"
+
+#include <cassert>
+
+namespace twl {
+
+WriteCount ControllerStats::physical_writes() const {
+  WriteCount total = 0;
+  for (WriteCount w : writes_by_purpose) total += w;
+  return total;
+}
+
+WriteCount ControllerStats::extra_writes() const {
+  return physical_writes() -
+         writes_by_purpose[static_cast<std::size_t>(WritePurpose::kDemand)];
+}
+
+MemoryController::MemoryController(PcmDevice& device, WearLeveler& wl,
+                                   const Config& config, bool enable_timing)
+    : device_(&device),
+      wl_(&wl),
+      timing_(config.geometry, config.timing),
+      timing_enabled_(enable_timing),
+      migration_wear_(config.migration_wear) {}
+
+void MemoryController::charge_write(PhysicalPageAddr pa,
+                                    WritePurpose purpose) {
+  if (migration_wear_ || purpose == WritePurpose::kDemand) {
+    const bool was_worn = device_->worn_out(pa);
+    device_->write(pa);
+    if (!was_worn && device_->worn_out(pa)) {
+      newly_worn_.push_back(pa);
+    }
+  }
+  ++stats_.writes_by_purpose[static_cast<std::size_t>(purpose)];
+  if (timing_enabled_) {
+    chain_ = timing_.service(pa, Op::kWrite, chain_).done;
+  }
+}
+
+void MemoryController::charge_read(PhysicalPageAddr pa) {
+  ++stats_.migration_reads;
+  if (timing_enabled_) {
+    chain_ = timing_.service(pa, Op::kRead, chain_).done;
+  }
+}
+
+void MemoryController::demand_write(PhysicalPageAddr pa, LogicalPageAddr la) {
+  (void)la;  // The data payload; wear and timing do not depend on it.
+  charge_write(pa, WritePurpose::kDemand);
+}
+
+void MemoryController::migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+                               WritePurpose purpose) {
+  charge_read(from);
+  charge_write(to, purpose);
+}
+
+void MemoryController::swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
+                                  WritePurpose purpose) {
+  // Both pages are buffered in the controller, then rewritten exchanged.
+  charge_read(a);
+  charge_read(b);
+  charge_write(a, purpose);
+  charge_write(b, purpose);
+}
+
+void MemoryController::engine_delay(Cycles cycles) {
+  if (timing_enabled_) chain_ += cycles;
+}
+
+void MemoryController::begin_blocking() {
+  in_blocking_ = true;
+  ++stats_.blocking_events;
+}
+
+void MemoryController::end_blocking() {
+  in_blocking_ = false;
+  if (timing_enabled_) {
+    // The reorganization froze the whole memory until its last operation
+    // completed (footnote 1: swaps block all requests).
+    timing_.block_all_until(chain_);
+  }
+}
+
+Cycles MemoryController::submit(const MemoryRequest& req, Cycles now) {
+  if (req.op == Op::kRead) {
+    ++stats_.reads;
+    const PhysicalPageAddr pa = wl_->map_read(req.addr);
+    if (!timing_enabled_) return 0;
+    const Cycles start = now + wl_->read_indirection_cycles();
+    return timing_.service(pa, Op::kRead, start).done - now;
+  }
+
+  ++stats_.demand_writes;
+  chain_ = timing_enabled_ ? now + wl_->read_indirection_cycles() : 0;
+  wl_->write(req.addr, *this);
+  assert(!in_blocking_ && "scheme left a blocking section open");
+
+  // Deliver permanent-failure notifications after the request completes;
+  // a salvage action may itself wear out its target, so drain the queue.
+  while (!newly_worn_.empty()) {
+    const PhysicalPageAddr failed = newly_worn_.back();
+    newly_worn_.pop_back();
+    wl_->on_page_failed(failed, *this);
+  }
+  return timing_enabled_ ? chain_ - now : 0;
+}
+
+}  // namespace twl

@@ -1,0 +1,77 @@
+// Memory controller: glues a wear-leveling scheme to the PCM device and
+// the timing model.
+//
+// It is the WriteSink the scheme's physical effects flow through: every
+// demand/migration/swap write charges wear on the device, and — when
+// timing is enabled — occupies the owning bank, so that response times
+// (including the latency spikes of blocking swap phases) are observable
+// by the caller, exactly the channel the paper's attacker uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "pcm/device.h"
+#include "pcm/timing.h"
+#include "wl/wear_leveler.h"
+
+namespace twl {
+
+struct ControllerStats {
+  WriteCount demand_writes = 0;
+  WriteCount reads = 0;
+  /// Physical page writes indexed by WritePurpose.
+  std::array<WriteCount, 6> writes_by_purpose{};
+  WriteCount migration_reads = 0;
+  std::uint64_t blocking_events = 0;
+
+  [[nodiscard]] WriteCount physical_writes() const;
+  /// Physical writes beyond the demand traffic (the wear-leveling tax).
+  [[nodiscard]] WriteCount extra_writes() const;
+};
+
+class MemoryController final : public WriteSink {
+ public:
+  /// `device` and `wl` must outlive the controller. With
+  /// `enable_timing == false`, submit() returns 0 and only wear and
+  /// counters are tracked (the fast path for whole-lifetime simulation).
+  MemoryController(PcmDevice& device, WearLeveler& wl, const Config& config,
+                   bool enable_timing);
+
+  /// Serve one request arriving at `now`; returns its response latency.
+  Cycles submit(const MemoryRequest& req, Cycles now);
+
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  [[nodiscard]] bool device_failed() const { return device_->failed(); }
+  [[nodiscard]] const PcmDevice& device() const { return *device_; }
+  [[nodiscard]] const WearLeveler& wear_leveler() const { return *wl_; }
+
+  // WriteSink implementation (called back by the scheme during submit).
+  void demand_write(PhysicalPageAddr pa, LogicalPageAddr la) override;
+  void migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+               WritePurpose purpose) override;
+  void swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
+                  WritePurpose purpose) override;
+  void engine_delay(Cycles cycles) override;
+  void begin_blocking() override;
+  void end_blocking() override;
+
+ private:
+  void charge_write(PhysicalPageAddr pa, WritePurpose purpose);
+  void charge_read(PhysicalPageAddr pa);
+
+  PcmDevice* device_;
+  WearLeveler* wl_;
+  PcmTiming timing_;
+  bool timing_enabled_;
+  bool migration_wear_;
+  Cycles chain_ = 0;  ///< Completion time of the op chain being built.
+  bool in_blocking_ = false;
+  std::vector<PhysicalPageAddr> newly_worn_;  ///< Failure notification queue.
+  ControllerStats stats_;
+};
+
+}  // namespace twl

@@ -1,0 +1,24 @@
+#include "tables/endurance_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace twl {
+
+EnduranceTable::EnduranceTable(const EnduranceMap& map,
+                               std::uint32_t entry_bits, std::uint64_t scale)
+    : entry_bits_(entry_bits), scale_(scale) {
+  assert(entry_bits > 0 && entry_bits <= 32);
+  assert(scale > 0);
+  const std::uint64_t max_entry = (entry_bits >= 32)
+                                      ? 0xFFFF'FFFFULL
+                                      : ((1ULL << entry_bits) - 1);
+  entries_.reserve(map.pages());
+  for (std::uint32_t i = 0; i < map.pages(); ++i) {
+    const std::uint64_t e = map.endurance(PhysicalPageAddr(i)) / scale;
+    entries_.push_back(
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(e, max_entry)));
+  }
+}
+
+}  // namespace twl

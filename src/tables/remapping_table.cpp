@@ -1,0 +1,42 @@
+#include "tables/remapping_table.h"
+
+#include <cassert>
+#include <utility>
+
+namespace twl {
+
+RemappingTable::RemappingTable(std::uint64_t pages) {
+  assert(pages > 0);
+  la_to_pa_.reserve(pages);
+  pa_to_la_.reserve(pages);
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    la_to_pa_.emplace_back(i);
+    pa_to_la_.emplace_back(i);
+  }
+}
+
+void RemappingTable::swap_logical(LogicalPageAddr a, LogicalPageAddr b) {
+  if (a == b) return;
+  const PhysicalPageAddr pa = la_to_pa_[a.value()];
+  const PhysicalPageAddr pb = la_to_pa_[b.value()];
+  la_to_pa_[a.value()] = pb;
+  la_to_pa_[b.value()] = pa;
+  pa_to_la_[pa.value()] = b;
+  pa_to_la_[pb.value()] = a;
+}
+
+void RemappingTable::swap_physical(PhysicalPageAddr a, PhysicalPageAddr b) {
+  if (a == b) return;
+  swap_logical(pa_to_la_[a.value()], pa_to_la_[b.value()]);
+}
+
+bool RemappingTable::is_consistent() const {
+  for (std::uint32_t la = 0; la < la_to_pa_.size(); ++la) {
+    const PhysicalPageAddr pa = la_to_pa_[la];
+    if (pa.value() >= pa_to_la_.size()) return false;
+    if (pa_to_la_[pa.value()] != LogicalPageAddr(la)) return false;
+  }
+  return true;
+}
+
+}  // namespace twl

@@ -1,0 +1,22 @@
+#include "tables/write_counter_table.h"
+
+#include <cassert>
+
+namespace twl {
+
+WriteCounterTable::WriteCounterTable(std::uint64_t pages,
+                                     std::uint32_t counter_bits)
+    : counters_(pages, 0),
+      bits_(counter_bits),
+      max_((1u << counter_bits) - 1) {
+  assert(counter_bits > 0 && counter_bits <= 8 &&
+         "WCT entries are a byte wide in this model");
+}
+
+std::uint32_t WriteCounterTable::increment(LogicalPageAddr la) {
+  std::uint8_t& c = counters_[la.value()];
+  if (c < max_) ++c;
+  return c;
+}
+
+}  // namespace twl

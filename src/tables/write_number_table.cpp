@@ -1,0 +1,27 @@
+#include "tables/write_number_table.h"
+
+#include <algorithm>
+
+namespace twl {
+
+WriteNumberTable::WriteNumberTable(std::uint64_t pages)
+    : counts_(pages, 0) {}
+
+std::vector<LogicalPageAddr> WriteNumberTable::hottest_first() const {
+  std::vector<LogicalPageAddr> order;
+  order.reserve(counts_.size());
+  for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+    order.emplace_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [this](LogicalPageAddr a, LogicalPageAddr b) {
+                     return counts_[a.value()] > counts_[b.value()];
+                   });
+  return order;
+}
+
+void WriteNumberTable::clear() {
+  std::fill(counts_.begin(), counts_.end(), WriteCount{0});
+}
+
+}  // namespace twl

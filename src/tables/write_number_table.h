@@ -1,0 +1,37 @@
+// Write number table (WNT).
+//
+// The per-logical-page write counters that prediction-based PV-aware
+// schemes accumulate during their prediction phase (Figure 1(b)). Unlike
+// the WCT these are full-width counters — prediction phases can be long —
+// and the table supports the sort the swap phase needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace twl {
+
+class WriteNumberTable {
+ public:
+  explicit WriteNumberTable(std::uint64_t pages);
+
+  void record_write(LogicalPageAddr la) { ++counts_[la.value()]; }
+
+  [[nodiscard]] WriteCount count(LogicalPageAddr la) const {
+    return counts_[la.value()];
+  }
+  [[nodiscard]] std::uint64_t pages() const { return counts_.size(); }
+
+  /// Logical addresses sorted descending by recorded write count
+  /// (hottest first) — the prediction the swap phase acts on.
+  [[nodiscard]] std::vector<LogicalPageAddr> hottest_first() const;
+
+  void clear();
+
+ private:
+  std::vector<WriteCount> counts_;
+};
+
+}  // namespace twl

@@ -1,0 +1,75 @@
+#include "trace/trace_file.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <stdexcept>
+
+namespace twl {
+
+TraceFileWriter::TraceFileWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open trace file for writing: " + path);
+  }
+  std::fprintf(file_, "# twl trace v1: '<R|W> <logical page>' per line\n");
+}
+
+TraceFileWriter::~TraceFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceFileWriter::append(const MemoryRequest& req) {
+  std::fprintf(file_, "%c %" PRIu32 "\n", req.op == Op::kWrite ? 'W' : 'R',
+               req.addr.value());
+  ++records_;
+}
+
+TraceFileSource::TraceFileSource(const std::string& path) : name_(path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  char line[128];
+  std::uint64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    ++line_no;
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
+    char op = 0;
+    std::uint32_t page = 0;
+    if (std::sscanf(line, " %c %" SCNu32, &op, &page) != 2 ||
+        (op != 'R' && op != 'W')) {
+      std::fclose(file);
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": malformed trace line");
+    }
+    records_.push_back(MemoryRequest{op == 'W' ? Op::kWrite : Op::kRead,
+                                     LogicalPageAddr(page)});
+  }
+  std::fclose(file);
+  if (records_.empty()) {
+    throw std::runtime_error("trace file has no records: " + path);
+  }
+}
+
+MemoryRequest TraceFileSource::next() {
+  const MemoryRequest req = records_[pos_];
+  if (++pos_ == records_.size()) {
+    pos_ = 0;
+    ++loops_;
+  }
+  return req;
+}
+
+RecordingSource::RecordingSource(std::unique_ptr<RequestSource> inner,
+                                 const std::string& path)
+    : inner_(std::move(inner)), writer_(path) {
+  assert(inner_ != nullptr);
+}
+
+MemoryRequest RecordingSource::next() {
+  const MemoryRequest req = inner_->next();
+  writer_.append(req);
+  return req;
+}
+
+}  // namespace twl

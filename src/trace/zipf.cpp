@@ -1,0 +1,60 @@
+#include "trace/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace twl {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : s_(s) {
+  assert(n > 0);
+  cdf_.reserve(n);
+  double cum = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    cum += std::pow(static_cast<double>(k + 1), -s);
+    cdf_.push_back(cum);
+  }
+  const double total = cdf_.back();
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against rounding.
+}
+
+std::uint64_t ZipfSampler::sample(XorShift64Star& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::top_probability() const {
+  return cdf_.front();
+}
+
+double ZipfSampler::harmonic(std::uint64_t n, double s) {
+  double h = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    h += std::pow(static_cast<double>(k), -s);
+  }
+  return h;
+}
+
+double ZipfSampler::solve_exponent_for_top_fraction(std::uint64_t n,
+                                                    double top_frac) {
+  assert(n > 1);
+  assert(top_frac > 1.0 / static_cast<double>(n) && top_frac <= 1.0);
+  // 1/H(n, s) is monotonically increasing in s: bisect.
+  double lo = 0.0;
+  double hi = 64.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double top = 1.0 / harmonic(n, mid);
+    if (top < top_frac) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace twl

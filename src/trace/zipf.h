@@ -1,0 +1,45 @@
+// Zipf-distributed page sampling.
+//
+// The PARSEC workload models express each benchmark's write-locality skew
+// as a Zipf exponent over its footprint; the exponent is *calibrated* so
+// that the hottest page's traffic share reproduces the paper's measured
+// no-wear-leveling lifetime (Table 2). See trace/parsec_model.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace twl {
+
+class ZipfSampler {
+ public:
+  /// Zipf over ranks {0, .., n-1} with P(rank k) proportional to
+  /// 1/(k+1)^s. s = 0 is uniform.
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draw a rank (0 = most popular).
+  [[nodiscard]] std::uint64_t sample(XorShift64Star& rng) const;
+
+  [[nodiscard]] double exponent() const { return s_; }
+  [[nodiscard]] std::uint64_t size() const { return cdf_.size(); }
+
+  /// Probability of the most popular rank.
+  [[nodiscard]] double top_probability() const;
+
+  /// Generalized harmonic number H(n, s).
+  [[nodiscard]] static double harmonic(std::uint64_t n, double s);
+
+  /// Solve for the exponent s such that the hottest of `n` ranks receives
+  /// a fraction `top_frac` of the traffic (i.e. 1/H(n,s) == top_frac).
+  /// top_frac must lie in (1/n, 1]. Bisection to ~1e-12.
+  [[nodiscard]] static double solve_exponent_for_top_fraction(
+      std::uint64_t n, double top_frac);
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  ///< Normalized cumulative probabilities.
+};
+
+}  // namespace twl

@@ -1,0 +1,121 @@
+#include "wl/attack_guard.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace twl {
+
+namespace {
+
+/// The inner scheme tags demand writes with *its* logical addresses;
+/// translate them back to program addresses so downstream observers (the
+/// controller, integrity-checking test sinks) see the data's true owner.
+class TagTranslatingSink final : public WriteSink {
+ public:
+  TagTranslatingSink(const std::vector<std::uint32_t>& inverse_perm,
+                     WriteSink& downstream)
+      : inverse_perm_(inverse_perm), downstream_(downstream) {}
+
+  void demand_write(PhysicalPageAddr pa, LogicalPageAddr la) override {
+    downstream_.demand_write(pa, LogicalPageAddr(inverse_perm_[la.value()]));
+  }
+  void migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+               WritePurpose purpose) override {
+    downstream_.migrate(from, to, purpose);
+  }
+  void swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
+                  WritePurpose purpose) override {
+    downstream_.swap_pages(a, b, purpose);
+  }
+  void engine_delay(Cycles cycles) override {
+    downstream_.engine_delay(cycles);
+  }
+  void begin_blocking() override { downstream_.begin_blocking(); }
+  void end_blocking() override { downstream_.end_blocking(); }
+
+ private:
+  const std::vector<std::uint32_t>& inverse_perm_;
+  WriteSink& downstream_;
+};
+
+}  // namespace
+
+AttackGuard::AttackGuard(std::unique_ptr<WearLeveler> inner,
+                         const AttackGuardParams& params, std::uint64_t seed)
+    : inner_(std::move(inner)),
+      params_(params),
+      window_filter_(params.filter_bits, params.num_hashes,
+                     seed ^ 0x6A2D'0001ULL),
+      rng_(seed ^ 0x6A2D'0002ULL),
+      perm_(inner_->logical_pages()),
+      inverse_perm_(inner_->logical_pages()) {
+  assert(params_.hot_share_threshold > 0 &&
+         params_.hot_share_threshold <= 1.0);
+  std::iota(perm_.begin(), perm_.end(), 0u);
+  std::iota(inverse_perm_.begin(), inverse_perm_.end(), 0u);
+}
+
+void AttackGuard::scramble(LogicalPageAddr program_la, WriteSink& sink) {
+  // Exchange the offender's guard-level slot with a random one: its data
+  // and the victim slot's data swap physical places through the inner
+  // mapping, and the permutation records the exchange.
+  const auto other = static_cast<std::uint32_t>(
+      rng_.next_below(perm_.size()));
+  const std::uint32_t self = program_la.value();
+  if (other == self) return;
+  const LogicalPageAddr inner_a(perm_[self]);
+  const LogicalPageAddr inner_b(perm_[other]);
+  sink.swap_pages(inner_->map_read(inner_a), inner_->map_read(inner_b),
+                  WritePurpose::kInterPairSwap);
+  std::swap(perm_[self], perm_[other]);
+  inverse_perm_[perm_[self]] = self;
+  inverse_perm_[perm_[other]] = other;
+  ++stats_.scrambles;
+}
+
+void AttackGuard::write(LogicalPageAddr la, WriteSink& sink) {
+  window_filter_.increment(la);
+  sink.engine_delay(10);  // Window filter update.
+
+  const std::uint32_t est = window_filter_.estimate(la);
+  const auto threshold = static_cast<std::uint32_t>(
+      params_.hot_share_threshold *
+      static_cast<double>(params_.window_writes));
+  if (est > threshold) {
+    // This address's share of the window marks the stream as malicious.
+    ++stats_.suspicious_writes;
+    sink.engine_delay(params_.throttle_cycles);
+    if (++suspicious_run_ % params_.scramble_interval == 0) {
+      scramble(la, sink);
+    }
+  }
+
+  if (++window_progress_ >= params_.window_writes) {
+    window_progress_ = 0;
+    suspicious_run_ = 0;
+    window_filter_.clear();
+    ++stats_.windows;
+  }
+
+  TagTranslatingSink translating(inverse_perm_, sink);
+  inner_->write(LogicalPageAddr(perm_[la.value()]), translating);
+}
+
+bool AttackGuard::invariants_hold() const {
+  if (!inner_->invariants_hold()) return false;
+  for (std::uint32_t i = 0; i < perm_.size(); ++i) {
+    if (perm_[i] >= perm_.size()) return false;
+    if (inverse_perm_[perm_[i]] != i) return false;
+  }
+  return true;
+}
+
+void AttackGuard::append_stats(
+    std::vector<std::pair<std::string, double>>& out) const {
+  inner_->append_stats(out);
+  out.emplace_back("guard_suspicious",
+                   static_cast<double>(stats_.suspicious_writes));
+  out.emplace_back("guard_scrambles", static_cast<double>(stats_.scrambles));
+}
+
+}  // namespace twl

@@ -1,0 +1,98 @@
+// Online detection of malicious write streams (Qureshi et al., HPCA'11 —
+// the paper's reference [11], the source of its repeat/random/scan attack
+// modes).
+//
+// The idea: most wear-out attacks concentrate writes far beyond what any
+// benign workload sustains. A small online estimator watches the write
+// stream; when some address's share of the recent window exceeds a
+// threshold, the guard (a) throttles the offending writes (a latency
+// penalty the attacker pays, benign traffic does not) and (b) scrambles
+// the offender's placement with an immediate random swap, giving the
+// memory an adaptive wear-leveling rate exactly when it is under attack.
+//
+// Implemented as a decorator in *logical* space over any inner scheme:
+// the guard keeps its own logical permutation, so its protective swaps
+// compose with TWL/SR/etc. without touching their internals.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "wl/bloom_filter.h"
+#include "wl/wear_leveler.h"
+
+namespace twl {
+
+struct AttackGuardParams {
+  std::uint64_t window_writes = 4096;  ///< Sliding estimation window.
+  /// An address taking more than this share of the window is malicious.
+  double hot_share_threshold = 0.05;
+  /// Extra latency charged to each suspicious write (cycles).
+  Cycles throttle_cycles = 10000;
+  /// One protective random swap per this many suspicious writes.
+  std::uint32_t scramble_interval = 64;
+  std::uint32_t filter_bits = 1u << 12;
+  std::uint32_t num_hashes = 4;
+};
+
+struct AttackGuardStats {
+  std::uint64_t suspicious_writes = 0;
+  std::uint64_t scrambles = 0;
+  std::uint64_t windows = 0;
+};
+
+class AttackGuard final : public WearLeveler {
+ public:
+  AttackGuard(std::unique_ptr<WearLeveler> inner,
+              const AttackGuardParams& params, std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override {
+    return "Guard(" + inner_->name() + ")";
+  }
+  [[nodiscard]] std::uint64_t logical_pages() const override {
+    return perm_.size();
+  }
+
+  [[nodiscard]] PhysicalPageAddr map_read(LogicalPageAddr la) const override {
+    return inner_->map_read(LogicalPageAddr(perm_[la.value()]));
+  }
+
+  void write(LogicalPageAddr la, WriteSink& sink) override;
+
+  void on_page_failed(PhysicalPageAddr pa, WriteSink& sink) override {
+    inner_->on_page_failed(pa, sink);
+  }
+
+  [[nodiscard]] Cycles read_indirection_cycles() const override {
+    return inner_->read_indirection_cycles() + 10;  // Permutation table.
+  }
+  [[nodiscard]] std::uint32_t storage_bits_per_page() const override {
+    return inner_->storage_bits_per_page() + 23;  // Permutation entry.
+  }
+
+  [[nodiscard]] bool invariants_hold() const override;
+
+  void append_stats(
+      std::vector<std::pair<std::string, double>>& out) const override;
+
+  [[nodiscard]] const AttackGuardStats& guard_stats() const { return stats_; }
+
+ private:
+  void scramble(LogicalPageAddr inner_la, WriteSink& sink);
+
+  std::unique_ptr<WearLeveler> inner_;
+  AttackGuardParams params_;
+  CountingBloomFilter window_filter_;
+  XorShift64Star rng_;
+  /// Guard-level logical permutation: program LA -> inner LA.
+  std::vector<std::uint32_t> perm_;
+  std::vector<std::uint32_t> inverse_perm_;
+  std::uint64_t window_progress_ = 0;
+  std::uint64_t suspicious_run_ = 0;
+  AttackGuardStats stats_;
+};
+
+}  // namespace twl

@@ -1,0 +1,56 @@
+#include "wl/bloom_filter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace twl {
+
+CountingBloomFilter::CountingBloomFilter(std::uint32_t width,
+                                         std::uint32_t num_hashes,
+                                         std::uint64_t seed)
+    : width_(width), num_hashes_(num_hashes), counters_(width, 0) {
+  assert(width > 0 && num_hashes > 0);
+  SplitMix64 sm(seed ^ 0xB100'F11EULL);
+  hash_seeds_.reserve(num_hashes);
+  for (std::uint32_t i = 0; i < num_hashes; ++i) {
+    hash_seeds_.push_back(sm.next() | 1);
+  }
+}
+
+std::uint32_t CountingBloomFilter::index(LogicalPageAddr la,
+                                         std::uint32_t hash_id) const {
+  // Multiply-shift universal hashing. The constant offset keeps key 0
+  // from degenerating to the same slot under every hash function.
+  const std::uint64_t h =
+      (la.value() + 0x9E37'79B9'7F4A'7C15ULL) * hash_seeds_[hash_id];
+  return static_cast<std::uint32_t>(
+      (static_cast<unsigned __int128>(h ^ (h >> 31)) * width_) >> 64);
+}
+
+void CountingBloomFilter::increment(LogicalPageAddr la) {
+  for (std::uint32_t i = 0; i < num_hashes_; ++i) {
+    std::uint16_t& c = counters_[index(la, i)];
+    if (c < std::numeric_limits<std::uint16_t>::max()) ++c;
+  }
+}
+
+std::uint32_t CountingBloomFilter::estimate(LogicalPageAddr la) const {
+  std::uint32_t est = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t i = 0; i < num_hashes_; ++i) {
+    est = std::min<std::uint32_t>(est, counters_[index(la, i)]);
+  }
+  return est;
+}
+
+void CountingBloomFilter::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+}
+
+void CountingBloomFilter::decay() {
+  for (std::uint16_t& c : counters_) c = static_cast<std::uint16_t>(c >> 1);
+}
+
+}  // namespace twl

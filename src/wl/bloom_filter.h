@@ -1,0 +1,50 @@
+// Counting Bloom filter (count-min flavour).
+//
+// The write-frequency estimator BWL [13] uses instead of a full write
+// number table: k hash functions index a shared counter array; the
+// estimate of a key's count is the minimum over its k counters, which
+// never under-counts and over-counts only on hash collisions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace twl {
+
+class CountingBloomFilter {
+ public:
+  CountingBloomFilter(std::uint32_t width, std::uint32_t num_hashes,
+                      std::uint64_t seed);
+
+  void increment(LogicalPageAddr la);
+
+  /// Count-min estimate; >= true count, with overestimation probability
+  /// shrinking with width and num_hashes.
+  [[nodiscard]] std::uint32_t estimate(LogicalPageAddr la) const;
+
+  void clear();
+
+  /// Halve every counter (aging decay).
+  void decay();
+
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint32_t num_hashes() const { return num_hashes_; }
+
+  /// Storage cost in bits (16-bit counters).
+  [[nodiscard]] std::uint64_t storage_bits() const {
+    return static_cast<std::uint64_t>(width_) * 16;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t index(LogicalPageAddr la,
+                                    std::uint32_t hash_id) const;
+
+  std::uint32_t width_;
+  std::uint32_t num_hashes_;
+  std::vector<std::uint64_t> hash_seeds_;
+  std::vector<std::uint16_t> counters_;
+};
+
+}  // namespace twl

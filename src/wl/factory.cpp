@@ -1,0 +1,124 @@
+#include "wl/factory.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "wl/attack_guard.h"
+#include "wl/bloom_wl.h"
+#include "wl/no_wl.h"
+#include "wl/od3p.h"
+#include "wl/rbsg.h"
+#include "wl/security_refresh.h"
+#include "wl/start_gap.h"
+#include "wl/tossup_wl.h"
+#include "wl/wear_rate_leveling.h"
+
+namespace twl {
+
+std::string to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kNoWl:
+      return "NOWL";
+    case Scheme::kStartGap:
+      return "StartGap";
+    case Scheme::kRbsg:
+      return "RBSG";
+    case Scheme::kSecurityRefresh:
+      return "SR";
+    case Scheme::kWearRateLeveling:
+      return "WRL";
+    case Scheme::kBloomWl:
+      return "BWL";
+    case Scheme::kTossUpAdjacent:
+      return "TWL_ap";
+    case Scheme::kTossUpStrongWeak:
+      return "TWL_swp";
+    case Scheme::kTossUpRandomPair:
+      return "TWL_rnd";
+  }
+  return "unknown";
+}
+
+Scheme parse_scheme(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "nowl" || lower == "none") return Scheme::kNoWl;
+  if (lower == "startgap" || lower == "start-gap") return Scheme::kStartGap;
+  if (lower == "rbsg") return Scheme::kRbsg;
+  if (lower == "sr") return Scheme::kSecurityRefresh;
+  if (lower == "wrl") return Scheme::kWearRateLeveling;
+  if (lower == "bwl") return Scheme::kBloomWl;
+  if (lower == "twl_ap") return Scheme::kTossUpAdjacent;
+  if (lower == "twl" || lower == "twl_swp") return Scheme::kTossUpStrongWeak;
+  if (lower == "twl_rnd") return Scheme::kTossUpRandomPair;
+  throw std::invalid_argument("unknown wear-leveling scheme: " + name);
+}
+
+std::vector<Scheme> all_schemes() {
+  return {Scheme::kBloomWl,          Scheme::kSecurityRefresh,
+          Scheme::kWearRateLeveling, Scheme::kStartGap, Scheme::kRbsg,
+          Scheme::kTossUpAdjacent,   Scheme::kTossUpStrongWeak,
+          Scheme::kTossUpRandomPair, Scheme::kNoWl};
+}
+
+std::unique_ptr<WearLeveler> make_wear_leveler(Scheme scheme,
+                                               const EnduranceMap& endurance,
+                                               const Config& config) {
+  switch (scheme) {
+    case Scheme::kNoWl:
+      return std::make_unique<NoWl>(endurance.pages());
+    case Scheme::kStartGap:
+      return std::make_unique<StartGap>(endurance.pages(), config.start_gap);
+    case Scheme::kRbsg:
+      return std::make_unique<RbsgWl>(endurance.pages(), config.rbsg,
+                                      config.seed);
+    case Scheme::kSecurityRefresh:
+      return std::make_unique<SecurityRefresh>(endurance.pages(), config.sr,
+                                               config.seed);
+    case Scheme::kWearRateLeveling:
+      return std::make_unique<WearRateLeveling>(
+          endurance, config.wrl, config.endurance.table_bits);
+    case Scheme::kBloomWl:
+      return std::make_unique<BloomWl>(endurance, config.bwl,
+                                       config.endurance.table_bits,
+                                       config.seed);
+    case Scheme::kTossUpAdjacent:
+    case Scheme::kTossUpStrongWeak:
+    case Scheme::kTossUpRandomPair: {
+      TwlParams params = config.twl;
+      params.pairing = scheme == Scheme::kTossUpAdjacent
+                           ? PairingPolicy::kAdjacent
+                           : (scheme == Scheme::kTossUpRandomPair
+                                  ? PairingPolicy::kRandom
+                                  : PairingPolicy::kStrongWeak);
+      return std::make_unique<TossUpWl>(endurance, params,
+                                        config.wl_latencies,
+                                        config.endurance.table_bits,
+                                        config.seed);
+    }
+  }
+  throw std::invalid_argument("unhandled scheme");
+}
+
+std::unique_ptr<WearLeveler> make_wear_leveler_spec(
+    const std::string& spec, const EnduranceMap& endurance,
+    const Config& config) {
+  std::string lower(spec);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower.rfind("guard:", 0) == 0) {
+    return std::make_unique<AttackGuard>(
+        make_wear_leveler_spec(spec.substr(6), endurance, config),
+        AttackGuardParams{}, config.seed);
+  }
+  if (lower.rfind("od3p:", 0) == 0) {
+    return std::make_unique<Od3pWrapper>(
+        make_wear_leveler_spec(spec.substr(5), endurance, config),
+        endurance);
+  }
+  return make_wear_leveler(parse_scheme(spec), endurance, config);
+}
+
+}  // namespace twl

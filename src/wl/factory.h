@@ -1,0 +1,49 @@
+// Construction of wear levelers by name — the registry the benches,
+// examples and tests share.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "pcm/endurance.h"
+#include "wl/wear_leveler.h"
+
+namespace twl {
+
+enum class Scheme : std::uint8_t {
+  kNoWl,
+  kStartGap,
+  kRbsg,
+  kSecurityRefresh,
+  kWearRateLeveling,
+  kBloomWl,
+  kTossUpAdjacent,    ///< TWL_ap in Figure 6.
+  kTossUpStrongWeak,  ///< TWL_swp / the paper's TWL.
+  kTossUpRandomPair,  ///< Ablation.
+};
+
+[[nodiscard]] std::string to_string(Scheme s);
+
+/// Parses "NOWL", "SR", "BWL", "WRL", "StartGap", "TWL", "TWL_ap",
+/// "TWL_swp", "TWL_rnd" (case-insensitive). Throws std::invalid_argument
+/// on anything else.
+[[nodiscard]] Scheme parse_scheme(const std::string& name);
+
+/// All schemes in the order the paper's figures list them.
+[[nodiscard]] std::vector<Scheme> all_schemes();
+
+/// Builds a scheme instance over `endurance` using the knobs in `config`.
+[[nodiscard]] std::unique_ptr<WearLeveler> make_wear_leveler(
+    Scheme scheme, const EnduranceMap& endurance, const Config& config);
+
+/// Builds a possibly-composed scheme from a spec string: a base scheme
+/// name optionally wrapped by "od3p:" (on-demand page pairing, [1]) and/or
+/// "guard:" (online attack detection, [11]), outermost first — e.g.
+/// "TWL", "od3p:TWL", "guard:BWL", "guard:od3p:TWL_swp".
+[[nodiscard]] std::unique_ptr<WearLeveler> make_wear_leveler_spec(
+    const std::string& spec, const EnduranceMap& endurance,
+    const Config& config);
+
+}  // namespace twl

@@ -1,0 +1,3 @@
+#include "wl/no_wl.h"
+
+// NoWl is header-only; this TU anchors the target.

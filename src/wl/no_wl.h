@@ -1,0 +1,31 @@
+// No wear leveling (NOWL): the identity mapping baseline of Section 5.
+#pragma once
+
+#include "wl/wear_leveler.h"
+
+namespace twl {
+
+class NoWl final : public WearLeveler {
+ public:
+  explicit NoWl(std::uint64_t pages) : pages_(pages) {}
+
+  [[nodiscard]] std::string name() const override { return "NOWL"; }
+  [[nodiscard]] std::uint64_t logical_pages() const override { return pages_; }
+
+  [[nodiscard]] PhysicalPageAddr map_read(LogicalPageAddr la) const override {
+    return PhysicalPageAddr(la.value());
+  }
+
+  void write(LogicalPageAddr la, WriteSink& sink) override {
+    sink.demand_write(map_read(la), la);
+  }
+
+  [[nodiscard]] std::uint32_t storage_bits_per_page() const override {
+    return 0;
+  }
+
+ private:
+  std::uint64_t pages_;
+};
+
+}  // namespace twl

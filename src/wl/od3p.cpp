@@ -1,0 +1,137 @@
+#include "wl/od3p.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace twl {
+
+/// Sink adapter placed between the inner scheme and the real sink: every
+/// physical address is routed through the redirect chain, so the inner
+/// scheme can keep addressing dead pages without knowing they moved.
+class Od3pWrapper::RedirectingSink final : public WriteSink {
+ public:
+  RedirectingSink(Od3pWrapper& owner, WriteSink& downstream)
+      : owner_(owner), downstream_(downstream) {}
+
+  void demand_write(PhysicalPageAddr pa, LogicalPageAddr la) override {
+    downstream_.demand_write(route(pa), la);
+  }
+  void migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+               WritePurpose purpose) override {
+    downstream_.migrate(route(from), route(to), purpose);
+  }
+  void swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
+                  WritePurpose purpose) override {
+    downstream_.swap_pages(route(a), route(b), purpose);
+  }
+  void pair_migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+                    WritePurpose purpose) override {
+    downstream_.pair_migrate(route(from), route(to), purpose);
+  }
+  void engine_delay(Cycles cycles) override {
+    downstream_.engine_delay(cycles);
+  }
+  void begin_blocking() override { downstream_.begin_blocking(); }
+  void end_blocking() override { downstream_.end_blocking(); }
+
+ private:
+  PhysicalPageAddr route(PhysicalPageAddr pa) {
+    const PhysicalPageAddr target = owner_.redirect(pa);
+    if (target != pa) ++owner_.stats_.redirected_writes;
+    owner_.headroom_[target.value()] -= 1;
+    return target;
+  }
+
+  Od3pWrapper& owner_;
+  WriteSink& downstream_;
+};
+
+Od3pWrapper::Od3pWrapper(std::unique_ptr<WearLeveler> inner,
+                         const EnduranceMap& endurance)
+    : inner_(std::move(inner)),
+      forward_(endurance.pages()),
+      dead_(endurance.pages(), false),
+      headroom_(endurance.pages()) {
+  assert(inner_ != nullptr);
+  for (std::uint32_t i = 0; i < forward_.size(); ++i) {
+    forward_[i] = i;
+    headroom_[i] =
+        static_cast<std::int64_t>(endurance.endurance(PhysicalPageAddr(i)));
+  }
+}
+
+PhysicalPageAddr Od3pWrapper::redirect(PhysicalPageAddr pa) const {
+  std::uint32_t p = pa.value();
+  // Pair chains are short (a new failure re-points the whole chain), but
+  // follow transitively for safety.
+  while (forward_[p] != p) p = forward_[p];
+  return PhysicalPageAddr(p);
+}
+
+PhysicalPageAddr Od3pWrapper::best_salvage_target() const {
+  std::uint32_t best = kInvalidPage;
+  std::int64_t best_headroom = 0;
+  for (std::uint32_t i = 0; i < forward_.size(); ++i) {
+    if (dead_[i]) continue;
+    if (best == kInvalidPage || headroom_[i] > best_headroom) {
+      best = i;
+      best_headroom = headroom_[i];
+    }
+  }
+  return PhysicalPageAddr(best);
+}
+
+void Od3pWrapper::write(LogicalPageAddr la, WriteSink& sink) {
+  RedirectingSink redirecting(*this, sink);
+  inner_->write(la, redirecting);
+}
+
+void Od3pWrapper::on_page_failed(PhysicalPageAddr pa, WriteSink& sink) {
+  const std::uint32_t p = pa.value();
+  if (dead_[p]) return;  // Already handled (chain hop died earlier).
+  dead_[p] = true;
+  ++stats_.dead_pages;
+  ++stats_.failures_handled;
+
+  const PhysicalPageAddr target = best_salvage_target();
+  if (target.value() == kInvalidPage) return;  // Device is beyond saving.
+
+  // Salvage: the dead page is still readable; co-locate its content in
+  // the pair page (which keeps its own resident — OD3P stores the two
+  // pages compressed in one frame) and re-point every chain that ended
+  // at `p`.
+  sink.pair_migrate(pa, target, WritePurpose::kPhaseSwap);
+  headroom_[target.value()] -= 1;
+  ++stats_.salvage_migrations;
+  for (std::uint32_t i = 0; i < forward_.size(); ++i) {
+    if (forward_[i] == p && i != p) forward_[i] = target.value();
+  }
+  forward_[p] = target.value();
+}
+
+bool Od3pWrapper::invariants_hold() const {
+  if (!inner_->invariants_hold()) return false;
+  for (std::uint32_t i = 0; i < forward_.size(); ++i) {
+    // Redirects must terminate on a healthy page (or be identity).
+    if (forward_[i] == i) {
+      if (dead_[i] && alive_pages() > 0) {
+        // A dead terminal page is only legal when nothing is left alive.
+        return false;
+      }
+      continue;
+    }
+    if (redirect(PhysicalPageAddr(i)) == PhysicalPageAddr(i)) return false;
+  }
+  return true;
+}
+
+void Od3pWrapper::append_stats(
+    std::vector<std::pair<std::string, double>>& out) const {
+  inner_->append_stats(out);
+  out.emplace_back("od3p_failures", static_cast<double>(stats_.failures_handled));
+  out.emplace_back("od3p_redirected_writes",
+                   static_cast<double>(stats_.redirected_writes));
+  out.emplace_back("od3p_dead_pages", static_cast<double>(stats_.dead_pages));
+}
+
+}  // namespace twl

@@ -1,0 +1,103 @@
+// OD3P — On-Demand Page Paired PCM (Asadinia et al., DAC'14, the paper's
+// reference [1]).
+//
+// A fault-tolerance layer the paper cites as the dynamic-remapping answer
+// to PV-induced permanent failures: when a page wears out, its (still
+// readable — PCM fails on writes, not reads) data is salvaged onto a
+// healthy "pair" page chosen on demand, and all future traffic for the
+// dead page is redirected there. The device keeps serving with graceful
+// capacity/wear degradation instead of dying at the first failure.
+//
+// Implemented as a decorator over any WearLeveler: the inner scheme's
+// physical effects pass through a redirecting sink, so TWL+OD3P, SR+OD3P
+// etc. compose for wear, capacity and timing purposes. The degradation
+// experiment (bench_extensions) measures lifetime to a *capacity* floor
+// rather than to first failure.
+//
+// Data-placement fidelity note: salvage uses pair_migrate, i.e. the pair
+// frame co-hosts its own resident and the salvaged page (in the real
+// design, compressed into one frame). Byte-exact tracking of that
+// co-residency is guaranteed when the inner scheme never relocates a
+// *salvaged* logical page (e.g. the identity inner mapping, which is the
+// original OD3P configuration); dynamic inner schemes are modeled
+// faithfully in wear/capacity/latency but their relocation of salvaged
+// pages is below the page-granularity data model's resolution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pcm/endurance.h"
+#include "wl/wear_leveler.h"
+
+namespace twl {
+
+struct Od3pStats {
+  std::uint64_t failures_handled = 0;
+  std::uint64_t salvage_migrations = 0;
+  std::uint64_t redirected_writes = 0;
+  std::uint32_t dead_pages = 0;
+};
+
+class Od3pWrapper final : public WearLeveler {
+ public:
+  /// `inner` performs the wear leveling proper; `endurance` seeds the
+  /// controller-side headroom estimates used to choose pair targets.
+  Od3pWrapper(std::unique_ptr<WearLeveler> inner,
+              const EnduranceMap& endurance);
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+OD3P";
+  }
+  [[nodiscard]] std::uint64_t logical_pages() const override {
+    return inner_->logical_pages();
+  }
+
+  [[nodiscard]] PhysicalPageAddr map_read(LogicalPageAddr la) const override {
+    return redirect(inner_->map_read(la));
+  }
+
+  void write(LogicalPageAddr la, WriteSink& sink) override;
+
+  void on_page_failed(PhysicalPageAddr pa, WriteSink& sink) override;
+
+  [[nodiscard]] Cycles read_indirection_cycles() const override {
+    return inner_->read_indirection_cycles() + 10;  // Redirect table.
+  }
+  [[nodiscard]] std::uint32_t storage_bits_per_page() const override {
+    // One 23-bit redirect entry + a dead bit per page on top of the inner
+    // scheme's tables.
+    return inner_->storage_bits_per_page() + 24;
+  }
+
+  [[nodiscard]] bool invariants_hold() const override;
+
+  void append_stats(
+      std::vector<std::pair<std::string, double>>& out) const override;
+
+  /// Final redirect target of a physical page (follows pairing chains).
+  [[nodiscard]] PhysicalPageAddr redirect(PhysicalPageAddr pa) const;
+
+  [[nodiscard]] const Od3pStats& od3p_stats() const { return stats_; }
+
+  /// Pages still taking writes.
+  [[nodiscard]] std::uint64_t alive_pages() const {
+    return forward_.size() - stats_.dead_pages;
+  }
+
+ private:
+  /// Healthy page with the largest remaining headroom estimate.
+  [[nodiscard]] PhysicalPageAddr best_salvage_target() const;
+
+  class RedirectingSink;
+
+  std::unique_ptr<WearLeveler> inner_;
+  /// forward_[p] == p while healthy; else the next hop of the pair chain.
+  std::vector<std::uint32_t> forward_;
+  std::vector<bool> dead_;
+  std::vector<std::int64_t> headroom_;  ///< Controller wear estimate.
+  Od3pStats stats_;
+};
+
+}  // namespace twl

@@ -1,0 +1,147 @@
+#include "wl/rbsg.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace twl {
+
+namespace {
+
+std::uint32_t fitted_region_pages(std::uint64_t pages,
+                                  std::uint32_t requested) {
+  std::uint32_t r = std::min<std::uint32_t>(
+      requested, static_cast<std::uint32_t>(pages));
+  // Need at least 2 frames per region (1 data + 1 gap) and an even split.
+  r = std::max<std::uint32_t>(r, 2);
+  while (r > 2 && pages % r != 0) --r;
+  return r;
+}
+
+/// Rebases a region-local physical address onto the device.
+class OffsetSink final : public WriteSink {
+ public:
+  OffsetSink(std::uint32_t base, WriteSink& downstream)
+      : base_(base), downstream_(downstream) {}
+
+  void demand_write(PhysicalPageAddr pa, LogicalPageAddr la) override {
+    downstream_.demand_write(shift(pa), la);
+  }
+  void migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+               WritePurpose purpose) override {
+    downstream_.migrate(shift(from), shift(to), purpose);
+  }
+  void swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
+                  WritePurpose purpose) override {
+    downstream_.swap_pages(shift(a), shift(b), purpose);
+  }
+  void pair_migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+                    WritePurpose purpose) override {
+    downstream_.pair_migrate(shift(from), shift(to), purpose);
+  }
+  void engine_delay(Cycles cycles) override {
+    downstream_.engine_delay(cycles);
+  }
+  void begin_blocking() override { downstream_.begin_blocking(); }
+  void end_blocking() override { downstream_.end_blocking(); }
+
+ private:
+  [[nodiscard]] PhysicalPageAddr shift(PhysicalPageAddr pa) const {
+    return PhysicalPageAddr(base_ + pa.value());
+  }
+
+  std::uint32_t base_;
+  WriteSink& downstream_;
+};
+
+}  // namespace
+
+RbsgWl::RbsgWl(std::uint64_t pages, const RbsgParams& params,
+               std::uint64_t seed)
+    : params_(params) {
+  params_.region_pages = fitted_region_pages(pages, params.region_pages);
+  regions_ = static_cast<std::uint32_t>(pages / params_.region_pages);
+  params_.security_level = std::clamp<std::uint32_t>(
+      params_.security_level, 1, params_.gap_write_interval);
+
+  XorShift64Star rng(seed ^ 0x4B5C'0001ULL);
+  region_key_ =
+      std::has_single_bit(static_cast<std::uint64_t>(regions_))
+          ? static_cast<std::uint32_t>(rng.next()) & (regions_ - 1)
+          : 0;
+
+  StartGapParams sg;
+  sg.gap_write_interval = params_.gap_write_interval;
+  state_.reserve(regions_);
+  for (std::uint32_t r = 0; r < regions_; ++r) {
+    state_.push_back(Region{StartGap(params_.region_pages, sg), 0});
+  }
+}
+
+std::uint64_t RbsgWl::logical_pages() const {
+  return static_cast<std::uint64_t>(regions_) * (params_.region_pages - 1);
+}
+
+PhysicalPageAddr RbsgWl::map_read(LogicalPageAddr la) const {
+  const std::uint32_t per_region = params_.region_pages - 1;
+  const std::uint32_t region = la.value() / per_region;
+  const std::uint32_t offset = la.value() % per_region;
+  assert(region < regions_);
+  const std::uint32_t phys_region = scatter(region);
+  const PhysicalPageAddr local =
+      state_[phys_region].gap.map_read(LogicalPageAddr(offset));
+  return PhysicalPageAddr(phys_region * params_.region_pages +
+                          local.value());
+}
+
+void RbsgWl::write(LogicalPageAddr la, WriteSink& sink) {
+  const std::uint32_t per_region = params_.region_pages - 1;
+  const std::uint32_t phys_region = scatter(la.value() / per_region);
+  const LogicalPageAddr offset(la.value() % per_region);
+  Region& region = state_[phys_region];
+  OffsetSink local(phys_region * params_.region_pages, sink);
+
+  // Security level L: L gap moves per psi demand writes to the region.
+  if (++region.writes_since_move >= params_.gap_write_interval) {
+    region.writes_since_move = 0;
+    for (std::uint32_t i = 0; i < params_.security_level; ++i) {
+      region.gap.force_gap_move(local);
+    }
+  }
+  local.demand_write(region.gap.map_read(offset), la);
+}
+
+void RbsgWl::set_security_level(std::uint32_t level) {
+  params_.security_level = std::clamp<std::uint32_t>(
+      level, 1, params_.gap_write_interval);
+}
+
+bool RbsgWl::invariants_hold() const {
+  std::vector<bool> used(static_cast<std::size_t>(regions_) *
+                             params_.region_pages,
+                         false);
+  for (std::uint32_t la = 0; la < logical_pages(); ++la) {
+    const std::uint32_t pa = map_read(LogicalPageAddr(la)).value();
+    if (pa >= used.size() || used[pa]) return false;
+    used[pa] = true;
+  }
+  return true;
+}
+
+void RbsgWl::append_stats(
+    std::vector<std::pair<std::string, double>>& out) const {
+  std::uint64_t gap_moves = 0;
+  for (const Region& r : state_) {
+    std::vector<std::pair<std::string, double>> inner;
+    r.gap.append_stats(inner);
+    for (const auto& [k, v] : inner) {
+      if (k == "gap_moves") gap_moves += static_cast<std::uint64_t>(v);
+    }
+  }
+  out.emplace_back("regions", static_cast<double>(regions_));
+  out.emplace_back("gap_moves", static_cast<double>(gap_moves));
+  out.emplace_back("security_level",
+                   static_cast<double>(params_.security_level));
+}
+
+}  // namespace twl

@@ -1,0 +1,71 @@
+// Region-Based Start-Gap with adjustable security level (Security-RBSG,
+// Huang et al., IPDPS'16 — the paper's reference [7]; builds on the RBSG
+// variant of Start-Gap [10]).
+//
+// The device is split into regions, each running its own Start-Gap
+// rotation (fast local randomization with two registers per region), and
+// a static random key XORs the region index so logically-contiguous
+// regions scatter physically. The *security level* L scales the gap-write
+// rate: under suspicion the controller can raise L, trading write
+// overhead (L gap moves per psi demand writes) for faster randomization —
+// the "security-level adjustable dynamic mapping" of the title.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "wl/start_gap.h"
+#include "wl/wear_leveler.h"
+
+namespace twl {
+
+class RbsgWl final : public WearLeveler {
+ public:
+  RbsgWl(std::uint64_t pages, const RbsgParams& params, std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "RBSG"; }
+  [[nodiscard]] std::uint64_t logical_pages() const override;
+
+  [[nodiscard]] PhysicalPageAddr map_read(LogicalPageAddr la) const override;
+
+  void write(LogicalPageAddr la, WriteSink& sink) override;
+
+  /// Raise/lower the security level at runtime (the scheme's selling
+  /// point); clamped to [1, gap_write_interval].
+  void set_security_level(std::uint32_t level);
+  [[nodiscard]] std::uint32_t security_level() const {
+    return params_.security_level;
+  }
+
+  [[nodiscard]] Cycles read_indirection_cycles() const override {
+    return 0;  // Register arithmetic per region.
+  }
+  [[nodiscard]] std::uint32_t storage_bits_per_page() const override {
+    return 0;  // Two registers per region.
+  }
+
+  [[nodiscard]] bool invariants_hold() const override;
+
+  void append_stats(
+      std::vector<std::pair<std::string, double>>& out) const override;
+
+ private:
+  struct Region {
+    StartGap gap;  ///< Per-region Start-Gap over region_pages frames.
+    std::uint32_t writes_since_move = 0;
+  };
+
+  /// Physical region holding logical region `r` (static XOR scatter).
+  [[nodiscard]] std::uint32_t scatter(std::uint32_t region) const {
+    return region ^ region_key_;
+  }
+
+  RbsgParams params_;
+  std::uint32_t regions_;
+  std::uint32_t region_key_;
+  std::vector<Region> state_;
+};
+
+}  // namespace twl

@@ -1,0 +1,23 @@
+#include "wl/wear_leveler.h"
+
+namespace twl {
+
+std::string to_string(WritePurpose p) {
+  switch (p) {
+    case WritePurpose::kDemand:
+      return "demand";
+    case WritePurpose::kTossupSwap:
+      return "tossup-swap";
+    case WritePurpose::kInterPairSwap:
+      return "inter-pair-swap";
+    case WritePurpose::kGapMove:
+      return "gap-move";
+    case WritePurpose::kRefreshSwap:
+      return "refresh-swap";
+    case WritePurpose::kPhaseSwap:
+      return "phase-swap";
+  }
+  return "unknown";
+}
+
+}  // namespace twl

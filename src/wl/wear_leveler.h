@@ -1,0 +1,119 @@
+// Wear-leveler interface.
+//
+// A WearLeveler owns the LA -> PA indirection policy. It never touches the
+// device directly: every physical effect is expressed through a WriteSink
+// in terms of *data movement* (demand_write / migrate / swap_pages), so
+// that
+//  * the memory controller can charge wear and service time, and
+//  * tests can shadow page contents and prove no scheme ever loses data.
+//
+// Bulk reorganizations (the swap phases of prediction-based schemes, which
+// block the whole memory and are thereby observable to the attacker —
+// footnote 1 of the paper) are bracketed by begin/end_blocking().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace twl {
+
+/// Why a physical write happened; the controller aggregates per-purpose
+/// counts, and the attacker observes the extra latency.
+enum class WritePurpose : std::uint8_t {
+  kDemand,        ///< The program's own write.
+  kTossupSwap,    ///< TWL swap-then-write migration.
+  kInterPairSwap, ///< TWL inter-pair randomization.
+  kGapMove,       ///< Start-Gap's gap movement.
+  kRefreshSwap,   ///< Security Refresh re-keying swap.
+  kPhaseSwap,     ///< Bulk swap phase of prediction-based schemes.
+};
+
+[[nodiscard]] std::string to_string(WritePurpose p);
+
+/// Receiver for a wear leveler's physical effects.
+class WriteSink {
+ public:
+  virtual ~WriteSink() = default;
+
+  /// Write the incoming demand data (belonging to `la`) to page `pa`.
+  virtual void demand_write(PhysicalPageAddr pa, LogicalPageAddr la) = 0;
+
+  /// Copy the contents of `from` into `to` (1 read + 1 write).
+  virtual void migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+                       WritePurpose purpose) = 0;
+
+  /// Exchange the contents of two pages via the controller's buffer
+  /// (2 reads + 2 writes).
+  virtual void swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
+                          WritePurpose purpose) = 0;
+
+  /// Co-locate the contents of `from` *alongside* the resident data of
+  /// `to` (OD3P-style page pairing: the destination frame thereafter
+  /// stores both pages, e.g. compressed [1]). Costs the same as migrate
+  /// (1 read + 1 write); data-tracking sinks keep both residents.
+  virtual void pair_migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+                            WritePurpose purpose) {
+    migrate(from, to, purpose);
+  }
+
+  /// Serialized wear-leveling-engine latency on the critical path of the
+  /// current request (table lookups, RNG, control logic).
+  virtual void engine_delay(Cycles cycles) = 0;
+
+  /// Bracket a whole-memory blocking reorganization.
+  virtual void begin_blocking() {}
+  virtual void end_blocking() {}
+};
+
+class WearLeveler {
+ public:
+  virtual ~WearLeveler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Size of the logical address space this scheme exposes (Start-Gap
+  /// sacrifices one physical frame for the gap, so it may be smaller than
+  /// the device).
+  [[nodiscard]] virtual std::uint64_t logical_pages() const = 0;
+
+  /// Current physical home of a logical page (the read path, Figure 5(a)).
+  [[nodiscard]] virtual PhysicalPageAddr map_read(LogicalPageAddr la) const = 0;
+
+  /// Handle one demand write: emit the physical effects into `sink` and
+  /// update internal mapping state.
+  virtual void write(LogicalPageAddr la, WriteSink& sink) = 0;
+
+  /// Extra read-path latency added by this scheme's indirection.
+  [[nodiscard]] virtual Cycles read_indirection_cycles() const { return 0; }
+
+  /// Controller storage this scheme reserves per PCM page, in bits
+  /// (Section 5.4's overhead accounting).
+  [[nodiscard]] virtual std::uint32_t storage_bits_per_page() const = 0;
+
+  /// Internal invariants (mapping bijectivity etc.); tests call this after
+  /// stress. Default checks nothing.
+  [[nodiscard]] virtual bool invariants_hold() const { return true; }
+
+  /// Notification that physical page `pa` has permanently failed (its
+  /// write count reached its endurance). Delivered by the memory
+  /// controller after the request that killed the page completes; `sink`
+  /// may be used to salvage data (e.g. OD3P's on-demand re-pairing).
+  /// Default: schemes ignore failures (the paper measures lifetime to the
+  /// first one).
+  virtual void on_page_failed(PhysicalPageAddr pa, WriteSink& sink) {
+    (void)pa;
+    (void)sink;
+  }
+
+  /// Scheme-specific counters for reports, as (label, value) pairs.
+  virtual void append_stats(
+      std::vector<std::pair<std::string, double>>& out) const {
+    (void)out;
+  }
+};
+
+}  // namespace twl

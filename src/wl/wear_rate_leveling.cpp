@@ -1,0 +1,110 @@
+#include "wl/wear_rate_leveling.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace twl {
+
+WearRateLeveling::WearRateLeveling(const EnduranceMap& endurance,
+                                   const WrlParams& params,
+                                   std::uint32_t et_entry_bits)
+    : rt_(endurance.pages()),
+      et_(endurance, et_entry_bits),
+      wnt_(endurance.pages()),
+      pa_writes_(endurance.pages(), 0),
+      prediction_writes_(params.prediction_writes),
+      running_writes_(params.prediction_writes * params.running_multiplier) {
+  const auto k = static_cast<std::uint32_t>(
+      static_cast<double>(endurance.pages()) * params.swap_fraction);
+  top_k_ = std::max<std::uint32_t>(8, k);
+  top_k_ = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(top_k_, endurance.pages() / 2));
+}
+
+std::int64_t WearRateLeveling::headroom(PhysicalPageAddr pa) const {
+  return static_cast<std::int64_t>(et_.endurance(pa)) -
+         static_cast<std::int64_t>(pa_writes_[pa.value()]);
+}
+
+void WearRateLeveling::write(LogicalPageAddr la, WriteSink& sink) {
+  if (phase_ == Phase::kPrediction) {
+    wnt_.record_write(la);
+    sink.engine_delay(10);  // WNT update on the write path.
+  }
+  const PhysicalPageAddr pa = rt_.to_physical(la);
+  sink.demand_write(pa, la);
+  ++pa_writes_[pa.value()];
+
+  ++phase_progress_;
+  if (phase_ == Phase::kPrediction && phase_progress_ >= prediction_writes_) {
+    run_swap_phase(sink);
+    phase_ = Phase::kRunning;
+    phase_progress_ = 0;
+  } else if (phase_ == Phase::kRunning &&
+             phase_progress_ >= running_writes_) {
+    wnt_.clear();
+    phase_ = Phase::kPrediction;
+    phase_progress_ = 0;
+  }
+}
+
+void WearRateLeveling::run_swap_phase(WriteSink& sink) {
+  ++swap_phases_;
+  const auto by_heat = wnt_.hottest_first();
+
+  // Physical pages ordered by the controller's headroom estimate,
+  // strongest first.
+  std::vector<PhysicalPageAddr> by_headroom;
+  by_headroom.reserve(rt_.pages());
+  for (std::uint32_t i = 0; i < rt_.pages(); ++i) {
+    by_headroom.emplace_back(i);
+  }
+  std::stable_sort(by_headroom.begin(), by_headroom.end(),
+                   [this](PhysicalPageAddr a, PhysicalPageAddr b) {
+                     return headroom(a) > headroom(b);
+                   });
+
+  sink.begin_blocking();
+  // Hot -> strong: the k-th hottest predicted page moves to the k-th
+  // strongest cell.
+  for (std::uint32_t k = 0; k < top_k_; ++k) {
+    const LogicalPageAddr hot = by_heat[k];
+    if (wnt_.count(hot) == 0) break;  // Nothing hot left.
+    const PhysicalPageAddr target = by_headroom[k];
+    const PhysicalPageAddr cur = rt_.to_physical(hot);
+    if (cur == target) continue;
+    sink.swap_pages(cur, target, WritePurpose::kPhaseSwap);
+    // The swap itself wears both pages once; wear history stays with the
+    // physical page (it is damage, not data).
+    ++pa_writes_[cur.value()];
+    ++pa_writes_[target.value()];
+    rt_.swap_physical(cur, target);
+    pages_migrated_ += 2;
+  }
+  // Cold -> weak: the k-th coldest predicted page moves to the k-th
+  // weakest cell (Figure 1(c): data4, the cold page, lands on weak PA1).
+  // This direction is exactly what the inconsistent-write attack baits.
+  const std::uint64_t n = rt_.pages();
+  for (std::uint32_t k = 0; k < top_k_; ++k) {
+    const LogicalPageAddr cold = by_heat[n - 1 - k];
+    const PhysicalPageAddr target = by_headroom[n - 1 - k];
+    const PhysicalPageAddr cur = rt_.to_physical(cold);
+    if (cur == target) continue;
+    sink.swap_pages(cur, target, WritePurpose::kPhaseSwap);
+    // The swap itself wears both pages once; wear history stays with the
+    // physical page (it is damage, not data).
+    ++pa_writes_[cur.value()];
+    ++pa_writes_[target.value()];
+    rt_.swap_physical(cur, target);
+    pages_migrated_ += 2;
+  }
+  sink.end_blocking();
+}
+
+void WearRateLeveling::append_stats(
+    std::vector<std::pair<std::string, double>>& out) const {
+  out.emplace_back("swap_phases", static_cast<double>(swap_phases_));
+  out.emplace_back("pages_migrated", static_cast<double>(pages_migrated_));
+}
+
+}  // namespace twl

@@ -1,0 +1,78 @@
+// Wear-Rate Leveling (Dong et al., DAC'11 [6]).
+//
+// The prediction/swap/running flow of Figure 1. During a prediction phase
+// the write number table (WNT) counts writes per logical page; at the
+// phase boundary the swap phase sorts predictions against per-page
+// endurance headroom and remaps hot pages onto strong cells and cold pages
+// onto weak cells (a bounded top-K in each direction); then a running
+// phase 10x as long trusts the prediction. The swap phase blocks the
+// memory — which is both how the paper's attacker detects it and why the
+// scheme is vulnerable to a write distribution that reverses right after
+// the swap (Section 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "tables/endurance_table.h"
+#include "tables/remapping_table.h"
+#include "tables/write_number_table.h"
+#include "wl/wear_leveler.h"
+
+namespace twl {
+
+class WearRateLeveling final : public WearLeveler {
+ public:
+  WearRateLeveling(const EnduranceMap& endurance, const WrlParams& params,
+                   std::uint32_t et_entry_bits);
+
+  [[nodiscard]] std::string name() const override { return "WRL"; }
+  [[nodiscard]] std::uint64_t logical_pages() const override {
+    return rt_.pages();
+  }
+
+  [[nodiscard]] PhysicalPageAddr map_read(LogicalPageAddr la) const override {
+    return rt_.to_physical(la);
+  }
+
+  void write(LogicalPageAddr la, WriteSink& sink) override;
+
+  [[nodiscard]] Cycles read_indirection_cycles() const override {
+    return 10;  // One RT access.
+  }
+  [[nodiscard]] std::uint32_t storage_bits_per_page() const override {
+    // RT (23) + ET (27) + WNT (full 32-bit prediction counters).
+    return 23 + 27 + 32;
+  }
+
+  [[nodiscard]] bool invariants_hold() const override {
+    return rt_.is_consistent();
+  }
+
+  void append_stats(
+      std::vector<std::pair<std::string, double>>& out) const override;
+
+  enum class Phase : std::uint8_t { kPrediction, kRunning };
+  [[nodiscard]] Phase phase() const { return phase_; }
+
+ private:
+  void run_swap_phase(WriteSink& sink);
+
+  /// Endurance headroom the controller believes page `pa` still has.
+  [[nodiscard]] std::int64_t headroom(PhysicalPageAddr pa) const;
+
+  RemappingTable rt_;
+  EnduranceTable et_;
+  WriteNumberTable wnt_;
+  std::vector<WriteCount> pa_writes_;  ///< Controller-side wear estimate.
+  std::uint64_t prediction_writes_;
+  std::uint64_t running_writes_;
+  std::uint32_t top_k_;
+  Phase phase_ = Phase::kPrediction;
+  std::uint64_t phase_progress_ = 0;
+  std::uint64_t swap_phases_ = 0;
+  std::uint64_t pages_migrated_ = 0;
+};
+
+}  // namespace twl

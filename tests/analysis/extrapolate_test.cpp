@@ -1,0 +1,75 @@
+#include "analysis/extrapolate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace twl {
+namespace {
+
+TEST(Extrapolate, AttackBandwidthAnchorsTo6Point6Years) {
+  // Figure 6's anchor: 8 GB/s nonstop writes => ideal lifetime 6.6 years.
+  const RealSystem real;
+  const double years = ideal_years_from_bandwidth(real, 8.0 * 1000.0);
+  EXPECT_NEAR(years, 6.6, 0.25);
+}
+
+TEST(Extrapolate, IdealYearsInverselyProportionalToBandwidth) {
+  const RealSystem real;
+  const double y1 = ideal_years_from_bandwidth(real, 100);
+  const double y2 = ideal_years_from_bandwidth(real, 200);
+  EXPECT_NEAR(y1 / y2, 2.0, 1e-9);
+}
+
+TEST(Extrapolate, YearsFromFractionIsLinear) {
+  EXPECT_DOUBLE_EQ(years_from_fraction(0.5, 6.6), 3.3);
+  EXPECT_DOUBLE_EQ(years_from_fraction(0.0, 6.6), 0.0);
+  EXPECT_DOUBLE_EQ(years_from_fraction(1.0, 6.6), 6.6);
+}
+
+TEST(Extrapolate, YearsToSeconds) {
+  EXPECT_NEAR(years_to_seconds(1.0), 31557600.0, 1.0);
+}
+
+TEST(InverseNormalCdf, MedianIsZero) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+}
+
+TEST(InverseNormalCdf, KnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.8413447), 1.0, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.0013499), -3.0, 1e-3);
+}
+
+TEST(InverseNormalCdf, Symmetry) {
+  for (const double p : {0.001, 0.01, 0.1, 0.3}) {
+    EXPECT_NEAR(inverse_normal_cdf(p), -inverse_normal_cdf(1 - p), 1e-8);
+  }
+}
+
+TEST(ExpectedMinEndurance, PaperScaleGivesSecurityRefreshPlateau) {
+  // 32 GB / 4 KB = 8.39M pages at sigma = 11%: the weakest page sits
+  // ~5.1 sigma below the mean -> ~0.44 of ideal, Figure 8's SR result.
+  const double frac = expected_min_endurance_fraction(8388608, 0.11);
+  EXPECT_NEAR(frac, 0.44, 0.02);
+}
+
+TEST(ExpectedMinEndurance, SmallDevicesHaveMilderExtremes) {
+  const double small = expected_min_endurance_fraction(4096, 0.11);
+  const double large = expected_min_endurance_fraction(8388608, 0.11);
+  EXPECT_GT(small, large);
+  EXPECT_NEAR(small, 1.0 + 0.11 * inverse_normal_cdf(1.0 / 4097.0), 1e-9);
+}
+
+TEST(ExpectedMinEndurance, FlooredLikeTheDeviceModel) {
+  // Extreme sigma: the analytic bound respects the 1% endurance floor.
+  EXPECT_GE(expected_min_endurance_fraction(1u << 20, 1.0), 0.01);
+}
+
+TEST(ExpectedMinEndurance, ZeroSigmaIsOne) {
+  EXPECT_DOUBLE_EQ(expected_min_endurance_fraction(1000, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace twl

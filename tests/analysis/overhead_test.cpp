@@ -1,0 +1,71 @@
+#include "analysis/overhead.h"
+
+#include <gtest/gtest.h>
+
+#include "wl/factory.h"
+
+namespace twl {
+namespace {
+
+TEST(StorageOverhead, TwlIs80BitsPer4KPage) {
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 1000;
+  const Config config = Config::scaled(scale);
+  const EnduranceMap map(64, config.endurance, 1);
+  const auto wl =
+      make_wear_leveler(Scheme::kTossUpStrongWeak, map, config);
+  const auto o = storage_overhead(*wl, 4096);
+  EXPECT_EQ(o.bits_per_page, 80u);
+  // Section 5.4 rounds 80/(4096*8) = 2.44e-3 to "about 2.5e-3".
+  EXPECT_NEAR(o.ratio, 2.5e-3, 1e-4);
+}
+
+TEST(StorageOverhead, NowlIsFree) {
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 1000;
+  const Config config = Config::scaled(scale);
+  const EnduranceMap map(64, config.endurance, 1);
+  const auto wl = make_wear_leveler(Scheme::kNoWl, map, config);
+  EXPECT_EQ(storage_overhead(*wl, 4096).bits_per_page, 0u);
+}
+
+TEST(GateModel, FeistelStaysUnder128Gates) {
+  // The paper (citing Start-Gap [10]): an 8-bit Feistel RNG costs fewer
+  // than 128 gates.
+  EXPECT_LE(feistel8_gates().total(), 128u);
+  EXPECT_GT(feistel8_gates().total(), 50u);
+}
+
+TEST(GateModel, EngineNearPaperSynthesis) {
+  // Section 5.4 reports 718 gates for the divider + comparators.
+  const auto engine = twl_engine_gates(27);
+  EXPECT_NEAR(engine.total(), 718.0, 718.0 * 0.15);
+}
+
+TEST(GateModel, TotalNearPaper840) {
+  const auto total = twl_total_gates(27);
+  EXPECT_NEAR(total.total(), 840.0, 840.0 * 0.15);
+}
+
+TEST(GateModel, TotalIsSumOfItems) {
+  const auto e = twl_total_gates(27);
+  std::uint32_t sum = 0;
+  for (const auto& [_, g] : e.items) sum += g;
+  EXPECT_EQ(e.total(), sum);
+}
+
+TEST(GateModel, WiderEnduranceCostsMoreGates) {
+  EXPECT_GT(twl_engine_gates(32).total(), twl_engine_gates(16).total());
+}
+
+TEST(GateModel, GateCostHelpers) {
+  const GateCosts c;
+  EXPECT_EQ(c.adder(8), 8u * 9u);
+  EXPECT_EQ(c.comparator(8), 8u * 7u);
+  EXPECT_EQ(c.reg(8), 8u * 6u);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,55 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.add_row({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("x       1"), std::string::npos);
+  EXPECT_NE(s.find("------"), std::string::npos);
+}
+
+TEST(TextTable, EmptyIsEmpty) {
+  EXPECT_EQ(TextTable{}.to_string(), "");
+}
+
+TEST(TextTable, RaggedRowsAreTolerated) {
+  TextTable t;
+  t.add_row({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW((void)t.to_string());
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.0, 0), "3");
+}
+
+TEST(FmtPercent, Formats) {
+  EXPECT_EQ(fmt_percent(0.022, 1), "2.2%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(FmtLifetimeYears, AdaptiveUnits) {
+  EXPECT_EQ(fmt_lifetime_years(3.0), "3.00 yr");
+  // 98 seconds, the BWL result of Figure 6.
+  EXPECT_EQ(fmt_lifetime_years(98.0 / (365.25 * 24 * 3600)), "98 s");
+  const std::string hours = fmt_lifetime_years(6.0 / (365.25 * 24));
+  EXPECT_NE(hours.find("h"), std::string::npos);
+}
+
+TEST(Heading, Underlines) {
+  const std::string h = heading("Table 2");
+  EXPECT_NE(h.find("Table 2\n======="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,102 @@
+#include "analysis/wear_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace twl {
+namespace {
+
+TEST(Gini, AllEqualIsZero) {
+  EXPECT_NEAR(gini_coefficient({1.0, 1.0, 1.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(Gini, SingleHolderApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1.0;
+  EXPECT_GT(gini_coefficient(v), 0.98);
+}
+
+TEST(Gini, KnownTwoPointValue) {
+  // {0, 1}: G = 1/2.
+  EXPECT_NEAR(gini_coefficient({0.0, 1.0}), 0.5, 1e-12);
+}
+
+TEST(Gini, EmptyAndZeroSafe) {
+  EXPECT_DOUBLE_EQ(gini_coefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(gini_coefficient({0.0, 0.0}), 0.0);
+}
+
+TEST(Gini, InvariantToOrder) {
+  EXPECT_DOUBLE_EQ(gini_coefficient({3.0, 1.0, 2.0}),
+                   gini_coefficient({1.0, 2.0, 3.0}));
+}
+
+TEST(WearSummary, UniformWearHasLowInequality) {
+  PcmDevice device(EnduranceMap(std::vector<std::uint64_t>(64, 1000)));
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    for (int i = 0; i < 100; ++i) device.write(PhysicalPageAddr(p));
+  }
+  const auto s = summarize_wear(device);
+  EXPECT_NEAR(s.mean_fraction, 0.1, 1e-12);
+  EXPECT_NEAR(s.cov, 0.0, 1e-12);
+  EXPECT_NEAR(s.gini, 0.0, 1e-12);
+  EXPECT_EQ(s.untouched_pages, 0u);
+}
+
+TEST(WearSummary, HammeredDeviceShowsSkew) {
+  PcmDevice device(EnduranceMap(std::vector<std::uint64_t>(64, 1000)));
+  for (int i = 0; i < 500; ++i) device.write(PhysicalPageAddr(0));
+  const auto s = summarize_wear(device);
+  EXPECT_GT(s.gini, 0.9);
+  EXPECT_EQ(s.untouched_pages, 63u);
+  EXPECT_NEAR(s.max, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+}
+
+TEST(WearSummary, QuantilesOrdered) {
+  PcmDevice device(EnduranceMap(std::vector<std::uint64_t>(128, 1000)));
+  for (std::uint32_t p = 0; p < 128; ++p) {
+    for (std::uint32_t i = 0; i < p; ++i) device.write(PhysicalPageAddr(p));
+  }
+  const auto s = summarize_wear(device);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(WearCsv, WritesOneRowPerPage) {
+  PcmDevice device(EnduranceMap({10, 20}));
+  device.write(PhysicalPageAddr(1));
+  const std::string path = ::testing::TempDir() + "wear_test.csv";
+  EXPECT_EQ(write_wear_csv(device, path), 2u);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "page,endurance,writes,fraction");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,10,0,0.000000");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,20,1,0.050000");
+  std::remove(path.c_str());
+}
+
+TEST(WearCsv, UnwritablePathThrows) {
+  PcmDevice device(EnduranceMap({10}));
+  EXPECT_THROW(write_wear_csv(device, "/nonexistent/dir/wear.csv"),
+               std::runtime_error);
+}
+
+TEST(FormatWearSummary, ContainsKeyFields) {
+  WearSummary s;
+  s.mean_fraction = 0.5;
+  s.cov = 0.25;
+  s.gini = 0.1;
+  const std::string out = format_wear_summary(s);
+  EXPECT_NE(out.find("cov 0.250"), std::string::npos);
+  EXPECT_NE(out.find("gini 0.100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,157 @@
+#include "attack/attacks.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace twl {
+namespace {
+
+TEST(RepeatAttack, AlwaysSameAddress) {
+  RepeatAttack a(LogicalPageAddr(5));
+  for (int i = 0; i < 100; ++i) {
+    const auto req = a.next(0);
+    EXPECT_EQ(req.op, Op::kWrite);
+    EXPECT_EQ(req.addr.value(), 5u);
+  }
+}
+
+TEST(RandomAttack, CoversAddressSpace) {
+  RandomAttack a(64, 42);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto req = a.next(0);
+    EXPECT_LT(req.addr.value(), 64u);
+    seen.insert(req.addr.value());
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(ScanAttack, SequentialWrapping) {
+  ScanAttack a(4);
+  std::vector<std::uint32_t> addrs;
+  for (int i = 0; i < 9; ++i) addrs.push_back(a.next(0).addr.value());
+  EXPECT_EQ(addrs, (std::vector<std::uint32_t>{0, 1, 2, 3, 0, 1, 2, 3, 0}));
+}
+
+InconsistentAttackParams small_inconsistent() {
+  InconsistentAttackParams p;
+  p.num_addrs = 4;
+  p.mid_weight = 2;
+  p.heavy_weight = 8;
+  p.detector.warmup = 8;
+  p.detector.min_run = 3;
+  return p;
+}
+
+TEST(InconsistentAttack, PhaseAWeightsAscend) {
+  InconsistentAttack a(LogicalPageAddr(0), small_inconsistent());
+  std::map<std::uint32_t, int> counts;
+  // One full round: 1 + 2 + 2 + 8 = 13 writes.
+  for (int i = 0; i < 13; ++i) ++counts[a.next(0).addr.value()];
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[3], 8);
+}
+
+TEST(InconsistentAttack, ReversesAfterDetectedSwap) {
+  InconsistentAttack a(LogicalPageAddr(0), small_inconsistent());
+  // Warm the detector with calm latencies.
+  for (int i = 0; i < 50; ++i) (void)a.next(1000);
+  // Simulate a blocking swap phase followed by calm.
+  for (int i = 0; i < 6; ++i) (void)a.next(80000);
+  (void)a.next(1000);  // Phase end -> flip.
+  EXPECT_EQ(a.phase_flips(), 1u);
+  EXPECT_TRUE(a.in_reverse_phase());
+  // In reverse phase, address 0 is now the hammer target.
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 13; ++i) ++counts[a.next(1000).addr.value()];
+  EXPECT_EQ(counts[0], 8);
+  EXPECT_EQ(counts[3], 1);
+}
+
+TEST(InconsistentAttack, FlipsOnEveryDetectedSwap) {
+  InconsistentAttack a(LogicalPageAddr(0), small_inconsistent());
+  for (int i = 0; i < 50; ++i) (void)a.next(1000);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 6; ++i) (void)a.next(80000);
+    for (int i = 0; i < 20; ++i) (void)a.next(1000);
+  }
+  EXPECT_EQ(a.phase_flips(), 4u);
+  EXPECT_FALSE(a.in_reverse_phase());
+}
+
+TEST(InconsistentAttack, NeverFlipsWithoutLatencySignal) {
+  // Against TWL there are no blocking phases; the attack stays in phase A.
+  InconsistentAttack a(LogicalPageAddr(0), small_inconsistent());
+  for (int i = 0; i < 5000; ++i) (void)a.next(1000);
+  EXPECT_EQ(a.phase_flips(), 0u);
+}
+
+TEST(MakeAttack, BuildsAllNames) {
+  for (const auto& name : all_attack_names()) {
+    const auto attack = make_attack(name, 256, 1);
+    ASSERT_NE(attack, nullptr);
+    EXPECT_EQ(attack->name(), name);
+    const auto req = attack->next(0);
+    EXPECT_LT(req.addr.value(), 256u);
+  }
+}
+
+TEST(MakeAttack, RejectsUnknown) {
+  EXPECT_THROW(make_attack("rowhammer", 256, 1), std::invalid_argument);
+}
+
+TEST(MakeAttack, ClampsInconsistentAddressCountToDevice) {
+  const auto attack = make_attack("inconsistent", 8, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(attack->next(0).addr.value(), 8u);
+  }
+}
+
+TEST(InconsistentAttack, AdaptiveRetargetsHeavyWeightToSwapCadence) {
+  InconsistentAttackParams p = small_inconsistent();
+  p.adaptive = true;
+  InconsistentAttack a(LogicalPageAddr(0), p);
+  const auto initial_heavy = a.heavy_weight();
+  for (int i = 0; i < 50; ++i) (void)a.next(1000);
+  // Two detected swaps far apart: the second flip retargets the budget to
+  // roughly half the observed gap.
+  for (int i = 0; i < 6; ++i) (void)a.next(80000);
+  (void)a.next(1000);  // First flip (no retarget yet).
+  for (int i = 0; i < 2000; ++i) (void)a.next(1000);
+  for (int i = 0; i < 6; ++i) (void)a.next(80000);
+  (void)a.next(1000);  // Second flip: retarget to ~gap/2.
+  EXPECT_NE(a.heavy_weight(), initial_heavy);
+  EXPECT_GT(a.heavy_weight(), 500u);
+  EXPECT_LT(a.heavy_weight(), 1500u);
+}
+
+TEST(InconsistentAttack, StaticVariantKeepsItsWeight) {
+  InconsistentAttackParams p = small_inconsistent();
+  InconsistentAttack a(LogicalPageAddr(0), p);
+  for (int i = 0; i < 50; ++i) (void)a.next(1000);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 6; ++i) (void)a.next(80000);
+    for (int i = 0; i < 100; ++i) (void)a.next(1000);
+  }
+  EXPECT_EQ(a.heavy_weight(), p.heavy_weight);
+}
+
+TEST(MakeAttack, BuildsAdaptiveVariant) {
+  const auto attack = make_attack("inconsistent-adaptive", 64, 1);
+  EXPECT_EQ(attack->name(), "inconsistent");
+  const auto* inc = dynamic_cast<const InconsistentAttack*>(attack.get());
+  ASSERT_NE(inc, nullptr);
+}
+
+TEST(AllAttackNames, MatchesFigure6Order) {
+  EXPECT_EQ(all_attack_names(),
+            (std::vector<std::string>{"repeat", "random", "scan",
+                                      "inconsistent"}));
+}
+
+}  // namespace
+}  // namespace twl

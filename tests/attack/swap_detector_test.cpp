@@ -1,0 +1,106 @@
+#include "attack/swap_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+SwapDetectorParams fast_params() {
+  SwapDetectorParams p;
+  p.warmup = 8;
+  p.min_run = 3;
+  return p;
+}
+
+void feed_calm(SwapDetector& d, int n, Cycles latency = 1000) {
+  for (int i = 0; i < n; ++i) {
+    EXPECT_FALSE(d.observe(latency));
+  }
+}
+
+TEST(SwapDetector, NoEventOnSteadyLatency) {
+  SwapDetector d(fast_params());
+  feed_calm(d, 1000);
+  EXPECT_EQ(d.phases_detected(), 0u);
+}
+
+TEST(SwapDetector, DetectsBlockingPhaseCompletion) {
+  SwapDetector d(fast_params());
+  feed_calm(d, 20);
+  // Blocking phase: a run of very slow responses.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(d.observe(50000));
+  }
+  EXPECT_TRUE(d.in_swap_phase());
+  // First calm response ends the phase.
+  EXPECT_TRUE(d.observe(1000));
+  EXPECT_EQ(d.phases_detected(), 1u);
+  EXPECT_FALSE(d.in_swap_phase());
+}
+
+TEST(SwapDetector, IgnoresSingleModerateSpike) {
+  // A lone TWL toss-up swap roughly doubles one request's latency; even a
+  // 5x outlier (below the bulk factor) must not register as a swap phase.
+  SwapDetector d(fast_params());
+  feed_calm(d, 20);
+  EXPECT_FALSE(d.observe(5000));
+  EXPECT_FALSE(d.observe(1000));
+  EXPECT_FALSE(d.observe(5000));
+  EXPECT_FALSE(d.observe(1000));
+  EXPECT_EQ(d.phases_detected(), 0u);
+}
+
+TEST(SwapDetector, DetectsSingleBulkSpike) {
+  // A blocking reorganization drains before the attacker's next request,
+  // so it appears as one enormous latency: that alone must open (and the
+  // following calm response close) a phase.
+  SwapDetector d(fast_params());
+  feed_calm(d, 20);
+  EXPECT_FALSE(d.observe(50000));
+  EXPECT_TRUE(d.observe(1000));
+  EXPECT_EQ(d.phases_detected(), 1u);
+}
+
+TEST(SwapDetector, IgnoresShortRunBelowMinRun) {
+  SwapDetector d(fast_params());  // min_run = 3, bulk_factor = 8.
+  feed_calm(d, 20);
+  EXPECT_FALSE(d.observe(5000));
+  EXPECT_FALSE(d.observe(5000));
+  EXPECT_FALSE(d.observe(1000));  // Run of 2 < 3: no phase, no event.
+  EXPECT_EQ(d.phases_detected(), 0u);
+}
+
+TEST(SwapDetector, CountsMultiplePhases) {
+  SwapDetector d(fast_params());
+  feed_calm(d, 20);
+  for (int phase = 0; phase < 5; ++phase) {
+    for (int i = 0; i < 6; ++i) (void)d.observe(40000);
+    EXPECT_TRUE(d.observe(1000)) << "phase " << phase;
+    feed_calm(d, 10);
+  }
+  EXPECT_EQ(d.phases_detected(), 5u);
+}
+
+TEST(SwapDetector, BaselineTracksSlowDrift) {
+  SwapDetector d(fast_params());
+  feed_calm(d, 50, 1000);
+  // Latency drifts up slowly; the EWMA must follow without firing.
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(d.observe(1000 + i));
+  }
+  EXPECT_GT(d.baseline(), 2000.0);
+}
+
+TEST(SwapDetector, NoDetectionDuringWarmup) {
+  SwapDetectorParams p;
+  p.warmup = 100;
+  p.min_run = 2;
+  SwapDetector d(p);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(d.observe(i % 2 == 0 ? 1000 : 90000));
+  }
+  EXPECT_EQ(d.phases_detected(), 0u);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,77 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace twl {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, EqualsSyntax) {
+  const auto args = make({"--pages=4096", "--scheme=TWL"});
+  EXPECT_EQ(args.get_int_or("pages", 0), 4096);
+  EXPECT_EQ(args.get_or("scheme", ""), "TWL");
+}
+
+TEST(CliArgs, SpaceSyntax) {
+  const auto args = make({"--pages", "1024"});
+  EXPECT_EQ(args.get_int_or("pages", 0), 1024);
+}
+
+TEST(CliArgs, BareBooleanFlag) {
+  const auto args = make({"--verbose"});
+  EXPECT_TRUE(args.get_bool_or("verbose", false));
+}
+
+TEST(CliArgs, BooleanValues) {
+  EXPECT_TRUE(make({"--x=true"}).get_bool_or("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool_or("x", false));
+  EXPECT_TRUE(make({"--x=yes"}).get_bool_or("x", false));
+  EXPECT_FALSE(make({"--x=false"}).get_bool_or("x", true));
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  const auto args = make({});
+  EXPECT_EQ(args.get_int_or("pages", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double_or("sigma", 0.11), 0.11);
+  EXPECT_EQ(args.get_or("scheme", "TWL"), "TWL");
+  EXPECT_FALSE(args.get(std::string("missing")).has_value());
+}
+
+TEST(CliArgs, DoubleParsing) {
+  const auto args = make({"--sigma=0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("sigma", 0.0), 0.25);
+}
+
+TEST(CliArgs, RejectsPositionalArguments) {
+  EXPECT_THROW(make({"positional"}), std::invalid_argument);
+}
+
+TEST(CliArgs, IgnoresGoogleBenchmarkFlags) {
+  const auto args = make({"--benchmark_filter=foo", "--pages=8"});
+  EXPECT_EQ(args.get_int_or("pages", 0), 8);
+  EXPECT_FALSE(args.has("benchmark_filter"));
+}
+
+TEST(CliArgs, UnconsumedReportsUntouchedFlags) {
+  const auto args = make({"--pages=8", "--typo=1"});
+  (void)args.get_int_or("pages", 0);
+  const auto leftovers = args.unconsumed();
+  ASSERT_EQ(leftovers.size(), 1u);
+  EXPECT_EQ(leftovers[0], "typo");
+}
+
+TEST(CliArgs, HasMarksConsumed) {
+  const auto args = make({"--flag"});
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_TRUE(args.unconsumed().empty());
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,63 @@
+#include "common/small_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace twl {
+namespace {
+
+TEST(SmallVec, StartsEmpty) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVec, PushAndIndex) {
+  SmallVec<int, 4> v;
+  v.push_back(10);
+  v.push_back(20);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 20);
+}
+
+TEST(SmallVec, InitializerList) {
+  SmallVec<int, 4> v{1, 2, 3};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVec, RangeForIteration) {
+  SmallVec<int, 8> v{1, 2, 3, 4};
+  const int sum = std::accumulate(v.begin(), v.end(), 0);
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(SmallVec, ClearResets) {
+  SmallVec<int, 4> v{1, 2};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(9);
+  EXPECT_EQ(v[0], 9);
+}
+
+TEST(SmallVec, MutationThroughIndex) {
+  SmallVec<int, 2> v{5};
+  v[0] = 42;
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(SmallVec, ConstIteration) {
+  const SmallVec<int, 4> v{7, 8};
+  int count = 0;
+  for (int x : v) {
+    EXPECT_GT(x, 6);
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,86 @@
+#include "pcm/device.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+TEST(PcmDevice, TracksWritesPerPage) {
+  PcmDevice dev(EnduranceMap({100, 100, 100}));
+  dev.write(PhysicalPageAddr(1));
+  dev.write(PhysicalPageAddr(1));
+  dev.write(PhysicalPageAddr(2));
+  EXPECT_EQ(dev.writes(PhysicalPageAddr(0)), 0u);
+  EXPECT_EQ(dev.writes(PhysicalPageAddr(1)), 2u);
+  EXPECT_EQ(dev.writes(PhysicalPageAddr(2)), 1u);
+  EXPECT_EQ(dev.total_writes(), 3u);
+}
+
+TEST(PcmDevice, FailsExactlyAtEndurance) {
+  PcmDevice dev(EnduranceMap({3, 100}));
+  EXPECT_FALSE(dev.write(PhysicalPageAddr(0)));
+  EXPECT_FALSE(dev.write(PhysicalPageAddr(0)));
+  EXPECT_FALSE(dev.failed());
+  EXPECT_TRUE(dev.write(PhysicalPageAddr(0)));  // 3rd write kills it.
+  EXPECT_TRUE(dev.failed());
+  ASSERT_TRUE(dev.first_failed_page().has_value());
+  EXPECT_EQ(dev.first_failed_page()->value(), 0u);
+  ASSERT_TRUE(dev.writes_at_first_failure().has_value());
+  EXPECT_EQ(*dev.writes_at_first_failure(), 3u);
+}
+
+TEST(PcmDevice, FirstFailureIsLatched) {
+  PcmDevice dev(EnduranceMap({1, 1}));
+  dev.write(PhysicalPageAddr(1));
+  dev.write(PhysicalPageAddr(0));
+  ASSERT_TRUE(dev.first_failed_page().has_value());
+  EXPECT_EQ(dev.first_failed_page()->value(), 1u);
+  EXPECT_EQ(*dev.writes_at_first_failure(), 1u);
+}
+
+TEST(PcmDevice, WornOutQuery) {
+  PcmDevice dev(EnduranceMap({2, 2}));
+  EXPECT_FALSE(dev.worn_out(PhysicalPageAddr(0)));
+  dev.write(PhysicalPageAddr(0));
+  dev.write(PhysicalPageAddr(0));
+  EXPECT_TRUE(dev.worn_out(PhysicalPageAddr(0)));
+  EXPECT_FALSE(dev.worn_out(PhysicalPageAddr(1)));
+}
+
+TEST(PcmDevice, WritesBeyondEnduranceStillReportWorn) {
+  PcmDevice dev(EnduranceMap({1, 10}));
+  EXPECT_TRUE(dev.write(PhysicalPageAddr(0)));
+  EXPECT_TRUE(dev.write(PhysicalPageAddr(0)));
+}
+
+TEST(PcmDevice, WearFractions) {
+  PcmDevice dev(EnduranceMap({4, 8}));
+  dev.write(PhysicalPageAddr(0));
+  dev.write(PhysicalPageAddr(1));
+  dev.write(PhysicalPageAddr(1));
+  const auto fractions = dev.wear_fractions();
+  ASSERT_EQ(fractions.size(), 2u);
+  EXPECT_DOUBLE_EQ(fractions[0], 0.25);
+  EXPECT_DOUBLE_EQ(fractions[1], 0.25);
+}
+
+TEST(PcmDevice, ResetWearClearsEverything) {
+  PcmDevice dev(EnduranceMap({1, 5}));
+  dev.write(PhysicalPageAddr(0));
+  ASSERT_TRUE(dev.failed());
+  dev.reset_wear();
+  EXPECT_FALSE(dev.failed());
+  EXPECT_EQ(dev.total_writes(), 0u);
+  EXPECT_EQ(dev.writes(PhysicalPageAddr(0)), 0u);
+  EXPECT_FALSE(dev.first_failed_page().has_value());
+}
+
+TEST(PcmDevice, EnduranceAccessorsDelegate) {
+  PcmDevice dev(EnduranceMap({7, 9}));
+  EXPECT_EQ(dev.pages(), 2u);
+  EXPECT_EQ(dev.endurance(PhysicalPageAddr(1)), 9u);
+  EXPECT_EQ(dev.endurance_map().total_endurance(), 16u);
+}
+
+}  // namespace
+}  // namespace twl

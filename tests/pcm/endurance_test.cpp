@@ -1,0 +1,103 @@
+#include "pcm/endurance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace twl {
+namespace {
+
+EnduranceParams params(double mean, double sigma) {
+  EnduranceParams p;
+  p.mean = mean;
+  p.sigma_frac = sigma;
+  return p;
+}
+
+TEST(EnduranceMap, MatchesRequestedMoments) {
+  const EnduranceMap map(100000, params(1e6, 0.11), 42);
+  RunningStats s;
+  for (std::uint32_t i = 0; i < map.pages(); ++i) {
+    s.add(static_cast<double>(map.endurance(PhysicalPageAddr(i))));
+  }
+  EXPECT_NEAR(s.mean(), 1e6, 1e6 * 0.005);
+  EXPECT_NEAR(s.stddev(), 0.11e6, 0.11e6 * 0.02);
+}
+
+TEST(EnduranceMap, DeterministicForSeed) {
+  const EnduranceMap a(1000, params(1e4, 0.11), 7);
+  const EnduranceMap b(1000, params(1e4, 0.11), 7);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.endurance(PhysicalPageAddr(i)),
+              b.endurance(PhysicalPageAddr(i)));
+  }
+}
+
+TEST(EnduranceMap, DifferentSeedsDiffer) {
+  const EnduranceMap a(1000, params(1e4, 0.11), 7);
+  const EnduranceMap b(1000, params(1e4, 0.11), 8);
+  int same = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    if (a.endurance(PhysicalPageAddr(i)) ==
+        b.endurance(PhysicalPageAddr(i))) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(EnduranceMap, FlooredAtOnePercentOfMean) {
+  // Extreme sigma would otherwise produce non-positive endurance.
+  const EnduranceMap map(50000, params(1e4, 2.0), 3);
+  EXPECT_GE(map.min_endurance(), 100u);
+}
+
+TEST(EnduranceMap, ExplicitValuesPreserved) {
+  const EnduranceMap map({10, 20, 30});
+  EXPECT_EQ(map.pages(), 3u);
+  EXPECT_EQ(map.endurance(PhysicalPageAddr(1)), 20u);
+  EXPECT_EQ(map.total_endurance(), 60u);
+  EXPECT_EQ(map.min_endurance(), 10u);
+  EXPECT_EQ(map.max_endurance(), 30u);
+}
+
+TEST(EnduranceMap, SortedByEnduranceIsAscendingPermutation) {
+  const EnduranceMap map(4096, params(1e4, 0.11), 99);
+  const auto order = map.sorted_by_endurance();
+  ASSERT_EQ(order.size(), 4096u);
+  std::vector<bool> seen(4096, false);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(map.endurance(order[i - 1]), map.endurance(order[i]));
+  }
+  for (const auto pa : order) {
+    EXPECT_FALSE(seen[pa.value()]);
+    seen[pa.value()] = true;
+  }
+}
+
+TEST(EnduranceMap, TotalIsSum) {
+  const EnduranceMap map(1000, params(1e4, 0.11), 5);
+  std::uint64_t sum = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    sum += map.endurance(PhysicalPageAddr(i));
+  }
+  EXPECT_EQ(map.total_endurance(), sum);
+}
+
+class EnduranceSigmaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EnduranceSigmaSweep, StddevTracksSigma) {
+  const double sigma = GetParam();
+  const EnduranceMap map(50000, params(1e6, sigma), 11);
+  RunningStats s;
+  for (std::uint32_t i = 0; i < map.pages(); ++i) {
+    s.add(static_cast<double>(map.endurance(PhysicalPageAddr(i))));
+  }
+  EXPECT_NEAR(s.stddev() / s.mean(), sigma, sigma * 0.05 + 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, EnduranceSigmaSweep,
+                         ::testing::Values(0.01, 0.05, 0.11, 0.2, 0.3));
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,83 @@
+// Tests for the line-granularity endurance model.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "pcm/endurance.h"
+
+namespace twl {
+namespace {
+
+EnduranceParams line_params(double mean, double sigma) {
+  EnduranceParams p;
+  p.mean = mean;
+  p.sigma_frac = sigma;
+  return p;
+}
+
+TEST(LineModel, SingleLineNoDcwEqualsPageModelStatistics) {
+  // One line per page and dcw=1 degenerates to the page-level draw.
+  const auto map = EnduranceMap::from_line_model(20000, 1,
+                                                 line_params(1e6, 0.11),
+                                                 1.0, 5);
+  RunningStats s;
+  for (std::uint32_t i = 0; i < map.pages(); ++i) {
+    s.add(static_cast<double>(map.endurance(PhysicalPageAddr(i))));
+  }
+  EXPECT_NEAR(s.mean(), 1e6, 1e6 * 0.01);
+  EXPECT_NEAR(s.stddev() / s.mean(), 0.11, 0.02);
+}
+
+TEST(LineModel, MinOfLinesLowersMeanAndTightensSpread) {
+  const auto page_level = EnduranceMap(20000, line_params(1e6, 0.11), 6);
+  const auto line_level = EnduranceMap::from_line_model(
+      20000, 32, line_params(1e6, 0.11), 1.0, 6);
+  RunningStats page_s, line_s;
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    page_s.add(static_cast<double>(
+        page_level.endurance(PhysicalPageAddr(i))));
+    line_s.add(static_cast<double>(
+        line_level.endurance(PhysicalPageAddr(i))));
+  }
+  // Min of 32 Gaussians sits ~2 sigma below the mean...
+  EXPECT_LT(line_s.mean(), page_s.mean() * 0.85);
+  // ...with a tighter relative spread (extreme-value compression).
+  EXPECT_LT(line_s.stddev() / line_s.mean(),
+            page_s.stddev() / page_s.mean());
+}
+
+TEST(LineModel, DcwScalesEnduranceUp) {
+  // Writing only half the lines per page write doubles the page's
+  // sustainable page-write count.
+  const auto full = EnduranceMap::from_line_model(5000, 32,
+                                                  line_params(1e6, 0.11),
+                                                  1.0, 7);
+  const auto half = EnduranceMap::from_line_model(5000, 32,
+                                                  line_params(1e6, 0.11),
+                                                  0.5, 7);
+  const double ratio = static_cast<double>(half.total_endurance()) /
+                       static_cast<double>(full.total_endurance());
+  EXPECT_NEAR(ratio, 2.0, 1e-5);  // Integer truncation per page.
+}
+
+TEST(LineModel, DeterministicPerSeed) {
+  const auto a = EnduranceMap::from_line_model(100, 8,
+                                               line_params(1e5, 0.2), 0.5,
+                                               9);
+  const auto b = EnduranceMap::from_line_model(100, 8,
+                                               line_params(1e5, 0.2), 0.5,
+                                               9);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.endurance(PhysicalPageAddr(i)),
+              b.endurance(PhysicalPageAddr(i)));
+  }
+}
+
+TEST(LineModel, EnduranceIsPositive) {
+  const auto map = EnduranceMap::from_line_model(1000, 32,
+                                                 line_params(100, 0.5),
+                                                 0.5, 10);
+  EXPECT_GE(map.min_endurance(), 1u);
+}
+
+}  // namespace
+}  // namespace twl

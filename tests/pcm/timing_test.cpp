@@ -1,0 +1,103 @@
+#include "pcm/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+PcmGeometry small_geometry() {
+  PcmGeometry g;
+  g = g.scaled_to_pages(256);
+  return g;
+}
+
+TEST(PcmTiming, PageWriteCostReflectsDcwAndParallelism) {
+  const PcmGeometry g = small_geometry();
+  const PcmTimingParams t;
+  PcmTiming timing(g, t);
+  // 32 lines * 0.5 DCW / 8 parallel = 2 batches of SET latency.
+  EXPECT_EQ(timing.page_write_cycles(), 2 * t.set_latency);
+  // 32 lines / 8 per sense batch = 4 batches of read latency.
+  EXPECT_EQ(timing.page_read_cycles(), 4 * t.read_latency);
+}
+
+TEST(PcmTiming, BankOfIsStableAndInRange) {
+  PcmTiming timing(small_geometry(), PcmTimingParams{});
+  for (std::uint32_t p = 0; p < 256; ++p) {
+    const auto bank = timing.bank_of(PhysicalPageAddr(p));
+    EXPECT_LT(bank, small_geometry().banks);
+    EXPECT_EQ(bank, timing.bank_of(PhysicalPageAddr(p)));
+  }
+}
+
+TEST(PcmTiming, SameBankSerializes) {
+  PcmTiming timing(small_geometry(), PcmTimingParams{});
+  const PhysicalPageAddr pa(0);
+  const auto first = timing.service(pa, Op::kWrite, 0);
+  const auto second = timing.service(pa, Op::kWrite, 0);
+  EXPECT_EQ(first.start, 0u);
+  EXPECT_EQ(second.start, first.done);
+  EXPECT_EQ(second.done, 2 * timing.page_write_cycles());
+}
+
+TEST(PcmTiming, DifferentBanksOverlap) {
+  PcmTiming timing(small_geometry(), PcmTimingParams{});
+  const auto a = timing.service(PhysicalPageAddr(0), Op::kWrite, 0);
+  const auto b = timing.service(PhysicalPageAddr(1), Op::kWrite, 0);
+  EXPECT_EQ(a.start, 0u);
+  EXPECT_EQ(b.start, 0u);
+}
+
+TEST(PcmTiming, LateArrivalStartsAtArrival) {
+  PcmTiming timing(small_geometry(), PcmTimingParams{});
+  const auto r = timing.service(PhysicalPageAddr(0), Op::kRead, 5000);
+  EXPECT_EQ(r.start, 5000u);
+  EXPECT_EQ(r.done, 5000u + timing.page_read_cycles());
+}
+
+TEST(PcmTiming, BlockAllDelaysEveryBank) {
+  PcmTiming timing(small_geometry(), PcmTimingParams{});
+  timing.block_all_until(100000);
+  const auto r = timing.service(PhysicalPageAddr(3), Op::kRead, 0);
+  EXPECT_EQ(r.start, 100000u);
+}
+
+TEST(PcmTiming, ResetClearsBankState) {
+  PcmTiming timing(small_geometry(), PcmTimingParams{});
+  timing.block_all_until(100000);
+  timing.reset();
+  const auto r = timing.service(PhysicalPageAddr(3), Op::kRead, 0);
+  EXPECT_EQ(r.start, 0u);
+}
+
+TEST(PcmTiming, SingleBankDeviceWorks) {
+  PcmGeometry g;
+  g = g.scaled_to_pages(1);
+  PcmTiming timing(g, PcmTimingParams{});
+  const auto r = timing.service(PhysicalPageAddr(0), Op::kWrite, 0);
+  EXPECT_GT(r.done, r.start);
+}
+
+TEST(PcmGeometry, PagesAndLines) {
+  PcmGeometry g;
+  EXPECT_EQ(g.pages(), (32ULL << 30) / 4096);
+  EXPECT_EQ(g.lines_per_page(), 32u);
+}
+
+TEST(PcmGeometry, ScaledToPagesShrinksCapacity) {
+  PcmGeometry g;
+  const PcmGeometry s = g.scaled_to_pages(1024);
+  EXPECT_EQ(s.pages(), 1024u);
+  EXPECT_EQ(s.page_bytes, g.page_bytes);
+  EXPECT_LE(s.banks, g.banks);
+}
+
+TEST(PcmGeometry, ScalingTinyKeepsAtLeastOneBank) {
+  PcmGeometry g;
+  const PcmGeometry s = g.scaled_to_pages(2);
+  EXPECT_GE(s.banks, 1u);
+  EXPECT_LE(s.banks, 2u);
+}
+
+}  // namespace
+}  // namespace twl

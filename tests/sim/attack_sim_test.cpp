@@ -1,0 +1,93 @@
+#include "sim/attack_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+Config attack_config(std::uint64_t pages = 256, double endurance = 2000) {
+  SimScale scale;
+  scale.pages = pages;
+  scale.endurance_mean = endurance;
+  Config config = Config::scaled(scale);
+  // Short phases so attacks interact with several swap cycles quickly.
+  config.wrl.prediction_writes = 1024;
+  config.bwl.epoch_writes = 1024;
+  config.bwl.epoch_min = 256;
+  config.bwl.epoch_max = 8192;
+  return config;
+}
+
+TEST(AttackSimulator, RepeatKillsNowlQuickly) {
+  AttackSimulator sim(attack_config());
+  RepeatAttack attack(LogicalPageAddr(0));
+  const auto r = sim.run(Scheme::kNoWl, attack, 1u << 30);
+  ASSERT_TRUE(r.failed);
+  // Exactly the endurance of page 0: lifetime fraction ~ 1/pages.
+  EXPECT_LT(r.fraction_of_ideal, 0.01);
+}
+
+TEST(AttackSimulator, TwlSurvivesRepeatFarLongerThanNowl) {
+  AttackSimulator sim(attack_config());
+  RepeatAttack a1(LogicalPageAddr(0));
+  const auto nowl = sim.run(Scheme::kNoWl, a1, 1u << 30);
+  RepeatAttack a2(LogicalPageAddr(0));
+  const auto twl = sim.run(Scheme::kTossUpStrongWeak, a2, 1u << 30);
+  ASSERT_TRUE(nowl.failed);
+  ASSERT_TRUE(twl.failed);
+  EXPECT_GT(twl.fraction_of_ideal, 20 * nowl.fraction_of_ideal);
+}
+
+TEST(AttackSimulator, InconsistentBeatsBwlButNotTwl) {
+  // The paper's headline (Figure 6): BWL collapses under the
+  // inconsistent attack; TWL does not.
+  const Config config = attack_config(256, 2000);
+  AttackSimulator sim(config);
+
+  const auto bwl_attack = make_attack("inconsistent", 256, 1);
+  const auto bwl = sim.run(Scheme::kBloomWl, *bwl_attack, 1u << 30);
+
+  const auto twl_attack = make_attack("inconsistent", 256, 1);
+  const auto twl = sim.run(Scheme::kTossUpStrongWeak, *twl_attack, 1u << 30);
+
+  ASSERT_TRUE(bwl.failed);
+  ASSERT_TRUE(twl.failed);
+  EXPECT_GT(twl.fraction_of_ideal, 10 * bwl.fraction_of_ideal);
+}
+
+TEST(AttackSimulator, SrIsAttackAgnostic) {
+  // SR randomizes with secret keys: its lifetime fraction should be
+  // similar under all four attacks (the flat ~2.8yr bar of Figure 6).
+  const Config config = attack_config(256, 1000);
+  AttackSimulator sim(config);
+  std::vector<double> fractions;
+  for (const auto& name : all_attack_names()) {
+    const auto attack = make_attack(name, 256, 7);
+    const auto r = sim.run(Scheme::kSecurityRefresh, *attack, 1u << 30);
+    ASSERT_TRUE(r.failed) << name;
+    fractions.push_back(r.fraction_of_ideal);
+  }
+  const auto [lo, hi] =
+      std::minmax_element(fractions.begin(), fractions.end());
+  EXPECT_LT(*hi / *lo, 1.6);
+}
+
+TEST(AttackSimulator, TimeAdvancesMonotonically) {
+  AttackSimulator sim(attack_config(64, 500));
+  ScanAttack attack(64);
+  const auto r = sim.run(Scheme::kTossUpStrongWeak, attack, 1u << 30);
+  EXPECT_TRUE(r.failed);
+  EXPECT_GT(r.end_time, 0u);
+  EXPECT_EQ(r.attack, "scan");
+}
+
+TEST(AttackSimulator, CapTerminatesRun) {
+  AttackSimulator sim(attack_config(64, 1e9));
+  RepeatAttack attack(LogicalPageAddr(0));
+  const auto r = sim.run(Scheme::kSecurityRefresh, attack, 5000);
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.demand_writes, 5000u);
+}
+
+}  // namespace
+}  // namespace twl

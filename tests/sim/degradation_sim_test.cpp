@@ -1,0 +1,63 @@
+#include "sim/degradation_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "wl/factory.h"
+#include "wl/od3p.h"
+
+namespace twl {
+namespace {
+
+Config small_config(std::uint64_t pages, double endurance) {
+  SimScale scale;
+  scale.pages = pages;
+  scale.endurance_mean = endurance;
+  return Config::scaled(scale);
+}
+
+TEST(DegradationSimulator, ReachesFloorUnderOd3p) {
+  const Config config = small_config(64, 500);
+  DegradationSimulator sim(config);
+  const auto wl = make_wear_leveler_spec("od3p:NOWL", sim.endurance(),
+                                         config);
+  UniformTrace workload(64, 0.0, 1);
+  const auto r = sim.run(*wl, workload, /*alive_floor_frac=*/0.5,
+                         WriteCount{1} << 30);
+  EXPECT_TRUE(r.reached_floor);
+  EXPECT_GT(r.first_failure_writes, 0u);
+  EXPECT_GT(r.floor_writes, r.first_failure_writes);
+  ASSERT_FALSE(r.curve.empty());
+  // Dead-page counts are non-decreasing along the curve.
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GE(r.curve[i].dead_pages, r.curve[i - 1].dead_pages);
+    EXPECT_GE(r.curve[i].demand_writes, r.curve[i - 1].demand_writes);
+  }
+  EXPECT_EQ(r.scheme, "NOWL+OD3P");
+}
+
+TEST(DegradationSimulator, Od3pExtendsServiceWellPastFirstFailure) {
+  const Config config = small_config(128, 1000);
+  DegradationSimulator sim(config);
+  const auto wl =
+      make_wear_leveler_spec("od3p:TWL", sim.endurance(), config);
+  UniformTrace workload(128, 0.0, 2);
+  const auto r = sim.run(*wl, workload, 0.75, WriteCount{1} << 30);
+  EXPECT_TRUE(r.reached_floor);
+  // Service life to the 75%-capacity floor is far longer than to the
+  // first failure — the whole point of on-demand page pairing.
+  EXPECT_GT(r.floor_writes, r.first_failure_writes * 11 / 10);
+}
+
+TEST(DegradationSimulator, WriteCapTerminates) {
+  const Config config = small_config(64, 1e9);
+  DegradationSimulator sim(config);
+  const auto wl = make_wear_leveler_spec("od3p:NOWL", sim.endurance(),
+                                         config);
+  UniformTrace workload(64, 0.0, 3);
+  const auto r = sim.run(*wl, workload, 0.5, 5000);
+  EXPECT_FALSE(r.reached_floor);
+  EXPECT_EQ(r.stats.demand_writes, 5000u);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,116 @@
+#include "sim/lifetime_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+Config small_config(std::uint64_t pages, double endurance) {
+  SimScale scale;
+  scale.pages = pages;
+  scale.endurance_mean = endurance;
+  return Config::scaled(scale);
+}
+
+TEST(LifetimeSimulator, NowlRepeatDiesAtOnePageEndurance) {
+  const Config config = small_config(64, 1000);
+  LifetimeSimulator sim(config);
+  // A "workload" that hammers page 0.
+  class Hammer final : public RequestSource {
+   public:
+    std::string name() const override { return "hammer"; }
+    MemoryRequest next() override {
+      return MemoryRequest{Op::kWrite, LogicalPageAddr(0)};
+    }
+  } hammer;
+  const auto result = sim.run(Scheme::kNoWl, hammer, 1u << 30);
+  EXPECT_TRUE(result.failed);
+  EXPECT_EQ(result.demand_writes,
+            sim.endurance().endurance(PhysicalPageAddr(0)));
+}
+
+TEST(LifetimeSimulator, UniformNowlFractionNearMinEndurance) {
+  // Uniform traffic under identity mapping: every page wears at the same
+  // rate, so the weakest page dies at ~E_min/E_mean of ideal.
+  const Config config = small_config(256, 4000);
+  LifetimeSimulator sim(config);
+  UniformTrace uniform(256, 0.0, 9);
+  const auto result = sim.run(Scheme::kNoWl, uniform, 1u << 30);
+  ASSERT_TRUE(result.failed);
+  const double expected =
+      static_cast<double>(sim.endurance().min_endurance()) /
+      (static_cast<double>(sim.endurance().total_endurance()) / 256.0);
+  EXPECT_NEAR(result.fraction_of_ideal, expected, 0.05);
+}
+
+TEST(LifetimeSimulator, CapStopsUnfinishedRun) {
+  const Config config = small_config(64, 1e9);
+  LifetimeSimulator sim(config);
+  UniformTrace uniform(64, 0.0, 9);
+  const auto result = sim.run(Scheme::kNoWl, uniform, 1000);
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.demand_writes, 1000u);
+}
+
+TEST(LifetimeSimulator, ReadsAreFreeAndSkipped) {
+  const Config config = small_config(64, 1e9);
+  LifetimeSimulator sim(config);
+  UniformTrace mixed(64, 0.5, 9);
+  const auto result = sim.run(Scheme::kNoWl, mixed, 1000);
+  EXPECT_EQ(result.demand_writes, 1000u);
+  EXPECT_EQ(result.stats.reads, 0u);  // Reads skipped before the controller.
+}
+
+TEST(LifetimeSimulator, TwlOutlivesNowlUnderSkew) {
+  const Config config = small_config(256, 2000);
+  LifetimeSimulator sim(config);
+  SyntheticParams p;
+  p.pages = 256;
+  p.zipf_s = ZipfSampler::solve_exponent_for_top_fraction(256, 0.2);
+  p.read_frac = 0.0;
+  p.seed = 3;
+
+  SyntheticTrace w1(p);
+  const auto nowl = sim.run(Scheme::kNoWl, w1, 1u << 30);
+  SyntheticTrace w2(p);
+  const auto twl = sim.run(Scheme::kTossUpStrongWeak, w2, 1u << 30);
+  ASSERT_TRUE(nowl.failed);
+  ASSERT_TRUE(twl.failed);
+  EXPECT_GT(twl.fraction_of_ideal, 4 * nowl.fraction_of_ideal);
+}
+
+TEST(LifetimeSimulator, SameEnduranceSampleAcrossRuns) {
+  const Config config = small_config(64, 1000);
+  LifetimeSimulator sim(config);
+  EXPECT_EQ(sim.endurance().total_endurance(), sim.ideal_demand_writes());
+  UniformTrace a(64, 0.0, 1);
+  UniformTrace b(64, 0.0, 1);
+  const auto r1 = sim.run(Scheme::kNoWl, a, 1u << 30);
+  const auto r2 = sim.run(Scheme::kNoWl, b, 1u << 30);
+  EXPECT_EQ(r1.demand_writes, r2.demand_writes);
+}
+
+TEST(LifetimeSimulator, FractionOfIdealNeverExceedsOne) {
+  const Config config = small_config(128, 500);
+  LifetimeSimulator sim(config);
+  for (const Scheme s :
+       {Scheme::kNoWl, Scheme::kSecurityRefresh, Scheme::kTossUpStrongWeak}) {
+    UniformTrace uniform(128, 0.0, 4);
+    const auto result = sim.run(s, uniform, 1u << 30);
+    ASSERT_TRUE(result.failed) << to_string(s);
+    EXPECT_LE(result.fraction_of_ideal, 1.0) << to_string(s);
+    EXPECT_GT(result.fraction_of_ideal, 0.0) << to_string(s);
+  }
+}
+
+TEST(LifetimeSimulator, ResultCarriesNames) {
+  const Config config = small_config(64, 500);
+  LifetimeSimulator sim(config);
+  UniformTrace uniform(64, 0.0, 4);
+  const auto result = sim.run(Scheme::kSecurityRefresh, uniform, 1000);
+  EXPECT_EQ(result.scheme, "SR");
+  EXPECT_EQ(result.workload, "uniform");
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,148 @@
+#include "sim/memory_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "wl/factory.h"
+#include "wl/no_wl.h"
+
+namespace twl {
+namespace {
+
+Config small_config(std::uint64_t pages = 64, double endurance = 1000) {
+  SimScale scale;
+  scale.pages = pages;
+  scale.endurance_mean = endurance;
+  return Config::scaled(scale);
+}
+
+TEST(MemoryController, DemandWriteChargesWear) {
+  const Config config = small_config();
+  EnduranceMap map(config.geometry.pages(), config.endurance, 1);
+  PcmDevice device(map);
+  NoWl wl(map.pages());
+  MemoryController mc(device, wl, config, /*enable_timing=*/false);
+  mc.submit(MemoryRequest{Op::kWrite, LogicalPageAddr(3)}, 0);
+  EXPECT_EQ(device.writes(PhysicalPageAddr(3)), 1u);
+  EXPECT_EQ(mc.stats().demand_writes, 1u);
+  EXPECT_EQ(mc.stats().physical_writes(), 1u);
+  EXPECT_EQ(mc.stats().extra_writes(), 0u);
+}
+
+TEST(MemoryController, ReadsDoNotWear) {
+  const Config config = small_config();
+  EnduranceMap map(config.geometry.pages(), config.endurance, 1);
+  PcmDevice device(map);
+  NoWl wl(map.pages());
+  MemoryController mc(device, wl, config, false);
+  mc.submit(MemoryRequest{Op::kRead, LogicalPageAddr(3)}, 0);
+  EXPECT_EQ(device.total_writes(), 0u);
+  EXPECT_EQ(mc.stats().reads, 1u);
+}
+
+TEST(MemoryController, TimingDisabledReturnsZeroLatency) {
+  const Config config = small_config();
+  EnduranceMap map(config.geometry.pages(), config.endurance, 1);
+  PcmDevice device(map);
+  NoWl wl(map.pages());
+  MemoryController mc(device, wl, config, false);
+  EXPECT_EQ(mc.submit(MemoryRequest{Op::kWrite, LogicalPageAddr(0)}, 0), 0u);
+}
+
+TEST(MemoryController, TimingEnabledWriteLatencyMatchesDevice) {
+  const Config config = small_config();
+  EnduranceMap map(config.geometry.pages(), config.endurance, 1);
+  PcmDevice device(map);
+  NoWl wl(map.pages());
+  MemoryController mc(device, wl, config, true);
+  const PcmTiming timing(config.geometry, config.timing);
+  const Cycles lat =
+      mc.submit(MemoryRequest{Op::kWrite, LogicalPageAddr(0)}, 0);
+  EXPECT_EQ(lat, timing.page_write_cycles());
+}
+
+TEST(MemoryController, SameBankBackToBackQueues) {
+  const Config config = small_config();
+  EnduranceMap map(config.geometry.pages(), config.endurance, 1);
+  PcmDevice device(map);
+  NoWl wl(map.pages());
+  MemoryController mc(device, wl, config, true);
+  const Cycles l1 =
+      mc.submit(MemoryRequest{Op::kWrite, LogicalPageAddr(0)}, 0);
+  // Same page, issued at time 0 again: waits for the first to finish.
+  const Cycles l2 =
+      mc.submit(MemoryRequest{Op::kWrite, LogicalPageAddr(0)}, 0);
+  EXPECT_EQ(l2, 2 * l1);
+}
+
+TEST(MemoryController, DeviceFailurePropagates) {
+  Config config = small_config(4, 3);
+  EnduranceMap map({3, 1000, 1000, 1000});
+  PcmDevice device(map);
+  NoWl wl(map.pages());
+  MemoryController mc(device, wl, config, false);
+  for (int i = 0; i < 3; ++i) {
+    mc.submit(MemoryRequest{Op::kWrite, LogicalPageAddr(0)}, 0);
+  }
+  EXPECT_TRUE(mc.device_failed());
+}
+
+TEST(MemoryController, SchemeMigrationsCountedAsExtraWrites) {
+  Config config = small_config(64, 1e6);
+  config.twl.tossup_interval = 1;
+  config.twl.interpair_swap_interval = 0;
+  EnduranceMap map(config.geometry.pages(), config.endurance, 1);
+  PcmDevice device(map);
+  const auto wl =
+      make_wear_leveler(Scheme::kTossUpStrongWeak, map, config);
+  MemoryController mc(device, *wl, config, false);
+  for (int i = 0; i < 1000; ++i) {
+    mc.submit(MemoryRequest{Op::kWrite, LogicalPageAddr(5)}, 0);
+  }
+  EXPECT_EQ(mc.stats().demand_writes, 1000u);
+  EXPECT_GT(mc.stats().extra_writes(), 0u);
+  EXPECT_EQ(mc.stats().extra_writes(),
+            mc.stats().writes_by_purpose[static_cast<std::size_t>(
+                WritePurpose::kTossupSwap)]);
+}
+
+TEST(MemoryController, BlockingPhaseInflatesNextLatency) {
+  // A WRL swap phase blocks the banks; the next request must observe a
+  // large latency — the attacker's detection channel.
+  Config config = small_config(64, 1e6);
+  config.wrl.prediction_writes = 32;
+  config.wrl.swap_fraction = 0.25;
+  EnduranceMap map(config.geometry.pages(), config.endurance, 1);
+  PcmDevice device(map);
+  const auto wl =
+      make_wear_leveler(Scheme::kWearRateLeveling, map, config);
+  MemoryController mc(device, *wl, config, true);
+
+  Cycles now = 0;
+  Cycles calm_latency = 0;
+  Cycles max_latency = 0;
+  for (int i = 0; i < 64; ++i) {
+    const Cycles lat = mc.submit(
+        MemoryRequest{Op::kWrite,
+                      LogicalPageAddr(static_cast<std::uint32_t>(i % 16))},
+        now);
+    now += lat;
+    if (i == 4) calm_latency = lat;
+    max_latency = std::max(max_latency, lat);
+  }
+  EXPECT_GT(mc.stats().blocking_events, 0u);
+  EXPECT_GT(max_latency, 3 * calm_latency);
+}
+
+TEST(ControllerStats, ExtraWritesArithmetic) {
+  ControllerStats s;
+  s.writes_by_purpose[static_cast<std::size_t>(WritePurpose::kDemand)] = 10;
+  s.writes_by_purpose[static_cast<std::size_t>(WritePurpose::kTossupSwap)] =
+      3;
+  s.writes_by_purpose[static_cast<std::size_t>(
+      WritePurpose::kRefreshSwap)] = 2;
+  EXPECT_EQ(s.physical_writes(), 15u);
+  EXPECT_EQ(s.extra_writes(), 5u);
+}
+
+}  // namespace
+}  // namespace twl

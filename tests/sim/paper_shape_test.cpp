@@ -1,0 +1,138 @@
+// End-to-end assertions of the paper's headline *shapes* on a miniature
+// configuration — the contract the bench figures rely on, kept fast
+// enough for every CI run. Magnitudes live in EXPERIMENTS.md; these tests
+// pin the orderings.
+#include <gtest/gtest.h>
+
+#include "sim/attack_sim.h"
+#include "sim/lifetime_sim.h"
+#include "sim/timing_sim.h"
+#include "trace/parsec_model.h"
+
+namespace twl {
+namespace {
+
+Config mini_config() {
+  SimScale scale;
+  scale.pages = 512;
+  scale.endurance_mean = 16384;
+  return Config::scaled(scale);
+}
+
+double attack_fraction(const Config& config, Scheme scheme,
+                       const std::string& attack_name) {
+  AttackSimulator sim(config);
+  const auto attack = make_attack(attack_name, 512, config.seed);
+  const auto r = sim.run(scheme, *attack, WriteCount{1} << 40);
+  EXPECT_TRUE(r.failed) << to_string(scheme) << "/" << attack_name;
+  return r.fraction_of_ideal;
+}
+
+TEST(PaperShape, InconsistentAttackCollapsesPredictionSchemes) {
+  // The paper's core claim (Figure 6): BWL and WRL die orders of
+  // magnitude earlier than SR/TWL under the inconsistent attack.
+  const Config config = mini_config();
+  const double bwl =
+      attack_fraction(config, Scheme::kBloomWl, "inconsistent");
+  const double wrl =
+      attack_fraction(config, Scheme::kWearRateLeveling, "inconsistent");
+  const double sr =
+      attack_fraction(config, Scheme::kSecurityRefresh, "inconsistent");
+  const double twl =
+      attack_fraction(config, Scheme::kTossUpStrongWeak, "inconsistent");
+  EXPECT_GT(sr, 20 * bwl);
+  EXPECT_GT(sr, 20 * wrl);
+  EXPECT_GT(twl, 20 * bwl);
+  EXPECT_GE(twl, 0.9 * sr);  // TWL at least matches SR.
+}
+
+TEST(PaperShape, TwlSurvivesEveryAttackAboveHalfUniformBound) {
+  const Config config = mini_config();
+  for (const auto& name : all_attack_names()) {
+    const double f =
+        attack_fraction(config, Scheme::kTossUpStrongWeak, name);
+    EXPECT_GT(f, 0.25) << name;
+  }
+}
+
+TEST(PaperShape, NowlIsDestroyedByHammerAttacks) {
+  const Config config = mini_config();
+  EXPECT_LT(attack_fraction(config, Scheme::kNoWl, "repeat"), 0.01);
+  EXPECT_LT(attack_fraction(config, Scheme::kNoWl, "inconsistent"), 0.05);
+}
+
+TEST(PaperShape, SwpBeatsAdjacentPairingUnderRepeat) {
+  // Figure 6's TWL_swp vs TWL_ap mechanism: strong-weak pairing equalizes
+  // pair endurance sums, which pays off under hammer traffic.
+  const Config config = mini_config();
+  const double swp =
+      attack_fraction(config, Scheme::kTossUpStrongWeak, "repeat");
+  const double ap =
+      attack_fraction(config, Scheme::kTossUpAdjacent, "repeat");
+  EXPECT_GT(swp, 1.05 * ap);
+}
+
+TEST(PaperShape, PvAwareSchemesBeatUniformLevelingOnParsec) {
+  // Figure 8's ordering on a representative benchmark: NOWL << SR <
+  // {BWL, TWL}.
+  const Config config = mini_config();
+  LifetimeSimulator sim(config);
+  auto fraction = [&](Scheme scheme) {
+    const auto source = parsec_benchmark("canneal").make_source(512, 7);
+    const auto r = sim.run(scheme, *source, WriteCount{1} << 40);
+    EXPECT_TRUE(r.failed) << to_string(scheme);
+    return r.fraction_of_ideal;
+  };
+  const double nowl = fraction(Scheme::kNoWl);
+  const double sr = fraction(Scheme::kSecurityRefresh);
+  const double bwl = fraction(Scheme::kBloomWl);
+  const double twl = fraction(Scheme::kTossUpStrongWeak);
+  EXPECT_GT(sr, 5 * nowl);
+  EXPECT_GT(bwl, 1.2 * sr);
+  EXPECT_GT(twl, 1.2 * sr);
+}
+
+TEST(PaperShape, TossupSwapRatioFallsInverselyWithInterval) {
+  // Figure 7(a)'s law at two points.
+  const Config config = mini_config();
+  auto ratio_at = [&](std::uint32_t interval) {
+    Config c = config;
+    c.twl.tossup_interval = interval;
+    AttackSimulator sim(c);
+    ScanAttack scan(512);
+    const auto r =
+        sim.run(Scheme::kTossUpStrongWeak, scan, 200000);
+    return static_cast<double>(
+               r.stats.writes_by_purpose[static_cast<std::size_t>(
+                   WritePurpose::kTossupSwap)]) /
+           static_cast<double>(r.stats.demand_writes);
+  };
+  const double r1 = ratio_at(1);
+  const double r32 = ratio_at(32);
+  EXPECT_NEAR(r1, 0.5, 0.06);
+  EXPECT_NEAR(r1 / r32, 32.0, 8.0);
+}
+
+TEST(PaperShape, WearLevelingTimingOverheadOrdering) {
+  // Figure 9: BWL costs the most; SR and TWL stay in single digits.
+  SimScale scale;
+  scale.pages = 512;
+  scale.endurance_mean = 1e8;
+  const Config config = Config::scaled(scale);
+  TimingSimulator sim(config);
+  auto cycles = [&](Scheme scheme) {
+    UniformTrace t(512, 0.6, 3);
+    return sim.run(scheme, t, 40000).total_cycles;
+  };
+  const auto nowl = cycles(Scheme::kNoWl);
+  const auto sr = cycles(Scheme::kSecurityRefresh);
+  const auto twl = cycles(Scheme::kTossUpStrongWeak);
+  const auto bwl = cycles(Scheme::kBloomWl);
+  EXPECT_GT(bwl, twl);
+  EXPECT_GT(bwl, sr);
+  EXPECT_LT(static_cast<double>(twl) / static_cast<double>(nowl), 1.10);
+  EXPECT_LT(static_cast<double>(sr) / static_cast<double>(nowl), 1.10);
+}
+
+}  // namespace
+}  // namespace twl

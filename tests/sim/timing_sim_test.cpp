@@ -1,0 +1,105 @@
+#include "sim/timing_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+Config small_config() {
+  SimScale scale;
+  scale.pages = 256;
+  scale.endurance_mean = 1e9;  // Timing runs must not wear out.
+  return Config::scaled(scale);
+}
+
+TEST(TimingSimulator, ProducesNonzeroTime) {
+  TimingSimulator sim(small_config());
+  UniformTrace t(256, 0.6, 1);
+  const auto r = sim.run(Scheme::kNoWl, t, 5000);
+  EXPECT_GT(r.total_cycles, 0u);
+  EXPECT_EQ(r.demand_writes + r.reads, 5000u);
+}
+
+TEST(TimingSimulator, DeterministicForSameStream) {
+  TimingSimulator sim(small_config());
+  UniformTrace a(256, 0.6, 1);
+  UniformTrace b(256, 0.6, 1);
+  const auto ra = sim.run(Scheme::kNoWl, a, 5000);
+  const auto rb = sim.run(Scheme::kNoWl, b, 5000);
+  EXPECT_EQ(ra.total_cycles, rb.total_cycles);
+}
+
+TEST(TimingSimulator, WearLevelingCostsTime) {
+  // Any scheme with migrations must be at least as slow as NOWL on the
+  // same stream.
+  TimingSimulator sim(small_config());
+  for (const Scheme s : {Scheme::kSecurityRefresh, Scheme::kBloomWl,
+                         Scheme::kTossUpStrongWeak}) {
+    UniformTrace base(256, 0.6, 2);
+    UniformTrace loaded(256, 0.6, 2);
+    const auto nowl = sim.run(Scheme::kNoWl, base, 20000);
+    const auto scheme = sim.run(s, loaded, 20000);
+    EXPECT_GE(scheme.total_cycles, nowl.total_cycles) << to_string(s);
+  }
+}
+
+TEST(TimingSimulator, OverheadIsSmallFraction) {
+  // Figure 9's regime: single-digit percent overheads.
+  TimingSimulator sim(small_config());
+  UniformTrace base(256, 0.6, 2);
+  UniformTrace loaded(256, 0.6, 2);
+  const auto nowl = sim.run(Scheme::kNoWl, base, 20000);
+  const auto twl = sim.run(Scheme::kTossUpStrongWeak, loaded, 20000);
+  const double norm = static_cast<double>(twl.total_cycles) /
+                      static_cast<double>(nowl.total_cycles);
+  EXPECT_GT(norm, 1.0);
+  EXPECT_LT(norm, 1.25);
+}
+
+TEST(TimingSimulator, MoreParallelismIsNotSlower) {
+  const Config config = small_config();
+  UniformTrace a(256, 0.6, 3);
+  UniformTrace b(256, 0.6, 3);
+  TimingSimulator mlp1(config, 1);
+  TimingSimulator mlp8(config, 8);
+  const auto serial = mlp1.run(Scheme::kNoWl, a, 5000);
+  const auto parallel = mlp8.run(Scheme::kNoWl, b, 5000);
+  EXPECT_LE(parallel.total_cycles, serial.total_cycles);
+}
+
+TEST(TimingSimulator, LatencyPercentilesAreOrderedAndPlausible) {
+  TimingSimulator sim(small_config());
+  UniformTrace t(256, 0.5, 5);
+  const auto r = sim.run(Scheme::kNoWl, t, 10000);
+  ASSERT_GT(r.read_latency.count, 0u);
+  ASSERT_GT(r.write_latency.count, 0u);
+  EXPECT_LE(r.read_latency.p50, r.read_latency.p95);
+  EXPECT_LE(r.read_latency.p95, r.read_latency.p99);
+  EXPECT_LE(r.read_latency.p99, r.read_latency.max);
+  // Page writes are SET-dominated and much slower than reads.
+  EXPECT_GT(r.write_latency.p50, r.read_latency.p50);
+  EXPECT_GE(r.read_latency.mean, 1.0);
+}
+
+TEST(TimingSimulator, BlockingSchemesFattenTheLatencyTail) {
+  // BWL's bulk swap phases should show up as a p99/max write-latency tail
+  // far above NOWL's on the same stream.
+  TimingSimulator sim(small_config());
+  UniformTrace a(256, 0.5, 6);
+  UniformTrace b(256, 0.5, 6);
+  const auto nowl = sim.run(Scheme::kNoWl, a, 30000);
+  const auto bwl = sim.run(Scheme::kBloomWl, b, 30000);
+  EXPECT_GT(bwl.write_latency.max, 2 * nowl.write_latency.max);
+}
+
+TEST(TimingSimulator, ResultCarriesStats) {
+  TimingSimulator sim(small_config());
+  UniformTrace t(256, 0.0, 4);
+  const auto r = sim.run(Scheme::kSecurityRefresh, t, 4000);
+  EXPECT_EQ(r.scheme, "SR");
+  EXPECT_EQ(r.demand_writes, 4000u);
+  EXPECT_GT(r.stats.extra_writes(), 0u);
+}
+
+}  // namespace
+}  // namespace twl

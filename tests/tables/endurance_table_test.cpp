@@ -1,0 +1,61 @@
+#include "tables/endurance_table.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+TEST(EnduranceTable, QuantizesByScale) {
+  const EnduranceMap map({160, 320, 175});
+  const EnduranceTable et(map, 27, /*scale=*/16);
+  EXPECT_EQ(et.endurance(PhysicalPageAddr(0)), 160u);
+  EXPECT_EQ(et.endurance(PhysicalPageAddr(1)), 320u);
+  // 175/16 = 10 (floor), rescaled to 160: quantization loses the remainder.
+  EXPECT_EQ(et.endurance(PhysicalPageAddr(2)), 160u);
+}
+
+TEST(EnduranceTable, SaturatesAtEntryWidth) {
+  const EnduranceMap map({std::uint64_t{1} << 40});
+  const EnduranceTable et(map, 8, /*scale=*/1);
+  EXPECT_EQ(et.endurance(PhysicalPageAddr(0)), 255u);
+}
+
+TEST(EnduranceTable, PaperScaleFitsIn27Bits) {
+  // 1e8 endurance with scale 16 needs 6.25e6 < 2^27 entries: no clipping.
+  const EnduranceMap map({100000000});
+  const EnduranceTable et(map, 27, 16);
+  EXPECT_EQ(et.endurance(PhysicalPageAddr(0)), 100000000u);
+}
+
+TEST(EnduranceTable, QuantizationErrorBounded) {
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 1000; v < 2000; v += 7) values.push_back(v);
+  const EnduranceMap map(values);
+  const EnduranceTable et(map, 27, 16);
+  for (std::uint32_t i = 0; i < map.pages(); ++i) {
+    const auto truth = map.endurance(PhysicalPageAddr(i));
+    const auto q = et.endurance(PhysicalPageAddr(i));
+    EXPECT_LE(q, truth);
+    EXPECT_LT(truth - q, 16u);
+  }
+}
+
+TEST(EnduranceTable, ReportsWidth) {
+  const EnduranceMap map({1});
+  const EnduranceTable et(map, 27);
+  EXPECT_EQ(et.entry_bits(), 27u);
+  EXPECT_EQ(et.bits_per_page(), 27u);
+  EXPECT_EQ(et.pages(), 1u);
+}
+
+TEST(EnduranceTable, PreservesRelativeOrderModuloQuantization) {
+  const EnduranceMap map({100, 200, 400, 800});
+  const EnduranceTable et(map, 27, 16);
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    EXPECT_LE(et.endurance(PhysicalPageAddr(i - 1)),
+              et.endurance(PhysicalPageAddr(i)));
+  }
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,100 @@
+#include "tables/pair_table.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+EnduranceMap ascending_map(std::uint64_t n) {
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < n; ++i) values.push_back(100 + i * 10);
+  return EnduranceMap(std::move(values));
+}
+
+TEST(PairTable, AdjacentPairsNeighbours) {
+  const PairTable pt(ascending_map(8), PairingPolicy::kAdjacent);
+  EXPECT_EQ(pt.partner(PhysicalPageAddr(0)).value(), 1u);
+  EXPECT_EQ(pt.partner(PhysicalPageAddr(1)).value(), 0u);
+  EXPECT_EQ(pt.partner(PhysicalPageAddr(6)).value(), 7u);
+  EXPECT_TRUE(pt.is_perfect_matching());
+}
+
+TEST(PairTable, StrongWeakPairsExtremes) {
+  // Endurance ascending with index: weakest=0, strongest=7.
+  const PairTable pt(ascending_map(8), PairingPolicy::kStrongWeak);
+  EXPECT_EQ(pt.partner(PhysicalPageAddr(0)).value(), 7u);
+  EXPECT_EQ(pt.partner(PhysicalPageAddr(7)).value(), 0u);
+  EXPECT_EQ(pt.partner(PhysicalPageAddr(1)).value(), 6u);
+  EXPECT_EQ(pt.partner(PhysicalPageAddr(3)).value(), 4u);
+  EXPECT_TRUE(pt.is_perfect_matching());
+}
+
+TEST(PairTable, StrongWeakMinimizesPairSumVariance) {
+  // The property that makes SWP improve lifetime (Section 4.3): pair
+  // endurance sums are near-constant under SWP, widely spread under
+  // adjacent pairing of a randomly ordered device.
+  EnduranceParams params;
+  params.mean = 1e4;
+  params.sigma_frac = 0.2;
+  const EnduranceMap map(1024, params, 321);
+
+  auto pair_sum_range = [&](const PairTable& pt) {
+    std::uint64_t lo = ~0ULL, hi = 0;
+    for (std::uint32_t i = 0; i < map.pages(); ++i) {
+      const auto p = pt.partner(PhysicalPageAddr(i));
+      const std::uint64_t sum = map.endurance(PhysicalPageAddr(i)) +
+                                map.endurance(PhysicalPageAddr(p.value()));
+      lo = std::min(lo, sum);
+      hi = std::max(hi, sum);
+    }
+    return hi - lo;
+  };
+
+  const PairTable swp(map, PairingPolicy::kStrongWeak);
+  const PairTable ap(map, PairingPolicy::kAdjacent);
+  EXPECT_LT(pair_sum_range(swp), pair_sum_range(ap) / 2);
+}
+
+TEST(PairTable, RandomPolicyIsPerfectMatching) {
+  const PairTable pt(ascending_map(64), PairingPolicy::kRandom, 99);
+  EXPECT_TRUE(pt.is_perfect_matching());
+}
+
+TEST(PairTable, RandomPolicyDependsOnSeed) {
+  const PairTable a(ascending_map(64), PairingPolicy::kRandom, 1);
+  const PairTable b(ascending_map(64), PairingPolicy::kRandom, 2);
+  int diff = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    if (a.partner(PhysicalPageAddr(i)) != b.partner(PhysicalPageAddr(i))) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 32);
+}
+
+TEST(PairTable, ExplicitMatchingAccepted) {
+  const PairTable pt(std::vector<std::uint32_t>{1, 0, 3, 2});
+  EXPECT_EQ(pt.partner(PhysicalPageAddr(2)).value(), 3u);
+  EXPECT_TRUE(pt.is_perfect_matching());
+}
+
+TEST(PairTable, NoPageIsItsOwnPartner) {
+  for (const auto policy :
+       {PairingPolicy::kAdjacent, PairingPolicy::kStrongWeak,
+        PairingPolicy::kRandom}) {
+    const PairTable pt(ascending_map(128), policy, 5);
+    for (std::uint32_t i = 0; i < 128; ++i) {
+      EXPECT_NE(pt.partner(PhysicalPageAddr(i)).value(), i)
+          << to_string(policy);
+    }
+  }
+}
+
+TEST(PairTable, TiedEndurancesStillMatchPerfectly) {
+  const PairTable pt(EnduranceMap(std::vector<std::uint64_t>(32, 500)),
+                     PairingPolicy::kStrongWeak);
+  EXPECT_TRUE(pt.is_perfect_matching());
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,92 @@
+#include "tables/remapping_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace twl {
+namespace {
+
+TEST(RemappingTable, StartsAsIdentity) {
+  RemappingTable rt(16);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(rt.to_physical(LogicalPageAddr(i)).value(), i);
+    EXPECT_EQ(rt.to_logical(PhysicalPageAddr(i)).value(), i);
+  }
+  EXPECT_TRUE(rt.is_consistent());
+}
+
+TEST(RemappingTable, SwapLogicalExchangesHomes) {
+  RemappingTable rt(4);
+  rt.swap_logical(LogicalPageAddr(0), LogicalPageAddr(3));
+  EXPECT_EQ(rt.to_physical(LogicalPageAddr(0)).value(), 3u);
+  EXPECT_EQ(rt.to_physical(LogicalPageAddr(3)).value(), 0u);
+  EXPECT_EQ(rt.to_logical(PhysicalPageAddr(3)).value(), 0u);
+  EXPECT_EQ(rt.to_logical(PhysicalPageAddr(0)).value(), 3u);
+  EXPECT_TRUE(rt.is_consistent());
+}
+
+TEST(RemappingTable, SwapPhysicalExchangesOwners) {
+  RemappingTable rt(4);
+  rt.swap_physical(PhysicalPageAddr(1), PhysicalPageAddr(2));
+  EXPECT_EQ(rt.to_physical(LogicalPageAddr(1)).value(), 2u);
+  EXPECT_EQ(rt.to_physical(LogicalPageAddr(2)).value(), 1u);
+  EXPECT_TRUE(rt.is_consistent());
+}
+
+TEST(RemappingTable, SelfSwapIsNoop) {
+  RemappingTable rt(4);
+  rt.swap_logical(LogicalPageAddr(2), LogicalPageAddr(2));
+  EXPECT_EQ(rt.to_physical(LogicalPageAddr(2)).value(), 2u);
+  EXPECT_TRUE(rt.is_consistent());
+}
+
+TEST(RemappingTable, DoubleSwapRestoresIdentity) {
+  RemappingTable rt(8);
+  rt.swap_logical(LogicalPageAddr(1), LogicalPageAddr(5));
+  rt.swap_logical(LogicalPageAddr(1), LogicalPageAddr(5));
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(rt.to_physical(LogicalPageAddr(i)).value(), i);
+  }
+}
+
+TEST(RemappingTable, ChainedSwapsComposeCorrectly) {
+  RemappingTable rt(3);
+  rt.swap_logical(LogicalPageAddr(0), LogicalPageAddr(1));  // 0->1, 1->0
+  rt.swap_logical(LogicalPageAddr(1), LogicalPageAddr(2));  // 1->2, 2->0
+  EXPECT_EQ(rt.to_physical(LogicalPageAddr(0)).value(), 1u);
+  EXPECT_EQ(rt.to_physical(LogicalPageAddr(1)).value(), 2u);
+  EXPECT_EQ(rt.to_physical(LogicalPageAddr(2)).value(), 0u);
+  EXPECT_TRUE(rt.is_consistent());
+}
+
+TEST(RemappingTable, PropertyRandomSwapStressStaysBijective) {
+  RemappingTable rt(257);  // Odd, non-power-of-two size.
+  XorShift64Star rng(1234);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(257));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(257));
+    if (rng.next_below(2) == 0) {
+      rt.swap_logical(LogicalPageAddr(a), LogicalPageAddr(b));
+    } else {
+      rt.swap_physical(PhysicalPageAddr(a), PhysicalPageAddr(b));
+    }
+  }
+  EXPECT_TRUE(rt.is_consistent());
+}
+
+TEST(RemappingTable, RoundTripAfterStress) {
+  RemappingTable rt(64);
+  XorShift64Star rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    rt.swap_logical(
+        LogicalPageAddr(static_cast<std::uint32_t>(rng.next_below(64))),
+        LogicalPageAddr(static_cast<std::uint32_t>(rng.next_below(64))));
+  }
+  for (std::uint32_t la = 0; la < 64; ++la) {
+    EXPECT_EQ(rt.to_logical(rt.to_physical(LogicalPageAddr(la))).value(), la);
+  }
+}
+
+}  // namespace
+}  // namespace twl

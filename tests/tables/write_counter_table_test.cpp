@@ -1,0 +1,52 @@
+#include "tables/write_counter_table.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+TEST(WriteCounterTable, StartsAtZero) {
+  WriteCounterTable wct(8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(wct.value(LogicalPageAddr(i)), 0u);
+  }
+}
+
+TEST(WriteCounterTable, IncrementReturnsNewValue) {
+  WriteCounterTable wct(4);
+  EXPECT_EQ(wct.increment(LogicalPageAddr(2)), 1u);
+  EXPECT_EQ(wct.increment(LogicalPageAddr(2)), 2u);
+  EXPECT_EQ(wct.value(LogicalPageAddr(2)), 2u);
+  EXPECT_EQ(wct.value(LogicalPageAddr(0)), 0u);
+}
+
+TEST(WriteCounterTable, SevenBitsSaturateAt127) {
+  WriteCounterTable wct(1, 7);
+  EXPECT_EQ(wct.max_value(), 127u);
+  for (int i = 0; i < 200; ++i) wct.increment(LogicalPageAddr(0));
+  EXPECT_EQ(wct.value(LogicalPageAddr(0)), 127u);
+}
+
+TEST(WriteCounterTable, EightBitsSaturateAt255) {
+  WriteCounterTable wct(1, 8);
+  for (int i = 0; i < 300; ++i) wct.increment(LogicalPageAddr(0));
+  EXPECT_EQ(wct.value(LogicalPageAddr(0)), 255u);
+}
+
+TEST(WriteCounterTable, ResetClearsOnlyThatPage) {
+  WriteCounterTable wct(3);
+  wct.increment(LogicalPageAddr(0));
+  wct.increment(LogicalPageAddr(1));
+  wct.reset(LogicalPageAddr(0));
+  EXPECT_EQ(wct.value(LogicalPageAddr(0)), 0u);
+  EXPECT_EQ(wct.value(LogicalPageAddr(1)), 1u);
+}
+
+TEST(WriteCounterTable, ReportsCounterBits) {
+  WriteCounterTable wct(2, 7);
+  EXPECT_EQ(wct.counter_bits(), 7u);
+  EXPECT_EQ(wct.pages(), 2u);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,57 @@
+#include "tables/write_number_table.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+TEST(WriteNumberTable, CountsWrites) {
+  WriteNumberTable wnt(4);
+  wnt.record_write(LogicalPageAddr(1));
+  wnt.record_write(LogicalPageAddr(1));
+  wnt.record_write(LogicalPageAddr(3));
+  EXPECT_EQ(wnt.count(LogicalPageAddr(1)), 2u);
+  EXPECT_EQ(wnt.count(LogicalPageAddr(3)), 1u);
+  EXPECT_EQ(wnt.count(LogicalPageAddr(0)), 0u);
+}
+
+TEST(WriteNumberTable, HottestFirstSortsDescending) {
+  WriteNumberTable wnt(4);
+  // Figure 1(b): WNT = {9, 4, 4, 2}.
+  for (int i = 0; i < 9; ++i) wnt.record_write(LogicalPageAddr(0));
+  for (int i = 0; i < 4; ++i) wnt.record_write(LogicalPageAddr(1));
+  for (int i = 0; i < 4; ++i) wnt.record_write(LogicalPageAddr(2));
+  for (int i = 0; i < 2; ++i) wnt.record_write(LogicalPageAddr(3));
+  const auto order = wnt.hottest_first();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0].value(), 0u);
+  EXPECT_EQ(order[3].value(), 3u);
+  // Stable sort keeps ties in index order.
+  EXPECT_EQ(order[1].value(), 1u);
+  EXPECT_EQ(order[2].value(), 2u);
+}
+
+TEST(WriteNumberTable, ClearResetsAll) {
+  WriteNumberTable wnt(2);
+  wnt.record_write(LogicalPageAddr(0));
+  wnt.clear();
+  EXPECT_EQ(wnt.count(LogicalPageAddr(0)), 0u);
+}
+
+TEST(WriteNumberTable, HottestFirstIsPermutation) {
+  WriteNumberTable wnt(16);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    for (std::uint32_t j = 0; j < (i * 7) % 5; ++j) {
+      wnt.record_write(LogicalPageAddr(i));
+    }
+  }
+  const auto order = wnt.hottest_first();
+  std::vector<bool> seen(16, false);
+  for (const auto la : order) {
+    EXPECT_FALSE(seen[la.value()]);
+    seen[la.value()] = true;
+  }
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,92 @@
+#include "trace/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace twl {
+namespace {
+
+TEST(ZipfSampler, ExponentZeroIsUniform) {
+  ZipfSampler z(8, 0.0);
+  EXPECT_NEAR(z.top_probability(), 1.0 / 8.0, 1e-12);
+}
+
+TEST(ZipfSampler, TopProbabilityMatchesHarmonic) {
+  ZipfSampler z(100, 1.0);
+  EXPECT_NEAR(z.top_probability(), 1.0 / ZipfSampler::harmonic(100, 1.0),
+              1e-12);
+}
+
+TEST(ZipfSampler, HarmonicKnownValues) {
+  EXPECT_DOUBLE_EQ(ZipfSampler::harmonic(1, 1.0), 1.0);
+  EXPECT_NEAR(ZipfSampler::harmonic(4, 1.0), 1 + 0.5 + 1.0 / 3 + 0.25,
+              1e-12);
+  EXPECT_DOUBLE_EQ(ZipfSampler::harmonic(5, 0.0), 5.0);
+}
+
+TEST(ZipfSampler, SamplesStayInRange) {
+  ZipfSampler z(16, 1.2);
+  XorShift64Star rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.sample(rng), 16u);
+  }
+}
+
+TEST(ZipfSampler, EmpiricalTopFrequencyMatchesTheory) {
+  ZipfSampler z(64, 1.0);
+  XorShift64Star rng(2);
+  const int n = 200000;
+  int top = 0;
+  for (int i = 0; i < n; ++i) {
+    if (z.sample(rng) == 0) ++top;
+  }
+  EXPECT_NEAR(static_cast<double>(top) / n, z.top_probability(), 0.01);
+}
+
+TEST(ZipfSampler, MonotoneRankFrequencies) {
+  ZipfSampler z(8, 1.5);
+  XorShift64Star rng(3);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(rng)];
+  for (int r = 1; r < 8; ++r) {
+    EXPECT_GE(counts[r - 1], counts[r] - 300);
+  }
+}
+
+TEST(SolveExponent, RecoversKnownExponent) {
+  const double s_true = 1.3;
+  const double top = 1.0 / ZipfSampler::harmonic(1000, s_true);
+  const double s = ZipfSampler::solve_exponent_for_top_fraction(1000, top);
+  EXPECT_NEAR(s, s_true, 1e-6);
+}
+
+TEST(SolveExponent, UniformBoundary) {
+  // top_frac barely above 1/n -> s near 0.
+  const double s =
+      ZipfSampler::solve_exponent_for_top_fraction(100, 0.0101);
+  EXPECT_LT(s, 0.05);
+}
+
+TEST(SolveExponent, HighConcentration) {
+  const double s = ZipfSampler::solve_exponent_for_top_fraction(100, 0.9);
+  ZipfSampler z(100, s);
+  EXPECT_NEAR(z.top_probability(), 0.9, 1e-6);
+}
+
+class SolveExponentRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(SolveExponentRoundTrip, TopFractionRoundTrips) {
+  const double target = GetParam();
+  const double s =
+      ZipfSampler::solve_exponent_for_top_fraction(4096, target);
+  ZipfSampler z(4096, s);
+  EXPECT_NEAR(z.top_probability(), target, target * 1e-6 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SolveExponentRoundTrip,
+                         ::testing::Values(0.001, 0.005, 0.01, 0.05, 0.2,
+                                           0.5, 0.9));
+
+}  // namespace
+}  // namespace twl

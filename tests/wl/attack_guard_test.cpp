@@ -1,0 +1,119 @@
+#include "wl/attack_guard.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "wl/no_wl.h"
+#include "wl/shadow_sink.h"
+
+namespace twl {
+namespace {
+
+AttackGuardParams fast_params() {
+  AttackGuardParams p;
+  p.window_writes = 256;
+  p.hot_share_threshold = 0.10;  // > ~25 writes per window is suspicious.
+  p.scramble_interval = 16;
+  p.throttle_cycles = 5000;
+  return p;
+}
+
+AttackGuard make_guard(std::uint64_t pages,
+                       const AttackGuardParams& params = fast_params()) {
+  return AttackGuard(std::make_unique<NoWl>(pages), params, 7);
+}
+
+TEST(AttackGuard, NameComposesWithInner) {
+  auto guard = make_guard(16);
+  EXPECT_EQ(guard.name(), "Guard(NOWL)");
+  EXPECT_EQ(guard.logical_pages(), 16u);
+}
+
+TEST(AttackGuard, BenignTrafficIsNotFlagged) {
+  auto guard = make_guard(64);
+  testing::ShadowSink sink(64);
+  XorShift64Star rng(1);
+  for (int i = 0; i < 4096; ++i) {
+    guard.write(
+        LogicalPageAddr(static_cast<std::uint32_t>(rng.next_below(64))),
+        sink);
+  }
+  EXPECT_EQ(guard.guard_stats().suspicious_writes, 0u);
+  EXPECT_EQ(guard.guard_stats().scrambles, 0u);
+}
+
+TEST(AttackGuard, HammerStreamIsFlaggedAndThrottled) {
+  auto guard = make_guard(64);
+  testing::ShadowSink sink(64);
+  const Cycles before = sink.engine_cycles();
+  for (int i = 0; i < 1024; ++i) {
+    guard.write(LogicalPageAddr(0), sink);
+  }
+  EXPECT_GT(guard.guard_stats().suspicious_writes, 512u);
+  // Throttle latency dominates the engine charge.
+  EXPECT_GT(sink.engine_cycles() - before,
+            guard.guard_stats().suspicious_writes * 5000);
+}
+
+TEST(AttackGuard, HammerTriggersScrambles) {
+  auto guard = make_guard(64);
+  testing::ShadowSink sink(64);
+  std::set<std::uint32_t> homes;
+  for (int i = 0; i < 4096; ++i) {
+    homes.insert(guard.map_read(LogicalPageAddr(0)).value());
+    guard.write(LogicalPageAddr(0), sink);
+  }
+  EXPECT_GT(guard.guard_stats().scrambles, 32u);
+  EXPECT_GT(homes.size(), 16u);  // The hammered page keeps moving.
+}
+
+TEST(AttackGuard, DataIntegrityUnderHammer) {
+  auto guard = make_guard(32);
+  testing::ShadowSink sink(32);
+  // Touch everything once so integrity covers all pages, then hammer.
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    guard.write(LogicalPageAddr(i), sink);
+  }
+  for (int i = 0; i < 4096; ++i) {
+    guard.write(LogicalPageAddr(5), sink);
+  }
+  EXPECT_FALSE(sink.first_integrity_violation(guard).has_value());
+  EXPECT_TRUE(guard.invariants_hold());
+}
+
+TEST(AttackGuard, WindowResetsSuspicion) {
+  AttackGuardParams p = fast_params();
+  p.window_writes = 64;
+  auto guard = make_guard(64, p);
+  testing::ShadowSink sink(64);
+  // 20 hammer writes (flagged), then benign traffic: a fresh window must
+  // clear the estimate.
+  for (int i = 0; i < 20; ++i) guard.write(LogicalPageAddr(0), sink);
+  const auto flagged = guard.guard_stats().suspicious_writes;
+  EXPECT_GT(flagged, 0u);
+  for (int i = 0; i < 64; ++i) {
+    guard.write(LogicalPageAddr(static_cast<std::uint32_t>(1 + i % 63)),
+                sink);
+  }
+  guard.write(LogicalPageAddr(0), sink);  // One write, new window.
+  EXPECT_EQ(guard.guard_stats().suspicious_writes, flagged);
+}
+
+TEST(AttackGuard, PermutationStaysConsistentUnderStress) {
+  auto guard = make_guard(128);
+  testing::ShadowSink sink(128);
+  XorShift64Star rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    // Alternate hammer bursts and random traffic.
+    const auto la = (i / 512) % 2 == 0
+                        ? LogicalPageAddr(3)
+                        : LogicalPageAddr(static_cast<std::uint32_t>(
+                              rng.next_below(128)));
+    guard.write(la, sink);
+  }
+  EXPECT_TRUE(guard.invariants_hold());
+  EXPECT_FALSE(sink.first_integrity_violation(guard).has_value());
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,73 @@
+#include "wl/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+TEST(CountingBloomFilter, NeverUndercounts) {
+  CountingBloomFilter cbf(1024, 4, 1);
+  for (int i = 0; i < 50; ++i) cbf.increment(LogicalPageAddr(7));
+  EXPECT_GE(cbf.estimate(LogicalPageAddr(7)), 50u);
+}
+
+TEST(CountingBloomFilter, ExactWhenSparse) {
+  CountingBloomFilter cbf(1u << 14, 4, 2);
+  for (int i = 0; i < 9; ++i) cbf.increment(LogicalPageAddr(1));
+  for (int i = 0; i < 4; ++i) cbf.increment(LogicalPageAddr(2));
+  EXPECT_EQ(cbf.estimate(LogicalPageAddr(1)), 9u);
+  EXPECT_EQ(cbf.estimate(LogicalPageAddr(2)), 4u);
+  EXPECT_EQ(cbf.estimate(LogicalPageAddr(3)), 0u);
+}
+
+TEST(CountingBloomFilter, OverestimationIsBoundedUnderLoad) {
+  CountingBloomFilter cbf(1u << 14, 4, 3);
+  // 1000 distinct keys, one write each.
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    cbf.increment(LogicalPageAddr(i));
+  }
+  // A fresh key should estimate (nearly) zero.
+  std::uint32_t max_est = 0;
+  for (std::uint32_t i = 100000; i < 100100; ++i) {
+    max_est = std::max(max_est, cbf.estimate(LogicalPageAddr(i)));
+  }
+  EXPECT_LE(max_est, 2u);
+}
+
+TEST(CountingBloomFilter, ClearZeroesEverything) {
+  CountingBloomFilter cbf(256, 2, 4);
+  cbf.increment(LogicalPageAddr(5));
+  cbf.clear();
+  EXPECT_EQ(cbf.estimate(LogicalPageAddr(5)), 0u);
+}
+
+TEST(CountingBloomFilter, DecayHalves) {
+  CountingBloomFilter cbf(256, 2, 5);
+  for (int i = 0; i < 8; ++i) cbf.increment(LogicalPageAddr(9));
+  cbf.decay();
+  EXPECT_EQ(cbf.estimate(LogicalPageAddr(9)), 4u);
+  cbf.decay();
+  EXPECT_EQ(cbf.estimate(LogicalPageAddr(9)), 2u);
+}
+
+TEST(CountingBloomFilter, CountersSaturate) {
+  CountingBloomFilter cbf(16, 1, 6);
+  for (int i = 0; i < 70000; ++i) cbf.increment(LogicalPageAddr(0));
+  EXPECT_EQ(cbf.estimate(LogicalPageAddr(0)), 65535u);
+}
+
+TEST(CountingBloomFilter, StorageBitsReported) {
+  CountingBloomFilter cbf(1024, 4, 7);
+  EXPECT_EQ(cbf.storage_bits(), 1024u * 16);
+}
+
+TEST(CountingBloomFilter, DifferentSeedsHashDifferently) {
+  CountingBloomFilter a(256, 2, 100);
+  CountingBloomFilter b(256, 2, 200);
+  a.increment(LogicalPageAddr(42));
+  // b never saw key 42; its estimate must be 0 regardless of a.
+  EXPECT_EQ(b.estimate(LogicalPageAddr(42)), 0u);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,117 @@
+#include "wl/bloom_wl.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "wl/shadow_sink.h"
+
+namespace twl {
+namespace {
+
+BwlParams bwl(std::uint64_t epoch, std::uint32_t top_k = 4,
+              std::uint32_t hot_threshold = 8) {
+  BwlParams p;
+  p.epoch_writes = epoch;
+  p.epoch_min = epoch / 4 ? epoch / 4 : 1;
+  p.epoch_max = epoch * 4;
+  p.swap_top_k = top_k;
+  p.hot_threshold = hot_threshold;
+  return p;
+}
+
+EnduranceMap ascending_map(std::uint64_t n) {
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < n; ++i) values.push_back(1000 + i * 100);
+  return EnduranceMap(std::move(values));
+}
+
+TEST(BloomWl, ChargesEngineOnEveryWrite) {
+  BloomWl wl(ascending_map(32), bwl(1000), 27, 1);
+  testing::ShadowSink sink(32);
+  wl.write(LogicalPageAddr(0), sink);
+  wl.write(LogicalPageAddr(1), sink);
+  // Two bloom filters + hot/cold list = 3 table accesses of 10 cycles.
+  EXPECT_EQ(sink.engine_cycles(), 2u * 30u);
+}
+
+TEST(BloomWl, EpochEndTriggersBlockingSwap) {
+  BloomWl wl(ascending_map(32), bwl(64), 27, 1);
+  testing::ShadowSink sink(32);
+  // Make LA 3 clearly hot and most others cold.
+  for (int i = 0; i < 64; ++i) {
+    wl.write(LogicalPageAddr(i % 4 == 0 ? 3u : static_cast<std::uint32_t>(
+                                                   i % 32)),
+             sink);
+  }
+  EXPECT_GE(sink.blocking_events(), 1u);
+  EXPECT_TRUE(sink.blocking_balanced());
+}
+
+TEST(BloomWl, HotPageLandsOnStrongCell) {
+  BloomWl wl(ascending_map(32), bwl(64, 4, 8), 27, 2);
+  testing::ShadowSink sink(32);
+  for (int i = 0; i < 64; ++i) wl.write(LogicalPageAddr(7), sink);
+  // After the first epoch the hammered page must sit in the strongest
+  // quarter (endurance ascends with physical index).
+  EXPECT_GE(wl.map_read(LogicalPageAddr(7)).value(), 24u);
+}
+
+TEST(BloomWl, ColdPageParkedOnWeakCell) {
+  BloomWl wl(ascending_map(32), bwl(128, 8, 8), 27, 3);
+  testing::ShadowSink sink(32);
+  // LA 9 written once (cold), the rest cycled hot.
+  wl.write(LogicalPageAddr(9), sink);
+  int issued = 1;
+  while (issued < 128) {
+    for (std::uint32_t la = 0; la < 32 && issued < 128; ++la) {
+      if (la == 9) continue;
+      wl.write(LogicalPageAddr(la), sink);
+      ++issued;
+    }
+  }
+  EXPECT_LT(wl.map_read(LogicalPageAddr(9)).value(), 8u);
+}
+
+TEST(BloomWl, DataIntegrityAcrossEpochs) {
+  BloomWl wl(ascending_map(64), bwl(50), 27, 4);
+  testing::ShadowSink sink(64);
+  XorShift64Star rng(15);
+  for (int i = 0; i < 10000; ++i) {
+    wl.write(LogicalPageAddr(static_cast<std::uint32_t>(rng.next_below(64))),
+             sink);
+  }
+  EXPECT_FALSE(sink.first_integrity_violation(wl).has_value());
+  EXPECT_TRUE(wl.invariants_hold());
+}
+
+TEST(BloomWl, EpochLengthAdaptsUpWhenNothingMoves) {
+  // Uniform traffic below any hot threshold: epochs with zero migrations
+  // should lengthen (dynamic cycles of the original scheme).
+  BloomWl wl(ascending_map(64), bwl(64, 4, 1000), 27, 5);
+  testing::ShadowSink sink(64);
+  const auto initial = wl.epoch_writes();
+  for (int i = 0; i < 64 * 8; ++i) {
+    wl.write(LogicalPageAddr(static_cast<std::uint32_t>(i % 64)), sink);
+  }
+  EXPECT_GT(wl.epoch_writes(), initial);
+}
+
+TEST(BloomWl, HotThresholdAdaptsUpUnderBroadHotSet) {
+  // Everything looks hot -> the dynamic threshold must rise.
+  BwlParams p = bwl(256, 2, 2);
+  BloomWl wl(ascending_map(64), p, 27, 6);
+  testing::ShadowSink sink(64);
+  const auto initial = wl.hot_threshold();
+  for (int i = 0; i < 2048; ++i) {
+    wl.write(LogicalPageAddr(static_cast<std::uint32_t>(i % 64)), sink);
+  }
+  EXPECT_GT(wl.hot_threshold(), initial);
+}
+
+TEST(BloomWl, StorageIncludesTablesAndFilters) {
+  BloomWl wl(ascending_map(1024), BwlParams{}, 27, 7);
+  EXPECT_GE(wl.storage_bits_per_page(), 23u + 27u);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,66 @@
+// Tests for composed-scheme spec parsing ("od3p:", "guard:").
+#include <gtest/gtest.h>
+
+#include "wl/factory.h"
+
+namespace twl {
+namespace {
+
+Config small_config() {
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 1000;
+  return Config::scaled(scale);
+}
+
+TEST(FactorySpec, PlainNamesStillWork) {
+  const Config config = small_config();
+  const EnduranceMap map(64, config.endurance, 1);
+  EXPECT_EQ(make_wear_leveler_spec("TWL", map, config)->name(), "TWL_swp");
+  EXPECT_EQ(make_wear_leveler_spec("sr", map, config)->name(), "SR");
+}
+
+TEST(FactorySpec, Od3pWraps) {
+  const Config config = small_config();
+  const EnduranceMap map(64, config.endurance, 1);
+  const auto wl = make_wear_leveler_spec("od3p:TWL", map, config);
+  EXPECT_EQ(wl->name(), "TWL_swp+OD3P");
+  EXPECT_TRUE(wl->invariants_hold());
+}
+
+TEST(FactorySpec, GuardWraps) {
+  const Config config = small_config();
+  const EnduranceMap map(64, config.endurance, 1);
+  const auto wl = make_wear_leveler_spec("guard:BWL", map, config);
+  EXPECT_EQ(wl->name(), "Guard(BWL)");
+}
+
+TEST(FactorySpec, NestedComposition) {
+  const Config config = small_config();
+  const EnduranceMap map(64, config.endurance, 1);
+  const auto wl = make_wear_leveler_spec("guard:od3p:NOWL", map, config);
+  EXPECT_EQ(wl->name(), "Guard(NOWL+OD3P)");
+  EXPECT_EQ(wl->logical_pages(), 64u);
+  EXPECT_TRUE(wl->invariants_hold());
+}
+
+TEST(FactorySpec, CaseInsensitivePrefixes) {
+  const Config config = small_config();
+  const EnduranceMap map(64, config.endurance, 1);
+  EXPECT_EQ(make_wear_leveler_spec("OD3P:nowl", map, config)->name(),
+            "NOWL+OD3P");
+  EXPECT_EQ(make_wear_leveler_spec("GUARD:twl_ap", map, config)->name(),
+            "Guard(TWL_ap)");
+}
+
+TEST(FactorySpec, UnknownBaseThrows) {
+  const Config config = small_config();
+  const EnduranceMap map(64, config.endurance, 1);
+  EXPECT_THROW((void)make_wear_leveler_spec("od3p:ftl", map, config),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_wear_leveler_spec("", map, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,82 @@
+#include "wl/factory.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace twl {
+namespace {
+
+Config small_config() {
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 1000;
+  return Config::scaled(scale);
+}
+
+EnduranceMap small_map(const Config& c) {
+  return EnduranceMap(c.geometry.pages(), c.endurance, c.seed);
+}
+
+TEST(Factory, ParsesAllNames) {
+  EXPECT_EQ(parse_scheme("NOWL"), Scheme::kNoWl);
+  EXPECT_EQ(parse_scheme("none"), Scheme::kNoWl);
+  EXPECT_EQ(parse_scheme("StartGap"), Scheme::kStartGap);
+  EXPECT_EQ(parse_scheme("start-gap"), Scheme::kStartGap);
+  EXPECT_EQ(parse_scheme("SR"), Scheme::kSecurityRefresh);
+  EXPECT_EQ(parse_scheme("sr"), Scheme::kSecurityRefresh);
+  EXPECT_EQ(parse_scheme("WRL"), Scheme::kWearRateLeveling);
+  EXPECT_EQ(parse_scheme("BWL"), Scheme::kBloomWl);
+  EXPECT_EQ(parse_scheme("TWL"), Scheme::kTossUpStrongWeak);
+  EXPECT_EQ(parse_scheme("TWL_ap"), Scheme::kTossUpAdjacent);
+  EXPECT_EQ(parse_scheme("TWL_swp"), Scheme::kTossUpStrongWeak);
+  EXPECT_EQ(parse_scheme("TWL_rnd"), Scheme::kTossUpRandomPair);
+}
+
+TEST(Factory, RejectsUnknownNames) {
+  EXPECT_THROW((void)parse_scheme("FTL"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheme(""), std::invalid_argument);
+}
+
+TEST(Factory, RoundTripsThroughToString) {
+  for (const Scheme s : all_schemes()) {
+    EXPECT_EQ(parse_scheme(to_string(s)), s);
+  }
+}
+
+TEST(Factory, BuildsEveryScheme) {
+  const Config config = small_config();
+  const EnduranceMap map = small_map(config);
+  for (const Scheme s : all_schemes()) {
+    const auto wl = make_wear_leveler(s, map, config);
+    ASSERT_NE(wl, nullptr) << to_string(s);
+    EXPECT_GT(wl->logical_pages(), 0u);
+    EXPECT_LE(wl->logical_pages(), map.pages());
+    EXPECT_TRUE(wl->invariants_hold()) << to_string(s);
+  }
+}
+
+TEST(Factory, TossUpVariantsGetTheRightPairing) {
+  const Config config = small_config();
+  const EnduranceMap map = small_map(config);
+  EXPECT_EQ(make_wear_leveler(Scheme::kTossUpAdjacent, map, config)->name(),
+            "TWL_ap");
+  EXPECT_EQ(
+      make_wear_leveler(Scheme::kTossUpStrongWeak, map, config)->name(),
+      "TWL_swp");
+  EXPECT_EQ(
+      make_wear_leveler(Scheme::kTossUpRandomPair, map, config)->name(),
+      "TWL_rnd");
+}
+
+TEST(Factory, AllSchemesListHasNoDuplicates) {
+  const auto schemes = all_schemes();
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    for (std::size_t j = i + 1; j < schemes.size(); ++j) {
+      EXPECT_NE(schemes[i], schemes[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,189 @@
+// Cross-scheme property tests: every wear leveler, driven by every
+// workload shape, must (a) never lose data and (b) keep its mapping a
+// bijection. This is the suite that catches interaction bugs no
+// scheme-local test sees.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "wl/factory.h"
+#include "wl/shadow_sink.h"
+
+namespace twl {
+namespace {
+
+enum class Pattern { kUniform, kHammer, kScan, kZipfish };
+
+std::string pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kUniform:
+      return "uniform";
+    case Pattern::kHammer:
+      return "hammer";
+    case Pattern::kScan:
+      return "scan";
+    case Pattern::kZipfish:
+      return "zipfish";
+  }
+  return "?";
+}
+
+class SchemePatternProperty
+    : public ::testing::TestWithParam<std::tuple<Scheme, Pattern>> {};
+
+TEST_P(SchemePatternProperty, NoDataLossAndBijectiveMapping) {
+  const auto [scheme, pattern] = GetParam();
+
+  SimScale scale;
+  scale.pages = 128;
+  scale.endurance_mean = 1e9;  // Effectively unwearable: pure mapping test.
+  Config config = Config::scaled(scale);
+  // Make the phase-based schemes cycle several times within the stress.
+  config.wrl.prediction_writes = 256;
+  config.bwl.epoch_writes = 256;
+  config.bwl.epoch_min = 64;
+  config.bwl.epoch_max = 4096;
+  config.sr.region_pages = 32;
+
+  const EnduranceMap map(config.geometry.pages(), config.endurance,
+                         config.seed);
+  const auto wl = make_wear_leveler(scheme, map, config);
+  testing::ShadowSink sink(map.pages());
+
+  XorShift64Star rng(99);
+  const std::uint64_t space = wl->logical_pages();
+  const int kWrites = 30000;
+  for (int i = 0; i < kWrites; ++i) {
+    std::uint64_t la = 0;
+    switch (pattern) {
+      case Pattern::kUniform:
+        la = rng.next_below(space);
+        break;
+      case Pattern::kHammer:
+        la = (i % 8 == 0) ? rng.next_below(space) : 13 % space;
+        break;
+      case Pattern::kScan:
+        la = static_cast<std::uint64_t>(i) % space;
+        break;
+      case Pattern::kZipfish:
+        // Crude heavy-tail: half the traffic on 4 pages.
+        la = (i % 2 == 0) ? rng.next_below(4) : rng.next_below(space);
+        break;
+    }
+    wl->write(LogicalPageAddr(static_cast<std::uint32_t>(la)), sink);
+  }
+
+  const auto violation = sink.first_integrity_violation(*wl);
+  EXPECT_FALSE(violation.has_value())
+      << to_string(scheme) << " lost data of LA " << violation->value()
+      << " under " << pattern_name(pattern);
+  EXPECT_TRUE(wl->invariants_hold()) << to_string(scheme);
+  EXPECT_TRUE(sink.blocking_balanced()) << to_string(scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAllPatterns, SchemePatternProperty,
+    ::testing::Combine(::testing::ValuesIn(all_schemes()),
+                       ::testing::Values(Pattern::kUniform, Pattern::kHammer,
+                                         Pattern::kScan, Pattern::kZipfish)),
+    [](const ::testing::TestParamInfo<std::tuple<Scheme, Pattern>>& info) {
+      return to_string(std::get<0>(info.param)) + "_" +
+             pattern_name(std::get<1>(info.param));
+    });
+
+class SchemeWearProperty : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SchemeWearProperty, ExtraWriteOverheadIsBounded) {
+  // No scheme in this repo should more than double the physical write
+  // traffic under a random workload (the paper's schemes all stay within
+  // a few percent; 2x is the loose safety net).
+  const Scheme scheme = GetParam();
+  SimScale scale;
+  scale.pages = 128;
+  scale.endurance_mean = 1e9;
+  Config config = Config::scaled(scale);
+  config.wrl.prediction_writes = 512;
+  config.bwl.epoch_writes = 512;
+
+  const EnduranceMap map(config.geometry.pages(), config.endurance,
+                         config.seed);
+  const auto wl = make_wear_leveler(scheme, map, config);
+  testing::ShadowSink sink(map.pages());
+  XorShift64Star rng(123);
+  const int kWrites = 20000;
+  for (int i = 0; i < kWrites; ++i) {
+    wl->write(LogicalPageAddr(static_cast<std::uint32_t>(
+                  rng.next_below(wl->logical_pages()))),
+              sink);
+  }
+  EXPECT_LT(sink.physical_writes(), 2u * kWrites) << to_string(scheme);
+  EXPECT_GE(sink.physical_writes(), static_cast<std::uint64_t>(kWrites));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeWearProperty,
+                         ::testing::ValuesIn(all_schemes()),
+                         [](const ::testing::TestParamInfo<Scheme>& info) {
+                           return to_string(info.param);
+                         });
+
+class ComposedSchemeProperty
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ComposedSchemeProperty, NoDataLossUnderMixedStress) {
+  // The decorators (OD3P salvage, Guard scrambling) permute data through
+  // extra layers of indirection; they must compose with every inner
+  // scheme without losing a byte — including across real page failures,
+  // which the bare-scheme suite never reaches.
+  SimScale scale;
+  scale.pages = 128;
+  scale.endurance_mean = 2000;  // Low: failures happen mid-stress.
+  Config config = Config::scaled(scale);
+  config.wrl.prediction_writes = 256;
+  config.bwl.epoch_writes = 256;
+  config.bwl.epoch_min = 256;
+
+  const EnduranceMap map(config.geometry.pages(), config.endurance,
+                         config.seed);
+  const auto wl = make_wear_leveler_spec(GetParam(), map, config);
+  testing::ShadowSink sink(map.pages());
+  XorShift64Star rng(7);
+  const std::uint64_t space = wl->logical_pages();
+  for (int i = 0; i < 40000; ++i) {
+    // Hammer bursts alternating with uniform traffic, so both the guard
+    // and OD3P layers activate.
+    const std::uint64_t la =
+        (i / 256) % 2 == 0 ? 5 % space : rng.next_below(space);
+    wl->write(LogicalPageAddr(static_cast<std::uint32_t>(la)), sink);
+    // Simulated failure injection every ~8k writes: tell the scheme a
+    // random page died (OD3P must salvage; others must shrug it off).
+    if (i > 0 && i % 8192 == 0) {
+      wl->on_page_failed(
+          PhysicalPageAddr(static_cast<std::uint32_t>(rng.next_below(128))),
+          sink);
+    }
+  }
+  EXPECT_FALSE(sink.first_integrity_violation(*wl).has_value())
+      << GetParam();
+  EXPECT_TRUE(sink.blocking_balanced());
+}
+
+// Byte-exact co-residency tracking holds for OD3P over an inner scheme
+// that never relocates salvaged pages (identity mapping — the original
+// OD3P configuration) and for the guard over anything; dynamic inner
+// schemes under OD3P are modeled in wear/capacity/latency only (see
+// wl/od3p.h), so they are exercised by the degradation tests instead.
+INSTANTIATE_TEST_SUITE_P(
+    Decorated, ComposedSchemeProperty,
+    ::testing::Values("od3p:NOWL", "guard:NOWL", "guard:BWL", "guard:TWL",
+                      "guard:SR"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == ':') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace twl

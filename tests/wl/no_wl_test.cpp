@@ -1,0 +1,45 @@
+#include "wl/no_wl.h"
+
+#include <gtest/gtest.h>
+
+#include "wl/shadow_sink.h"
+
+namespace twl {
+namespace {
+
+TEST(NoWl, IdentityMapping) {
+  NoWl wl(16);
+  EXPECT_EQ(wl.logical_pages(), 16u);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(wl.map_read(LogicalPageAddr(i)).value(), i);
+  }
+}
+
+TEST(NoWl, WritePassesThrough) {
+  NoWl wl(8);
+  testing::ShadowSink sink(8);
+  wl.write(LogicalPageAddr(3), sink);
+  EXPECT_EQ(sink.physical_writes(), 1u);
+  EXPECT_EQ(sink.writes_with_purpose(WritePurpose::kDemand), 1u);
+  ASSERT_TRUE(sink.contents(PhysicalPageAddr(3)).has_value());
+  EXPECT_EQ(sink.contents(PhysicalPageAddr(3))->value(), 3u);
+}
+
+TEST(NoWl, NoOverheadCounters) {
+  NoWl wl(8);
+  EXPECT_EQ(wl.storage_bits_per_page(), 0u);
+  EXPECT_EQ(wl.read_indirection_cycles(), 0u);
+}
+
+TEST(NoWl, IntegrityUnderStress) {
+  NoWl wl(32);
+  testing::ShadowSink sink(32);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    wl.write(LogicalPageAddr(i % 32), sink);
+  }
+  EXPECT_FALSE(sink.first_integrity_violation(wl).has_value());
+  EXPECT_EQ(sink.physical_writes(), 1000u);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,145 @@
+#include "wl/od3p.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/memory_controller.h"
+#include "wl/no_wl.h"
+#include "wl/shadow_sink.h"
+#include "wl/tossup_wl.h"
+
+namespace twl {
+namespace {
+
+Config small_config(std::uint64_t pages, double endurance) {
+  SimScale scale;
+  scale.pages = pages;
+  scale.endurance_mean = endurance;
+  return Config::scaled(scale);
+}
+
+Od3pWrapper make_od3p_nowl(const EnduranceMap& map) {
+  return Od3pWrapper(std::make_unique<NoWl>(map.pages()), map);
+}
+
+TEST(Od3p, NameAndStorageComposeWithInner) {
+  const EnduranceMap map({100, 100, 100, 100});
+  const auto wl = make_od3p_nowl(map);
+  EXPECT_EQ(wl.name(), "NOWL+OD3P");
+  EXPECT_EQ(wl.storage_bits_per_page(), 24u);
+  EXPECT_EQ(wl.logical_pages(), 4u);
+}
+
+TEST(Od3p, IdentityUntilFirstFailure) {
+  const EnduranceMap map({100, 100, 100, 100});
+  auto wl = make_od3p_nowl(map);
+  testing::ShadowSink sink(4);
+  wl.write(LogicalPageAddr(2), sink);
+  EXPECT_EQ(wl.map_read(LogicalPageAddr(2)).value(), 2u);
+  EXPECT_EQ(sink.physical_writes(), 1u);
+}
+
+TEST(Od3p, RedirectsAfterFailureNotification) {
+  // Page 0 fails; its traffic must flow to the strongest healthy page.
+  const EnduranceMap map({10, 100, 100, 500});
+  auto wl = make_od3p_nowl(map);
+  testing::ShadowSink sink(4);
+  wl.on_page_failed(PhysicalPageAddr(0), sink);
+  EXPECT_EQ(wl.map_read(LogicalPageAddr(0)).value(), 3u);  // Strongest.
+  wl.write(LogicalPageAddr(0), sink);
+  ASSERT_TRUE(sink.contents(PhysicalPageAddr(3)).has_value());
+  EXPECT_EQ(sink.contents(PhysicalPageAddr(3))->value(), 0u);
+  EXPECT_EQ(wl.od3p_stats().dead_pages, 1u);
+  EXPECT_EQ(wl.alive_pages(), 3u);
+}
+
+TEST(Od3p, SalvageMigratesDeadPageData) {
+  const EnduranceMap map({10, 100, 100, 500});
+  auto wl = make_od3p_nowl(map);
+  testing::ShadowSink sink(4);
+  wl.write(LogicalPageAddr(0), sink);  // Data lands on page 0.
+  wl.on_page_failed(PhysicalPageAddr(0), sink);
+  // Salvage migration moved LA0's data to the pair page.
+  EXPECT_FALSE(sink.first_integrity_violation(wl).has_value());
+  EXPECT_EQ(wl.od3p_stats().salvage_migrations, 1u);
+}
+
+TEST(Od3p, ChainedFailuresFollowToHealthyPage) {
+  const EnduranceMap map({10, 20, 100, 500});
+  auto wl = make_od3p_nowl(map);
+  testing::ShadowSink sink(4);
+  wl.on_page_failed(PhysicalPageAddr(0), sink);  // 0 -> 3.
+  wl.on_page_failed(PhysicalPageAddr(3), sink);  // 3 dies too.
+  const auto target = wl.map_read(LogicalPageAddr(0));
+  EXPECT_NE(target.value(), 0u);
+  EXPECT_NE(target.value(), 3u);
+  EXPECT_TRUE(wl.invariants_hold());
+}
+
+TEST(Od3p, DuplicateNotificationIsIdempotent) {
+  const EnduranceMap map({10, 100, 100, 500});
+  auto wl = make_od3p_nowl(map);
+  testing::ShadowSink sink(4);
+  wl.on_page_failed(PhysicalPageAddr(0), sink);
+  const auto migrations = wl.od3p_stats().salvage_migrations;
+  wl.on_page_failed(PhysicalPageAddr(0), sink);
+  EXPECT_EQ(wl.od3p_stats().salvage_migrations, migrations);
+  EXPECT_EQ(wl.od3p_stats().dead_pages, 1u);
+}
+
+TEST(Od3p, DeviceServesFarPastFirstFailureUnderController) {
+  // End-to-end: hammer one page through the controller; OD3P must keep
+  // absorbing writes well beyond the first page's endurance.
+  const Config config = small_config(32, 200);
+  const EnduranceMap map(config.geometry.pages(), config.endurance,
+                         config.seed);
+  PcmDevice device(map);
+  Od3pWrapper wl(std::make_unique<NoWl>(map.pages()), map);
+  MemoryController mc(device, wl, config, /*enable_timing=*/false);
+  for (int i = 0; i < 3000 && wl.alive_pages() > 16; ++i) {
+    mc.submit(MemoryRequest{Op::kWrite, LogicalPageAddr(0)}, 0);
+  }
+  EXPECT_TRUE(device.failed());  // First failure happened long ago...
+  EXPECT_GT(mc.stats().demand_writes,
+            2 * device.endurance(PhysicalPageAddr(0)));
+  EXPECT_GT(wl.od3p_stats().failures_handled, 1u);
+  EXPECT_TRUE(wl.invariants_hold());
+}
+
+TEST(Od3p, ComposesWithTossUp) {
+  const Config config = small_config(64, 500);
+  const EnduranceMap map(config.geometry.pages(), config.endurance,
+                         config.seed);
+  auto inner = std::make_unique<TossUpWl>(
+      map, config.twl, config.wl_latencies, 27, config.seed);
+  Od3pWrapper wl(std::move(inner), map);
+  EXPECT_EQ(wl.name(), "TWL_swp+OD3P");
+
+  PcmDevice device(map);
+  MemoryController mc(device, wl, config, false);
+  XorShift64Star rng(3);
+  while (wl.alive_pages() > 48) {
+    mc.submit(MemoryRequest{Op::kWrite,
+                            LogicalPageAddr(static_cast<std::uint32_t>(
+                                rng.next_below(64)))},
+              0);
+  }
+  EXPECT_TRUE(wl.invariants_hold());
+  EXPECT_GE(wl.od3p_stats().failures_handled, 16u);
+}
+
+TEST(Od3p, RedirectTerminatesOnHealthyPages) {
+  const EnduranceMap map({10, 20, 30, 500});
+  auto wl = make_od3p_nowl(map);
+  testing::ShadowSink sink(4);
+  wl.on_page_failed(PhysicalPageAddr(0), sink);
+  wl.on_page_failed(PhysicalPageAddr(1), sink);
+  wl.on_page_failed(PhysicalPageAddr(2), sink);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    const auto end = wl.redirect(PhysicalPageAddr(p));
+    EXPECT_EQ(end.value(), 3u) << p;
+  }
+}
+
+}  // namespace
+}  // namespace twl

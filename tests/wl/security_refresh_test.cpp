@@ -1,0 +1,167 @@
+#include "wl/security_refresh.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "wl/shadow_sink.h"
+
+namespace twl {
+namespace {
+
+SrParams sr(std::uint32_t refresh_interval, std::uint32_t region_pages,
+            bool two_level = false) {
+  SrParams p;
+  p.refresh_interval = refresh_interval;
+  p.region_pages = region_pages;
+  p.two_level = two_level;
+  return p;
+}
+
+TEST(SrRegionState, RemapIsBijective) {
+  XorShift64Star rng(1);
+  SrRegionState region(64, rng);
+  std::set<std::uint32_t> out;
+  for (std::uint32_t ma = 0; ma < 64; ++ma) out.insert(region.remap(ma));
+  EXPECT_EQ(out.size(), 64u);
+}
+
+TEST(SrRegionState, RemapStaysBijectiveMidRound) {
+  XorShift64Star rng(2);
+  SrRegionState region(32, rng);
+  for (int step = 0; step < 200; ++step) {
+    std::set<std::uint32_t> out;
+    for (std::uint32_t ma = 0; ma < 32; ++ma) out.insert(region.remap(ma));
+    ASSERT_EQ(out.size(), 32u) << "after " << step << " refresh steps";
+    (void)region.next_refresh();
+    region.commit_refresh(rng);
+  }
+}
+
+TEST(SrRegionState, RefreshPointerWrapsAfterFullSweep) {
+  XorShift64Star rng(3);
+  SrRegionState region(16, rng);
+  for (int i = 0; i < 16; ++i) {
+    region.commit_refresh(rng);
+  }
+  EXPECT_EQ(region.refresh_pointer(), 0u);
+}
+
+TEST(SrRegionState, RefreshStepsPairUp) {
+  // Each non-noop step swaps MA^k0 <-> MA^k1; over a full sweep every
+  // pair must be touched exactly once.
+  XorShift64Star rng(4);
+  SrRegionState region(64, rng);
+  std::set<std::uint32_t> touched;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto step = region.next_refresh();
+    if (!step.is_noop()) {
+      EXPECT_FALSE(touched.count(step.pa_from));
+      EXPECT_FALSE(touched.count(step.pa_to));
+      touched.insert(step.pa_from);
+      touched.insert(step.pa_to);
+    }
+    region.commit_refresh(rng);
+  }
+}
+
+TEST(SrRegionState, SizeOneIsAlwaysNoop) {
+  XorShift64Star rng(5);
+  SrRegionState region(1, rng);
+  EXPECT_EQ(region.remap(0), 0u);
+  EXPECT_TRUE(region.next_refresh().is_noop());
+}
+
+TEST(SecurityRefresh, MappingIsPermutation) {
+  SecurityRefresh wl(256, sr(16, 64), 42);
+  EXPECT_TRUE(wl.invariants_hold());
+}
+
+TEST(SecurityRefresh, MappingStaysPermutationUnderTraffic) {
+  SecurityRefresh wl(128, sr(4, 32), 42);
+  testing::ShadowSink sink(128);
+  XorShift64Star rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    wl.write(LogicalPageAddr(static_cast<std::uint32_t>(rng.next_below(128))),
+             sink);
+    if (i % 500 == 0) {
+      ASSERT_TRUE(wl.invariants_hold());
+    }
+  }
+  EXPECT_TRUE(wl.invariants_hold());
+}
+
+TEST(SecurityRefresh, DataIntegritySingleLevel) {
+  SecurityRefresh wl(64, sr(4, 64), 7);
+  testing::ShadowSink sink(64);
+  XorShift64Star rng(8);
+  for (int i = 0; i < 20000; ++i) {
+    wl.write(LogicalPageAddr(static_cast<std::uint32_t>(rng.next_below(64))),
+             sink);
+  }
+  EXPECT_FALSE(sink.first_integrity_violation(wl).has_value());
+}
+
+TEST(SecurityRefresh, DataIntegrityTwoLevel) {
+  SecurityRefresh wl(256, sr(4, 16, /*two_level=*/true), 7);
+  testing::ShadowSink sink(256);
+  XorShift64Star rng(9);
+  for (int i = 0; i < 60000; ++i) {
+    wl.write(
+        LogicalPageAddr(static_cast<std::uint32_t>(rng.next_below(256))),
+        sink);
+  }
+  EXPECT_FALSE(sink.first_integrity_violation(wl).has_value());
+  EXPECT_TRUE(wl.invariants_hold());
+}
+
+TEST(SecurityRefresh, RefreshOverheadMatchesInterval) {
+  // One refresh step per `interval` demand writes; each non-noop step is
+  // a 2-page swap. Extra writes per demand write <= 2/interval.
+  SecurityRefresh wl(64, sr(8, 64), 11);
+  testing::ShadowSink sink(64);
+  for (int i = 0; i < 8000; ++i) {
+    wl.write(LogicalPageAddr(static_cast<std::uint32_t>(i % 64)), sink);
+  }
+  const auto refresh_writes =
+      sink.writes_with_purpose(WritePurpose::kRefreshSwap);
+  EXPECT_LE(refresh_writes, 2u * 8000 / 8);
+  EXPECT_GT(refresh_writes, 0u);
+}
+
+TEST(SecurityRefresh, SpreadsRepeatHammerAcrossDevice) {
+  // The security property: a fixed hot logical page keeps moving. With a
+  // 64-page region and a refresh step every 4 writes, a full re-key round
+  // takes 256 writes, so 8192 writes see ~32 different homes.
+  SecurityRefresh wl(64, sr(4, 64), 13);
+  testing::ShadowSink sink(64);
+  std::set<std::uint32_t> homes;
+  for (int i = 0; i < 8192; ++i) {
+    homes.insert(wl.map_read(LogicalPageAddr(7)).value());
+    wl.write(LogicalPageAddr(7), sink);
+  }
+  EXPECT_GT(homes.size(), 16u);
+}
+
+TEST(SecurityRefresh, RoundsDownOddRegionRequests) {
+  // 96 pages with a requested region of 64 -> falls back to 32 (the
+  // largest power of two dividing the device evenly).
+  SecurityRefresh wl(96, sr(8, 64), 17);
+  EXPECT_TRUE(wl.invariants_hold());
+  std::vector<std::pair<std::string, double>> stats;
+  wl.append_stats(stats);
+  double region_size = 0;
+  for (const auto& [k, v] : stats) {
+    if (k == "region_size") region_size = v;
+  }
+  EXPECT_DOUBLE_EQ(region_size, 32.0);
+}
+
+TEST(SecurityRefresh, ZeroStoragePerPage) {
+  SecurityRefresh wl(64, sr(8, 64), 1);
+  EXPECT_EQ(wl.storage_bits_per_page(), 0u);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,96 @@
+#include "wl/shadow_sink.h"
+
+#include <cassert>
+
+namespace twl::testing {
+
+ShadowSink::ShadowSink(std::uint64_t pages)
+    : contents_(pages), extras_(pages), la_written_(pages, false) {}
+
+namespace {
+bool holds(const std::vector<LogicalPageAddr>& extras, LogicalPageAddr la) {
+  for (const LogicalPageAddr e : extras) {
+    if (e == la) return true;
+  }
+  return false;
+}
+}  // namespace
+
+void ShadowSink::note_write(WritePurpose p) {
+  ++writes_;
+  ++by_purpose_[static_cast<std::size_t>(p)];
+}
+
+void ShadowSink::demand_write(PhysicalPageAddr pa, LogicalPageAddr la) {
+  assert(pa.value() < contents_.size());
+  // A salvaged co-resident is updated in place in its half of the frame;
+  // anything else replaces the primary resident.
+  if (!holds(extras_[pa.value()], la)) {
+    contents_[pa.value()] = la;
+  }
+  if (la.value() < la_written_.size()) la_written_[la.value()] = true;
+  note_write(WritePurpose::kDemand);
+}
+
+void ShadowSink::migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+                         WritePurpose purpose) {
+  assert(from.value() < contents_.size() && to.value() < contents_.size());
+  ++reads_;
+  contents_[to.value()] = contents_[from.value()];
+  note_write(purpose);
+}
+
+void ShadowSink::swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
+                            WritePurpose purpose) {
+  assert(a.value() < contents_.size() && b.value() < contents_.size());
+  reads_ += 2;
+  std::swap(contents_[a.value()], contents_[b.value()]);
+  note_write(purpose);
+  note_write(purpose);
+}
+
+void ShadowSink::pair_migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+                              WritePurpose purpose) {
+  assert(from.value() < contents_.size() && to.value() < contents_.size());
+  ++reads_;
+  if (contents_[from.value()].has_value() &&
+      !holds(extras_[to.value()], *contents_[from.value()])) {
+    extras_[to.value()].push_back(*contents_[from.value()]);
+  }
+  for (const LogicalPageAddr e : extras_[from.value()]) {
+    if (!holds(extras_[to.value()], e)) extras_[to.value()].push_back(e);
+  }
+  contents_[from.value()].reset();
+  extras_[from.value()].clear();
+  note_write(purpose);
+}
+
+void ShadowSink::engine_delay(Cycles cycles) { engine_cycles_ += cycles; }
+
+void ShadowSink::begin_blocking() {
+  ++depth_;
+  ++blocks_;
+}
+
+void ShadowSink::end_blocking() { --depth_; }
+
+std::optional<LogicalPageAddr> ShadowSink::contents(
+    PhysicalPageAddr pa) const {
+  return contents_[pa.value()];
+}
+
+std::optional<LogicalPageAddr> ShadowSink::first_integrity_violation(
+    const WearLeveler& wl) const {
+  for (std::uint32_t la = 0; la < wl.logical_pages(); ++la) {
+    if (la >= la_written_.size() || !la_written_[la]) continue;
+    const PhysicalPageAddr pa = wl.map_read(LogicalPageAddr(la));
+    if (pa.value() >= contents_.size()) return LogicalPageAddr(la);
+    if (contents_[pa.value()] != LogicalPageAddr(la) &&
+        !holds(extras_[pa.value()], LogicalPageAddr(la))) {
+      return LogicalPageAddr(la);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace twl::testing

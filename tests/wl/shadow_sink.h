@@ -1,0 +1,81 @@
+// Test harness: a WriteSink that shadows page *contents*.
+//
+// Every demand_write / migrate / swap_pages updates a model of which
+// logical page's data each physical page currently holds. After any
+// sequence of operations, a correct wear leveler must satisfy
+//
+//   contents[map_read(la)] == la   for every la that was ever written,
+//
+// i.e. the indirection never loses or misplaces data. This catches the
+// classic wear-leveling bugs (migrating in the wrong direction, updating
+// the remapping table before/after the wrong operation, double-mapping).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "wl/wear_leveler.h"
+
+namespace twl::testing {
+
+class ShadowSink final : public WriteSink {
+ public:
+  explicit ShadowSink(std::uint64_t pages);
+
+  void demand_write(PhysicalPageAddr pa, LogicalPageAddr la) override;
+  void migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+               WritePurpose purpose) override;
+  void swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
+                  WritePurpose purpose) override;
+  /// OD3P co-residency: `to` keeps its resident and additionally hosts
+  /// everything that lived at `from` (the salvaged half of the frame;
+  /// primary copies do not touch it).
+  void pair_migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+                    WritePurpose purpose) override;
+  void engine_delay(Cycles cycles) override;
+  void begin_blocking() override;
+  void end_blocking() override;
+
+  /// Which logical page's data `pa` primarily holds (nullopt if never
+  /// written).
+  [[nodiscard]] std::optional<LogicalPageAddr> contents(
+      PhysicalPageAddr pa) const;
+
+  /// Co-residents salvaged into `pa` by pair_migrate.
+  [[nodiscard]] const std::vector<LogicalPageAddr>& co_residents(
+      PhysicalPageAddr pa) const {
+    return extras_[pa.value()];
+  }
+
+  /// Verifies contents[wl.map_read(la)] == la for every la in
+  /// `written_las`; returns the first violating la, or nullopt if clean.
+  [[nodiscard]] std::optional<LogicalPageAddr> first_integrity_violation(
+      const WearLeveler& wl) const;
+
+  [[nodiscard]] std::uint64_t physical_writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t writes_with_purpose(WritePurpose p) const {
+    return by_purpose_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] Cycles engine_cycles() const { return engine_cycles_; }
+  [[nodiscard]] std::uint64_t blocking_events() const { return blocks_; }
+  [[nodiscard]] bool blocking_balanced() const { return depth_ == 0; }
+
+ private:
+  void note_write(WritePurpose p);
+
+  std::vector<std::optional<LogicalPageAddr>> contents_;
+  std::vector<std::vector<LogicalPageAddr>> extras_;
+  std::vector<bool> la_written_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+  std::array<std::uint64_t, 6> by_purpose_{};
+  Cycles engine_cycles_ = 0;
+  std::uint64_t blocks_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace twl::testing

@@ -1,0 +1,114 @@
+#include "wl/start_gap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "wl/shadow_sink.h"
+
+namespace twl {
+namespace {
+
+StartGapParams psi(std::uint32_t interval) {
+  StartGapParams p;
+  p.gap_write_interval = interval;
+  return p;
+}
+
+TEST(StartGap, ExposesOneFewerLogicalPage) {
+  StartGap wl(17, psi(100));
+  EXPECT_EQ(wl.logical_pages(), 16u);
+}
+
+TEST(StartGap, InitialMappingIsIdentity) {
+  StartGap wl(9, psi(100));
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(wl.map_read(LogicalPageAddr(i)).value(), i);
+  }
+  EXPECT_EQ(wl.gap(), 8u);
+  EXPECT_TRUE(wl.invariants_hold());
+}
+
+TEST(StartGap, GapMovesEveryPsiWrites) {
+  StartGap wl(9, psi(4));
+  testing::ShadowSink sink(9);
+  for (int i = 0; i < 4; ++i) wl.write(LogicalPageAddr(0), sink);
+  EXPECT_EQ(wl.gap(), 7u);
+  EXPECT_EQ(sink.writes_with_purpose(WritePurpose::kGapMove), 1u);
+}
+
+TEST(StartGap, StartAdvancesAfterFullRotation) {
+  const std::uint64_t frames = 9;
+  StartGap wl(frames, psi(1));
+  testing::ShadowSink sink(frames);
+  // One gap move per write; a full rotation needs `frames` moves.
+  for (std::uint64_t i = 0; i < frames; ++i) {
+    wl.write(LogicalPageAddr(0), sink);
+  }
+  EXPECT_EQ(wl.start(), 1u);
+  EXPECT_EQ(wl.gap(), frames - 1);
+}
+
+TEST(StartGap, MappingStaysInjectiveThroughRotations) {
+  StartGap wl(17, psi(1));
+  testing::ShadowSink sink(17);
+  for (int i = 0; i < 500; ++i) {
+    wl.write(LogicalPageAddr(static_cast<std::uint32_t>(i % 16)), sink);
+    ASSERT_TRUE(wl.invariants_hold()) << "after write " << i;
+  }
+}
+
+TEST(StartGap, DataIntegrityUnderUniformWrites) {
+  StartGap wl(33, psi(3));
+  testing::ShadowSink sink(33);
+  XorShift64Star rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    wl.write(LogicalPageAddr(static_cast<std::uint32_t>(rng.next_below(32))),
+             sink);
+  }
+  EXPECT_FALSE(sink.first_integrity_violation(wl).has_value());
+}
+
+TEST(StartGap, DataIntegrityUnderRepeatHammer) {
+  StartGap wl(9, psi(2));
+  testing::ShadowSink sink(9);
+  // Touch every page once so the integrity check covers all of them.
+  for (std::uint32_t i = 0; i < 8; ++i) wl.write(LogicalPageAddr(i), sink);
+  for (int i = 0; i < 3000; ++i) wl.write(LogicalPageAddr(5), sink);
+  EXPECT_FALSE(sink.first_integrity_violation(wl).has_value());
+}
+
+TEST(StartGap, SpreadsRepeatTrafficOverFrames) {
+  // The whole point of Start-Gap: a hammered logical page's physical home
+  // keeps rotating.
+  StartGap wl(9, psi(2));
+  testing::ShadowSink sink(9);
+  std::vector<int> touched(9, 0);
+  for (int i = 0; i < 1000; ++i) {
+    ++touched[wl.map_read(LogicalPageAddr(5)).value()];
+    wl.write(LogicalPageAddr(5), sink);
+  }
+  int homes = 0;
+  for (int t : touched) homes += t > 0 ? 1 : 0;
+  EXPECT_EQ(homes, 9);
+}
+
+TEST(StartGap, GapMoveOverheadMatchesPsi) {
+  StartGap wl(65, psi(10));
+  testing::ShadowSink sink(65);
+  for (int i = 0; i < 1000; ++i) wl.write(LogicalPageAddr(0), sink);
+  EXPECT_EQ(sink.writes_with_purpose(WritePurpose::kGapMove), 100u);
+}
+
+TEST(StartGap, StatsExported) {
+  StartGap wl(9, psi(1));
+  testing::ShadowSink sink(9);
+  for (int i = 0; i < 20; ++i) wl.write(LogicalPageAddr(0), sink);
+  std::vector<std::pair<std::string, double>> stats;
+  wl.append_stats(stats);
+  ASSERT_GE(stats.size(), 2u);
+  EXPECT_EQ(stats[0].first, "gap_moves");
+  EXPECT_DOUBLE_EQ(stats[0].second, 20.0);
+}
+
+}  // namespace
+}  // namespace twl
