@@ -197,9 +197,19 @@ void measurement_noise_ablation(const bench::BenchSetup& setup) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bench_ablation [flags]\n"
+    "  Ablations of TWL design choices.\n"
+    "  --pages N       scaled device size in pages (default 1024)\n"
+    "  --endurance E   mean per-page endurance (default 32768)\n"
+    "  --sigma F       endurance sigma as fraction of mean (default 0.11)\n"
+    "  --seed S        RNG seed (default 20170618)\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
   const auto setup = bench::make_setup(args, 1024, 32768);
   bench::check_unconsumed(args);
   bench::print_banner("Ablations of TWL design choices", setup);
@@ -211,4 +221,10 @@ int main(int argc, char** argv) {
   attack_sensitivity_ablation(setup);
   measurement_noise_ablation(setup);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

@@ -47,15 +47,10 @@ inline void print_banner(const std::string& title, const BenchSetup& setup) {
       static_cast<unsigned long long>(setup.config.seed));
 }
 
-/// Abort on mistyped flags so sweep scripts fail loudly.
+/// Throw on mistyped flags so sweep scripts fail loudly — run_cli_main
+/// turns this into a message plus the usage text and exit code 2.
 inline void check_unconsumed(const CliArgs& args) {
-  const auto leftover = args.unconsumed();
-  if (!leftover.empty()) {
-    std::fprintf(stderr, "unknown flag(s):");
-    for (const auto& f : leftover) std::fprintf(stderr, " --%s", f.c_str());
-    std::fprintf(stderr, "\n");
-    std::exit(2);
-  }
+  args.reject_unconsumed();
 }
 
 }  // namespace twl::bench

@@ -172,9 +172,19 @@ void twl_variants_section(const bench::BenchSetup& setup) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bench_extensions [flags]\n"
+    "  Extensions beyond the paper (od3p, guard, variants).\n"
+    "  --pages N       scaled device size in pages\n"
+    "  --endurance E   mean per-page endurance\n"
+    "  --sigma F       endurance sigma as fraction of mean\n"
+    "  --seed S        RNG seed\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
   const auto setup = bench::make_setup(args, 1024, 32768);
   bench::check_unconsumed(args);
   bench::print_banner("Extensions beyond the paper's evaluation", setup);
@@ -184,4 +194,10 @@ int main(int argc, char** argv) {
   line_model_section(setup);
   twl_variants_section(setup);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

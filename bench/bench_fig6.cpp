@@ -16,9 +16,22 @@
 #include "common/stats.h"
 #include "sim/attack_sim.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bench_fig6 [flags]\n"
+    "  Figure 6: lifetime under attacks.\n"
+    "  --pages N              scaled device size in pages (default 1024)\n"
+    "  --endurance E          mean per-page endurance (default 65536)\n"
+    "  --sigma F              endurance sigma fraction (default 0.11)\n"
+    "  --seed S               RNG seed\n"
+    "  --max-writes W         demand-write cap per run\n"
+    "  --trials T             trials per scheme (default 2)\n"
+    "  --paper-accounting     migration writes cost no wear\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
   const auto setup = bench::make_setup(args, 1024, 65536);
   const auto max_demand = static_cast<WriteCount>(
       args.get_int_or("max-writes", 1ll << 40));
@@ -88,4 +101,10 @@ int main(int argc, char** argv) {
       "flat;\nTWL_swp minimum 4.1 yr under scan.\n",
       ideal_years, (swp / ap - 1.0) * 100.0);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

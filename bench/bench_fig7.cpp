@@ -43,9 +43,20 @@ double swap_ratio(const twl::Config& config, const twl::ParsecBenchmark& b,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bench_fig7 [flags]\n"
+    "  Figure 7: tossup interval sweep.\n"
+    "  --pages N         scaled device size in pages\n"
+    "  --endurance E     mean per-page endurance\n"
+    "  --sigma F         endurance sigma fraction\n"
+    "  --seed S          RNG seed\n"
+    "  --ratio-writes W  writes used for the swap-ratio measurement\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
   const auto setup = bench::make_setup(args, 1024, 65536);
   const auto ratio_writes = static_cast<std::uint64_t>(
       args.get_int_or("ratio-writes", 200000));
@@ -103,4 +114,10 @@ int main(int argc, char** argv) {
       "interval 32;\nlifetime decreases with larger intervals; chosen "
       "operating point: 32.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

@@ -15,9 +15,19 @@
 #include "sim/lifetime_sim.h"
 #include "trace/parsec_model.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bench_fig8 [flags]\n"
+    "  Figure 8: endurance variation sensitivity.\n"
+    "  --pages N       scaled device size in pages\n"
+    "  --endurance E   mean per-page endurance\n"
+    "  --sigma F       endurance sigma fraction\n"
+    "  --seed S        RNG seed\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
   const auto setup = bench::make_setup(args, 2048, 16384);
   bench::check_unconsumed(args);
   bench::print_banner(
@@ -58,4 +68,10 @@ int main(int argc, char** argv) {
                                       setup.config.endurance.sigma_frac),
       expected_min_endurance_fraction(8388608, 0.11));
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

@@ -14,9 +14,21 @@
 #include "sim/timing_sim.h"
 #include "trace/parsec_model.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bench_fig9 [flags]\n"
+    "  Figure 9: performance overhead.\n"
+    "  --pages N       scaled device size in pages\n"
+    "  --endurance E   mean per-page endurance\n"
+    "  --sigma F       endurance sigma fraction\n"
+    "  --seed S        RNG seed\n"
+    "  --requests R    timed requests per workload\n"
+    "  --mlp M         memory-level parallelism\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
   // Endurance is irrelevant for timing (no page dies in a short run);
   // keep it at the real-system ratio so SR's auto-scaled refresh
   // intervals match the paper's suggested settings.
@@ -62,4 +74,10 @@ int main(int argc, char** argv) {
       "\npaper reference (average overhead): BWL 6.48%%, SR 1.97%%, "
       "TWL 1.90%%; TWL worst case 2.7%% (vips).\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

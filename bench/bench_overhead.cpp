@@ -11,9 +11,19 @@
 #include "bench_common.h"
 #include "wl/factory.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bench_overhead [flags]\n"
+    "  Hardware/metadata overhead accounting.\n"
+    "  --pages N       scaled device size in pages\n"
+    "  --endurance E   mean per-page endurance\n"
+    "  --sigma F       endurance sigma fraction\n"
+    "  --seed S        RNG seed\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
   const auto setup = bench::make_setup(args, 1024, 16384);
   bench::check_unconsumed(args);
   bench::print_banner("Section 5.4: design overhead", setup);
@@ -50,4 +60,10 @@ int main(int argc, char** argv) {
       "718 (model: %u), total ~840 (model: %u)\n",
       rng.total(), engine.total(), total.total());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

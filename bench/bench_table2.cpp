@@ -12,9 +12,19 @@
 #include "trace/parsec_model.h"
 #include "wl/factory.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bench_table2 [flags]\n"
+    "  Table 2: normal-workload lifetime.\n"
+    "  --pages N       scaled device size in pages\n"
+    "  --endurance E   mean per-page endurance\n"
+    "  --sigma F       endurance sigma fraction\n"
+    "  --seed S        RNG seed\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
   const auto setup = bench::make_setup(args, 2048, 16384);
   bench::check_unconsumed(args);
   bench::print_banner(
@@ -46,4 +56,10 @@ int main(int argc, char** argv) {
       "ideal lifetime follows analytically (kappa=2, see EXPERIMENTS.md);\n"
       "the w/o-WL column is simulated from the calibrated skew model.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

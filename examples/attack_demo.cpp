@@ -10,9 +10,18 @@
 #include "common/cli.h"
 #include "sim/attack_sim.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: attack_demo [flags]\n"
+    "  Inconsistent-write attack walkthrough.\n"
+    "  --pages N       scaled device size in pages (default 1024)\n"
+    "  --endurance E   mean per-page endurance (default 32768)\n"
+    "  --scheme NAME   attack a single scheme (default: BWL WRL SR TWL)\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
   SimScale scale;
   scale.pages = static_cast<std::uint64_t>(args.get_int_or("pages", 1024));
   scale.endurance_mean = args.get_double_or("endurance", 32768);
@@ -56,4 +65,10 @@ int main(int argc, char** argv) {
       "die orders of magnitude early; SR and TWL never act on predictions,\n"
       "so the reversed distribution buys the attacker nothing.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

@@ -11,9 +11,18 @@
 #include "common/cli.h"
 #include "sim/attack_sim.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: interval_tuning [flags]\n"
+    "  Choosing the tossup interval.\n"
+    "  --pages N        scaled device size in pages (default 1024)\n"
+    "  --endurance E    mean per-page endurance\n"
+    "  --floor-years Y  minimum acceptable attack lifetime\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
   SimScale scale;
   scale.pages = static_cast<std::uint64_t>(args.get_int_or("pages", 1024));
   scale.endurance_mean = args.get_double_or("endurance", 65536);
@@ -49,4 +58,10 @@ int main(int argc, char** argv) {
   std::printf("\nchosen interval: %u (paper chose 32 at ~2.2%% extra "
               "writes)\n", chosen);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

@@ -12,9 +12,18 @@
 #include "trace/synthetic.h"
 #include "wl/factory.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: lifetime_study [flags]\n"
+    "  Lifetime across schemes and skews.\n"
+    "  --pages N       scaled device size in pages (default 1024)\n"
+    "  --endurance E   mean per-page endurance\n"
+    "  --top-frac F    write share of the hottest page\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
   const auto pages =
       static_cast<std::uint64_t>(args.get_int_or("pages", 1024));
   const double endurance = args.get_double_or("endurance", 16384);
@@ -62,4 +71,10 @@ int main(int argc, char** argv) {
       "hold up — and strong-weak pairing increasingly beats adjacent\n"
       "pairing because it equalizes the pairs' endurance *sums*.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

@@ -13,9 +13,18 @@
 #include "trace/synthetic.h"
 #include "wl/factory.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: quickstart [flags]\n"
+    "  Smallest end-to-end TWL simulation.\n"
+    "  --pages N       scaled device size in pages (default 1024)\n"
+    "  --endurance E   mean per-page endurance (default 8192)\n"
+    "  --seed S        RNG seed (default 1)\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
 
   // 1. Describe the (scaled) device. Config::scaled keeps every Table 1
   //    parameter of the paper except size and endurance.
@@ -60,4 +69,10 @@ int main(int argc, char** argv) {
       "any prediction of future writes.\n",
       config.twl.tossup_interval);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

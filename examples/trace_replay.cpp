@@ -13,9 +13,18 @@
 #include "trace/trace_file.h"
 #include "wl/factory.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: trace_replay [flags]\n"
+    "  Replaying an address trace file.\n"
+    "  --pages N       scaled device size in pages (default 1024)\n"
+    "  --endurance E   mean per-page endurance\n"
+    "  --trace PATH    trace file to replay (plain-text addresses)\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
   using namespace twl;
-  const CliArgs args(argc, argv);
   SimScale scale;
   scale.pages = static_cast<std::uint64_t>(args.get_int_or("pages", 512));
   scale.endurance_mean = args.get_double_or("endurance", 4096);
@@ -53,4 +62,10 @@ int main(int argc, char** argv) {
       "\nAny trace in the simple text format ('W <page>' / 'R <page>')\n"
       "can be replayed this way — see trace/trace_file.h.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
 }

@@ -32,10 +32,17 @@ WearSummary summarize_wear(const PcmDevice& device) {
   RunningStats stats;
   for (std::size_t i = 0; i < fractions.size(); ++i) {
     stats.add(fractions[i]);
-    if (device.writes(PhysicalPageAddr(static_cast<std::uint32_t>(i))) ==
-        0) {
+    const PhysicalPageAddr pa(static_cast<std::uint32_t>(i));
+    if (device.writes(pa) == 0) {
       ++s.untouched_pages;
     }
+    if (device.worn_out(pa)) {
+      ++s.dead_pages;
+    }
+  }
+  if (device.has_fault_model()) {
+    s.stuck_faults = device.fault_model().total_faults();
+    s.ecp_corrected_faults = device.fault_model().corrected_faults();
   }
   s.mean_fraction = stats.mean();
   s.cov = stats.mean() > 0 ? stats.stddev() / stats.mean() : 0.0;
@@ -61,6 +68,11 @@ std::string format_wear_summary(const WearSummary& s) {
       << "  p50/p90/p99/max " << fmt_percent(s.p50, 0) << "/"
       << fmt_percent(s.p90, 0) << "/" << fmt_percent(s.p99, 0) << "/"
       << fmt_percent(s.max, 0) << "  untouched " << s.untouched_pages;
+  if (s.dead_pages > 0) out << "  dead " << s.dead_pages;
+  if (s.stuck_faults > 0) {
+    out << "  stuck-faults " << s.stuck_faults << " (ECP-corrected "
+        << s.ecp_corrected_faults << ")";
+  }
   return out.str();
 }
 

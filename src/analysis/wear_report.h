@@ -23,6 +23,12 @@ struct WearSummary {
   double p99 = 0.0;
   double max = 0.0;
   std::uint64_t untouched_pages = 0;
+  /// Pages dead under the device's active wear-out model (wear latch or
+  /// uncorrectable stuck-at faults). Retired pages stay counted here.
+  std::uint64_t dead_pages = 0;
+  /// Stuck-at counters (0 unless the device runs the fault model).
+  std::uint64_t stuck_faults = 0;
+  std::uint64_t ecp_corrected_faults = 0;
 };
 
 /// Summary of the device's current wear fractions.

@@ -1,21 +1,39 @@
 #include "common/cli.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
 #include <string_view>
 
 namespace twl {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& name, const std::string& value,
+                            const char* expected) {
+  throw CliError("invalid value for --" + name + ": '" + value +
+                 "' (expected " + expected + ")");
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
     if (arg.rfind("--benchmark_", 0) == 0) continue;  // google-benchmark's.
     if (arg.rfind("--", 0) != 0) {
-      throw std::invalid_argument("expected --flag, got: " + std::string(arg));
+      throw CliError("expected --flag, got: '" + std::string(arg) + "'");
     }
     arg.remove_prefix(2);
+    if (arg.empty()) {
+      throw CliError("expected --flag, got bare '--'");
+    }
     const auto eq = arg.find('=');
     if (eq != std::string_view::npos) {
+      if (eq == 0) {
+        throw CliError("expected --flag=value, got: '--" + std::string(arg) +
+                       "'");
+      }
       values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
       values_[std::string(arg)] = argv[++i];
@@ -41,19 +59,41 @@ std::int64_t CliArgs::get_int_or(const std::string& name,
                                  std::int64_t def) const {
   const auto v = get(name);
   if (!v) return def;
-  return std::stoll(*v);
+  // strtoll via endptr so trailing garbage ("12abc") is rejected, unlike
+  // std::stoll which silently accepts it.
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    bad_value(name, *v, "an integer");
+  }
+  if (errno == ERANGE) {
+    bad_value(name, *v, "an integer in range");
+  }
+  return parsed;
 }
 
 double CliArgs::get_double_or(const std::string& name, double def) const {
   const auto v = get(name);
   if (!v) return def;
-  return std::stod(*v);
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    bad_value(name, *v, "a number");
+  }
+  if (errno == ERANGE) {
+    bad_value(name, *v, "a number in range");
+  }
+  return parsed;
 }
 
 bool CliArgs::get_bool_or(const std::string& name, bool def) const {
   const auto v = get(name);
   if (!v) return def;
-  return *v == "true" || *v == "1" || *v == "yes";
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  bad_value(name, *v, "true/false");
 }
 
 bool CliArgs::has(const std::string& name) const {
@@ -67,6 +107,33 @@ std::vector<std::string> CliArgs::unconsumed() const {
     if (!consumed_.count(k)) out.push_back(k);
   }
   return out;
+}
+
+void CliArgs::reject_unconsumed() const {
+  const auto leftover = unconsumed();
+  if (leftover.empty()) return;
+  std::string msg = "unknown flag(s):";
+  for (const auto& f : leftover) msg += " --" + f;
+  throw CliError(msg);
+}
+
+int run_cli_main(int argc, const char* const* argv, const std::string& usage,
+                 const std::function<int(const CliArgs&)>& body) {
+  try {
+    const CliArgs args(argc, argv);
+    if (args.has("help")) {
+      std::printf("%s", usage.c_str());
+      return 0;
+    }
+    const int rc = body(args);
+    // Backstop for binaries that don't check explicitly up front: any
+    // flag the body never looked at is a typo.
+    args.reject_unconsumed();
+    return rc;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n\n%s", e.what(), usage.c_str());
+    return 2;
+  }
 }
 
 }  // namespace twl

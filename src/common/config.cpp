@@ -2,8 +2,91 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace twl {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& field, const std::string& why) {
+  throw std::invalid_argument("invalid config: " + field + " " + why);
+}
+
+void require(bool ok, const char* field, const char* why) {
+  if (!ok) reject(field, why);
+}
+
+}  // namespace
+
+void Config::validate() const {
+  require(geometry.page_bytes > 0, "geometry.page_bytes", "must be > 0");
+  require(geometry.line_bytes > 0, "geometry.line_bytes", "must be > 0");
+  require(geometry.line_bytes <= geometry.page_bytes, "geometry.line_bytes",
+          "must not exceed page_bytes");
+  require(geometry.pages() > 0, "geometry.capacity_bytes",
+          "must hold at least one page");
+  require(geometry.banks > 0, "geometry.banks", "must be > 0");
+  require(geometry.ranks > 0, "geometry.ranks", "must be > 0");
+
+  require(timing.clock_ghz > 0.0, "timing.clock_ghz", "must be > 0");
+
+  require(endurance.mean > 0.0, "endurance.mean", "must be > 0");
+  require(endurance.sigma_frac >= 0.0, "endurance.sigma_frac",
+          "must be >= 0");
+  require(endurance.table_bits > 0 && endurance.table_bits <= 32,
+          "endurance.table_bits", "must be in [1, 32]");
+
+  require(twl.tossup_interval > 0, "twl.tossup_interval", "must be > 0");
+  require(twl.interpair_swap_interval > 0, "twl.interpair_swap_interval",
+          "must be > 0");
+  require(twl.adaptive_interval_max > 0, "twl.adaptive_interval_max",
+          "must be > 0");
+  require(twl.adaptation_window > 0, "twl.adaptation_window", "must be > 0");
+  require(twl.target_swap_ratio > 0.0, "twl.target_swap_ratio",
+          "must be > 0");
+
+  require(sr.refresh_interval > 0, "sr.refresh_interval", "must be > 0");
+  require(sr.region_pages > 0, "sr.region_pages", "must be > 0");
+  require(sr.endurance_mean_hint > 0.0, "sr.endurance_mean_hint",
+          "must be > 0");
+
+  require(bwl.filter_bits > 0, "bwl.filter_bits", "must be > 0");
+  require(bwl.num_hashes > 0, "bwl.num_hashes", "must be > 0");
+  require(bwl.hot_threshold > 0, "bwl.hot_threshold", "must be > 0");
+  require(bwl.epoch_writes > 0, "bwl.epoch_writes", "must be > 0");
+  require(bwl.epoch_min > 0, "bwl.epoch_min", "must be > 0");
+  require(bwl.epoch_max >= bwl.epoch_min, "bwl.epoch_max",
+          "must be >= epoch_min");
+  require(bwl.swap_top_k > 0, "bwl.swap_top_k", "must be > 0");
+
+  require(wrl.prediction_writes > 0, "wrl.prediction_writes", "must be > 0");
+  require(wrl.running_multiplier > 0, "wrl.running_multiplier",
+          "must be > 0");
+  require(wrl.swap_fraction > 0.0 && wrl.swap_fraction <= 1.0,
+          "wrl.swap_fraction", "must be in (0, 1]");
+
+  require(start_gap.gap_write_interval > 0, "start_gap.gap_write_interval",
+          "must be > 0");
+
+  require(rbsg.region_pages >= 2, "rbsg.region_pages", "must be >= 2");
+  require(rbsg.gap_write_interval > 0, "rbsg.gap_write_interval",
+          "must be > 0");
+  require(rbsg.security_level > 0, "rbsg.security_level", "must be > 0");
+
+  require(fault.fault_gap_frac > 0.0, "fault.fault_gap_frac", "must be > 0");
+  if (fault.spare_pages >= geometry.pages()) {
+    reject("fault.spare_pages",
+           "must leave at least one non-spare page (" +
+               std::to_string(fault.spare_pages) + " spares >= " +
+               std::to_string(geometry.pages()) + " pages)");
+  }
+
+  require(real.attack_write_gbps > 0.0, "real.attack_write_gbps",
+          "must be > 0");
+  require(real.ideal_lifetime_years > 0.0, "real.ideal_lifetime_years",
+          "must be > 0");
+}
 
 PcmGeometry PcmGeometry::scaled_to_pages(std::uint64_t n) const {
   assert(n > 0);

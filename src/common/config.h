@@ -165,6 +165,39 @@ struct RbsgParams {
   std::uint32_t security_level = 1;        ///< Gap moves per interval.
 };
 
+/// Fault-tolerance model (extension beyond the paper, following the
+/// graceful-degradation literature the paper cites: OD3P [1], ECP, and
+/// WoLFRaM-style remapping).
+///
+/// With the model enabled, a page no longer dies as a binary latch at its
+/// PV endurance. Instead its manufacturer-tested endurance marks the
+/// arrival of its *first* stuck-at cell, and further stuck cells arrive
+/// stochastically (deterministic per seed) with a mean spacing of
+/// `fault_gap_frac` of the page's endurance. ECP-k keeps the page
+/// serviceable until more than `ecp_k` cells are stuck; an uncorrectable
+/// page is then retired onto a spare from a pool of `spare_pages`
+/// reserved off the top of the device, transparently to the wear-leveling
+/// scheme. Defaults (`ecp_k = 0`, `spare_pages = 0`) disable the model
+/// entirely and reproduce the paper's first-failure-is-death behavior
+/// bit for bit.
+struct FaultParams {
+  /// Stuck-at cells ECP can correct per page; 0 disables the stuck-at
+  /// fault model (binary wear-out latch, the paper's model).
+  std::uint32_t ecp_k = 0;
+  /// Mean gap between successive stuck-cell arrivals on a page, as a
+  /// fraction of that page's endurance (exponential gaps).
+  double fault_gap_frac = 0.02;
+  /// Physical pages reserved as the retirement spare pool. The
+  /// wear-leveling scheme manages only the remaining pages.
+  std::uint32_t spare_pages = 0;
+
+  [[nodiscard]] bool fault_model_enabled() const { return ecp_k > 0; }
+  [[nodiscard]] bool retirement_enabled() const { return spare_pages > 0; }
+  [[nodiscard]] bool enabled() const {
+    return fault_model_enabled() || retirement_enabled();
+  }
+};
+
 /// The real (paper-scale) system used for extrapolating scaled results.
 struct RealSystem {
   PcmGeometry geometry{};      // 32 GB.
@@ -197,6 +230,7 @@ struct Config {
   WrlParams wrl{};
   StartGapParams start_gap{};
   RbsgParams rbsg{};
+  FaultParams fault{};
   RealSystem real{};
   std::uint64_t seed = 20170618;
 
@@ -213,6 +247,12 @@ struct Config {
 
   /// Scaled-down configuration suitable for whole-lifetime simulation.
   [[nodiscard]] static Config scaled(const SimScale& scale);
+
+  /// Rejects nonsensical parameter combinations with a
+  /// std::invalid_argument naming the offending field. Every simulator
+  /// constructor calls this, so bad configs fail loudly instead of
+  /// silently producing garbage.
+  void validate() const;
 };
 
 }  // namespace twl

@@ -7,10 +7,27 @@ namespace twl {
 PcmDevice::PcmDevice(EnduranceMap endurance)
     : endurance_(std::move(endurance)), wear_(endurance_.pages(), 0) {}
 
+PcmDevice::PcmDevice(EnduranceMap endurance, const FaultParams& faults,
+                     std::uint64_t seed)
+    : endurance_(std::move(endurance)), wear_(endurance_.pages(), 0) {
+  if (faults.fault_model_enabled()) {
+    faults_.emplace(endurance_, faults, seed);
+  }
+}
+
 bool PcmDevice::write(PhysicalPageAddr pa) {
   assert(pa.value() < wear_.size());
   ++total_writes_;
   const WriteCount w = ++wear_[pa.value()];
+  if (faults_) {
+    faults_->on_write(pa, w);
+    const bool bad = faults_->uncorrectable(pa);
+    if (bad && !first_failure_) {
+      first_failure_ = pa;
+      writes_at_failure_ = total_writes_;
+    }
+    return bad;
+  }
   if (w == endurance_.endurance(pa) && !first_failure_) {
     first_failure_ = pa;
     writes_at_failure_ = total_writes_;
@@ -33,6 +50,7 @@ std::vector<double> PcmDevice::wear_fractions() const {
 
 void PcmDevice::reset_wear() {
   std::fill(wear_.begin(), wear_.end(), 0);
+  if (faults_) faults_->reset();
   total_writes_ = 0;
   first_failure_.reset();
   writes_at_failure_.reset();

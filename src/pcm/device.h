@@ -6,24 +6,40 @@
 // [16] is modeled in the timing layer, and no experiment depends on the
 // stored bytes — but the device asserts address validity and exposes the
 // full wear distribution for analysis.
+//
+// Two wear-out models are supported:
+//  * the paper's binary latch (default): a page fails the instant its
+//    write count reaches its PV endurance;
+//  * the stuck-at fault model (FaultParams::fault_model_enabled()): the
+//    endurance marks the first stuck cell, further cells stick
+//    stochastically, and the page fails only once ECP-k runs out of
+//    correction capacity. See pcm/fault_model.h.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/config.h"
 #include "common/types.h"
 #include "pcm/endurance.h"
+#include "pcm/fault_model.h"
 
 namespace twl {
 
 class PcmDevice {
  public:
+  /// Paper model: binary wear-out latch at the PV endurance.
   explicit PcmDevice(EnduranceMap endurance);
 
-  /// Apply one page write. Returns true if this write wore the page out
-  /// (write count reached its endurance) — the first such event is latched
-  /// as the device failure.
+  /// Fault-tolerant model: stuck-at fault accrual with ECP-k correction.
+  /// With `faults.fault_model_enabled() == false` this is identical to
+  /// the single-argument constructor (no RNG is ever consumed).
+  PcmDevice(EnduranceMap endurance, const FaultParams& faults,
+            std::uint64_t seed);
+
+  /// Apply one page write. Returns true if the page is (now) beyond
+  /// recovery — the first such event is latched as the device failure.
   bool write(PhysicalPageAddr pa);
 
   [[nodiscard]] std::uint64_t pages() const { return endurance_.pages(); }
@@ -37,8 +53,17 @@ class PcmDevice {
     return endurance_;
   }
 
+  /// Dead under the active model: write count at/past the endurance
+  /// (latch model) or more stuck cells than ECP-k patches (fault model).
   [[nodiscard]] bool worn_out(PhysicalPageAddr pa) const {
-    return wear_[pa.value()] >= endurance_.endurance(pa);
+    return faults_ ? faults_->uncorrectable(pa)
+                   : wear_[pa.value()] >= endurance_.endurance(pa);
+  }
+
+  [[nodiscard]] bool has_fault_model() const { return faults_.has_value(); }
+  /// Valid only when has_fault_model().
+  [[nodiscard]] const StuckAtFaultModel& fault_model() const {
+    return *faults_;
   }
 
   /// True once any page has failed.
@@ -64,6 +89,7 @@ class PcmDevice {
  private:
   EnduranceMap endurance_;
   std::vector<WriteCount> wear_;
+  std::optional<StuckAtFaultModel> faults_;
   WriteCount total_writes_ = 0;
   std::optional<PhysicalPageAddr> first_failure_;
   std::optional<WriteCount> writes_at_failure_;

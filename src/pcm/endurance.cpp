@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
 #include "common/rng.h"
 
@@ -28,8 +29,17 @@ EnduranceMap EnduranceMap::from_line_model(std::uint64_t pages,
                                            const EnduranceParams& line_params,
                                            double dcw_fraction,
                                            std::uint64_t seed) {
-  assert(pages > 0 && lines_per_page > 0);
-  assert(dcw_fraction > 0.0 && dcw_fraction <= 1.0);
+  if (pages == 0) {
+    throw std::invalid_argument("from_line_model: pages must be > 0");
+  }
+  if (lines_per_page == 0) {
+    throw std::invalid_argument(
+        "from_line_model: lines_per_page must be > 0");
+  }
+  if (!(dcw_fraction > 0.0) || dcw_fraction > 1.0) {
+    throw std::invalid_argument(
+        "from_line_model: dcw_fraction must be in (0, 1]");
+  }
   XorShift64Star rng(seed ^ 0x11FE'11FEULL);
   const double sigma = line_params.mean * line_params.sigma_frac;
   const double floor = std::max(1.0, line_params.mean * 0.01);

@@ -1,0 +1,64 @@
+#include "pcm/fault_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace twl {
+
+StuckAtFaultModel::StuckAtFaultModel(const EnduranceMap& endurance,
+                                     const FaultParams& params,
+                                     std::uint64_t seed)
+    : endurance_(&endurance),
+      params_(params),
+      seed_(seed),
+      stuck_(endurance.pages(), 0),
+      next_fault_at_(endurance.values().begin(), endurance.values().end()) {
+  assert(params_.fault_gap_frac > 0.0);
+}
+
+std::uint64_t StuckAtFaultModel::gap_after(PhysicalPageAddr pa,
+                                           std::uint32_t fault_index) const {
+  // One fresh SplitMix64 per (page, fault index): draws are a pure
+  // function of the identity of the fault, independent of simulation
+  // order.
+  SplitMix64 sm(seed_ ^ (0x9E37'79B9'7F4A'7C15ULL * (pa.value() + 1)) ^
+                (0xBF58'476D'1CE4'E5B9ULL * (fault_index + 1)));
+  const double u =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;  // [0, 1).
+  const double mean_gap =
+      static_cast<double>(endurance_->endurance(pa)) * params_.fault_gap_frac;
+  const double gap = -std::log1p(-u) * mean_gap;  // Exponential(mean_gap).
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(gap));
+}
+
+std::uint32_t StuckAtFaultModel::on_write(PhysicalPageAddr pa,
+                                          WriteCount writes) {
+  const auto p = pa.value();
+  std::uint32_t fresh = 0;
+  while (writes >= next_fault_at_[p]) {
+    const std::uint32_t stuck = ++stuck_[p];
+    ++total_faults_;
+    ++fresh;
+    if (stuck <= params_.ecp_k) {
+      ++corrected_faults_;
+    } else if (stuck == params_.ecp_k + 1) {
+      ++uncorrectable_pages_;
+    }
+    next_fault_at_[p] += gap_after(pa, stuck);
+  }
+  return fresh;
+}
+
+void StuckAtFaultModel::reset() {
+  std::fill(stuck_.begin(), stuck_.end(), 0);
+  std::copy(endurance_->values().begin(), endurance_->values().end(),
+            next_fault_at_.begin());
+  total_faults_ = 0;
+  corrected_faults_ = 0;
+  uncorrectable_pages_ = 0;
+}
+
+}  // namespace twl

@@ -1,0 +1,81 @@
+// Cell-level stuck-at fault model with ECP-style correction.
+//
+// The paper's device model is a binary latch: a page dies the instant its
+// write count reaches its PV endurance. Real PCM degrades cell by cell —
+// writes start sticking individual cells, and error-correcting pointers
+// (ECP-k) patch up to k stuck cells per page before the page becomes
+// uncorrectable. This model keeps the manufacturer-tested endurance as
+// the arrival of the *first* stuck cell (so with k = 0 it reduces exactly
+// to the paper's latch) and draws the gaps to subsequent stuck cells from
+// an exponential with mean `fault_gap_frac * endurance(pa)`.
+//
+// Every draw depends only on (seed, page, fault index), never on call
+// order, so simulations stay bit-deterministic no matter how writes to
+// different pages interleave — the property the determinism regression
+// test guards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "pcm/endurance.h"
+
+namespace twl {
+
+class StuckAtFaultModel {
+ public:
+  StuckAtFaultModel(const EnduranceMap& endurance, const FaultParams& params,
+                    std::uint64_t seed);
+
+  /// Record that page `pa` has absorbed `writes` total writes; returns the
+  /// number of new stuck-at faults that arrived with this write (usually
+  /// 0, occasionally 1, more only for pathological gap draws).
+  std::uint32_t on_write(PhysicalPageAddr pa, WriteCount writes);
+
+  [[nodiscard]] std::uint32_t stuck_faults(PhysicalPageAddr pa) const {
+    return stuck_[pa.value()];
+  }
+
+  /// True once the page holds more stuck cells than ECP-k can patch.
+  [[nodiscard]] bool uncorrectable(PhysicalPageAddr pa) const {
+    return stuck_[pa.value()] > params_.ecp_k;
+  }
+
+  /// Stuck cells that have arrived across the whole device.
+  [[nodiscard]] std::uint64_t total_faults() const { return total_faults_; }
+  /// Stuck cells currently being patched by ECP (arrival left the page
+  /// serviceable).
+  [[nodiscard]] std::uint64_t corrected_faults() const {
+    return corrected_faults_;
+  }
+  /// Pages with more stuck cells than ECP-k can patch.
+  [[nodiscard]] std::uint64_t uncorrectable_pages() const {
+    return uncorrectable_pages_;
+  }
+
+  [[nodiscard]] const FaultParams& params() const { return params_; }
+
+  /// Forget all faults (new device, same PV map and seed).
+  void reset();
+
+ private:
+  /// Deterministic gap between fault `fault_index` and the next one on
+  /// `pa` (>= 1 write).
+  [[nodiscard]] std::uint64_t gap_after(PhysicalPageAddr pa,
+                                        std::uint32_t fault_index) const;
+
+  const EnduranceMap* endurance_;
+  FaultParams params_;
+  std::uint64_t seed_;
+  std::vector<std::uint32_t> stuck_;
+  /// Write count at which the next stuck cell arrives (initially the
+  /// page's manufacturer-tested endurance).
+  std::vector<std::uint64_t> next_fault_at_;
+  std::uint64_t total_faults_ = 0;
+  std::uint64_t corrected_faults_ = 0;
+  std::uint64_t uncorrectable_pages_ = 0;
+};
+
+}  // namespace twl

@@ -1,0 +1,32 @@
+#include "pcm/retirement.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace twl {
+
+RetirementTable::RetirementTable(std::uint64_t device_pages,
+                                 std::uint32_t spare_pages)
+    : pool_pages_(device_pages - spare_pages),
+      spare_pages_(spare_pages),
+      to_device_(pool_pages_),
+      owner_(device_pages) {
+  assert(spare_pages < device_pages);
+  std::iota(to_device_.begin(), to_device_.end(), 0u);
+  std::iota(owner_.begin(), owner_.end(), 0u);
+}
+
+std::optional<PhysicalPageAddr> RetirementTable::retire(
+    PhysicalPageAddr owner) {
+  assert(owner.value() < pool_pages_);
+  if (spares_used_ >= spare_pages_) return std::nullopt;
+  const std::uint32_t spare =
+      static_cast<std::uint32_t>(pool_pages_) + spares_used_;
+  ++spares_used_;
+  ++retired_;
+  to_device_[owner.value()] = spare;
+  owner_[spare] = owner.value();
+  return PhysicalPageAddr(spare);
+}
+
+}  // namespace twl

@@ -1,0 +1,68 @@
+// Page retirement and spare-pool remapping.
+//
+// When ECP-k runs out of correction capacity on a page, the controller
+// retires it: the page's image is salvaged onto a fresh page from a spare
+// pool reserved off the top of the device, and this table thereafter
+// redirects all traffic for the retired page to its replacement. The
+// wear-leveling scheme keeps operating on its own stable address space —
+// pool addresses [0, pool_pages) — and never observes the indirection,
+// which is what keeps algebraic schemes (Start-Gap, Security Refresh)
+// correct without any table of their own. The WoLFRaM line of work calls
+// this address remapping; OD3P [1] is the on-demand variant the repo
+// already models at the wear-leveler layer.
+//
+// A spare can itself wear out and be retired again; the table always maps
+// a pool page directly to its *current* backing device page (no chains),
+// so the hot-path redirect is a single array load.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace twl {
+
+class RetirementTable {
+ public:
+  /// `device_pages` physical pages exist in total; the top `spare_pages`
+  /// of them form the spare pool, so the scheme-visible pool is
+  /// [0, device_pages - spare_pages). Requires spare_pages < device_pages.
+  RetirementTable(std::uint64_t device_pages, std::uint32_t spare_pages);
+
+  [[nodiscard]] std::uint64_t pool_pages() const { return pool_pages_; }
+  [[nodiscard]] std::uint32_t spare_pages() const { return spare_pages_; }
+  [[nodiscard]] std::uint32_t spares_left() const {
+    return spare_pages_ - spares_used_;
+  }
+  [[nodiscard]] std::uint32_t retired_pages() const { return retired_; }
+
+  /// Device page currently backing pool page `pa` (identity until `pa` is
+  /// retired).
+  [[nodiscard]] PhysicalPageAddr to_device(PhysicalPageAddr pa) const {
+    return PhysicalPageAddr(to_device_[pa.value()]);
+  }
+
+  /// Pool page whose traffic currently lands on device page `device_pa`
+  /// (identity for never-assigned spares and unretired pages).
+  [[nodiscard]] PhysicalPageAddr owner_of(PhysicalPageAddr device_pa) const {
+    return PhysicalPageAddr(owner_[device_pa.value()]);
+  }
+
+  /// Retire whatever device page currently backs pool page `owner` and
+  /// rebind it to a fresh spare. Returns the spare now backing `owner`,
+  /// or nullopt if the pool is exhausted (the device is out of salvage
+  /// capacity).
+  std::optional<PhysicalPageAddr> retire(PhysicalPageAddr owner);
+
+ private:
+  std::uint64_t pool_pages_;
+  std::uint32_t spare_pages_;
+  std::uint32_t spares_used_ = 0;
+  std::uint32_t retired_ = 0;
+  std::vector<std::uint32_t> to_device_;  ///< pool -> device, size pool.
+  std::vector<std::uint32_t> owner_;      ///< device -> pool, size device.
+};
+
+}  // namespace twl

@@ -4,18 +4,20 @@ namespace twl {
 
 AttackSimulator::AttackSimulator(const Config& config)
     : config_(config),
-      endurance_(config.geometry.pages(), config.endurance, config.seed) {}
+      endurance_(config.geometry.pages(), config.endurance, config.seed) {
+  config_.validate();
+}
 
 AttackResult AttackSimulator::run(Scheme scheme, AttackProgram& attack,
                                   WriteCount max_demand) {
-  PcmDevice device{endurance_};
+  PcmDevice device(endurance_, config_.fault, config_.seed);
   const auto wl = make_wear_leveler(scheme, endurance_, config_);
   MemoryController controller(device, *wl, config_, /*enable_timing=*/true);
 
   const std::uint64_t space = wl->logical_pages();
   Cycles now = 0;
   Cycles last_latency = 0;
-  while (!device.failed() &&
+  while (!controller.device_failed() &&
          controller.stats().demand_writes < max_demand) {
     MemoryRequest req = attack.next(last_latency);
     req.addr = LogicalPageAddr(req.addr.value() % space);
@@ -24,7 +26,7 @@ AttackResult AttackSimulator::run(Scheme scheme, AttackProgram& attack,
   }
 
   AttackResult result;
-  result.failed = device.failed();
+  result.failed = controller.device_failed();
   result.demand_writes = controller.stats().demand_writes;
   result.fraction_of_ideal =
       static_cast<double>(result.demand_writes) /

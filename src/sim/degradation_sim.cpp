@@ -6,14 +6,16 @@ namespace twl {
 
 DegradationSimulator::DegradationSimulator(const Config& config)
     : config_(config),
-      endurance_(config.geometry.pages(), config.endurance, config.seed) {}
+      endurance_(config.geometry.pages(), config.endurance, config.seed) {
+  config_.validate();
+}
 
 DegradationResult DegradationSimulator::run(WearLeveler& wl,
                                             RequestSource& source,
                                             double alive_floor_frac,
                                             WriteCount max_demand) {
   assert(alive_floor_frac > 0.0 && alive_floor_frac < 1.0);
-  PcmDevice device(endurance_);
+  PcmDevice device(endurance_, config_.fault, config_.seed);
   MemoryController controller(device, wl, config_, /*enable_timing=*/false);
 
   const auto total_pages = static_cast<std::uint32_t>(device.pages());

@@ -4,16 +4,18 @@ namespace twl {
 
 LifetimeSimulator::LifetimeSimulator(const Config& config)
     : config_(config),
-      endurance_(config.geometry.pages(), config.endurance, config.seed) {}
+      endurance_(config.geometry.pages(), config.endurance, config.seed) {
+  config_.validate();
+}
 
 LifetimeResult LifetimeSimulator::run(Scheme scheme, RequestSource& source,
                                       WriteCount max_demand) {
-  PcmDevice device{endurance_};
+  PcmDevice device(endurance_, config_.fault, config_.seed);
   const auto wl = make_wear_leveler(scheme, endurance_, config_);
   MemoryController controller(device, *wl, config_, /*enable_timing=*/false);
 
   const std::uint64_t space = wl->logical_pages();
-  while (!device.failed() &&
+  while (!controller.device_failed() &&
          controller.stats().demand_writes < max_demand) {
     MemoryRequest req = source.next();
     if (req.op != Op::kWrite) continue;  // Reads cause no wear.
@@ -22,7 +24,7 @@ LifetimeResult LifetimeSimulator::run(Scheme scheme, RequestSource& source,
   }
 
   LifetimeResult result;
-  result.failed = device.failed();
+  result.failed = controller.device_failed();
   result.demand_writes = controller.stats().demand_writes;
   result.physical_writes = controller.stats().physical_writes();
   result.fraction_of_ideal =

@@ -21,28 +21,42 @@ MemoryController::MemoryController(PcmDevice& device, WearLeveler& wl,
       wl_(&wl),
       timing_(config.geometry, config.timing),
       timing_enabled_(enable_timing),
-      migration_wear_(config.migration_wear) {}
+      migration_wear_(config.migration_wear) {
+  if (config.fault.retirement_enabled()) {
+    assert(config.fault.spare_pages < device.pages());
+    retirement_.emplace(device.pages(), config.fault.spare_pages);
+  }
+}
 
-void MemoryController::charge_write(PhysicalPageAddr pa,
+void MemoryController::device_write(PhysicalPageAddr device_pa,
                                     WritePurpose purpose) {
   if (migration_wear_ || purpose == WritePurpose::kDemand) {
-    const bool was_worn = device_->worn_out(pa);
-    device_->write(pa);
-    if (!was_worn && device_->worn_out(pa)) {
-      newly_worn_.push_back(pa);
+    const bool was_worn = device_->worn_out(device_pa);
+    device_->write(device_pa);
+    if (!was_worn && device_->worn_out(device_pa)) {
+      newly_worn_.push_back(device_pa);
     }
   }
   ++stats_.writes_by_purpose[static_cast<std::size_t>(purpose)];
   if (timing_enabled_) {
-    chain_ = timing_.service(pa, Op::kWrite, chain_).done;
+    chain_ = timing_.service(device_pa, Op::kWrite, chain_).done;
   }
 }
 
-void MemoryController::charge_read(PhysicalPageAddr pa) {
+void MemoryController::device_read(PhysicalPageAddr device_pa) {
   ++stats_.migration_reads;
   if (timing_enabled_) {
-    chain_ = timing_.service(pa, Op::kRead, chain_).done;
+    chain_ = timing_.service(device_pa, Op::kRead, chain_).done;
   }
+}
+
+void MemoryController::charge_write(PhysicalPageAddr pa,
+                                    WritePurpose purpose) {
+  device_write(to_device(pa), purpose);
+}
+
+void MemoryController::charge_read(PhysicalPageAddr pa) {
+  device_read(to_device(pa));
 }
 
 void MemoryController::demand_write(PhysicalPageAddr pa, LogicalPageAddr la) {
@@ -83,10 +97,37 @@ void MemoryController::end_blocking() {
   }
 }
 
+void MemoryController::handle_failures() {
+  // A salvage write may itself wear out its target (it lands on a spare),
+  // so keep draining until the queue is empty.
+  while (!newly_worn_.empty()) {
+    const PhysicalPageAddr dead = newly_worn_.back();
+    newly_worn_.pop_back();
+    if (!retirement_) {
+      wl_->on_page_failed(dead, *this);
+      continue;
+    }
+    const PhysicalPageAddr owner = retirement_->owner_of(dead);
+    if (const auto spare = retirement_->retire(owner)) {
+      ++stats_.pages_retired;
+      // Salvage the page image onto the spare: ECP kept the page readable
+      // through its last correctable state, so a 1-read + 1-write copy
+      // rebinds the owner with its data intact.
+      device_read(dead);
+      device_write(*spare, WritePurpose::kRetirement);
+      wl_->on_page_retired(owner, *spare, device_->endurance(*spare), *this);
+    } else {
+      ++stats_.unretired_failures;
+      fatal_failure_ = true;
+      wl_->on_page_failed(owner, *this);
+    }
+  }
+}
+
 Cycles MemoryController::submit(const MemoryRequest& req, Cycles now) {
   if (req.op == Op::kRead) {
     ++stats_.reads;
-    const PhysicalPageAddr pa = wl_->map_read(req.addr);
+    const PhysicalPageAddr pa = to_device(wl_->map_read(req.addr));
     if (!timing_enabled_) return 0;
     const Cycles start = now + wl_->read_indirection_cycles();
     return timing_.service(pa, Op::kRead, start).done - now;
@@ -99,11 +140,7 @@ Cycles MemoryController::submit(const MemoryRequest& req, Cycles now) {
 
   // Deliver permanent-failure notifications after the request completes;
   // a salvage action may itself wear out its target, so drain the queue.
-  while (!newly_worn_.empty()) {
-    const PhysicalPageAddr failed = newly_worn_.back();
-    newly_worn_.pop_back();
-    wl_->on_page_failed(failed, *this);
-  }
+  handle_failures();
   return timing_enabled_ ? chain_ - now : 0;
 }
 

@@ -6,15 +6,24 @@
 // timing is enabled — occupies the owning bank, so that response times
 // (including the latency spikes of blocking swap phases) are observable
 // by the caller, exactly the channel the paper's attacker uses.
+//
+// With fault tolerance configured (FaultParams::retirement_enabled()),
+// the controller additionally owns the retirement indirection: scheme
+// addresses are redirected through the RetirementTable on every device
+// access, uncorrectable pages are salvaged onto spares transparently to
+// the scheme, and the device only counts as failed once a page dies with
+// the spare pool exhausted.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/config.h"
 #include "common/types.h"
 #include "pcm/device.h"
+#include "pcm/retirement.h"
 #include "pcm/timing.h"
 #include "wl/wear_leveler.h"
 
@@ -24,9 +33,14 @@ struct ControllerStats {
   WriteCount demand_writes = 0;
   WriteCount reads = 0;
   /// Physical page writes indexed by WritePurpose.
-  std::array<WriteCount, 6> writes_by_purpose{};
+  std::array<WriteCount, kNumWritePurposes> writes_by_purpose{};
   WriteCount migration_reads = 0;
   std::uint64_t blocking_events = 0;
+  /// Pages retired onto spares (fault-tolerant configs only).
+  std::uint32_t pages_retired = 0;
+  /// Pages that died after the spare pool ran dry (at most 1 in practice:
+  /// the first one latches device failure).
+  std::uint32_t unretired_failures = 0;
 
   [[nodiscard]] WriteCount physical_writes() const;
   /// Physical writes beyond the demand traffic (the wear-leveling tax).
@@ -45,9 +59,21 @@ class MemoryController final : public WriteSink {
   Cycles submit(const MemoryRequest& req, Cycles now);
 
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
-  [[nodiscard]] bool device_failed() const { return device_->failed(); }
+  /// End-of-life: first page death without retirement, with the spare
+  /// pool exhausted — identical to PcmDevice::failed() when retirement is
+  /// not configured.
+  [[nodiscard]] bool device_failed() const {
+    return retirement_ ? fatal_failure_ : device_->failed();
+  }
   [[nodiscard]] const PcmDevice& device() const { return *device_; }
   [[nodiscard]] const WearLeveler& wear_leveler() const { return *wl_; }
+  [[nodiscard]] bool retirement_active() const {
+    return retirement_.has_value();
+  }
+  /// Valid only when retirement_active().
+  [[nodiscard]] const RetirementTable& retirement() const {
+    return *retirement_;
+  }
 
   // WriteSink implementation (called back by the scheme during submit).
   void demand_write(PhysicalPageAddr pa, LogicalPageAddr la) override;
@@ -60,8 +86,19 @@ class MemoryController final : public WriteSink {
   void end_blocking() override;
 
  private:
+  /// Scheme address -> device address through the retirement indirection.
+  [[nodiscard]] PhysicalPageAddr to_device(PhysicalPageAddr pa) const {
+    return retirement_ ? retirement_->to_device(pa) : pa;
+  }
+
   void charge_write(PhysicalPageAddr pa, WritePurpose purpose);
   void charge_read(PhysicalPageAddr pa);
+  /// charge_write on an already-redirected device address.
+  void device_write(PhysicalPageAddr device_pa, WritePurpose purpose);
+  void device_read(PhysicalPageAddr device_pa);
+  /// Drain the newly-worn queue: retire onto spares while they last,
+  /// otherwise deliver on_page_failed and latch device failure.
+  void handle_failures();
 
   PcmDevice* device_;
   WearLeveler* wl_;
@@ -70,6 +107,8 @@ class MemoryController final : public WriteSink {
   bool migration_wear_;
   Cycles chain_ = 0;  ///< Completion time of the op chain being built.
   bool in_blocking_ = false;
+  std::optional<RetirementTable> retirement_;
+  bool fatal_failure_ = false;
   std::vector<PhysicalPageAddr> newly_worn_;  ///< Failure notification queue.
   ControllerStats stats_;
 };

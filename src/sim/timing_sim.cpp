@@ -33,11 +33,13 @@ LatencyStats summarize_latencies(std::vector<Cycles>& samples) {
 TimingSimulator::TimingSimulator(const Config& config, std::uint32_t mlp)
     : config_(config),
       mlp_(std::max<std::uint32_t>(1, mlp)),
-      endurance_(config.geometry.pages(), config.endurance, config.seed) {}
+      endurance_(config.geometry.pages(), config.endurance, config.seed) {
+  config_.validate();
+}
 
 TimingResult TimingSimulator::run(Scheme scheme, RequestSource& source,
                                   std::uint64_t num_requests) {
-  PcmDevice device{endurance_};
+  PcmDevice device(endurance_, config_.fault, config_.seed);
   const auto wl = make_wear_leveler(scheme, endurance_, config_);
   MemoryController controller(device, *wl, config_, /*enable_timing=*/true);
 

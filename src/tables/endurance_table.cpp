@@ -21,4 +21,14 @@ EnduranceTable::EnduranceTable(const EnduranceMap& map,
   }
 }
 
+void EnduranceTable::set_endurance(PhysicalPageAddr pa,
+                                   std::uint64_t endurance) {
+  assert(pa.value() < entries_.size());
+  const std::uint64_t max_entry = (entry_bits_ >= 32)
+                                      ? 0xFFFF'FFFFULL
+                                      : ((1ULL << entry_bits_) - 1);
+  entries_[pa.value()] = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(endurance / scale_, max_entry));
+}
+
 }  // namespace twl

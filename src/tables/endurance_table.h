@@ -28,6 +28,11 @@ class EnduranceTable {
     return static_cast<std::uint64_t>(entries_[pa.value()]) * scale_;
   }
 
+  /// Re-quantize entry `pa` to a new endurance figure (page retirement
+  /// rebinds the physical slot to a spare with its own manufacturer-
+  /// tested endurance).
+  void set_endurance(PhysicalPageAddr pa, std::uint64_t endurance);
+
   [[nodiscard]] std::uint64_t pages() const { return entries_.size(); }
   [[nodiscard]] std::uint32_t entry_bits() const { return entry_bits_; }
 

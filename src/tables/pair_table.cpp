@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <numeric>
+#include <stdexcept>
 
 #include "common/rng.h"
 
@@ -11,7 +12,14 @@ PairTable::PairTable(const EnduranceMap& map, PairingPolicy policy,
                      std::uint64_t seed)
     : partner_(map.pages(), kInvalidPage), policy_(policy) {
   const std::uint64_t n = map.pages();
-  assert(n >= 2 && n % 2 == 0 && "pairing requires an even page count");
+  // Thrown (not asserted) so release builds fail loudly instead of
+  // writing out of bounds — an odd pool is easy to hit via spare-pool
+  // truncation.
+  if (n < 2 || n % 2 != 0) {
+    throw std::invalid_argument(
+        "PairTable: pairing requires an even page count >= 2, got " +
+        std::to_string(n));
+  }
   switch (policy) {
     case PairingPolicy::kAdjacent:
       for (std::uint32_t i = 0; i < n; i += 2) {

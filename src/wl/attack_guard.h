@@ -66,6 +66,12 @@ class AttackGuard final : public WearLeveler {
     inner_->on_page_failed(pa, sink);
   }
 
+  void on_page_retired(PhysicalPageAddr pa, PhysicalPageAddr spare,
+                       std::uint64_t spare_endurance,
+                       WriteSink& sink) override {
+    inner_->on_page_retired(pa, spare, spare_endurance, sink);
+  }
+
   [[nodiscard]] Cycles read_indirection_cycles() const override {
     return inner_->read_indirection_cycles() + 10;  // Permutation table.
   }

@@ -56,6 +56,18 @@ class BloomWl final : public WearLeveler {
     return rt_.is_consistent();
   }
 
+  /// Refresh the retired slot's endurance/headroom bookkeeping so the
+  /// next epoch's hot/cold placement ranks the spare correctly.
+  void on_page_retired(PhysicalPageAddr pa, PhysicalPageAddr spare,
+                       std::uint64_t spare_endurance,
+                       WriteSink& sink) override {
+    (void)spare;
+    (void)sink;
+    et_.set_endurance(pa, spare_endurance);
+    pa_writes_[pa.value()] = 0;
+    ++retirements_;
+  }
+
   void append_stats(
       std::vector<std::pair<std::string, double>>& out) const override;
 
@@ -78,6 +90,7 @@ class BloomWl final : public WearLeveler {
   std::uint64_t epoch_progress_ = 0;
   std::uint64_t epochs_ = 0;
   std::uint64_t pages_migrated_ = 0;
+  std::uint64_t retirements_ = 0;
 };
 
 }  // namespace twl

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "wl/attack_guard.h"
 #include "wl/bloom_wl.h"
@@ -63,9 +65,30 @@ std::vector<Scheme> all_schemes() {
           Scheme::kTossUpRandomPair, Scheme::kNoWl};
 }
 
+namespace {
+
+/// With a retirement spare pool configured, the scheme only manages the
+/// non-spare prefix of the device; the controller's RetirementTable owns
+/// the spares. Returns the truncated map (empty optional when no
+/// truncation is needed).
+std::optional<EnduranceMap> pool_view(const EnduranceMap& endurance,
+                                      const Config& config) {
+  const std::uint32_t spares = config.fault.spare_pages;
+  if (spares == 0 || spares >= endurance.pages()) return std::nullopt;
+  const auto& v = endurance.values();
+  return EnduranceMap(std::vector<std::uint64_t>(v.begin(), v.end() - spares));
+}
+
+}  // namespace
+
 std::unique_ptr<WearLeveler> make_wear_leveler(Scheme scheme,
                                                const EnduranceMap& endurance,
                                                const Config& config) {
+  if (auto pool = pool_view(endurance, config)) {
+    Config pool_config = config;
+    pool_config.fault.spare_pages = 0;
+    return make_wear_leveler(scheme, *pool, pool_config);
+  }
   switch (scheme) {
     case Scheme::kNoWl:
       return std::make_unique<NoWl>(endurance.pages());
@@ -105,6 +128,11 @@ std::unique_ptr<WearLeveler> make_wear_leveler(Scheme scheme,
 std::unique_ptr<WearLeveler> make_wear_leveler_spec(
     const std::string& spec, const EnduranceMap& endurance,
     const Config& config) {
+  if (auto pool = pool_view(endurance, config)) {
+    Config pool_config = config;
+    pool_config.fault.spare_pages = 0;
+    return make_wear_leveler_spec(spec, *pool, pool_config);
+  }
   std::string lower(spec);
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return std::tolower(c); });

@@ -62,6 +62,15 @@ class Od3pWrapper final : public WearLeveler {
 
   void on_page_failed(PhysicalPageAddr pa, WriteSink& sink) override;
 
+  void on_page_retired(PhysicalPageAddr pa, PhysicalPageAddr spare,
+                       std::uint64_t spare_endurance,
+                       WriteSink& sink) override {
+    // Controller-level retirement rebinds the slot to a fresh spare:
+    // refresh the headroom estimate and let the inner scheme react too.
+    headroom_[pa.value()] = static_cast<std::int64_t>(spare_endurance);
+    inner_->on_page_retired(pa, spare, spare_endurance, sink);
+  }
+
   [[nodiscard]] Cycles read_indirection_cycles() const override {
     return inner_->read_indirection_cycles() + 10;  // Redirect table.
   }

@@ -156,6 +156,16 @@ void TossUpWl::write(LogicalPageAddr la, WriteSink& sink) {
   maybe_adapt_interval();
 }
 
+void TossUpWl::on_page_retired(PhysicalPageAddr pa, PhysicalPageAddr spare,
+                               std::uint64_t spare_endurance,
+                               WriteSink& sink) {
+  (void)spare;  // The controller's indirection hides the device address.
+  (void)sink;
+  et_.set_endurance(pa, spare_endurance);
+  if (!pa_writes_.empty()) pa_writes_[pa.value()] = 0;
+  ++retirements_;
+}
+
 void TossUpWl::append_stats(
     std::vector<std::pair<std::string, double>>& out) const {
   out.emplace_back("demand_writes", static_cast<double>(demand_writes_));
@@ -171,6 +181,9 @@ void TossUpWl::append_stats(
     out.emplace_back("swap_write_ratio",
                      static_cast<double>(tossup_swaps_) /
                          static_cast<double>(demand_writes_));
+  }
+  if (retirements_ > 0) {
+    out.emplace_back("retirements", static_cast<double>(retirements_));
   }
 }
 

@@ -72,6 +72,13 @@ class TossUpWl final : public WearLeveler {
     return rt_.is_consistent() && swpt_.is_perfect_matching();
   }
 
+  /// Retirement rebinds `pa`'s physical slot to a spare: refresh the ET
+  /// entry so the toss-up bias reflects the spare's endurance, and clear
+  /// the controller-side wear estimate (remaining-endurance bias).
+  void on_page_retired(PhysicalPageAddr pa, PhysicalPageAddr spare,
+                       std::uint64_t spare_endurance,
+                       WriteSink& sink) override;
+
   void append_stats(
       std::vector<std::pair<std::string, double>>& out) const override;
 
@@ -113,6 +120,7 @@ class TossUpWl final : public WearLeveler {
   std::uint64_t interpair_swaps_ = 0;
   std::uint64_t window_swaps_ = 0;  ///< Swaps in the adaptation window.
   std::uint64_t interval_adaptations_ = 0;
+  std::uint64_t retirements_ = 0;
 };
 
 }  // namespace twl

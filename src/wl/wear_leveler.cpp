@@ -16,6 +16,8 @@ std::string to_string(WritePurpose p) {
       return "refresh-swap";
     case WritePurpose::kPhaseSwap:
       return "phase-swap";
+    case WritePurpose::kRetirement:
+      return "retirement";
   }
   return "unknown";
 }

@@ -30,7 +30,11 @@ enum class WritePurpose : std::uint8_t {
   kGapMove,       ///< Start-Gap's gap movement.
   kRefreshSwap,   ///< Security Refresh re-keying swap.
   kPhaseSwap,     ///< Bulk swap phase of prediction-based schemes.
+  kRetirement,    ///< Salvage copy onto a spare when a page is retired.
 };
+
+/// Number of WritePurpose values (sizes the per-purpose stat arrays).
+inline constexpr std::size_t kNumWritePurposes = 7;
 
 [[nodiscard]] std::string to_string(WritePurpose p);
 
@@ -106,6 +110,21 @@ class WearLeveler {
   /// first one).
   virtual void on_page_failed(PhysicalPageAddr pa, WriteSink& sink) {
     (void)pa;
+    (void)sink;
+  }
+
+  /// Notification that page `pa` (in this scheme's address space) was
+  /// retired: the controller rebound it to a spare with manufacturer-
+  /// tested endurance `spare_endurance` and salvaged its image. The
+  /// controller's retirement indirection keeps the scheme's mapping valid
+  /// with no action here, so the default is a no-op; endurance-aware
+  /// schemes override it to refresh their per-page endurance knowledge.
+  virtual void on_page_retired(PhysicalPageAddr pa, PhysicalPageAddr spare,
+                               std::uint64_t spare_endurance,
+                               WriteSink& sink) {
+    (void)pa;
+    (void)spare;
+    (void)spare_endurance;
     (void)sink;
   }
 

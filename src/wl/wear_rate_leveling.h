@@ -50,6 +50,18 @@ class WearRateLeveling final : public WearLeveler {
     return rt_.is_consistent();
   }
 
+  /// Refresh the retired slot's endurance/headroom bookkeeping so the
+  /// next swap phase ranks the spare correctly.
+  void on_page_retired(PhysicalPageAddr pa, PhysicalPageAddr spare,
+                       std::uint64_t spare_endurance,
+                       WriteSink& sink) override {
+    (void)spare;
+    (void)sink;
+    et_.set_endurance(pa, spare_endurance);
+    pa_writes_[pa.value()] = 0;
+    ++retirements_;
+  }
+
   void append_stats(
       std::vector<std::pair<std::string, double>>& out) const override;
 
@@ -73,6 +85,7 @@ class WearRateLeveling final : public WearLeveler {
   std::uint64_t phase_progress_ = 0;
   std::uint64_t swap_phases_ = 0;
   std::uint64_t pages_migrated_ = 0;
+  std::uint64_t retirements_ = 0;
 };
 
 }  // namespace twl

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <stdexcept>
+#include <string>
 
 namespace twl {
 namespace {
@@ -71,6 +73,107 @@ TEST(CliArgs, HasMarksConsumed) {
   const auto args = make({"--flag"});
   EXPECT_TRUE(args.has("flag"));
   EXPECT_TRUE(args.unconsumed().empty());
+}
+
+// A CliError must name the flag and the offending value so the message is
+// actionable on its own.
+void expect_cli_error(const std::function<void()>& f,
+                      const std::string& needle) {
+  try {
+    f();
+    FAIL() << "expected CliError mentioning '" << needle << "'";
+  } catch (const CliError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(CliArgs, RejectsMalformedIntegers) {
+  expect_cli_error(
+      [] { (void)make({"--pages=12abc"}).get_int_or("pages", 0); }, "pages");
+  expect_cli_error(
+      [] { (void)make({"--pages=12abc"}).get_int_or("pages", 0); }, "12abc");
+  expect_cli_error(
+      [] { (void)make({"--pages="}).get_int_or("pages", 0); }, "pages");
+  expect_cli_error(
+      [] { (void)make({"--pages=1e9"}).get_int_or("pages", 0); }, "pages");
+  expect_cli_error(
+      [] {
+        (void)make({"--pages=99999999999999999999999"})
+            .get_int_or("pages", 0);
+      },
+      "pages");
+}
+
+TEST(CliArgs, AcceptsNegativeIntegers) {
+  EXPECT_EQ(make({"--delta=-5"}).get_int_or("delta", 0), -5);
+}
+
+TEST(CliArgs, RejectsMalformedDoubles) {
+  expect_cli_error(
+      [] { (void)make({"--sigma=0.1x"}).get_double_or("sigma", 0.0); },
+      "sigma");
+  expect_cli_error(
+      [] { (void)make({"--sigma=abc"}).get_double_or("sigma", 0.0); },
+      "abc");
+}
+
+TEST(CliArgs, AcceptsScientificNotationDoubles) {
+  EXPECT_DOUBLE_EQ(make({"--endurance=1e8"}).get_double_or("endurance", 0.0),
+                   1e8);
+}
+
+TEST(CliArgs, RejectsMalformedBooleans) {
+  expect_cli_error(
+      [] { (void)make({"--fast=maybe"}).get_bool_or("fast", false); },
+      "maybe");
+}
+
+TEST(CliArgs, RejectsBareDashes) {
+  EXPECT_THROW(make({"--"}), CliError);
+  EXPECT_THROW(make({"--=5"}), CliError);
+}
+
+TEST(CliArgs, RejectUnconsumedThrowsNamingTheFlags) {
+  const auto args = make({"--pages=8", "--tpyo=1"});
+  (void)args.get_int_or("pages", 0);
+  expect_cli_error([&] { args.reject_unconsumed(); }, "tpyo");
+}
+
+TEST(RunCliMain, ReturnsBodyResultOnSuccess) {
+  const char* argv[] = {"prog", "--pages=16"};
+  const int rc = run_cli_main(2, argv, "usage\n", [](const CliArgs& args) {
+    EXPECT_EQ(args.get_int_or("pages", 0), 16);
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(RunCliMain, NonzeroExitOnUnknownFlag) {
+  const char* argv[] = {"prog", "--tpyo=16"};
+  const int rc = run_cli_main(2, argv, "usage\n",
+                              [](const CliArgs&) { return 0; });
+  EXPECT_NE(rc, 0);
+}
+
+TEST(RunCliMain, NonzeroExitOnMalformedValue) {
+  const char* argv[] = {"prog", "--pages=abc"};
+  const int rc = run_cli_main(2, argv, "usage\n", [](const CliArgs& args) {
+    (void)args.get_int_or("pages", 0);
+    return 0;
+  });
+  EXPECT_NE(rc, 0);
+}
+
+TEST(RunCliMain, HelpShortCircuitsBody) {
+  const char* argv[] = {"prog", "--help"};
+  bool ran = false;
+  const int rc = run_cli_main(2, argv, "usage\n", [&](const CliArgs&) {
+    ran = true;
+    return 1;
+  });
+  EXPECT_EQ(rc, 0);
+  EXPECT_FALSE(ran);
 }
 
 }  // namespace

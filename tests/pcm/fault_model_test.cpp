@@ -1,0 +1,148 @@
+#include "pcm/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "pcm/endurance.h"
+
+namespace twl {
+namespace {
+
+EnduranceMap fixed_map(std::vector<std::uint64_t> values) {
+  return EnduranceMap(std::move(values));
+}
+
+FaultParams params(std::uint32_t ecp_k, double gap_frac = 0.02) {
+  FaultParams p;
+  p.ecp_k = ecp_k;
+  p.fault_gap_frac = gap_frac;
+  return p;
+}
+
+TEST(StuckAtFaultModel, FirstFaultArrivesExactlyAtEndurance) {
+  const auto map = fixed_map({100, 250});
+  StuckAtFaultModel model(map, params(0), 42);
+
+  EXPECT_EQ(model.on_write(PhysicalPageAddr(0), 99), 0u);
+  EXPECT_FALSE(model.uncorrectable(PhysicalPageAddr(0)));
+  EXPECT_EQ(model.on_write(PhysicalPageAddr(0), 100), 1u);
+  EXPECT_EQ(model.stuck_faults(PhysicalPageAddr(0)), 1u);
+
+  EXPECT_EQ(model.on_write(PhysicalPageAddr(1), 249), 0u);
+  EXPECT_EQ(model.on_write(PhysicalPageAddr(1), 250), 1u);
+}
+
+TEST(StuckAtFaultModel, EcpZeroMeansFirstFaultIsFatal) {
+  const auto map = fixed_map({100});
+  StuckAtFaultModel model(map, params(0), 42);
+  model.on_write(PhysicalPageAddr(0), 100);
+  EXPECT_TRUE(model.uncorrectable(PhysicalPageAddr(0)));
+  EXPECT_EQ(model.uncorrectable_pages(), 1u);
+  EXPECT_EQ(model.total_faults(), 1u);
+  EXPECT_EQ(model.corrected_faults(), 0u);
+}
+
+TEST(StuckAtFaultModel, EcpKCorrectsUpToKFaults) {
+  const auto map = fixed_map({100});
+  const std::uint32_t k = 2;
+  StuckAtFaultModel model(map, params(k), 42);
+  const PhysicalPageAddr pa(0);
+
+  // Drive writes far enough to accumulate k + 1 faults; the page must
+  // stay serviceable through exactly k of them.
+  WriteCount w = 0;
+  while (model.stuck_faults(pa) <= k) {
+    ++w;
+    model.on_write(pa, w);
+    if (model.stuck_faults(pa) <= k) {
+      EXPECT_FALSE(model.uncorrectable(pa));
+    }
+    ASSERT_LT(w, 100000u) << "fault gaps unreasonably large";
+  }
+  EXPECT_TRUE(model.uncorrectable(pa));
+  EXPECT_EQ(model.stuck_faults(pa), k + 1);
+  EXPECT_EQ(model.total_faults(), k + 1);
+  EXPECT_EQ(model.corrected_faults(), k);
+  EXPECT_EQ(model.uncorrectable_pages(), 1u);
+}
+
+TEST(StuckAtFaultModel, FaultArrivalsIndependentOfCallPattern) {
+  const auto map = fixed_map({100, 120, 140});
+  // Walk every page one write at a time and record each page's fault
+  // arrival points.
+  const auto arrivals = [&](bool interleave) {
+    StuckAtFaultModel model(map, params(3), 7);
+    std::vector<std::vector<WriteCount>> out(map.pages());
+    const WriteCount limit = 400;
+    if (interleave) {
+      for (WriteCount w = 1; w <= limit; ++w) {
+        for (std::uint32_t p = 0; p < map.pages(); ++p) {
+          if (model.on_write(PhysicalPageAddr(p), w) > 0) {
+            out[p].push_back(w);
+          }
+        }
+      }
+    } else {
+      for (std::uint32_t p = 0; p < map.pages(); ++p) {
+        for (WriteCount w = 1; w <= limit; ++w) {
+          if (model.on_write(PhysicalPageAddr(p), w) > 0) {
+            out[p].push_back(w);
+          }
+        }
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(arrivals(true), arrivals(false));
+}
+
+TEST(StuckAtFaultModel, SameSeedSameFaults) {
+  const auto map = fixed_map({100, 200});
+  StuckAtFaultModel a(map, params(4), 99);
+  StuckAtFaultModel b(map, params(4), 99);
+  for (WriteCount w = 1; w <= 500; ++w) {
+    for (std::uint32_t p = 0; p < map.pages(); ++p) {
+      ASSERT_EQ(a.on_write(PhysicalPageAddr(p), w),
+                b.on_write(PhysicalPageAddr(p), w));
+    }
+  }
+  EXPECT_EQ(a.total_faults(), b.total_faults());
+}
+
+TEST(StuckAtFaultModel, DifferentSeedsDivergeAfterFirstFault) {
+  // The first fault is pinned to the endurance for every seed; later gaps
+  // are seed-dependent.
+  const auto map = fixed_map({50});
+  StuckAtFaultModel a(map, params(10), 1);
+  StuckAtFaultModel b(map, params(10), 2);
+  std::vector<WriteCount> fa;
+  std::vector<WriteCount> fb;
+  for (WriteCount w = 1; w <= 2000; ++w) {
+    if (a.on_write(PhysicalPageAddr(0), w) > 0) fa.push_back(w);
+    if (b.on_write(PhysicalPageAddr(0), w) > 0) fb.push_back(w);
+  }
+  ASSERT_GE(fa.size(), 2u);
+  ASSERT_GE(fb.size(), 2u);
+  EXPECT_EQ(fa[0], 50u);
+  EXPECT_EQ(fb[0], 50u);
+  EXPECT_NE(fa, fb);
+}
+
+TEST(StuckAtFaultModel, ResetForgetsAllFaults) {
+  const auto map = fixed_map({60});
+  StuckAtFaultModel model(map, params(0), 5);
+  model.on_write(PhysicalPageAddr(0), 60);
+  ASSERT_TRUE(model.uncorrectable(PhysicalPageAddr(0)));
+  model.reset();
+  EXPECT_FALSE(model.uncorrectable(PhysicalPageAddr(0)));
+  EXPECT_EQ(model.total_faults(), 0u);
+  EXPECT_EQ(model.stuck_faults(PhysicalPageAddr(0)), 0u);
+  // And the re-run reproduces the original arrival.
+  EXPECT_EQ(model.on_write(PhysicalPageAddr(0), 60), 1u);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,6 +1,8 @@
 // Tests for the line-granularity endurance model.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/stats.h"
 #include "pcm/endurance.h"
 
@@ -77,6 +79,62 @@ TEST(LineModel, EnduranceIsPositive) {
                                                  line_params(100, 0.5),
                                                  0.5, 10);
   EXPECT_GE(map.min_endurance(), 1u);
+}
+
+TEST(LineModel, SingleLinePageTracksTheOneLineExactly) {
+  // With one line per page and dcw=1, the page endurance is the line draw
+  // truncated to an integer — same seed, same single value per page.
+  const auto one = EnduranceMap::from_line_model(500, 1,
+                                                 line_params(1e4, 0.11),
+                                                 1.0, 3);
+  EXPECT_EQ(one.pages(), 500u);
+  EXPECT_GE(one.min_endurance(), 1u);
+  // The weakest-line min over a single line is the line itself, so the
+  // map can't sit below the model floor (1% of mean).
+  EXPECT_GE(one.min_endurance(),
+            static_cast<std::uint64_t>(1e4 * 0.01));
+}
+
+TEST(LineModel, DcwExactlyOneDividesByOne) {
+  // dcw_fraction == 1.0 is the boundary of the valid domain and must not
+  // inflate endurance: weakest / 1.0 truncated equals the raw weakest.
+  const auto map = EnduranceMap::from_line_model(2000, 16,
+                                                 line_params(5e4, 0.11),
+                                                 1.0, 4);
+  const auto scaled = EnduranceMap::from_line_model(2000, 16,
+                                                    line_params(5e4, 0.11),
+                                                    0.25, 4);
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const auto base = map.endurance(PhysicalPageAddr(i));
+    const auto up = scaled.endurance(PhysicalPageAddr(i));
+    // Same seed, same weakest line; 1/0.25 scaling with per-page integer
+    // truncation: floor(w/0.25) is within one unit of 4*floor(w).
+    EXPECT_GE(up, base * 4);
+    EXPECT_LE(up, base * 4 + 4);
+  }
+}
+
+TEST(LineModel, TruncationNeverRoundsBelowOne) {
+  // Tiny line endurance with heavy spread: the floor clamps each page to
+  // at least one sustainable write even when the draw would truncate to 0.
+  const auto map = EnduranceMap::from_line_model(1000, 64,
+                                                 line_params(2, 0.9),
+                                                 1.0, 12);
+  EXPECT_GE(map.min_endurance(), 1u);
+}
+
+TEST(LineModel, RejectsDegenerateArguments) {
+  const auto params = line_params(1e4, 0.11);
+  EXPECT_THROW(EnduranceMap::from_line_model(0, 8, params, 1.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(EnduranceMap::from_line_model(100, 0, params, 1.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(EnduranceMap::from_line_model(100, 8, params, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(EnduranceMap::from_line_model(100, 8, params, -0.5, 1),
+               std::invalid_argument);
+  EXPECT_THROW(EnduranceMap::from_line_model(100, 8, params, 1.5, 1),
+               std::invalid_argument);
 }
 
 }  // namespace

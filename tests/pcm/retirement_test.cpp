@@ -1,0 +1,74 @@
+#include "pcm/retirement.h"
+
+#include <gtest/gtest.h>
+
+namespace twl {
+namespace {
+
+TEST(RetirementTable, StartsAsIdentity) {
+  RetirementTable table(10, 3);
+  EXPECT_EQ(table.pool_pages(), 7u);
+  EXPECT_EQ(table.spare_pages(), 3u);
+  EXPECT_EQ(table.spares_left(), 3u);
+  EXPECT_EQ(table.retired_pages(), 0u);
+  for (std::uint32_t p = 0; p < 7; ++p) {
+    EXPECT_EQ(table.to_device(PhysicalPageAddr(p)).value(), p);
+  }
+  for (std::uint32_t p = 0; p < 10; ++p) {
+    EXPECT_EQ(table.owner_of(PhysicalPageAddr(p)).value(), p);
+  }
+}
+
+TEST(RetirementTable, RetireRebindsOwnerToSpare) {
+  RetirementTable table(10, 3);
+  const auto spare = table.retire(PhysicalPageAddr(2));
+  ASSERT_TRUE(spare.has_value());
+  // Spares come off the top of the device: [7, 10).
+  EXPECT_EQ(spare->value(), 7u);
+  EXPECT_EQ(table.to_device(PhysicalPageAddr(2)).value(), 7u);
+  EXPECT_EQ(table.owner_of(PhysicalPageAddr(7)).value(), 2u);
+  EXPECT_EQ(table.spares_left(), 2u);
+  EXPECT_EQ(table.retired_pages(), 1u);
+  // Other pool pages are untouched.
+  EXPECT_EQ(table.to_device(PhysicalPageAddr(3)).value(), 3u);
+}
+
+TEST(RetirementTable, SpareCanItselfBeRetired) {
+  RetirementTable table(10, 3);
+  ASSERT_EQ(table.retire(PhysicalPageAddr(2))->value(), 7u);
+  // Pool page 2 now lives on device page 7; when that spare wears out the
+  // owner re-retires onto the next spare, with no chain through page 7.
+  ASSERT_EQ(table.retire(PhysicalPageAddr(2))->value(), 8u);
+  EXPECT_EQ(table.to_device(PhysicalPageAddr(2)).value(), 8u);
+  EXPECT_EQ(table.owner_of(PhysicalPageAddr(8)).value(), 2u);
+  EXPECT_EQ(table.retired_pages(), 2u);
+  EXPECT_EQ(table.spares_left(), 1u);
+}
+
+TEST(RetirementTable, ExhaustedPoolReturnsNullopt) {
+  RetirementTable table(6, 2);
+  ASSERT_TRUE(table.retire(PhysicalPageAddr(0)).has_value());
+  ASSERT_TRUE(table.retire(PhysicalPageAddr(1)).has_value());
+  EXPECT_EQ(table.spares_left(), 0u);
+  EXPECT_FALSE(table.retire(PhysicalPageAddr(3)).has_value());
+  // A failed retire leaves the mapping untouched.
+  EXPECT_EQ(table.to_device(PhysicalPageAddr(3)).value(), 3u);
+  EXPECT_EQ(table.retired_pages(), 2u);
+}
+
+TEST(RetirementTable, MappingStaysBijectiveUnderRetirements) {
+  RetirementTable table(12, 4);
+  table.retire(PhysicalPageAddr(0));
+  table.retire(PhysicalPageAddr(5));
+  table.retire(PhysicalPageAddr(0));
+  std::vector<bool> seen(12, false);
+  for (std::uint32_t p = 0; p < table.pool_pages(); ++p) {
+    const auto device = table.to_device(PhysicalPageAddr(p));
+    EXPECT_FALSE(seen[device.value()]) << "two pool pages share a device page";
+    seen[device.value()] = true;
+    EXPECT_EQ(table.owner_of(device).value(), p);
+  }
+}
+
+}  // namespace
+}  // namespace twl

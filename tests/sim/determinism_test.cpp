@@ -1,0 +1,128 @@
+// Determinism regression: every simulator is a pure function of (config,
+// seed, workload). The first half checks run-to-run bit-identity for all
+// schemes, with and without the fault-tolerance path; the second half
+// pins the exact lifetime numbers of the seed build, so refactors that
+// claim to be behavior-preserving (like the fault-tolerance plumbing,
+// which must be inert when disabled) are checked against history, not
+// just against themselves.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fault_sim.h"
+#include "sim/lifetime_sim.h"
+#include "trace/synthetic.h"
+#include "wl/factory.h"
+
+namespace twl {
+namespace {
+
+Config small_config() {
+  SimScale scale;
+  scale.pages = 512;
+  scale.endurance_mean = 4096;
+  return Config::scaled(scale);
+}
+
+SyntheticTrace trace_for(std::uint64_t pages, std::uint64_t seed = 7) {
+  SyntheticParams sp;
+  sp.pages = pages;
+  sp.seed = seed;
+  return SyntheticTrace(sp);
+}
+
+void expect_identical(const LifetimeResult& a, const LifetimeResult& b) {
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.demand_writes, b.demand_writes);
+  EXPECT_EQ(a.physical_writes, b.physical_writes);
+  EXPECT_DOUBLE_EQ(a.fraction_of_ideal, b.fraction_of_ideal);
+  EXPECT_DOUBLE_EQ(a.wear.gini, b.wear.gini);
+  EXPECT_DOUBLE_EQ(a.wear.max, b.wear.max);
+  EXPECT_EQ(a.wear.dead_pages, b.wear.dead_pages);
+  EXPECT_EQ(a.stats.demand_writes, b.stats.demand_writes);
+  EXPECT_EQ(a.stats.writes_by_purpose, b.stats.writes_by_purpose);
+  EXPECT_EQ(a.stats.migration_reads, b.stats.migration_reads);
+  EXPECT_EQ(a.stats.blocking_events, b.stats.blocking_events);
+}
+
+TEST(Determinism, LifetimeRunsAreBitIdenticalAcrossRuns) {
+  const Config config = small_config();
+  for (const Scheme scheme : all_schemes()) {
+    LifetimeSimulator sim_a(config);
+    LifetimeSimulator sim_b(config);
+    auto trace_a = trace_for(512);
+    auto trace_b = trace_for(512);
+    const auto a = sim_a.run(scheme, trace_a, 1ull << 40);
+    const auto b = sim_b.run(scheme, trace_b, 1ull << 40);
+    SCOPED_TRACE(a.scheme);
+    expect_identical(a, b);
+  }
+}
+
+TEST(Determinism, FaultTolerantRunsAreBitIdenticalAcrossRuns) {
+  Config config = small_config();
+  config.fault.ecp_k = 2;
+  config.fault.spare_pages = 32;
+  const std::uint64_t pool = 512 - 32;
+  for (const Scheme scheme : all_schemes()) {
+    FaultSimulator sim_a(config);
+    FaultSimulator sim_b(config);
+    auto trace_a = trace_for(pool);
+    auto trace_b = trace_for(pool);
+    const auto a = sim_a.run(scheme, trace_a, 1ull << 40);
+    const auto b = sim_b.run(scheme, trace_b, 1ull << 40);
+    SCOPED_TRACE(a.scheme);
+    EXPECT_EQ(a.fatal, b.fatal);
+    EXPECT_EQ(a.first_failure_writes, b.first_failure_writes);
+    EXPECT_EQ(a.fatal_writes, b.fatal_writes);
+    EXPECT_EQ(a.demand_writes, b.demand_writes);
+    EXPECT_EQ(a.pages_retired, b.pages_retired);
+    EXPECT_EQ(a.total_stuck_faults, b.total_stuck_faults);
+    EXPECT_EQ(a.ecp_corrected_faults, b.ecp_corrected_faults);
+    ASSERT_EQ(a.curve.size(), b.curve.size());
+    for (std::size_t i = 0; i < a.curve.size(); ++i) {
+      EXPECT_EQ(a.curve[i].demand_writes, b.curve[i].demand_writes);
+      EXPECT_EQ(a.curve[i].retired_pages, b.curve[i].retired_pages);
+    }
+  }
+}
+
+// Exact lifetime numbers of the pre-fault-tolerance build (512 pages,
+// mean endurance 4096, synthetic trace seed 7, demand cap 2^40). The
+// fault subsystem must be completely inert when disabled: ecp_k == 0 and
+// spare_pages == 0 construct no fault model, consume no RNG draws, and
+// leave every one of these numbers bit-identical. If an intentional
+// behavior change invalidates them, re-capture with the recipe above.
+struct GoldenRun {
+  Scheme scheme;
+  WriteCount demand_writes;
+  WriteCount physical_writes;
+};
+
+TEST(Determinism, DisabledFaultPathMatchesSeedBuildExactly) {
+  const std::vector<GoldenRun> golden = {
+      {Scheme::kBloomWl, 1318473ull, 1338887ull},
+      {Scheme::kSecurityRefresh, 725558ull, 1141596ull},
+      {Scheme::kWearRateLeveling, 50135ull, 50175ull},
+      {Scheme::kStartGap, 58775ull, 59362ull},
+      {Scheme::kRbsg, 72323ull, 73042ull},
+      {Scheme::kTossUpAdjacent, 1102473ull, 1136677ull},
+      {Scheme::kTossUpStrongWeak, 1269660ull, 1308984ull},
+      {Scheme::kTossUpRandomPair, 1229264ull, 1267405ull},
+      {Scheme::kNoWl, 30853ull, 30853ull},
+  };
+  const Config config = small_config();
+  ASSERT_FALSE(config.fault.enabled());
+  LifetimeSimulator sim(config);
+  for (const GoldenRun& g : golden) {
+    auto trace = trace_for(512);
+    const auto r = sim.run(g.scheme, trace, 1ull << 40);
+    SCOPED_TRACE(r.scheme);
+    EXPECT_TRUE(r.failed);
+    EXPECT_EQ(r.demand_writes, g.demand_writes);
+    EXPECT_EQ(r.physical_writes, g.physical_writes);
+  }
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,116 @@
+#include "sim/fault_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/config.h"
+#include "trace/synthetic.h"
+#include "wl/factory.h"
+
+namespace twl {
+namespace {
+
+Config ft_config(std::uint64_t pages = 128, double endurance = 512,
+                 std::uint32_t ecp_k = 2, std::uint64_t spares = 16) {
+  SimScale scale;
+  scale.pages = pages;
+  scale.endurance_mean = endurance;
+  Config config = Config::scaled(scale);
+  config.fault.ecp_k = ecp_k;
+  config.fault.spare_pages = spares;
+  return config;
+}
+
+SyntheticTrace pool_trace(const Config& config) {
+  SyntheticParams sp;
+  sp.pages = config.geometry.pages() - config.fault.spare_pages;
+  sp.seed = 7;
+  return SyntheticTrace(sp);
+}
+
+TEST(FaultSimulator, RequiresFaultTolerantConfig) {
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 256;
+  const Config plain = Config::scaled(scale);
+  EXPECT_THROW(FaultSimulator sim(plain), std::invalid_argument);
+}
+
+TEST(FaultSimulator, RunsPastFirstFailureAndRecordsCurve) {
+  const Config config = ft_config();
+  FaultSimulator sim(config);
+  auto trace = pool_trace(config);
+  const auto r = sim.run(Scheme::kTossUpStrongWeak, trace, 1ull << 40);
+
+  EXPECT_TRUE(r.fatal);
+  EXPECT_GT(r.first_failure_writes, 0u);
+  // The device kept absorbing demand traffic after the first page death.
+  EXPECT_GT(r.fatal_writes, r.first_failure_writes);
+  EXPECT_EQ(r.demand_writes, r.fatal_writes);
+  EXPECT_EQ(r.pages_retired, config.fault.spare_pages);
+  EXPECT_EQ(r.spares_left, 0u);
+  EXPECT_GT(r.total_stuck_faults, 0u);
+
+  // Curve points are monotone in every coordinate. A single submit can
+  // retire more than one page (a swap wears both sides), so the curve has
+  // at most one point per retirement, not exactly one.
+  ASSERT_FALSE(r.curve.empty());
+  ASSERT_LE(r.curve.size(), r.pages_retired);
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GE(r.curve[i].demand_writes, r.curve[i - 1].demand_writes);
+    EXPECT_GT(r.curve[i].retired_pages, r.curve[i - 1].retired_pages);
+    EXPECT_GT(r.curve[i].loss_fraction, r.curve[i - 1].loss_fraction);
+  }
+  EXPECT_EQ(r.curve.back().retired_pages, r.pages_retired);
+  EXPECT_EQ(r.curve.front().demand_writes, r.first_failure_writes);
+}
+
+TEST(FaultSimulator, LossThresholdLookupIsMonotone) {
+  const Config config = ft_config();
+  FaultSimulator sim(config);
+  auto trace = pool_trace(config);
+  const auto r = sim.run(Scheme::kBloomWl, trace, 1ull << 40);
+
+  const auto w1 = r.demand_writes_to_loss(0.01);
+  const auto w5 = r.demand_writes_to_loss(0.05);
+  const auto w10 = r.demand_writes_to_loss(0.10);
+  EXPECT_GT(w1, 0u);
+  EXPECT_GE(w5, w1);
+  EXPECT_GE(w10, w5);
+  // 16 spares on a 112-page pool allow >14% loss, so 10% is reachable.
+  EXPECT_GT(w10, 0u);
+  // A loss level beyond what the spare pool allows is never reached.
+  EXPECT_EQ(r.demand_writes_to_loss(0.99), 0u);
+}
+
+TEST(FaultSimulator, EcpAndSparesExtendServiceableLifetime) {
+  // With more correction capacity the same scheme must not fail earlier.
+  Config weak = ft_config(128, 512, /*ecp_k=*/0, /*spares=*/0);
+  weak.fault.ecp_k = 1;  // keep fault model enabled, minimal correction
+  Config strong = ft_config(128, 512, /*ecp_k=*/6, /*spares=*/0);
+
+  FaultSimulator weak_sim(weak);
+  FaultSimulator strong_sim(strong);
+  auto weak_trace = pool_trace(weak);
+  auto strong_trace = pool_trace(strong);
+  const auto rw = weak_sim.run(Scheme::kTossUpStrongWeak, weak_trace,
+                               1ull << 40);
+  const auto rs = strong_sim.run(Scheme::kTossUpStrongWeak, strong_trace,
+                                 1ull << 40);
+  EXPECT_GE(rs.fatal_writes, rw.fatal_writes);
+  EXPECT_GT(rs.ecp_corrected_faults, rw.ecp_corrected_faults);
+}
+
+TEST(FaultSimulator, WriteCapEndsRunWithoutFatalFailure) {
+  const Config config = ft_config();
+  FaultSimulator sim(config);
+  auto trace = pool_trace(config);
+  const auto r = sim.run(Scheme::kTossUpStrongWeak, trace, 1000);
+  EXPECT_FALSE(r.fatal);
+  EXPECT_EQ(r.fatal_writes, 0u);
+  EXPECT_EQ(r.demand_writes, 1000u);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,125 @@
+// Every scheme must keep functioning after the controller retires pages
+// behind its back: addressing stays within the pool, internal invariants
+// hold, and demand traffic keeps flowing. This is the contract that lets
+// the retirement layer stay transparent to the wear-leveling layer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/config.h"
+#include "sim/fault_sim.h"
+#include "sim/memory_controller.h"
+#include "trace/synthetic.h"
+#include "wl/factory.h"
+
+namespace twl {
+namespace {
+
+Config ft_config() {
+  SimScale scale;
+  scale.pages = 256;
+  scale.endurance_mean = 512;
+  Config config = Config::scaled(scale);
+  config.fault.ecp_k = 1;
+  config.fault.spare_pages = 32;
+  return config;
+}
+
+TEST(RetirementSchemes, AllSchemesSurviveRetirements) {
+  const Config config = ft_config();
+  FaultSimulator sim(config);
+  for (const Scheme scheme : all_schemes()) {
+    SyntheticParams sp;
+    sp.pages = config.geometry.pages() - config.fault.spare_pages;
+    sp.seed = 11;
+    SyntheticTrace trace(sp);
+    const auto r = sim.run(scheme, trace, 1ull << 40);
+    SCOPED_TRACE(r.scheme);
+    // At least one retirement happened, and the scheme kept absorbing
+    // demand writes afterwards.
+    EXPECT_GE(r.pages_retired, 1u);
+    EXPECT_GT(r.demand_writes, r.first_failure_writes);
+    // The run only ends when the spare pool is gone.
+    EXPECT_TRUE(r.fatal);
+    EXPECT_EQ(r.spares_left, 0u);
+  }
+}
+
+TEST(RetirementSchemes, InvariantsHoldAfterRetirement) {
+  const Config config = ft_config();
+  // The factory truncates the device map by spare_pages itself, so hand
+  // it the full map; the controller then owns the pool indirection.
+  const EnduranceMap full_map(config.geometry.pages(), config.endurance,
+                              config.seed);
+  for (const Scheme scheme : all_schemes()) {
+    EnduranceMap device_map(config.geometry.pages(), config.endurance,
+                            config.seed);
+    PcmDevice device(std::move(device_map), config.fault, config.seed);
+    const auto wl = make_wear_leveler(scheme, full_map, config);
+    MemoryController controller(device, *wl, config,
+                                /*enable_timing=*/false);
+    SyntheticParams sp;
+    sp.pages = wl->logical_pages();
+    sp.seed = 11;
+    SyntheticTrace trace(sp);
+
+    while (!controller.device_failed() &&
+           controller.stats().pages_retired < 3) {
+      MemoryRequest req = trace.next();
+      if (req.op != Op::kWrite) continue;
+      req.addr = LogicalPageAddr(req.addr.value() % wl->logical_pages());
+      controller.submit(req, 0);
+    }
+    SCOPED_TRACE(wl->name());
+    EXPECT_GE(controller.stats().pages_retired, 3u);
+    EXPECT_TRUE(wl->invariants_hold());
+    // The scheme still serves traffic after the retirements.
+    const auto before = controller.stats().demand_writes;
+    for (int i = 0; i < 100;) {
+      MemoryRequest req = trace.next();
+      if (req.op != Op::kWrite) continue;
+      req.addr = LogicalPageAddr(req.addr.value() % wl->logical_pages());
+      controller.submit(req, 0);
+      ++i;
+      if (controller.device_failed()) break;
+    }
+    EXPECT_GT(controller.stats().demand_writes, before);
+  }
+}
+
+TEST(RetirementSchemes, ComposedSchemesForwardRetirementHooks) {
+  // od3p: and guard: wrappers must forward on_page_retired to the base
+  // scheme, so composed specs survive retirements too.
+  const Config config = ft_config();
+  const EnduranceMap full_map(config.geometry.pages(), config.endurance,
+                              config.seed);
+  for (const std::string spec : {"od3p:TWL", "guard:BWL", "guard:od3p:TWL"}) {
+    SyntheticParams sp;
+    sp.pages = config.geometry.pages() - config.fault.spare_pages;
+    sp.seed = 11;
+    SyntheticTrace trace(sp);
+
+    // FaultSimulator only takes Scheme; drive the composed spec manually.
+    EnduranceMap device_map(config.geometry.pages(), config.endurance,
+                            config.seed);
+    PcmDevice device(std::move(device_map), config.fault, config.seed);
+    const auto wl = make_wear_leveler_spec(spec, full_map, config);
+    MemoryController controller(device, *wl, config,
+                                /*enable_timing=*/false);
+    while (!controller.device_failed() &&
+           controller.stats().pages_retired < 2 &&
+           controller.stats().demand_writes < (1ull << 30)) {
+      MemoryRequest req = trace.next();
+      if (req.op != Op::kWrite) continue;
+      req.addr = LogicalPageAddr(req.addr.value() % wl->logical_pages());
+      controller.submit(req, 0);
+    }
+    SCOPED_TRACE(spec);
+    EXPECT_GE(controller.stats().pages_retired, 2u);
+    EXPECT_TRUE(wl->invariants_hold());
+    EXPECT_FALSE(controller.device_failed());
+  }
+}
+
+}  // namespace
+}  // namespace twl
