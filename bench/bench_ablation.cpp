@@ -9,6 +9,7 @@
 #include "analysis/extrapolate.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "common/sim_runner.h"
 #include "common/stats.h"
 #include "sim/attack_sim.h"
 #include "sim/lifetime_sim.h"
@@ -18,91 +19,139 @@ namespace {
 
 using namespace twl;
 
-double attack_years(const Config& config, Scheme scheme,
-                    const std::string& attack_name, std::uint64_t pages) {
-  AttackSimulator sim(config);
+struct AttackCellOut {
+  double years = 0.0;
+  std::uint64_t demand_writes = 0;
+};
+
+AttackCellOut attack_years(const Config& config, Scheme scheme,
+                           const std::string& attack_name,
+                           std::uint64_t pages) {
+  const AttackSimulator sim(config);
   const auto attack = make_attack(attack_name, pages, config.seed);
   const auto result = sim.run(scheme, *attack, WriteCount{1} << 40);
-  return years_from_fraction(result.fraction_of_ideal,
-                             RealSystem{}.ideal_lifetime_years);
+  return {years_from_fraction(result.fraction_of_ideal,
+                              RealSystem{}.ideal_lifetime_years),
+          result.demand_writes};
 }
 
-void pairing_ablation(const bench::BenchSetup& setup) {
+void pairing_ablation(const bench::BenchSetup& setup, SimRunner& runner) {
   std::printf("%s", heading("Ablation 1: pairing policy under attack "
                             "(lifetime, years)").c_str());
+  const auto attacks = all_attack_names();
+  const std::vector<Scheme> policies = {Scheme::kTossUpAdjacent,
+                                        Scheme::kTossUpStrongWeak,
+                                        Scheme::kTossUpRandomPair};
+  std::vector<double> out(attacks.size() * policies.size(), 0.0);
+  std::vector<SimCell> cells;
+  for (std::size_t a = 0; a < attacks.size(); ++a) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      cells.push_back([&, a, p]() -> std::uint64_t {
+        const auto r = attack_years(setup.config, policies[p], attacks[a],
+                                    setup.pages);
+        out[a * policies.size() + p] = r.years;
+        return r.demand_writes;
+      });
+    }
+  }
+  runner.run_all(cells);
+
   TextTable t;
   t.add_row({"attack", "TWL_ap", "TWL_swp", "TWL_rnd"});
-  for (const auto& attack : all_attack_names()) {
-    t.add_row({attack,
-               fmt_lifetime_years(attack_years(
-                   setup.config, Scheme::kTossUpAdjacent, attack,
-                   setup.pages)),
-               fmt_lifetime_years(attack_years(
-                   setup.config, Scheme::kTossUpStrongWeak, attack,
-                   setup.pages)),
-               fmt_lifetime_years(attack_years(
-                   setup.config, Scheme::kTossUpRandomPair, attack,
-                   setup.pages))});
+  for (std::size_t a = 0; a < attacks.size(); ++a) {
+    std::vector<std::string> row{attacks[a]};
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      row.push_back(fmt_lifetime_years(out[a * policies.size() + p]));
+    }
+    t.add_row(std::move(row));
   }
   std::printf("%s", t.to_string().c_str());
 }
 
-void swap_cost_ablation(const bench::BenchSetup& setup) {
+void swap_cost_ablation(const bench::BenchSetup& setup, SimRunner& runner) {
   std::printf("%s",
               heading("Ablation 2: 2-write vs naive 3-write swap-then-write")
                   .c_str());
+  const std::vector<bool> variants = {true, false};
+  struct Out {
+    double amplification = 0.0;
+    double years = 0.0;
+  };
+  std::vector<Out> out(variants.size());
+  std::vector<SimCell> cells;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    cells.push_back([&, v]() -> std::uint64_t {
+      Config config = setup.config;
+      config.twl.two_write_swap = variants[v];
+      const AttackSimulator sim(config);
+      ScanAttack scan(setup.pages);
+      const auto r =
+          sim.run(Scheme::kTossUpStrongWeak, scan, WriteCount{1} << 40);
+      out[v] = {static_cast<double>(r.stats.physical_writes()) /
+                    static_cast<double>(r.stats.demand_writes),
+                years_from_fraction(r.fraction_of_ideal,
+                                    RealSystem{}.ideal_lifetime_years)};
+      return r.demand_writes;
+    });
+  }
+  runner.run_all(cells);
+
   TextTable t;
   t.add_row({"variant", "physical writes / demand write",
              "lifetime under scan"});
-  for (const bool two_write : {true, false}) {
-    Config config = setup.config;
-    config.twl.two_write_swap = two_write;
-    AttackSimulator sim(config);
-    ScanAttack scan(setup.pages);
-    const auto r =
-        sim.run(Scheme::kTossUpStrongWeak, scan, WriteCount{1} << 40);
-    const double amplification =
-        static_cast<double>(r.stats.physical_writes()) /
-        static_cast<double>(r.stats.demand_writes);
-    t.add_row({two_write ? "2-write (paper)" : "3-write (naive)",
-               fmt_double(amplification, 3),
-               fmt_lifetime_years(years_from_fraction(
-                   r.fraction_of_ideal, RealSystem{}.ideal_lifetime_years))});
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    t.add_row({variants[v] ? "2-write (paper)" : "3-write (naive)",
+               fmt_double(out[v].amplification, 3),
+               fmt_lifetime_years(out[v].years)});
   }
   std::printf("%s", t.to_string().c_str());
 }
 
-void interpair_ablation(const bench::BenchSetup& setup) {
+void interpair_ablation(const bench::BenchSetup& setup, SimRunner& runner) {
   std::printf("%s", heading("Ablation 3: inter-pair swap interval "
                             "(repeat attack)").c_str());
+  const std::vector<std::uint32_t> intervals = {0, 32, 64, 128, 256, 512};
+  struct Out {
+    double years = 0.0;
+    double extra_frac = 0.0;
+  };
+  std::vector<Out> out(intervals.size());
+  std::vector<SimCell> cells;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    cells.push_back([&, i]() -> std::uint64_t {
+      Config config = setup.config;
+      config.twl.interpair_swap_interval = intervals[i];
+      const AttackSimulator sim(config);
+      RepeatAttack attack(LogicalPageAddr(0));
+      const auto r =
+          sim.run(Scheme::kTossUpStrongWeak, attack, WriteCount{1} << 40);
+      out[i] = {years_from_fraction(r.fraction_of_ideal,
+                                    RealSystem{}.ideal_lifetime_years),
+                static_cast<double>(r.stats.extra_writes()) /
+                    static_cast<double>(r.stats.demand_writes)};
+      return r.demand_writes;
+    });
+  }
+  runner.run_all(cells);
+
   TextTable t;
   t.add_row({"interval", "lifetime under repeat", "extra writes"});
-  for (const std::uint32_t interval : {0u, 32u, 64u, 128u, 256u, 512u}) {
-    Config config = setup.config;
-    config.twl.interpair_swap_interval = interval;
-    AttackSimulator sim(config);
-    RepeatAttack attack(LogicalPageAddr(0));
-    const auto r =
-        sim.run(Scheme::kTossUpStrongWeak, attack, WriteCount{1} << 40);
-    t.add_row({interval == 0 ? "off" : std::to_string(interval),
-               fmt_lifetime_years(years_from_fraction(
-                   r.fraction_of_ideal, RealSystem{}.ideal_lifetime_years)),
-               fmt_percent(static_cast<double>(r.stats.extra_writes()) /
-                               static_cast<double>(r.stats.demand_writes),
-                           1)});
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    t.add_row({intervals[i] == 0 ? "off" : std::to_string(intervals[i]),
+               fmt_lifetime_years(out[i].years),
+               fmt_percent(out[i].extra_frac, 1)});
   }
   std::printf("%s", t.to_string().c_str());
   std::printf("paper setting: 128 [12]\n");
 }
 
-void attack_sensitivity_ablation(const bench::BenchSetup& setup) {
+void attack_sensitivity_ablation(const bench::BenchSetup& setup,
+                                 SimRunner& runner) {
   // Section 3.2's robustness claims: the attack does not depend on the
   // victim's phase lengths (the adaptive variant retargets its round to
   // the observed swap cadence) nor on a particular address count.
   std::printf("%s", heading("Ablation 5: inconsistent-attack sensitivity "
                             "(victim: BWL)").c_str());
-  TextTable t;
-  t.add_row({"attacker variant", "BWL lifetime"});
   struct Variant {
     std::string label;
     std::uint32_t num_addrs;  // 0 = whole space.
@@ -116,79 +165,112 @@ void attack_sensitivity_ablation(const bench::BenchSetup& setup) {
       {"quarter-space, heavy 1024", 256, 1024, false},
       {"whole-space, adaptive heavy", 0, 1024, true},
   };
-  for (const Variant& v : variants) {
-    InconsistentAttackParams p;
-    p.num_addrs = v.num_addrs;
-    p.heavy_weight = v.heavy;
-    p.adaptive = v.adaptive;
-    AttackSimulator sim(setup.config);
-    const auto attack = make_attack(
-        v.adaptive ? "inconsistent-adaptive" : "inconsistent", setup.pages,
-        setup.config.seed, p);
-    const auto r = sim.run(Scheme::kBloomWl, *attack, WriteCount{1} << 40);
-    t.add_row({v.label,
-               fmt_lifetime_years(years_from_fraction(
-                   r.fraction_of_ideal, RealSystem{}.ideal_lifetime_years))});
+  std::vector<double> out(variants.size(), 0.0);
+  std::vector<SimCell> cells;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    cells.push_back([&, v]() -> std::uint64_t {
+      InconsistentAttackParams p;
+      p.num_addrs = variants[v].num_addrs;
+      p.heavy_weight = variants[v].heavy;
+      p.adaptive = variants[v].adaptive;
+      const AttackSimulator sim(setup.config);
+      const auto attack = make_attack(
+          variants[v].adaptive ? "inconsistent-adaptive" : "inconsistent",
+          setup.pages, setup.config.seed, p);
+      const auto r = sim.run(Scheme::kBloomWl, *attack, WriteCount{1} << 40);
+      out[v] = years_from_fraction(r.fraction_of_ideal,
+                                   RealSystem{}.ideal_lifetime_years);
+      return r.demand_writes;
+    });
+  }
+  runner.run_all(cells);
+
+  TextTable t;
+  t.add_row({"attacker variant", "BWL lifetime"});
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    t.add_row({variants[v].label, fmt_lifetime_years(out[v])});
   }
   std::printf("%s", t.to_string().c_str());
   std::printf("(reference: BWL survives ~3-4 years under non-inconsistent "
               "attacks at this scale)\n");
 }
 
-void quantization_ablation(const bench::BenchSetup& setup) {
+void quantization_ablation(const bench::BenchSetup& setup,
+                           SimRunner& runner) {
   std::printf("%s", heading("Ablation 4: endurance-table width "
                             "(random attack)").c_str());
+  const std::vector<std::uint32_t> widths = {8, 12, 16, 27};
+  std::vector<double> out(widths.size(), 0.0);
+  std::vector<SimCell> cells;
+  for (std::size_t w = 0; w < widths.size(); ++w) {
+    cells.push_back([&, w]() -> std::uint64_t {
+      Config config = setup.config;
+      config.endurance.table_bits = widths[w];
+      const auto r = attack_years(config, Scheme::kTossUpStrongWeak,
+                                  "random", setup.pages);
+      out[w] = r.years;
+      return r.demand_writes;
+    });
+  }
+  runner.run_all(cells);
+
   TextTable t;
   t.add_row({"ET entry bits", "lifetime under random"});
-  for (const std::uint32_t bits : {8u, 12u, 16u, 27u}) {
-    Config config = setup.config;
-    config.endurance.table_bits = bits;
-    t.add_row({std::to_string(bits),
-               fmt_lifetime_years(attack_years(
-                   config, Scheme::kTossUpStrongWeak, "random",
-                   setup.pages))});
+  for (std::size_t w = 0; w < widths.size(); ++w) {
+    t.add_row({std::to_string(widths[w]), fmt_lifetime_years(out[w])});
   }
   std::printf("%s", t.to_string().c_str());
   std::printf("paper setting: 27 bits\n");
 }
 
-void measurement_noise_ablation(const bench::BenchSetup& setup) {
+void measurement_noise_ablation(const bench::BenchSetup& setup,
+                                SimRunner& runner) {
   // The paper assumes the manufacturer's endurance test is exact. How
   // much measurement error can the toss-up bias tolerate? The device
   // wears by ground truth; the scheme (ET + strong-weak pairing) sees
   // E * (1 + noise).
   std::printf("%s", heading("Ablation 6: endurance measurement error "
                             "(repeat attack, TWL_swp)").c_str());
-  TextTable t;
-  t.add_row({"measurement noise", "lifetime under repeat"});
   const double ideal = RealSystem{}.ideal_lifetime_years;
   const EnduranceMap truth(setup.pages, setup.config.endurance,
                            setup.config.seed);
-  for (const double noise : {0.0, 0.1, 0.25, 0.5, 1.0}) {
-    XorShift64Star rng(setup.config.seed ^ 0xE770'15E0ULL);
-    std::vector<std::uint64_t> measured;
-    measured.reserve(setup.pages);
-    for (std::uint32_t p = 0; p < setup.pages; ++p) {
-      const double e =
-          static_cast<double>(truth.endurance(PhysicalPageAddr(p)));
-      measured.push_back(static_cast<std::uint64_t>(
-          std::max(1.0, e * (1.0 + noise * rng.next_gaussian()))));
-    }
-    PcmDevice device(truth);  // Wears by ground truth.
-    const auto wl = make_wear_leveler(Scheme::kTossUpStrongWeak,
-                                      EnduranceMap(std::move(measured)),
-                                      setup.config);
-    MemoryController mc(device, *wl, setup.config, true);
-    RepeatAttack attack(LogicalPageAddr(0));
-    Cycles now = 0, lat = 0;
-    while (!device.failed()) {
-      lat = mc.submit(attack.next(lat), now);
-      now += lat;
-    }
-    const double frac = static_cast<double>(mc.stats().demand_writes) /
-                        static_cast<double>(truth.total_endurance());
-    t.add_row({fmt_percent(noise, 0),
-               fmt_lifetime_years(years_from_fraction(frac, ideal))});
+  const std::vector<double> noises = {0.0, 0.1, 0.25, 0.5, 1.0};
+  std::vector<double> out(noises.size(), 0.0);
+  std::vector<SimCell> cells;
+  for (std::size_t n = 0; n < noises.size(); ++n) {
+    cells.push_back([&, n]() -> std::uint64_t {
+      XorShift64Star rng(setup.config.seed ^ 0xE770'15E0ULL);
+      std::vector<std::uint64_t> measured;
+      measured.reserve(setup.pages);
+      for (std::uint32_t p = 0; p < setup.pages; ++p) {
+        const double e =
+            static_cast<double>(truth.endurance(PhysicalPageAddr(p)));
+        measured.push_back(static_cast<std::uint64_t>(std::max(
+            1.0, e * (1.0 + noises[n] * rng.next_gaussian()))));
+      }
+      PcmDevice device(truth);  // Wears by ground truth.
+      const auto wl = make_wear_leveler(Scheme::kTossUpStrongWeak,
+                                        EnduranceMap(std::move(measured)),
+                                        setup.config);
+      MemoryController mc(device, *wl, setup.config, true);
+      RepeatAttack attack(LogicalPageAddr(0));
+      Cycles now = 0, lat = 0;
+      while (!device.failed()) {
+        lat = mc.submit(attack.next(lat), now);
+        now += lat;
+      }
+      const double frac = static_cast<double>(mc.stats().demand_writes) /
+                          static_cast<double>(truth.total_endurance());
+      out[n] = years_from_fraction(frac, ideal);
+      return mc.stats().demand_writes;
+    });
+  }
+  runner.run_all(cells);
+
+  TextTable t;
+  t.add_row({"measurement noise", "lifetime under repeat"});
+  for (std::size_t n = 0; n < noises.size(); ++n) {
+    t.add_row({fmt_percent(noises[n], 0), fmt_lifetime_years(out[n])});
   }
   std::printf("%s", t.to_string().c_str());
   std::printf("(the bias needs only the endurance *ratio*, so moderate "
@@ -206,6 +288,8 @@ constexpr const char kUsage[] =
     "  --endurance E   mean per-page endurance (default 32768)\n"
     "  --sigma F       endurance sigma as fraction of mean (default 0.11)\n"
     "  --seed S        RNG seed (default 20170618)\n"
+    "  --jobs N        parallel simulation cells (default: all cores; "
+    "1 = serial)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -214,12 +298,14 @@ int run_impl(const twl::CliArgs& args) {
   bench::check_unconsumed(args);
   bench::print_banner("Ablations of TWL design choices", setup);
 
-  pairing_ablation(setup);
-  swap_cost_ablation(setup);
-  interpair_ablation(setup);
-  quantization_ablation(setup);
-  attack_sensitivity_ablation(setup);
-  measurement_noise_ablation(setup);
+  SimRunner runner(setup.jobs);
+  pairing_ablation(setup, runner);
+  swap_cost_ablation(setup, runner);
+  interpair_ablation(setup, runner);
+  quantization_ablation(setup, runner);
+  attack_sensitivity_ablation(setup, runner);
+  measurement_noise_ablation(setup, runner);
+  bench::print_runner_footer(runner.report());
   return 0;
 }
 

@@ -1,6 +1,7 @@
-// Shared plumbing for the bench binaries: CLI -> scaled Config, and the
+// Shared plumbing for the bench binaries: CLI -> scaled Config, the
 // banner that records the exact parameters a run used (so numbers in
-// EXPERIMENTS.md are reproducible).
+// EXPERIMENTS.md are reproducible), and the SimRunner timing footer that
+// gives those numbers their cost provenance.
 #pragma once
 
 #include <cstdio>
@@ -9,6 +10,7 @@
 
 #include "common/cli.h"
 #include "common/config.h"
+#include "common/sim_runner.h"
 #include "analysis/report.h"
 
 namespace twl::bench {
@@ -17,34 +19,65 @@ struct BenchSetup {
   Config config;
   std::uint64_t pages;
   double endurance;
+  /// Worker threads for the cell grid (--jobs; 0 was resolved to
+  /// hardware_concurrency() already). 1 reproduces the serial program.
+  unsigned jobs = 1;
 };
 
-/// Flags: --pages, --endurance, --sigma, --seed. Each bench adds its own.
+/// Usage text shared by every grid bench for the runner flag.
+inline constexpr const char kJobsUsage[] =
+    "  --jobs N               parallel simulation cells (default: all "
+    "cores; 1 = serial)\n";
+
+/// Flags: --pages, --endurance, --sigma, --seed, --jobs. Each bench adds
+/// its own. Count-like flags reject negatives at parse time (a negative
+/// --pages would otherwise wrap to a huge uint64 before Config::validate
+/// could produce a sensible message).
 inline BenchSetup make_setup(const CliArgs& args,
                              std::uint64_t default_pages,
                              double default_endurance) {
   SimScale scale;
-  scale.pages =
-      static_cast<std::uint64_t>(args.get_int_or("pages",
-          static_cast<std::int64_t>(default_pages)));
+  scale.pages = args.get_uint_or("pages", default_pages);
   scale.endurance_mean = args.get_double_or("endurance", default_endurance);
   scale.endurance_sigma_frac = args.get_double_or("sigma", 0.11);
-  scale.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 20170618));
-  return BenchSetup{Config::scaled(scale), scale.pages,
-                    scale.endurance_mean};
+  scale.seed = args.get_uint_or("seed", 20170618);
+  BenchSetup setup{Config::scaled(scale), scale.pages, scale.endurance_mean,
+                   /*jobs=*/1};
+  setup.jobs = SimRunner::resolve_jobs(
+      static_cast<unsigned>(args.get_uint_or("jobs", 0)));
+  return setup;
 }
 
+/// The banner reports what actually ran: every value comes from
+/// setup.config (the post-Config::scaled state), never from the raw
+/// request, so any scaling adjustment shows up here instead of lying.
 inline void print_banner(const std::string& title, const BenchSetup& setup) {
   std::printf("%s", heading(title).c_str());
   std::printf(
-      "scaled device: %llu pages x 4KB, endurance mean %.0f (sigma %.0f%%), "
-      "seed %llu\n"
+      "scaled device: %llu pages x %uKB, endurance mean %.0f (sigma "
+      "%.0f%%), seed %llu\n"
       "real system:   32GB PCM, endurance mean 1e8 (sigma 11%%) — results\n"
       "               extrapolate via lifetime fractions (see "
       "EXPERIMENTS.md)\n\n",
-      static_cast<unsigned long long>(setup.pages), setup.endurance,
+      static_cast<unsigned long long>(setup.config.geometry.pages()),
+      setup.config.geometry.page_bytes / 1024,
+      setup.config.endurance.mean,
       setup.config.endurance.sigma_frac * 100.0,
       static_cast<unsigned long long>(setup.config.seed));
+}
+
+/// Timing provenance for EXPERIMENTS.md: aggregate throughput of the
+/// grid plus the serial-equivalent cost. Printed after the result
+/// tables; the tables themselves are identical for any --jobs value.
+inline void print_runner_footer(const RunnerReport& r) {
+  std::printf(
+      "\n[runner] %zu cells, %u jobs: wall %.2f s, %.2f cells/s, "
+      "%.3g demand-writes/s\n"
+      "[runner] serial-equivalent %.2f s (speedup %.2fx), "
+      "slowest cell %.2f s\n",
+      r.cells, r.jobs, r.wall_seconds, r.cells_per_second(),
+      r.demand_writes_per_second(), r.cell_seconds_sum,
+      r.parallel_speedup(), r.cell_seconds_max);
 }
 
 /// Throw on mistyped flags so sweep scripts fail loudly — run_cli_main

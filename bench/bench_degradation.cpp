@@ -13,6 +13,7 @@
 #include "analysis/report.h"
 #include "analysis/wear_report.h"
 #include "bench_common.h"
+#include "common/sim_runner.h"
 #include "sim/fault_sim.h"
 #include "trace/synthetic.h"
 #include "wl/factory.h"
@@ -29,16 +30,17 @@ constexpr const char kUsage[] =
     "  --ecp-k K       correctable stuck cells per page (default 6)\n"
     "  --spare-frac F  fraction of pages reserved as spares (default 0.12)\n"
     "  --max-writes W  demand-write cap per run\n"
+    "  --jobs N        parallel simulation cells (default: all cores; "
+    "1 = serial)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
   using namespace twl;
   auto setup = bench::make_setup(args, 1024, 16384);
-  const auto ecp_k =
-      static_cast<std::uint32_t>(args.get_int_or("ecp-k", 6));
+  const auto ecp_k = static_cast<std::uint32_t>(args.get_uint_or("ecp-k", 6));
   const double spare_frac = args.get_double_or("spare-frac", 0.12);
-  const auto max_demand = static_cast<WriteCount>(
-      args.get_int_or("max-writes", 1ll << 40));
+  const auto max_demand =
+      static_cast<WriteCount>(args.get_uint_or("max-writes", 1ull << 40));
   bench::check_unconsumed(args);
 
   setup.config.fault.ecp_k = ecp_k;
@@ -58,23 +60,34 @@ int run_impl(const twl::CliArgs& args) {
       static_cast<unsigned long long>(setup.config.fault.spare_pages),
       spare_frac * 100.0);
 
-  FaultSimulator sim(setup.config);
+  const FaultSimulator sim(setup.config);
   const auto ideal = sim.ideal_demand_writes();
   const std::uint64_t pool_pages =
       setup.pages - setup.config.fault.spare_pages;
 
+  const auto schemes = all_schemes();
+  std::vector<FaultSimResult> out(schemes.size());
+  std::vector<SimCell> cells;
+  cells.reserve(schemes.size());
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    cells.push_back([&, s]() -> std::uint64_t {
+      SyntheticParams wp;
+      wp.pages = pool_pages;  // the scheme-visible (pool) address space
+      wp.zipf_s =
+          ZipfSampler::solve_exponent_for_top_fraction(pool_pages, 0.1);
+      wp.seed = setup.config.seed;
+      SyntheticTrace source(wp);
+      out[s] = sim.run(schemes[s], source, max_demand);
+      return out[s].demand_writes;
+    });
+  }
+  SimRunner runner(setup.jobs);
+  const RunnerReport report = runner.run_all(cells);
+
   TextTable table;
   table.add_row({"scheme", "1st failure", "1% lost", "5% lost", "10% lost",
                  "fatal", "retired", "% of ideal"});
-  for (const Scheme scheme : all_schemes()) {
-    SyntheticParams wp;
-    wp.pages = pool_pages;  // the scheme-visible (pool) address space
-    wp.zipf_s =
-        ZipfSampler::solve_exponent_for_top_fraction(pool_pages, 0.1);
-    wp.seed = setup.config.seed;
-    SyntheticTrace source(wp);
-    const auto r = sim.run(scheme, source, max_demand);
-
+  for (const FaultSimResult& r : out) {
     const auto cell = [](WriteCount w) {
       return w == 0 ? std::string("-") : std::to_string(w);
     };
@@ -95,6 +108,7 @@ int run_impl(const twl::CliArgs& args) {
       "uncorrectable (the paper's lifetime event), the pool lost 1/5/10%%\n"
       "of capacity to retirement, and a page died with no spare left.\n"
       "'-' means the run ended before reaching that loss level.\n");
+  bench::print_runner_footer(report);
   return 0;
 }
 

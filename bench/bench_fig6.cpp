@@ -13,6 +13,7 @@
 #include "analysis/extrapolate.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "common/sim_runner.h"
 #include "common/stats.h"
 #include "sim/attack_sim.h"
 
@@ -28,15 +29,16 @@ constexpr const char kUsage[] =
     "  --max-writes W         demand-write cap per run\n"
     "  --trials T             trials per scheme (default 2)\n"
     "  --paper-accounting     migration writes cost no wear\n"
+    "  --jobs N               parallel simulation cells (default: all "
+    "cores; 1 = serial)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
   using namespace twl;
   const auto setup = bench::make_setup(args, 1024, 65536);
-  const auto max_demand = static_cast<WriteCount>(
-      args.get_int_or("max-writes", 1ll << 40));
-  const auto trials =
-      static_cast<std::uint64_t>(args.get_int_or("trials", 2));
+  const auto max_demand =
+      static_cast<WriteCount>(args.get_uint_or("max-writes", 1ull << 40));
+  const std::uint64_t trials = args.get_uint_or("trials", 2);
   // --paper-accounting: treat migration writes as performance-only (no
   // wear), the accounting under which the paper's TWL scan/random numbers
   // are reproducible. Default is physical wear. See EXPERIMENTS.md.
@@ -51,9 +53,11 @@ int run_impl(const twl::CliArgs& args) {
   const std::vector<Scheme> schemes = {
       Scheme::kBloomWl, Scheme::kSecurityRefresh, Scheme::kTossUpAdjacent,
       Scheme::kTossUpStrongWeak, Scheme::kNoWl};
+  const auto attacks = all_attack_names();
 
   // Independent PV samples: first-failure statistics are noisy on a small
-  // device, so each cell averages `trials` device draws.
+  // device, so each cell averages `trials` device draws. The simulators
+  // are built once and shared read-only across cells (run() is const).
   std::vector<AttackSimulator> sims;
   for (std::uint64_t t = 0; t < trials; ++t) {
     Config config = setup.config;
@@ -61,27 +65,50 @@ int run_impl(const twl::CliArgs& args) {
     config.migration_wear = !paper_accounting;
     sims.emplace_back(config);
   }
-  std::map<Scheme, std::vector<double>> years_by_scheme;
 
+  // One grid cell per (attack, scheme); cell i writes only out[i], so
+  // collection is in grid order regardless of completion order.
+  struct CellOut {
+    double years = 0.0;
+    bool all_failed = true;
+  };
+  std::vector<CellOut> out(attacks.size() * schemes.size());
+  std::vector<SimCell> cells;
+  cells.reserve(out.size());
+  for (std::size_t a = 0; a < attacks.size(); ++a) {
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      cells.push_back([&, a, s]() -> std::uint64_t {
+        RunningStats stats;
+        bool all_failed = true;
+        std::uint64_t demand = 0;
+        for (std::uint64_t t = 0; t < trials; ++t) {
+          const auto attack =
+              make_attack(attacks[a], setup.pages, setup.config.seed + t);
+          const auto result = sims[t].run(schemes[s], *attack, max_demand);
+          all_failed = all_failed && result.failed;
+          demand += result.demand_writes;
+          stats.add(
+              years_from_fraction(result.fraction_of_ideal, ideal_years));
+        }
+        out[a * schemes.size() + s] = {stats.mean(), all_failed};
+        return demand;
+      });
+    }
+  }
+  SimRunner runner(setup.jobs);
+  const RunnerReport report = runner.run_all(cells);
+
+  std::map<Scheme, std::vector<double>> years_by_scheme;
   TextTable table;
   table.add_row({"attack", "BWL", "SR", "TWL_ap", "TWL_swp", "NOWL"});
-  for (const auto& attack_name : all_attack_names()) {
-    std::vector<std::string> row{attack_name};
-    for (const Scheme scheme : schemes) {
-      RunningStats stats;
-      bool all_failed = true;
-      for (std::uint64_t t = 0; t < trials; ++t) {
-        const auto attack =
-            make_attack(attack_name, setup.pages, setup.config.seed + t);
-        const auto result = sims[t].run(scheme, *attack, max_demand);
-        all_failed = all_failed && result.failed;
-        stats.add(
-            years_from_fraction(result.fraction_of_ideal, ideal_years));
-      }
-      const double years = stats.mean();
-      years_by_scheme[scheme].push_back(years);
-      row.push_back(all_failed ? fmt_lifetime_years(years)
-                               : (">" + fmt_lifetime_years(years)));
+  for (std::size_t a = 0; a < attacks.size(); ++a) {
+    std::vector<std::string> row{attacks[a]};
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      const CellOut& cell = out[a * schemes.size() + s];
+      years_by_scheme[schemes[s]].push_back(cell.years);
+      row.push_back(cell.all_failed
+                        ? fmt_lifetime_years(cell.years)
+                        : (">" + fmt_lifetime_years(cell.years)));
     }
     table.add_row(std::move(row));
   }
@@ -100,6 +127,7 @@ int run_impl(const twl::CliArgs& args) {
       "paper reference: BWL dies in 98 s under inconsistent; SR ~2.8 yr "
       "flat;\nTWL_swp minimum 4.1 yr under scan.\n",
       ideal_years, (swp / ap - 1.0) * 100.0);
+  bench::print_runner_footer(report);
   return 0;
 }
 

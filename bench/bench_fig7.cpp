@@ -13,6 +13,7 @@
 #include "analysis/extrapolate.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "common/sim_runner.h"
 #include "common/stats.h"
 #include "sim/attack_sim.h"
 #include "sim/memory_controller.h"
@@ -53,57 +54,86 @@ constexpr const char kUsage[] =
     "  --sigma F         endurance sigma fraction\n"
     "  --seed S          RNG seed\n"
     "  --ratio-writes W  writes used for the swap-ratio measurement\n"
+    "  --jobs N          parallel simulation cells (default: all cores; "
+    "1 = serial)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
   using namespace twl;
   const auto setup = bench::make_setup(args, 1024, 65536);
-  const auto ratio_writes = static_cast<std::uint64_t>(
-      args.get_int_or("ratio-writes", 200000));
+  const std::uint64_t ratio_writes = args.get_uint_or("ratio-writes", 200000);
   bench::check_unconsumed(args);
   bench::print_banner("Figure 7: choosing the toss-up interval", setup);
 
   const double ideal_years = RealSystem{}.ideal_lifetime_years;
+  const std::vector<std::uint32_t> intervals = {1, 2,  4,  8,
+                                                16, 32, 64, 128};
+  const auto& benchmarks = parsec_benchmarks();
+  // Three accountings of swap wear (see EXPERIMENTS.md): with physical
+  // migration wear, within-pair endurance bias cancels under the scan's
+  // symmetric traffic and lifetime *rises* with the interval (swaps are
+  // purely parasitic); the paper's falling trend only appears when
+  // migration writes are treated as a performance cost but not as wear
+  // ("paper accounting").
+  struct Variant {
+    bool two_write;
+    bool migration_wear;
+  };
+  const std::vector<Variant> variants = {
+      {true, true}, {false, true}, {true, false}};
+
+  // Grid: per interval, one ratio cell per PARSEC model plus one lifetime
+  // cell per accounting variant. Cells write only their own slot.
+  const std::size_t per_interval = benchmarks.size() + variants.size();
+  std::vector<double> ratio_out(intervals.size() * benchmarks.size(), 0.0);
+  std::vector<double> years_out(intervals.size() * variants.size(), 0.0);
+  std::vector<SimCell> cells;
+  cells.reserve(intervals.size() * per_interval);
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    Config config = setup.config;
+    config.twl.tossup_interval = intervals[i];
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+      cells.push_back([&, config, i, b]() -> std::uint64_t {
+        // Geomean needs positive values; floor at one swap per run.
+        ratio_out[i * benchmarks.size() + b] = std::max(
+            swap_ratio(config, benchmarks[b], setup.pages, ratio_writes),
+            1.0 / static_cast<double>(ratio_writes));
+        return ratio_writes;
+      });
+    }
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      cells.push_back([&, config, i, v]() -> std::uint64_t {
+        Config variant = config;
+        variant.twl.two_write_swap = variants[v].two_write;
+        variant.migration_wear = variants[v].migration_wear;
+        const AttackSimulator sim(variant);
+        ScanAttack scan(setup.pages);
+        const auto result =
+            sim.run(Scheme::kTossUpStrongWeak, scan, WriteCount{1} << 40);
+        years_out[i * variants.size() + v] =
+            years_from_fraction(result.fraction_of_ideal, ideal_years);
+        return result.demand_writes;
+      });
+    }
+  }
+  SimRunner runner(setup.jobs);
+  const RunnerReport report = runner.run_all(cells);
+
   TextTable table;
   table.add_row({"toss-up interval", "swap/write ratio (PARSEC gmean)",
                  "scan lifetime (2-write swap)",
                  "scan lifetime (3-write swap)",
                  "scan lifetime (paper accounting)"});
-  for (const std::uint32_t interval : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-    Config config = setup.config;
-    config.twl.tossup_interval = interval;
-
-    std::vector<double> ratios;
-    for (const auto& b : parsec_benchmarks()) {
-      // Geomean needs positive values; floor at one swap per run.
-      ratios.push_back(std::max(
-          swap_ratio(config, b, setup.pages, ratio_writes),
-          1.0 / static_cast<double>(ratio_writes)));
-    }
-
-    // Three accountings of swap wear (see EXPERIMENTS.md): with physical
-    // migration wear, within-pair endurance bias cancels under the scan's
-    // symmetric traffic and lifetime *rises* with the interval (swaps are
-    // purely parasitic); the paper's falling trend only appears when
-    // migration writes are treated as a performance cost but not as wear
-    // ("paper accounting").
-    std::vector<std::string> row{std::to_string(interval),
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const std::vector<double> ratios(
+        ratio_out.begin() +
+            static_cast<std::ptrdiff_t>(i * benchmarks.size()),
+        ratio_out.begin() +
+            static_cast<std::ptrdiff_t>((i + 1) * benchmarks.size()));
+    std::vector<std::string> row{std::to_string(intervals[i]),
                                  fmt_percent(geomean(ratios), 1)};
-    struct Variant {
-      bool two_write;
-      bool migration_wear;
-    };
-    for (const Variant v : {Variant{true, true}, Variant{false, true},
-                            Variant{true, false}}) {
-      Config variant = config;
-      variant.twl.two_write_swap = v.two_write;
-      variant.migration_wear = v.migration_wear;
-      AttackSimulator sim(variant);
-      ScanAttack scan(setup.pages);
-      const auto result =
-          sim.run(Scheme::kTossUpStrongWeak, scan, WriteCount{1} << 40);
-      row.push_back(fmt_lifetime_years(
-          years_from_fraction(result.fraction_of_ideal, ideal_years)));
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      row.push_back(fmt_lifetime_years(years_out[i * variants.size() + v]));
     }
     table.add_row(std::move(row));
   }
@@ -113,6 +143,7 @@ int run_impl(const twl::CliArgs& args) {
       "paper reference: 37.9%% ratio at interval 1; ~2.2%% extra writes at "
       "interval 32;\nlifetime decreases with larger intervals; chosen "
       "operating point: 32.\n");
+  bench::print_runner_footer(report);
   return 0;
 }
 

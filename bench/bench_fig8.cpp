@@ -11,6 +11,7 @@
 #include "analysis/extrapolate.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "common/sim_runner.h"
 #include "common/stats.h"
 #include "sim/lifetime_sim.h"
 #include "trace/parsec_model.h"
@@ -24,6 +25,8 @@ constexpr const char kUsage[] =
     "  --endurance E   mean per-page endurance\n"
     "  --sigma F       endurance sigma fraction\n"
     "  --seed S        RNG seed\n"
+    "  --jobs N        parallel simulation cells (default: all cores; "
+    "1 = serial)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -37,19 +40,38 @@ int run_impl(const twl::CliArgs& args) {
                                        Scheme::kSecurityRefresh,
                                        Scheme::kTossUpStrongWeak,
                                        Scheme::kNoWl};
-  LifetimeSimulator sim(setup.config);
-  std::map<Scheme, std::vector<double>> fractions;
+  // Shared read-only across cells: every cell competes on the same
+  // device sample (run() is const).
+  const LifetimeSimulator sim(setup.config);
+  const auto& benchmarks = parsec_benchmarks();
 
+  std::vector<double> out(benchmarks.size() * schemes.size(), 0.0);
+  std::vector<SimCell> cells;
+  cells.reserve(out.size());
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      cells.push_back([&, b, s]() -> std::uint64_t {
+        auto source =
+            benchmarks[b].make_source(setup.pages, setup.config.seed);
+        const auto result = sim.run(schemes[s], *source,
+                                    sim.ideal_demand_writes() * 2);
+        out[b * schemes.size() + s] = result.fraction_of_ideal;
+        return result.demand_writes;
+      });
+    }
+  }
+  SimRunner runner(setup.jobs);
+  const RunnerReport report = runner.run_all(cells);
+
+  std::map<Scheme, std::vector<double>> fractions;
   TextTable table;
   table.add_row({"benchmark", "BWL", "SR", "TWL", "NOWL"});
-  for (const auto& b : parsec_benchmarks()) {
-    std::vector<std::string> row{b.name};
-    for (const Scheme scheme : schemes) {
-      auto source = b.make_source(setup.pages, setup.config.seed);
-      const auto result =
-          sim.run(scheme, *source, sim.ideal_demand_writes() * 2);
-      fractions[scheme].push_back(std::max(result.fraction_of_ideal, 1e-9));
-      row.push_back(fmt_double(result.fraction_of_ideal, 3));
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    std::vector<std::string> row{benchmarks[b].name};
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      const double fraction = out[b * schemes.size() + s];
+      fractions[schemes[s]].push_back(std::max(fraction, 1e-9));
+      row.push_back(fmt_double(fraction, 3));
     }
     table.add_row(std::move(row));
   }
@@ -67,6 +89,7 @@ int run_impl(const twl::CliArgs& args) {
       expected_min_endurance_fraction(setup.pages,
                                       setup.config.endurance.sigma_frac),
       expected_min_endurance_fraction(8388608, 0.11));
+  bench::print_runner_footer(report);
   return 0;
 }
 

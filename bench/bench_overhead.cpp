@@ -5,10 +5,12 @@
 // <128 gates for the 8-bit Feistel RNG, 718 for the divider/comparators,
 // ~840 gates total.
 #include <cstdio>
+#include <vector>
 
 #include "analysis/overhead.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "common/sim_runner.h"
 #include "wl/factory.h"
 
 namespace {
@@ -20,6 +22,8 @@ constexpr const char kUsage[] =
     "  --endurance E   mean per-page endurance\n"
     "  --sigma F       endurance sigma fraction\n"
     "  --seed S        RNG seed\n"
+    "  --jobs N        parallel simulation cells (default: all cores; "
+    "1 = serial)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -31,14 +35,34 @@ int run_impl(const twl::CliArgs& args) {
   const EnduranceMap map(setup.pages, setup.config.endurance,
                          setup.config.seed);
 
+  // One cell per scheme (cheap cells, but the grid shape keeps every
+  // bench binary on the same runner plumbing).
+  const auto schemes = all_schemes();
+  struct Out {
+    std::string name;
+    std::uint32_t bits_per_page = 0;
+    double ratio = 0.0;
+  };
+  std::vector<Out> out(schemes.size());
+  std::vector<SimCell> cells;
+  cells.reserve(schemes.size());
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    cells.push_back([&, s]() -> std::uint64_t {
+      const auto wl = make_wear_leveler(schemes[s], map, setup.config);
+      const auto o = storage_overhead(*wl, setup.config.geometry.page_bytes);
+      out[s] = {wl->name(), o.bits_per_page, o.ratio};
+      return 0;
+    });
+  }
+  SimRunner runner(setup.jobs);
+  const RunnerReport report = runner.run_all(cells);
+
   TextTable storage;
   storage.add_row({"scheme", "bits / 4KB page", "storage ratio"});
-  for (const Scheme s : all_schemes()) {
-    const auto wl = make_wear_leveler(s, map, setup.config);
-    const auto o = storage_overhead(*wl, setup.config.geometry.page_bytes);
+  for (const Out& o : out) {
     char ratio[32];
     std::snprintf(ratio, sizeof(ratio), "%.2e", o.ratio);
-    storage.add_row({wl->name(), std::to_string(o.bits_per_page), ratio});
+    storage.add_row({o.name, std::to_string(o.bits_per_page), ratio});
   }
   std::printf("%s", storage.to_string().c_str());
   std::printf("paper reference for TWL: 80 bits/4KB = 2.5e-3 "
@@ -59,6 +83,7 @@ int run_impl(const twl::CliArgs& args) {
       "paper reference: Feistel RNG < 128 (model: %u), divider+comparators "
       "718 (model: %u), total ~840 (model: %u)\n",
       rng.total(), engine.total(), total.total());
+  bench::print_runner_footer(report);
   return 0;
 }
 

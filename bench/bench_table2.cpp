@@ -8,6 +8,7 @@
 #include "analysis/extrapolate.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "common/sim_runner.h"
 #include "sim/lifetime_sim.h"
 #include "trace/parsec_model.h"
 #include "wl/factory.h"
@@ -21,6 +22,8 @@ constexpr const char kUsage[] =
     "  --endurance E   mean per-page endurance\n"
     "  --sigma F       endurance sigma fraction\n"
     "  --seed S        RNG seed\n"
+    "  --jobs N        parallel simulation cells (default: all cores; "
+    "1 = serial)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -32,18 +35,34 @@ int run_impl(const twl::CliArgs& args) {
       setup);
 
   const RealSystem real;
-  LifetimeSimulator sim(setup.config);
+  const LifetimeSimulator sim(setup.config);
+  const auto& benchmarks = parsec_benchmarks();
+
+  // One cell per benchmark; the simulator is shared read-only.
+  std::vector<double> nowl_fraction(benchmarks.size(), 0.0);
+  std::vector<SimCell> cells;
+  cells.reserve(benchmarks.size());
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    cells.push_back([&, b]() -> std::uint64_t {
+      auto source =
+          benchmarks[b].make_source(setup.pages, setup.config.seed);
+      const auto result = sim.run(Scheme::kNoWl, *source,
+                                  sim.ideal_demand_writes() * 2);
+      nowl_fraction[b] = result.fraction_of_ideal;
+      return result.demand_writes;
+    });
+  }
+  SimRunner runner(setup.jobs);
+  const RunnerReport report = runner.run_all(cells);
 
   TextTable table;
   table.add_row({"benchmark", "write BW (MBps)", "ideal (paper)",
                  "ideal (model)", "w/o WL (paper)", "w/o WL (sim)"});
-  for (const auto& b : parsec_benchmarks()) {
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    const auto& b = benchmarks[i];
     const double ideal_model = ideal_years_from_bandwidth(real, b.write_mbps);
-    auto source = b.make_source(setup.pages, setup.config.seed);
-    const auto result =
-        sim.run(Scheme::kNoWl, *source, sim.ideal_demand_writes() * 2);
     const double nowl_years =
-        years_from_fraction(result.fraction_of_ideal, ideal_model);
+        years_from_fraction(nowl_fraction[i], ideal_model);
     table.add_row({b.name, fmt_double(b.write_mbps, 0),
                    fmt_double(b.ideal_years, 0) + " yr",
                    fmt_double(ideal_model, 0) + " yr",
@@ -55,6 +74,7 @@ int run_impl(const twl::CliArgs& args) {
       "\nNotes: bandwidth column is the paper's measurement (model input);\n"
       "ideal lifetime follows analytically (kappa=2, see EXPERIMENTS.md);\n"
       "the w/o-WL column is simulated from the calibrated skew model.\n");
+  bench::print_runner_footer(report);
   return 0;
 }
 

@@ -73,6 +73,22 @@ std::int64_t CliArgs::get_int_or(const std::string& name,
   return parsed;
 }
 
+std::uint64_t CliArgs::get_uint_or(const std::string& name,
+                                   std::uint64_t def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    bad_value(name, *v, "a non-negative integer");
+  }
+  if (errno == ERANGE || parsed < 0) {
+    bad_value(name, *v, "a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
 double CliArgs::get_double_or(const std::string& name, double def) const {
   const auto v = get(name);
   if (!v) return def;

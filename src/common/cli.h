@@ -37,6 +37,12 @@ class CliArgs {
   /// value) when the value is not fully parseable or out of range.
   [[nodiscard]] std::int64_t get_int_or(const std::string& name,
                                         std::int64_t def) const;
+  /// For count-like flags (--pages, --seed, --jobs, ...): rejects
+  /// negative values at parse time, naming the flag. Without this,
+  /// --pages=-1 would cast to a huge uint64 and either OOM or sail past
+  /// Config::validate with a nonsensical device.
+  [[nodiscard]] std::uint64_t get_uint_or(const std::string& name,
+                                          std::uint64_t def) const;
   [[nodiscard]] double get_double_or(const std::string& name,
                                      double def) const;
   [[nodiscard]] bool get_bool_or(const std::string& name, bool def) const;

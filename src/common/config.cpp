@@ -38,8 +38,8 @@ void Config::validate() const {
           "endurance.table_bits", "must be in [1, 32]");
 
   require(twl.tossup_interval > 0, "twl.tossup_interval", "must be > 0");
-  require(twl.interpair_swap_interval > 0, "twl.interpair_swap_interval",
-          "must be > 0");
+  // interpair_swap_interval == 0 disables inter-pair swaps (the ablation
+  // bench's "off" row); TossUpWl guards the modulo accordingly.
   require(twl.adaptive_interval_max > 0, "twl.adaptive_interval_max",
           "must be > 0");
   require(twl.adaptation_window > 0, "twl.adaptation_window", "must be > 0");

@@ -87,6 +87,8 @@ enum class TossBias : std::uint8_t {
 /// TWL parameters (Table 1 + Section 5.2's chosen toss-up interval of 32).
 struct TwlParams {
   std::uint32_t tossup_interval = 32;
+  /// Demand writes between inter-pair swaps; 0 disables them entirely
+  /// (the ablation bench's "off" point).
   std::uint32_t interpair_swap_interval = 128;
   PairingPolicy pairing = PairingPolicy::kStrongWeak;
   /// Use the 2-write migrate-then-write swap (Section 4.1) instead of the

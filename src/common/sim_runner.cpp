@@ -1,0 +1,113 @@
+#include "common/sim_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace twl {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+double RunnerReport::cells_per_second() const {
+  return wall_seconds > 0.0 ? static_cast<double>(cells) / wall_seconds : 0.0;
+}
+
+double RunnerReport::demand_writes_per_second() const {
+  return wall_seconds > 0.0 ? static_cast<double>(demand_writes) / wall_seconds
+                            : 0.0;
+}
+
+double RunnerReport::parallel_speedup() const {
+  return wall_seconds > 0.0 ? cell_seconds_sum / wall_seconds : 1.0;
+}
+
+SimRunner::SimRunner(unsigned requested_jobs)
+    : jobs_(resolve_jobs(requested_jobs)) {
+  total_.jobs = jobs_;
+}
+
+unsigned SimRunner::resolve_jobs(unsigned requested) {
+  if (requested > 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+RunnerReport SimRunner::run_all(const std::vector<SimCell>& cells) {
+  RunnerReport r;
+  r.jobs = jobs_;
+  r.cells = cells.size();
+  const auto grid_start = Clock::now();
+
+  if (jobs_ == 1 || cells.size() <= 1) {
+    // Inline serial path: identical control flow to the pre-runner code,
+    // so --jobs 1 reproduces it byte for byte.
+    for (const SimCell& cell : cells) {
+      const auto cell_start = Clock::now();
+      r.demand_writes += cell();
+      const double dt = seconds_since(cell_start);
+      r.cell_seconds_sum += dt;
+      r.cell_seconds_max = std::max(r.cell_seconds_max, dt);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::mutex merge_mutex;
+    std::exception_ptr first_error;
+    std::size_t first_error_index = cells.size();
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, cells.size()));
+    {
+      std::vector<std::jthread> pool;
+      pool.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+          double local_sum = 0.0;
+          double local_max = 0.0;
+          std::uint64_t local_writes = 0;
+          for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= cells.size()) break;
+            const auto cell_start = Clock::now();
+            try {
+              local_writes += cells[i]();
+            } catch (...) {
+              const std::lock_guard<std::mutex> lock(merge_mutex);
+              if (i < first_error_index) {
+                first_error_index = i;
+                first_error = std::current_exception();
+              }
+            }
+            const double dt = seconds_since(cell_start);
+            local_sum += dt;
+            local_max = std::max(local_max, dt);
+          }
+          const std::lock_guard<std::mutex> lock(merge_mutex);
+          r.cell_seconds_sum += local_sum;
+          r.cell_seconds_max = std::max(r.cell_seconds_max, local_max);
+          r.demand_writes += local_writes;
+        });
+      }
+    }  // jthread joins here.
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  r.wall_seconds = seconds_since(grid_start);
+  total_.cells += r.cells;
+  total_.wall_seconds += r.wall_seconds;
+  total_.cell_seconds_sum += r.cell_seconds_sum;
+  total_.cell_seconds_max = std::max(total_.cell_seconds_max,
+                                     r.cell_seconds_max);
+  total_.demand_writes += r.demand_writes;
+  return r;
+}
+
+}  // namespace twl

@@ -1,0 +1,72 @@
+// Parallel execution of independent simulation cells.
+//
+// Every bench binary sweeps a (scheme x workload x seed) grid whose cells
+// are embarrassingly parallel: each cell builds its own simulator state
+// from a deterministically-seeded Config and never touches another
+// cell's. SimRunner turns that grid into a fixed-size thread pool run —
+// trace-driven NVM simulators (NVMain et al.) exploit exactly this shape.
+//
+// Determinism contract (see DESIGN.md "Parallel runner"):
+//  * a cell's result depends only on its own code and captures, never on
+//    scheduling — cells must not share mutable state (shared simulators
+//    are const, and their run() methods are const and allocation-free of
+//    shared structures);
+//  * callers pre-size their result vectors and cell i writes only slot i,
+//    so collection order is grid order regardless of completion order;
+//  * jobs == 1 executes the cells inline on the calling thread, in index
+//    order, with no thread machinery — byte-for-byte the serial program.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace twl {
+
+/// One grid cell. Runs the simulation work and returns the number of
+/// demand writes it performed (0 when that is not meaningful) so the
+/// runner can report aggregate simulation throughput.
+using SimCell = std::function<std::uint64_t()>;
+
+/// Timing provenance of one run_all() (and, via SimRunner::report(), of
+/// everything a binary pushed through its runner). Committed alongside
+/// results in EXPERIMENTS.md so numbers carry their own cost.
+struct RunnerReport {
+  unsigned jobs = 1;
+  std::size_t cells = 0;
+  double wall_seconds = 0.0;       ///< Whole-grid wall clock.
+  double cell_seconds_sum = 0.0;   ///< Serial-equivalent cost.
+  double cell_seconds_max = 0.0;   ///< Longest single cell.
+  std::uint64_t demand_writes = 0;  ///< Sum of cell return values.
+
+  [[nodiscard]] double cells_per_second() const;
+  [[nodiscard]] double demand_writes_per_second() const;
+  /// serial-equivalent / wall: 1.0 when jobs == 1, up to `jobs` ideally.
+  [[nodiscard]] double parallel_speedup() const;
+};
+
+class SimRunner {
+ public:
+  /// `requested_jobs` == 0 resolves to hardware_concurrency() (floor 1).
+  explicit SimRunner(unsigned requested_jobs = 0);
+
+  static unsigned resolve_jobs(unsigned requested);
+
+  /// Runs every cell and blocks until all complete. Cell exceptions are
+  /// rethrown on the calling thread; when several cells throw, the one
+  /// with the lowest index wins, so the surfaced error does not depend on
+  /// scheduling. Returns this call's timing; the runner also accumulates
+  /// it into report().
+  RunnerReport run_all(const std::vector<SimCell>& cells);
+
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+  /// Accumulated timing across every run_all() on this runner.
+  [[nodiscard]] const RunnerReport& report() const { return total_; }
+
+ private:
+  unsigned jobs_;
+  RunnerReport total_;
+};
+
+}  // namespace twl

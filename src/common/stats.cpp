@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace twl {
 
@@ -36,7 +38,13 @@ double geomean(std::span<const double> values) {
   if (values.empty()) return 0.0;
   double log_sum = 0.0;
   for (double v : values) {
-    assert(v > 0.0 && "geomean requires positive values");
+    // An assert alone would let release builds feed std::log garbage and
+    // silently return NaN/-inf-derived results; fail loudly instead.
+    if (!(v > 0.0)) {
+      throw std::invalid_argument(
+          "geomean requires strictly positive values, got " +
+          std::to_string(v));
+    }
     log_sum += std::log(v);
   }
   return std::exp(log_sum / static_cast<double>(values.size()));
@@ -48,11 +56,25 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
-  const double frac = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(bins()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(bins()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Casting a NaN (or any value outside the target type's range, e.g.
+  // +/-inf or a huge frac*bins product) to an integer is undefined
+  // behaviour, so classify in floating point and only cast values already
+  // known to land inside [0, bins).
+  if (std::isnan(x)) {
+    throw std::invalid_argument("Histogram::add: value is NaN");
+  }
+  std::size_t idx;
+  if (x <= lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = bins() - 1;
+  } else {
+    const double frac = (x - lo_) / (hi_ - lo_);
+    idx = std::min(
+        static_cast<std::size_t>(frac * static_cast<double>(bins())),
+        bins() - 1);
+  }
+  ++counts_[idx];
   ++total_;
 }
 

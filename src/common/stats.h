@@ -31,15 +31,21 @@ class RunningStats {
 };
 
 /// Geometric mean of strictly positive values. The paper reports Gmean
-/// across attacks (Figure 6) and benchmarks (Figures 8/9).
+/// across attacks (Figure 6) and benchmarks (Figures 8/9). Throws
+/// std::invalid_argument on any non-positive (or NaN) value — callers
+/// that can legitimately produce zeros floor them explicitly (the
+/// benches use max(value, epsilon)) so the choice is visible at the
+/// call site instead of silently returning garbage.
 [[nodiscard]] double geomean(std::span<const double> values);
 
-/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to the
-/// edge bins. Used for wear distribution reports.
+/// Fixed-bin histogram over [lo, hi); out-of-range values (including
+/// +/-inf) clamp to the edge bins. Used for wear distribution reports.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Throws std::invalid_argument on NaN (there is no bin a NaN
+  /// meaningfully belongs to, and casting it would be UB).
   void add(double x);
 
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }

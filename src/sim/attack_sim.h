@@ -32,8 +32,10 @@ class AttackSimulator {
  public:
   explicit AttackSimulator(const Config& config);
 
+  /// Const: run state is local, so one simulator may serve concurrent
+  /// SimRunner cells (each cell still needs its own AttackProgram).
   AttackResult run(Scheme scheme, AttackProgram& attack,
-                   WriteCount max_demand);
+                   WriteCount max_demand) const;
 
   [[nodiscard]] const EnduranceMap& endurance() const { return endurance_; }
 

@@ -13,7 +13,7 @@ DegradationSimulator::DegradationSimulator(const Config& config)
 DegradationResult DegradationSimulator::run(WearLeveler& wl,
                                             RequestSource& source,
                                             double alive_floor_frac,
-                                            WriteCount max_demand) {
+                                            WriteCount max_demand) const {
   assert(alive_floor_frac > 0.0 && alive_floor_frac < 1.0);
   PcmDevice device(endurance_, config_.fault, config_.seed);
   MemoryController controller(device, wl, config_, /*enable_timing=*/false);

@@ -43,8 +43,11 @@ class DegradationSimulator {
   /// Drive `wl` (typically an Od3pWrapper) until fewer than
   /// `alive_floor_frac` of the pages survive. `curve_points` samples are
   /// spread geometrically over the run.
+  /// Const: run state is local, so one simulator may serve concurrent
+  /// SimRunner cells (each cell still needs its own WearLeveler/source).
   DegradationResult run(WearLeveler& wl, RequestSource& source,
-                        double alive_floor_frac, WriteCount max_demand);
+                        double alive_floor_frac,
+                        WriteCount max_demand) const;
 
   [[nodiscard]] const EnduranceMap& endurance() const { return endurance_; }
 

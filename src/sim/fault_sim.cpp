@@ -24,7 +24,7 @@ FaultSimulator::FaultSimulator(const Config& config)
 }
 
 FaultSimResult FaultSimulator::run(Scheme scheme, RequestSource& source,
-                                   WriteCount max_demand) {
+                                   WriteCount max_demand) const {
   PcmDevice device(endurance_, config_.fault, config_.seed);
   const auto wl = make_wear_leveler(scheme, endurance_, config_);
   MemoryController controller(device, *wl, config_, /*enable_timing=*/false);

@@ -67,8 +67,10 @@ class FaultSimulator {
 
   /// Run `scheme` until the spare pool is exhausted and one more page
   /// dies, or until `max_demand` demand writes.
+  /// Const: run state is local, so one simulator may serve concurrent
+  /// SimRunner cells (each cell still needs its own RequestSource).
   FaultSimResult run(Scheme scheme, RequestSource& source,
-                     WriteCount max_demand);
+                     WriteCount max_demand) const;
 
   [[nodiscard]] const EnduranceMap& endurance() const { return endurance_; }
   [[nodiscard]] const Config& config() const { return config_; }

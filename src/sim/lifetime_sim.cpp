@@ -9,7 +9,7 @@ LifetimeSimulator::LifetimeSimulator(const Config& config)
 }
 
 LifetimeResult LifetimeSimulator::run(Scheme scheme, RequestSource& source,
-                                      WriteCount max_demand) {
+                                      WriteCount max_demand) const {
   PcmDevice device(endurance_, config_.fault, config_.seed);
   const auto wl = make_wear_leveler(scheme, endurance_, config_);
   MemoryController controller(device, *wl, config_, /*enable_timing=*/false);

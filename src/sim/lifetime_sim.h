@@ -39,8 +39,11 @@ class LifetimeSimulator {
 
   /// Run `scheme` against `source` until first failure or `max_demand`
   /// demand writes. Addresses are folded into the scheme's logical space.
+  /// Const — all run state (device, scheme, controller) is built locally,
+  /// so one simulator may serve concurrent SimRunner cells (each cell
+  /// still needs its own RequestSource).
   LifetimeResult run(Scheme scheme, RequestSource& source,
-                     WriteCount max_demand);
+                     WriteCount max_demand) const;
 
   [[nodiscard]] const EnduranceMap& endurance() const { return endurance_; }
   [[nodiscard]] const Config& config() const { return config_; }

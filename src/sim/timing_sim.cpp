@@ -38,7 +38,7 @@ TimingSimulator::TimingSimulator(const Config& config, std::uint32_t mlp)
 }
 
 TimingResult TimingSimulator::run(Scheme scheme, RequestSource& source,
-                                  std::uint64_t num_requests) {
+                                  std::uint64_t num_requests) const {
   PcmDevice device(endurance_, config_.fault, config_.seed);
   const auto wl = make_wear_leveler(scheme, endurance_, config_);
   MemoryController controller(device, *wl, config_, /*enable_timing=*/true);

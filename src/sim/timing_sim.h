@@ -49,8 +49,10 @@ class TimingSimulator {
 
   /// Run exactly `num_requests` requests from `source`. Wear-out is
   /// ignored (performance runs are far shorter than the lifetime).
+  /// Const: run state is local, so one simulator may serve concurrent
+  /// SimRunner cells (each cell still needs its own RequestSource).
   TimingResult run(Scheme scheme, RequestSource& source,
-                   std::uint64_t num_requests);
+                   std::uint64_t num_requests) const;
 
   [[nodiscard]] const EnduranceMap& endurance() const { return endurance_; }
 

@@ -109,6 +109,37 @@ TEST(CliArgs, AcceptsNegativeIntegers) {
   EXPECT_EQ(make({"--delta=-5"}).get_int_or("delta", 0), -5);
 }
 
+TEST(CliArgs, UintParsesAndDefaults) {
+  EXPECT_EQ(make({"--pages=4096"}).get_uint_or("pages", 0), 4096u);
+  EXPECT_EQ(make({}).get_uint_or("pages", 7), 7u);
+  EXPECT_EQ(make({"--pages=0"}).get_uint_or("pages", 7), 0u);
+}
+
+// Regression: count-like flags (--pages, --seed, --trials...) used to go
+// through get_int_or, so "--pages=-1" silently wrapped into a huge
+// unsigned page count downstream instead of failing at parse time.
+TEST(CliArgs, UintRejectsNegativeValuesNamingTheFlag) {
+  expect_cli_error(
+      [] { (void)make({"--pages=-1"}).get_uint_or("pages", 0); }, "pages");
+  expect_cli_error(
+      [] { (void)make({"--pages=-1"}).get_uint_or("pages", 0); }, "-1");
+  expect_cli_error(
+      [] { (void)make({"--seed=-5"}).get_uint_or("seed", 0); }, "seed");
+}
+
+TEST(CliArgs, UintRejectsMalformedValues) {
+  expect_cli_error(
+      [] { (void)make({"--pages=12abc"}).get_uint_or("pages", 0); }, "12abc");
+  expect_cli_error(
+      [] { (void)make({"--pages="}).get_uint_or("pages", 0); }, "pages");
+  expect_cli_error(
+      [] {
+        (void)make({"--pages=99999999999999999999999"})
+            .get_uint_or("pages", 0);
+      },
+      "pages");
+}
+
 TEST(CliArgs, RejectsMalformedDoubles) {
   expect_cli_error(
       [] { (void)make({"--sigma=0.1x"}).get_double_or("sigma", 0.0); },

@@ -1,0 +1,180 @@
+#include "common/sim_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/config.h"
+#include "sim/lifetime_sim.h"
+#include "trace/synthetic.h"
+#include "wl/factory.h"
+
+namespace twl {
+namespace {
+
+TEST(SimRunner, ResolvesZeroJobsToAtLeastOne) {
+  EXPECT_GE(SimRunner::resolve_jobs(0), 1u);
+  EXPECT_EQ(SimRunner::resolve_jobs(1), 1u);
+  EXPECT_EQ(SimRunner::resolve_jobs(7), 7u);
+  EXPECT_EQ(SimRunner(0).jobs(), SimRunner::resolve_jobs(0));
+}
+
+TEST(SimRunner, RunsEveryCellExactlyOnce) {
+  const std::size_t n = 100;
+  std::vector<std::atomic<int>> hits(n);
+  std::vector<SimCell> cells;
+  for (std::size_t i = 0; i < n; ++i) {
+    cells.push_back([&hits, i]() -> std::uint64_t {
+      hits[i].fetch_add(1);
+      return i;
+    });
+  }
+  SimRunner runner(4);
+  const RunnerReport r = runner.run_all(cells);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  EXPECT_EQ(r.cells, n);
+  // Sum of cell return values, independent of which worker ran what.
+  EXPECT_EQ(r.demand_writes, n * (n - 1) / 2);
+}
+
+TEST(SimRunner, CellsWriteTheirOwnSlotsInGridOrder) {
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> out(n, 0);
+  std::vector<SimCell> cells;
+  for (std::size_t i = 0; i < n; ++i) {
+    cells.push_back([&out, i]() -> std::uint64_t {
+      out[i] = i * i;
+      return 0;
+    });
+  }
+  SimRunner(8).run_all(cells);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SimRunner, EmptyGridIsANoOp) {
+  SimRunner runner(8);
+  const RunnerReport r = runner.run_all({});
+  EXPECT_EQ(r.cells, 0u);
+  EXPECT_EQ(r.demand_writes, 0u);
+}
+
+// The determinism contract: a real simulation grid produces bitwise
+// identical results serially and under heavy oversubscription, because
+// each cell's result depends only on its own seeded state.
+TEST(SimRunner, SimulationGridIsDeterministicAcrossJobCounts) {
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 512;
+  const Config config = Config::scaled(scale);
+  const LifetimeSimulator sim(config);
+  const std::vector<Scheme> schemes = {
+      Scheme::kNoWl, Scheme::kSecurityRefresh, Scheme::kBloomWl,
+      Scheme::kTossUpStrongWeak};
+
+  const auto run_grid = [&](unsigned jobs) {
+    std::vector<double> fractions(schemes.size() * 3, 0.0);
+    std::vector<SimCell> cells;
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      for (std::size_t w = 0; w < 3; ++w) {
+        cells.push_back([&, s, w]() -> std::uint64_t {
+          SyntheticParams wp;
+          wp.pages = scale.pages;
+          wp.zipf_s = 1.0;
+          wp.seed = config.seed + w;
+          SyntheticTrace source(wp, "zipf");
+          const auto r =
+              sim.run(schemes[s], source, WriteCount{1} << 30);
+          fractions[s * 3 + w] = r.fraction_of_ideal;
+          return r.demand_writes;
+        });
+      }
+    }
+    SimRunner runner(jobs);
+    runner.run_all(cells);
+    return fractions;
+  };
+
+  const auto serial = run_grid(1);
+  const auto parallel = run_grid(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "cell " << i;
+  }
+  // A lifetime run on a real grid produces nonzero results.
+  EXPECT_GT(std::accumulate(serial.begin(), serial.end(), 0.0), 0.0);
+}
+
+TEST(SimRunner, LowestIndexExceptionWinsRegardlessOfSchedule) {
+  for (const unsigned jobs : {1u, 8u}) {
+    std::vector<SimCell> cells;
+    for (std::size_t i = 0; i < 16; ++i) {
+      cells.push_back([i]() -> std::uint64_t {
+        if (i == 3) throw std::runtime_error("cell three");
+        if (i == 11) throw std::runtime_error("cell eleven");
+        return 0;
+      });
+    }
+    SimRunner runner(jobs);
+    try {
+      runner.run_all(cells);
+      FAIL() << "expected the cell exception to propagate (jobs=" << jobs
+             << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "cell three") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(SimRunner, ReportAccumulatesAcrossRuns) {
+  SimRunner runner(2);
+  std::vector<SimCell> first = {[]() -> std::uint64_t { return 10; },
+                                []() -> std::uint64_t { return 20; }};
+  std::vector<SimCell> second = {[]() -> std::uint64_t { return 5; }};
+  runner.run_all(first);
+  runner.run_all(second);
+  EXPECT_EQ(runner.report().cells, 3u);
+  EXPECT_EQ(runner.report().demand_writes, 35u);
+  EXPECT_EQ(runner.report().jobs, 2u);
+}
+
+TEST(SimRunner, ReportRates) {
+  RunnerReport r;
+  r.cells = 10;
+  r.demand_writes = 1000;
+  r.wall_seconds = 2.0;
+  r.cell_seconds_sum = 8.0;
+  EXPECT_DOUBLE_EQ(r.cells_per_second(), 5.0);
+  EXPECT_DOUBLE_EQ(r.demand_writes_per_second(), 500.0);
+  EXPECT_DOUBLE_EQ(r.parallel_speedup(), 4.0);
+  // A report that never ran reports zero rates, not NaN.
+  RunnerReport idle;
+  EXPECT_DOUBLE_EQ(idle.cells_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(idle.demand_writes_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(idle.parallel_speedup(), 1.0);
+}
+
+// More workers than cells must not spin up idle threads that crash or
+// double-claim work.
+TEST(SimRunner, MoreJobsThanCells) {
+  std::vector<std::atomic<int>> hits(2);
+  std::vector<SimCell> cells = {
+      [&hits]() -> std::uint64_t {
+        hits[0].fetch_add(1);
+        return 1;
+      },
+      [&hits]() -> std::uint64_t {
+        hits[1].fetch_add(1);
+        return 2;
+      }};
+  SimRunner runner(16);
+  const RunnerReport r = runner.run_all(cells);
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+  EXPECT_EQ(r.demand_writes, 3u);
+}
+
+}  // namespace
+}  // namespace twl

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 namespace twl {
@@ -63,6 +65,28 @@ TEST(Geomean, IsBelowArithmeticMeanForSpreadValues) {
   EXPECT_NEAR(geomean(v), 10.0, 1e-9);
 }
 
+// Regression: geomean used to assert() on non-positive input, which
+// vanishes in release builds and silently returned log-of-garbage.
+TEST(Geomean, ThrowsOnZero) {
+  const std::vector<double> v{4.0, 0.0, 16.0};
+  EXPECT_THROW((void)geomean(v), std::invalid_argument);
+}
+
+TEST(Geomean, ThrowsOnNegative) {
+  const std::vector<double> v{4.0, -2.0};
+  EXPECT_THROW((void)geomean(v), std::invalid_argument);
+}
+
+TEST(Geomean, ThrowsOnNaN) {
+  const std::vector<double> v{std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)geomean(v), std::invalid_argument);
+}
+
+TEST(Geomean, StillCorrectOnStrictlyPositiveInput) {
+  const std::vector<double> v{0.5, 2.0};
+  EXPECT_NEAR(geomean(v), 1.0, 1e-12);
+}
+
 TEST(Histogram, BinsAndClamping) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);    // bin 0
@@ -72,6 +96,39 @@ TEST(Histogram, BinsAndClamping) {
   EXPECT_EQ(h.bin_count(0), 2u);
   EXPECT_EQ(h.bin_count(9), 2u);
   EXPECT_EQ(h.total(), 4u);
+}
+
+// Regression: add() used to cast the raw double straight to a signed
+// integer bin index, which is undefined behavior for NaN and for values
+// far outside the [lo, hi) range.
+TEST(Histogram, AddNaNThrows) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_THROW(h.add(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, InfinitiesClampToEdgeBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, HugeFiniteValuesClampWithoutOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(1e300);   // would overflow any integer cast of (x-lo)/width*bins
+  h.add(-1e300);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, UpperBoundLandsInLastBin) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(1.0);  // exactly hi: clamps into the top bin, not one past it
+  EXPECT_EQ(h.bin_count(3), 1u);
 }
 
 TEST(Histogram, BinEdges) {
