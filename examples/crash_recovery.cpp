@@ -1,0 +1,167 @@
+// Crash recovery walkthrough: journal a TWL run, pull the plug at an
+// arbitrary byte of the write-ahead log, and rebuild the exact pre-crash
+// metadata from the last snapshot plus the surviving journal prefix.
+//
+//   ./crash_recovery [--pages N] [--writes W] [--crash-at K] [--seed S]
+#include <cstdio>
+#include <vector>
+
+#include "analysis/report.h"
+#include "common/cli.h"
+#include "common/config.h"
+#include "pcm/device.h"
+#include "recovery/journal.h"
+#include "recovery/recovery.h"
+#include "recovery/snapshot.h"
+#include "sim/crash_sim.h"
+#include "sim/memory_controller.h"
+#include "trace/synthetic.h"
+#include "wl/factory.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: crash_recovery [flags]\n"
+    "  Journal a TWL run, crash it, and recover the metadata.\n"
+    "  --pages N       scaled device size in pages (default 256)\n"
+    "  --writes W      demand writes before the crash (default 1000)\n"
+    "  --crash-at K    cut the journal after K surviving bytes of the\n"
+    "                  final write's records (default: mid-record)\n"
+    "  --seed S        RNG seed (default 42)\n"
+    "  --help          show this message\n";
+
+int run_impl(const twl::CliArgs& args) {
+  using namespace twl;
+
+  SimScale scale;
+  scale.pages = args.get_uint_or("pages", 256);
+  scale.endurance_mean = 1e6;  // Nothing wears out in this walkthrough.
+  scale.seed = args.get_uint_or("seed", 42);
+  const Config config = Config::scaled(scale);
+  config.validate();
+  const std::uint64_t writes = args.get_uint_or("writes", 1000);
+  const std::uint64_t crash_at = args.get_uint_or("crash-at", 3);
+
+  std::printf("%s", heading("Crash recovery walkthrough").c_str());
+
+  // 1. A journaled TWL run: the controller brackets every demand write
+  //    with WriteBegin/WriteCommit and every page copy with the two-phase
+  //    SwapIntent -> SwapCommit protocol.
+  const EnduranceMap endurance(config.geometry.pages(), config.endurance,
+                               config.seed);
+  PcmDevice device(endurance, config.fault, config.seed);
+  const auto wl = make_wear_leveler_spec("TWL", endurance, config);
+  MemoryController controller(device, *wl, config, /*enable_timing=*/false);
+  MetadataJournal journal;
+  controller.attach_journal(&journal);
+
+  SyntheticParams wp;
+  wp.pages = wl->logical_pages();
+  wp.read_frac = 0.0;
+  wp.seed = config.seed;
+  SyntheticTrace workload(wp, "zipf");
+
+  // Snapshot the pristine state, then run. A real controller would also
+  // snapshot periodically and truncate the journal (see sim/crash_sim.h);
+  // one baseline snapshot keeps the replay visible here.
+  const std::vector<std::uint8_t> snapshot = take_snapshot(*wl);
+  std::uint64_t bytes_before_last = 0;
+  for (std::uint64_t i = 0; i < writes; ++i) {
+    MemoryRequest req = workload.next();
+    req.op = Op::kWrite;
+    req.addr = LogicalPageAddr(req.addr.value() % wl->logical_pages());
+    if (i + 1 == writes) bytes_before_last = journal.bytes().size();
+    controller.submit(req, 0);
+  }
+  std::printf(
+      "journaled run: %llu demand writes, %llu journal records "
+      "(%llu bytes, %.1f B/write), snapshot %zu bytes\n",
+      static_cast<unsigned long long>(writes),
+      static_cast<unsigned long long>(journal.total_records_appended()),
+      static_cast<unsigned long long>(journal.total_bytes_appended()),
+      static_cast<double>(journal.total_bytes_appended()) /
+          static_cast<double>(writes),
+      snapshot.size());
+
+  // 2. Power failure: keep only a prefix of the log. Cutting inside the
+  //    final write's records models a torn append — the classic
+  //    inconsistent-write-pattern hazard this subsystem defends against.
+  const std::uint64_t appended = journal.bytes().size() - bytes_before_last;
+  const std::uint64_t cut =
+      bytes_before_last + (crash_at < appended ? crash_at : appended);
+  std::vector<std::uint8_t> surviving(
+      journal.bytes().begin(),
+      journal.bytes().begin() + static_cast<std::ptrdiff_t>(cut));
+  std::printf(
+      "crash: write %llu was in flight; %llu of its %llu journal bytes "
+      "survive\n",
+      static_cast<unsigned long long>(writes),
+      static_cast<unsigned long long>(cut - bytes_before_last),
+      static_cast<unsigned long long>(appended));
+
+  // 3. Recovery: restore the snapshot into a fresh scheme instance, then
+  //    logically replay every committed write. The schemes are
+  //    deterministic state machines (RNG streams live in the snapshot), so
+  //    replay reproduces the mapping byte-for-byte.
+  const auto recovered = make_wear_leveler_spec("TWL", endurance, config);
+  const RecoveryOutcome outcome = recover(*recovered, snapshot, surviving);
+  std::printf(
+      "recovery: replayed %llu writes (%llu committed swaps), torn tail: "
+      "%s, orphan swap intents: %llu\n",
+      static_cast<unsigned long long>(outcome.replayed_writes),
+      static_cast<unsigned long long>(outcome.committed_swaps),
+      outcome.torn_tail ? "yes" : "no",
+      static_cast<unsigned long long>(outcome.orphan_swap_intents));
+  if (outcome.rolled_back_la.has_value()) {
+    std::printf(
+        "rolled back the in-flight write to logical page %u (its commit "
+        "record did not survive)\n",
+        outcome.rolled_back_la->value());
+  }
+
+  // 4. Proof: the recovered metadata equals a crash-free run of exactly
+  //    the committed writes.
+  const auto reference = make_wear_leveler_spec("TWL", endurance, config);
+  {
+    PcmDevice ref_device(endurance, config.fault, config.seed);
+    MemoryController ref_controller(ref_device, *reference, config,
+                                    /*enable_timing=*/false);
+    SyntheticTrace replayed(wp, "zipf");
+    for (std::uint64_t i = 0; i < outcome.replayed_writes; ++i) {
+      MemoryRequest req = replayed.next();
+      req.op = Op::kWrite;
+      req.addr = LogicalPageAddr(req.addr.value() % reference->logical_pages());
+      ref_controller.submit(req, 0);
+    }
+  }
+  const bool exact = take_snapshot(*recovered) == take_snapshot(*reference);
+  std::printf("recovered state byte-identical to the reference: %s\n",
+              exact ? "yes" : "NO (bug)");
+
+  // 5. The same experiment, systematized: the crash simulator injects the
+  //    failure at uniformly random points — including mid-swap and inside
+  //    a journal record — and checks five invariants per trial.
+  CrashSimParams params;
+  params.scheme_spec = "TWL";
+  params.total_writes = 512;
+  params.snapshot_interval = 128;
+  const CrashSimulator sim(config, params);
+  std::uint64_t ok = 0;
+  constexpr std::uint64_t kTrials = 50;
+  for (std::uint64_t t = 0; t < kTrials; ++t) {
+    ok += sim.run_trial(t).all_invariants_hold() ? 1 : 0;
+  }
+  std::printf(
+      "\ncrash simulator: %llu/%llu random crash points recovered with all "
+      "invariants intact\n(see bench_recovery for the cost curves across "
+      "schemes and snapshot intervals)\n",
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(kTrials));
+  return exact && ok == kTrials ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
+}

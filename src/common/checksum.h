@@ -1,0 +1,19 @@
+// CRC-32 (ISO-HDLC polynomial, reflected) for persistent metadata.
+//
+// The recovery subsystem stores wear-leveling state in PCM: snapshot blobs
+// and write-ahead journal records. Both are validated with this checksum so
+// that a torn write (power failure mid-append) or a corrupted region is
+// detected instead of silently replayed into the address mapping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace twl {
+
+/// Incremental CRC-32: pass the previous return value as `seed` to extend
+/// a running checksum. Start from 0.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+}  // namespace twl

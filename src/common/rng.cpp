@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "recovery/snapshot.h"
+
 namespace twl {
 
 std::uint64_t SplitMix64::next() {
@@ -58,6 +60,18 @@ double XorShift64Star::next_gaussian() {
   return r * std::cos(theta);
 }
 
+void XorShift64Star::save_state(SnapshotWriter& w) const {
+  w.put_u64(state_);
+  w.put_double(cached_gaussian_);
+  w.put_bool(has_cached_);
+}
+
+void XorShift64Star::load_state(SnapshotReader& r) {
+  state_ = r.get_u64();
+  cached_gaussian_ = r.get_double();
+  has_cached_ = r.get_bool();
+}
+
 Feistel8::Feistel8(std::uint64_t seed) {
   SplitMix64 sm(seed);
   const std::uint64_t k = sm.next();
@@ -85,6 +99,10 @@ std::uint8_t Feistel8::encrypt(std::uint8_t plaintext) const {
   }
   return static_cast<std::uint8_t>((left << 4) | right);
 }
+
+void Feistel8::save_state(SnapshotWriter& w) const { w.put_u8(counter_); }
+
+void Feistel8::load_state(SnapshotReader& r) { counter_ = r.get_u8(); }
 
 std::uint8_t Feistel8::next_byte() { return encrypt(counter_++); }
 

@@ -15,6 +15,9 @@
 
 namespace twl {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// SplitMix64 (Steele et al.). Used to expand a user seed into stream seeds.
 class SplitMix64 {
  public:
@@ -41,6 +44,11 @@ class XorShift64Star {
 
   /// Standard normal via Box–Muller (cached second draw).
   double next_gaussian();
+
+  /// Crash-recovery serialization: the full generator state (including
+  /// the cached Box–Muller draw) round-trips byte-exactly.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   std::uint64_t state_;
@@ -70,6 +78,12 @@ class Feistel8 {
   [[nodiscard]] std::uint8_t encrypt(std::uint8_t plaintext) const;
 
   static constexpr int kRounds = 4;
+
+  /// Crash-recovery serialization. The round keys are derived from the
+  /// construction seed (which recovery reuses); only the counter is
+  /// mutable state.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   /// 4-bit round function: a tiny keyed S-box-like mix, implementable in a

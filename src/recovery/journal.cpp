@@ -1,0 +1,141 @@
+#include "recovery/journal.h"
+
+#include <cassert>
+
+#include "common/checksum.h"
+
+namespace twl {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(read_u32(p)) |
+         (static_cast<std::uint64_t>(read_u32(p + 4)) << 32);
+}
+
+/// Expected payload length per record type; -1 for unknown types.
+int payload_length(std::uint8_t type) {
+  switch (static_cast<JournalRecordType>(type)) {
+    case JournalRecordType::kWriteBegin:
+      return 12;  // seq u64 + la u32.
+    case JournalRecordType::kSwapIntent:
+      return 9;  // pa_a u32 + pa_b u32 + kind u8.
+    case JournalRecordType::kSwapCommit:
+      return 0;
+    case JournalRecordType::kWriteCommit:
+      return 8;  // seq u64.
+  }
+  return -1;
+}
+
+}  // namespace
+
+void MetadataJournal::append_record(JournalRecordType type,
+                                    const std::vector<std::uint8_t>& payload) {
+  assert(payload.size() ==
+         static_cast<std::size_t>(payload_length(
+             static_cast<std::uint8_t>(type))));
+  const std::size_t start = bytes_.size();
+  bytes_.push_back(static_cast<std::uint8_t>(type));
+  bytes_.push_back(static_cast<std::uint8_t>(payload.size()));
+  bytes_.insert(bytes_.end(), payload.begin(), payload.end());
+  const std::uint32_t crc =
+      crc32(bytes_.data() + start, bytes_.size() - start);
+  put_u32(bytes_, crc);
+  total_bytes_ += bytes_.size() - start;
+  ++total_records_;
+}
+
+void MetadataJournal::append_write_begin(std::uint64_t seq,
+                                         LogicalPageAddr la) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, seq);
+  put_u32(payload, la.value());
+  append_record(JournalRecordType::kWriteBegin, payload);
+}
+
+void MetadataJournal::append_swap_intent(PhysicalPageAddr a,
+                                         PhysicalPageAddr b, SwapKind kind) {
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, a.value());
+  put_u32(payload, b.value());
+  payload.push_back(static_cast<std::uint8_t>(kind));
+  append_record(JournalRecordType::kSwapIntent, payload);
+}
+
+void MetadataJournal::append_swap_commit() {
+  append_record(JournalRecordType::kSwapCommit, {});
+}
+
+void MetadataJournal::append_write_commit(std::uint64_t seq) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, seq);
+  append_record(JournalRecordType::kWriteCommit, payload);
+}
+
+void MetadataJournal::truncate() {
+  bytes_.clear();
+  ++truncations_;
+}
+
+JournalScan scan_journal(const std::vector<std::uint8_t>& bytes) {
+  JournalScan scan;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    // Header: type + payload length.
+    if (bytes.size() - pos < 2) break;  // Torn inside a header.
+    const std::uint8_t type = bytes[pos];
+    const std::uint8_t len = bytes[pos + 1];
+    const int expected = payload_length(type);
+    if (expected < 0 || len != expected) break;  // Garbage tail.
+    const std::size_t total = 2 + static_cast<std::size_t>(len) + 4;
+    if (bytes.size() - pos < total) break;  // Torn inside payload/CRC.
+    const std::uint32_t stored = read_u32(bytes.data() + pos + 2 + len);
+    if (crc32(bytes.data() + pos, 2 + len) != stored) break;  // Torn bits.
+
+    JournalRecord rec;
+    rec.type = static_cast<JournalRecordType>(type);
+    const std::uint8_t* payload = bytes.data() + pos + 2;
+    switch (rec.type) {
+      case JournalRecordType::kWriteBegin:
+        rec.seq = read_u64(payload);
+        rec.la = LogicalPageAddr(read_u32(payload + 8));
+        break;
+      case JournalRecordType::kSwapIntent:
+        rec.pa_a = PhysicalPageAddr(read_u32(payload));
+        rec.pa_b = PhysicalPageAddr(read_u32(payload + 4));
+        rec.kind = static_cast<SwapKind>(payload[8]);
+        break;
+      case JournalRecordType::kSwapCommit:
+      case JournalRecordType::kWriteCommit:
+        rec.seq = len == 8 ? read_u64(payload) : 0;
+        break;
+    }
+    scan.records.push_back(rec);
+    pos += total;
+    scan.valid_bytes = pos;
+  }
+  scan.torn_tail = scan.valid_bytes != bytes.size();
+  return scan;
+}
+
+}  // namespace twl

@@ -1,0 +1,76 @@
+#include "recovery/recovery.h"
+
+#include "recovery/journal.h"
+#include "recovery/snapshot.h"
+#include "wl/wear_leveler.h"
+
+namespace twl {
+
+RecoveryOutcome recover(WearLeveler& wl,
+                        const std::vector<std::uint8_t>& snapshot_blob,
+                        const std::vector<std::uint8_t>& journal_bytes) {
+  restore_snapshot(wl, snapshot_blob);
+
+  const JournalScan scan = scan_journal(journal_bytes);
+
+  RecoveryOutcome outcome;
+  outcome.torn_tail = scan.torn_tail;
+  outcome.journal_bytes_replayed = scan.valid_bytes;
+
+  // First pass: group records into demand writes and find which writes
+  // committed. Records before the first WriteBegin cannot occur (the
+  // journal is truncated at snapshot time, between writes).
+  struct PendingWrite {
+    LogicalPageAddr la;
+    bool committed = false;
+    std::uint64_t committed_swaps = 0;
+    std::uint64_t orphan_swaps = 0;
+  };
+  std::vector<PendingWrite> writes;
+  std::uint64_t open_intents = 0;
+  for (const JournalRecord& rec : scan.records) {
+    switch (rec.type) {
+      case JournalRecordType::kWriteBegin:
+        writes.push_back(PendingWrite{rec.la});
+        open_intents = 0;
+        break;
+      case JournalRecordType::kSwapIntent:
+        if (!writes.empty()) ++open_intents;
+        break;
+      case JournalRecordType::kSwapCommit:
+        if (!writes.empty() && open_intents > 0) {
+          --open_intents;
+          ++writes.back().committed_swaps;
+        }
+        break;
+      case JournalRecordType::kWriteCommit:
+        if (!writes.empty()) {
+          writes.back().committed = true;
+          writes.back().orphan_swaps = open_intents;
+        }
+        break;
+    }
+  }
+  if (!writes.empty() && !writes.back().committed) {
+    writes.back().orphan_swaps = open_intents;
+  }
+
+  // Second pass: re-execute every committed write in order. Only the last
+  // write can be uncommitted (the controller appends WriteCommit before
+  // the next WriteBegin), but the loop tolerates a malformed stream by
+  // skipping any uncommitted record rather than replaying it.
+  NullWriteSink sink;
+  for (const PendingWrite& w : writes) {
+    if (w.committed) {
+      wl.write(w.la, sink);
+      ++outcome.replayed_writes;
+      outcome.committed_swaps += w.committed_swaps;
+    } else {
+      outcome.rolled_back_la = w.la;
+      outcome.orphan_swap_intents += w.orphan_swaps;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace twl

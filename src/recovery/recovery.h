@@ -1,0 +1,63 @@
+// Crash recovery: snapshot restore + journal replay.
+//
+// Recovery rebuilds the exact pre-crash wear-leveling metadata from the
+// two persistent artifacts the crash-consistency subsystem maintains:
+//
+//  1. the latest snapshot (recovery/snapshot.h), taken between demand
+//     writes and therefore always a consistent state;
+//  2. the journal suffix since that snapshot (recovery/journal.h).
+//
+// Replay is *logical*: each committed WriteBegin's logical address is
+// re-submitted through the scheme's own write() against a null sink. The
+// schemes are deterministic state machines (their RNG streams are part of
+// the snapshot), so re-executing the same write sequence reproduces the
+// mapping, counters and RNG state byte-for-byte — without re-charging the
+// device, whose wear is non-volatile and already reflects those writes.
+//
+// The at-most-one write whose WriteBegin lacks a WriteCommit (the request
+// in flight when power failed) is rolled back: it is not replayed, and its
+// logical page is reported as potentially torn so a real controller would
+// surface it as an ECC error rather than stale-but-valid data. Swap
+// intents without commits inside that write are the mid-swap copies the
+// two-phase protocol makes repairable (see DESIGN.md §9); they are counted
+// here so the crash simulator can assert they are bounded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace twl {
+
+class WearLeveler;
+
+struct RecoveryOutcome {
+  /// Committed demand writes re-executed from the journal.
+  std::uint64_t replayed_writes = 0;
+  /// The interrupted write rolled back, if any (its journal commit record
+  /// did not survive the crash).
+  std::optional<LogicalPageAddr> rolled_back_la;
+  /// Swaps whose intent and commit both survived (inside replayed writes).
+  std::uint64_t committed_swaps = 0;
+  /// Swap intents without a commit — mid-swap crash points the two-phase
+  /// protocol repairs. At most the in-flight write's swaps (0 or 1 in
+  /// practice for non-bulk schemes).
+  std::uint64_t orphan_swap_intents = 0;
+  /// The journal byte stream ended inside a record (torn append).
+  bool torn_tail = false;
+  /// Bytes of valid journal records consumed.
+  std::uint64_t journal_bytes_replayed = 0;
+};
+
+/// Restores `wl` (freshly constructed with the crashed scheme's
+/// configuration) from `snapshot_blob`, then replays the committed suffix
+/// of `journal_bytes`. Throws SnapshotError if the snapshot does not
+/// validate; a torn or truncated journal is not an error (that is the
+/// crash being recovered from).
+RecoveryOutcome recover(WearLeveler& wl,
+                        const std::vector<std::uint8_t>& snapshot_blob,
+                        const std::vector<std::uint8_t>& journal_bytes);
+
+}  // namespace twl

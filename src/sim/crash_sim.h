@@ -1,0 +1,97 @@
+// Crash-consistency simulation.
+//
+// Injects a power failure at a uniformly random point of a journaled run —
+// including mid-swap (between a SwapIntent and its SwapCommit) and
+// mid-journal-append (the cut lands inside a record, producing a torn
+// tail) — then recovers a fresh scheme instance from the last snapshot
+// plus the surviving journal prefix and checks the recovery invariants:
+//
+//  1. The recovered LA -> PA mapping is a bijection (invariants_hold()).
+//  2. No committed demand write is lost or double-applied: the recovered
+//     metadata is byte-identical to a reference run that executed exactly
+//     the committed writes.
+//  3. At most one write (the one in flight) rolls back, and only when its
+//     WriteCommit record did not survive.
+//  4. Wear-counter drift between the crashed device and the reference
+//     device is bounded by the physical writes of the in-flight request.
+//  5. Post-recovery determinism: continuing the recovered scheme yields
+//     the same final state as continuing the reference.
+//
+// Retirement/fault-tolerant configurations are out of scope here: the
+// controller's retirement callbacks mutate scheme state outside the
+// demand-write replay model (see DESIGN.md), so trials run on the default
+// no-retirement fault model and sized so no page wears out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+#include "pcm/endurance.h"
+
+namespace twl {
+
+struct CrashSimParams {
+  std::string scheme_spec = "TWL";
+  /// Demand writes in the full (uncrashed) run; the crash point is
+  /// uniform in [1, total_writes].
+  std::uint64_t total_writes = 1024;
+  /// Snapshot + journal truncation every this many demand writes.
+  std::uint64_t snapshot_interval = 128;
+  /// Workload shape (drives the same synthetic mixture the lifetime
+  /// experiments use; reads are skipped).
+  double zipf_s = 1.0;
+  double stream_frac = 0.1;
+  /// Run both recovered and reference schemes to total_writes after
+  /// recovery and compare final states (invariant 5). Costs a second
+  /// partial run per trial.
+  bool verify_continuation = true;
+};
+
+struct CrashTrialResult {
+  // --- crash geometry ---
+  std::uint64_t crash_write = 0;    ///< Demand write interrupted (1-based).
+  std::uint64_t committed_writes = 0;  ///< Demand writes recovered to.
+  bool commit_survived = false;     ///< Write crash_write's commit made it.
+  bool torn_tail = false;           ///< The cut landed inside a record.
+  bool garbage_tail = false;        ///< Random bytes appended after the cut.
+  std::uint64_t cut_bytes = 0;      ///< Journal bytes surviving the crash.
+  std::uint64_t orphan_swap_intents = 0;  ///< Mid-swap crash evidence.
+  std::uint64_t replayed_writes = 0;
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t journal_bytes_total = 0;  ///< Lifetime appended bytes.
+
+  // --- invariant verdicts ---
+  bool mapping_bijective = false;       ///< Invariant 1.
+  bool state_matches_reference = false; ///< Invariant 2 + 3 (byte-exact).
+  bool rollback_consistent = false;     ///< Invariant 3 bookkeeping.
+  bool wear_drift_bounded = false;      ///< Invariant 4.
+  bool continuation_matches = false;    ///< Invariant 5 (true when skipped).
+
+  [[nodiscard]] bool all_invariants_hold() const {
+    return mapping_bijective && state_matches_reference &&
+           rollback_consistent && wear_drift_bounded && continuation_matches;
+  }
+};
+
+class CrashSimulator {
+ public:
+  /// The endurance map is drawn once and shared by every trial, like
+  /// LifetimeSimulator. Const-usable from concurrent SimRunner cells.
+  CrashSimulator(const Config& config, const CrashSimParams& params);
+
+  /// One crash/recovery experiment. `trial` seeds the crash point and the
+  /// workload, so distinct trials crash at independent random points;
+  /// the same trial index always reproduces the same experiment.
+  [[nodiscard]] CrashTrialResult run_trial(std::uint64_t trial) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const CrashSimParams& params() const { return params_; }
+
+ private:
+  Config config_;
+  CrashSimParams params_;
+  EnduranceMap endurance_;
+};
+
+}  // namespace twl

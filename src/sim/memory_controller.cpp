@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "recovery/journal.h"
+
 namespace twl {
 
 WriteCount ControllerStats::physical_writes() const {
@@ -66,17 +68,24 @@ void MemoryController::demand_write(PhysicalPageAddr pa, LogicalPageAddr la) {
 
 void MemoryController::migrate(PhysicalPageAddr from, PhysicalPageAddr to,
                                WritePurpose purpose) {
+  // Two-phase protocol: log the intent, copy, commit. A crash between
+  // intent and commit leaves the copy repairable from the scratch frame
+  // (DESIGN.md); the mapping itself is restored by journal replay.
+  if (journal_) journal_->append_swap_intent(from, to, SwapKind::kMigrate);
   charge_read(from);
   charge_write(to, purpose);
+  if (journal_) journal_->append_swap_commit();
 }
 
 void MemoryController::swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
                                   WritePurpose purpose) {
+  if (journal_) journal_->append_swap_intent(a, b, SwapKind::kExchange);
   // Both pages are buffered in the controller, then rewritten exchanged.
   charge_read(a);
   charge_read(b);
   charge_write(a, purpose);
   charge_write(b, purpose);
+  if (journal_) journal_->append_swap_commit();
 }
 
 void MemoryController::engine_delay(Cycles cycles) {
@@ -134,6 +143,8 @@ Cycles MemoryController::submit(const MemoryRequest& req, Cycles now) {
   }
 
   ++stats_.demand_writes;
+  const std::uint64_t seq = stats_.demand_writes;
+  if (journal_) journal_->append_write_begin(seq, req.addr);
   chain_ = timing_enabled_ ? now + wl_->read_indirection_cycles() : 0;
   wl_->write(req.addr, *this);
   assert(!in_blocking_ && "scheme left a blocking section open");
@@ -141,6 +152,7 @@ Cycles MemoryController::submit(const MemoryRequest& req, Cycles now) {
   // Deliver permanent-failure notifications after the request completes;
   // a salvage action may itself wear out its target, so drain the queue.
   handle_failures();
+  if (journal_) journal_->append_write_commit(seq);
   return timing_enabled_ ? chain_ - now : 0;
 }
 

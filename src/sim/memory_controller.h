@@ -29,6 +29,8 @@
 
 namespace twl {
 
+class MetadataJournal;
+
 struct ControllerStats {
   WriteCount demand_writes = 0;
   WriteCount reads = 0;
@@ -57,6 +59,15 @@ class MemoryController final : public WriteSink {
 
   /// Serve one request arriving at `now`; returns its response latency.
   Cycles submit(const MemoryRequest& req, Cycles now);
+
+  /// Enable crash-consistency journaling: every demand write is bracketed
+  /// by WriteBegin/WriteCommit records and every data copy runs under the
+  /// two-phase SwapIntent -> copy -> SwapCommit protocol. `journal` must
+  /// outlive the controller; pass nullptr to detach. With no journal
+  /// attached (the default) the controller's behaviour is bit-for-bit
+  /// identical to a build without this feature.
+  void attach_journal(MetadataJournal* journal) { journal_ = journal; }
+  [[nodiscard]] const MetadataJournal* journal() const { return journal_; }
 
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
   /// End-of-life: first page death without retirement, with the spare
@@ -108,6 +119,7 @@ class MemoryController final : public WriteSink {
   Cycles chain_ = 0;  ///< Completion time of the op chain being built.
   bool in_blocking_ = false;
   std::optional<RetirementTable> retirement_;
+  MetadataJournal* journal_ = nullptr;
   bool fatal_failure_ = false;
   std::vector<PhysicalPageAddr> newly_worn_;  ///< Failure notification queue.
   ControllerStats stats_;

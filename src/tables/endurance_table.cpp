@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "recovery/snapshot.h"
+
 namespace twl {
 
 EnduranceTable::EnduranceTable(const EnduranceMap& map,
@@ -29,6 +31,20 @@ void EnduranceTable::set_endurance(PhysicalPageAddr pa,
                                       : ((1ULL << entry_bits_) - 1);
   entries_[pa.value()] = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(endurance / scale_, max_entry));
+}
+
+void EnduranceTable::save_state(SnapshotWriter& w) const {
+  w.put_u32_vec(entries_);
+}
+
+void EnduranceTable::load_state(SnapshotReader& r) {
+  std::vector<std::uint32_t> entries = r.get_u32_vec();
+  if (entries.size() != entries_.size()) {
+    throw SnapshotError("endurance table size mismatch: snapshot has " +
+                        std::to_string(entries.size()) + " pages, table has " +
+                        std::to_string(entries_.size()));
+  }
+  entries_ = std::move(entries);
 }
 
 }  // namespace twl

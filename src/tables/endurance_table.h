@@ -15,6 +15,9 @@
 
 namespace twl {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class EnduranceTable {
  public:
   /// Quantizes `map` into `entry_bits`-wide entries. Values saturate at
@@ -38,6 +41,12 @@ class EnduranceTable {
 
   /// Storage cost in bits per page.
   [[nodiscard]] std::uint32_t bits_per_page() const { return entry_bits_; }
+
+  /// Crash-recovery serialization. Entries are nominally reconstructible
+  /// from the endurance map, but page retirement rebinds them at runtime,
+  /// so the quantized entries themselves are part of the snapshot.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   std::vector<std::uint32_t> entries_;

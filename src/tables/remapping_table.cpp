@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "recovery/snapshot.h"
+
 namespace twl {
 
 RemappingTable::RemappingTable(std::uint64_t pages) {
@@ -28,6 +30,33 @@ void RemappingTable::swap_logical(LogicalPageAddr a, LogicalPageAddr b) {
 void RemappingTable::swap_physical(PhysicalPageAddr a, PhysicalPageAddr b) {
   if (a == b) return;
   swap_logical(pa_to_la_[a.value()], pa_to_la_[b.value()]);
+}
+
+void RemappingTable::save_state(SnapshotWriter& w) const {
+  std::vector<std::uint32_t> forward;
+  forward.reserve(la_to_pa_.size());
+  for (PhysicalPageAddr pa : la_to_pa_) forward.push_back(pa.value());
+  w.put_u32_vec(forward);
+}
+
+void RemappingTable::load_state(SnapshotReader& r) {
+  const std::vector<std::uint32_t> forward = r.get_u32_vec();
+  if (forward.size() != la_to_pa_.size()) {
+    throw SnapshotError("remapping table size mismatch: snapshot has " +
+                        std::to_string(forward.size()) + " pages, table has " +
+                        std::to_string(la_to_pa_.size()));
+  }
+  std::vector<bool> seen(forward.size(), false);
+  for (std::uint32_t pa : forward) {
+    if (pa >= forward.size() || seen[pa]) {
+      throw SnapshotError("remapping table snapshot is not a permutation");
+    }
+    seen[pa] = true;
+  }
+  for (std::uint32_t la = 0; la < forward.size(); ++la) {
+    la_to_pa_[la] = PhysicalPageAddr(forward[la]);
+    pa_to_la_[forward[la]] = LogicalPageAddr(la);
+  }
 }
 
 bool RemappingTable::is_consistent() const {

@@ -16,6 +16,9 @@
 
 namespace twl {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class RemappingTable {
  public:
   /// Identity mapping over `pages` pages.
@@ -39,6 +42,12 @@ class RemappingTable {
 
   /// O(n) consistency check: to_logical(to_physical(la)) == la for all la.
   [[nodiscard]] bool is_consistent() const;
+
+  /// Crash-recovery serialization. Only the forward map is stored; load
+  /// rebuilds the inverse and throws SnapshotError unless the stored map
+  /// is a permutation of the table's page range.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   std::vector<PhysicalPageAddr> la_to_pa_;

@@ -13,6 +13,9 @@
 
 namespace twl {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class WriteCounterTable {
  public:
   WriteCounterTable(std::uint64_t pages, std::uint32_t counter_bits = 7);
@@ -29,6 +32,10 @@ class WriteCounterTable {
   [[nodiscard]] std::uint32_t max_value() const { return max_; }
   [[nodiscard]] std::uint32_t counter_bits() const { return bits_; }
   [[nodiscard]] std::uint64_t pages() const { return counters_.size(); }
+
+  /// Crash-recovery serialization.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   std::vector<std::uint8_t> counters_;

@@ -1,6 +1,9 @@
 #include "tables/write_number_table.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "recovery/snapshot.h"
 
 namespace twl {
 
@@ -22,6 +25,20 @@ std::vector<LogicalPageAddr> WriteNumberTable::hottest_first() const {
 
 void WriteNumberTable::clear() {
   std::fill(counts_.begin(), counts_.end(), WriteCount{0});
+}
+
+void WriteNumberTable::save_state(SnapshotWriter& w) const {
+  w.put_u64_vec(counts_);
+}
+
+void WriteNumberTable::load_state(SnapshotReader& r) {
+  std::vector<WriteCount> counts = r.get_u64_vec();
+  if (counts.size() != counts_.size()) {
+    throw SnapshotError("write number table size mismatch: snapshot has " +
+                        std::to_string(counts.size()) + " pages, table has " +
+                        std::to_string(counts_.size()));
+  }
+  counts_ = std::move(counts);
 }
 
 }  // namespace twl

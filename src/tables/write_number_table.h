@@ -13,6 +13,9 @@
 
 namespace twl {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class WriteNumberTable {
  public:
   explicit WriteNumberTable(std::uint64_t pages);
@@ -29,6 +32,10 @@ class WriteNumberTable {
   [[nodiscard]] std::vector<LogicalPageAddr> hottest_first() const;
 
   void clear();
+
+  /// Crash-recovery serialization.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   std::vector<WriteCount> counts_;

@@ -1,7 +1,11 @@
 #include "trace/trace_file.h"
 
 #include <cassert>
+#include <cerrno>
 #include <cinttypes>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
 #include <stdexcept>
 
 namespace twl {
@@ -24,28 +28,83 @@ void TraceFileWriter::append(const MemoryRequest& req) {
   ++records_;
 }
 
+namespace {
+
+constexpr const char* kWhitespace = " \t\r";
+
+/// Next whitespace-delimited token starting at or after `pos`; empty when
+/// the line is exhausted. Advances `pos` past the token.
+std::string next_token(const std::string& line, std::size_t& pos) {
+  pos = line.find_first_not_of(kWhitespace, pos);
+  if (pos == std::string::npos) {
+    pos = line.size();
+    return {};
+  }
+  const std::size_t end = line.find_first_of(kWhitespace, pos);
+  const std::size_t stop = (end == std::string::npos) ? line.size() : end;
+  std::string token = line.substr(pos, stop - pos);
+  pos = stop;
+  return token;
+}
+
+[[noreturn]] void parse_fail(const std::string& path, std::uint64_t line_no,
+                             const std::string& what) {
+  throw std::runtime_error(path + ":" + std::to_string(line_no) + ": " +
+                           what);
+}
+
+/// Parses a logical page address, rejecting non-numeric input and values
+/// that overflow the 32-bit page address space — naming the token either
+/// way.
+std::uint32_t parse_page(const std::string& path, std::uint64_t line_no,
+                         const std::string& token) {
+  if (token.empty() || token.find_first_not_of("0123456789") !=
+                           std::string::npos) {
+    parse_fail(path, line_no,
+               "expected a decimal page address, got '" + token + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno == ERANGE || *end != '\0' ||
+      value > std::numeric_limits<std::uint32_t>::max()) {
+    parse_fail(path, line_no,
+               "page address '" + token + "' overflows the 32-bit page space");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
 TraceFileSource::TraceFileSource(const std::string& path) : name_(path) {
-  std::FILE* file = std::fopen(path.c_str(), "r");
-  if (file == nullptr) {
+  std::ifstream file(path);
+  if (!file) {
     throw std::runtime_error("cannot open trace file: " + path);
   }
-  char line[128];
+  std::string line;
   std::uint64_t line_no = 0;
-  while (std::fgets(line, sizeof(line), file) != nullptr) {
+  while (std::getline(file, line)) {
     ++line_no;
-    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
-    char op = 0;
-    std::uint32_t page = 0;
-    if (std::sscanf(line, " %c %" SCNu32, &op, &page) != 2 ||
-        (op != 'R' && op != 'W')) {
-      std::fclose(file);
-      throw std::runtime_error(path + ":" + std::to_string(line_no) +
-                               ": malformed trace line");
+    std::size_t pos = 0;
+    const std::string op = next_token(line, pos);
+    if (op.empty() || op[0] == '#') continue;  // Blank line or comment.
+    if (op != "R" && op != "W") {
+      parse_fail(path, line_no, "expected op 'R' or 'W', got '" + op + "'");
     }
-    records_.push_back(MemoryRequest{op == 'W' ? Op::kWrite : Op::kRead,
+    const std::string addr = next_token(line, pos);
+    if (addr.empty()) {
+      parse_fail(path, line_no,
+                 "truncated line: op '" + op + "' has no page address");
+    }
+    const std::uint32_t page = parse_page(path, line_no, addr);
+    const std::string extra = next_token(line, pos);
+    if (!extra.empty() && extra[0] != '#') {
+      parse_fail(path, line_no,
+                 "trailing garbage after page address: '" + extra + "'");
+    }
+    records_.push_back(MemoryRequest{op == "W" ? Op::kWrite : Op::kRead,
                                      LogicalPageAddr(page)});
   }
-  std::fclose(file);
   if (records_.empty()) {
     throw std::runtime_error("trace file has no records: " + path);
   }

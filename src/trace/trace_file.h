@@ -40,8 +40,10 @@ class TraceFileWriter {
 /// paper's replay-until-wear-out methodology.
 class TraceFileSource final : public RequestSource {
  public:
-  /// Throws std::runtime_error on open failure or parse errors
-  /// (malformed lines report their line number).
+  /// Throws std::runtime_error on open failure or parse errors. Parse
+  /// errors report the file, line number and the offending token —
+  /// truncated lines, non-numeric or overflowing addresses and trailing
+  /// garbage are each diagnosed specifically.
   explicit TraceFileSource(const std::string& path);
 
   [[nodiscard]] std::string name() const override { return name_; }

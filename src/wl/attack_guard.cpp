@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <numeric>
+#include <utility>
+
+#include "recovery/snapshot.h"
 
 namespace twl {
 
@@ -108,6 +111,44 @@ bool AttackGuard::invariants_hold() const {
     if (inverse_perm_[perm_[i]] != i) return false;
   }
   return true;
+}
+
+void AttackGuard::save_state(SnapshotWriter& w) const {
+  inner_->save_state(w);
+  window_filter_.save_state(w);
+  rng_.save_state(w);
+  w.put_u32_vec(perm_);
+  w.put_u64(window_progress_);
+  w.put_u64(suspicious_run_);
+  w.put_u64(stats_.suspicious_writes);
+  w.put_u64(stats_.scrambles);
+  w.put_u64(stats_.windows);
+}
+
+void AttackGuard::load_state(SnapshotReader& r) {
+  inner_->load_state(r);
+  window_filter_.load_state(r);
+  rng_.load_state(r);
+  std::vector<std::uint32_t> perm = r.get_u32_vec();
+  if (perm.size() != perm_.size()) {
+    throw SnapshotError("guard permutation size mismatch");
+  }
+  std::vector<bool> seen(perm.size(), false);
+  for (std::uint32_t la : perm) {
+    if (la >= perm.size() || seen[la]) {
+      throw SnapshotError("guard permutation snapshot is not a permutation");
+    }
+    seen[la] = true;
+  }
+  perm_ = std::move(perm);
+  for (std::uint32_t la = 0; la < perm_.size(); ++la) {
+    inverse_perm_[perm_[la]] = la;
+  }
+  window_progress_ = r.get_u64();
+  suspicious_run_ = r.get_u64();
+  stats_.suspicious_writes = r.get_u64();
+  stats_.scrambles = r.get_u64();
+  stats_.windows = r.get_u64();
 }
 
 void AttackGuard::append_stats(

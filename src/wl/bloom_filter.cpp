@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <utility>
 
 #include "common/rng.h"
+#include "recovery/snapshot.h"
 
 namespace twl {
 
@@ -51,6 +53,21 @@ void CountingBloomFilter::clear() {
 
 void CountingBloomFilter::decay() {
   for (std::uint16_t& c : counters_) c = static_cast<std::uint16_t>(c >> 1);
+}
+
+void CountingBloomFilter::save_state(SnapshotWriter& w) const {
+  w.put_u16_vec(counters_);
+}
+
+void CountingBloomFilter::load_state(SnapshotReader& r) {
+  std::vector<std::uint16_t> counters = r.get_u16_vec();
+  if (counters.size() != counters_.size()) {
+    throw SnapshotError("bloom filter width mismatch: snapshot has " +
+                        std::to_string(counters.size()) +
+                        " counters, filter has " +
+                        std::to_string(counters_.size()));
+  }
+  counters_ = std::move(counters);
 }
 
 }  // namespace twl

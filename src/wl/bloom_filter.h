@@ -13,6 +13,9 @@
 
 namespace twl {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class CountingBloomFilter {
  public:
   CountingBloomFilter(std::uint32_t width, std::uint32_t num_hashes,
@@ -36,6 +39,11 @@ class CountingBloomFilter {
   [[nodiscard]] std::uint64_t storage_bits() const {
     return static_cast<std::uint64_t>(width_) * 16;
   }
+
+  /// Crash-recovery serialization. The hash seeds are derived from the
+  /// construction seed; only the counter array is mutable state.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   [[nodiscard]] std::uint32_t index(LogicalPageAddr la,

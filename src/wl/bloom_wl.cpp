@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "recovery/snapshot.h"
 
 namespace twl {
 
@@ -145,6 +148,38 @@ std::uint32_t BloomWl::storage_bits_per_page() const {
   return 23 + 27 +
          static_cast<std::uint32_t>(filter_bits / std::max<std::uint64_t>(
                                                       1, rt_.pages()));
+}
+
+void BloomWl::save_state(SnapshotWriter& w) const {
+  rt_.save_state(w);
+  et_.save_state(w);
+  hot_filter_.save_state(w);
+  swapped_filter_.save_state(w);
+  w.put_u64_vec(pa_writes_);
+  w.put_u32(hot_threshold_);
+  w.put_u64(epoch_len_);
+  w.put_u64(epoch_progress_);
+  w.put_u64(epochs_);
+  w.put_u64(pages_migrated_);
+  w.put_u64(retirements_);
+}
+
+void BloomWl::load_state(SnapshotReader& r) {
+  rt_.load_state(r);
+  et_.load_state(r);
+  hot_filter_.load_state(r);
+  swapped_filter_.load_state(r);
+  std::vector<WriteCount> pa_writes = r.get_u64_vec();
+  if (pa_writes.size() != pa_writes_.size()) {
+    throw SnapshotError("bwl pa_writes size mismatch");
+  }
+  pa_writes_ = std::move(pa_writes);
+  hot_threshold_ = r.get_u32();
+  epoch_len_ = r.get_u64();
+  epoch_progress_ = r.get_u64();
+  epochs_ = r.get_u64();
+  pages_migrated_ = r.get_u64();
+  retirements_ = r.get_u64();
 }
 
 void BloomWl::append_stats(

@@ -68,6 +68,9 @@ class BloomWl final : public WearLeveler {
     ++retirements_;
   }
 
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
+
   void append_stats(
       std::vector<std::pair<std::string, double>>& out) const override;
 

@@ -42,6 +42,15 @@ std::string to_string(Scheme s) {
   return "unknown";
 }
 
+namespace {
+
+/// Every name parse_scheme accepts, for error messages.
+constexpr const char* kValidSchemeNames =
+    "NOWL, none, StartGap, start-gap, RBSG, SR, WRL, BWL, TWL, TWL_ap, "
+    "TWL_swp, TWL_rnd";
+
+}  // namespace
+
 Scheme parse_scheme(const std::string& name) {
   std::string lower(name);
   std::transform(lower.begin(), lower.end(), lower.begin(),
@@ -55,7 +64,10 @@ Scheme parse_scheme(const std::string& name) {
   if (lower == "twl_ap") return Scheme::kTossUpAdjacent;
   if (lower == "twl" || lower == "twl_swp") return Scheme::kTossUpStrongWeak;
   if (lower == "twl_rnd") return Scheme::kTossUpRandomPair;
-  throw std::invalid_argument("unknown wear-leveling scheme: " + name);
+  throw std::invalid_argument(
+      "unknown wear-leveling scheme: '" + name + "' (valid schemes: " +
+      kValidSchemeNames +
+      "; specs may be prefixed with 'guard:' and/or 'od3p:')");
 }
 
 std::vector<Scheme> all_schemes() {

@@ -24,6 +24,11 @@ class NoWl final : public WearLeveler {
     return 0;
   }
 
+  // The identity mapping has no mutable state; the snapshot payload is
+  // empty and recovery is a pure journal replay.
+  void save_state(SnapshotWriter& w) const override { (void)w; }
+  void load_state(SnapshotReader& r) override { (void)r; }
+
  private:
   std::uint64_t pages_;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "recovery/snapshot.h"
+
 namespace twl {
 
 /// Sink adapter placed between the inner scheme and the real sink: every
@@ -123,6 +125,49 @@ bool Od3pWrapper::invariants_hold() const {
     if (redirect(PhysicalPageAddr(i)) == PhysicalPageAddr(i)) return false;
   }
   return true;
+}
+
+void Od3pWrapper::save_state(SnapshotWriter& w) const {
+  inner_->save_state(w);
+  w.put_u32_vec(forward_);
+  std::vector<std::uint8_t> dead(dead_.size());
+  for (std::size_t i = 0; i < dead_.size(); ++i) dead[i] = dead_[i] ? 1 : 0;
+  w.put_u8_vec(dead);
+  std::vector<std::uint64_t> headroom;
+  headroom.reserve(headroom_.size());
+  for (std::int64_t h : headroom_) {
+    headroom.push_back(static_cast<std::uint64_t>(h));
+  }
+  w.put_u64_vec(headroom);
+  w.put_u64(stats_.failures_handled);
+  w.put_u64(stats_.salvage_migrations);
+  w.put_u64(stats_.redirected_writes);
+  w.put_u32(stats_.dead_pages);
+}
+
+void Od3pWrapper::load_state(SnapshotReader& r) {
+  inner_->load_state(r);
+  std::vector<std::uint32_t> forward = r.get_u32_vec();
+  const std::vector<std::uint8_t> dead = r.get_u8_vec();
+  const std::vector<std::uint64_t> headroom = r.get_u64_vec();
+  if (forward.size() != forward_.size() || dead.size() != dead_.size() ||
+      headroom.size() != headroom_.size()) {
+    throw SnapshotError("od3p table size mismatch");
+  }
+  for (std::uint32_t hop : forward) {
+    if (hop >= forward.size()) {
+      throw SnapshotError("od3p redirect entry out of range");
+    }
+  }
+  forward_ = std::move(forward);
+  for (std::size_t i = 0; i < dead.size(); ++i) dead_[i] = dead[i] != 0;
+  for (std::size_t i = 0; i < headroom.size(); ++i) {
+    headroom_[i] = static_cast<std::int64_t>(headroom[i]);
+  }
+  stats_.failures_handled = r.get_u64();
+  stats_.salvage_migrations = r.get_u64();
+  stats_.redirected_writes = r.get_u64();
+  stats_.dead_pages = r.get_u32();
 }
 
 void Od3pWrapper::append_stats(

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "recovery/snapshot.h"
+
 namespace twl {
 
 namespace {
@@ -126,6 +128,30 @@ bool RbsgWl::invariants_hold() const {
     used[pa] = true;
   }
   return true;
+}
+
+void RbsgWl::save_state(SnapshotWriter& w) const {
+  w.put_u64(regions_);
+  w.put_u32(region_key_);
+  w.put_u32(params_.security_level);
+  for (const Region& region : state_) {
+    region.gap.save_state(w);
+    w.put_u32(region.writes_since_move);
+  }
+}
+
+void RbsgWl::load_state(SnapshotReader& r) {
+  r.expect_u64(regions_, "rbsg.regions");
+  region_key_ = r.get_u32();
+  if (region_key_ >= regions_ && region_key_ != 0) {
+    throw SnapshotError("rbsg region key out of range");
+  }
+  params_.security_level = std::clamp<std::uint32_t>(
+      r.get_u32(), 1, params_.gap_write_interval);
+  for (Region& region : state_) {
+    region.gap.load_state(r);
+    region.writes_since_move = r.get_u32();
+  }
 }
 
 void RbsgWl::append_stats(

@@ -48,6 +48,9 @@ class RbsgWl final : public WearLeveler {
 
   [[nodiscard]] bool invariants_hold() const override;
 
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
+
   void append_stats(
       std::vector<std::pair<std::string, double>>& out) const override;
 

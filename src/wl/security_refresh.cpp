@@ -6,6 +6,8 @@
 #include <cmath>
 #include <utility>
 
+#include "recovery/snapshot.h"
+
 namespace twl {
 
 SrRegionState::SrRegionState(std::uint32_t size, XorShift64Star& rng)
@@ -42,6 +44,21 @@ void SrRegionState::commit_refresh(XorShift64Star& rng) {
     k0_ = k1_;
     k1_ = static_cast<std::uint32_t>(rng.next()) & mask_;
     rp_ = 0;
+  }
+}
+
+void SrRegionState::save_state(SnapshotWriter& w) const {
+  w.put_u32(k0_);
+  w.put_u32(k1_);
+  w.put_u32(rp_);
+}
+
+void SrRegionState::load_state(SnapshotReader& r) {
+  k0_ = r.get_u32();
+  k1_ = r.get_u32();
+  rp_ = r.get_u32();
+  if ((k0_ & ~mask_) != 0 || (k1_ & ~mask_) != 0 || rp_ >= size_) {
+    throw SnapshotError("security-refresh region state out of range");
   }
 }
 
@@ -177,6 +194,34 @@ bool SecurityRefresh::invariants_hold() const {
     used[pa] = true;
   }
   return true;
+}
+
+void SecurityRefresh::save_state(SnapshotWriter& w) const {
+  w.put_u64(regions_);
+  w.put_u64(outer_.size());
+  rng_.save_state(w);
+  for (const SrRegionState& region : inner_) region.save_state(w);
+  w.put_u32_vec(inner_writes_);
+  for (const SrRegionState& region : outer_) region.save_state(w);
+  w.put_u64(outer_writes_);
+  w.put_u64(refresh_swaps_);
+  w.put_u64(outer_swaps_);
+}
+
+void SecurityRefresh::load_state(SnapshotReader& r) {
+  r.expect_u64(regions_, "sr.regions");
+  r.expect_u64(outer_.size(), "sr.outer_levels");
+  rng_.load_state(r);
+  for (SrRegionState& region : inner_) region.load_state(r);
+  const std::vector<std::uint32_t> writes = r.get_u32_vec();
+  if (writes.size() != inner_writes_.size()) {
+    throw SnapshotError("sr inner write counter count mismatch");
+  }
+  inner_writes_ = writes;
+  for (SrRegionState& region : outer_) region.load_state(r);
+  outer_writes_ = r.get_u64();
+  refresh_swaps_ = r.get_u64();
+  outer_swaps_ = r.get_u64();
 }
 
 void SecurityRefresh::append_stats(

@@ -53,6 +53,10 @@ class SrRegionState {
   [[nodiscard]] std::uint32_t size() const { return size_; }
   [[nodiscard]] std::uint32_t refresh_pointer() const { return rp_; }
 
+  /// Crash-recovery serialization (keys and refresh pointer).
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
+
  private:
   [[nodiscard]] bool refreshed(std::uint32_t ma) const;
 
@@ -85,6 +89,9 @@ class SecurityRefresh final : public WearLeveler {
   }
 
   [[nodiscard]] bool invariants_hold() const override;
+
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
   void append_stats(
       std::vector<std::pair<std::string, double>>& out) const override;

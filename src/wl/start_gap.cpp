@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "recovery/snapshot.h"
+
 namespace twl {
 
 StartGap::StartGap(std::uint64_t frames, const StartGapParams& params)
@@ -53,6 +55,25 @@ bool StartGap::invariants_hold() const {
     used[pa] = true;
   }
   return true;
+}
+
+void StartGap::save_state(SnapshotWriter& w) const {
+  w.put_u64(frames_);
+  w.put_u64(gap_);
+  w.put_u64(start_);
+  w.put_u32(writes_since_move_);
+  w.put_u64(gap_moves_);
+}
+
+void StartGap::load_state(SnapshotReader& r) {
+  r.expect_u64(frames_, "start_gap.frames");
+  gap_ = r.get_u64();
+  start_ = r.get_u64();
+  writes_since_move_ = r.get_u32();
+  gap_moves_ = r.get_u64();
+  if (gap_ >= frames_ || start_ >= logical_pages()) {
+    throw SnapshotError("start-gap registers out of range");
+  }
 }
 
 void StartGap::append_stats(

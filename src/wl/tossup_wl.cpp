@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "recovery/snapshot.h"
 
 namespace twl {
 
@@ -164,6 +167,45 @@ void TossUpWl::on_page_retired(PhysicalPageAddr pa, PhysicalPageAddr spare,
   et_.set_endurance(pa, spare_endurance);
   if (!pa_writes_.empty()) pa_writes_[pa.value()] = 0;
   ++retirements_;
+}
+
+void TossUpWl::save_state(SnapshotWriter& w) const {
+  rt_.save_state(w);
+  et_.save_state(w);
+  wct_.save_state(w);
+  rng_.save_state(w);
+  interpair_rng_.save_state(w);
+  w.put_u32(interval_);
+  w.put_u64_vec(pa_writes_);
+  w.put_u64(demand_writes_);
+  w.put_u64(tossups_);
+  w.put_u64(tossup_swaps_);
+  w.put_u64(interpair_swaps_);
+  w.put_u64(window_swaps_);
+  w.put_u64(interval_adaptations_);
+  w.put_u64(retirements_);
+}
+
+void TossUpWl::load_state(SnapshotReader& r) {
+  rt_.load_state(r);
+  et_.load_state(r);
+  wct_.load_state(r);
+  rng_.load_state(r);
+  interpair_rng_.load_state(r);
+  interval_ = r.get_u32();
+  if (interval_ < 1) throw SnapshotError("twl interval out of range");
+  std::vector<WriteCount> pa_writes = r.get_u64_vec();
+  if (pa_writes.size() != pa_writes_.size()) {
+    throw SnapshotError("twl pa_writes size mismatch");
+  }
+  pa_writes_ = std::move(pa_writes);
+  demand_writes_ = r.get_u64();
+  tossups_ = r.get_u64();
+  tossup_swaps_ = r.get_u64();
+  interpair_swaps_ = r.get_u64();
+  window_swaps_ = r.get_u64();
+  interval_adaptations_ = r.get_u64();
+  retirements_ = r.get_u64();
 }
 
 void TossUpWl::append_stats(

@@ -79,6 +79,9 @@ class TossUpWl final : public WearLeveler {
                        std::uint64_t spare_endurance,
                        WriteSink& sink) override;
 
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
+
   void append_stats(
       std::vector<std::pair<std::string, double>>& out) const override;
 

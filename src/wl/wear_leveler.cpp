@@ -1,6 +1,20 @@
 #include "wl/wear_leveler.h"
 
+#include <stdexcept>
+
 namespace twl {
+
+void WearLeveler::save_state(SnapshotWriter& w) const {
+  (void)w;
+  throw std::logic_error("scheme '" + name() +
+                         "' does not implement save_state");
+}
+
+void WearLeveler::load_state(SnapshotReader& r) {
+  (void)r;
+  throw std::logic_error("scheme '" + name() +
+                         "' does not implement load_state");
+}
 
 std::string to_string(WritePurpose p) {
   switch (p) {

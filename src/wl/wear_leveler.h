@@ -21,6 +21,9 @@
 
 namespace twl {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Why a physical write happened; the controller aggregates per-purpose
 /// counts, and the attacker observes the extra latency.
 enum class WritePurpose : std::uint8_t {
@@ -71,6 +74,19 @@ class WriteSink {
   /// Bracket a whole-memory blocking reorganization.
   virtual void begin_blocking() {}
   virtual void end_blocking() {}
+};
+
+/// Discards every physical effect. Used by crash recovery to replay
+/// journaled demand writes: the scheme's metadata mutations (and RNG
+/// draws) re-execute exactly, while the device — whose wear is
+/// non-volatile and already reflects the writes — is left untouched.
+class NullWriteSink final : public WriteSink {
+ public:
+  void demand_write(PhysicalPageAddr, LogicalPageAddr) override {}
+  void migrate(PhysicalPageAddr, PhysicalPageAddr, WritePurpose) override {}
+  void swap_pages(PhysicalPageAddr, PhysicalPageAddr, WritePurpose) override {
+  }
+  void engine_delay(Cycles) override {}
 };
 
 class WearLeveler {
@@ -127,6 +143,16 @@ class WearLeveler {
     (void)spare_endurance;
     (void)sink;
   }
+
+  /// Serializes the scheme's complete mutable state — mapping tables,
+  /// registers, counters, RNG streams — into `w` such that load_state on a
+  /// freshly constructed instance of the same configuration reproduces the
+  /// scheme byte-for-byte (the round-trip save(load(save(x))) == save(x)
+  /// must hold, and future behaviour must be indistinguishable). The
+  /// defaults throw: every registered scheme overrides both, and the
+  /// overrides are what crash recovery (src/recovery/) is built on.
+  virtual void save_state(SnapshotWriter& w) const;
+  virtual void load_state(SnapshotReader& r);
 
   /// Scheme-specific counters for reports, as (label, value) pairs.
   virtual void append_stats(

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "recovery/snapshot.h"
 
 namespace twl {
 
@@ -99,6 +102,38 @@ void WearRateLeveling::run_swap_phase(WriteSink& sink) {
     pages_migrated_ += 2;
   }
   sink.end_blocking();
+}
+
+void WearRateLeveling::save_state(SnapshotWriter& w) const {
+  rt_.save_state(w);
+  et_.save_state(w);
+  wnt_.save_state(w);
+  w.put_u64_vec(pa_writes_);
+  w.put_u8(static_cast<std::uint8_t>(phase_));
+  w.put_u64(phase_progress_);
+  w.put_u64(swap_phases_);
+  w.put_u64(pages_migrated_);
+  w.put_u64(retirements_);
+}
+
+void WearRateLeveling::load_state(SnapshotReader& r) {
+  rt_.load_state(r);
+  et_.load_state(r);
+  wnt_.load_state(r);
+  std::vector<WriteCount> pa_writes = r.get_u64_vec();
+  if (pa_writes.size() != pa_writes_.size()) {
+    throw SnapshotError("wrl pa_writes size mismatch");
+  }
+  pa_writes_ = std::move(pa_writes);
+  const std::uint8_t phase = r.get_u8();
+  if (phase > static_cast<std::uint8_t>(Phase::kRunning)) {
+    throw SnapshotError("wrl phase out of range");
+  }
+  phase_ = static_cast<Phase>(phase);
+  phase_progress_ = r.get_u64();
+  swap_phases_ = r.get_u64();
+  pages_migrated_ = r.get_u64();
+  retirements_ = r.get_u64();
 }
 
 void WearRateLeveling::append_stats(

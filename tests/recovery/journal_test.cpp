@@ -1,0 +1,117 @@
+#include "recovery/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace twl {
+namespace {
+
+TEST(Journal, EmptyScanIsCleanAndEmpty) {
+  const JournalScan scan = scan_journal({});
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+TEST(Journal, RoundTripsAllRecordTypes) {
+  MetadataJournal journal;
+  journal.append_write_begin(7, LogicalPageAddr(42));
+  journal.append_swap_intent(PhysicalPageAddr(1), PhysicalPageAddr(2),
+                             SwapKind::kExchange);
+  journal.append_swap_commit();
+  journal.append_swap_intent(PhysicalPageAddr(3), PhysicalPageAddr(4),
+                             SwapKind::kMigrate);
+  journal.append_swap_commit();
+  journal.append_write_commit(7);
+
+  const JournalScan scan = scan_journal(journal.bytes());
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.valid_bytes, journal.bytes().size());
+  ASSERT_EQ(scan.records.size(), 6u);
+
+  EXPECT_EQ(scan.records[0].type, JournalRecordType::kWriteBegin);
+  EXPECT_EQ(scan.records[0].seq, 7u);
+  EXPECT_EQ(scan.records[0].la.value(), 42u);
+  EXPECT_EQ(scan.records[1].type, JournalRecordType::kSwapIntent);
+  EXPECT_EQ(scan.records[1].pa_a.value(), 1u);
+  EXPECT_EQ(scan.records[1].pa_b.value(), 2u);
+  EXPECT_EQ(scan.records[1].kind, SwapKind::kExchange);
+  EXPECT_EQ(scan.records[2].type, JournalRecordType::kSwapCommit);
+  EXPECT_EQ(scan.records[3].kind, SwapKind::kMigrate);
+  EXPECT_EQ(scan.records[5].type, JournalRecordType::kWriteCommit);
+  EXPECT_EQ(scan.records[5].seq, 7u);
+}
+
+TEST(Journal, EveryTruncationPointScansCleanPrefix) {
+  MetadataJournal journal;
+  journal.append_write_begin(1, LogicalPageAddr(5));
+  journal.append_swap_intent(PhysicalPageAddr(0), PhysicalPageAddr(9),
+                             SwapKind::kExchange);
+  journal.append_swap_commit();
+  journal.append_write_commit(1);
+  const std::vector<std::uint8_t>& bytes = journal.bytes();
+
+  // Record boundaries are the only cut points with no torn tail.
+  std::size_t clean_cuts = 0;
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() + cut);
+    const JournalScan scan = scan_journal(prefix);
+    EXPECT_LE(scan.valid_bytes, cut);
+    EXPECT_EQ(scan.torn_tail, scan.valid_bytes != cut);
+    if (!scan.torn_tail) ++clean_cuts;
+    // Records never change retroactively: the scan of a prefix is a
+    // prefix of the full scan.
+    EXPECT_LE(scan.records.size(), 4u);
+  }
+  EXPECT_EQ(clean_cuts, 5u);  // Empty prefix + one per record.
+}
+
+TEST(Journal, DetectsCorruptedRecord) {
+  MetadataJournal journal;
+  journal.append_write_begin(1, LogicalPageAddr(5));
+  journal.append_write_commit(1);
+  std::vector<std::uint8_t> bytes = journal.bytes();
+  bytes[3] ^= 0xFF;  // Flip a payload byte of the first record.
+  const JournalScan scan = scan_journal(bytes);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+TEST(Journal, StopsAtGarbageTail) {
+  MetadataJournal journal;
+  journal.append_write_begin(1, LogicalPageAddr(5));
+  journal.append_write_commit(1);
+  std::vector<std::uint8_t> bytes = journal.bytes();
+  const std::size_t clean = bytes.size();
+  bytes.insert(bytes.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+  const JournalScan scan = scan_journal(bytes);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.valid_bytes, clean);
+}
+
+TEST(Journal, TruncateKeepsLifetimeTotals) {
+  MetadataJournal journal;
+  journal.append_write_begin(1, LogicalPageAddr(0));
+  journal.append_write_commit(1);
+  const std::uint64_t bytes_before = journal.total_bytes_appended();
+  EXPECT_GT(bytes_before, 0u);
+  journal.truncate();
+  EXPECT_TRUE(journal.bytes().empty());
+  EXPECT_EQ(journal.total_bytes_appended(), bytes_before);
+  EXPECT_EQ(journal.total_records_appended(), 2u);
+  EXPECT_EQ(journal.truncations(), 1u);
+
+  journal.append_write_begin(2, LogicalPageAddr(1));
+  EXPECT_GT(journal.total_bytes_appended(), bytes_before);
+  const JournalScan scan = scan_journal(journal.bytes());
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].seq, 2u);
+}
+
+}  // namespace
+}  // namespace twl

@@ -56,14 +56,94 @@ TEST_F(TraceFileTest, SkipsCommentsAndBlankLines) {
   EXPECT_EQ(source.records(), 2u);
 }
 
+// Opens the trace expecting a parse failure; returns the error message.
+std::string parse_error(const std::string& path) {
+  try {
+    TraceFileSource source(path);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected TraceFileSource to throw";
+  return {};
+}
+
 TEST_F(TraceFileTest, RejectsMalformedLines) {
   write_file("W 1\nX 2\n");
-  EXPECT_THROW(TraceFileSource{path_}, std::runtime_error);
+  const std::string what = parse_error(path_);
+  // The diagnostic names the file, the line and the offending token.
+  EXPECT_NE(what.find(path_ + ":2"), std::string::npos) << what;
+  EXPECT_NE(what.find("'X'"), std::string::npos) << what;
+}
+
+TEST_F(TraceFileTest, RejectsTruncatedLine) {
+  write_file("W 1\nW\n");
+  const std::string what = parse_error(path_);
+  EXPECT_NE(what.find(":2"), std::string::npos) << what;
+  EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+}
+
+TEST_F(TraceFileTest, RejectsNonNumericAddress) {
+  write_file("W 1\nR banana\n");
+  const std::string what = parse_error(path_);
+  EXPECT_NE(what.find(":2"), std::string::npos) << what;
+  EXPECT_NE(what.find("'banana'"), std::string::npos) << what;
+}
+
+TEST_F(TraceFileTest, RejectsNegativeAddress) {
+  write_file("W -3\n");
+  const std::string what = parse_error(path_);
+  EXPECT_NE(what.find("'-3'"), std::string::npos) << what;
+}
+
+TEST_F(TraceFileTest, RejectsOverflowingAddress) {
+  // One past UINT32_MAX, and something far beyond even uint64.
+  write_file("W 4294967296\n");
+  const std::string what = parse_error(path_);
+  EXPECT_NE(what.find("'4294967296'"), std::string::npos) << what;
+  EXPECT_NE(what.find("overflow"), std::string::npos) << what;
+
+  write_file("W 99999999999999999999999999\n");
+  const std::string what2 = parse_error(path_);
+  EXPECT_NE(what2.find("overflow"), std::string::npos) << what2;
+}
+
+TEST_F(TraceFileTest, AcceptsMaxAddress) {
+  write_file("W 4294967295\n");
+  TraceFileSource source(path_);
+  EXPECT_EQ(source.next().addr.value(), 4294967295u);
+}
+
+TEST_F(TraceFileTest, RejectsTrailingGarbage) {
+  write_file("W 1 stray\n");
+  const std::string what = parse_error(path_);
+  EXPECT_NE(what.find("'stray'"), std::string::npos) << what;
+  EXPECT_NE(what.find("trailing"), std::string::npos) << what;
+}
+
+TEST_F(TraceFileTest, AcceptsInlineComments) {
+  write_file("W 1 # the hot page\nR 2\n");
+  TraceFileSource source(path_);
+  EXPECT_EQ(source.records(), 2u);
+}
+
+TEST_F(TraceFileTest, RejectsEmptyFile) {
+  write_file("");
+  const std::string what = parse_error(path_);
+  EXPECT_NE(what.find("no records"), std::string::npos) << what;
 }
 
 TEST_F(TraceFileTest, RejectsEmptyTrace) {
   write_file("# nothing here\n");
   EXPECT_THROW(TraceFileSource{path_}, std::runtime_error);
+}
+
+TEST_F(TraceFileTest, HandlesLongLinesAndCrLf) {
+  // The old parser read through a 128-byte buffer; long comments and
+  // Windows line endings must both survive.
+  write_file("# " + std::string(500, 'x') + "\nW 7\r\nR 8\r\n");
+  TraceFileSource source(path_);
+  EXPECT_EQ(source.records(), 2u);
+  EXPECT_EQ(source.next().addr.value(), 7u);
 }
 
 TEST_F(TraceFileTest, MissingFileThrows) {

@@ -38,6 +38,24 @@ TEST(Factory, RejectsUnknownNames) {
   EXPECT_THROW((void)parse_scheme(""), std::invalid_argument);
 }
 
+TEST(Factory, UnknownSchemeErrorListsValidNames) {
+  std::string what;
+  try {
+    (void)parse_scheme("FTL");
+  } catch (const std::invalid_argument& e) {
+    what = e.what();
+  }
+  // The error names the rejected input and every accepted scheme name, so
+  // a typo on the command line is self-correcting.
+  EXPECT_NE(what.find("'FTL'"), std::string::npos) << what;
+  for (const Scheme s : all_schemes()) {
+    EXPECT_NE(what.find(to_string(s)), std::string::npos)
+        << what << " missing " << to_string(s);
+  }
+  EXPECT_NE(what.find("guard:"), std::string::npos) << what;
+  EXPECT_NE(what.find("od3p:"), std::string::npos) << what;
+}
+
 TEST(Factory, RoundTripsThroughToString) {
   for (const Scheme s : all_schemes()) {
     EXPECT_EQ(parse_scheme(to_string(s)), s);
