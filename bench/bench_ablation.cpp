@@ -3,7 +3,6 @@
 //  2. 2-write migrate-then-write swap vs the naive 3-write swap;
 //  3. inter-pair swap interval sweep (default 128);
 //  4. endurance-table quantization width and its effect on the toss bias.
-#include <cstdio>
 #include <vector>
 
 #include "analysis/extrapolate.h"
@@ -35,9 +34,10 @@ AttackCellOut attack_years(const Config& config, Scheme scheme,
           result.demand_writes};
 }
 
-void pairing_ablation(const bench::BenchSetup& setup, SimRunner& runner) {
-  std::printf("%s", heading("Ablation 1: pairing policy under attack "
-                            "(lifetime, years)").c_str());
+void pairing_ablation(const bench::BenchSetup& setup, SimRunner& runner,
+                      ReportBuilder& rep) {
+  rep.raw_text(heading("Ablation 1: pairing policy under attack "
+                            "(lifetime, years)"));
   const auto attacks = all_attack_names();
   const std::vector<Scheme> policies = {Scheme::kTossUpAdjacent,
                                         Scheme::kTossUpStrongWeak,
@@ -65,13 +65,13 @@ void pairing_ablation(const bench::BenchSetup& setup, SimRunner& runner) {
     }
     t.add_row(std::move(row));
   }
-  std::printf("%s", t.to_string().c_str());
+  rep.table("pairing_policy", t);
 }
 
-void swap_cost_ablation(const bench::BenchSetup& setup, SimRunner& runner) {
-  std::printf("%s",
-              heading("Ablation 2: 2-write vs naive 3-write swap-then-write")
-                  .c_str());
+void swap_cost_ablation(const bench::BenchSetup& setup, SimRunner& runner,
+                        ReportBuilder& rep) {
+  rep.raw_text(
+      heading("Ablation 2: 2-write vs naive 3-write swap-then-write"));
   const std::vector<bool> variants = {true, false};
   struct Out {
     double amplification = 0.0;
@@ -104,12 +104,13 @@ void swap_cost_ablation(const bench::BenchSetup& setup, SimRunner& runner) {
                fmt_double(out[v].amplification, 3),
                fmt_lifetime_years(out[v].years)});
   }
-  std::printf("%s", t.to_string().c_str());
+  rep.table("swap_cost", t);
 }
 
-void interpair_ablation(const bench::BenchSetup& setup, SimRunner& runner) {
-  std::printf("%s", heading("Ablation 3: inter-pair swap interval "
-                            "(repeat attack)").c_str());
+void interpair_ablation(const bench::BenchSetup& setup, SimRunner& runner,
+                        ReportBuilder& rep) {
+  rep.raw_text(heading("Ablation 3: inter-pair swap interval "
+                            "(repeat attack)"));
   const std::vector<std::uint32_t> intervals = {0, 32, 64, 128, 256, 512};
   struct Out {
     double years = 0.0;
@@ -141,17 +142,17 @@ void interpair_ablation(const bench::BenchSetup& setup, SimRunner& runner) {
                fmt_lifetime_years(out[i].years),
                fmt_percent(out[i].extra_frac, 1)});
   }
-  std::printf("%s", t.to_string().c_str());
-  std::printf("paper setting: 128 [12]\n");
+  rep.table("interpair_interval", t);
+  rep.note("paper setting: 128 [12]\n");
 }
 
 void attack_sensitivity_ablation(const bench::BenchSetup& setup,
-                                 SimRunner& runner) {
+                                 SimRunner& runner, ReportBuilder& rep) {
   // Section 3.2's robustness claims: the attack does not depend on the
   // victim's phase lengths (the adaptive variant retargets its round to
   // the observed swap cadence) nor on a particular address count.
-  std::printf("%s", heading("Ablation 5: inconsistent-attack sensitivity "
-                            "(victim: BWL)").c_str());
+  rep.raw_text(heading("Ablation 5: inconsistent-attack sensitivity "
+                            "(victim: BWL)"));
   struct Variant {
     std::string label;
     std::uint32_t num_addrs;  // 0 = whole space.
@@ -190,15 +191,15 @@ void attack_sensitivity_ablation(const bench::BenchSetup& setup,
   for (std::size_t v = 0; v < variants.size(); ++v) {
     t.add_row({variants[v].label, fmt_lifetime_years(out[v])});
   }
-  std::printf("%s", t.to_string().c_str());
-  std::printf("(reference: BWL survives ~3-4 years under non-inconsistent "
-              "attacks at this scale)\n");
+  rep.table("attack_sensitivity", t);
+  rep.note("(reference: BWL survives ~3-4 years under non-inconsistent "
+           "attacks at this scale)\n");
 }
 
 void quantization_ablation(const bench::BenchSetup& setup,
-                           SimRunner& runner) {
-  std::printf("%s", heading("Ablation 4: endurance-table width "
-                            "(random attack)").c_str());
+                           SimRunner& runner, ReportBuilder& rep) {
+  rep.raw_text(heading("Ablation 4: endurance-table width "
+                            "(random attack)"));
   const std::vector<std::uint32_t> widths = {8, 12, 16, 27};
   std::vector<double> out(widths.size(), 0.0);
   std::vector<SimCell> cells;
@@ -219,18 +220,18 @@ void quantization_ablation(const bench::BenchSetup& setup,
   for (std::size_t w = 0; w < widths.size(); ++w) {
     t.add_row({std::to_string(widths[w]), fmt_lifetime_years(out[w])});
   }
-  std::printf("%s", t.to_string().c_str());
-  std::printf("paper setting: 27 bits\n");
+  rep.table("et_quantization", t);
+  rep.note("paper setting: 27 bits\n");
 }
 
 void measurement_noise_ablation(const bench::BenchSetup& setup,
-                                SimRunner& runner) {
+                                SimRunner& runner, ReportBuilder& rep) {
   // The paper assumes the manufacturer's endurance test is exact. How
   // much measurement error can the toss-up bias tolerate? The device
   // wears by ground truth; the scheme (ET + strong-weak pairing) sees
   // E * (1 + noise).
-  std::printf("%s", heading("Ablation 6: endurance measurement error "
-                            "(repeat attack, TWL_swp)").c_str());
+  rep.raw_text(heading("Ablation 6: endurance measurement error "
+                            "(repeat attack, TWL_swp)"));
   const double ideal = RealSystem{}.ideal_lifetime_years;
   const EnduranceMap truth(setup.pages, setup.config.endurance,
                            setup.config.seed);
@@ -272,9 +273,9 @@ void measurement_noise_ablation(const bench::BenchSetup& setup,
   for (std::size_t n = 0; n < noises.size(); ++n) {
     t.add_row({fmt_percent(noises[n], 0), fmt_lifetime_years(out[n])});
   }
-  std::printf("%s", t.to_string().c_str());
-  std::printf("(the bias needs only the endurance *ratio*, so moderate "
-              "test error costs little)\n");
+  rep.table("measurement_noise", t);
+  rep.note("(the bias needs only the endurance *ratio*, so moderate "
+           "test error costs little)\n");
 }
 
 }  // namespace
@@ -290,22 +291,26 @@ constexpr const char kUsage[] =
     "  --seed S        RNG seed (default 20170618)\n"
     "  --jobs N        parallel simulation cells (default: all cores; "
     "1 = serial)\n"
+    "  --format F      report format: text (default), json, csv\n"
+    "  --out FILE      write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
   using namespace twl;
   const auto setup = bench::make_setup(args, 1024, 32768);
+  ReportBuilder rep = bench::make_reporter("bench_ablation", args);
   bench::check_unconsumed(args);
-  bench::print_banner("Ablations of TWL design choices", setup);
+  bench::report_banner(rep, "Ablations of TWL design choices", setup);
 
   SimRunner runner(setup.jobs);
-  pairing_ablation(setup, runner);
-  swap_cost_ablation(setup, runner);
-  interpair_ablation(setup, runner);
-  quantization_ablation(setup, runner);
-  attack_sensitivity_ablation(setup, runner);
-  measurement_noise_ablation(setup, runner);
-  bench::print_runner_footer(runner.report());
+  pairing_ablation(setup, runner, rep);
+  swap_cost_ablation(setup, runner, rep);
+  interpair_ablation(setup, runner, rep);
+  quantization_ablation(setup, runner, rep);
+  attack_sensitivity_ablation(setup, runner, rep);
+  measurement_noise_ablation(setup, runner, rep);
+  bench::report_runner_footer(rep, runner.report());
+  rep.finish();
   return 0;
 }
 

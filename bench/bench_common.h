@@ -12,6 +12,7 @@
 #include "common/config.h"
 #include "common/sim_runner.h"
 #include "analysis/report.h"
+#include "obs/report.h"
 
 namespace twl::bench {
 
@@ -28,6 +29,21 @@ struct BenchSetup {
 inline constexpr const char kJobsUsage[] =
     "  --jobs N               parallel simulation cells (default: all "
     "cores; 1 = serial)\n";
+
+/// Usage text shared by every binary for the reporting flags.
+inline constexpr const char kReportUsage[] =
+    "  --format F             report format: text (default), json, csv\n"
+    "  --out FILE             write the report to FILE instead of stdout\n";
+
+/// Builds the binary's ReportBuilder from --format / --out. Text format
+/// (the default) streams the exact legacy bytes; json/csv emit one
+/// twl-report/1 document at finish().
+inline ReportBuilder make_reporter(const std::string& binary,
+                                   const CliArgs& args) {
+  return ReportBuilder(binary,
+                       parse_report_format(args.get_or("format", "text")),
+                       args.get_or("out", ""));
+}
 
 /// Flags: --pages, --endurance, --sigma, --seed, --jobs. Each bench adds
 /// its own. Count-like flags reject negatives at parse time (a negative
@@ -78,6 +94,38 @@ inline void print_runner_footer(const RunnerReport& r) {
       r.cells, r.jobs, r.wall_seconds, r.cells_per_second(),
       r.demand_writes_per_second(), r.cell_seconds_sum,
       r.parallel_speedup(), r.cell_seconds_max);
+}
+
+/// Reporter-based banner: records the title and scaled-device config in
+/// the report AND (text mode) prints byte-identical legacy banner output.
+inline void report_banner(ReportBuilder& rep, const std::string& title,
+                          const BenchSetup& setup) {
+  rep.begin_report(title);
+  rep.raw_text(heading(title));
+  rep.raw_text(strfmt(
+      "scaled device: %llu pages x %uKB, endurance mean %.0f (sigma "
+      "%.0f%%), seed %llu\n"
+      "real system:   32GB PCM, endurance mean 1e8 (sigma 11%%) — results\n"
+      "               extrapolate via lifetime fractions (see "
+      "EXPERIMENTS.md)\n\n",
+      static_cast<unsigned long long>(setup.config.geometry.pages()),
+      setup.config.geometry.page_bytes / 1024,
+      setup.config.endurance.mean,
+      setup.config.endurance.sigma_frac * 100.0,
+      static_cast<unsigned long long>(setup.config.seed)));
+  rep.config_entry("pages", setup.config.geometry.pages());
+  rep.config_entry("page_bytes", setup.config.geometry.page_bytes);
+  rep.config_entry("endurance_mean", setup.config.endurance.mean);
+  rep.config_entry("endurance_sigma_frac",
+                   setup.config.endurance.sigma_frac);
+  rep.config_entry("seed", setup.config.seed);
+  rep.config_entry("jobs", setup.jobs);
+}
+
+/// Reporter-based runner footer: records the timing in the report AND
+/// (text mode) prints the byte-identical legacy [runner] lines.
+inline void report_runner_footer(ReportBuilder& rep, const RunnerReport& r) {
+  rep.runner(r);
 }
 
 /// Throw on mistyped flags so sweep scripts fail loudly — run_cli_main

@@ -6,7 +6,6 @@
 // exhausted). Schemes that spread wear evenly retire their pages late and
 // close together; schemes with hot spots start retiring early but keep
 // limping along on spares.
-#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -32,6 +31,8 @@ constexpr const char kUsage[] =
     "  --max-writes W  demand-write cap per run\n"
     "  --jobs N        parallel simulation cells (default: all cores; "
     "1 = serial)\n"
+    "  --format F      report format: text (default), json, csv\n"
+    "  --out FILE      write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -41,6 +42,7 @@ int run_impl(const twl::CliArgs& args) {
   const double spare_frac = args.get_double_or("spare-frac", 0.12);
   const auto max_demand =
       static_cast<WriteCount>(args.get_uint_or("max-writes", 1ull << 40));
+  ReportBuilder rep = bench::make_reporter("bench_degradation", args);
   bench::check_unconsumed(args);
 
   setup.config.fault.ecp_k = ecp_k;
@@ -51,14 +53,17 @@ int run_impl(const twl::CliArgs& args) {
     ++setup.config.fault.spare_pages;
   }
 
-  bench::print_banner("Graceful degradation (ECP + spare-pool retirement)",
-                      setup);
-  std::printf(
+  bench::report_banner(
+      rep, "Graceful degradation (ECP + spare-pool retirement)", setup);
+  rep.config_entry("ecp_k", ecp_k);
+  rep.config_entry("spare_pages", setup.config.fault.spare_pages);
+  rep.config_entry("max_writes", max_demand);
+  rep.note(strfmt(
       "fault model: ECP-%u, first stuck cell at endurance, spare pool %llu "
       "pages (%.0f%% of device)\n\n",
       ecp_k,
       static_cast<unsigned long long>(setup.config.fault.spare_pages),
-      spare_frac * 100.0);
+      spare_frac * 100.0));
 
   const FaultSimulator sim(setup.config);
   const auto ideal = sim.ideal_demand_writes();
@@ -102,13 +107,14 @@ int run_impl(const twl::CliArgs& args) {
                          static_cast<double>(ideal),
                      1)});
   }
-  std::printf("%s", table.to_string().c_str());
-  std::printf(
+  rep.table("capacity_loss", table);
+  rep.note(
       "\nColumns are demand writes absorbed when: the first page went\n"
-      "uncorrectable (the paper's lifetime event), the pool lost 1/5/10%%\n"
+      "uncorrectable (the paper's lifetime event), the pool lost 1/5/10%\n"
       "of capacity to retirement, and a page died with no spare left.\n"
       "'-' means the run ended before reaching that loss level.\n");
-  bench::print_runner_footer(report);
+  bench::report_runner_footer(rep, report);
+  rep.finish();
   return 0;
 }
 

@@ -5,7 +5,6 @@
 //  3. line-granularity PV model: how min-of-lines endurance shifts
 //     lifetime vs the paper's page-level model;
 //  4. TWL extensions: remaining-endurance bias and the adaptive interval.
-#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -24,9 +23,10 @@ namespace {
 
 using namespace twl;
 
-void degradation_section(const bench::BenchSetup& setup, SimRunner& runner) {
-  std::printf("%s", heading("OD3P graceful degradation "
-                            "(uniform writes, capacity floor 75%)").c_str());
+void degradation_section(const bench::BenchSetup& setup, SimRunner& runner,
+                         ReportBuilder& rep) {
+  rep.raw_text(heading("OD3P graceful degradation "
+                            "(uniform writes, capacity floor 75%)"));
   const double ideal = RealSystem{}.ideal_lifetime_years;
   const std::vector<std::string> specs = {"od3p:NOWL", "od3p:SR", "od3p:TWL"};
   struct Out {
@@ -64,14 +64,15 @@ void degradation_section(const bench::BenchSetup& setup, SimRunner& runner) {
                fmt_double(o.floor_years, 2),
                "x" + fmt_double(o.floor_years / o.first_years, 2)});
   }
-  std::printf("%s", t.to_string().c_str());
-  std::printf("(the paper stops at first failure; OD3P [1] keeps the "
-              "device serving while capacity degrades)\n");
+  rep.table("od3p_degradation", t);
+  rep.note("(the paper stops at first failure; OD3P [1] keeps the "
+           "device serving while capacity degrades)\n");
 }
 
-void guard_section(const bench::BenchSetup& setup, SimRunner& runner) {
-  std::printf("%s", heading("Online attack detection [11]: lifetime "
-                            "under attack (years)").c_str());
+void guard_section(const bench::BenchSetup& setup, SimRunner& runner,
+                   ReportBuilder& rep) {
+  rep.raw_text(heading("Online attack detection [11]: lifetime "
+                            "under attack (years)"));
   const double ideal = RealSystem{}.ideal_lifetime_years;
   const auto attacks = all_attack_names();
   const std::vector<std::string> specs = {"NOWL", "guard:NOWL", "BWL",
@@ -119,15 +120,16 @@ void guard_section(const bench::BenchSetup& setup, SimRunner& runner) {
     }
     t.add_row(std::move(row));
   }
-  std::printf("%s", t.to_string().c_str());
-  std::printf("(the guard throttles + scrambles flagged streams: hammer "
-              "attacks slow down and spread out,\nbenign-looking "
-              "random/scan streams pass through untouched)\n");
+  rep.table("guard_detection", t);
+  rep.note("(the guard throttles + scrambles flagged streams: hammer "
+           "attacks slow down and spread out,\nbenign-looking "
+           "random/scan streams pass through untouched)\n");
 }
 
-void line_model_section(const bench::BenchSetup& setup, SimRunner& runner) {
-  std::printf("%s", heading("Line-granularity PV model vs the paper's "
-                            "page-level model").c_str());
+void line_model_section(const bench::BenchSetup& setup, SimRunner& runner,
+                        ReportBuilder& rep) {
+  rep.raw_text(heading("Line-granularity PV model vs the paper's "
+                            "page-level model"));
   // Same mean line endurance; the page's effective endurance becomes
   // min-of-32-lines scaled by 1/dcw.
   const auto line_map = EnduranceMap::from_line_model(
@@ -171,12 +173,13 @@ void line_model_section(const bench::BenchSetup& setup, SimRunner& runner) {
                           0),
                std::to_string(map.min_endurance()), fmt_double(out[i], 3)});
   }
-  std::printf("%s", t.to_string().c_str());
+  rep.table("line_model", t);
 }
 
-void twl_variants_section(const bench::BenchSetup& setup, SimRunner& runner) {
-  std::printf("%s", heading("TWL extensions: bias source and adaptive "
-                            "interval (repeat attack)").c_str());
+void twl_variants_section(const bench::BenchSetup& setup, SimRunner& runner,
+                          ReportBuilder& rep) {
+  rep.raw_text(heading("TWL extensions: bias source and adaptive "
+                            "interval (repeat attack)"));
   const double ideal = RealSystem{}.ideal_lifetime_years;
   struct Variant {
     const char* label;
@@ -224,7 +227,7 @@ void twl_variants_section(const bench::BenchSetup& setup, SimRunner& runner) {
                    : fmt_double(setup.config.twl.tossup_interval, 0),
                fmt_percent(out[v].extra_frac, 1)});
   }
-  std::printf("%s", t.to_string().c_str());
+  rep.table("twl_variants", t);
 }
 
 }  // namespace
@@ -240,20 +243,25 @@ constexpr const char kUsage[] =
     "  --seed S        RNG seed\n"
     "  --jobs N        parallel simulation cells (default: all cores; "
     "1 = serial)\n"
+    "  --format F      report format: text (default), json, csv\n"
+    "  --out FILE      write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
   using namespace twl;
   const auto setup = bench::make_setup(args, 1024, 32768);
+  ReportBuilder rep = bench::make_reporter("bench_extensions", args);
   bench::check_unconsumed(args);
-  bench::print_banner("Extensions beyond the paper's evaluation", setup);
+  bench::report_banner(rep, "Extensions beyond the paper's evaluation",
+                       setup);
 
   SimRunner runner(setup.jobs);
-  degradation_section(setup, runner);
-  guard_section(setup, runner);
-  line_model_section(setup, runner);
-  twl_variants_section(setup, runner);
-  bench::print_runner_footer(runner.report());
+  degradation_section(setup, runner, rep);
+  guard_section(setup, runner, rep);
+  line_model_section(setup, runner, rep);
+  twl_variants_section(setup, runner, rep);
+  bench::report_runner_footer(rep, runner.report());
+  rep.finish();
   return 0;
 }
 

@@ -6,7 +6,6 @@
 // inconsistent attack; SR sits flat near 2.8 years; TWL_swp beats TWL_ap
 // by ~21.7% on gmean with its minimum (~4.1 yr) under the scan attack;
 // NOWL is destroyed quickly by everything except the pure random stream.
-#include <cstdio>
 #include <map>
 #include <vector>
 
@@ -15,6 +14,7 @@
 #include "bench_common.h"
 #include "common/sim_runner.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 #include "sim/attack_sim.h"
 
 namespace {
@@ -31,6 +31,8 @@ constexpr const char kUsage[] =
     "  --paper-accounting     migration writes cost no wear\n"
     "  --jobs N               parallel simulation cells (default: all "
     "cores; 1 = serial)\n"
+    "  --format F             report format: text (default), json, csv\n"
+    "  --out FILE             write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -43,10 +45,15 @@ int run_impl(const twl::CliArgs& args) {
   // wear), the accounting under which the paper's TWL scan/random numbers
   // are reproducible. Default is physical wear. See EXPERIMENTS.md.
   const bool paper_accounting = args.get_bool_or("paper-accounting", false);
+  ReportBuilder rep = bench::make_reporter("bench_fig6", args);
   bench::check_unconsumed(args);
-  bench::print_banner("Figure 6: lifetime under attacks (years)", setup);
+  bench::report_banner(rep, "Figure 6: lifetime under attacks (years)",
+                       setup);
+  rep.config_entry("max_writes", max_demand);
+  rep.config_entry("trials", trials);
+  rep.config_entry("paper_accounting", paper_accounting);
   if (paper_accounting) {
-    std::printf("(paper accounting: migration writes cost no wear)\n\n");
+    rep.note("(paper accounting: migration writes cost no wear)\n\n");
   }
 
   const double ideal_years = RealSystem{}.ideal_lifetime_years;
@@ -67,12 +74,15 @@ int run_impl(const twl::CliArgs& args) {
   }
 
   // One grid cell per (attack, scheme); cell i writes only out[i], so
-  // collection is in grid order regardless of completion order.
+  // collection is in grid order regardless of completion order. Each cell
+  // fills its own MetricsRegistry; merging in index order afterwards makes
+  // the combined registry independent of --jobs (merges commute).
   struct CellOut {
     double years = 0.0;
     bool all_failed = true;
   };
   std::vector<CellOut> out(attacks.size() * schemes.size());
+  std::vector<MetricsRegistry> cell_metrics(out.size());
   std::vector<SimCell> cells;
   cells.reserve(out.size());
   for (std::size_t a = 0; a < attacks.size(); ++a) {
@@ -81,22 +91,26 @@ int run_impl(const twl::CliArgs& args) {
         RunningStats stats;
         bool all_failed = true;
         std::uint64_t demand = 0;
+        const std::size_t i = a * schemes.size() + s;
         for (std::uint64_t t = 0; t < trials; ++t) {
           const auto attack =
               make_attack(attacks[a], setup.pages, setup.config.seed + t);
-          const auto result = sims[t].run(schemes[s], *attack, max_demand);
+          const auto result =
+              sims[t].run(schemes[s], *attack, max_demand, &cell_metrics[i]);
           all_failed = all_failed && result.failed;
           demand += result.demand_writes;
           stats.add(
               years_from_fraction(result.fraction_of_ideal, ideal_years));
         }
-        out[a * schemes.size() + s] = {stats.mean(), all_failed};
+        out[i] = {stats.mean(), all_failed};
         return demand;
       });
     }
   }
   SimRunner runner(setup.jobs);
   const RunnerReport report = runner.run_all(cells);
+  MetricsRegistry merged;
+  for (const MetricsRegistry& m : cell_metrics) merged.merge_from(m);
 
   std::map<Scheme, std::vector<double>> years_by_scheme;
   TextTable table;
@@ -117,17 +131,21 @@ int run_impl(const twl::CliArgs& args) {
     gmean_row.push_back(fmt_lifetime_years(geomean(years_by_scheme[scheme])));
   }
   table.add_row(std::move(gmean_row));
-  std::printf("%s", table.to_string().c_str());
+  rep.table("lifetime_years", table);
 
   const double ap = geomean(years_by_scheme[Scheme::kTossUpAdjacent]);
   const double swp = geomean(years_by_scheme[Scheme::kTossUpStrongWeak]);
-  std::printf(
+  rep.note(strfmt(
       "\nideal lifetime at 8 GB/s: %.1f years (paper: 6.6)\n"
       "TWL_swp over TWL_ap (gmean): %+.1f%%  (paper: +21.7%%)\n"
       "paper reference: BWL dies in 98 s under inconsistent; SR ~2.8 yr "
       "flat;\nTWL_swp minimum 4.1 yr under scan.\n",
-      ideal_years, (swp / ap - 1.0) * 100.0);
-  bench::print_runner_footer(report);
+      ideal_years, (swp / ap - 1.0) * 100.0));
+  rep.scalar("ideal_lifetime_years", ideal_years);
+  rep.scalar("twl_swp_over_ap_percent", (swp / ap - 1.0) * 100.0);
+  bench::report_runner_footer(rep, report);
+  rep.metrics(merged);
+  rep.finish();
   return 0;
 }
 

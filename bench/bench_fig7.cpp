@@ -6,7 +6,6 @@
 // Expected shape (paper): ratio 37.9% at interval 1 dropping ~1/interval
 // (about 2.2% at 32); lifetime decreases as the interval grows; interval
 // 32 is the chosen operating point, above the 3-year floor.
-#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -53,17 +52,21 @@ constexpr const char kUsage[] =
     "  --endurance E     mean per-page endurance\n"
     "  --sigma F         endurance sigma fraction\n"
     "  --seed S          RNG seed\n"
-    "  --ratio-writes W  writes used for the swap-ratio measurement\n"
+    "  --writes W        writes used for the swap-ratio measurement\n"
     "  --jobs N          parallel simulation cells (default: all cores; "
     "1 = serial)\n"
+    "  --format F        report format: text (default), json, csv\n"
+    "  --out FILE        write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
   using namespace twl;
   const auto setup = bench::make_setup(args, 1024, 65536);
-  const std::uint64_t ratio_writes = args.get_uint_or("ratio-writes", 200000);
+  const std::uint64_t ratio_writes = args.get_uint_or("writes", 200000);
+  ReportBuilder rep = bench::make_reporter("bench_fig7", args);
   bench::check_unconsumed(args);
-  bench::print_banner("Figure 7: choosing the toss-up interval", setup);
+  bench::report_banner(rep, "Figure 7: choosing the toss-up interval", setup);
+  rep.config_entry("writes", ratio_writes);
 
   const double ideal_years = RealSystem{}.ideal_lifetime_years;
   const std::vector<std::uint32_t> intervals = {1, 2,  4,  8,
@@ -137,13 +140,14 @@ int run_impl(const twl::CliArgs& args) {
     }
     table.add_row(std::move(row));
   }
-  std::printf("%s", table.to_string().c_str());
-  std::printf(
+  rep.table("interval_sweep", table);
+  rep.note(
       "\nminimum requirement (server replacement cycle): 3 years\n"
-      "paper reference: 37.9%% ratio at interval 1; ~2.2%% extra writes at "
+      "paper reference: 37.9% ratio at interval 1; ~2.2% extra writes at "
       "interval 32;\nlifetime decreases with larger intervals; chosen "
       "operating point: 32.\n");
-  bench::print_runner_footer(report);
+  bench::report_runner_footer(rep, report);
+  rep.finish();
   return 0;
 }
 

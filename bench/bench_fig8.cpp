@@ -4,7 +4,6 @@
 //
 // Expected shape (paper): SR ~44% of ideal (weakest-page bound), BWL
 // ~75.6%, TWL ~79.6%, NOWL far below all of them.
-#include <cstdio>
 #include <map>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "bench_common.h"
 #include "common/sim_runner.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 #include "sim/lifetime_sim.h"
 #include "trace/parsec_model.h"
 
@@ -27,14 +27,18 @@ constexpr const char kUsage[] =
     "  --seed S        RNG seed\n"
     "  --jobs N        parallel simulation cells (default: all cores; "
     "1 = serial)\n"
+    "  --format F      report format: text (default), json, csv\n"
+    "  --out FILE      write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
   using namespace twl;
   const auto setup = bench::make_setup(args, 2048, 16384);
+  ReportBuilder rep = bench::make_reporter("bench_fig8", args);
   bench::check_unconsumed(args);
-  bench::print_banner(
-      "Figure 8: normalized lifetime on PARSEC benchmark models", setup);
+  bench::report_banner(
+      rep, "Figure 8: normalized lifetime on PARSEC benchmark models",
+      setup);
 
   const std::vector<Scheme> schemes = {Scheme::kBloomWl,
                                        Scheme::kSecurityRefresh,
@@ -46,6 +50,7 @@ int run_impl(const twl::CliArgs& args) {
   const auto& benchmarks = parsec_benchmarks();
 
   std::vector<double> out(benchmarks.size() * schemes.size(), 0.0);
+  std::vector<MetricsRegistry> cell_metrics(out.size());
   std::vector<SimCell> cells;
   cells.reserve(out.size());
   for (std::size_t b = 0; b < benchmarks.size(); ++b) {
@@ -53,15 +58,19 @@ int run_impl(const twl::CliArgs& args) {
       cells.push_back([&, b, s]() -> std::uint64_t {
         auto source =
             benchmarks[b].make_source(setup.pages, setup.config.seed);
+        const std::size_t i = b * schemes.size() + s;
         const auto result = sim.run(schemes[s], *source,
-                                    sim.ideal_demand_writes() * 2);
-        out[b * schemes.size() + s] = result.fraction_of_ideal;
+                                    sim.ideal_demand_writes() * 2,
+                                    &cell_metrics[i]);
+        out[i] = result.fraction_of_ideal;
         return result.demand_writes;
       });
     }
   }
   SimRunner runner(setup.jobs);
   const RunnerReport report = runner.run_all(cells);
+  MetricsRegistry merged;
+  for (const MetricsRegistry& m : cell_metrics) merged.merge_from(m);
 
   std::map<Scheme, std::vector<double>> fractions;
   TextTable table;
@@ -80,16 +89,20 @@ int run_impl(const twl::CliArgs& args) {
     gmean_row.push_back(fmt_double(geomean(fractions[scheme]), 3));
   }
   table.add_row(std::move(gmean_row));
-  std::printf("%s", table.to_string().c_str());
+  rep.table("normalized_lifetime", table);
 
-  std::printf(
+  rep.note(strfmt(
       "\nweakest-page bound for uniform levelers at this scale: %.3f "
       "(at the paper's 8.4M pages: %.3f — SR's ~44%%)\n"
       "paper reference (gmean of ideal): SR ~0.44, BWL ~0.756, TWL ~0.796.\n",
       expected_min_endurance_fraction(setup.pages,
                                       setup.config.endurance.sigma_frac),
-      expected_min_endurance_fraction(8388608, 0.11));
-  bench::print_runner_footer(report);
+      expected_min_endurance_fraction(8388608, 0.11)));
+  rep.scalar("twl_gmean_fraction",
+             geomean(fractions[Scheme::kTossUpStrongWeak]));
+  bench::report_runner_footer(rep, report);
+  rep.metrics(merged);
+  rep.finish();
   return 0;
 }
 

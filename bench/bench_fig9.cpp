@@ -4,7 +4,6 @@
 // Expected shape (paper): BWL ~6.5% average overhead (filters + list on
 // every write, plus bulk swaps), SR ~2.0%, TWL ~1.9% with a worst case of
 // ~2.7% (vips).
-#include <cstdio>
 #include <map>
 #include <vector>
 
@@ -28,6 +27,8 @@ constexpr const char kUsage[] =
     "  --mlp M         memory-level parallelism\n"
     "  --jobs N        parallel simulation cells (default: all cores; "
     "1 = serial)\n"
+    "  --format F      report format: text (default), json, csv\n"
+    "  --out FILE      write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -38,9 +39,13 @@ int run_impl(const twl::CliArgs& args) {
   const auto setup = bench::make_setup(args, 2048, 1e8);
   const std::uint64_t requests = args.get_uint_or("requests", 300000);
   const auto mlp = static_cast<std::uint32_t>(args.get_uint_or("mlp", 8));
+  ReportBuilder rep = bench::make_reporter("bench_fig9", args);
   bench::check_unconsumed(args);
-  bench::print_banner(
-      "Figure 9: normalized execution time (vs no wear leveling)", setup);
+  bench::report_banner(
+      rep, "Figure 9: normalized execution time (vs no wear leveling)",
+      setup);
+  rep.config_entry("requests", requests);
+  rep.config_entry("mlp", mlp);
 
   const std::vector<Scheme> schemes = {Scheme::kBloomWl,
                                        Scheme::kSecurityRefresh,
@@ -90,12 +95,15 @@ int run_impl(const twl::CliArgs& args) {
     avg_row.push_back(fmt_double(geomean(normalized[scheme]), 4));
   }
   table.add_row(std::move(avg_row));
-  std::printf("%s", table.to_string().c_str());
+  rep.table("normalized_execution_time", table);
 
-  std::printf(
-      "\npaper reference (average overhead): BWL 6.48%%, SR 1.97%%, "
-      "TWL 1.90%%; TWL worst case 2.7%% (vips).\n");
-  bench::print_runner_footer(report);
+  rep.note(
+      "\npaper reference (average overhead): BWL 6.48%, SR 1.97%, "
+      "TWL 1.90%; TWL worst case 2.7% (vips).\n");
+  rep.scalar("twl_average_overhead",
+             geomean(normalized[Scheme::kTossUpStrongWeak]) - 1.0);
+  bench::report_runner_footer(rep, report);
+  rep.finish();
   return 0;
 }
 

@@ -4,7 +4,6 @@
 // Expected values (paper): 80 bits per 4KB page (~2.5e-3 storage ratio);
 // <128 gates for the 8-bit Feistel RNG, 718 for the divider/comparators,
 // ~840 gates total.
-#include <cstdio>
 #include <vector>
 
 #include "analysis/overhead.h"
@@ -24,13 +23,16 @@ constexpr const char kUsage[] =
     "  --seed S        RNG seed\n"
     "  --jobs N        parallel simulation cells (default: all cores; "
     "1 = serial)\n"
+    "  --format F      report format: text (default), json, csv\n"
+    "  --out FILE      write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
   using namespace twl;
   const auto setup = bench::make_setup(args, 1024, 16384);
+  ReportBuilder rep = bench::make_reporter("bench_overhead", args);
   bench::check_unconsumed(args);
-  bench::print_banner("Section 5.4: design overhead", setup);
+  bench::report_banner(rep, "Section 5.4: design overhead", setup);
 
   const EnduranceMap map(setup.pages, setup.config.endurance,
                          setup.config.seed);
@@ -64,9 +66,9 @@ int run_impl(const twl::CliArgs& args) {
     std::snprintf(ratio, sizeof(ratio), "%.2e", o.ratio);
     storage.add_row({o.name, std::to_string(o.bits_per_page), ratio});
   }
-  std::printf("%s", storage.to_string().c_str());
-  std::printf("paper reference for TWL: 80 bits/4KB = 2.5e-3 "
-              "(WCT 7 + ET 27 + RT 23 + SWPT 23)\n");
+  rep.table("storage_overhead", storage);
+  rep.note("paper reference for TWL: 80 bits/4KB = 2.5e-3 "
+           "(WCT 7 + ET 27 + RT 23 + SWPT 23)\n");
 
   const auto rng = feistel8_gates();
   const auto engine = twl_engine_gates(setup.config.endurance.table_bits);
@@ -78,12 +80,15 @@ int run_impl(const twl::CliArgs& args) {
     gates.add_row({name, std::to_string(g)});
   }
   gates.add_row({"TOTAL", std::to_string(total.total())});
-  std::printf("\n%s", gates.to_string().c_str());
-  std::printf(
+  rep.raw_text("\n");
+  rep.table("logic_gates", gates);
+  rep.note(strfmt(
       "paper reference: Feistel RNG < 128 (model: %u), divider+comparators "
       "718 (model: %u), total ~840 (model: %u)\n",
-      rng.total(), engine.total(), total.total());
-  bench::print_runner_footer(report);
+      rng.total(), engine.total(), total.total()));
+  rep.scalar("twl_total_gates", total.total());
+  bench::report_runner_footer(rep, report);
+  rep.finish();
   return 0;
 }
 

@@ -9,7 +9,6 @@
 // snapshots taken, and the recovery effort (demand writes replayed) whose
 // mean is interval/2 by construction. Rows are identical for any --jobs
 // value; only the [runner] footer varies.
-#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -34,6 +33,8 @@ constexpr const char kUsage[] =
     "  --trials T      crash trials per cell (default 8)\n"
     "  --jobs N        parallel simulation cells (default: all cores; "
     "1 = serial)\n"
+    "  --format F      report format: text (default), json, csv\n"
+    "  --out FILE      write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 struct RecoveryCell {
@@ -53,13 +54,17 @@ int run_impl(const twl::CliArgs& args) {
   auto setup = bench::make_setup(args, 256, 1e6);
   const std::uint64_t writes = args.get_uint_or("writes", 2048);
   const std::uint64_t trials = args.get_uint_or("trials", 8);
+  ReportBuilder rep = bench::make_reporter("bench_recovery", args);
   bench::check_unconsumed(args);
 
-  bench::print_banner("Crash recovery costs (journal + snapshots)", setup);
-  std::printf(
+  bench::report_banner(rep, "Crash recovery costs (journal + snapshots)",
+                       setup);
+  rep.config_entry("writes", writes);
+  rep.config_entry("trials", trials);
+  rep.note(strfmt(
       "journaled runs of %llu demand writes, %llu crash trials per cell\n\n",
       static_cast<unsigned long long>(writes),
-      static_cast<unsigned long long>(trials));
+      static_cast<unsigned long long>(trials)));
 
   const std::vector<std::uint64_t> intervals = {64, 256, 1024};
   std::vector<std::string> specs;
@@ -132,14 +137,15 @@ int run_impl(const twl::CliArgs& args) {
                    std::to_string(cell.trials_ok) + "/" +
                        std::to_string(cell.trials)});
   }
-  std::printf("%s", table.to_string().c_str());
-  std::printf(
+  rep.table("recovery_costs", table);
+  rep.note(
       "\n'journal B/wr' is the write-ahead-log amplification per demand\n"
       "write (swap-heavy schemes append more intent/commit pairs).\n"
       "'replay mean/max' is the recovery effort in demand writes —\n"
       "bounded by the snapshot interval, mean ~interval/2. 'invariants'\n"
       "counts trials where all five recovery invariants held.\n");
-  bench::print_runner_footer(report);
+  bench::report_runner_footer(rep, report);
+  rep.finish();
   return 0;
 }
 

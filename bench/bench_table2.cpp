@@ -2,7 +2,6 @@
 // measured by the paper), ideal lifetime (computed from the bandwidth) and
 // lifetime without wear leveling (simulated on the scaled device and
 // extrapolated), against the paper's reported columns.
-#include <cstdio>
 #include <vector>
 
 #include "analysis/extrapolate.h"
@@ -24,14 +23,17 @@ constexpr const char kUsage[] =
     "  --seed S        RNG seed\n"
     "  --jobs N        parallel simulation cells (default: all cores; "
     "1 = serial)\n"
+    "  --format F      report format: text (default), json, csv\n"
+    "  --out FILE      write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
   using namespace twl;
   const auto setup = bench::make_setup(args, 2048, 16384);
+  ReportBuilder rep = bench::make_reporter("bench_table2", args);
   bench::check_unconsumed(args);
-  bench::print_banner(
-      "Table 2: PARSEC benchmark characteristics (paper vs this repro)",
+  bench::report_banner(
+      rep, "Table 2: PARSEC benchmark characteristics (paper vs this repro)",
       setup);
 
   const RealSystem real;
@@ -69,12 +71,13 @@ int run_impl(const twl::CliArgs& args) {
                    fmt_double(b.nowl_years, 1) + " yr",
                    fmt_double(nowl_years, 1) + " yr"});
   }
-  std::printf("%s", table.to_string().c_str());
-  std::printf(
+  rep.table("table2", table);
+  rep.note(
       "\nNotes: bandwidth column is the paper's measurement (model input);\n"
       "ideal lifetime follows analytically (kappa=2, see EXPERIMENTS.md);\n"
       "the w/o-WL column is simulated from the calibrated skew model.\n");
-  bench::print_runner_footer(report);
+  bench::report_runner_footer(rep, report);
+  rep.finish();
   return 0;
 }
 

@@ -3,12 +3,12 @@
 // metadata from the last snapshot plus the surviving journal prefix.
 //
 //   ./crash_recovery [--pages N] [--writes W] [--crash-at K] [--seed S]
-#include <cstdio>
 #include <vector>
 
 #include "analysis/report.h"
 #include "common/cli.h"
 #include "common/config.h"
+#include "obs/report.h"
 #include "pcm/device.h"
 #include "recovery/journal.h"
 #include "recovery/recovery.h"
@@ -28,6 +28,8 @@ constexpr const char kUsage[] =
     "  --crash-at K    cut the journal after K surviving bytes of the\n"
     "                  final write's records (default: mid-record)\n"
     "  --seed S        RNG seed (default 42)\n"
+    "  --format F      report format: text (default), json, csv\n"
+    "  --out FILE      write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -42,7 +44,15 @@ int run_impl(const twl::CliArgs& args) {
   const std::uint64_t writes = args.get_uint_or("writes", 1000);
   const std::uint64_t crash_at = args.get_uint_or("crash-at", 3);
 
-  std::printf("%s", heading("Crash recovery walkthrough").c_str());
+  ReportBuilder rep("crash_recovery",
+                    parse_report_format(args.get_or("format", "text")),
+                    args.get_or("out", ""));
+  rep.begin_report("Crash recovery walkthrough");
+  rep.raw_text(heading("Crash recovery walkthrough"));
+  rep.config_entry("pages", scale.pages);
+  rep.config_entry("seed", scale.seed);
+  rep.config_entry("writes", writes);
+  rep.config_entry("crash_at", crash_at);
 
   // 1. A journaled TWL run: the controller brackets every demand write
   //    with WriteBegin/WriteCommit and every page copy with the two-phase
@@ -73,7 +83,7 @@ int run_impl(const twl::CliArgs& args) {
     if (i + 1 == writes) bytes_before_last = journal.bytes().size();
     controller.submit(req, 0);
   }
-  std::printf(
+  rep.note(strfmt(
       "journaled run: %llu demand writes, %llu journal records "
       "(%llu bytes, %.1f B/write), snapshot %zu bytes\n",
       static_cast<unsigned long long>(writes),
@@ -81,7 +91,10 @@ int run_impl(const twl::CliArgs& args) {
       static_cast<unsigned long long>(journal.total_bytes_appended()),
       static_cast<double>(journal.total_bytes_appended()) /
           static_cast<double>(writes),
-      snapshot.size());
+      snapshot.size()));
+  rep.scalar("journal_bytes_per_write",
+             static_cast<double>(journal.total_bytes_appended()) /
+                 static_cast<double>(writes));
 
   // 2. Power failure: keep only a prefix of the log. Cutting inside the
   //    final write's records models a torn append — the classic
@@ -92,12 +105,12 @@ int run_impl(const twl::CliArgs& args) {
   std::vector<std::uint8_t> surviving(
       journal.bytes().begin(),
       journal.bytes().begin() + static_cast<std::ptrdiff_t>(cut));
-  std::printf(
+  rep.note(strfmt(
       "crash: write %llu was in flight; %llu of its %llu journal bytes "
       "survive\n",
       static_cast<unsigned long long>(writes),
       static_cast<unsigned long long>(cut - bytes_before_last),
-      static_cast<unsigned long long>(appended));
+      static_cast<unsigned long long>(appended)));
 
   // 3. Recovery: restore the snapshot into a fresh scheme instance, then
   //    logically replay every committed write. The schemes are
@@ -105,18 +118,18 @@ int run_impl(const twl::CliArgs& args) {
   //    replay reproduces the mapping byte-for-byte.
   const auto recovered = make_wear_leveler_spec("TWL", endurance, config);
   const RecoveryOutcome outcome = recover(*recovered, snapshot, surviving);
-  std::printf(
+  rep.note(strfmt(
       "recovery: replayed %llu writes (%llu committed swaps), torn tail: "
       "%s, orphan swap intents: %llu\n",
       static_cast<unsigned long long>(outcome.replayed_writes),
       static_cast<unsigned long long>(outcome.committed_swaps),
       outcome.torn_tail ? "yes" : "no",
-      static_cast<unsigned long long>(outcome.orphan_swap_intents));
+      static_cast<unsigned long long>(outcome.orphan_swap_intents)));
   if (outcome.rolled_back_la.has_value()) {
-    std::printf(
+    rep.note(strfmt(
         "rolled back the in-flight write to logical page %u (its commit "
         "record did not survive)\n",
-        outcome.rolled_back_la->value());
+        outcome.rolled_back_la->value()));
   }
 
   // 4. Proof: the recovered metadata equals a crash-free run of exactly
@@ -135,8 +148,8 @@ int run_impl(const twl::CliArgs& args) {
     }
   }
   const bool exact = take_snapshot(*recovered) == take_snapshot(*reference);
-  std::printf("recovered state byte-identical to the reference: %s\n",
-              exact ? "yes" : "NO (bug)");
+  rep.note(strfmt("recovered state byte-identical to the reference: %s\n",
+                  exact ? "yes" : "NO (bug)"));
 
   // 5. The same experiment, systematized: the crash simulator injects the
   //    failure at uniformly random points — including mid-swap and inside
@@ -151,12 +164,15 @@ int run_impl(const twl::CliArgs& args) {
   for (std::uint64_t t = 0; t < kTrials; ++t) {
     ok += sim.run_trial(t).all_invariants_hold() ? 1 : 0;
   }
-  std::printf(
+  rep.note(strfmt(
       "\ncrash simulator: %llu/%llu random crash points recovered with all "
       "invariants intact\n(see bench_recovery for the cost curves across "
       "schemes and snapshot intervals)\n",
       static_cast<unsigned long long>(ok),
-      static_cast<unsigned long long>(kTrials));
+      static_cast<unsigned long long>(kTrials)));
+  rep.scalar("trials_all_invariants_hold", static_cast<double>(ok));
+  rep.scalar("trials", static_cast<double>(kTrials));
+  rep.finish();
   return exact && ok == kTrials ? 0 : 1;
 }
 

@@ -3,12 +3,12 @@
 // then with ECP correction alone, then with ECP plus spare-pool
 // retirement. Shows how each layer extends serviceable lifetime and what
 // the capacity-loss curve looks like as the device degrades.
-#include <cstdio>
 #include <string>
 
 #include "analysis/report.h"
 #include "common/cli.h"
 #include "common/config.h"
+#include "obs/report.h"
 #include "sim/fault_sim.h"
 #include "sim/lifetime_sim.h"
 #include "trace/synthetic.h"
@@ -25,6 +25,8 @@ constexpr const char kUsage[] =
     "  --ecp-k K       correctable stuck cells per page (default 6)\n"
     "  --spare-frac F  fraction of pages reserved as spares (default 0.12)\n"
     "  --seed S        RNG seed (default 1)\n"
+    "  --format F      report format: text (default), json, csv\n"
+    "  --out FILE      write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -36,13 +38,23 @@ int run_impl(const twl::CliArgs& args) {
   const Scheme scheme = parse_scheme(args.get_or("scheme", "TWL"));
   const auto ecp_k = static_cast<std::uint32_t>(args.get_int_or("ecp-k", 6));
   const double spare_frac = args.get_double_or("spare-frac", 0.12);
+  ReportBuilder rep("fault_tolerance",
+                    parse_report_format(args.get_or("format", "text")),
+                    args.get_or("out", ""));
   args.reject_unconsumed();
 
-  std::printf("%s", heading("Fault tolerance & graceful degradation").c_str());
-  std::printf("scheme %s, %llu pages, mean endurance %.0f\n\n",
-              to_string(scheme).c_str(),
-              static_cast<unsigned long long>(scale.pages),
-              scale.endurance_mean);
+  rep.begin_report("Fault tolerance & graceful degradation");
+  rep.raw_text(heading("Fault tolerance & graceful degradation"));
+  rep.note(strfmt("scheme %s, %llu pages, mean endurance %.0f\n\n",
+                  to_string(scheme).c_str(),
+                  static_cast<unsigned long long>(scale.pages),
+                  scale.endurance_mean));
+  rep.config_entry("pages", scale.pages);
+  rep.config_entry("endurance_mean", scale.endurance_mean);
+  rep.config_entry("seed", scale.seed);
+  rep.config_entry("scheme", to_string(scheme));
+  rep.config_entry("ecp_k", ecp_k);
+  rep.config_entry("spare_frac", spare_frac);
 
   const auto make_source = [&](std::uint64_t pages) {
     SyntheticParams wp;
@@ -59,11 +71,13 @@ int run_impl(const twl::CliArgs& args) {
     LifetimeSimulator sim(config);
     auto source = make_source(scale.pages);
     const auto r = sim.run(scheme, source, cap);
-    std::printf("baseline (no ECP, no spares):\n");
-    std::printf("  device fails at first page death: %llu demand writes "
-                "(%s of ideal)\n\n",
-                static_cast<unsigned long long>(r.demand_writes),
-                fmt_percent(r.fraction_of_ideal, 1).c_str());
+    rep.note("baseline (no ECP, no spares):\n");
+    rep.note(strfmt("  device fails at first page death: %llu demand writes "
+                    "(%s of ideal)\n\n",
+                    static_cast<unsigned long long>(r.demand_writes),
+                    fmt_percent(r.fraction_of_ideal, 1).c_str()));
+    rep.scalar("baseline.demand_writes",
+               static_cast<double>(r.demand_writes));
   }
 
   // 2. ECP only: each page survives its first k stuck cells, but the
@@ -74,15 +88,18 @@ int run_impl(const twl::CliArgs& args) {
     FaultSimulator sim(config);
     auto source = make_source(scale.pages);
     const auto r = sim.run(scheme, source, cap);
-    std::printf("ECP-%u only:\n", ecp_k);
-    std::printf("  first uncorrectable page at %llu demand writes "
-                "(%s of ideal)\n",
-                static_cast<unsigned long long>(r.first_failure_writes),
-                fmt_percent(r.first_failure_fraction_of_ideal, 1).c_str());
-    std::printf("  stuck cells absorbed before that: %llu "
-                "(%llu ECP-corrected)\n\n",
-                static_cast<unsigned long long>(r.total_stuck_faults),
-                static_cast<unsigned long long>(r.ecp_corrected_faults));
+    rep.note(strfmt("ECP-%u only:\n", ecp_k));
+    rep.note(strfmt("  first uncorrectable page at %llu demand writes "
+                    "(%s of ideal)\n",
+                    static_cast<unsigned long long>(r.first_failure_writes),
+                    fmt_percent(r.first_failure_fraction_of_ideal, 1)
+                        .c_str()));
+    rep.note(strfmt("  stuck cells absorbed before that: %llu "
+                    "(%llu ECP-corrected)\n\n",
+                    static_cast<unsigned long long>(r.total_stuck_faults),
+                    static_cast<unsigned long long>(r.ecp_corrected_faults)));
+    rep.scalar("ecp_only.first_failure_writes",
+               static_cast<double>(r.first_failure_writes));
   }
 
   // 3. ECP + spares: uncorrectable pages retire onto the spare pool and
@@ -100,31 +117,35 @@ int run_impl(const twl::CliArgs& args) {
     auto source =
         make_source(scale.pages - config.fault.spare_pages);
     const auto r = sim.run(scheme, source, cap);
-    std::printf("ECP-%u + %llu spare pages:\n", ecp_k,
-                static_cast<unsigned long long>(config.fault.spare_pages));
-    std::printf("  first retirement at %llu demand writes; device %s at "
-                "%llu (%llu pages retired, %llu spares left)\n",
-                static_cast<unsigned long long>(r.first_failure_writes),
-                r.fatal ? "fatally failed" : "still serviceable",
-                static_cast<unsigned long long>(
-                    r.fatal ? r.fatal_writes : r.demand_writes),
-                static_cast<unsigned long long>(r.pages_retired),
-                static_cast<unsigned long long>(r.spares_left));
-    std::printf("  capacity-loss curve (demand writes at each loss "
-                "level):\n");
+    rep.note(strfmt(
+        "ECP-%u + %llu spare pages:\n", ecp_k,
+        static_cast<unsigned long long>(config.fault.spare_pages)));
+    rep.note(strfmt("  first retirement at %llu demand writes; device %s at "
+                    "%llu (%llu pages retired, %llu spares left)\n",
+                    static_cast<unsigned long long>(r.first_failure_writes),
+                    r.fatal ? "fatally failed" : "still serviceable",
+                    static_cast<unsigned long long>(
+                        r.fatal ? r.fatal_writes : r.demand_writes),
+                    static_cast<unsigned long long>(r.pages_retired),
+                    static_cast<unsigned long long>(r.spares_left)));
+    rep.note("  capacity-loss curve (demand writes at each loss "
+             "level):\n");
     for (const double frac : {0.01, 0.02, 0.05, 0.10}) {
       const auto w = r.demand_writes_to_loss(frac);
       if (w == 0) continue;
-      std::printf("    %4.0f%% lost: %llu\n", frac * 100.0,
-                  static_cast<unsigned long long>(w));
+      rep.note(strfmt("    %4.0f%% lost: %llu\n", frac * 100.0,
+                      static_cast<unsigned long long>(w)));
     }
+    rep.scalar("ecp_spares.pages_retired",
+               static_cast<double>(r.pages_retired));
   }
 
-  std::printf(
+  rep.note(
       "\nTakeaway: ECP moves the first-failure event later; spares decouple\n"
       "one page's death from the device's. A good wear leveler still wins\n"
       "on both clocks — it delays the first retirement *and* drains the\n"
       "spare pool slowest.\n");
+  rep.finish();
   return 0;
 }
 

@@ -4,11 +4,10 @@
 // less swap overhead, so the largest admissible interval wins.
 //
 //   ./interval_tuning [--pages N] [--endurance E] [--floor-years Y]
-#include <cstdio>
-
 #include "analysis/extrapolate.h"
 #include "analysis/report.h"
 #include "common/cli.h"
+#include "obs/report.h"
 #include "sim/attack_sim.h"
 
 namespace {
@@ -19,6 +18,9 @@ constexpr const char kUsage[] =
     "  --pages N        scaled device size in pages (default 1024)\n"
     "  --endurance E    mean per-page endurance\n"
     "  --floor-years Y  minimum acceptable attack lifetime\n"
+    "  --seed S         RNG seed\n"
+    "  --format F       report format: text (default), json, csv\n"
+    "  --out FILE       write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -26,12 +28,22 @@ int run_impl(const twl::CliArgs& args) {
   SimScale scale;
   scale.pages = static_cast<std::uint64_t>(args.get_int_or("pages", 1024));
   scale.endurance_mean = args.get_double_or("endurance", 65536);
+  scale.seed = args.get_uint_or("seed", scale.seed);
   const double floor_years = args.get_double_or("floor-years", 3.0);
 
-  std::printf("%s", heading("Toss-up interval tuning").c_str());
-  std::printf("constraint: worst-case (scan attack) lifetime >= %.1f years\n"
-              "objective:  minimize swap overhead (grows ~1/interval)\n\n",
-              floor_years);
+  ReportBuilder rep("interval_tuning",
+                    parse_report_format(args.get_or("format", "text")),
+                    args.get_or("out", ""));
+  rep.begin_report("Toss-up interval tuning");
+  rep.raw_text(heading("Toss-up interval tuning"));
+  rep.note(strfmt(
+      "constraint: worst-case (scan attack) lifetime >= %.1f years\n"
+      "objective:  minimize swap overhead (grows ~1/interval)\n\n",
+      floor_years));
+  rep.config_entry("pages", scale.pages);
+  rep.config_entry("endurance_mean", scale.endurance_mean);
+  rep.config_entry("seed", scale.seed);
+  rep.config_entry("floor_years", floor_years);
 
   const double ideal_years = RealSystem{}.ideal_lifetime_years;
   std::uint32_t chosen = 1;
@@ -54,9 +66,11 @@ int run_impl(const twl::CliArgs& args) {
     table.add_row({std::to_string(interval), fmt_lifetime_years(years),
                    fmt_percent(overhead, 1), ok ? "ok" : "below floor"});
   }
-  std::printf("%s", table.to_string().c_str());
-  std::printf("\nchosen interval: %u (paper chose 32 at ~2.2%% extra "
-              "writes)\n", chosen);
+  rep.table("interval_sweep", table);
+  rep.note(strfmt("\nchosen interval: %u (paper chose 32 at ~2.2%% extra "
+                  "writes)\n", chosen));
+  rep.scalar("chosen_interval", chosen);
+  rep.finish();
   return 0;
 }
 

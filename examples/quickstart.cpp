@@ -2,13 +2,12 @@
 // Wear Leveling, run a skewed workload to the first page failure, and
 // report what the wear leveler did.
 //
-//   ./quickstart [--pages N] [--endurance E] [--seed S]
-#include <cstdio>
-
+//   ./quickstart [--pages N] [--endurance E] [--seed S] [--format json]
 #include "analysis/report.h"
 #include "common/cli.h"
 #include "common/config.h"
 #include "common/stats.h"
+#include "obs/report.h"
 #include "sim/lifetime_sim.h"
 #include "trace/synthetic.h"
 #include "wl/factory.h"
@@ -21,6 +20,8 @@ constexpr const char kUsage[] =
     "  --pages N       scaled device size in pages (default 1024)\n"
     "  --endurance E   mean per-page endurance (default 8192)\n"
     "  --seed S        RNG seed (default 1)\n"
+    "  --format F      report format: text (default), json, csv\n"
+    "  --out FILE      write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -34,10 +35,17 @@ int run_impl(const twl::CliArgs& args) {
   scale.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const Config config = Config::scaled(scale);
 
-  std::printf("%s", heading("TWL quickstart").c_str());
-  std::printf("device: %llu pages, mean endurance %.0f writes/page\n\n",
-              static_cast<unsigned long long>(scale.pages),
-              scale.endurance_mean);
+  ReportBuilder rep("quickstart",
+                    parse_report_format(args.get_or("format", "text")),
+                    args.get_or("out", ""));
+  rep.begin_report("TWL quickstart");
+  rep.raw_text(heading("TWL quickstart"));
+  rep.note(strfmt("device: %llu pages, mean endurance %.0f writes/page\n\n",
+                  static_cast<unsigned long long>(scale.pages),
+                  scale.endurance_mean));
+  rep.config_entry("pages", scale.pages);
+  rep.config_entry("endurance_mean", scale.endurance_mean);
+  rep.config_entry("seed", scale.seed);
 
   // 2. A skewed workload: hottest page gets ~10% of all writes.
   SyntheticParams wp;
@@ -51,23 +59,27 @@ int run_impl(const twl::CliArgs& args) {
   for (const Scheme scheme : {Scheme::kNoWl, Scheme::kTossUpStrongWeak}) {
     SyntheticTrace workload(wp, "zipf-10%");
     const auto r = sim.run(scheme, workload, WriteCount{1} << 40);
-    std::printf("%-8s first page died after %llu demand writes "
-                "(%.1f%% of ideal; %.2fx write amplification)\n"
-                "         %s\n",
-                r.scheme.c_str(),
-                static_cast<unsigned long long>(r.demand_writes),
-                r.fraction_of_ideal * 100.0,
-                static_cast<double>(r.physical_writes) /
-                    static_cast<double>(r.demand_writes),
-                format_wear_summary(r.wear).c_str());
+    rep.note(strfmt("%-8s first page died after %llu demand writes "
+                    "(%.1f%% of ideal; %.2fx write amplification)\n"
+                    "         %s\n",
+                    r.scheme.c_str(),
+                    static_cast<unsigned long long>(r.demand_writes),
+                    r.fraction_of_ideal * 100.0,
+                    static_cast<double>(r.physical_writes) /
+                        static_cast<double>(r.demand_writes),
+                    format_wear_summary(r.wear).c_str()));
+    rep.scalar(r.scheme + ".fraction_of_ideal", r.fraction_of_ideal);
+    rep.scalar(r.scheme + ".demand_writes",
+               static_cast<double>(r.demand_writes));
   }
 
-  std::printf(
+  rep.note(strfmt(
       "\nTWL bonds each page to a partner (strong-weak pairing), and every\n"
       "%u writes a toss-up reallocates the write with probability\n"
       "E_A/(E_A+E_B) — so strong pages absorb more of the traffic without\n"
       "any prediction of future writes.\n",
-      config.twl.tossup_interval);
+      config.twl.tossup_interval));
+  rep.finish();
   return 0;
 }
 

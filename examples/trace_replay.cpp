@@ -4,10 +4,9 @@
 // methodology, minus gem5).
 //
 //   ./trace_replay [--pages N] [--endurance E] [--trace PATH]
-#include <cstdio>
-
 #include "analysis/report.h"
 #include "common/cli.h"
+#include "obs/report.h"
 #include "sim/lifetime_sim.h"
 #include "trace/parsec_model.h"
 #include "trace/trace_file.h"
@@ -21,6 +20,9 @@ constexpr const char kUsage[] =
     "  --pages N       scaled device size in pages (default 1024)\n"
     "  --endurance E   mean per-page endurance\n"
     "  --trace PATH    trace file to replay (plain-text addresses)\n"
+    "  --seed S        RNG seed\n"
+    "  --format F      report format: text (default), json, csv\n"
+    "  --out FILE      write the report to FILE instead of stdout\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -28,10 +30,19 @@ int run_impl(const twl::CliArgs& args) {
   SimScale scale;
   scale.pages = static_cast<std::uint64_t>(args.get_int_or("pages", 512));
   scale.endurance_mean = args.get_double_or("endurance", 4096);
+  scale.seed = args.get_uint_or("seed", scale.seed);
   const std::string path = args.get_or("trace", "/tmp/twl_demo.trc");
   const Config config = Config::scaled(scale);
 
-  std::printf("%s", heading("Trace record & replay").c_str());
+  ReportBuilder rep("trace_replay",
+                    parse_report_format(args.get_or("format", "text")),
+                    args.get_or("out", ""));
+  rep.begin_report("Trace record & replay");
+  rep.raw_text(heading("Trace record & replay"));
+  rep.config_entry("pages", scale.pages);
+  rep.config_entry("endurance_mean", scale.endurance_mean);
+  rep.config_entry("seed", scale.seed);
+  rep.config_entry("trace", path);
 
   // 1. Record a slice of the canneal model to a trace file.
   {
@@ -40,8 +51,8 @@ int run_impl(const twl::CliArgs& args) {
         path);
     for (int i = 0; i < 200000; ++i) (void)recorder.next();
   }
-  std::printf("recorded 200000 canneal-model requests to %s\n\n",
-              path.c_str());
+  rep.note(strfmt("recorded 200000 canneal-model requests to %s\n\n",
+                  path.c_str()));
 
   // 2. Replay the identical trace (looped, as the paper replays its gem5
   //    traces) under two schemes and compare lifetimes.
@@ -50,17 +61,20 @@ int run_impl(const twl::CliArgs& args) {
     TraceFileSource replay(path);
     const auto result = sim.run(parse_scheme(scheme), replay,
                                 WriteCount{1} << 40);
-    std::printf(
+    rep.note(strfmt(
         "%-5s survived %9llu demand writes (%.1f%% of ideal), trace looped "
         "%llu times\n",
         scheme,
         static_cast<unsigned long long>(result.demand_writes),
         result.fraction_of_ideal * 100.0,
-        static_cast<unsigned long long>(replay.loops()));
+        static_cast<unsigned long long>(replay.loops())));
+    rep.scalar(std::string(scheme) + ".fraction_of_ideal",
+               result.fraction_of_ideal);
   }
-  std::printf(
+  rep.note(
       "\nAny trace in the simple text format ('W <page>' / 'R <page>')\n"
       "can be replayed this way — see trace/trace_file.h.\n");
+  rep.finish();
   return 0;
 }
 

@@ -17,6 +17,12 @@ class TextTable {
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
+  /// Raw cells (row 0 is the header) — the JSON/CSV emitters read the
+  /// same strings the text renderer aligns.
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::vector<std::string>> rows_;
 };

@@ -15,7 +15,29 @@ namespace {
                  "' (expected " + expected + ")");
 }
 
+std::string canonical_name(const std::string& name) {
+  for (const auto& [alias, canonical] : deprecated_flag_aliases()) {
+    if (name == alias) return canonical;
+  }
+  return name;
+}
+
 }  // namespace
+
+const std::vector<std::pair<std::string, std::string>>&
+deprecated_flag_aliases() {
+  static const std::vector<std::pair<std::string, std::string>> kAliases = {
+      {"threads", "jobs"},        // pre-runner spelling
+      {"ratio-writes", "writes"}, // bench_fig7's old name
+      {"trace-file", "trace"},
+      {"wl", "scheme"},
+      {"scheme-spec", "scheme"},
+      {"fmt", "format"},
+      {"output", "out"},
+      {"out-file", "out"},
+  };
+  return kAliases;
+}
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -34,11 +56,12 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
         throw CliError("expected --flag=value, got: '--" + std::string(arg) +
                        "'");
       }
-      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      values_[canonical_name(std::string(arg.substr(0, eq)))] =
+          std::string(arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[std::string(arg)] = argv[++i];
+      values_[canonical_name(std::string(arg))] = argv[++i];
     } else {
-      values_[std::string(arg)] = "true";  // bare boolean flag
+      values_[canonical_name(std::string(arg))] = "true";  // bare boolean flag
     }
   }
 }
@@ -139,6 +162,11 @@ int run_cli_main(int argc, const char* const* argv, const std::string& usage,
     const CliArgs args(argc, argv);
     if (args.has("help")) {
       std::printf("%s", usage.c_str());
+      std::printf("\ndeprecated flag aliases (accepted, hidden):");
+      for (const auto& [alias, canonical] : deprecated_flag_aliases()) {
+        std::printf(" --%s=--%s", alias.c_str(), canonical.c_str());
+      }
+      std::printf("\n");
       return 0;
     }
     const int rc = body(args);

@@ -13,6 +13,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace twl {
@@ -25,9 +26,19 @@ class CliError : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// Old flag spellings accepted everywhere as hidden aliases of the
+/// canonical names (alias -> canonical). The canonical vocabulary is
+/// shared by all binaries: --jobs, --seed, --scheme, --trace, --format,
+/// --out, --writes. run_cli_main appends a deprecation note listing
+/// these to every --help.
+[[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+deprecated_flag_aliases();
+
 class CliArgs {
  public:
-  /// Parses argv. Throws CliError on malformed input.
+  /// Parses argv. Throws CliError on malformed input. Deprecated alias
+  /// spellings (see deprecated_flag_aliases) are canonicalized here, so
+  /// callers only ever see the canonical names.
   CliArgs(int argc, const char* const* argv);
 
   [[nodiscard]] std::optional<std::string> get(const std::string& name) const;

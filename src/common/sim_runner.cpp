@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/json.h"
+
 namespace twl {
 
 namespace {
@@ -30,6 +32,20 @@ double RunnerReport::demand_writes_per_second() const {
 
 double RunnerReport::parallel_speedup() const {
   return wall_seconds > 0.0 ? cell_seconds_sum / wall_seconds : 1.0;
+}
+
+void RunnerReport::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("jobs", jobs);
+  w.kv("cells", static_cast<std::uint64_t>(cells));
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("cell_seconds_sum", cell_seconds_sum);
+  w.kv("cell_seconds_max", cell_seconds_max);
+  w.kv("demand_writes", demand_writes);
+  w.kv("cells_per_second", cells_per_second());
+  w.kv("demand_writes_per_second", demand_writes_per_second());
+  w.kv("parallel_speedup", parallel_speedup());
+  w.end_object();
 }
 
 SimRunner::SimRunner(unsigned requested_jobs)

@@ -24,6 +24,8 @@
 
 namespace twl {
 
+class JsonWriter;
+
 /// One grid cell. Runs the simulation work and returns the number of
 /// demand writes it performed (0 when that is not meaningful) so the
 /// runner can report aggregate simulation throughput.
@@ -44,6 +46,10 @@ struct RunnerReport {
   [[nodiscard]] double demand_writes_per_second() const;
   /// serial-equivalent / wall: 1.0 when jobs == 1, up to `jobs` ideally.
   [[nodiscard]] double parallel_speedup() const;
+
+  /// One JSON object with every field plus the derived rates — the
+  /// "runner" member of the twl-report/1 schema.
+  void write_json(JsonWriter& w) const;
 };
 
 class SimRunner {

@@ -1,0 +1,123 @@
+// Minimal JSON support for the observability layer: a streaming writer
+// (the emitters' backend) and a small recursive-descent parser used by
+// the schema validator, the report_check tool and the round-trip tests.
+//
+// Deliberately dependency-free: the container bakes in no JSON library,
+// and the subset here (UTF-8 pass-through strings, double/uint64 numbers,
+// arrays, objects) is exactly what the versioned report schema needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace twl {
+
+/// Malformed JSON text handed to JsonValue::parse.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("schema"); w.value("twl-report/1");
+///   w.end_object();
+///   w.str();  // => {"schema":"twl-report/1"}
+///
+/// Structural misuse (value with no pending key inside an object,
+/// unbalanced end_*) throws std::logic_error — emitter bugs fail loudly
+/// instead of producing unparseable output.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Must be called before each value inside an object.
+  void key(const std::string& name);
+
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// Shorthand for key(name); value(v).
+  template <typename T>
+  void kv(const std::string& name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// The document so far. Valid once every begin_* has been closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] bool complete() const { return depth_ == 0 && !out_.empty(); }
+
+  /// JSON string escaping (quotes not included). Exposed for tests and
+  /// the CSV emitter's shared quoting logic.
+  [[nodiscard]] static std::string escape(const std::string& s);
+
+ private:
+  void before_value();
+
+  std::string out_;
+  // One flag per open container: true = object, false = array.
+  std::vector<bool> is_object_;
+  std::vector<bool> needs_comma_;
+  bool key_pending_ = false;
+  int depth_ = 0;
+};
+
+/// Parsed JSON document (tree form). Numbers are stored as double — the
+/// report schema never needs integers above 2^53 to survive exactly, and
+/// counters that large are out of simulation range anyway.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Throws JsonError (with byte offset) on malformed input or trailing
+  /// garbage.
+  [[nodiscard]] static JsonValue parse(const std::string& text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Typed accessors throw JsonError on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& name) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace twl

@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace twl {
+
+// ---------------------------------------------------------------------------
+// LogHistogram
+
+std::size_t LogHistogram::bucket_index(std::uint64_t v) {
+  // 0 -> bucket 0; otherwise bucket = bit_width(v): 1 -> 1, [2,4) -> 2, ...
+  return static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::uint64_t LogHistogram::bucket_lo(std::size_t i) {
+  if (i >= kBuckets) throw std::out_of_range("LogHistogram bucket");
+  if (i == 0) return 0;
+  return std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t LogHistogram::bucket_hi(std::size_t i) {
+  if (i >= kBuckets) throw std::out_of_range("LogHistogram bucket");
+  if (i == 0) return 1;
+  if (i == kBuckets - 1) return ~std::uint64_t{0};
+  return std::uint64_t{1} << i;
+}
+
+void LogHistogram::add_n(std::uint64_t v, std::uint64_t n) {
+  if (n == 0) return;
+  buckets_[bucket_index(v)] += n;
+  count_ += n;
+  sum_ += v * n;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double LogHistogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double LogHistogram::quantile(double q) const {
+  if (std::isnan(q) || q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("LogHistogram::quantile: q outside [0,1]");
+  }
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min());
+  if (q >= 1.0) return static_cast<double>(max_);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double lo_rank = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (static_cast<double>(seen) < target) continue;
+    // Interpolate within the bucket on a log scale (the bucket spans one
+    // octave, so log interpolation is uniform in bucket position).
+    const double frac =
+        (target - lo_rank) / static_cast<double>(buckets_[i]);
+    const double lo = static_cast<double>(std::max<std::uint64_t>(
+        std::max(bucket_lo(i), min()), 1));
+    const double hi = static_cast<double>(
+        std::max<std::uint64_t>(std::min(bucket_hi(i), max_), 1));
+    if (i == 0) return 0.0;  // The zero bucket holds only the value 0.
+    if (hi <= lo) return lo;
+    return lo * std::pow(hi / lo, frac);
+  }
+  return static_cast<double>(max_);
+}
+
+void LogHistogram::merge_from(const LogHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const LogHistogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const Counter* c = find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].add(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge& mine = gauges_[name];
+    mine.set(std::max(mine.value(), g.value()));
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].merge_from(h);
+  }
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c.value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) w.kv(name, g.value());
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h.count());
+    w.kv("sum", h.sum());
+    w.kv("min", h.min());
+    w.kv("max", h.max());
+    w.kv("mean", h.mean());
+    w.kv("p50", h.quantile(0.5));
+    w.kv("p95", h.quantile(0.95));
+    w.kv("p99", h.quantile(0.99));
+    // Sparse bucket dump: [bucket_lo, count] pairs for non-empty buckets.
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+      if (h.bucket_count(i) == 0) continue;
+      w.begin_array();
+      w.value(LogHistogram::bucket_lo(i));
+      w.value(h.bucket_count(i));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace twl

@@ -1,0 +1,151 @@
+// Metrics registry: named counters, gauges and log2-bucketed histograms.
+//
+// Design constraints (DESIGN.md "Observability"):
+//  * allocation-free on the hot path — instruments resolve their handle
+//    once (a stable reference into the registry's node-based map) and
+//    every subsequent add/inc is a plain integer update;
+//  * mergeable across SimRunner worker threads under the determinism
+//    contract — every combining operation (counter sum, histogram
+//    bucket-wise sum, gauge max) is commutative and associative, and
+//    iteration order is lexicographic by name, so merging per-cell
+//    registries yields the same registry for --jobs 1 and --jobs N;
+//  * comparable — operator== makes "registries identical" a testable
+//    statement, which is how the merge determinism contract is enforced.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace twl {
+
+class JsonWriter;
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc() { ++value_; }
+  void add(std::uint64_t n) { value_ += n; }
+  /// Merge-time / publish-time absolute set (counters published from an
+  /// end-of-run snapshot land with one call instead of a add-diff dance).
+  void set(std::uint64_t v) { value_ = v; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+  friend bool operator==(const Counter&, const Counter&) = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time measurement. Merged by max: the only commutative choice
+/// that is also useful for the gauges we export (peaks, final levels of
+/// identically-computed per-cell values).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+  friend bool operator==(const Gauge&, const Gauge&) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log2-bucketed histogram over uint64 samples (latencies in cycles,
+/// wear counts, occupancy). Bucket 0 holds the value 0; bucket i >= 1
+/// holds [2^(i-1), 2^i). Fixed bucket array — add() never allocates.
+class LogHistogram {
+ public:
+  /// 0, then one bucket per power of two up to 2^63.
+  static constexpr std::size_t kBuckets = 65;
+
+  void add(std::uint64_t v) { add_n(v, 1); }
+  void add_n(std::uint64_t v, std::uint64_t n);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const;
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_.at(i);
+  }
+  /// Inclusive lower / exclusive upper value bound of bucket i.
+  [[nodiscard]] static std::uint64_t bucket_lo(std::size_t i);
+  [[nodiscard]] static std::uint64_t bucket_hi(std::size_t i);
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v);
+
+  /// Value below which a fraction q (in [0,1]) of the samples lie,
+  /// log-interpolated within the containing bucket. Exact min/max are
+  /// tracked separately, so quantile(0) == min() and quantile(1) == max().
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Bucket-wise sum; exact min/max combine exactly. Commutative.
+  void merge_from(const LogHistogram& other);
+
+  friend bool operator==(const LogHistogram&, const LogHistogram&) = default;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+/// Named instruments. Handle references returned by counter()/gauge()/
+/// histogram() are stable for the registry's lifetime (node-based map),
+/// so call sites resolve once and update allocation-free thereafter.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LogHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  /// Read-only lookups; nullptr when the instrument was never created.
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const LogHistogram* find_histogram(
+      const std::string& name) const;
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  /// Commutative combine: counters sum, histograms sum bucket-wise,
+  /// gauges take the max. merge_from(A); merge_from(B) equals
+  /// merge_from(B); merge_from(A) on any starting registry.
+  void merge_from(const MetricsRegistry& other);
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Lexicographic-by-name iteration (the maps are ordered).
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, LogHistogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Serializes the registry as one JSON object value (counters, gauges,
+  /// histograms sub-objects), keys in lexicographic order.
+  void write_json(JsonWriter& w) const;
+
+  friend bool operator==(const MetricsRegistry&,
+                         const MetricsRegistry&) = default;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LogHistogram> histograms_;
+};
+
+}  // namespace twl

@@ -1,0 +1,493 @@
+#include "obs/report.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <stdexcept>
+
+#include "common/cli.h"
+#include "obs/json.h"
+
+namespace twl {
+
+ReportFormat parse_report_format(const std::string& s) {
+  if (s == "text") return ReportFormat::kText;
+  if (s == "json") return ReportFormat::kJson;
+  if (s == "csv") return ReportFormat::kCsv;
+  throw CliError("unknown --format '" + s + "' (expected text, json or csv)");
+}
+
+std::string to_string(ReportFormat f) {
+  switch (f) {
+    case ReportFormat::kText: return "text";
+    case ReportFormat::kJson: return "json";
+    case ReportFormat::kCsv: return "csv";
+  }
+  return "unknown";
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n < 0) {
+    va_end(args2);
+    throw std::runtime_error("strfmt: format error");
+  }
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+namespace {
+
+// Number rendering shared by the CSV emitter with JsonWriter's policy:
+// integer-valued doubles print as integers, the rest round-trip via %.17g.
+std::string fmt_number(double v) {
+  if (!std::isfinite(v)) return "";
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void csv_row(std::string& out, const std::string& kind,
+             const std::string& name, const std::string& row,
+             const std::string& column, const std::string& value) {
+  out += csv_escape(kind);
+  out += ',';
+  out += csv_escape(name);
+  out += ',';
+  out += csv_escape(row);
+  out += ',';
+  out += csv_escape(column);
+  out += ',';
+  out += csv_escape(value);
+  out += '\n';
+}
+
+}  // namespace
+
+ReportBuilder::ReportBuilder(std::string binary, ReportFormat format,
+                             std::string out_path, std::FILE* text_stream)
+    : binary_(std::move(binary)),
+      format_(format),
+      out_path_(std::move(out_path)),
+      text_stream_(text_stream) {
+  if (format_ == ReportFormat::kText && !out_path_.empty()) {
+    text_stream_ = std::fopen(out_path_.c_str(), "w");
+    if (text_stream_ == nullptr) {
+      throw CliError("cannot open --out file '" + out_path_ + "'");
+    }
+    owns_text_stream_ = true;
+  }
+}
+
+ReportBuilder::~ReportBuilder() {
+  if (owns_text_stream_ && text_stream_ != nullptr) {
+    std::fclose(text_stream_);
+    text_stream_ = nullptr;
+  }
+}
+
+void ReportBuilder::text_out(const std::string& chunk) {
+  if (format_ != ReportFormat::kText) return;
+  std::fwrite(chunk.data(), 1, chunk.size(), text_stream_);
+}
+
+void ReportBuilder::begin_report(const std::string& title) { title_ = title; }
+
+void ReportBuilder::config_entry(const std::string& name,
+                                 const std::string& value) {
+  config_.push_back({name, ConfigEntry::Kind::kString, value, 0.0, false});
+}
+
+void ReportBuilder::config_entry(const std::string& name, const char* value) {
+  config_entry(name, std::string(value));
+}
+
+void ReportBuilder::config_entry(const std::string& name, double value) {
+  config_.push_back({name, ConfigEntry::Kind::kNumber, "", value, false});
+}
+
+void ReportBuilder::config_entry(const std::string& name,
+                                 std::uint64_t value) {
+  config_entry(name, static_cast<double>(value));
+}
+
+void ReportBuilder::config_entry(const std::string& name, bool value) {
+  config_.push_back({name, ConfigEntry::Kind::kBool, "", 0.0, value});
+}
+
+void ReportBuilder::raw_text(const std::string& chunk) { text_out(chunk); }
+
+void ReportBuilder::note(const std::string& chunk) {
+  text_out(chunk);
+  notes_.push_back(chunk);
+}
+
+void ReportBuilder::table(const std::string& name, const TextTable& table) {
+  text_out(table.to_string());
+  tables_.push_back({name, table.data()});
+}
+
+void ReportBuilder::scalar(const std::string& name, double value) {
+  scalars_.emplace_back(name, value);
+}
+
+void ReportBuilder::runner(const RunnerReport& r, bool print_legacy_footer) {
+  have_runner_ = true;
+  runner_ = r;
+  if (!print_legacy_footer) return;
+  text_out(strfmt(
+      "\n[runner] %zu cells, %u jobs: wall %.2f s, %.2f cells/s, "
+      "%.3g demand-writes/s\n"
+      "[runner] serial-equivalent %.2f s (speedup %.2fx), "
+      "slowest cell %.2f s\n",
+      r.cells, r.jobs, r.wall_seconds, r.cells_per_second(),
+      r.demand_writes_per_second(), r.cell_seconds_sum, r.parallel_speedup(),
+      r.cell_seconds_max));
+}
+
+void ReportBuilder::metrics(const MetricsRegistry& m) {
+  metrics_.merge_from(m);
+}
+
+std::string ReportBuilder::render_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kReportSchema);
+  w.kv("binary", binary_);
+  w.kv("title", title_);
+  w.key("config");
+  w.begin_object();
+  for (const ConfigEntry& e : config_) {
+    w.key(e.name);
+    switch (e.kind) {
+      case ConfigEntry::Kind::kString: w.value(e.str); break;
+      case ConfigEntry::Kind::kNumber: w.value(e.num); break;
+      case ConfigEntry::Kind::kBool: w.value(e.boolean); break;
+    }
+  }
+  w.end_object();
+  w.key("notes");
+  w.begin_array();
+  for (const std::string& n : notes_) w.value(n);
+  w.end_array();
+  w.key("tables");
+  w.begin_array();
+  for (const TableRecord& t : tables_) {
+    w.begin_object();
+    w.kv("name", t.name);
+    w.key("columns");
+    w.begin_array();
+    if (!t.cells.empty()) {
+      for (const std::string& c : t.cells.front()) w.value(c);
+    }
+    w.end_array();
+    w.key("rows");
+    w.begin_array();
+    for (std::size_t r = 1; r < t.cells.size(); ++r) {
+      w.begin_array();
+      for (const std::string& c : t.cells[r]) w.value(c);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("scalars");
+  w.begin_object();
+  for (const auto& [name, v] : scalars_) w.kv(name, v);
+  w.end_object();
+  if (have_runner_) {
+    w.key("runner");
+    runner_.write_json(w);
+  }
+  if (!metrics_.empty()) {
+    w.key("metrics");
+    metrics_.write_json(w);
+  }
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string ReportBuilder::render_csv() const {
+  std::string out = "kind,name,row,column,value\n";
+  csv_row(out, "meta", "schema", "", "", kReportSchema);
+  csv_row(out, "meta", "binary", "", "", binary_);
+  csv_row(out, "meta", "title", "", "", title_);
+  for (const ConfigEntry& e : config_) {
+    switch (e.kind) {
+      case ConfigEntry::Kind::kString:
+        csv_row(out, "config", e.name, "", "", e.str);
+        break;
+      case ConfigEntry::Kind::kNumber:
+        csv_row(out, "config", e.name, "", "", fmt_number(e.num));
+        break;
+      case ConfigEntry::Kind::kBool:
+        csv_row(out, "config", e.name, "", "", e.boolean ? "true" : "false");
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    csv_row(out, "note", std::to_string(i), "", "", notes_[i]);
+  }
+  for (const TableRecord& t : tables_) {
+    if (t.cells.empty()) continue;
+    const std::vector<std::string>& header = t.cells.front();
+    for (std::size_t r = 1; r < t.cells.size(); ++r) {
+      for (std::size_t c = 0; c < t.cells[r].size(); ++c) {
+        const std::string& col =
+            c < header.size() ? header[c] : std::to_string(c);
+        csv_row(out, "table", t.name, std::to_string(r - 1), col,
+                t.cells[r][c]);
+      }
+    }
+  }
+  for (const auto& [name, v] : scalars_) {
+    csv_row(out, "scalar", name, "", "", fmt_number(v));
+  }
+  if (have_runner_) {
+    const RunnerReport& r = runner_;
+    csv_row(out, "runner", "jobs", "", "", std::to_string(r.jobs));
+    csv_row(out, "runner", "cells", "", "", std::to_string(r.cells));
+    csv_row(out, "runner", "wall_seconds", "", "",
+            fmt_number(r.wall_seconds));
+    csv_row(out, "runner", "cell_seconds_sum", "", "",
+            fmt_number(r.cell_seconds_sum));
+    csv_row(out, "runner", "cell_seconds_max", "", "",
+            fmt_number(r.cell_seconds_max));
+    csv_row(out, "runner", "demand_writes", "", "",
+            std::to_string(r.demand_writes));
+    csv_row(out, "runner", "cells_per_second", "", "",
+            fmt_number(r.cells_per_second()));
+    csv_row(out, "runner", "demand_writes_per_second", "", "",
+            fmt_number(r.demand_writes_per_second()));
+    csv_row(out, "runner", "parallel_speedup", "", "",
+            fmt_number(r.parallel_speedup()));
+  }
+  for (const auto& [name, c] : metrics_.counters()) {
+    csv_row(out, "counter", name, "", "", std::to_string(c.value()));
+  }
+  for (const auto& [name, g] : metrics_.gauges()) {
+    csv_row(out, "gauge", name, "", "", fmt_number(g.value()));
+  }
+  for (const auto& [name, h] : metrics_.histograms()) {
+    csv_row(out, "histogram", name, "", "count", std::to_string(h.count()));
+    csv_row(out, "histogram", name, "", "sum", std::to_string(h.sum()));
+    csv_row(out, "histogram", name, "", "min", std::to_string(h.min()));
+    csv_row(out, "histogram", name, "", "max", std::to_string(h.max()));
+    csv_row(out, "histogram", name, "", "mean", fmt_number(h.mean()));
+    csv_row(out, "histogram", name, "", "p50", fmt_number(h.quantile(0.5)));
+    csv_row(out, "histogram", name, "", "p95", fmt_number(h.quantile(0.95)));
+    csv_row(out, "histogram", name, "", "p99", fmt_number(h.quantile(0.99)));
+  }
+  return out;
+}
+
+std::string ReportBuilder::render() const {
+  switch (format_) {
+    case ReportFormat::kText: return "";
+    case ReportFormat::kJson: return render_json();
+    case ReportFormat::kCsv: return render_csv();
+  }
+  return "";
+}
+
+void ReportBuilder::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (format_ == ReportFormat::kText) {
+    std::fflush(text_stream_);
+    if (owns_text_stream_) {
+      std::fclose(text_stream_);
+      text_stream_ = nullptr;
+      owns_text_stream_ = false;
+    }
+    return;
+  }
+  const std::string doc = render();
+  if (out_path_.empty()) {
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    std::fflush(stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(out_path_.c_str(), "w");
+  if (f == nullptr) {
+    throw CliError("cannot open --out file '" + out_path_ + "'");
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation
+
+namespace {
+
+void require_string_member(const JsonValue& doc, const std::string& name,
+                           std::vector<std::string>& problems) {
+  const JsonValue* v = doc.find(name);
+  if (v == nullptr) {
+    problems.push_back("missing \"" + name + "\"");
+  } else if (!v->is_string()) {
+    problems.push_back("\"" + name + "\" is not a string");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_report(const JsonValue& doc) {
+  std::vector<std::string> problems;
+  if (!doc.is_object()) {
+    problems.push_back("document is not an object");
+    return problems;
+  }
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    problems.push_back("missing string \"schema\"");
+  } else if (schema->as_string() != kReportSchema) {
+    problems.push_back("schema is \"" + schema->as_string() +
+                       "\", expected \"" + kReportSchema + "\"");
+  }
+  require_string_member(doc, "binary", problems);
+  require_string_member(doc, "title", problems);
+
+  const JsonValue* config = doc.find("config");
+  if (config == nullptr || !config->is_object()) {
+    problems.push_back("missing object \"config\"");
+  } else {
+    for (const auto& [name, v] : config->as_object()) {
+      if (!v.is_string() && !v.is_number() && !v.is_bool()) {
+        problems.push_back("config." + name +
+                           " is not a string/number/bool");
+      }
+    }
+  }
+
+  const JsonValue* notes = doc.find("notes");
+  if (notes == nullptr || !notes->is_array()) {
+    problems.push_back("missing array \"notes\"");
+  } else {
+    for (std::size_t i = 0; i < notes->as_array().size(); ++i) {
+      if (!notes->as_array()[i].is_string()) {
+        problems.push_back("notes[" + std::to_string(i) +
+                           "] is not a string");
+      }
+    }
+  }
+
+  const JsonValue* tables = doc.find("tables");
+  if (tables == nullptr || !tables->is_array()) {
+    problems.push_back("missing array \"tables\"");
+  } else {
+    for (std::size_t i = 0; i < tables->as_array().size(); ++i) {
+      const JsonValue& t = tables->as_array()[i];
+      const std::string where = "tables[" + std::to_string(i) + "]";
+      if (!t.is_object()) {
+        problems.push_back(where + " is not an object");
+        continue;
+      }
+      const JsonValue* name = t.find("name");
+      if (name == nullptr || !name->is_string()) {
+        problems.push_back(where + " has no string \"name\"");
+      }
+      const JsonValue* columns = t.find("columns");
+      std::size_t width = 0;
+      if (columns == nullptr || !columns->is_array()) {
+        problems.push_back(where + " has no array \"columns\"");
+      } else {
+        width = columns->as_array().size();
+        for (const JsonValue& c : columns->as_array()) {
+          if (!c.is_string()) {
+            problems.push_back(where + " has a non-string column name");
+            break;
+          }
+        }
+      }
+      const JsonValue* rows = t.find("rows");
+      if (rows == nullptr || !rows->is_array()) {
+        problems.push_back(where + " has no array \"rows\"");
+      } else {
+        for (std::size_t r = 0; r < rows->as_array().size(); ++r) {
+          const JsonValue& row = rows->as_array()[r];
+          if (!row.is_array()) {
+            problems.push_back(where + ".rows[" + std::to_string(r) +
+                               "] is not an array");
+            continue;
+          }
+          if (columns != nullptr && columns->is_array() &&
+              row.as_array().size() != width) {
+            problems.push_back(where + ".rows[" + std::to_string(r) +
+                               "] has " +
+                               std::to_string(row.as_array().size()) +
+                               " cells, expected " + std::to_string(width));
+          }
+        }
+      }
+    }
+  }
+
+  const JsonValue* scalars = doc.find("scalars");
+  if (scalars == nullptr || !scalars->is_object()) {
+    problems.push_back("missing object \"scalars\"");
+  } else {
+    for (const auto& [name, v] : scalars->as_object()) {
+      if (!v.is_number() && !v.is_null()) {
+        problems.push_back("scalars." + name + " is not a number");
+      }
+    }
+  }
+
+  const JsonValue* runner = doc.find("runner");
+  if (runner != nullptr) {
+    if (!runner->is_object()) {
+      problems.push_back("\"runner\" is not an object");
+    } else {
+      for (const char* field : {"jobs", "cells", "wall_seconds",
+                                "cell_seconds_sum", "demand_writes"}) {
+        const JsonValue* v = runner->find(field);
+        if (v == nullptr || !v->is_number()) {
+          problems.push_back(std::string("runner.") + field +
+                             " is not a number");
+        }
+      }
+    }
+  }
+
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics != nullptr) {
+    if (!metrics->is_object()) {
+      problems.push_back("\"metrics\" is not an object");
+    } else {
+      for (const char* section : {"counters", "gauges", "histograms"}) {
+        const JsonValue* v = metrics->find(section);
+        if (v == nullptr || !v->is_object()) {
+          problems.push_back(std::string("metrics.") + section +
+                             " is not an object");
+        }
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace twl

@@ -1,0 +1,152 @@
+// Unified machine-readable reporting for every bench and example.
+//
+// One ReportBuilder per binary. The binary narrates its run through the
+// builder — banner text, config entries, result tables, scalars, runner
+// timing, metrics — and the builder renders it in the format the user
+// asked for:
+//
+//  * text (default): every raw_text/note/table call prints its legacy
+//    bytes immediately, so the default output is byte-identical to the
+//    pre-observability binaries;
+//  * json: nothing prints along the way; finish() emits one versioned
+//    document (schema "twl-report/1") to stdout or --out FILE;
+//  * csv: same recording, rendered as long-format rows
+//    (kind,name,row,column,value).
+//
+// The schema, shared by all 17 binaries:
+//   {
+//     "schema":  "twl-report/1",
+//     "binary":  "bench_fig6",
+//     "title":   "Figure 6: lifetime under ...",
+//     "config":  { "pages": 131072, ... },
+//     "notes":   [ "..." ],
+//     "tables":  [ { "name": "...", "columns": [...], "rows": [[...]] } ],
+//     "scalars": { "name": 1.25, ... },
+//     "runner":  { "jobs": 4, ... },        // optional
+//     "metrics": { "counters": {...}, ... } // optional
+//   }
+// validate_report() checks a parsed document against this shape; the
+// report_check tool and CI use it.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/report.h"
+#include "common/sim_runner.h"
+#include "obs/metrics.h"
+
+namespace twl {
+
+class JsonValue;
+
+enum class ReportFormat { kText, kJson, kCsv };
+
+/// "text" | "json" | "csv"; throws CliError on anything else.
+[[nodiscard]] ReportFormat parse_report_format(const std::string& s);
+[[nodiscard]] std::string to_string(ReportFormat f);
+
+inline constexpr const char kReportSchema[] = "twl-report/1";
+
+/// printf-into-std::string, used to assemble the legacy banner/footer
+/// bytes that text mode must reproduce exactly.
+[[nodiscard]] std::string strfmt(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+class ReportBuilder {
+ public:
+  /// `out_path` empty means stdout. In text mode a non-empty out_path
+  /// redirects the text there; in json/csv mode it is where finish()
+  /// writes the document. `text_stream` exists for tests.
+  ReportBuilder(std::string binary, ReportFormat format,
+                std::string out_path = "", std::FILE* text_stream = stdout);
+  ~ReportBuilder();
+
+  ReportBuilder(const ReportBuilder&) = delete;
+  ReportBuilder& operator=(const ReportBuilder&) = delete;
+
+  [[nodiscard]] ReportFormat format() const { return format_; }
+
+  void begin_report(const std::string& title);
+
+  /// Config entries land in the "config" object (insertion order).
+  void config_entry(const std::string& name, const std::string& value);
+  void config_entry(const std::string& name, const char* value);
+  void config_entry(const std::string& name, double value);
+  void config_entry(const std::string& name, std::uint64_t value);
+  void config_entry(const std::string& name, unsigned value) {
+    config_entry(name, static_cast<std::uint64_t>(value));
+  }
+  void config_entry(const std::string& name, bool value);
+
+  /// Text-mode passthrough: printed verbatim in text mode, absent from
+  /// structured output. For spacing/legacy bytes with no data content.
+  void raw_text(const std::string& chunk);
+
+  /// Printed verbatim in text mode AND recorded in "notes".
+  void note(const std::string& chunk);
+
+  /// Records the table; text mode prints table.to_string() verbatim.
+  void table(const std::string& name, const TextTable& table);
+
+  void scalar(const std::string& name, double value);
+
+  /// Records runner timing; text mode prints the legacy [runner] footer
+  /// unless the binary opts out to print its own (via raw_text).
+  void runner(const RunnerReport& r, bool print_legacy_footer = true);
+
+  /// Attaches end-of-run metrics (merged registry). Only non-empty
+  /// registries are emitted.
+  void metrics(const MetricsRegistry& m);
+
+  /// Emits the document (json/csv) or flushes text. Idempotent.
+  void finish();
+
+  /// The rendered json/csv document (also what finish() writes); empty
+  /// in text mode. Exposed for tests.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct ConfigEntry {
+    enum class Kind { kString, kNumber, kBool };
+    std::string name;
+    Kind kind;
+    std::string str;
+    double num = 0.0;
+    bool boolean = false;
+  };
+  struct TableRecord {
+    std::string name;
+    std::vector<std::vector<std::string>> cells;  // row 0 = header
+  };
+
+  void text_out(const std::string& chunk);
+  [[nodiscard]] std::string render_json() const;
+  [[nodiscard]] std::string render_csv() const;
+
+  std::string binary_;
+  ReportFormat format_;
+  std::string out_path_;
+  std::FILE* text_stream_;
+  bool owns_text_stream_ = false;
+  bool finished_ = false;
+
+  std::string title_;
+  std::vector<ConfigEntry> config_;
+  std::vector<std::string> notes_;
+  std::vector<TableRecord> tables_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  bool have_runner_ = false;
+  RunnerReport runner_{};
+  MetricsRegistry metrics_;
+};
+
+/// Structural check of a parsed report against "twl-report/1". Returns
+/// one human-readable problem per violation; empty means valid.
+[[nodiscard]] std::vector<std::string> validate_report(const JsonValue& doc);
+
+}  // namespace twl

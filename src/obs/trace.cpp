@@ -1,0 +1,85 @@
+#include "obs/trace.h"
+
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace twl {
+
+std::string to_string(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kDemandWrite: return "demand_write";
+    case TraceEventType::kSwapBegin: return "swap_begin";
+    case TraceEventType::kSwapCommit: return "swap_commit";
+    case TraceEventType::kBlockingBegin: return "blocking_begin";
+    case TraceEventType::kBlockingEnd: return "blocking_end";
+    case TraceEventType::kPageRetired: return "page_retired";
+    case TraceEventType::kJournalRecord: return "journal_record";
+    case TraceEventType::kCrash: return "crash";
+    case TraceEventType::kRecover: return "recover";
+  }
+  return "unknown";
+}
+
+EventTracer::EventTracer(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("EventTracer: capacity must be > 0");
+  }
+  ring_.resize(capacity);
+}
+
+void EventTracer::record(TraceEventType type, std::uint64_t arg0,
+                         std::uint64_t arg1) {
+  TraceEvent& slot = ring_[next_seq_ % ring_.size()];
+  slot.seq = next_seq_;
+  slot.type = type;
+  slot.arg0 = arg0;
+  slot.arg1 = arg1;
+  ++next_seq_;
+  ++counts_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t EventTracer::dropped() const {
+  return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
+}
+
+std::vector<TraceEvent> EventTracer::events() const {
+  std::vector<TraceEvent> out;
+  const std::uint64_t first = dropped();
+  out.reserve(static_cast<std::size_t>(next_seq_ - first));
+  for (std::uint64_t s = first; s < next_seq_; ++s) {
+    out.push_back(ring_[s % ring_.size()]);
+  }
+  return out;
+}
+
+void EventTracer::clear() {
+  next_seq_ = 0;
+  for (auto& c : counts_) c = 0;
+}
+
+void EventTracer::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("total_events", total_events());
+  w.kv("dropped", dropped());
+  w.key("counts");
+  w.begin_object();
+  for (std::size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    w.kv(to_string(static_cast<TraceEventType>(i)), counts_[i]);
+  }
+  w.end_object();
+  w.key("events");
+  w.begin_array();
+  for (const TraceEvent& e : events()) {
+    w.begin_array();
+    w.value(e.seq);
+    w.value(to_string(e.type));
+    w.value(e.arg0);
+    w.value(e.arg1);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace twl

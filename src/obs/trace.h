@@ -1,0 +1,93 @@
+// Typed event tracing for the simulators.
+//
+// The tracer records the wear-leveling control-plane events the paper
+// reasons about — demand writes, swap begin/commit, blocking phases, page
+// retirement, journal records, crash/recover — into a fixed-capacity ring
+// buffer (allocation-free after construction) plus always-exact per-type
+// counts.
+//
+// Hot-path call sites go through the TWL_TRACE macro. By default
+// (TWL_TRACING undefined or 0) the macro expands to nothing: the
+// instrumented binaries are bit-identical to a tree without this header,
+// which is what the seed-golden regression tests require. Configure with
+// -DTWL_TRACING=ON (CMake option) to compile the hooks in; attaching a
+// tracer then records events without perturbing any simulation result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twl {
+
+class JsonWriter;
+
+enum class TraceEventType : std::uint8_t {
+  kDemandWrite,    ///< One demand write entered the controller.
+  kSwapBegin,      ///< Swap/migration intent (args: from, to).
+  kSwapCommit,     ///< The copy completed.
+  kBlockingBegin,  ///< Whole-memory blocking reorganization started.
+  kBlockingEnd,
+  kPageRetired,    ///< Page salvaged onto a spare (args: page, spare).
+  kJournalRecord,  ///< A metadata-journal record was appended.
+  kCrash,          ///< Simulated power failure injected.
+  kRecover,        ///< Recovery completed (args: replayed writes).
+};
+
+inline constexpr std::size_t kNumTraceEventTypes = 9;
+
+[[nodiscard]] std::string to_string(TraceEventType t);
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  ///< Global event ordinal (0-based).
+  TraceEventType type = TraceEventType::kDemandWrite;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class EventTracer {
+ public:
+  /// `capacity` bounds the retained ring; per-type totals stay exact
+  /// regardless. Throws std::invalid_argument on capacity == 0.
+  explicit EventTracer(std::size_t capacity = 4096);
+
+  void record(TraceEventType type, std::uint64_t arg0 = 0,
+              std::uint64_t arg1 = 0);
+
+  [[nodiscard]] std::uint64_t total_events() const { return next_seq_; }
+  [[nodiscard]] std::uint64_t count(TraceEventType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events dropped off the front of the ring.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  void clear();
+
+  /// One JSON object: per-type totals plus the retained event list.
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t counts_[kNumTraceEventTypes] = {};
+};
+
+}  // namespace twl
+
+// Compile-out-able hot-path hook. `tracer` is an EventTracer* (may be
+// nullptr). With TWL_TRACING off the arguments are not evaluated.
+#if defined(TWL_TRACING) && TWL_TRACING
+#define TWL_TRACE(tracer, ...)                        \
+  do {                                                \
+    if ((tracer) != nullptr) (tracer)->record(__VA_ARGS__); \
+  } while (0)
+#else
+#define TWL_TRACE(tracer, ...) ((void)0)
+#endif

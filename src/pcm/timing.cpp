@@ -9,7 +9,8 @@ namespace twl {
 PcmTiming::PcmTiming(const PcmGeometry& geometry,
                      const PcmTimingParams& params)
     : banks_(std::max<std::uint32_t>(1, geometry.banks)),
-      bank_busy_until_(banks_, 0) {
+      bank_busy_until_(banks_, 0),
+      bank_busy_cycles_(banks_, 0) {
   const double lines = geometry.lines_per_page();
   const auto write_batches = static_cast<Cycles>(
       std::ceil(lines * kDcwFraction / kWriteParallelism));
@@ -27,6 +28,7 @@ ServiceResult PcmTiming::service(PhysicalPageAddr pa, Op op, Cycles now) {
       op == Op::kWrite ? page_write_cycles_ : page_read_cycles_;
   const Cycles done = start + cost;
   bank_busy_until_[bank] = done;
+  bank_busy_cycles_[bank] += cost;
   return {start, done};
 }
 
@@ -36,6 +38,7 @@ void PcmTiming::block_all_until(Cycles until) {
 
 void PcmTiming::reset() {
   std::fill(bank_busy_until_.begin(), bank_busy_until_.end(), Cycles{0});
+  std::fill(bank_busy_cycles_.begin(), bank_busy_cycles_.end(), Cycles{0});
 }
 
 }  // namespace twl

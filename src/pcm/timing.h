@@ -51,6 +51,15 @@ class PcmTiming {
     return bank_busy_until_[bank];
   }
 
+  [[nodiscard]] std::uint32_t banks() const { return banks_; }
+
+  /// Cumulative cycles bank `bank` has spent serving requests (occupancy;
+  /// block_all_until idles banks and does not count). The observability
+  /// layer exports the per-bank distribution as a histogram.
+  [[nodiscard]] Cycles bank_busy_cycles(std::uint32_t bank) const {
+    return bank_busy_cycles_[bank];
+  }
+
   void reset();
 
   /// Fraction of a page's lines actually rewritten under DCW; calibration
@@ -66,6 +75,7 @@ class PcmTiming {
   Cycles page_write_cycles_;
   Cycles page_read_cycles_;
   std::vector<Cycles> bank_busy_until_;
+  std::vector<Cycles> bank_busy_cycles_;
 };
 
 }  // namespace twl

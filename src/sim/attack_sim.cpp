@@ -1,6 +1,22 @@
 #include "sim/attack_sim.h"
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+
 namespace twl {
+
+void AttackResult::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("scheme", scheme);
+  w.kv("attack", attack);
+  w.kv("failed", failed);
+  w.kv("demand_writes", demand_writes);
+  w.kv("fraction_of_ideal", fraction_of_ideal);
+  w.kv("end_time_cycles", end_time);
+  w.key("stats");
+  stats.write_json(w);
+  w.end_object();
+}
 
 AttackSimulator::AttackSimulator(const Config& config)
     : config_(config),
@@ -9,10 +25,14 @@ AttackSimulator::AttackSimulator(const Config& config)
 }
 
 AttackResult AttackSimulator::run(Scheme scheme, AttackProgram& attack,
-                                  WriteCount max_demand) const {
+                                  WriteCount max_demand,
+                                  MetricsRegistry* metrics,
+                                  EventTracer* tracer) const {
   PcmDevice device(endurance_, config_.fault, config_.seed);
   const auto wl = make_wear_leveler(scheme, endurance_, config_);
   MemoryController controller(device, *wl, config_, /*enable_timing=*/true);
+  controller.attach_metrics(metrics);
+  controller.attach_tracer(tracer);
 
   const std::uint64_t space = wl->logical_pages();
   Cycles now = 0;
@@ -35,6 +55,14 @@ AttackResult AttackSimulator::run(Scheme scheme, AttackProgram& attack,
   result.stats = controller.stats();
   result.scheme = wl->name();
   result.attack = attack.name();
+  if (metrics != nullptr) {
+    controller.publish_metrics(*metrics);
+    metrics->counter("sim.attack.runs").inc();
+    metrics->gauge("sim.attack.fraction_of_ideal")
+        .set(result.fraction_of_ideal);
+    metrics->gauge("sim.attack.end_time_cycles")
+        .set(static_cast<double>(result.end_time));
+  }
   return result;
 }
 

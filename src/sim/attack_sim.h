@@ -18,6 +18,10 @@
 
 namespace twl {
 
+class EventTracer;
+class JsonWriter;
+class MetricsRegistry;
+
 struct AttackResult {
   bool failed = false;
   WriteCount demand_writes = 0;
@@ -26,6 +30,9 @@ struct AttackResult {
   ControllerStats stats;
   std::string scheme;
   std::string attack;
+
+  /// One JSON object with every field.
+  void write_json(JsonWriter& w) const;
 };
 
 class AttackSimulator {
@@ -34,8 +41,11 @@ class AttackSimulator {
 
   /// Const: run state is local, so one simulator may serve concurrent
   /// SimRunner cells (each cell still needs its own AttackProgram).
+  /// `metrics`/`tracer` as in LifetimeSimulator::run; detached (the
+  /// default) is bit-identical to the pre-observability simulator.
   AttackResult run(Scheme scheme, AttackProgram& attack,
-                   WriteCount max_demand) const;
+                   WriteCount max_demand, MetricsRegistry* metrics = nullptr,
+                   EventTracer* tracer = nullptr) const;
 
   [[nodiscard]] const EnduranceMap& endurance() const { return endurance_; }
 

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pcm/device.h"
 #include "recovery/journal.h"
 #include "recovery/recovery.h"
@@ -61,6 +64,27 @@ MemoryRequest write_request(LogicalPageAddr la) {
 
 }  // namespace
 
+void CrashTrialResult::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("crash_write", crash_write);
+  w.kv("committed_writes", committed_writes);
+  w.kv("commit_survived", commit_survived);
+  w.kv("torn_tail", torn_tail);
+  w.kv("garbage_tail", garbage_tail);
+  w.kv("cut_bytes", cut_bytes);
+  w.kv("orphan_swap_intents", orphan_swap_intents);
+  w.kv("replayed_writes", replayed_writes);
+  w.kv("snapshots_taken", snapshots_taken);
+  w.kv("journal_bytes_total", journal_bytes_total);
+  w.kv("mapping_bijective", mapping_bijective);
+  w.kv("state_matches_reference", state_matches_reference);
+  w.kv("rollback_consistent", rollback_consistent);
+  w.kv("wear_drift_bounded", wear_drift_bounded);
+  w.kv("continuation_matches", continuation_matches);
+  w.kv("all_invariants_hold", all_invariants_hold());
+  w.end_object();
+}
+
 CrashSimulator::CrashSimulator(const Config& config,
                                const CrashSimParams& params)
     : config_(config),
@@ -73,7 +97,9 @@ CrashSimulator::CrashSimulator(const Config& config,
          "crash trials model no retirement (see header)");
 }
 
-CrashTrialResult CrashSimulator::run_trial(std::uint64_t trial) const {
+CrashTrialResult CrashSimulator::run_trial(std::uint64_t trial,
+                                           MetricsRegistry* metrics,
+                                           EventTracer* tracer) const {
   CrashTrialResult result;
   SplitMix64 mix(config_.seed ^ (0xC4A5'11D0'0000'0000ULL + trial));
   const std::uint64_t workload_seed = mix.next();
@@ -88,6 +114,8 @@ CrashTrialResult CrashSimulator::run_trial(std::uint64_t trial) const {
       make_wear_leveler_spec(params_.scheme_spec, endurance_, config_);
   MemoryController controller(device, *wl, config_,
                               /*enable_timing=*/false);
+  controller.attach_metrics(metrics);
+  controller.attach_tracer(tracer);
   MetadataJournal journal;
   controller.attach_journal(&journal);
   WriteStream stream(params_, wl->logical_pages(), workload_seed);
@@ -131,6 +159,7 @@ CrashTrialResult CrashSimulator::run_trial(std::uint64_t trial) const {
       journal.bytes().begin() + static_cast<std::ptrdiff_t>(cut));
   result.cut_bytes = cut;
   result.journal_bytes_total = journal.total_bytes_appended();
+  TWL_TRACE(tracer, TraceEventType::kCrash, k, cut);
 
   // A quarter of the trials model a partially-programmed log tail: the
   // bytes after the crash cut hold garbage instead of ending cleanly.
@@ -150,6 +179,7 @@ CrashTrialResult CrashSimulator::run_trial(std::uint64_t trial) const {
   result.torn_tail = outcome.torn_tail;
   result.replayed_writes = outcome.replayed_writes;
   result.orphan_swap_intents = outcome.orphan_swap_intents;
+  TWL_TRACE(tracer, TraceEventType::kRecover, outcome.replayed_writes);
   const std::uint64_t committed = snapshot_base + outcome.replayed_writes;
   result.committed_writes = committed;
   result.commit_survived = committed == k;
@@ -216,6 +246,20 @@ CrashTrialResult CrashSimulator::run_trial(std::uint64_t trial) const {
     result.continuation_matches = true;
   }
 
+  if (metrics != nullptr) {
+    controller.publish_metrics(*metrics);
+    metrics->counter("sim.crash.trials").inc();
+    if (!result.all_invariants_hold()) {
+      metrics->counter("sim.crash.invariant_failures").inc();
+    }
+    metrics->counter("sim.crash.replayed_writes")
+        .add(result.replayed_writes);
+    metrics->counter("sim.crash.torn_tails").add(result.torn_tail ? 1 : 0);
+    metrics->counter("sim.crash.orphan_swap_intents")
+        .add(result.orphan_swap_intents);
+    metrics->histogram("sim.crash.journal_bytes")
+        .add(result.journal_bytes_total);
+  }
   return result;
 }
 

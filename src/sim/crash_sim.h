@@ -31,6 +31,10 @@
 
 namespace twl {
 
+class EventTracer;
+class JsonWriter;
+class MetricsRegistry;
+
 struct CrashSimParams {
   std::string scheme_spec = "TWL";
   /// Demand writes in the full (uncrashed) run; the crash point is
@@ -72,6 +76,9 @@ struct CrashTrialResult {
     return mapping_bijective && state_matches_reference &&
            rollback_consistent && wear_drift_bounded && continuation_matches;
   }
+
+  /// One JSON object (crash geometry plus the five verdicts).
+  void write_json(JsonWriter& w) const;
 };
 
 class CrashSimulator {
@@ -83,7 +90,13 @@ class CrashSimulator {
   /// One crash/recovery experiment. `trial` seeds the crash point and the
   /// workload, so distinct trials crash at independent random points;
   /// the same trial index always reproduces the same experiment.
-  [[nodiscard]] CrashTrialResult run_trial(std::uint64_t trial) const;
+  /// `metrics` (optional) accumulates per-trial counters; `tracer`
+  /// (optional) records typed events — including kCrash at the journal
+  /// cut and kRecover after replay — in TWL_TRACING builds. Detached
+  /// (the default) is bit-identical to the pre-observability simulator.
+  [[nodiscard]] CrashTrialResult run_trial(
+      std::uint64_t trial, MetricsRegistry* metrics = nullptr,
+      EventTracer* tracer = nullptr) const;
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const CrashSimParams& params() const { return params_; }

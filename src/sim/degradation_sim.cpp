@@ -2,7 +2,30 @@
 
 #include <cassert>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+
 namespace twl {
+
+void DegradationResult::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("scheme", scheme);
+  w.kv("first_failure_writes", first_failure_writes);
+  w.kv("floor_writes", floor_writes);
+  w.kv("reached_floor", reached_floor);
+  w.key("curve");
+  w.begin_array();
+  for (const DegradationPoint& p : curve) {
+    w.begin_object();
+    w.kv("demand_writes", p.demand_writes);
+    w.kv("dead_pages", static_cast<std::uint64_t>(p.dead_pages));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("stats");
+  stats.write_json(w);
+  w.end_object();
+}
 
 DegradationSimulator::DegradationSimulator(const Config& config)
     : config_(config),
@@ -13,10 +36,14 @@ DegradationSimulator::DegradationSimulator(const Config& config)
 DegradationResult DegradationSimulator::run(WearLeveler& wl,
                                             RequestSource& source,
                                             double alive_floor_frac,
-                                            WriteCount max_demand) const {
+                                            WriteCount max_demand,
+                                            MetricsRegistry* metrics,
+                                            EventTracer* tracer) const {
   assert(alive_floor_frac > 0.0 && alive_floor_frac < 1.0);
   PcmDevice device(endurance_, config_.fault, config_.seed);
   MemoryController controller(device, wl, config_, /*enable_timing=*/false);
+  controller.attach_metrics(metrics);
+  controller.attach_tracer(tracer);
 
   const auto total_pages = static_cast<std::uint32_t>(device.pages());
   const auto dead_limit = static_cast<std::uint32_t>(
@@ -60,6 +87,12 @@ DegradationResult DegradationSimulator::run(WearLeveler& wl,
     result.floor_writes = controller.stats().demand_writes;
   }
   result.stats = controller.stats();
+  if (metrics != nullptr) {
+    controller.publish_metrics(*metrics);
+    metrics->counter("sim.degradation.runs").inc();
+    metrics->gauge("sim.degradation.floor_writes")
+        .set(static_cast<double>(result.floor_writes));
+  }
   return result;
 }
 

@@ -19,6 +19,10 @@
 
 namespace twl {
 
+class EventTracer;
+class JsonWriter;
+class MetricsRegistry;
+
 struct DegradationPoint {
   WriteCount demand_writes = 0;
   std::uint32_t dead_pages = 0;
@@ -34,6 +38,9 @@ struct DegradationResult {
   std::vector<DegradationPoint> curve;
   ControllerStats stats;
   std::string scheme;
+
+  /// One JSON object (counters and the full capacity curve).
+  void write_json(JsonWriter& w) const;
 };
 
 class DegradationSimulator {
@@ -45,9 +52,12 @@ class DegradationSimulator {
   /// spread geometrically over the run.
   /// Const: run state is local, so one simulator may serve concurrent
   /// SimRunner cells (each cell still needs its own WearLeveler/source).
+  /// `metrics`/`tracer` as in LifetimeSimulator::run; detached (the
+  /// default) is bit-identical to the pre-observability simulator.
   DegradationResult run(WearLeveler& wl, RequestSource& source,
-                        double alive_floor_frac,
-                        WriteCount max_demand) const;
+                        double alive_floor_frac, WriteCount max_demand,
+                        MetricsRegistry* metrics = nullptr,
+                        EventTracer* tracer = nullptr) const;
 
   [[nodiscard]] const EnduranceMap& endurance() const { return endurance_; }
 

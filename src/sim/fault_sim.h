@@ -24,6 +24,10 @@
 
 namespace twl {
 
+class EventTracer;
+class JsonWriter;
+class MetricsRegistry;
+
 /// One page retirement on the capacity-loss curve.
 struct CapacityLossPoint {
   WriteCount demand_writes = 0;
@@ -56,6 +60,9 @@ struct FaultSimResult {
   /// reached `loss_frac` (e.g. 0.05 for 5% capacity loss). 0 if the run
   /// never lost that much capacity.
   [[nodiscard]] WriteCount demand_writes_to_loss(double loss_frac) const;
+
+  /// One JSON object (counters, wear, the full capacity-loss curve).
+  void write_json(JsonWriter& w) const;
 };
 
 class FaultSimulator {
@@ -69,8 +76,12 @@ class FaultSimulator {
   /// dies, or until `max_demand` demand writes.
   /// Const: run state is local, so one simulator may serve concurrent
   /// SimRunner cells (each cell still needs its own RequestSource).
+  /// `metrics`/`tracer` as in LifetimeSimulator::run; detached (the
+  /// default) is bit-identical to the pre-observability simulator.
   FaultSimResult run(Scheme scheme, RequestSource& source,
-                     WriteCount max_demand) const;
+                     WriteCount max_demand,
+                     MetricsRegistry* metrics = nullptr,
+                     EventTracer* tracer = nullptr) const;
 
   [[nodiscard]] const EnduranceMap& endurance() const { return endurance_; }
   [[nodiscard]] const Config& config() const { return config_; }

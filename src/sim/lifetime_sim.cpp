@@ -1,6 +1,24 @@
 #include "sim/lifetime_sim.h"
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+
 namespace twl {
+
+void LifetimeResult::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("scheme", scheme);
+  w.kv("workload", workload);
+  w.kv("failed", failed);
+  w.kv("demand_writes", demand_writes);
+  w.kv("physical_writes", physical_writes);
+  w.kv("fraction_of_ideal", fraction_of_ideal);
+  w.key("wear");
+  wear.write_json(w);
+  w.key("stats");
+  stats.write_json(w);
+  w.end_object();
+}
 
 LifetimeSimulator::LifetimeSimulator(const Config& config)
     : config_(config),
@@ -9,10 +27,14 @@ LifetimeSimulator::LifetimeSimulator(const Config& config)
 }
 
 LifetimeResult LifetimeSimulator::run(Scheme scheme, RequestSource& source,
-                                      WriteCount max_demand) const {
+                                      WriteCount max_demand,
+                                      MetricsRegistry* metrics,
+                                      EventTracer* tracer) const {
   PcmDevice device(endurance_, config_.fault, config_.seed);
   const auto wl = make_wear_leveler(scheme, endurance_, config_);
   MemoryController controller(device, *wl, config_, /*enable_timing=*/false);
+  controller.attach_metrics(metrics);
+  controller.attach_tracer(tracer);
 
   const std::uint64_t space = wl->logical_pages();
   while (!controller.device_failed() &&
@@ -34,6 +56,17 @@ LifetimeResult LifetimeSimulator::run(Scheme scheme, RequestSource& source,
   result.stats = controller.stats();
   result.scheme = wl->name();
   result.workload = source.name();
+  if (metrics != nullptr) {
+    controller.publish_metrics(*metrics);
+    metrics->counter("sim.lifetime.runs").inc();
+    metrics->gauge("sim.lifetime.fraction_of_ideal")
+        .set(result.fraction_of_ideal);
+    LogHistogram& wear_hist = metrics->histogram("device.page_writes");
+    for (std::uint64_t p = 0; p < device.pages(); ++p) {
+      wear_hist.add(device.writes(PhysicalPageAddr(
+          static_cast<std::uint32_t>(p))));
+    }
+  }
   return result;
 }
 

@@ -20,6 +20,10 @@
 
 namespace twl {
 
+class EventTracer;
+class JsonWriter;
+class MetricsRegistry;
+
 struct LifetimeResult {
   bool failed = false;  ///< False if the write cap was reached first.
   WriteCount demand_writes = 0;
@@ -29,6 +33,9 @@ struct LifetimeResult {
   ControllerStats stats;
   std::string scheme;
   std::string workload;
+
+  /// One JSON object (scheme, workload, counters, wear summary).
+  void write_json(JsonWriter& w) const;
 };
 
 class LifetimeSimulator {
@@ -42,8 +49,16 @@ class LifetimeSimulator {
   /// Const — all run state (device, scheme, controller) is built locally,
   /// so one simulator may serve concurrent SimRunner cells (each cell
   /// still needs its own RequestSource).
+  ///
+  /// `metrics` (optional) receives the controller's end-of-run export
+  /// (ControllerStats counters, scheme gauges) plus "sim.*" summary
+  /// values; `tracer` (optional) records typed events in TWL_TRACING
+  /// builds. Both default to detached, which is bit-identical to the
+  /// pre-observability simulator.
   LifetimeResult run(Scheme scheme, RequestSource& source,
-                     WriteCount max_demand) const;
+                     WriteCount max_demand,
+                     MetricsRegistry* metrics = nullptr,
+                     EventTracer* tracer = nullptr) const;
 
   [[nodiscard]] const EnduranceMap& endurance() const { return endurance_; }
   [[nodiscard]] const Config& config() const { return config_; }

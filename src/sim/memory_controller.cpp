@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "recovery/journal.h"
 
 namespace twl {
@@ -17,6 +19,41 @@ WriteCount ControllerStats::extra_writes() const {
          writes_by_purpose[static_cast<std::size_t>(WritePurpose::kDemand)];
 }
 
+void ControllerStats::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("demand_writes", demand_writes);
+  w.kv("reads", reads);
+  w.key("writes_by_purpose");
+  w.begin_object();
+  for (std::size_t p = 0; p < kNumWritePurposes; ++p) {
+    w.kv(to_string(static_cast<WritePurpose>(p)), writes_by_purpose[p]);
+  }
+  w.end_object();
+  w.kv("migration_reads", migration_reads);
+  w.kv("blocking_events", blocking_events);
+  w.kv("pages_retired", static_cast<std::uint64_t>(pages_retired));
+  w.kv("unretired_failures", static_cast<std::uint64_t>(unretired_failures));
+  w.kv("physical_writes", physical_writes());
+  w.kv("extra_writes", extra_writes());
+  w.end_object();
+}
+
+void ControllerStats::publish(MetricsRegistry& m) const {
+  m.counter("controller.demand_writes").add(demand_writes);
+  m.counter("controller.reads").add(reads);
+  for (std::size_t p = 0; p < kNumWritePurposes; ++p) {
+    m.counter("controller.writes." +
+              to_string(static_cast<WritePurpose>(p)))
+        .add(writes_by_purpose[p]);
+  }
+  m.counter("controller.migration_reads").add(migration_reads);
+  m.counter("controller.blocking_events").add(blocking_events);
+  m.counter("controller.pages_retired").add(pages_retired);
+  m.counter("controller.unretired_failures").add(unretired_failures);
+  m.counter("controller.physical_writes").add(physical_writes());
+  m.counter("controller.extra_writes").add(extra_writes());
+}
+
 MemoryController::MemoryController(PcmDevice& device, WearLeveler& wl,
                                    const Config& config, bool enable_timing)
     : device_(&device),
@@ -27,6 +64,35 @@ MemoryController::MemoryController(PcmDevice& device, WearLeveler& wl,
   if (config.fault.retirement_enabled()) {
     assert(config.fault.spare_pages < device.pages());
     retirement_.emplace(device.pages(), config.fault.spare_pages);
+  }
+}
+
+void MemoryController::attach_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) {
+    read_latency_hist_ = nullptr;
+    write_latency_hist_ = nullptr;
+    return;
+  }
+  // Resolve handles once; registry references are stable, so submit()
+  // records without any map lookup or allocation.
+  read_latency_hist_ = &metrics_->histogram("controller.read_latency_cycles");
+  write_latency_hist_ =
+      &metrics_->histogram("controller.write_latency_cycles");
+}
+
+void MemoryController::publish_metrics(MetricsRegistry& m) const {
+  stats_.publish(m);
+  if (timing_enabled_) {
+    LogHistogram& occupancy = m.histogram("timing.bank_busy_cycles");
+    for (std::uint32_t b = 0; b < timing_.banks(); ++b) {
+      occupancy.add(timing_.bank_busy_cycles(b));
+    }
+  }
+  std::vector<std::pair<std::string, double>> scheme_stats;
+  wl_->append_stats(scheme_stats);
+  for (const auto& [label, value] : scheme_stats) {
+    m.gauge("wl." + label).set(value);
   }
 }
 
@@ -63,6 +129,7 @@ void MemoryController::charge_read(PhysicalPageAddr pa) {
 
 void MemoryController::demand_write(PhysicalPageAddr pa, LogicalPageAddr la) {
   (void)la;  // The data payload; wear and timing do not depend on it.
+  TWL_TRACE(tracer_, TraceEventType::kDemandWrite, pa.value(), la.value());
   charge_write(pa, WritePurpose::kDemand);
 }
 
@@ -71,21 +138,37 @@ void MemoryController::migrate(PhysicalPageAddr from, PhysicalPageAddr to,
   // Two-phase protocol: log the intent, copy, commit. A crash between
   // intent and commit leaves the copy repairable from the scratch frame
   // (DESIGN.md); the mapping itself is restored by journal replay.
-  if (journal_) journal_->append_swap_intent(from, to, SwapKind::kMigrate);
+  TWL_TRACE(tracer_, TraceEventType::kSwapBegin, from.value(), to.value());
+  if (journal_) {
+    journal_->append_swap_intent(from, to, SwapKind::kMigrate);
+    TWL_TRACE(tracer_, TraceEventType::kJournalRecord);
+  }
   charge_read(from);
   charge_write(to, purpose);
-  if (journal_) journal_->append_swap_commit();
+  if (journal_) {
+    journal_->append_swap_commit();
+    TWL_TRACE(tracer_, TraceEventType::kJournalRecord);
+  }
+  TWL_TRACE(tracer_, TraceEventType::kSwapCommit, from.value(), to.value());
 }
 
 void MemoryController::swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
                                   WritePurpose purpose) {
-  if (journal_) journal_->append_swap_intent(a, b, SwapKind::kExchange);
+  TWL_TRACE(tracer_, TraceEventType::kSwapBegin, a.value(), b.value());
+  if (journal_) {
+    journal_->append_swap_intent(a, b, SwapKind::kExchange);
+    TWL_TRACE(tracer_, TraceEventType::kJournalRecord);
+  }
   // Both pages are buffered in the controller, then rewritten exchanged.
   charge_read(a);
   charge_read(b);
   charge_write(a, purpose);
   charge_write(b, purpose);
-  if (journal_) journal_->append_swap_commit();
+  if (journal_) {
+    journal_->append_swap_commit();
+    TWL_TRACE(tracer_, TraceEventType::kJournalRecord);
+  }
+  TWL_TRACE(tracer_, TraceEventType::kSwapCommit, a.value(), b.value());
 }
 
 void MemoryController::engine_delay(Cycles cycles) {
@@ -95,10 +178,12 @@ void MemoryController::engine_delay(Cycles cycles) {
 void MemoryController::begin_blocking() {
   in_blocking_ = true;
   ++stats_.blocking_events;
+  TWL_TRACE(tracer_, TraceEventType::kBlockingBegin);
 }
 
 void MemoryController::end_blocking() {
   in_blocking_ = false;
+  TWL_TRACE(tracer_, TraceEventType::kBlockingEnd);
   if (timing_enabled_) {
     // The reorganization froze the whole memory until its last operation
     // completed (footnote 1: swaps block all requests).
@@ -119,6 +204,8 @@ void MemoryController::handle_failures() {
     const PhysicalPageAddr owner = retirement_->owner_of(dead);
     if (const auto spare = retirement_->retire(owner)) {
       ++stats_.pages_retired;
+      TWL_TRACE(tracer_, TraceEventType::kPageRetired, owner.value(),
+                spare->value());
       // Salvage the page image onto the spare: ECP kept the page readable
       // through its last correctable state, so a 1-read + 1-write copy
       // rebinds the owner with its data intact.
@@ -139,12 +226,17 @@ Cycles MemoryController::submit(const MemoryRequest& req, Cycles now) {
     const PhysicalPageAddr pa = to_device(wl_->map_read(req.addr));
     if (!timing_enabled_) return 0;
     const Cycles start = now + wl_->read_indirection_cycles();
-    return timing_.service(pa, Op::kRead, start).done - now;
+    const Cycles latency = timing_.service(pa, Op::kRead, start).done - now;
+    if (read_latency_hist_ != nullptr) read_latency_hist_->add(latency);
+    return latency;
   }
 
   ++stats_.demand_writes;
   const std::uint64_t seq = stats_.demand_writes;
-  if (journal_) journal_->append_write_begin(seq, req.addr);
+  if (journal_) {
+    journal_->append_write_begin(seq, req.addr);
+    TWL_TRACE(tracer_, TraceEventType::kJournalRecord);
+  }
   chain_ = timing_enabled_ ? now + wl_->read_indirection_cycles() : 0;
   wl_->write(req.addr, *this);
   assert(!in_blocking_ && "scheme left a blocking section open");
@@ -152,8 +244,14 @@ Cycles MemoryController::submit(const MemoryRequest& req, Cycles now) {
   // Deliver permanent-failure notifications after the request completes;
   // a salvage action may itself wear out its target, so drain the queue.
   handle_failures();
-  if (journal_) journal_->append_write_commit(seq);
-  return timing_enabled_ ? chain_ - now : 0;
+  if (journal_) {
+    journal_->append_write_commit(seq);
+    TWL_TRACE(tracer_, TraceEventType::kJournalRecord);
+  }
+  if (!timing_enabled_) return 0;
+  const Cycles latency = chain_ - now;
+  if (write_latency_hist_ != nullptr) write_latency_hist_->add(latency);
+  return latency;
 }
 
 }  // namespace twl

@@ -22,6 +22,7 @@
 
 #include "common/config.h"
 #include "common/types.h"
+#include "obs/trace.h"
 #include "pcm/device.h"
 #include "pcm/retirement.h"
 #include "pcm/timing.h"
@@ -29,7 +30,10 @@
 
 namespace twl {
 
+class JsonWriter;
 class MetadataJournal;
+class MetricsRegistry;
+class LogHistogram;
 
 struct ControllerStats {
   WriteCount demand_writes = 0;
@@ -47,6 +51,13 @@ struct ControllerStats {
   [[nodiscard]] WriteCount physical_writes() const;
   /// Physical writes beyond the demand traffic (the wear-leveling tax).
   [[nodiscard]] WriteCount extra_writes() const;
+
+  /// One JSON object with every counter plus the derived totals.
+  void write_json(JsonWriter& w) const;
+
+  /// Export every counter into `m` under "controller." names (per-purpose
+  /// write counts as "controller.writes.<purpose>").
+  void publish(MetricsRegistry& m) const;
 };
 
 class MemoryController final : public WriteSink {
@@ -68,6 +79,24 @@ class MemoryController final : public WriteSink {
   /// identical to a build without this feature.
   void attach_journal(MetadataJournal* journal) { journal_ = journal; }
   [[nodiscard]] const MetadataJournal* journal() const { return journal_; }
+
+  /// Enable live metrics: per-request response-latency histograms
+  /// ("controller.read_latency_cycles" / "controller.write_latency_cycles",
+  /// timing-enabled controllers only). Handles are resolved once here, so
+  /// the submit() hot path stays allocation-free. `metrics` must outlive
+  /// the controller; nullptr detaches. Detached (the default), behaviour
+  /// is bit-identical to a build without this feature.
+  void attach_metrics(MetricsRegistry* metrics);
+  /// Record typed events (demand writes, swaps, blocking phases,
+  /// retirement, journal records). Only active in TWL_TRACING builds;
+  /// the hooks compile out otherwise. `tracer` must outlive the
+  /// controller; nullptr detaches.
+  void attach_tracer(EventTracer* tracer) { tracer_ = tracer; }
+
+  /// End-of-run export: counters (ControllerStats::publish), the per-bank
+  /// occupancy histogram "timing.bank_busy_cycles" (timing-enabled only)
+  /// and the scheme's append_stats() pairs as "wl.<label>" gauges.
+  void publish_metrics(MetricsRegistry& m) const;
 
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
   /// End-of-life: first page death without retirement, with the spare
@@ -120,6 +149,10 @@ class MemoryController final : public WriteSink {
   bool in_blocking_ = false;
   std::optional<RetirementTable> retirement_;
   MetadataJournal* journal_ = nullptr;
+  EventTracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  LogHistogram* read_latency_hist_ = nullptr;   ///< Cached handle.
+  LogHistogram* write_latency_hist_ = nullptr;  ///< Cached handle.
   bool fatal_failure_ = false;
   std::vector<PhysicalPageAddr> newly_worn_;  ///< Failure notification queue.
   ControllerStats stats_;

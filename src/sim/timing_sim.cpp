@@ -4,7 +4,37 @@
 #include <queue>
 #include <vector>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+
 namespace twl {
+
+void LatencyStats::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("mean", mean);
+  w.kv("p50", p50);
+  w.kv("p95", p95);
+  w.kv("p99", p99);
+  w.kv("max", max);
+  w.kv("count", count);
+  w.end_object();
+}
+
+void TimingResult::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("scheme", scheme);
+  w.kv("workload", workload);
+  w.kv("total_cycles", total_cycles);
+  w.kv("demand_writes", demand_writes);
+  w.kv("reads", reads);
+  w.key("read_latency");
+  read_latency.write_json(w);
+  w.key("write_latency");
+  write_latency.write_json(w);
+  w.key("stats");
+  stats.write_json(w);
+  w.end_object();
+}
 
 namespace {
 /// CPU work separating consecutive request issues from one core's stream.
@@ -38,10 +68,14 @@ TimingSimulator::TimingSimulator(const Config& config, std::uint32_t mlp)
 }
 
 TimingResult TimingSimulator::run(Scheme scheme, RequestSource& source,
-                                  std::uint64_t num_requests) const {
+                                  std::uint64_t num_requests,
+                                  MetricsRegistry* metrics,
+                                  EventTracer* tracer) const {
   PcmDevice device(endurance_, config_.fault, config_.seed);
   const auto wl = make_wear_leveler(scheme, endurance_, config_);
   MemoryController controller(device, *wl, config_, /*enable_timing=*/true);
+  controller.attach_metrics(metrics);
+  controller.attach_tracer(tracer);
 
   std::priority_queue<Cycles, std::vector<Cycles>, std::greater<>>
       outstanding;
@@ -78,6 +112,12 @@ TimingResult TimingSimulator::run(Scheme scheme, RequestSource& source,
   result.stats = controller.stats();
   result.scheme = wl->name();
   result.workload = source.name();
+  if (metrics != nullptr) {
+    controller.publish_metrics(*metrics);
+    metrics->counter("sim.timing.runs").inc();
+    metrics->gauge("sim.timing.total_cycles")
+        .set(static_cast<double>(result.total_cycles));
+  }
   return result;
 }
 

@@ -21,6 +21,10 @@
 
 namespace twl {
 
+class EventTracer;
+class JsonWriter;
+class MetricsRegistry;
+
 /// Latency distribution of one request class.
 struct LatencyStats {
   double mean = 0.0;
@@ -29,6 +33,8 @@ struct LatencyStats {
   Cycles p99 = 0;
   Cycles max = 0;
   std::uint64_t count = 0;
+
+  void write_json(JsonWriter& w) const;
 };
 
 struct TimingResult {
@@ -40,6 +46,9 @@ struct TimingResult {
   ControllerStats stats;
   std::string scheme;
   std::string workload;
+
+  /// One JSON object with every field.
+  void write_json(JsonWriter& w) const;
 };
 
 class TimingSimulator {
@@ -51,8 +60,14 @@ class TimingSimulator {
   /// ignored (performance runs are far shorter than the lifetime).
   /// Const: run state is local, so one simulator may serve concurrent
   /// SimRunner cells (each cell still needs its own RequestSource).
+  /// `metrics`/`tracer` as in LifetimeSimulator::run; detached (the
+  /// default) is bit-identical to the pre-observability simulator. With
+  /// metrics attached, the controller additionally records live
+  /// per-request response-latency histograms.
   TimingResult run(Scheme scheme, RequestSource& source,
-                   std::uint64_t num_requests) const;
+                   std::uint64_t num_requests,
+                   MetricsRegistry* metrics = nullptr,
+                   EventTracer* tracer = nullptr) const;
 
   [[nodiscard]] const EnduranceMap& endurance() const { return endurance_; }
 

@@ -1,0 +1,94 @@
+// JsonWriter / JsonValue round-trip tests: every shape the twl-report/1
+// emitters produce must parse back to the values that went in, and
+// malformed input must fail loudly with JsonError.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+
+namespace twl {
+namespace {
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string("nul\x01", 4)), "nul\\u0001");
+}
+
+TEST(JsonWriter, MisuseThrowsLogicError) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.value(1.0), std::logic_error);  // Value without key.
+  EXPECT_THROW(w.end_array(), std::logic_error);  // Mismatched close.
+}
+
+TEST(JsonRoundTrip, WriterOutputParsesBackToSameValues) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "twl-report/1");
+  w.kv("pi", 3.141592653589793);
+  w.kv("big", std::uint64_t{1} << 53);
+  w.kv("neg", std::int64_t{-42});
+  w.kv("flag", true);
+  w.key("none");
+  w.null();
+  w.key("list");
+  w.begin_array();
+  w.value("x\"y");
+  w.value(0.5);
+  w.begin_object();
+  w.kv("nested", 7);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  ASSERT_TRUE(w.complete());
+
+  const JsonValue doc = JsonValue::parse(w.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->as_string(), "twl-report/1");
+  EXPECT_DOUBLE_EQ(doc.find("pi")->as_number(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(doc.find("big")->as_number(), 9007199254740992.0);
+  EXPECT_DOUBLE_EQ(doc.find("neg")->as_number(), -42.0);
+  EXPECT_TRUE(doc.find("flag")->as_bool());
+  EXPECT_TRUE(doc.find("none")->is_null());
+  const auto& list = doc.find("list")->as_array();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].as_string(), "x\"y");
+  EXPECT_DOUBLE_EQ(list[1].as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(list[2].find("nested")->as_number(), 7.0);
+}
+
+TEST(JsonParse, AcceptsWhitespaceAndScientificNumbers) {
+  const JsonValue doc =
+      JsonValue::parse("  { \"a\" : [ 1e3 , -2.5E-2 , 0 ] }\n");
+  const auto& a = doc.find("a")->as_array();
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), -0.025);
+  EXPECT_DOUBLE_EQ(a[2].as_number(), 0.0);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse(""), JsonError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), JsonError);
+  EXPECT_THROW(JsonValue::parse("[1 2]"), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), JsonError);
+  EXPECT_THROW(JsonValue::parse("nul"), JsonError);
+}
+
+TEST(JsonValue, TypedAccessorsThrowOnMismatch) {
+  const JsonValue doc = JsonValue::parse("{\"n\": 1}");
+  EXPECT_THROW((void)doc.as_string(), JsonError);
+  EXPECT_THROW((void)doc.find("n")->as_object(), JsonError);
+  EXPECT_THROW((void)doc.find("n")->as_bool(), JsonError);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.find("n")->find("x"), nullptr);  // find on non-object.
+}
+
+}  // namespace
+}  // namespace twl

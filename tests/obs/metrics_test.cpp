@@ -1,0 +1,152 @@
+// MetricsRegistry unit tests: log2 histogram bucketing, quantiles, and
+// the commutative-merge contract that makes per-cell registries safe to
+// combine in any order (the determinism guarantee behind --jobs N).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace twl {
+namespace {
+
+TEST(LogHistogram, BucketIndexMatchesPowerOfTwoRanges) {
+  // Bucket 0 holds exactly the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(LogHistogram::bucket_index(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_index(1), 1u);
+  EXPECT_EQ(LogHistogram::bucket_index(2), 2u);
+  EXPECT_EQ(LogHistogram::bucket_index(3), 2u);
+  EXPECT_EQ(LogHistogram::bucket_index(4), 3u);
+  EXPECT_EQ(LogHistogram::bucket_index(1023), 10u);
+  EXPECT_EQ(LogHistogram::bucket_index(1024), 11u);
+  EXPECT_EQ(LogHistogram::bucket_index(~std::uint64_t{0}),
+            LogHistogram::kBuckets - 1);
+  for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+    const std::uint64_t lo = LogHistogram::bucket_lo(i);
+    EXPECT_EQ(LogHistogram::bucket_index(lo), i) << "bucket " << i;
+    const std::uint64_t hi = LogHistogram::bucket_hi(i);
+    if (hi > lo + 1) {
+      EXPECT_EQ(LogHistogram::bucket_index(hi - 1), i) << "bucket " << i;
+    }
+  }
+}
+
+TEST(LogHistogram, TracksCountSumMinMaxMean) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.add(7);
+  h.add(1);
+  h.add_n(100, 2);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 208u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 52.0);
+  EXPECT_EQ(h.bucket_count(LogHistogram::bucket_index(100)), 2u);
+}
+
+TEST(LogHistogram, QuantileEndpointsAreExact) {
+  LogHistogram h;
+  for (std::uint64_t v = 3; v <= 300; ++v) h.add(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 300.0);
+  const double median = h.quantile(0.5);
+  EXPECT_GE(median, 3.0);
+  EXPECT_LE(median, 300.0);
+}
+
+MetricsRegistry registry_a() {
+  MetricsRegistry r;
+  r.counter("writes").add(10);
+  r.counter("swaps").add(3);
+  r.gauge("peak").set(1.5);
+  r.histogram("latency").add(4);
+  r.histogram("latency").add(1000);
+  return r;
+}
+
+MetricsRegistry registry_b() {
+  MetricsRegistry r;
+  r.counter("writes").add(7);
+  r.counter("retires").inc();
+  r.gauge("peak").set(2.25);
+  r.gauge("other").set(0.5);
+  r.histogram("latency").add(900);
+  r.histogram("wear").add_n(2, 5);
+  return r;
+}
+
+TEST(MetricsRegistry, MergeIsCommutative) {
+  // merge(A, B) == merge(B, A) starting from empty — the property that
+  // makes per-cell registries combinable regardless of worker order.
+  MetricsRegistry ab;
+  ab.merge_from(registry_a());
+  ab.merge_from(registry_b());
+  MetricsRegistry ba;
+  ba.merge_from(registry_b());
+  ba.merge_from(registry_a());
+  EXPECT_EQ(ab, ba);
+
+  EXPECT_EQ(ab.counter_value("writes"), 17u);
+  EXPECT_EQ(ab.counter_value("retires"), 1u);
+  EXPECT_DOUBLE_EQ(ab.find_gauge("peak")->value(), 2.25);
+  EXPECT_EQ(ab.find_histogram("latency")->count(), 3u);
+  EXPECT_EQ(ab.find_histogram("latency")->min(), 4u);
+  EXPECT_EQ(ab.find_histogram("latency")->max(), 1000u);
+}
+
+TEST(MetricsRegistry, MergeOfManyShardsIsOrderIndependent) {
+  // Shard one stream of samples across 4 registries, merge them forwards
+  // and backwards, and both must equal the unsharded registry.
+  std::mt19937_64 rng(12345);
+  MetricsRegistry whole;
+  MetricsRegistry shards[4];
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t v = rng() % 100000;
+    whole.counter("n").inc();
+    whole.histogram("v").add(v);
+    shards[i % 4].counter("n").inc();
+    shards[i % 4].histogram("v").add(v);
+  }
+  MetricsRegistry fwd;
+  for (int i = 0; i < 4; ++i) fwd.merge_from(shards[i]);
+  MetricsRegistry rev;
+  for (int i = 3; i >= 0; --i) rev.merge_from(shards[i]);
+  EXPECT_EQ(fwd, rev);
+  EXPECT_EQ(fwd.counter_value("n"), whole.counter_value("n"));
+  EXPECT_EQ(*fwd.find_histogram("v"), *whole.find_histogram("v"));
+}
+
+TEST(MetricsRegistry, FindReturnsNullForUnknownNames) {
+  const MetricsRegistry r = registry_a();
+  EXPECT_EQ(r.find_counter("nope"), nullptr);
+  EXPECT_EQ(r.find_gauge("nope"), nullptr);
+  EXPECT_EQ(r.find_histogram("nope"), nullptr);
+  EXPECT_EQ(r.counter_value("nope"), 0u);
+  EXPECT_NE(r.find_counter("writes"), nullptr);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(MetricsRegistry{}.empty());
+}
+
+TEST(MetricsRegistry, WriteJsonEmitsAllInstruments) {
+  JsonWriter w;
+  registry_a().write_json(w);
+  ASSERT_TRUE(w.complete());
+  const JsonValue doc = JsonValue::parse(w.str());
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("writes")->as_number(), 10.0);
+  const JsonValue* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* latency = hists->find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->find("count")->as_number(), 2.0);
+}
+
+}  // namespace
+}  // namespace twl

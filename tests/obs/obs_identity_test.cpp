@@ -1,0 +1,155 @@
+// Observability inertness tests: attaching the metrics registry and the
+// event tracer must not change any simulation result (the attach points
+// only read state), and merging per-cell registries must yield the same
+// combined registry under --jobs 1 and --jobs N.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/sim_runner.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/lifetime_sim.h"
+#include "trace/synthetic.h"
+#include "wl/factory.h"
+
+namespace twl {
+namespace {
+
+Config small_config() {
+  SimScale scale;
+  scale.pages = 512;
+  scale.endurance_mean = 4096;
+  return Config::scaled(scale);
+}
+
+SyntheticTrace trace_for(std::uint64_t pages, std::uint64_t seed = 7) {
+  SyntheticParams sp;
+  sp.pages = pages;
+  sp.seed = seed;
+  return SyntheticTrace(sp);
+}
+
+void expect_identical(const LifetimeResult& a, const LifetimeResult& b) {
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.demand_writes, b.demand_writes);
+  EXPECT_EQ(a.physical_writes, b.physical_writes);
+  EXPECT_DOUBLE_EQ(a.fraction_of_ideal, b.fraction_of_ideal);
+  EXPECT_DOUBLE_EQ(a.wear.gini, b.wear.gini);
+  EXPECT_DOUBLE_EQ(a.wear.max, b.wear.max);
+  EXPECT_EQ(a.wear.dead_pages, b.wear.dead_pages);
+  EXPECT_EQ(a.stats.demand_writes, b.stats.demand_writes);
+  EXPECT_EQ(a.stats.writes_by_purpose, b.stats.writes_by_purpose);
+  EXPECT_EQ(a.stats.migration_reads, b.stats.migration_reads);
+  EXPECT_EQ(a.stats.blocking_events, b.stats.blocking_events);
+}
+
+TEST(ObsIdentity, AttachedObserversLeaveLifetimeResultsBitIdentical) {
+  const Config config = small_config();
+  const LifetimeSimulator sim(config);
+  for (const Scheme scheme : all_schemes()) {
+    auto detached_trace = trace_for(512);
+    auto attached_trace = trace_for(512);
+    MetricsRegistry reg;
+    EventTracer tracer;
+    const auto detached = sim.run(scheme, detached_trace, 1ull << 40);
+    const auto attached =
+        sim.run(scheme, attached_trace, 1ull << 40, &reg, &tracer);
+    SCOPED_TRACE(detached.scheme);
+    expect_identical(detached, attached);
+    // The registry is an output channel, not a bystander: the run must
+    // actually have populated it.
+    EXPECT_FALSE(reg.empty());
+    EXPECT_EQ(reg.counter_value("controller.demand_writes"),
+              attached.stats.demand_writes);
+  }
+}
+
+TEST(ObsIdentity, AttachedRunsAreThemselvesDeterministic) {
+  const Config config = small_config();
+  const LifetimeSimulator sim(config);
+  auto trace_a = trace_for(512);
+  auto trace_b = trace_for(512);
+  MetricsRegistry reg_a;
+  MetricsRegistry reg_b;
+  const auto a = sim.run(Scheme::kTossUpStrongWeak, trace_a, 1ull << 40, &reg_a);
+  const auto b = sim.run(Scheme::kTossUpStrongWeak, trace_b, 1ull << 40, &reg_b);
+  expect_identical(a, b);
+  EXPECT_EQ(reg_a, reg_b);
+}
+
+MetricsRegistry merged_registry_for_jobs(unsigned jobs) {
+  const Config config = small_config();
+  const LifetimeSimulator sim(config);
+  const auto schemes = all_schemes();
+  std::vector<MetricsRegistry> cell_metrics(schemes.size());
+  std::vector<SimCell> cells;
+  cells.reserve(schemes.size());
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    cells.push_back([&, i]() -> std::uint64_t {
+      auto workload = trace_for(512);
+      const auto r =
+          sim.run(schemes[i], workload, 1ull << 40, &cell_metrics[i]);
+      return r.demand_writes;
+    });
+  }
+  SimRunner runner(jobs);
+  runner.run_all(cells);
+  MetricsRegistry merged;
+  for (const MetricsRegistry& m : cell_metrics) merged.merge_from(m);
+  return merged;
+}
+
+TEST(ObsIdentity, MergedRegistryIsIndependentOfWorkerCount) {
+  const MetricsRegistry serial = merged_registry_for_jobs(1);
+  const MetricsRegistry parallel = merged_registry_for_jobs(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(EventTracer, RingKeepsNewestEventsAndExactTotals) {
+  EventTracer t(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.record(TraceEventType::kDemandWrite, i);
+  }
+  t.record(TraceEventType::kSwapBegin, 3, 9);
+  EXPECT_EQ(t.total_events(), 11u);
+  EXPECT_EQ(t.count(TraceEventType::kDemandWrite), 10u);
+  EXPECT_EQ(t.count(TraceEventType::kSwapBegin), 1u);
+  EXPECT_EQ(t.dropped(), 7u);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().seq, 7u);  // Oldest retained.
+  EXPECT_EQ(events.back().type, TraceEventType::kSwapBegin);
+  EXPECT_EQ(events.back().arg1, 9u);
+
+  JsonWriter w;
+  t.write_json(w);
+  ASSERT_TRUE(w.complete());
+  EXPECT_NO_THROW((void)JsonValue::parse(w.str()));
+
+  t.clear();
+  EXPECT_EQ(t.total_events(), 0u);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_THROW(EventTracer(0), std::invalid_argument);
+}
+
+TEST(EventTracer, TraceMacroMatchesBuildConfiguration) {
+  EventTracer t;
+  EventTracer* p = &t;
+  EventTracer* null_tracer = nullptr;
+  TWL_TRACE(p, TraceEventType::kCrash);
+  TWL_TRACE(null_tracer, TraceEventType::kCrash);  // Must not crash.
+  (void)p;
+  (void)null_tracer;
+#if defined(TWL_TRACING) && TWL_TRACING
+  EXPECT_EQ(t.total_events(), 1u);
+#else
+  // Default build: the macro compiles out entirely.
+  EXPECT_EQ(t.total_events(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,170 @@
+// ReportBuilder tests: text mode must emit exactly the bytes pushed into
+// it (the byte-identity contract with the pre-observability binaries),
+// and the json/csv renderings must be parseable, schema-valid and carry
+// every recorded element.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/report.h"
+#include "common/cli.h"
+#include "common/sim_runner.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace twl {
+namespace {
+
+TextTable sample_table() {
+  TextTable t;
+  t.add_row({"scheme", "lifetime"});
+  t.add_row({"TWL", "7.99"});
+  t.add_row({"SG", "0.25"});
+  return t;
+}
+
+RunnerReport sample_runner() {
+  RunnerReport r;
+  r.jobs = 4;
+  r.cells = 8;
+  r.wall_seconds = 1.0;
+  r.cell_seconds_sum = 3.5;
+  r.cell_seconds_max = 0.6;
+  r.demand_writes = 123456;
+  return r;
+}
+
+std::string read_stream(std::FILE* f) {
+  std::fflush(f);
+  std::rewind(f);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  return text;
+}
+
+void feed(ReportBuilder& rep) {
+  rep.begin_report("Test report");
+  rep.raw_text("=== banner ===\n");
+  rep.config_entry("pages", std::uint64_t{4096});
+  rep.config_entry("scheme", "TWL");
+  rep.config_entry("sigma", 0.11);
+  rep.config_entry("tracing", false);
+  rep.note("a note with 37% in it\n");
+  rep.table("lifetimes", sample_table());
+  rep.scalar("gmean_overhead", 2.5);
+  rep.runner(sample_runner());
+  MetricsRegistry m;
+  m.counter("writes").add(99);
+  m.histogram("lat").add(3);
+  rep.metrics(m);
+  rep.finish();
+}
+
+TEST(ReportBuilder, TextModeEmitsExactlyTheLegacyBytes) {
+  std::FILE* stream = std::tmpfile();
+  ASSERT_NE(stream, nullptr);
+  {
+    ReportBuilder rep("unit_test", ReportFormat::kText, "", stream);
+    feed(rep);
+    // Text mode is pure passthrough: raw_text + note + table bytes plus
+    // the legacy [runner] footer; config/scalars/metrics print nothing.
+    const std::string text = read_stream(stream);
+    const std::string expected = "=== banner ===\na note with 37% in it\n" +
+                                 sample_table().to_string();
+    ASSERT_GE(text.size(), expected.size());
+    EXPECT_EQ(text.substr(0, expected.size()), expected);
+    EXPECT_NE(text.find("[runner]"), std::string::npos);
+    EXPECT_EQ(text.find("gmean_overhead"), std::string::npos);
+    EXPECT_TRUE(rep.render().empty());
+  }
+  std::fclose(stream);
+}
+
+TEST(ReportBuilder, RunnerFooterCanBeSuppressed) {
+  std::FILE* stream = std::tmpfile();
+  ASSERT_NE(stream, nullptr);
+  {
+    ReportBuilder rep("unit_test", ReportFormat::kText, "", stream);
+    rep.begin_report("t");
+    rep.runner(sample_runner(), /*print_legacy_footer=*/false);
+    rep.finish();
+    EXPECT_EQ(read_stream(stream), "");
+  }
+  std::fclose(stream);
+}
+
+TEST(ReportBuilder, JsonRenderingIsSchemaValidAndComplete) {
+  ReportBuilder rep("unit_test", ReportFormat::kJson);
+  feed(rep);
+
+  const JsonValue doc = JsonValue::parse(rep.render());
+  EXPECT_TRUE(validate_report(doc).empty())
+      << validate_report(doc).front();
+
+  EXPECT_EQ(doc.find("schema")->as_string(), kReportSchema);
+  EXPECT_EQ(doc.find("binary")->as_string(), "unit_test");
+  EXPECT_EQ(doc.find("title")->as_string(), "Test report");
+  const JsonValue* config = doc.find("config");
+  EXPECT_DOUBLE_EQ(config->find("pages")->as_number(), 4096.0);
+  EXPECT_EQ(config->find("scheme")->as_string(), "TWL");
+  EXPECT_FALSE(config->find("tracing")->as_bool());
+  ASSERT_EQ(doc.find("notes")->as_array().size(), 1u);
+  const auto& tables = doc.find("tables")->as_array();
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].find("name")->as_string(), "lifetimes");
+  EXPECT_EQ(tables[0].find("columns")->as_array().size(), 2u);
+  EXPECT_EQ(tables[0].find("rows")->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.find("scalars")->find("gmean_overhead")->as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(doc.find("runner")->find("jobs")->as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(
+      doc.find("metrics")->find("counters")->find("writes")->as_number(),
+      99.0);
+}
+
+TEST(ReportBuilder, JsonOmitsEmptyOptionalSections) {
+  ReportBuilder rep("unit_test", ReportFormat::kJson);
+  rep.begin_report("bare");
+  rep.metrics(MetricsRegistry{});  // Empty registries are not emitted.
+  rep.finish();
+  const JsonValue doc = JsonValue::parse(rep.render());
+  EXPECT_TRUE(validate_report(doc).empty());
+  EXPECT_EQ(doc.find("runner"), nullptr);
+  EXPECT_EQ(doc.find("metrics"), nullptr);
+}
+
+TEST(ReportBuilder, CsvRenderingHoldsAllRecordedCells) {
+  ReportBuilder rep("unit_test", ReportFormat::kCsv);
+  feed(rep);
+  const std::string csv = rep.render();
+  EXPECT_NE(csv.find("kind,name,row,column,value"), std::string::npos);
+  EXPECT_NE(csv.find("config,pages,,,4096"), std::string::npos);
+  EXPECT_NE(csv.find("table,lifetimes,0,scheme,TWL"), std::string::npos);
+  EXPECT_NE(csv.find("table,lifetimes,0,lifetime,7.99"),
+            std::string::npos);
+  EXPECT_NE(csv.find("counter,writes,,,99"), std::string::npos);
+  EXPECT_NE(csv.find("scalar,gmean_overhead,,,2.5"), std::string::npos);
+}
+
+TEST(ValidateReport, FlagsMissingAndMistypedMembers) {
+  const JsonValue bad = JsonValue::parse(
+      "{\"schema\":\"twl-report/0\",\"binary\":7,\"tables\":{}}");
+  const auto problems = validate_report(bad);
+  EXPECT_GE(problems.size(), 3u);  // Wrong schema, binary type, tables
+                                   // type, missing title/config/....
+  EXPECT_TRUE(validate_report(JsonValue::parse("[1,2]")).size() >= 1u);
+}
+
+TEST(ReportFormat, ParserAcceptsKnownNamesOnly) {
+  EXPECT_EQ(parse_report_format("text"), ReportFormat::kText);
+  EXPECT_EQ(parse_report_format("json"), ReportFormat::kJson);
+  EXPECT_EQ(parse_report_format("csv"), ReportFormat::kCsv);
+  EXPECT_THROW((void)parse_report_format("yaml"), CliError);
+  EXPECT_EQ(to_string(ReportFormat::kJson), "json");
+}
+
+}  // namespace
+}  // namespace twl

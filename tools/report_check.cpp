@@ -1,0 +1,77 @@
+// report_check: validates a twl-report/1 JSON document produced by any
+// bench or example with --format json. CI pipes every generated report
+// through this before archiving it.
+//
+//   report_check --in report.json          # or stdin when --in is absent
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: report_check [flags]\n"
+    "  Validate a twl-report/1 JSON report.\n"
+    "  --in FILE       report to check (default: stdin)\n"
+    "  --quiet         print nothing on success\n"
+    "  --help          show this message\n";
+
+std::string read_all(std::FILE* f) {
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  return text;
+}
+
+int run_impl(const twl::CliArgs& args) {
+  using namespace twl;
+  const std::string path = args.get_or("in", "");
+  const bool quiet = args.get_bool_or("quiet", false);
+  args.reject_unconsumed();
+
+  std::string text;
+  if (path.empty()) {
+    text = read_all(stdin);
+  } else {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "report_check: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    text = read_all(f);
+    std::fclose(f);
+  }
+  const char* name = path.empty() ? "<stdin>" : path.c_str();
+
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(text);
+  } catch (const JsonError& e) {
+    std::fprintf(stderr, "report_check: %s: %s\n", name, e.what());
+    return 1;
+  }
+  const auto problems = validate_report(doc);
+  if (!problems.empty()) {
+    for (const auto& p : problems) {
+      std::fprintf(stderr, "report_check: %s: %s\n", name, p.c_str());
+    }
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("%s: valid %s report (binary %s)\n", name, kReportSchema,
+                doc.find("binary")->as_string().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return twl::run_cli_main(argc, argv, kUsage, run_impl);
+}
