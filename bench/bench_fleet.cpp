@@ -1,0 +1,175 @@
+// Fleet chaos harness: multi-device simulations under crash and
+// corruption injection, with checkpoint/resume.
+//
+// Each scenario runs a fleet of independent journaled devices through a
+// deterministic workload while a seeded chaos schedule crashes them
+// mid-write, mid-checkpoint, and corrupts their persisted artifacts; every
+// crash runs the real recovery path and re-verifies the five recovery
+// invariants (see src/fleet/). Devices are parallel SimRunner cells, so
+// the per-scenario tables are identical for any --jobs value.
+//
+// Stop/resume contract: `--stop-day D --checkpoint F` runs to day D and
+// serializes the fleet; `--resume --checkpoint F` continues it to the
+// horizon. The resumed run's report is byte-identical to an uninterrupted
+// run (modulo the [runner] timing footer) — CI diffs the two.
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "common/sim_runner.h"
+#include "fleet/checkpoint.h"
+#include "fleet/fleet.h"
+#include "fleet/scenario.h"
+#include "obs/metrics.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bench_fleet [flags]\n"
+    "  Fleet-scale chaos harness: crash/corruption injection with\n"
+    "  verified recovery across multi-device scenarios.\n"
+    "  --scenario NAME  run one scenario (default: the whole registry)\n"
+    "  --stop-day D     stop after day D and write a checkpoint (needs\n"
+    "                   --scenario and --checkpoint)\n"
+    "  --resume         resume from --checkpoint FILE and finish the run\n"
+    "  --checkpoint F   checkpoint file for --stop-day / --resume\n"
+    "  --pages N        scaled device size in pages (default 64)\n"
+    "  --endurance E    mean per-page endurance (default 1e6)\n"
+    "  --sigma F        endurance sigma fraction (default 0.11)\n"
+    "  --seed S         RNG seed\n"
+    "  --jobs N         parallel devices (default: all cores; 1 = serial)\n"
+    "  --format F       report format: text (default), json, csv\n"
+    "  --out FILE       write the report to FILE instead of stdout\n"
+    "  --help           show this message\n";
+
+using namespace twl;
+
+void report_scenario(ReportBuilder& rep, const Scenario& s,
+                     const FleetResult& r) {
+  rep.raw_text(heading("scenario: " + s.name));
+  rep.note(strfmt(
+      "scheme %s, workload %s, %u devices x %u days x %llu writes/day, "
+      "chaos mean %llu%s\n",
+      s.scheme_spec.c_str(), to_string(s.workload.kind).c_str(), s.devices,
+      s.horizon_days, static_cast<unsigned long long>(s.writes_per_day),
+      static_cast<unsigned long long>(s.chaos.mean_interval_writes),
+      s.chaos.corruption ? " (+artifact corruption)" : ""));
+
+  TextTable table;
+  table.add_row({"device", "writes", "crashes", "recovered", "rollbacks",
+                 "fallbacks", "inv-fail", "journal B", "digest"});
+  for (const DeviceReport& d : r.devices) {
+    table.add_row({std::to_string(d.device),
+                   std::to_string(d.committed_writes),
+                   std::to_string(d.outcome.crashes),
+                   std::to_string(d.outcome.recoveries),
+                   std::to_string(d.outcome.rollbacks),
+                   std::to_string(d.outcome.snapshot_fallbacks),
+                   std::to_string(d.outcome.invariant_failures),
+                   std::to_string(d.journal_bytes),
+                   strfmt("%08x", d.state_digest)});
+  }
+  rep.table("fleet_" + s.name, table);
+  rep.note(strfmt(
+      "fleet: %llu committed writes, %llu crashes (%llu recovered, "
+      "%llu rollbacks, %llu snapshot fallbacks), %llu invariant "
+      "failures, digest %08x\n\n",
+      static_cast<unsigned long long>(r.committed_writes),
+      static_cast<unsigned long long>(r.totals.crashes),
+      static_cast<unsigned long long>(r.totals.recoveries),
+      static_cast<unsigned long long>(r.totals.rollbacks),
+      static_cast<unsigned long long>(r.totals.snapshot_fallbacks),
+      static_cast<unsigned long long>(r.totals.invariant_failures),
+      r.fleet_digest));
+  rep.scalar(s.name + ".invariant_failures",
+             static_cast<double>(r.totals.invariant_failures));
+  rep.scalar(s.name + ".crashes", static_cast<double>(r.totals.crashes));
+  rep.scalar(s.name + ".fleet_digest", static_cast<double>(r.fleet_digest));
+}
+
+int run_impl(const CliArgs& args) {
+  auto setup = bench::make_setup(args, 64, 1e6);
+  const std::string scenario_name = args.get_or("scenario", "");
+  const bool resume = args.get_bool_or("resume", false);
+  const std::uint64_t stop_day = args.get_uint_or("stop-day", 0);
+  const bool stopping = args.has("stop-day");
+  const std::string checkpoint_path = args.get_or("checkpoint", "");
+  ReportBuilder rep = bench::make_reporter("bench_fleet", args);
+  bench::check_unconsumed(args);
+
+  if ((stopping || resume) &&
+      (scenario_name.empty() || checkpoint_path.empty())) {
+    throw std::invalid_argument(
+        "--stop-day / --resume require --scenario and --checkpoint");
+  }
+  if (stopping && resume) {
+    throw std::invalid_argument("--stop-day and --resume are exclusive");
+  }
+
+  const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+  std::vector<const Scenario*> scenarios;
+  if (scenario_name.empty()) {
+    for (const Scenario& s : registry.all()) scenarios.push_back(&s);
+  } else {
+    scenarios.push_back(&registry.find(scenario_name));
+  }
+
+  bench::report_banner(rep, "Fleet chaos harness (crash + corruption)",
+                       setup);
+  rep.config_entry("scenarios", scenario_name.empty() ? std::string("all")
+                                                      : scenario_name);
+
+  SimRunner runner(setup.jobs);
+  MetricsRegistry metrics;
+  std::uint64_t total_crashes = 0;
+  std::uint64_t total_invariant_failures = 0;
+
+  for (const Scenario* s : scenarios) {
+    const FleetSimulator sim(setup.config, *s);
+    FleetState state;
+    if (resume) {
+      state = CheckpointManager::deserialize(
+          setup.config, *s, CheckpointManager::read_file(checkpoint_path));
+    } else {
+      state = sim.fresh_state();
+    }
+    const std::uint32_t until =
+        stopping ? static_cast<std::uint32_t>(stop_day) : s->horizon_days;
+    sim.advance(state, until, runner);
+    if (stopping) {
+      CheckpointManager::write_file(
+          checkpoint_path, CheckpointManager::serialize(setup.config, *s,
+                                                        state));
+      rep.note(strfmt("checkpoint: %s at day %u (%s)\n", s->name.c_str(),
+                      state.day, checkpoint_path.c_str()));
+      continue;
+    }
+    const FleetResult result = sim.finalize(state, &metrics);
+    report_scenario(rep, *s, result);
+    total_crashes += result.totals.crashes;
+    total_invariant_failures += result.totals.invariant_failures;
+  }
+
+  if (!stopping) {
+    rep.note(strfmt(
+        "total: %llu injected crash/corruption events, %llu invariant "
+        "failures across %zu scenarios\n",
+        static_cast<unsigned long long>(total_crashes),
+        static_cast<unsigned long long>(total_invariant_failures),
+        scenarios.size()));
+    rep.scalar("total.crashes", static_cast<double>(total_crashes));
+    rep.scalar("total.invariant_failures",
+               static_cast<double>(total_invariant_failures));
+    rep.metrics(metrics);
+  }
+  bench::report_runner_footer(rep, runner.report());
+  rep.finish();
+  return total_invariant_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_cli_main(argc, argv, kUsage, run_impl);
+}

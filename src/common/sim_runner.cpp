@@ -76,6 +76,7 @@ RunnerReport SimRunner::run_all(const std::vector<SimCell>& cells) {
     }
   } else {
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
     std::mutex merge_mutex;
     std::exception_ptr first_error;
     std::size_t first_error_index = cells.size();
@@ -90,12 +91,19 @@ RunnerReport SimRunner::run_all(const std::vector<SimCell>& cells) {
           double local_max = 0.0;
           std::uint64_t local_writes = 0;
           for (;;) {
+            // Cooperative cancellation: once any cell has thrown, the
+            // grid's result is an exception, so draining the queue would
+            // only burn cycles on cells whose output will be discarded.
+            // Cells already running are left to finish (cells are not
+            // interruptible); only still-queued cells are skipped.
+            if (cancelled.load(std::memory_order_relaxed)) break;
             const std::size_t i = next.fetch_add(1);
             if (i >= cells.size()) break;
             const auto cell_start = Clock::now();
             try {
               local_writes += cells[i]();
             } catch (...) {
+              cancelled.store(true, std::memory_order_relaxed);
               const std::lock_guard<std::mutex> lock(merge_mutex);
               if (i < first_error_index) {
                 first_error_index = i;

@@ -60,10 +60,12 @@ class SimRunner {
   static unsigned resolve_jobs(unsigned requested);
 
   /// Runs every cell and blocks until all complete. Cell exceptions are
-  /// rethrown on the calling thread; when several cells throw, the one
-  /// with the lowest index wins, so the surfaced error does not depend on
-  /// scheduling. Returns this call's timing; the runner also accumulates
-  /// it into report().
+  /// rethrown on the calling thread; the first throw cooperatively
+  /// cancels still-queued cells (in-flight cells finish), so a poisoned
+  /// grid stops promptly instead of draining. When several cells throw,
+  /// the one with the lowest index wins among those that ran, so the
+  /// surfaced error does not depend on scheduling. Returns this call's
+  /// timing; the runner also accumulates it into report().
   RunnerReport run_all(const std::vector<SimCell>& cells);
 
   [[nodiscard]] unsigned jobs() const { return jobs_; }

@@ -1,0 +1,84 @@
+#include "fleet/chaos.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace twl {
+
+std::string to_string(ChaosKind k) {
+  switch (k) {
+    case ChaosKind::kCrashMidWrite:
+      return "crash-mid-write";
+    case ChaosKind::kCrashMidCheckpoint:
+      return "crash-mid-checkpoint";
+    case ChaosKind::kSnapshotBitFlip:
+      return "snapshot-bit-flip";
+    case ChaosKind::kSnapshotTruncate:
+      return "snapshot-truncate";
+    case ChaosKind::kSnapshotExtend:
+      return "snapshot-extend";
+    case ChaosKind::kJournalTailBitFlip:
+      return "journal-tail-bit-flip";
+    case ChaosKind::kJournalTruncate:
+      return "journal-truncate";
+    case ChaosKind::kJournalExtend:
+      return "journal-extend";
+  }
+  return "unknown";
+}
+
+std::vector<ChaosEvent> make_chaos_schedule(const ChaosProfile& profile,
+                                            std::uint64_t horizon_writes,
+                                            std::uint64_t seed) {
+  std::vector<ChaosEvent> schedule;
+  if (!profile.enabled()) return schedule;
+
+  // Kind lottery: plain mid-write crashes dominate (they exercise the
+  // torn-tail and mid-swap geometry uniformly); the structured kinds get
+  // one ticket each.
+  std::vector<ChaosKind> lottery;
+  for (int i = 0; i < 4; ++i) lottery.push_back(ChaosKind::kCrashMidWrite);
+  lottery.push_back(ChaosKind::kCrashMidCheckpoint);
+  if (profile.corruption) {
+    lottery.push_back(ChaosKind::kSnapshotBitFlip);
+    lottery.push_back(ChaosKind::kSnapshotTruncate);
+    lottery.push_back(ChaosKind::kSnapshotExtend);
+    lottery.push_back(ChaosKind::kJournalTailBitFlip);
+    lottery.push_back(ChaosKind::kJournalTruncate);
+    lottery.push_back(ChaosKind::kJournalExtend);
+  }
+
+  XorShift64Star rng(seed);
+  std::uint64_t at = 0;
+  for (;;) {
+    at += 1 + rng.next_below(2 * profile.mean_interval_writes);
+    if (at > horizon_writes) break;
+    ChaosEvent ev;
+    ev.at_write = at;
+    ev.kind = lottery[rng.next_below(lottery.size())];
+    schedule.push_back(ev);
+  }
+  return schedule;
+}
+
+void flip_random_bit(std::vector<std::uint8_t>& bytes, XorShift64Star& rng) {
+  assert(!bytes.empty());
+  const std::uint64_t bit = rng.next_below(bytes.size() * 8);
+  bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+void truncate_random(std::vector<std::uint8_t>& bytes, XorShift64Star& rng) {
+  assert(!bytes.empty());
+  const std::uint64_t drop = 1 + rng.next_below(bytes.size());
+  bytes.resize(bytes.size() - drop);
+}
+
+void extend_garbage(std::vector<std::uint8_t>& bytes, XorShift64Star& rng) {
+  const std::uint64_t garbage = 1 + rng.next_below(8);
+  for (std::uint64_t i = 0; i < garbage; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(rng.next()));
+  }
+}
+
+}  // namespace twl

@@ -1,0 +1,74 @@
+// Chaos injection: seeded schedules of crashes and artifact corruption.
+//
+// A ChaosProfile turns a fleet device's write stream into an obstacle
+// course: at pseudo-random write indices the device crashes mid-write,
+// crashes in the middle of taking a checkpoint snapshot, or discovers
+// that a persisted artifact (the current snapshot, or the journal bytes
+// the in-flight write appended) has been corrupted at rest — bit flips,
+// truncation, or garbage extension. Every event ends in a full recovery
+// (recovery/recovery.h) whose result is verified against the five crash
+// invariants before the simulation continues on the recovered state.
+//
+// Schedules are precomputed from a per-device seed, so a schedule is a
+// pure function of (profile, seed, horizon): checkpoint/resume stores
+// only a cursor into it. The *shape* of each event (where the journal
+// cut lands, which bit flips) is drawn at event time from a separate
+// checkpointed RNG stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twl {
+
+class XorShift64Star;
+
+enum class ChaosKind : std::uint8_t {
+  kCrashMidWrite = 0,     ///< Journal cut inside the in-flight write.
+  kCrashMidCheckpoint,    ///< Power cut while writing a new snapshot.
+  kSnapshotBitFlip,       ///< Current snapshot damaged at rest: one bit.
+  kSnapshotTruncate,      ///< Current snapshot damaged at rest: short.
+  kSnapshotExtend,        ///< Current snapshot damaged at rest: garbage.
+  kJournalTailBitFlip,    ///< In-flight journal window: one bit flipped.
+  kJournalTruncate,       ///< In-flight journal window: torn short.
+  kJournalExtend,         ///< Journal survives whole, garbage appended.
+};
+
+inline constexpr std::size_t kNumChaosKinds = 8;
+
+[[nodiscard]] std::string to_string(ChaosKind k);
+
+/// Fault/attack profile of a scenario. mean_interval_writes == 0 disables
+/// chaos entirely; corruption == false restricts the schedule to the two
+/// crash kinds (no at-rest artifact damage).
+struct ChaosProfile {
+  std::uint64_t mean_interval_writes = 0;
+  bool corruption = false;
+
+  [[nodiscard]] bool enabled() const { return mean_interval_writes > 0; }
+};
+
+struct ChaosEvent {
+  std::uint64_t at_write = 0;  ///< 1-based device write index it hits.
+  ChaosKind kind = ChaosKind::kCrashMidWrite;
+};
+
+/// Precomputes the full event schedule for one device: strictly
+/// increasing write indices with gaps uniform in [1, 2*mean], kinds
+/// weighted toward plain mid-write crashes (weight 4) over the rarer
+/// kinds (weight 1 each; corruption kinds only when enabled).
+[[nodiscard]] std::vector<ChaosEvent> make_chaos_schedule(
+    const ChaosProfile& profile, std::uint64_t horizon_writes,
+    std::uint64_t seed);
+
+// Corruption primitives, shared with the corrupted-artifact corpus tests
+// so the tests damage artifacts exactly the way the injector does.
+// All three require a non-empty buffer.
+void flip_random_bit(std::vector<std::uint8_t>& bytes, XorShift64Star& rng);
+/// Drops a uniform 1..size() byte suffix.
+void truncate_random(std::vector<std::uint8_t>& bytes, XorShift64Star& rng);
+/// Appends 1..8 garbage bytes.
+void extend_garbage(std::vector<std::uint8_t>& bytes, XorShift64Star& rng);
+
+}  // namespace twl

@@ -1,0 +1,63 @@
+// Fleet checkpointing: stop/resume for multi-device simulations.
+//
+// A checkpoint is one self-validating blob holding a FleetState — every
+// device's frozen simulation state (scheme snapshot, device wear,
+// controller counters, journal, retained recovery artifacts, chaos
+// cursor/RNG) plus the fleet day. The envelope carries the identity of
+// the run that produced it (scenario, scheme, seed, device scale) and a
+// CRC-32 over everything, so a checkpoint can only be resumed into the
+// run it came from, and any at-rest damage — bit flips, truncation,
+// garbage extension — is detected before a single field is trusted.
+//
+// Resume contract (enforced by tests/fleet/fleet_chaos_test.cpp):
+// deserialize(serialize(state)) followed by advancing to the horizon
+// produces a final report byte-identical to the uninterrupted run, for
+// every scheme and at any --jobs level.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+
+namespace twl {
+
+struct Config;
+struct Scenario;
+
+/// Checkpoint validation failure: damaged blob, version skew, or a
+/// checkpoint from a different run (scenario/config mismatch).
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint16_t kCheckpointVersion = 1;
+
+class CheckpointManager {
+ public:
+  /// One self-validating blob: magic, version, run identity, per-device
+  /// state, CRC-32 tail.
+  [[nodiscard]] static std::vector<std::uint8_t> serialize(
+      const Config& config, const Scenario& scenario,
+      const FleetState& state);
+
+  /// Validates and decodes. Throws CheckpointError on any damage or when
+  /// the blob belongs to a different (scenario, config) run.
+  [[nodiscard]] static FleetState deserialize(
+      const Config& config, const Scenario& scenario,
+      const std::vector<std::uint8_t>& blob);
+
+  /// File transport for the bench's --checkpoint flag. read_file throws
+  /// CheckpointError when the file is missing/unreadable; write_file
+  /// throws on I/O failure.
+  static void write_file(const std::string& path,
+                         const std::vector<std::uint8_t>& blob);
+  [[nodiscard]] static std::vector<std::uint8_t> read_file(
+      const std::string& path);
+};
+
+}  // namespace twl

@@ -1,0 +1,160 @@
+// Fleet simulator: N independent journaled devices under chaos.
+//
+// Each fleet device is a full simulation stack — PcmDevice over its own
+// process-variation draw, a wear-leveling scheme, a MemoryController
+// with an attached MetadataJournal — driven day by day through a
+// deterministic workload stream while a seeded ChaosInjector schedule
+// crashes it and corrupts its persisted artifacts (fleet/chaos.h). Every
+// crash runs the real recovery path (snapshot restore + journal replay,
+// falling back from a damaged current snapshot to the previous one plus
+// the retained journal) and re-verifies the five recovery invariants of
+// sim/crash_sim.h before the device continues on the recovered state.
+//
+// The simulator itself is stateless between calls: all mutable state
+// lives in FleetState, whose devices are *cold* (serialized) blobs.
+// advance() thaws a device, runs it, and freezes it back, so
+// thaw(freeze(x)) == x is the identity that makes checkpoint/resume
+// byte-exact — a resumed fleet continues the precise write, chaos and
+// RNG streams of an uninterrupted run. Devices are independent SimRunner
+// cells: --jobs N never changes results, only wall clock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "fleet/chaos.h"
+#include "fleet/scenario.h"
+
+namespace twl {
+
+class MetricsRegistry;
+class SimRunner;
+class SnapshotReader;
+class SnapshotWriter;
+
+/// Lifetime chaos/recovery tallies of one device.
+struct DeviceOutcome {
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t rollbacks = 0;  ///< In-flight writes rolled back + redone.
+  /// Recovery attempts that rejected a damaged snapshot and fell back.
+  std::uint64_t snapshot_fallbacks = 0;
+  std::uint64_t invariant_failures = 0;  ///< Must stay 0.
+  std::uint64_t replayed_writes = 0;     ///< Journal replays, summed.
+  std::array<std::uint64_t, kNumChaosKinds> chaos_by_kind{};
+
+  friend bool operator==(const DeviceOutcome&,
+                         const DeviceOutcome&) = default;
+};
+
+/// One device's frozen (serialized) simulation state. Everything a
+/// resumed run needs: live metadata, persisted recovery artifacts and
+/// their provenance, and the chaos cursor/RNG.
+struct DeviceState {
+  std::uint64_t writes_done = 0;  ///< Committed workload stream elements.
+  std::vector<std::uint8_t> scheme;       ///< take_snapshot envelope.
+  std::vector<std::uint8_t> device_wear;  ///< PcmDevice::save_state.
+  std::vector<std::uint8_t> controller;   ///< ControllerStats::save_state.
+  std::vector<std::uint8_t> journal;      ///< Live journal bytes.
+  std::uint64_t journal_total_bytes = 0;
+  std::uint64_t journal_total_records = 0;
+  std::uint64_t journal_truncations = 0;
+  // Persisted recovery artifacts: current + previous snapshot, the
+  // journal span between them, and the device wear at each (the
+  // reference baseline for invariant verification).
+  std::vector<std::uint8_t> snapshot_cur;
+  std::vector<std::uint8_t> snapshot_prev;
+  std::vector<std::uint8_t> retained_journal;
+  std::uint64_t base_cur = 0;   ///< Writes snapshot_cur covers.
+  std::uint64_t base_prev = 0;  ///< Writes snapshot_prev covers.
+  std::vector<std::uint8_t> wear_cur;
+  std::vector<std::uint8_t> wear_prev;
+  std::uint64_t chaos_cursor = 0;         ///< Next schedule entry.
+  std::vector<std::uint8_t> chaos_rng;    ///< XorShift64Star::save_state.
+  DeviceOutcome outcome;
+
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
+
+  friend bool operator==(const DeviceState&, const DeviceState&) = default;
+};
+
+struct FleetState {
+  std::uint32_t day = 0;
+  std::vector<DeviceState> devices;
+
+  friend bool operator==(const FleetState&, const FleetState&) = default;
+};
+
+/// Per-device summary in the final report.
+struct DeviceReport {
+  std::uint32_t device = 0;
+  std::uint64_t committed_writes = 0;
+  DeviceOutcome outcome;
+  std::uint64_t journal_bytes = 0;  ///< Lifetime appended bytes.
+  /// CRC-32 over the final scheme snapshot ++ device wear state: the
+  /// byte-identity fingerprint the stop/resume and --jobs tests compare.
+  std::uint32_t state_digest = 0;
+};
+
+struct FleetResult {
+  std::string scenario;
+  std::vector<DeviceReport> devices;
+  std::uint64_t committed_writes = 0;  ///< Fleet total.
+  DeviceOutcome totals;                ///< Summed over devices.
+  std::uint32_t fleet_digest = 0;      ///< CRC-32 over device digests.
+};
+
+class FleetSimulator {
+ public:
+  /// Requires a chaos-compatible config: no fault model, no retirement
+  /// (the recovery replay model of sim/crash_sim.h). Throws
+  /// std::invalid_argument otherwise. Devices draw independent PV maps
+  /// and scheme RNG streams from config.seed.
+  FleetSimulator(const Config& config, const Scenario& scenario);
+
+  /// Day-zero fleet: fresh devices, initial snapshots taken.
+  [[nodiscard]] FleetState fresh_state() const;
+
+  /// Runs every device from state.day to min(until_day, horizon_days) as
+  /// parallel SimRunner cells (cell i writes only state.devices[i]).
+  void advance(FleetState& state, std::uint32_t until_day,
+               SimRunner& runner) const;
+
+  /// Pure function of the cold state: per-device reports, aggregates and
+  /// digests. With `metrics`, publishes per-device controller counters
+  /// and fleet.* instruments into it (commutative merges only).
+  [[nodiscard]] FleetResult finalize(const FleetState& state,
+                                     MetricsRegistry* metrics = nullptr) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+
+ private:
+  struct Live;
+  struct CrashContext;
+
+  [[nodiscard]] std::unique_ptr<Live> make_live(std::uint32_t device) const;
+  [[nodiscard]] std::unique_ptr<Live> thaw(const DeviceState& cold,
+                                           std::uint32_t device) const;
+  [[nodiscard]] static DeviceState freeze(const Live& d);
+  std::uint64_t run_device(DeviceState& cold, std::uint32_t device,
+                           std::uint32_t from_day,
+                           std::uint32_t until_day) const;
+  void inject(Live& d, const ChaosEvent& ev, LogicalPageAddr la,
+              std::uint64_t k) const;
+  void rotate_snapshots(Live& d) const;
+  [[nodiscard]] bool verify_invariants(const Live& d,
+                                       const CrashContext& ctx,
+                                       const class WearLeveler& recovered)
+      const;
+
+  Config config_;
+  Scenario scenario_;
+};
+
+}  // namespace twl

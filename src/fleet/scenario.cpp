@@ -1,0 +1,97 @@
+#include "fleet/scenario.h"
+
+#include <stdexcept>
+
+namespace twl {
+
+namespace {
+
+/// One row of the built-in scenario table. Plain aggregate so the table
+/// below reads like the configuration file it stands in for.
+struct Row {
+  const char* name;
+  const char* scheme;
+  WorkloadKind workload;
+  std::uint64_t chaos_mean;  ///< 0 = no chaos.
+  bool corruption;
+  std::uint32_t devices;
+  std::uint32_t horizon_days;
+};
+
+// Every scheme family under benign, crash-heavy, corrupting and actively
+// attacked profiles. writes_per_day = 512 and snapshots every 2 days are
+// shared; the soak row runs a bigger fleet for longer. Chaos means are
+// chosen so the default grid injects well over a thousand crash and
+// corruption events in aggregate (~horizon/mean events per device).
+constexpr Row kBuiltinRows[] = {
+    // name                 scheme        workload                        chaos  corrupt dev days
+    {"baseline_zipf_twl",   "TWL",        WorkloadKind::kZipf,              192, false,  4,  8},
+    {"skewed_zipf_sr",      "SR",         WorkloadKind::kZipf,              192, false,  4,  8},
+    {"stream_bwl",          "BWL",        WorkloadKind::kZipf,              192, false,  4,  8},
+    {"crash_startgap",      "StartGap",   WorkloadKind::kZipf,               96, false,  4,  8},
+    {"crash_rbsg",          "RBSG",       WorkloadKind::kRandom,             96, false,  4,  8},
+    {"scan_wrl",            "WRL",        WorkloadKind::kScan,              160, false,  4,  8},
+    {"repeat_nowl",         "NOWL",       WorkloadKind::kRepeat,            192, true,   4,  8},
+    {"attack_twl",          "TWL",        WorkloadKind::kInconsistentAttack,160, false,  4,  8},
+    {"attack_guarded_twl",  "guard:TWL",  WorkloadKind::kInconsistentAttack,160, false,  4,  8},
+    {"attack_od3p_twl",     "od3p:TWL",   WorkloadKind::kInconsistentAttack,160, false,  4,  8},
+    {"corruption_twl",      "TWL",        WorkloadKind::kZipf,              128, true,   4,  8},
+    {"corruption_sr",       "SR",         WorkloadKind::kRandom,            128, true,   4,  8},
+    {"soak_attack_fleet",   "guard:TWL",  WorkloadKind::kInconsistentAttack,128, true,   8, 16},
+};
+
+Scenario from_row(const Row& row) {
+  Scenario s;
+  s.name = row.name;
+  s.scheme_spec = row.scheme;
+  s.workload.kind = row.workload;
+  // Heavier skew for the skewed row; longer streaming for the BWL row —
+  // derived from the name so the table stays one line per scenario.
+  if (s.name == "skewed_zipf_sr") s.workload.zipf_s = 1.2;
+  if (s.name == "stream_bwl") s.workload.stream_frac = 0.5;
+  s.chaos.mean_interval_writes = row.chaos_mean;
+  s.chaos.corruption = row.corruption;
+  s.devices = row.devices;
+  s.horizon_days = row.horizon_days;
+  return s;
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry registry = [] {
+    ScenarioRegistry r;
+    for (const Row& row : kBuiltinRows) r.add(from_row(row));
+    return r;
+  }();
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario s) {
+  for (const Scenario& existing : scenarios_) {
+    if (existing.name == s.name) {
+      throw std::invalid_argument("duplicate scenario name: '" + s.name +
+                                  "'");
+    }
+  }
+  scenarios_.push_back(std::move(s));
+}
+
+const Scenario& ScenarioRegistry::find(const std::string& name) const {
+  for (const Scenario& s : scenarios_) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown scenario: '" + name +
+                              "' (valid scenarios: " + names() + ")");
+}
+
+std::string ScenarioRegistry::names() const {
+  std::string out;
+  for (const Scenario& s : scenarios_) {
+    if (!out.empty()) out += ", ";
+    out += s.name;
+  }
+  return out;
+}
+
+}  // namespace twl

@@ -1,0 +1,61 @@
+// Scenario registry: the declarative (workload x scheme x fault profile)
+// table the fleet harness runs.
+//
+// A Scenario is everything FleetSimulator needs beyond the device-scale
+// Config: which scheme to build, what each device writes, how often
+// chaos strikes, and the fleet's shape (device count, horizon, snapshot
+// cadence). The built-in registry is generated from one data table in
+// scenario.cpp — adding a scenario is adding a row, not writing code —
+// and covers every scheme family under benign, crash-heavy, corrupting
+// and actively attacked profiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/chaos.h"
+#include "fleet/workload.h"
+
+namespace twl {
+
+struct Scenario {
+  std::string name;
+  std::string scheme_spec = "TWL";
+  FleetWorkload workload{};
+  ChaosProfile chaos{};
+  std::uint32_t devices = 4;
+  std::uint32_t horizon_days = 8;
+  std::uint64_t writes_per_day = 512;
+  /// Snapshot + journal truncation every this many simulated days.
+  std::uint32_t snapshot_interval_days = 2;
+
+  [[nodiscard]] std::uint64_t horizon_writes() const {
+    return static_cast<std::uint64_t>(horizon_days) * writes_per_day;
+  }
+};
+
+class ScenarioRegistry {
+ public:
+  /// The built-in scenario table (constructed once, shared).
+  [[nodiscard]] static const ScenarioRegistry& builtin();
+
+  /// Throws std::invalid_argument on duplicate names.
+  void add(Scenario s);
+
+  /// Lookup by name; throws std::invalid_argument listing names() on an
+  /// unknown key (same contract as the scheme factory's parse_scheme).
+  [[nodiscard]] const Scenario& find(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<Scenario>& all() const {
+    return scenarios_;
+  }
+
+  /// Comma-separated scenario names, in registration order.
+  [[nodiscard]] std::string names() const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace twl

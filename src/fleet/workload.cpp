@@ -1,0 +1,120 @@
+#include "fleet/workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+#include "trace/synthetic.h"
+
+namespace twl {
+
+std::string to_string(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kZipf:
+      return "zipf";
+    case WorkloadKind::kRepeat:
+      return "repeat";
+    case WorkloadKind::kScan:
+      return "scan";
+    case WorkloadKind::kRandom:
+      return "random";
+    case WorkloadKind::kInconsistentAttack:
+      return "inconsistent-attack";
+  }
+  return "unknown";
+}
+
+FleetStream::FleetStream(const FleetWorkload& workload,
+                         std::uint64_t logical_pages, std::uint64_t seed)
+    : workload_(workload), pages_(logical_pages) {
+  assert(pages_ > 0);
+  switch (workload_.kind) {
+    case WorkloadKind::kZipf: {
+      SyntheticParams sp;
+      sp.pages = pages_;
+      sp.zipf_s = workload_.zipf_s;
+      sp.stream_frac = workload_.stream_frac;
+      sp.read_frac = 0.0;  // Reads touch no wear-leveling metadata.
+      sp.seed = seed;
+      zipf_ = std::make_unique<SyntheticTrace>(sp, "fleet");
+      break;
+    }
+    case WorkloadKind::kScan:
+      break;  // Position alone determines the address.
+    case WorkloadKind::kRandom:
+      rng_ = std::make_unique<XorShift64Star>(seed);
+      break;
+    case WorkloadKind::kRepeat:
+    case WorkloadKind::kInconsistentAttack: {
+      // Spread the attacked set evenly over the space so the addresses
+      // land in distinct regions/pairs of every scheme.
+      const std::uint32_t n =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(
+              std::max<std::uint32_t>(workload_.attack_addrs, 1), pages_));
+      attack_set_.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        attack_set_.push_back(
+            static_cast<std::uint32_t>((pages_ * i) / n));
+      }
+      if (workload_.kind == WorkloadKind::kInconsistentAttack) {
+        rng_ = std::make_unique<XorShift64Star>(seed);
+        weights_.assign(n, workload_.mid_weight);
+        weights_.front() = 1;
+        weights_.back() = workload_.heavy_weight;
+        for (std::uint64_t w : weights_) weight_total_ += w;
+      }
+      break;
+    }
+  }
+}
+
+FleetStream::~FleetStream() = default;
+FleetStream::FleetStream(FleetStream&&) noexcept = default;
+FleetStream& FleetStream::operator=(FleetStream&&) noexcept = default;
+
+LogicalPageAddr FleetStream::generate() {
+  switch (workload_.kind) {
+    case WorkloadKind::kZipf:
+      for (;;) {
+        const MemoryRequest req = zipf_->next();
+        if (req.op != Op::kWrite) continue;
+        return LogicalPageAddr(
+            static_cast<std::uint32_t>(req.addr.value() % pages_));
+      }
+    case WorkloadKind::kScan:
+      return LogicalPageAddr(
+          static_cast<std::uint32_t>(consumed_ % pages_));
+    case WorkloadKind::kRandom:
+      return LogicalPageAddr(
+          static_cast<std::uint32_t>(rng_->next_below(pages_)));
+    case WorkloadKind::kRepeat:
+      return LogicalPageAddr(
+          attack_set_[consumed_ % attack_set_.size()]);
+    case WorkloadKind::kInconsistentAttack: {
+      // Which end of the set carries the heavy weight flips each phase.
+      const bool reversed =
+          (consumed_ / workload_.flip_interval) % 2 == 1;
+      std::uint64_t pick = rng_->next_below(weight_total_);
+      std::size_t idx = 0;
+      while (pick >= weights_[idx]) {
+        pick -= weights_[idx];
+        ++idx;
+      }
+      if (reversed) idx = attack_set_.size() - 1 - idx;
+      return LogicalPageAddr(attack_set_[idx]);
+    }
+  }
+  return LogicalPageAddr(0);
+}
+
+LogicalPageAddr FleetStream::next() {
+  const LogicalPageAddr la = generate();
+  ++consumed_;
+  return la;
+}
+
+void FleetStream::skip(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) (void)next();
+}
+
+}  // namespace twl

@@ -1,0 +1,88 @@
+// Fleet workload streams.
+//
+// Every fleet device consumes one deterministic, write-only logical
+// address stream. Streams are *skip-replayable*: a checkpoint stores only
+// the number of elements consumed, and resume reconstructs the stream
+// from (workload, seed) and skips forward — so a resumed device sees
+// exactly the addresses an uninterrupted run would have seen, which is
+// what the byte-identity acceptance tests exercise.
+//
+// The kInconsistentAttack kind is the open-loop variant of the paper's
+// inconsistent write pattern (Section 3.2): a small set of addresses is
+// written with strongly unequal frequencies, and the weight assignment
+// reverses periodically so yesterday's cold page becomes today's hot
+// page — the access pattern that defeats history-based wear prediction.
+// (The paper's closed-loop attacker adapts using the latency side
+// channel; fleet runs are timing-disabled, so the deterministic phase
+// reversal stands in for the adaptation.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace twl {
+
+class SyntheticTrace;
+
+enum class WorkloadKind : std::uint8_t {
+  kZipf,                ///< Zipf hot set + streaming (the lifetime mixture).
+  kRepeat,              ///< Round-robin over a tiny hot set (hammering).
+  kScan,                ///< Sequential full-space scan.
+  kRandom,              ///< Uniform random.
+  kInconsistentAttack,  ///< Phase-reversing skewed set (Section 3.2).
+};
+
+[[nodiscard]] std::string to_string(WorkloadKind k);
+
+struct FleetWorkload {
+  WorkloadKind kind = WorkloadKind::kZipf;
+  // kZipf knobs (same meaning as SyntheticParams).
+  double zipf_s = 1.0;
+  double stream_frac = 0.1;
+  // kRepeat / kInconsistentAttack: size of the attacked address set.
+  std::uint32_t attack_addrs = 8;
+  // kInconsistentAttack weights: the last address of the set gets
+  // heavy_weight, the middle ones mid_weight, the first weight 1; the
+  // assignment reverses every flip_interval writes.
+  std::uint64_t heavy_weight = 16;
+  std::uint64_t mid_weight = 4;
+  std::uint64_t flip_interval = 256;
+};
+
+/// One device's infinite write-address stream. Deterministic in
+/// (workload, logical_pages, seed); position is fully described by the
+/// number of next() calls made, so skip(n) after construction replays a
+/// stream to any checkpoint.
+class FleetStream {
+ public:
+  FleetStream(const FleetWorkload& workload, std::uint64_t logical_pages,
+              std::uint64_t seed);
+  ~FleetStream();
+
+  FleetStream(FleetStream&&) noexcept;
+  FleetStream& operator=(FleetStream&&) noexcept;
+
+  [[nodiscard]] LogicalPageAddr next();
+  void skip(std::uint64_t n);
+
+  /// next() calls made so far (the checkpoint cursor).
+  [[nodiscard]] std::uint64_t consumed() const { return consumed_; }
+
+ private:
+  [[nodiscard]] LogicalPageAddr generate();
+
+  FleetWorkload workload_;
+  std::uint64_t pages_;
+  std::uint64_t consumed_ = 0;
+  std::unique_ptr<SyntheticTrace> zipf_;  ///< kZipf only.
+  std::unique_ptr<class XorShift64Star> rng_;  ///< kRandom / attack draws.
+  std::vector<std::uint32_t> attack_set_;  ///< kRepeat / attack addresses.
+  std::vector<std::uint64_t> weights_;     ///< Attack weight per set index.
+  std::uint64_t weight_total_ = 0;
+};
+
+}  // namespace twl

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "recovery/snapshot.h"
+
 namespace twl {
 
 PcmDevice::PcmDevice(EnduranceMap endurance)
@@ -46,6 +48,43 @@ std::vector<double> PcmDevice::wear_fractions() const {
                           static_cast<std::uint32_t>(i)))));
   }
   return out;
+}
+
+void PcmDevice::save_state(SnapshotWriter& w) const {
+  if (faults_) {
+    throw SnapshotError(
+        "PcmDevice state with an active fault model is not checkpointable");
+  }
+  w.put_u64(pages());
+  w.put_u64_vec(wear_);
+  w.put_u64(total_writes_);
+  w.put_bool(first_failure_.has_value());
+  w.put_u32(first_failure_ ? first_failure_->value() : 0);
+  w.put_u64(writes_at_failure_.value_or(0));
+}
+
+void PcmDevice::load_state(SnapshotReader& r) {
+  if (faults_) {
+    throw SnapshotError(
+        "PcmDevice state with an active fault model is not checkpointable");
+  }
+  r.expect_u64(pages(), "device_pages");
+  std::vector<WriteCount> wear = r.get_u64_vec();
+  if (wear.size() != wear_.size()) {
+    throw SnapshotError("device wear vector size mismatch");
+  }
+  wear_ = std::move(wear);
+  total_writes_ = r.get_u64();
+  const bool failed = r.get_bool();
+  const std::uint32_t failed_pa = r.get_u32();
+  const std::uint64_t failed_writes = r.get_u64();
+  if (failed) {
+    first_failure_ = PhysicalPageAddr(failed_pa);
+    writes_at_failure_ = failed_writes;
+  } else {
+    first_failure_.reset();
+    writes_at_failure_.reset();
+  }
 }
 
 void PcmDevice::reset_wear() {

@@ -27,6 +27,9 @@
 
 namespace twl {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class PcmDevice {
  public:
   /// Paper model: binary wear-out latch at the PV endurance.
@@ -85,6 +88,16 @@ class PcmDevice {
 
   /// Reset wear (new device, same PV map).
   void reset_wear();
+
+  /// Checkpoint/resume (fleet harness): serialize the mutable wear state
+  /// (wear counters, total writes, failure latch). The EnduranceMap is
+  /// config-derived and is rebuilt by the caller, not stored. Throws
+  /// SnapshotError when a fault model is active — its RNG stream is not
+  /// checkpointable and the fleet harness runs the paper's latch model.
+  void save_state(SnapshotWriter& w) const;
+  /// Restores state saved by save_state() into a device with the same
+  /// geometry. Throws SnapshotError on size mismatch or fault model.
+  void load_state(SnapshotReader& r);
 
  private:
   EnduranceMap endurance_;

@@ -97,6 +97,16 @@ void MetadataJournal::truncate() {
   ++truncations_;
 }
 
+void MetadataJournal::restore(std::vector<std::uint8_t> bytes,
+                              std::uint64_t total_bytes,
+                              std::uint64_t total_records,
+                              std::uint64_t truncations) {
+  bytes_ = std::move(bytes);
+  total_bytes_ = total_bytes;
+  total_records_ = total_records;
+  truncations_ = truncations;
+}
+
 JournalScan scan_journal(const std::vector<std::uint8_t>& bytes) {
   JournalScan scan;
   std::size_t pos = 0;

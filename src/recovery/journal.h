@@ -84,6 +84,12 @@ class MetadataJournal {
   /// supersedes every record). Lifetime byte/record counters survive.
   void truncate();
 
+  /// Checkpoint/resume (fleet harness): reinstate a journal exactly as
+  /// captured by bytes() and the lifetime counters, so a resumed run
+  /// appends to the same byte stream an uninterrupted run would.
+  void restore(std::vector<std::uint8_t> bytes, std::uint64_t total_bytes,
+               std::uint64_t total_records, std::uint64_t truncations);
+
   /// Current log contents since the last truncate.
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
     return bytes_;

@@ -86,9 +86,24 @@ double SnapshotReader::get_double() {
   return std::bit_cast<double>(get_u64());
 }
 
+void SnapshotReader::check_count(std::uint64_t n, std::size_t elem_size,
+                                 const char* what) {
+  // Divide, never multiply: `n * elem_size` on an attacker-chosen count
+  // wraps around std::uint64_t and would sail past need(), after which
+  // reserve(n) attempts a multi-GB allocation before the per-element
+  // reads could fail.
+  if (n > remaining() / elem_size) {
+    throw SnapshotError(std::string("snapshot corrupt: declared ") + what +
+                        " count " + std::to_string(n) + " (x" +
+                        std::to_string(elem_size) + " bytes) exceeds the " +
+                        std::to_string(remaining()) +
+                        " remaining payload bytes");
+  }
+}
+
 std::string SnapshotReader::get_string() {
   const std::uint32_t n = get_u32();
-  need(n);
+  check_count(n, 1, "string byte");
   std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
   pos_ += n;
   return s;
@@ -96,7 +111,7 @@ std::string SnapshotReader::get_string() {
 
 std::vector<std::uint8_t> SnapshotReader::get_u8_vec() {
   const std::uint64_t n = get_u64();
-  need(n);
+  check_count(n, 1, "u8 element");
   std::vector<std::uint8_t> v(data_ + pos_, data_ + pos_ + n);
   pos_ += n;
   return v;
@@ -104,7 +119,7 @@ std::vector<std::uint8_t> SnapshotReader::get_u8_vec() {
 
 std::vector<std::uint16_t> SnapshotReader::get_u16_vec() {
   const std::uint64_t n = get_u64();
-  need(n * 2);
+  check_count(n, 2, "u16 element");
   std::vector<std::uint16_t> v;
   v.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(get_u16());
@@ -113,7 +128,7 @@ std::vector<std::uint16_t> SnapshotReader::get_u16_vec() {
 
 std::vector<std::uint32_t> SnapshotReader::get_u32_vec() {
   const std::uint64_t n = get_u64();
-  need(n * 4);  // Guards the loop below against absurd lengths.
+  check_count(n, 4, "u32 element");
   std::vector<std::uint32_t> v;
   v.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(get_u32());
@@ -122,7 +137,7 @@ std::vector<std::uint32_t> SnapshotReader::get_u32_vec() {
 
 std::vector<std::uint64_t> SnapshotReader::get_u64_vec() {
   const std::uint64_t n = get_u64();
-  need(n * 8);
+  check_count(n, 8, "u64 element");
   std::vector<std::uint64_t> v;
   v.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(get_u64());

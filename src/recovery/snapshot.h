@@ -99,6 +99,12 @@ class SnapshotReader {
 
  private:
   void need(std::size_t n);
+  /// Validates an untrusted length prefix before any allocation: a
+  /// declared count of `elem_size`-byte elements must fit in the
+  /// remaining payload, or the snapshot is corrupt. Overflow-safe (the
+  /// comparison divides instead of multiplying).
+  void check_count(std::uint64_t n, std::size_t elem_size,
+                   const char* what);
 
   const std::uint8_t* data_;
   std::size_t size_;

@@ -5,6 +5,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "recovery/journal.h"
+#include "recovery/snapshot.h"
 
 namespace twl {
 
@@ -54,6 +55,26 @@ void ControllerStats::publish(MetricsRegistry& m) const {
   m.counter("controller.extra_writes").add(extra_writes());
 }
 
+void ControllerStats::save_state(SnapshotWriter& w) const {
+  w.put_u64(demand_writes);
+  w.put_u64(reads);
+  for (WriteCount c : writes_by_purpose) w.put_u64(c);
+  w.put_u64(migration_reads);
+  w.put_u64(blocking_events);
+  w.put_u32(pages_retired);
+  w.put_u32(unretired_failures);
+}
+
+void ControllerStats::load_state(SnapshotReader& r) {
+  demand_writes = r.get_u64();
+  reads = r.get_u64();
+  for (WriteCount& c : writes_by_purpose) c = r.get_u64();
+  migration_reads = r.get_u64();
+  blocking_events = r.get_u64();
+  pages_retired = r.get_u32();
+  unretired_failures = r.get_u32();
+}
+
 MemoryController::MemoryController(PcmDevice& device, WearLeveler& wl,
                                    const Config& config, bool enable_timing)
     : device_(&device),
@@ -94,6 +115,12 @@ void MemoryController::publish_metrics(MetricsRegistry& m) const {
   for (const auto& [label, value] : scheme_stats) {
     m.gauge("wl." + label).set(value);
   }
+}
+
+void MemoryController::restore_stats(const ControllerStats& stats) {
+  assert(!timing_enabled_ && !retirement_ &&
+         "restore_stats covers counter-only controller state");
+  stats_ = stats;
 }
 
 void MemoryController::device_write(PhysicalPageAddr device_pa,

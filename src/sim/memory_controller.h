@@ -34,6 +34,8 @@ class JsonWriter;
 class MetadataJournal;
 class MetricsRegistry;
 class LogHistogram;
+class SnapshotReader;
+class SnapshotWriter;
 
 struct ControllerStats {
   WriteCount demand_writes = 0;
@@ -58,6 +60,12 @@ struct ControllerStats {
   /// Export every counter into `m` under "controller." names (per-purpose
   /// write counts as "controller.writes.<purpose>").
   void publish(MetricsRegistry& m) const;
+
+  /// Checkpoint/resume (fleet harness): byte-exact counter round-trip so
+  /// a resumed controller continues the journal sequence numbers (seq ==
+  /// demand_writes) and the report totals of an uninterrupted run.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 };
 
 class MemoryController final : public WriteSink {
@@ -99,6 +107,12 @@ class MemoryController final : public WriteSink {
   void publish_metrics(MetricsRegistry& m) const;
 
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  /// Checkpoint/resume (fleet harness): reinstate counters captured from
+  /// another controller's stats() so journal sequence numbers and report
+  /// totals continue seamlessly. Only valid between requests on a
+  /// timing-disabled controller without retirement — the configurations
+  /// whose entire mutable state is the counter block.
+  void restore_stats(const ControllerStats& stats);
   /// End-of-life: first page death without retirement, with the spare
   /// pool exhausted — identical to PcmDevice::failed() when retirement is
   /// not configured.

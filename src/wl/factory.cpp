@@ -42,14 +42,12 @@ std::string to_string(Scheme s) {
   return "unknown";
 }
 
-namespace {
-
-/// Every name parse_scheme accepts, for error messages.
-constexpr const char* kValidSchemeNames =
-    "NOWL, none, StartGap, start-gap, RBSG, SR, WRL, BWL, TWL, TWL_ap, "
-    "TWL_swp, TWL_rnd";
-
-}  // namespace
+const std::string& valid_scheme_names() {
+  static const std::string names =
+      "NOWL, none, StartGap, start-gap, RBSG, SR, WRL, BWL, TWL, TWL_ap, "
+      "TWL_swp, TWL_rnd";
+  return names;
+}
 
 Scheme parse_scheme(const std::string& name) {
   std::string lower(name);
@@ -66,7 +64,7 @@ Scheme parse_scheme(const std::string& name) {
   if (lower == "twl_rnd") return Scheme::kTossUpRandomPair;
   throw std::invalid_argument(
       "unknown wear-leveling scheme: '" + name + "' (valid schemes: " +
-      kValidSchemeNames +
+      valid_scheme_names() +
       "; specs may be prefixed with 'guard:' and/or 'od3p:')");
 }
 

@@ -28,8 +28,13 @@ enum class Scheme : std::uint8_t {
 
 /// Parses "NOWL", "SR", "BWL", "WRL", "StartGap", "TWL", "TWL_ap",
 /// "TWL_swp", "TWL_rnd" (case-insensitive). Throws std::invalid_argument
-/// on anything else.
+/// on anything else; the message lists valid_scheme_names().
 [[nodiscard]] Scheme parse_scheme(const std::string& name);
+
+/// Comma-separated list of every name parse_scheme accepts. Unknown-key
+/// error messages quote it (as does ScenarioRegistry's), so a typo on the
+/// command line always shows the menu it missed.
+[[nodiscard]] const std::string& valid_scheme_names();
 
 /// All schemes in the order the paper's figures list them.
 [[nodiscard]] std::vector<Scheme> all_schemes();

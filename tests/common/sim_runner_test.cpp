@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -126,6 +127,38 @@ TEST(SimRunner, LowestIndexExceptionWinsRegardlessOfSchedule) {
       EXPECT_STREQ(e.what(), "cell three") << "jobs=" << jobs;
     }
   }
+}
+
+TEST(SimRunner, PoisonedGridCancelsQueuedCellsInsteadOfDraining) {
+  // One early cell throws; the hundreds of queued cells behind it must be
+  // skipped, not drained. Each surviving cell burns ~1ms so an
+  // un-cancelled run would be both slow and fully counted.
+  const std::size_t n = 512;
+  std::atomic<std::size_t> executed{0};
+  std::vector<SimCell> cells;
+  for (std::size_t i = 0; i < n; ++i) {
+    cells.push_back([&executed, i]() -> std::uint64_t {
+      if (i == 5) throw std::runtime_error("cell five is poisoned");
+      executed.fetch_add(1, std::memory_order_relaxed);
+      const auto until =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+      while (std::chrono::steady_clock::now() < until) {
+      }
+      return 1;
+    });
+  }
+  SimRunner runner(4);
+  try {
+    runner.run_all(cells);
+    FAIL() << "expected the poisoned cell's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell five is poisoned");
+  }
+  // In-flight cells may finish, but the queue must not drain: with 4
+  // workers and a throw inside the first handful of claims, anywhere near
+  // n executions means cancellation did not happen.
+  EXPECT_LT(executed.load(), n / 2)
+      << "queued cells kept running after the grid was poisoned";
 }
 
 TEST(SimRunner, ReportAccumulatesAcrossRuns) {

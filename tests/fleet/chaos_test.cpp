@@ -1,0 +1,117 @@
+// Chaos schedule and corruption-primitive properties.
+#include "fleet/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace twl {
+namespace {
+
+ChaosProfile profile(std::uint64_t mean, bool corruption) {
+  ChaosProfile p;
+  p.mean_interval_writes = mean;
+  p.corruption = corruption;
+  return p;
+}
+
+TEST(ChaosSchedule, DisabledProfileYieldsNoEvents) {
+  EXPECT_TRUE(make_chaos_schedule(profile(0, true), 100000, 7).empty());
+}
+
+TEST(ChaosSchedule, IsAPureFunctionOfProfileHorizonAndSeed) {
+  const auto a = make_chaos_schedule(profile(64, true), 50000, 42);
+  const auto b = make_chaos_schedule(profile(64, true), 50000, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_write, b[i].at_write);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+  }
+  const auto c = make_chaos_schedule(profile(64, true), 50000, 43);
+  EXPECT_FALSE(a.size() == c.size() &&
+               std::equal(a.begin(), a.end(), c.begin(),
+                          [](const ChaosEvent& x, const ChaosEvent& y) {
+                            return x.at_write == y.at_write &&
+                                   x.kind == y.kind;
+                          }));
+}
+
+TEST(ChaosSchedule, EventIndicesAreStrictlyIncreasingWithBoundedGaps) {
+  const std::uint64_t mean = 100;
+  const auto sched = make_chaos_schedule(profile(mean, true), 100000, 1);
+  ASSERT_FALSE(sched.empty());
+  std::uint64_t prev = 0;
+  for (const ChaosEvent& ev : sched) {
+    EXPECT_GT(ev.at_write, prev);
+    EXPECT_LE(ev.at_write - prev, 2 * mean);
+    EXPECT_LE(ev.at_write, 100000u);
+    prev = ev.at_write;
+  }
+}
+
+TEST(ChaosSchedule, CorruptionKindsAppearOnlyWhenEnabled) {
+  const auto crashes_only = make_chaos_schedule(profile(16, false), 200000, 9);
+  for (const ChaosEvent& ev : crashes_only) {
+    EXPECT_TRUE(ev.kind == ChaosKind::kCrashMidWrite ||
+                ev.kind == ChaosKind::kCrashMidCheckpoint)
+        << to_string(ev.kind);
+  }
+
+  const auto full = make_chaos_schedule(profile(16, true), 200000, 9);
+  std::set<ChaosKind> kinds;
+  for (const ChaosEvent& ev : full) kinds.insert(ev.kind);
+  EXPECT_EQ(kinds.size(), kNumChaosKinds)
+      << "a long corrupting schedule should draw every chaos kind";
+}
+
+TEST(ChaosKindNames, EveryKindHasADistinctName) {
+  std::set<std::string> names;
+  for (std::size_t k = 0; k < kNumChaosKinds; ++k) {
+    names.insert(to_string(static_cast<ChaosKind>(k)));
+  }
+  EXPECT_EQ(names.size(), kNumChaosKinds);
+}
+
+TEST(CorruptionPrimitives, FlipChangesExactlyOneBit) {
+  XorShift64Star rng(11);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<std::uint8_t> original(1 + trial, 0xA5);
+    std::vector<std::uint8_t> damaged = original;
+    flip_random_bit(damaged, rng);
+    ASSERT_EQ(damaged.size(), original.size());
+    int bits = 0;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      bits += __builtin_popcount(original[i] ^ damaged[i]);
+    }
+    EXPECT_EQ(bits, 1);
+  }
+}
+
+TEST(CorruptionPrimitives, TruncateDropsANonEmptyProperOrFullSuffix) {
+  XorShift64Star rng(12);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<std::uint8_t> bytes(8 + trial, 0x3C);
+    const std::size_t before = bytes.size();
+    truncate_random(bytes, rng);
+    EXPECT_LT(bytes.size(), before);
+  }
+}
+
+TEST(CorruptionPrimitives, ExtendAppendsBetweenOneAndEightBytes) {
+  XorShift64Star rng(13);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<std::uint8_t> bytes(4, 0x5A);
+    std::vector<std::uint8_t> original = bytes;
+    extend_garbage(bytes, rng);
+    ASSERT_GE(bytes.size(), original.size() + 1);
+    ASSERT_LE(bytes.size(), original.size() + 8);
+    EXPECT_TRUE(std::equal(original.begin(), original.end(), bytes.begin()))
+        << "extension must not touch the existing bytes";
+  }
+}
+
+}  // namespace
+}  // namespace twl

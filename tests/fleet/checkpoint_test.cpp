@@ -1,0 +1,162 @@
+// Checkpoint envelope: round-trip identity, damage detection, and the
+// run-identity gate (a checkpoint only resumes into the run it came from).
+#include "fleet/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/sim_runner.h"
+#include "fleet/chaos.h"
+#include "fleet/fleet.h"
+#include "fleet/scenario.h"
+
+namespace twl {
+namespace {
+
+Config small_config() {
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 1e6;
+  return Config::scaled(scale);
+}
+
+Scenario small_scenario() {
+  Scenario s = ScenarioRegistry::builtin().find("corruption_twl");
+  s.horizon_days = 4;
+  return s;
+}
+
+/// A mid-run state with real content: journals, artifacts, outcomes.
+FleetState advanced_state(const Config& config, const Scenario& scenario) {
+  const FleetSimulator sim(config, scenario);
+  SimRunner runner(1);
+  FleetState state = sim.fresh_state();
+  sim.advance(state, scenario.horizon_days / 2, runner);
+  return state;
+}
+
+TEST(Checkpoint, RoundTripReproducesTheExactFleetState) {
+  const Config config = small_config();
+  const Scenario scenario = small_scenario();
+  const FleetState state = advanced_state(config, scenario);
+
+  const auto blob = CheckpointManager::serialize(config, scenario, state);
+  const FleetState back =
+      CheckpointManager::deserialize(config, scenario, blob);
+  EXPECT_TRUE(back == state);
+  // And re-serialization is byte-identical (no hidden nondeterminism).
+  EXPECT_EQ(CheckpointManager::serialize(config, scenario, back), blob);
+}
+
+TEST(Checkpoint, EveryBitFlipIsDetected) {
+  const Config config = small_config();
+  const Scenario scenario = small_scenario();
+  const auto blob = CheckpointManager::serialize(config, scenario,
+                                                 advanced_state(config,
+                                                                scenario));
+  // Stride through the blob so header, device payloads and CRC tail are
+  // all covered without 8*size deserialization attempts.
+  const std::size_t stride = blob.size() / 97 + 1;
+  for (std::size_t bit = 0; bit < blob.size() * 8; bit += stride * 8 + 3) {
+    auto damaged = blob;
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_THROW(
+        (void)CheckpointManager::deserialize(config, scenario, damaged),
+        CheckpointError)
+        << "flip at bit " << bit << " went undetected";
+  }
+}
+
+TEST(Checkpoint, TruncationAndExtensionAreDetected) {
+  const Config config = small_config();
+  const Scenario scenario = small_scenario();
+  const auto blob = CheckpointManager::serialize(config, scenario,
+                                                 advanced_state(config,
+                                                                scenario));
+  XorShift64Star rng(5);
+  for (int trial = 0; trial < 32; ++trial) {
+    auto damaged = blob;
+    truncate_random(damaged, rng);
+    EXPECT_THROW(
+        (void)CheckpointManager::deserialize(config, scenario, damaged),
+        CheckpointError);
+    auto extended = blob;
+    extend_garbage(extended, rng);
+    EXPECT_THROW(
+        (void)CheckpointManager::deserialize(config, scenario, extended),
+        CheckpointError);
+  }
+  EXPECT_THROW((void)CheckpointManager::deserialize(config, scenario, {}),
+               CheckpointError);
+}
+
+TEST(Checkpoint, RefusesACheckpointFromADifferentRun) {
+  const Config config = small_config();
+  const Scenario scenario = small_scenario();
+  const auto blob = CheckpointManager::serialize(config, scenario,
+                                                 advanced_state(config,
+                                                                scenario));
+
+  {
+    Scenario other = scenario;
+    other.name = "someone_else";
+    try {
+      (void)CheckpointManager::deserialize(config, other, blob);
+      FAIL() << "expected CheckpointError";
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find(scenario.name),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    Scenario other = scenario;
+    other.scheme_spec = "SR";
+    EXPECT_THROW((void)CheckpointManager::deserialize(config, other, blob),
+                 CheckpointError);
+  }
+  {
+    Config other = config;
+    other.seed = config.seed + 1;
+    EXPECT_THROW(
+        (void)CheckpointManager::deserialize(other, scenario, blob),
+        CheckpointError);
+  }
+  {
+    Config other = config;
+    other.geometry = config.geometry.scaled_to_pages(128);
+    EXPECT_THROW(
+        (void)CheckpointManager::deserialize(other, scenario, blob),
+        CheckpointError);
+  }
+  {
+    Scenario other = scenario;
+    other.devices = scenario.devices + 1;
+    EXPECT_THROW((void)CheckpointManager::deserialize(config, other, blob),
+                 CheckpointError);
+  }
+}
+
+TEST(Checkpoint, FileTransportRoundTripsAndReportsMissingFiles) {
+  const Config config = small_config();
+  const Scenario scenario = small_scenario();
+  const FleetState state = advanced_state(config, scenario);
+  const auto blob = CheckpointManager::serialize(config, scenario, state);
+
+  const std::string path =
+      ::testing::TempDir() + "twl_checkpoint_test.bin";
+  CheckpointManager::write_file(path, blob);
+  EXPECT_EQ(CheckpointManager::read_file(path), blob);
+  std::remove(path.c_str());
+
+  EXPECT_THROW((void)CheckpointManager::read_file(path + ".missing"),
+               CheckpointError);
+}
+
+}  // namespace
+}  // namespace twl

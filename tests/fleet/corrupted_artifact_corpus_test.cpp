@@ -1,0 +1,216 @@
+// Corrupted-artifact corpus: every persisted artifact the recovery path
+// trusts — scheme snapshots, journal byte streams, fleet checkpoints —
+// is damaged hundreds of ways with the injector's own primitives
+// (bit flips, truncation, garbage extension), and every damaged artifact
+// must be *detected*: snapshots and checkpoints rejected with a
+// diagnostic, journals cleanly cut at or before the damage so no
+// corrupted record is ever replayed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "fleet/chaos.h"
+#include "fleet/checkpoint.h"
+#include "fleet/fleet.h"
+#include "fleet/scenario.h"
+#include "pcm/device.h"
+#include "pcm/endurance.h"
+#include "recovery/journal.h"
+#include "recovery/recovery.h"
+#include "recovery/snapshot.h"
+#include "sim/memory_controller.h"
+#include "trace/synthetic.h"
+#include "wl/factory.h"
+
+namespace twl {
+namespace {
+
+constexpr int kTrialsPerShape = 64;
+
+Config small_config() {
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 1e6;
+  return Config::scaled(scale);
+}
+
+/// A journaled run's artifacts for one scheme: a snapshot with real
+/// content and the journal bytes of the writes since it.
+struct Artifacts {
+  std::vector<std::uint8_t> snapshot;
+  std::vector<std::uint8_t> journal;
+};
+
+Artifacts make_artifacts(const std::string& spec) {
+  const Config config = small_config();
+  const EnduranceMap map(config.geometry.pages(), config.endurance,
+                         config.seed);
+  PcmDevice device(map);
+  const auto wl = make_wear_leveler_spec(spec, map, config);
+  MemoryController controller(device, *wl, config, /*enable_timing=*/false);
+  MetadataJournal journal;
+  controller.attach_journal(&journal);
+
+  SyntheticParams params;
+  params.pages = wl->logical_pages();
+  params.read_frac = 0.0;
+  params.seed = 77;
+  SyntheticTrace trace(params);
+  for (int i = 0; i < 96; ++i) {
+    MemoryRequest req = trace.next();
+    req.addr = LogicalPageAddr(
+        static_cast<std::uint32_t>(req.addr.value() % wl->logical_pages()));
+    controller.submit(req, 0);
+    if (i == 32) journal.truncate();  // Snapshot point.
+  }
+  Artifacts a;
+  a.journal = journal.bytes();
+
+  // Rebuild the snapshot-point state: replaying is overkill here — any
+  // consistent snapshot with real content exercises the same validation,
+  // so snapshot the final state.
+  a.snapshot = take_snapshot(*wl);
+  return a;
+}
+
+TEST(CorruptedArtifactCorpus, DamagedSnapshotsAreAlwaysRejected) {
+  const Config config = small_config();
+  const EnduranceMap map(config.geometry.pages(), config.endurance,
+                         config.seed);
+  for (const std::string spec : {"TWL", "guard:TWL", "SR"}) {
+    const Artifacts artifacts = make_artifacts(spec);
+    XorShift64Star rng(2026);
+    int rejected = 0;
+    for (int trial = 0; trial < 3 * kTrialsPerShape; ++trial) {
+      auto damaged = artifacts.snapshot;
+      switch (trial % 3) {
+        case 0:
+          flip_random_bit(damaged, rng);
+          break;
+        case 1:
+          truncate_random(damaged, rng);
+          break;
+        default:
+          extend_garbage(damaged, rng);
+          break;
+      }
+      auto fresh = make_wear_leveler_spec(spec, map, config);
+      try {
+        restore_snapshot(*fresh, damaged);
+        ADD_FAILURE() << spec << " trial " << trial
+                      << ": corrupted snapshot restored without error";
+      } catch (const SnapshotError& e) {
+        EXPECT_FALSE(std::string(e.what()).empty());
+        ++rejected;
+      }
+    }
+    EXPECT_EQ(rejected, 3 * kTrialsPerShape) << spec;
+  }
+}
+
+TEST(CorruptedArtifactCorpus, DamagedJournalsNeverReplayCorruptRecords) {
+  const Artifacts artifacts = make_artifacts("TWL");
+  const JournalScan pristine = scan_journal(artifacts.journal);
+  ASSERT_GT(pristine.records.size(), 0u);
+  ASSERT_FALSE(pristine.torn_tail);
+
+  XorShift64Star rng(4711);
+  for (int trial = 0; trial < 3 * kTrialsPerShape; ++trial) {
+    auto damaged = artifacts.journal;
+    std::size_t damage_at = damaged.size();
+    switch (trial % 3) {
+      case 0: {
+        // Track where the flip lands so the cut can be checked against it.
+        const std::uint64_t bit = rng.next_below(damaged.size() * 8);
+        damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        damage_at = bit / 8;
+        break;
+      }
+      case 1:
+        truncate_random(damaged, rng);
+        damage_at = damaged.size();
+        break;
+      default:
+        extend_garbage(damaged, rng);
+        damage_at = artifacts.journal.size();
+        break;
+    }
+    const JournalScan scan = scan_journal(damaged);
+    // Detection: the scan never consumes past the damage, so a corrupt
+    // record cannot enter replay. (A flip after valid_bytes means the
+    // damage fell in an already-torn tail; valid bytes stay valid.)
+    EXPECT_LE(scan.valid_bytes, damage_at)
+        << "trial " << trial << " replayed bytes past the damage";
+    EXPECT_LE(scan.records.size(), pristine.records.size());
+    // Every surviving record is a byte-exact prefix record of the
+    // pristine stream.
+    for (std::size_t i = 0; i < scan.records.size(); ++i) {
+      EXPECT_EQ(static_cast<int>(scan.records[i].type),
+                static_cast<int>(pristine.records[i].type));
+      EXPECT_EQ(scan.records[i].seq, pristine.records[i].seq);
+    }
+  }
+}
+
+TEST(CorruptedArtifactCorpus, RecoveryWithDamagedJournalStillRestores) {
+  const Config config = small_config();
+  const EnduranceMap map(config.geometry.pages(), config.endurance,
+                         config.seed);
+  const Artifacts artifacts = make_artifacts("TWL");
+
+  XorShift64Star rng(99);
+  for (int trial = 0; trial < kTrialsPerShape; ++trial) {
+    auto damaged = artifacts.journal;
+    flip_random_bit(damaged, rng);
+    auto fresh = make_wear_leveler_spec("TWL", map, config);
+    // A damaged journal is the crash being recovered from — never an
+    // error, and the restored scheme is internally consistent.
+    const RecoveryOutcome outcome =
+        recover(*fresh, artifacts.snapshot, damaged);
+    EXPECT_TRUE(fresh->invariants_hold());
+    EXPECT_LE(outcome.journal_bytes_replayed, artifacts.journal.size());
+  }
+}
+
+TEST(CorruptedArtifactCorpus, DamagedCheckpointsAreAlwaysRejected) {
+  const Config config = small_config();
+  const Scenario& scenario =
+      ScenarioRegistry::builtin().find("baseline_zipf_twl");
+  const FleetSimulator sim(config, scenario);
+  const auto blob =
+      CheckpointManager::serialize(config, scenario, sim.fresh_state());
+
+  XorShift64Star rng(31337);
+  int rejected = 0;
+  for (int trial = 0; trial < 3 * kTrialsPerShape; ++trial) {
+    auto damaged = blob;
+    switch (trial % 3) {
+      case 0:
+        flip_random_bit(damaged, rng);
+        break;
+      case 1:
+        truncate_random(damaged, rng);
+        break;
+      default:
+        extend_garbage(damaged, rng);
+        break;
+    }
+    try {
+      (void)CheckpointManager::deserialize(config, scenario, damaged);
+      ADD_FAILURE() << "trial " << trial
+                    << ": corrupted checkpoint deserialized";
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find("checkpoint"),
+                std::string::npos)
+          << e.what();
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, 3 * kTrialsPerShape);
+}
+
+}  // namespace
+}  // namespace twl

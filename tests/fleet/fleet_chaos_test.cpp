@@ -1,0 +1,228 @@
+// Fleet chaos acceptance: every registry scenario survives its full
+// chaos schedule with all five recovery invariants intact, and
+// checkpoint/resume at any --jobs level is byte-identical to an
+// uninterrupted serial run.
+#include "fleet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/sim_runner.h"
+#include "fleet/checkpoint.h"
+#include "fleet/scenario.h"
+#include "fleet/workload.h"
+#include "obs/metrics.h"
+
+namespace twl {
+namespace {
+
+Config small_config() {
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 1e6;
+  return Config::scaled(scale);
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const Scenario& s : ScenarioRegistry::builtin().all()) {
+    names.push_back(s.name);
+  }
+  return names;
+}
+
+class FleetScenarioTest : public ::testing::TestWithParam<std::string> {};
+
+// The workhorse: one full run per scenario (serial), then the same run
+// split by a checkpoint at half-horizon and finished at --jobs 4. The
+// three acceptance claims checked per scenario:
+//  * chaos really fired (crashes == the precomputed schedule size) and
+//    every crash recovered with the five invariants holding;
+//  * the resumed parallel fleet is state-identical to the serial run;
+//  * the serialized checkpoint round-trips through its own blob.
+TEST_P(FleetScenarioTest, SurvivesChaosAndResumesBitIdentically) {
+  const Config config = small_config();
+  const Scenario& scenario =
+      ScenarioRegistry::builtin().find(GetParam());
+  const FleetSimulator sim(config, scenario);
+
+  SimRunner serial(1);
+  FleetState full = sim.fresh_state();
+  sim.advance(full, scenario.horizon_days, serial);
+  const FleetResult result = sim.finalize(full);
+
+  EXPECT_EQ(result.totals.invariant_failures, 0u);
+  EXPECT_EQ(result.totals.recoveries, result.totals.crashes);
+  EXPECT_GT(result.totals.crashes, 0u);
+  EXPECT_EQ(result.committed_writes,
+            scenario.horizon_writes() * scenario.devices);
+
+  // Snapshot-corruption kinds must actually have exercised the fallback
+  // path in corrupting scenarios.
+  if (scenario.chaos.corruption) {
+    EXPECT_GT(result.totals.snapshot_fallbacks, 0u);
+  }
+
+  // Stop at half-horizon, freeze, thaw, finish on 4 worker threads.
+  SimRunner first_half(1);
+  FleetState stopped = sim.fresh_state();
+  sim.advance(stopped, scenario.horizon_days / 2, first_half);
+  const auto blob = CheckpointManager::serialize(config, scenario, stopped);
+  FleetState resumed =
+      CheckpointManager::deserialize(config, scenario, blob);
+  SimRunner parallel(4);
+  sim.advance(resumed, scenario.horizon_days, parallel);
+
+  EXPECT_TRUE(resumed == full)
+      << "resumed fleet diverged from the uninterrupted run";
+  const FleetResult resumed_result = sim.finalize(resumed);
+  EXPECT_EQ(resumed_result.fleet_digest, result.fleet_digest);
+  for (std::size_t i = 0; i < result.devices.size(); ++i) {
+    EXPECT_EQ(resumed_result.devices[i].state_digest,
+              result.devices[i].state_digest)
+        << "device " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, FleetScenarioTest,
+                         ::testing::ValuesIn(scenario_names()));
+
+// The acceptance floor: the registry's default grid injects well over a
+// thousand crash/corruption points. Schedules are exactly what the
+// simulator fires (the per-scenario test above pins crashes to the
+// schedule), so the floor is checked on the schedules directly.
+TEST(FleetChaos, RegistryInjectsOverAThousandEvents) {
+  const Config config = small_config();
+  std::uint64_t events = 0;
+  for (const Scenario& s : ScenarioRegistry::builtin().all()) {
+    const FleetSimulator sim(config, s);
+    SimRunner runner(1);
+    FleetState state = sim.fresh_state();
+    sim.advance(state, s.horizon_days, runner);
+    events += sim.finalize(state).totals.crashes;
+  }
+  EXPECT_GE(events, 1000u);
+}
+
+TEST(FleetChaos, CrashCountMatchesThePrecomputedSchedule) {
+  const Config config = small_config();
+  const Scenario& s = ScenarioRegistry::builtin().find("corruption_twl");
+  const FleetSimulator sim(config, s);
+  SimRunner runner(1);
+  FleetState state = sim.fresh_state();
+  sim.advance(state, s.horizon_days, runner);
+  const FleetResult r = sim.finalize(state);
+
+  std::uint64_t by_kind = 0;
+  for (std::uint64_t c : r.totals.chaos_by_kind) by_kind += c;
+  EXPECT_EQ(by_kind, r.totals.crashes)
+      << "per-kind tallies must partition the crash count";
+}
+
+TEST(FleetChaos, MetricsAreIdenticalAcrossJobCounts) {
+  const Config config = small_config();
+  const Scenario& s =
+      ScenarioRegistry::builtin().find("baseline_zipf_twl");
+  const FleetSimulator sim(config, s);
+
+  MetricsRegistry serial_metrics;
+  SimRunner serial(1);
+  FleetState a = sim.fresh_state();
+  sim.advance(a, s.horizon_days, serial);
+  (void)sim.finalize(a, &serial_metrics);
+
+  MetricsRegistry parallel_metrics;
+  SimRunner parallel(4);
+  FleetState b = sim.fresh_state();
+  sim.advance(b, s.horizon_days, parallel);
+  (void)sim.finalize(b, &parallel_metrics);
+
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(serial_metrics == parallel_metrics);
+  EXPECT_NE(serial_metrics.find_counter("fleet.crashes"), nullptr);
+}
+
+TEST(FleetChaos, FreshStateIsDeterministic) {
+  const Config config = small_config();
+  const Scenario& s = ScenarioRegistry::builtin().find("attack_twl");
+  const FleetSimulator sim(config, s);
+  EXPECT_TRUE(sim.fresh_state() == sim.fresh_state());
+}
+
+TEST(FleetChaos, RejectsFaultModelConfigsAndMalformedScenarios) {
+  Config config = small_config();
+  const Scenario& s = ScenarioRegistry::builtin().find("attack_twl");
+
+  Config faulty = config;
+  faulty.fault.ecp_k = 2;
+  EXPECT_THROW((void)FleetSimulator(faulty, s), std::invalid_argument);
+
+  Scenario no_devices = s;
+  no_devices.devices = 0;
+  EXPECT_THROW((void)FleetSimulator(config, no_devices),
+               std::invalid_argument);
+
+  // advance() refuses a state of the wrong shape.
+  const FleetSimulator sim(config, s);
+  FleetState wrong;
+  wrong.devices.resize(s.devices + 1);
+  SimRunner runner(1);
+  EXPECT_THROW(sim.advance(wrong, 1, runner), std::invalid_argument);
+}
+
+// Skip-replayability is what makes streams checkpointable: skip(n) must
+// land the stream exactly where n next() calls would have.
+TEST(FleetWorkloadStreams, SkipReplaysEveryWorkloadKind) {
+  for (const WorkloadKind kind :
+       {WorkloadKind::kZipf, WorkloadKind::kRepeat, WorkloadKind::kScan,
+        WorkloadKind::kRandom, WorkloadKind::kInconsistentAttack}) {
+    FleetWorkload w;
+    w.kind = kind;
+    FleetStream reference(w, 64, 99);
+    for (int i = 0; i < 137; ++i) (void)reference.next();
+
+    FleetStream skipped(w, 64, 99);
+    skipped.skip(137);
+    EXPECT_EQ(skipped.consumed(), reference.consumed());
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(skipped.next().value(), reference.next().value())
+          << to_string(kind) << " diverged at post-skip write " << i;
+    }
+  }
+}
+
+// The attack stream must actually reverse its weighting: the hottest
+// address of the first phase goes cold in the second (the inconsistent
+// write pattern of Section 3.2).
+TEST(FleetWorkloadStreams, InconsistentAttackReversesItsSkew) {
+  FleetWorkload w;
+  w.kind = WorkloadKind::kInconsistentAttack;
+  w.flip_interval = 512;
+  FleetStream stream(w, 64, 7);
+
+  std::map<std::uint32_t, int> phase1;
+  std::map<std::uint32_t, int> phase2;
+  for (int i = 0; i < 512; ++i) phase1[stream.next().value()]++;
+  for (int i = 0; i < 512; ++i) phase2[stream.next().value()]++;
+
+  std::uint32_t hottest1 = 0;
+  int count1 = 0;
+  for (const auto& [addr, n] : phase1) {
+    if (n > count1) {
+      hottest1 = addr;
+      count1 = n;
+    }
+  }
+  // In the reversed phase the old hottest address drops well below its
+  // phase-1 frequency.
+  EXPECT_LT(phase2[hottest1] * 2, count1)
+      << "phase flip did not demote the hot address";
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,134 @@
+// ScenarioRegistry behavior, plus the shared unknown-key error contract:
+// both the scenario registry and the scheme factory must list their valid
+// names when asked for something they don't have, so a typo on any CLI
+// always shows the menu it missed.
+#include "fleet/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "common/config.h"
+#include "pcm/endurance.h"
+#include "wl/factory.h"
+
+namespace twl {
+namespace {
+
+TEST(ScenarioRegistry, BuiltinCoversEverySchemeFamilyAndChaosProfile) {
+  const ScenarioRegistry& r = ScenarioRegistry::builtin();
+  ASSERT_GE(r.all().size(), 10u);
+
+  std::set<std::string> schemes;
+  bool has_corruption = false;
+  bool has_attack = false;
+  for (const Scenario& s : r.all()) {
+    schemes.insert(s.scheme_spec);
+    has_corruption = has_corruption || s.chaos.corruption;
+    has_attack = has_attack ||
+                 s.workload.kind == WorkloadKind::kInconsistentAttack;
+    EXPECT_TRUE(s.chaos.enabled()) << s.name << " runs no chaos";
+    EXPECT_GT(s.devices, 0u);
+    EXPECT_GT(s.horizon_writes(), 0u);
+  }
+  for (const char* family :
+       {"TWL", "SR", "BWL", "WRL", "StartGap", "RBSG", "NOWL"}) {
+    bool found = false;
+    for (const std::string& spec : schemes) {
+      found = found || spec.find(family) != std::string::npos;
+    }
+    EXPECT_TRUE(found) << "no scenario exercises scheme family " << family;
+  }
+  EXPECT_TRUE(has_corruption);
+  EXPECT_TRUE(has_attack);
+}
+
+TEST(ScenarioRegistry, FindReturnsTheNamedScenario) {
+  const Scenario& s =
+      ScenarioRegistry::builtin().find("soak_attack_fleet");
+  EXPECT_EQ(s.name, "soak_attack_fleet");
+  EXPECT_EQ(s.workload.kind, WorkloadKind::kInconsistentAttack);
+  EXPECT_TRUE(s.chaos.corruption);
+}
+
+TEST(ScenarioRegistry, DuplicateNamesAreRejected) {
+  ScenarioRegistry r;
+  Scenario s;
+  s.name = "twice";
+  r.add(s);
+  EXPECT_THROW(r.add(s), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, NamesListsInRegistrationOrder) {
+  ScenarioRegistry r;
+  Scenario a;
+  a.name = "first";
+  Scenario b;
+  b.name = "second";
+  r.add(a);
+  r.add(b);
+  EXPECT_EQ(r.names(), "first, second");
+}
+
+// The shared contract: an unknown key names every valid alternative.
+// One test exercises both the scenario registry and the scheme factory so
+// the two error surfaces cannot drift apart.
+TEST(UnknownKeyErrors, BothRegistryAndFactoryListValidNames) {
+  // Scenario side: the message carries names() verbatim.
+  const ScenarioRegistry& reg = ScenarioRegistry::builtin();
+  try {
+    (void)reg.find("no_such_scenario");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no_such_scenario"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(reg.names()), std::string::npos) << msg;
+  }
+
+  // Factory side: the message carries valid_scheme_names() verbatim.
+  const Config config = Config::scaled(SimScale{});
+  const EnduranceMap map(config.geometry.pages(), config.endurance,
+                         config.seed);
+  try {
+    (void)make_wear_leveler_spec("no_such_scheme", map, config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no_such_scheme"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(valid_scheme_names()), std::string::npos) << msg;
+  }
+}
+
+// Every name the factory's menu advertises must actually build, and every
+// scheme a built-in scenario asks for must be one the factory accepts —
+// the registry can never point users at a spec that fails to construct.
+TEST(UnknownKeyErrors, AdvertisedNamesAllConstruct) {
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 1e5;
+  const Config config = Config::scaled(scale);
+  const EnduranceMap map(config.geometry.pages(), config.endurance,
+                         config.seed);
+
+  const std::string& menu = valid_scheme_names();
+  std::size_t begin = 0;
+  while (begin < menu.size()) {
+    std::size_t end = menu.find(", ", begin);
+    if (end == std::string::npos) end = menu.size();
+    const std::string name = menu.substr(begin, end - begin);
+    EXPECT_NO_THROW((void)make_wear_leveler_spec(name, map, config))
+        << "advertised scheme '" << name << "' does not construct";
+    begin = end + 2;
+  }
+
+  for (const Scenario& s : ScenarioRegistry::builtin().all()) {
+    EXPECT_NO_THROW((void)make_wear_leveler_spec(s.scheme_spec, map, config))
+        << "scenario " << s.name << " names unbuildable scheme '"
+        << s.scheme_spec << "'";
+  }
+}
+
+}  // namespace
+}  // namespace twl

@@ -155,6 +155,58 @@ TEST_F(SnapshotErrorsTest, RejectsTrailingBytes) {
   EXPECT_THROW(restore_snapshot(*wl_, blob_), SnapshotError);
 }
 
+// An untrusted length prefix must be validated against the remaining
+// bytes *before* any allocation: a hostile 2^61-element count would
+// otherwise be handed straight to vector::resize.
+TEST_F(SnapshotErrorsTest, RejectsHostileDeclaredCountsBeforeAllocating) {
+  SnapshotWriter w;
+  w.put_u64(0x2000'0000'0000'0000ULL);  // Claimed element count.
+  w.put_u8(0xAB);                       // ... backed by a single byte.
+  const std::vector<std::uint8_t> bytes = w.bytes();
+
+  {
+    SnapshotReader r(bytes);
+    try {
+      (void)r.get_u64_vec();
+      FAIL() << "expected SnapshotError";
+    } catch (const SnapshotError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("count"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("exceeds"), std::string::npos) << msg;
+    }
+  }
+  // Every length-prefixed accessor runs the same gate.
+  {
+    SnapshotReader r(bytes);
+    EXPECT_THROW((void)r.get_u32_vec(), SnapshotError);
+  }
+  {
+    SnapshotReader r(bytes);
+    EXPECT_THROW((void)r.get_u16_vec(), SnapshotError);
+  }
+  {
+    SnapshotReader r(bytes);
+    EXPECT_THROW((void)r.get_u8_vec(), SnapshotError);
+  }
+  {
+    // Strings carry a u32 length prefix; give it its own hostile count.
+    SnapshotWriter sw;
+    sw.put_u32(0xFFFF'FFFFu);
+    sw.put_u8('x');
+    SnapshotReader r(sw.bytes());
+    EXPECT_THROW((void)r.get_string(), SnapshotError);
+  }
+  // The count*size multiplication must not wrap back into range: a count
+  // chosen so count*8 overflows to something tiny still has to fail.
+  {
+    SnapshotWriter w2;
+    w2.put_u64(0x4000'0000'0000'0001ULL);  // *8 wraps to 8 in u64.
+    w2.put_u64(0xDEADBEEF);
+    SnapshotReader r(w2.bytes());
+    EXPECT_THROW((void)r.get_u64_vec(), SnapshotError);
+  }
+}
+
 TEST_F(SnapshotErrorsTest, RejectsWrongScheme) {
   auto other = make_wear_leveler(Scheme::kStartGap, map_, config_);
   EXPECT_THROW(restore_snapshot(*other, blob_), SnapshotError);
