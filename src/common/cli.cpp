@@ -1,5 +1,6 @@
 #include "common/cli.h"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +21,13 @@ std::string canonical_name(const std::string& name) {
     if (name == alias) return canonical;
   }
   return name;
+}
+
+// The strto* family silently skips leading whitespace, so " 12" and
+// "\t-3" would parse; a flag value with stray whitespace is a quoting
+// mistake in the invoking script and should be loud.
+bool has_leading_space(const std::string& v) {
+  return !v.empty() && std::isspace(static_cast<unsigned char>(v[0])) != 0;
 }
 
 }  // namespace
@@ -87,7 +95,7 @@ std::int64_t CliArgs::get_int_or(const std::string& name,
   errno = 0;
   char* end = nullptr;
   const long long parsed = std::strtoll(v->c_str(), &end, 10);
-  if (end == v->c_str() || *end != '\0') {
+  if (has_leading_space(*v) || end == v->c_str() || *end != '\0') {
     bad_value(name, *v, "an integer");
   }
   if (errno == ERANGE) {
@@ -100,14 +108,19 @@ std::uint64_t CliArgs::get_uint_or(const std::string& name,
                                    std::uint64_t def) const {
   const auto v = get(name);
   if (!v) return def;
+  // strtoull, not strtoll: values in (2^63, 2^64) are valid uint64 flag
+  // settings (e.g. a full-range endurance) and strtoll would reject them
+  // with ERANGE. strtoull's quirk of accepting "-1" (wrapping to 2^64-1)
+  // means the sign must be rejected explicitly.
   errno = 0;
   char* end = nullptr;
-  const long long parsed = std::strtoll(v->c_str(), &end, 10);
-  if (end == v->c_str() || *end != '\0') {
+  const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
+  if (has_leading_space(*v) || (*v)[0] == '-' || end == v->c_str() ||
+      *end != '\0') {
     bad_value(name, *v, "a non-negative integer");
   }
-  if (errno == ERANGE || parsed < 0) {
-    bad_value(name, *v, "a non-negative integer");
+  if (errno == ERANGE) {
+    bad_value(name, *v, "a non-negative integer in range");
   }
   return static_cast<std::uint64_t>(parsed);
 }
@@ -118,7 +131,7 @@ double CliArgs::get_double_or(const std::string& name, double def) const {
   errno = 0;
   char* end = nullptr;
   const double parsed = std::strtod(v->c_str(), &end);
-  if (end == v->c_str() || *end != '\0') {
+  if (has_leading_space(*v) || end == v->c_str() || *end != '\0') {
     bad_value(name, *v, "a number");
   }
   if (errno == ERANGE) {

@@ -1,6 +1,7 @@
 #include "common/config.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -82,10 +83,18 @@ void Config::validate() const {
                std::to_string(geometry.pages()) + " pages)");
   }
 
+  require(!hotpath.translation_cache || hotpath.cache_entries > 0,
+          "hotpath.cache_entries", "must be > 0 when the cache is enabled");
+
   require(real.attack_write_gbps > 0.0, "real.attack_write_gbps",
           "must be > 0");
   require(real.ideal_lifetime_years > 0.0, "real.ideal_lifetime_years",
           "must be > 0");
+}
+
+std::uint32_t HotpathParams::cache_entries_pow2() const {
+  return static_cast<std::uint32_t>(
+      std::bit_ceil(std::max<std::uint32_t>(cache_entries, 1)));
 }
 
 PcmGeometry PcmGeometry::scaled_to_pages(std::uint64_t n) const {

@@ -73,6 +73,14 @@ void Histogram::add(double x) {
     idx = std::min(
         static_cast<std::size_t>(frac * static_cast<double>(bins())),
         bins() - 1);
+    // frac*bins and the reported edges (bin_lo/bin_hi) are different
+    // float expressions that can disagree by an ulp for values exactly
+    // on a boundary, putting the sample in a bin whose reported range
+    // excludes it (and which bin wins then depends on the platform's
+    // rounding/FMA contraction). Settle classification against the same
+    // edge expression the reports use: bin i owns [bin_lo(i), bin_hi(i)).
+    while (idx > 0 && x < bin_lo(idx)) --idx;
+    while (idx + 1 < bins() && x >= bin_hi(idx)) ++idx;
   }
   ++counts_[idx];
   ++total_;

@@ -22,6 +22,22 @@ using Cycles = std::uint64_t;
 /// Count of writes (demand writes or physical page writes).
 using WriteCount = std::uint64_t;
 
+/// Saturating u64 addition. Cycle and wear accumulators run on
+/// multi-year horizons where a wrapped counter would silently move a
+/// bank's free time backwards or shrink a histogram's sum; clamping at
+/// the ceiling keeps every downstream comparison monotone.
+[[nodiscard]] constexpr std::uint64_t sat_add_u64(std::uint64_t a,
+                                                  std::uint64_t b) {
+  return a > ~b ? ~std::uint64_t{0} : a + b;
+}
+
+/// Saturating u64 multiplication (see sat_add_u64).
+[[nodiscard]] constexpr std::uint64_t sat_mul_u64(std::uint64_t a,
+                                                  std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > ~std::uint64_t{0} / b ? ~std::uint64_t{0} : a * b;
+}
+
 namespace detail {
 
 /// CRTP-free strong integer wrapper. Tag makes LogicalPageAddr and

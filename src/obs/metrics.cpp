@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/types.h"
 #include "obs/json.h"
 
 namespace twl {
@@ -34,7 +35,10 @@ void LogHistogram::add_n(std::uint64_t v, std::uint64_t n) {
   if (n == 0) return;
   buckets_[bucket_index(v)] += n;
   count_ += n;
-  sum_ += v * n;
+  // Cycle-valued samples on multi-year horizons can push v*n (and the
+  // running sum) past 2^64; a wrapped sum would report a tiny mean for
+  // the most heavily loaded instrument, so saturate instead.
+  sum_ = sat_add_u64(sum_, sat_mul_u64(v, n));
   min_ = std::min(min_, v);
   max_ = std::max(max_, v);
 }
@@ -76,7 +80,7 @@ double LogHistogram::quantile(double q) const {
 void LogHistogram::merge_from(const LogHistogram& other) {
   for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
-  sum_ += other.sum_;
+  sum_ = sat_add_u64(sum_, other.sum_);
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }

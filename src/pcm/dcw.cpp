@@ -1,0 +1,37 @@
+#include "pcm/dcw.h"
+
+#include <bit>
+#include <cassert>
+
+namespace twl {
+
+DcwResult dcw_compare(std::span<const std::uint64_t> old_words,
+                      std::span<const std::uint64_t> new_words,
+                      std::size_t words_per_line) {
+  assert(old_words.size() == new_words.size());
+  assert(words_per_line > 0);
+  assert(old_words.size() % words_per_line == 0);
+
+  DcwResult out;
+  const std::size_t lines = old_words.size() / words_per_line;
+  for (std::size_t line = 0; line < lines; ++line) {
+    const std::size_t base = line * words_per_line;
+    std::uint64_t dirty = 0;
+    std::uint64_t flips = 0;
+    for (std::size_t w = 0; w < words_per_line; ++w) {
+      const std::uint64_t x = old_words[base + w] ^ new_words[base + w];
+      dirty |= x;
+      flips += static_cast<std::uint64_t>(std::popcount(x));
+    }
+    out.changed_lines += static_cast<std::uint32_t>(dirty != 0);
+    out.flipped_bits += flips;
+  }
+  return out;
+}
+
+std::size_t dcw_words_per_line(const PcmGeometry& geometry) {
+  assert(geometry.line_bytes % 8 == 0);
+  return geometry.line_bytes / 8;
+}
+
+}  // namespace twl

@@ -1,0 +1,42 @@
+// Data-comparison write (DCW, Yang et al. [16]) over real line contents.
+//
+// The timing layer models DCW with a calibration constant (a page write
+// rewrites kDcwFraction of its lines). This module computes the exact
+// figure for callers that have the data: compare the old and new page
+// images word by word, count which 128-byte lines changed at all (those
+// are the lines the write drivers must burn) and how many bits flipped
+// (the SET/RESET energy proxy).
+//
+// The comparison is branchless in the inner loop: each line's words are
+// XORed and OR-accumulated into one 64-bit dirty mask, bit flips are
+// popcounts of the XOR words, and "line changed" is `dirty != 0`
+// converted to an integer — no per-word conditionals, so the loop
+// vectorizes and its cost is independent of the data (a property the
+// timing side-channel benches care about: the *comparison* must not leak,
+// only the modeled write time does).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/config.h"
+
+namespace twl {
+
+struct DcwResult {
+  std::uint32_t changed_lines = 0;  ///< Lines with at least one flipped bit.
+  std::uint64_t flipped_bits = 0;   ///< Total bit flips across the page.
+};
+
+/// Compare two page images. `old_words` and `new_words` must be the same
+/// length and hold whole lines (`words_per_line` divides the length).
+[[nodiscard]] DcwResult dcw_compare(std::span<const std::uint64_t> old_words,
+                                    std::span<const std::uint64_t> new_words,
+                                    std::size_t words_per_line);
+
+/// Convenience: words per line for a geometry (line_bytes / 8; line sizes
+/// are multiples of 8 bytes on every supported geometry).
+[[nodiscard]] std::size_t dcw_words_per_line(const PcmGeometry& geometry);
+
+}  // namespace twl

@@ -38,6 +38,35 @@ bool PcmDevice::write(PhysicalPageAddr pa) {
   return w >= endurance_.endurance(pa);
 }
 
+bool PcmDevice::write_became_worn(PhysicalPageAddr pa) {
+  assert(pa.value() < wear_.size());
+  if (faults_) {
+    const bool was_bad = faults_->uncorrectable(pa);
+    ++total_writes_;
+    const WriteCount w = ++wear_[pa.value()];
+    faults_->on_write(pa, w);
+    const bool bad = faults_->uncorrectable(pa);
+    if (bad && !first_failure_) {
+      first_failure_ = pa;
+      writes_at_failure_ = total_writes_;
+    }
+    return bad && !was_bad;
+  }
+  ++total_writes_;
+  const WriteCount w = ++wear_[pa.value()];
+  // Wear only ever advances by one, so the page crosses its endurance
+  // exactly when the counts are equal — no pre-write worn_out() probe
+  // needed.
+  if (w == endurance_.endurance(pa)) {
+    if (!first_failure_) {
+      first_failure_ = pa;
+      writes_at_failure_ = total_writes_;
+    }
+    return true;
+  }
+  return false;
+}
+
 std::vector<double> PcmDevice::wear_fractions() const {
   std::vector<double> out;
   out.reserve(wear_.size());

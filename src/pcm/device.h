@@ -45,6 +45,13 @@ class PcmDevice {
   /// recovery — the first such event is latched as the device failure.
   bool write(PhysicalPageAddr pa);
 
+  /// Apply one page write and report whether THIS write moved the page
+  /// from serviceable to worn out. Exactly equivalent to sampling
+  /// worn_out() before and after write(), but with a single endurance
+  /// lookup — the controller's hot path calls this once per physical
+  /// write.
+  bool write_became_worn(PhysicalPageAddr pa);
+
   [[nodiscard]] std::uint64_t pages() const { return endurance_.pages(); }
   [[nodiscard]] WriteCount writes(PhysicalPageAddr pa) const {
     return wear_[pa.value()];

@@ -16,8 +16,8 @@ PcmTiming::PcmTiming(const PcmGeometry& geometry,
       std::ceil(lines * kDcwFraction / kWriteParallelism));
   const auto read_batches =
       static_cast<Cycles>(std::ceil(lines / kReadParallelism));
-  page_write_cycles_ =
-      std::max<Cycles>(1, write_batches) * params.line_write_latency();
+  line_write_cycles_ = params.line_write_latency();
+  page_write_cycles_ = std::max<Cycles>(1, write_batches) * line_write_cycles_;
   page_read_cycles_ = std::max<Cycles>(1, read_batches) * params.read_latency;
 }
 
@@ -26,9 +26,12 @@ ServiceResult PcmTiming::service(PhysicalPageAddr pa, Op op, Cycles now) {
   const Cycles start = std::max(now, bank_busy_until_[bank]);
   const Cycles cost =
       op == Op::kWrite ? page_write_cycles_ : page_read_cycles_;
-  const Cycles done = start + cost;
+  // Saturate: a request chain near the end of a multi-year horizon must
+  // not wrap the bank's free time backwards (done < start would unblock
+  // the bank and corrupt every later latency).
+  const Cycles done = sat_add_u64(start, cost);
   bank_busy_until_[bank] = done;
-  bank_busy_cycles_[bank] += cost;
+  bank_busy_cycles_[bank] = sat_add_u64(bank_busy_cycles_[bank], cost);
   return {start, done};
 }
 

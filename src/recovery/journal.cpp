@@ -32,7 +32,11 @@ std::uint64_t read_u64(const std::uint8_t* p) {
          (static_cast<std::uint64_t>(read_u32(p + 4)) << 32);
 }
 
-/// Expected payload length per record type; -1 for unknown types.
+/// Variable-length record marker for payload_length().
+constexpr int kVariableLength = -2;
+
+/// Expected payload length per record type; -1 for unknown types, -2 for
+/// types whose length is validated against their own payload (BatchBegin).
 int payload_length(std::uint8_t type) {
   switch (static_cast<JournalRecordType>(type)) {
     case JournalRecordType::kWriteBegin:
@@ -43,17 +47,31 @@ int payload_length(std::uint8_t type) {
       return 0;
     case JournalRecordType::kWriteCommit:
       return 8;  // seq u64.
+    case JournalRecordType::kBatchBegin:
+      return kVariableLength;  // seq u64 + count u8 + count * la u32.
+    case JournalRecordType::kBatchCommit:
+      return 9;  // seq u64 + count u8.
   }
   return -1;
+}
+
+/// Structural validation of a BatchBegin payload length: the internal
+/// count byte must agree with the declared record length, or the tail is
+/// garbage (a torn or corrupt append).
+bool batch_begin_length_ok(std::uint8_t len, const std::uint8_t* payload) {
+  if (len < 13 || (len - 9) % 4 != 0) return false;  // >= 1 address.
+  return payload[8] == (len - 9) / 4;
 }
 
 }  // namespace
 
 void MetadataJournal::append_record(JournalRecordType type,
                                     const std::vector<std::uint8_t>& payload) {
-  assert(payload.size() ==
-         static_cast<std::size_t>(payload_length(
-             static_cast<std::uint8_t>(type))));
+  const int expected = payload_length(static_cast<std::uint8_t>(type));
+  assert(expected == kVariableLength ||
+         payload.size() == static_cast<std::size_t>(expected));
+  assert(payload.size() <= 0xFF);
+  (void)expected;
   const std::size_t start = bytes_.size();
   bytes_.push_back(static_cast<std::uint8_t>(type));
   bytes_.push_back(static_cast<std::uint8_t>(payload.size()));
@@ -92,6 +110,27 @@ void MetadataJournal::append_write_commit(std::uint64_t seq) {
   append_record(JournalRecordType::kWriteCommit, payload);
 }
 
+void MetadataJournal::append_batch_begin(std::uint64_t seq,
+                                         const LogicalPageAddr* las,
+                                         std::size_t count) {
+  assert(count >= 1 && count <= kMaxJournalBatch);
+  std::vector<std::uint8_t> payload;
+  payload.reserve(9 + 4 * count);
+  put_u64(payload, seq);
+  payload.push_back(static_cast<std::uint8_t>(count));
+  for (std::size_t i = 0; i < count; ++i) put_u32(payload, las[i].value());
+  append_record(JournalRecordType::kBatchBegin, payload);
+}
+
+void MetadataJournal::append_batch_commit(std::uint64_t seq,
+                                          std::size_t count) {
+  assert(count >= 1 && count <= kMaxJournalBatch);
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, seq);
+  payload.push_back(static_cast<std::uint8_t>(count));
+  append_record(JournalRecordType::kBatchCommit, payload);
+}
+
 void MetadataJournal::truncate() {
   bytes_.clear();
   ++truncations_;
@@ -116,15 +155,20 @@ JournalScan scan_journal(const std::vector<std::uint8_t>& bytes) {
     const std::uint8_t type = bytes[pos];
     const std::uint8_t len = bytes[pos + 1];
     const int expected = payload_length(type);
-    if (expected < 0 || len != expected) break;  // Garbage tail.
+    if (expected == -1 || (expected >= 0 && len != expected)) {
+      break;  // Garbage tail.
+    }
     const std::size_t total = 2 + static_cast<std::size_t>(len) + 4;
     if (bytes.size() - pos < total) break;  // Torn inside payload/CRC.
     const std::uint32_t stored = read_u32(bytes.data() + pos + 2 + len);
     if (crc32(bytes.data() + pos, 2 + len) != stored) break;  // Torn bits.
+    const std::uint8_t* payload = bytes.data() + pos + 2;
+    if (expected == kVariableLength && !batch_begin_length_ok(len, payload)) {
+      break;  // Structurally inconsistent (count byte vs record length).
+    }
 
     JournalRecord rec;
     rec.type = static_cast<JournalRecordType>(type);
-    const std::uint8_t* payload = bytes.data() + pos + 2;
     switch (rec.type) {
       case JournalRecordType::kWriteBegin:
         rec.seq = read_u64(payload);
@@ -138,6 +182,18 @@ JournalScan scan_journal(const std::vector<std::uint8_t>& bytes) {
       case JournalRecordType::kSwapCommit:
       case JournalRecordType::kWriteCommit:
         rec.seq = len == 8 ? read_u64(payload) : 0;
+        break;
+      case JournalRecordType::kBatchBegin:
+        rec.seq = read_u64(payload);
+        rec.batch_count = payload[8];
+        rec.batch_las.reserve(rec.batch_count);
+        for (std::uint8_t i = 0; i < rec.batch_count; ++i) {
+          rec.batch_las.emplace_back(read_u32(payload + 9 + 4 * i));
+        }
+        break;
+      case JournalRecordType::kBatchCommit:
+        rec.seq = read_u64(payload);
+        rec.batch_count = payload[8];
         break;
     }
     scan.records.push_back(rec);

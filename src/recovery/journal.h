@@ -26,6 +26,7 @@
 // exact pre-crash metadata state.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -38,6 +39,8 @@ enum class JournalRecordType : std::uint8_t {
   kSwapIntent = 2,   ///< About to copy pages: a -> b (migrate) or a <-> b.
   kSwapCommit = 3,   ///< The copy completed and its metadata is final.
   kWriteCommit = 4,  ///< The demand write (seq) fully applied.
+  kBatchBegin = 5,   ///< A failure-atomic group of demand writes starts.
+  kBatchCommit = 6,  ///< The whole group (seq, count) fully applied.
 };
 
 /// How a SwapIntent moves data. Recovery does not need the distinction to
@@ -52,11 +55,13 @@ enum class SwapKind : std::uint8_t {
 /// meaningful per type).
 struct JournalRecord {
   JournalRecordType type = JournalRecordType::kWriteBegin;
-  std::uint64_t seq = 0;       ///< WriteBegin / WriteCommit.
+  std::uint64_t seq = 0;       ///< WriteBegin / WriteCommit / Batch*.
   LogicalPageAddr la{};        ///< WriteBegin.
   PhysicalPageAddr pa_a{};     ///< SwapIntent.
   PhysicalPageAddr pa_b{};     ///< SwapIntent.
   SwapKind kind = SwapKind::kMigrate;  ///< SwapIntent.
+  std::vector<LogicalPageAddr> batch_las;  ///< BatchBegin.
+  std::uint8_t batch_count = 0;            ///< BatchCommit.
 };
 
 /// Result of walking a (possibly crash-truncated) journal byte stream.
@@ -72,6 +77,10 @@ struct JournalScan {
 /// Decodes `bytes`, stopping cleanly at a torn tail.
 [[nodiscard]] JournalScan scan_journal(const std::vector<std::uint8_t>& bytes);
 
+/// Most logical addresses a BatchBegin record can carry (the payload's
+/// element count is a byte, and the controller chunks batches anyway).
+inline constexpr std::size_t kMaxJournalBatch = 32;
+
 class MetadataJournal {
  public:
   void append_write_begin(std::uint64_t seq, LogicalPageAddr la);
@@ -79,6 +88,15 @@ class MetadataJournal {
                           SwapKind kind);
   void append_swap_commit();
   void append_write_commit(std::uint64_t seq);
+
+  /// Batch bracket: one Begin record carrying every logical address in
+  /// the group (first seq `seq`), one Commit closing it. Replaces the
+  /// 2*N per-write Begin/Commit records of the single-write protocol —
+  /// the journal-bandwidth half of the WriteBegin/WriteCommit batch path.
+  /// `las` must hold 1..kMaxJournalBatch addresses.
+  void append_batch_begin(std::uint64_t seq,
+                          const LogicalPageAddr* las, std::size_t count);
+  void append_batch_commit(std::uint64_t seq, std::size_t count);
 
   /// Discard the log contents (called after a successful snapshot, which
   /// supersedes every record). Lifetime byte/record counters survive.

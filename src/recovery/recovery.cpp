@@ -17,57 +17,69 @@ RecoveryOutcome recover(WearLeveler& wl,
   outcome.torn_tail = scan.torn_tail;
   outcome.journal_bytes_replayed = scan.valid_bytes;
 
-  // First pass: group records into demand writes and find which writes
-  // committed. Records before the first WriteBegin cannot occur (the
-  // journal is truncated at snapshot time, between writes).
-  struct PendingWrite {
-    LogicalPageAddr la;
+  // First pass: group records into demand-write groups (a single write,
+  // or a failure-atomic batch of them) and find which groups committed.
+  // Records before the first Begin cannot occur (the journal is truncated
+  // at snapshot time, between writes).
+  struct PendingGroup {
+    std::vector<LogicalPageAddr> las;  ///< 1 per write in the group.
     bool committed = false;
     std::uint64_t committed_swaps = 0;
     std::uint64_t orphan_swaps = 0;
   };
-  std::vector<PendingWrite> writes;
+  std::vector<PendingGroup> groups;
   std::uint64_t open_intents = 0;
   for (const JournalRecord& rec : scan.records) {
     switch (rec.type) {
       case JournalRecordType::kWriteBegin:
-        writes.push_back(PendingWrite{rec.la});
+        groups.push_back(PendingGroup{{rec.la}});
+        open_intents = 0;
+        break;
+      case JournalRecordType::kBatchBegin:
+        groups.push_back(PendingGroup{rec.batch_las});
         open_intents = 0;
         break;
       case JournalRecordType::kSwapIntent:
-        if (!writes.empty()) ++open_intents;
+        if (!groups.empty()) ++open_intents;
         break;
       case JournalRecordType::kSwapCommit:
-        if (!writes.empty() && open_intents > 0) {
+        if (!groups.empty() && open_intents > 0) {
           --open_intents;
-          ++writes.back().committed_swaps;
+          ++groups.back().committed_swaps;
         }
         break;
       case JournalRecordType::kWriteCommit:
-        if (!writes.empty()) {
-          writes.back().committed = true;
-          writes.back().orphan_swaps = open_intents;
+      case JournalRecordType::kBatchCommit:
+        if (!groups.empty()) {
+          groups.back().committed = true;
+          groups.back().orphan_swaps = open_intents;
         }
         break;
     }
   }
-  if (!writes.empty() && !writes.back().committed) {
-    writes.back().orphan_swaps = open_intents;
+  if (!groups.empty() && !groups.back().committed) {
+    groups.back().orphan_swaps = open_intents;
   }
 
-  // Second pass: re-execute every committed write in order. Only the last
-  // write can be uncommitted (the controller appends WriteCommit before
-  // the next WriteBegin), but the loop tolerates a malformed stream by
-  // skipping any uncommitted record rather than replaying it.
+  // Second pass: re-execute every committed group in order. Only the last
+  // group can be uncommitted (the controller appends its commit before
+  // the next Begin), but the loop tolerates a malformed stream by
+  // skipping any uncommitted group rather than replaying it. An
+  // uncommitted batch rolls back whole: none of its writes replay.
   NullWriteSink sink;
-  for (const PendingWrite& w : writes) {
-    if (w.committed) {
-      wl.write(w.la, sink);
-      ++outcome.replayed_writes;
-      outcome.committed_swaps += w.committed_swaps;
+  for (const PendingGroup& g : groups) {
+    if (g.committed) {
+      for (LogicalPageAddr la : g.las) {
+        wl.write(la, sink);
+        ++outcome.replayed_writes;
+      }
+      outcome.committed_swaps += g.committed_swaps;
     } else {
-      outcome.rolled_back_la = w.la;
-      outcome.orphan_swap_intents += w.orphan_swaps;
+      if (!outcome.rolled_back_la && !g.las.empty()) {
+        outcome.rolled_back_la = g.las.front();
+      }
+      outcome.rolled_back_writes += g.las.size();
+      outcome.orphan_swap_intents += g.orphan_swaps;
     }
   }
   return outcome;

@@ -21,6 +21,12 @@
 // intents without commits inside that write are the mid-swap copies the
 // two-phase protocol makes repairable (see DESIGN.md §9); they are counted
 // here so the crash simulator can assert they are bounded.
+//
+// Batched writes (BatchBegin{seq, las} ... BatchCommit{seq, count}, the
+// controller's submit_write_batch() protocol) are failure-atomic as a
+// group: a batch whose commit record did not survive rolls back *all* of
+// its writes — none are replayed, every logical page in the group is
+// counted in rolled_back_writes, and rolled_back_la reports the first.
 #pragma once
 
 #include <cstdint>
@@ -36,9 +42,13 @@ class WearLeveler;
 struct RecoveryOutcome {
   /// Committed demand writes re-executed from the journal.
   std::uint64_t replayed_writes = 0;
-  /// The interrupted write rolled back, if any (its journal commit record
-  /// did not survive the crash).
+  /// First logical address rolled back, if any (its journal commit record
+  /// did not survive the crash). For an uncommitted batch this is the
+  /// batch's first address.
   std::optional<LogicalPageAddr> rolled_back_la;
+  /// Total demand writes rolled back: at most 1 for the single-write
+  /// protocol, up to kMaxJournalBatch for an uncommitted batch.
+  std::uint64_t rolled_back_writes = 0;
   /// Swaps whose intent and commit both survived (inside replayed writes).
   std::uint64_t committed_swaps = 0;
   /// Swap intents without a commit — mid-swap crash points the two-phase

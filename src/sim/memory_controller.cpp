@@ -1,5 +1,6 @@
 #include "sim/memory_controller.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/json.h"
@@ -126,9 +127,7 @@ void MemoryController::restore_stats(const ControllerStats& stats) {
 void MemoryController::device_write(PhysicalPageAddr device_pa,
                                     WritePurpose purpose) {
   if (migration_wear_ || purpose == WritePurpose::kDemand) {
-    const bool was_worn = device_->worn_out(device_pa);
-    device_->write(device_pa);
-    if (!was_worn && device_->worn_out(device_pa)) {
+    if (device_->write_became_worn(device_pa)) {
       newly_worn_.push_back(device_pa);
     }
   }
@@ -199,7 +198,7 @@ void MemoryController::swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
 }
 
 void MemoryController::engine_delay(Cycles cycles) {
-  if (timing_enabled_) chain_ += cycles;
+  if (timing_enabled_) chain_ = sat_add_u64(chain_, cycles);
 }
 
 void MemoryController::begin_blocking() {
@@ -279,6 +278,44 @@ Cycles MemoryController::submit(const MemoryRequest& req, Cycles now) {
   const Cycles latency = chain_ - now;
   if (write_latency_hist_ != nullptr) write_latency_hist_->add(latency);
   return latency;
+}
+
+Cycles MemoryController::submit_write_batch(const LogicalPageAddr* las,
+                                            std::size_t count, Cycles now) {
+  Cycles done = now;
+  std::size_t i = 0;
+  while (i < count) {
+    const std::size_t n = std::min(count - i, kMaxJournalBatch);
+    // Sequence numbers keep counting demand writes one by one, so a
+    // journal that mixes batch and single-write brackets stays totally
+    // ordered by seq.
+    const std::uint64_t first_seq = stats_.demand_writes + 1;
+    if (journal_) {
+      journal_->append_batch_begin(first_seq, las + i, n);
+      TWL_TRACE(tracer_, TraceEventType::kJournalRecord);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      ++stats_.demand_writes;
+      chain_ = timing_enabled_ ? done + wl_->read_indirection_cycles() : 0;
+      wl_->write(las[i + j], *this);
+      assert(!in_blocking_ && "scheme left a blocking section open");
+      handle_failures();
+      if (timing_enabled_) {
+        // Per-write latency sample, as submit() would have recorded had
+        // the caller issued each write at the previous one's completion.
+        if (write_latency_hist_ != nullptr) {
+          write_latency_hist_->add(chain_ - done);
+        }
+        done = chain_;
+      }
+    }
+    if (journal_) {
+      journal_->append_batch_commit(first_seq, n);
+      TWL_TRACE(tracer_, TraceEventType::kJournalRecord);
+    }
+    i += n;
+  }
+  return timing_enabled_ ? done - now : 0;
 }
 
 }  // namespace twl

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -78,6 +79,17 @@ class MemoryController final : public WriteSink {
 
   /// Serve one request arriving at `now`; returns its response latency.
   Cycles submit(const MemoryRequest& req, Cycles now);
+
+  /// Serve `count` back-to-back demand writes arriving at `now`; returns
+  /// the latency until the last one completes. Each write is processed
+  /// exactly as submit() would (scheme write, failure drain, per-write
+  /// latency sample), so the physical write stream is bit-identical to
+  /// submitting them one by one — only the journal traffic differs: the
+  /// group is bracketed by BatchBegin/BatchCommit records (chunked at
+  /// kMaxJournalBatch addresses) instead of 2*count per-write records,
+  /// and an uncommitted chunk rolls back as a unit on recovery.
+  Cycles submit_write_batch(const LogicalPageAddr* las, std::size_t count,
+                            Cycles now);
 
   /// Enable crash-consistency journaling: every demand write is bracketed
   /// by WriteBegin/WriteCommit records and every data copy runs under the

@@ -1,0 +1,156 @@
+// Bump-allocated backing store for the controller's metadata tables.
+//
+// A wear-leveling scheme owns a handful of flat, fixed-size tables (the
+// remapping table, endurance table, pair table, write counters). As
+// separate std::vectors they land wherever the allocator puts them; on
+// the translate -> DCW -> wear-update hot path the controller touches
+// several of them per write, and the scattered placement costs TLB and
+// cache locality. A TableArena packs them into one contiguous block,
+// sized up front from the page count, so a scheme's whole metadata
+// working set is one arena.
+//
+// FlatArray<T> is the table-side view: a fixed-size array that either
+// borrows its storage from an arena (the packed fast path) or owns a
+// vector (drop-in default when no arena is provided, and the fallback
+// copy target). Copies are always deep into owned storage, so tables
+// stay value types regardless of where the original lived.
+//
+// Neither type appears in snapshots: serialization goes through the
+// element-wise SnapshotWriter API, so arena-backed and vector-backed
+// tables produce byte-identical state.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace twl {
+
+class TableArena {
+ public:
+  TableArena() = default;
+  explicit TableArena(std::size_t bytes)
+      : storage_(bytes > 0 ? std::make_unique<std::byte[]>(bytes) : nullptr),
+        size_(bytes) {}
+
+  TableArena(const TableArena&) = delete;
+  TableArena& operator=(const TableArena&) = delete;
+  TableArena(TableArena&&) = default;
+  TableArena& operator=(TableArena&&) = default;
+
+  /// Worst-case bytes an allocate<T>(n) can consume (element storage plus
+  /// alignment padding). Sum these to size the arena.
+  template <class T>
+  [[nodiscard]] static constexpr std::size_t required(std::size_t n) {
+    return n * sizeof(T) + alignof(T) - 1;
+  }
+
+  /// Raw, correctly aligned storage for `n` elements of T. The caller
+  /// constructs the elements (FlatArray does). Asserts on exhaustion —
+  /// arena sizes are computed from the same page counts as the
+  /// allocations, so running out is a programming error, not a runtime
+  /// condition.
+  template <class T>
+  [[nodiscard]] T* allocate(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is never destructed element-wise");
+    const std::size_t align = alignof(T);
+    std::size_t at = (used_ + align - 1) & ~(align - 1);
+    assert(at + n * sizeof(T) <= size_ && "TableArena exhausted");
+    used_ = at + n * sizeof(T);
+    return reinterpret_cast<T*>(storage_.get() + at);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return size_; }
+  [[nodiscard]] std::size_t used() const { return used_; }
+
+ private:
+  std::unique_ptr<std::byte[]> storage_;
+  std::size_t size_ = 0;
+  std::size_t used_ = 0;
+};
+
+template <class T>
+class FlatArray {
+  static_assert(std::is_trivially_destructible_v<T>);
+
+ public:
+  FlatArray() = default;
+
+  /// `n` copies of `init`, backed by `arena` when one is given and by an
+  /// owned vector otherwise.
+  FlatArray(std::size_t n, const T& init, TableArena* arena = nullptr) {
+    if (arena != nullptr && n > 0) {
+      data_ = arena->allocate<T>(n);
+      size_ = n;
+      std::uninitialized_fill_n(data_, n, init);
+    } else {
+      owned_.assign(n, init);
+      data_ = owned_.data();
+      size_ = n;
+    }
+  }
+
+  /// Deep copies: the copy owns its storage even when the source was
+  /// arena-backed (copies outlive no arena).
+  FlatArray(const FlatArray& o) : owned_(o.begin(), o.end()) {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+  FlatArray& operator=(const FlatArray& o) {
+    if (this != &o) {
+      owned_.assign(o.begin(), o.end());
+      data_ = owned_.data();
+      size_ = owned_.size();
+    }
+    return *this;
+  }
+
+  /// Moves keep arena-backed storage in place: the arena's heap block is
+  /// address-stable under moves of the arena object itself.
+  FlatArray(FlatArray&& o) noexcept
+      : owned_(std::move(o.owned_)), size_(o.size_) {
+    data_ = owned_.empty() ? o.data_ : owned_.data();
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  FlatArray& operator=(FlatArray&& o) noexcept {
+    if (this != &o) {
+      owned_ = std::move(o.owned_);
+      size_ = o.size_;
+      data_ = owned_.empty() ? o.data_ : owned_.data();
+      o.data_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] T* data() { return data_; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+ private:
+  std::vector<T> owned_;  ///< Empty when arena-backed.
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace twl

@@ -25,6 +25,7 @@
 #include "common/config.h"
 #include "common/types.h"
 #include "pcm/endurance.h"
+#include "tables/arena.h"
 
 namespace twl {
 
@@ -33,7 +34,7 @@ class PairTable {
   /// Builds the matching over `map.pages()` pages (must be even) according
   /// to `policy`.
   PairTable(const EnduranceMap& map, PairingPolicy policy,
-            std::uint64_t seed = 0);
+            std::uint64_t seed = 0, TableArena* arena = nullptr);
 
   /// Explicit matching (tests). partner[partner[x]] == x must hold.
   explicit PairTable(std::vector<std::uint32_t> partner);
@@ -49,8 +50,13 @@ class PairTable {
   /// page is its own partner.
   [[nodiscard]] bool is_perfect_matching() const;
 
+  /// Worst-case arena bytes this table allocates for `pages` pages.
+  [[nodiscard]] static constexpr std::size_t arena_bytes(std::uint64_t pages) {
+    return TableArena::required<std::uint32_t>(pages);
+  }
+
  private:
-  std::vector<std::uint32_t> partner_;
+  FlatArray<std::uint32_t> partner_;
   PairingPolicy policy_ = PairingPolicy::kAdjacent;
 };
 

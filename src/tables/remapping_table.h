@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "tables/arena.h"
 
 namespace twl {
 
@@ -21,8 +22,9 @@ class SnapshotWriter;
 
 class RemappingTable {
  public:
-  /// Identity mapping over `pages` pages.
-  explicit RemappingTable(std::uint64_t pages);
+  /// Identity mapping over `pages` pages. With an arena, both direction
+  /// maps live in the caller's packed metadata block.
+  explicit RemappingTable(std::uint64_t pages, TableArena* arena = nullptr);
 
   [[nodiscard]] PhysicalPageAddr to_physical(LogicalPageAddr la) const {
     return la_to_pa_[la.value()];
@@ -49,9 +51,15 @@ class RemappingTable {
   void save_state(SnapshotWriter& w) const;
   void load_state(SnapshotReader& r);
 
+  /// Worst-case arena bytes this table allocates for `pages` pages.
+  [[nodiscard]] static constexpr std::size_t arena_bytes(std::uint64_t pages) {
+    return TableArena::required<PhysicalPageAddr>(pages) +
+           TableArena::required<LogicalPageAddr>(pages);
+  }
+
  private:
-  std::vector<PhysicalPageAddr> la_to_pa_;
-  std::vector<LogicalPageAddr> pa_to_la_;
+  FlatArray<PhysicalPageAddr> la_to_pa_;
+  FlatArray<LogicalPageAddr> pa_to_la_;
 };
 
 }  // namespace twl

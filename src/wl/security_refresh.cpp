@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "recovery/snapshot.h"
@@ -83,6 +85,14 @@ SecurityRefresh::SecurityRefresh(std::uint64_t pages, const SrParams& params,
       inner_interval_(params.refresh_interval),
       rng_(seed ^ 0x5EC0'0017ULL) {
   assert(pages_ % region_size_ == 0);
+  // The mapping works on 32-bit intermediate addresses (and
+  // PhysicalPageAddr is 32-bit): a larger device would truncate region
+  // indices and alias distinct pages.
+  if (pages_ > (std::uint64_t{1} << 32)) {
+    throw std::invalid_argument(
+        "SecurityRefresh: " + std::to_string(pages_) +
+        " pages exceeds the 32-bit physical address space");
+  }
 
   if (params.auto_scale_to_endurance) {
     // Under a hammer attack all of a region's traffic lands on the hot
@@ -131,6 +141,15 @@ SecurityRefresh::SecurityRefresh(std::uint64_t pages, const SrParams& params,
   }
 }
 
+SecurityRefresh::SecurityRefresh(std::uint64_t pages, const SrParams& params,
+                                 std::uint64_t seed,
+                                 const HotpathParams& hotpath)
+    : SecurityRefresh(pages, params, seed) {
+  if (hotpath.translation_cache) {
+    tcache_ = TranslationCache(hotpath.cache_entries_pow2());
+  }
+}
+
 PhysicalPageAddr SecurityRefresh::phys_of_intermediate(
     std::uint32_t x) const {
   const std::uint32_t region = x / region_size_;
@@ -141,9 +160,13 @@ PhysicalPageAddr SecurityRefresh::phys_of_intermediate(
 
 PhysicalPageAddr SecurityRefresh::map_read(LogicalPageAddr la) const {
   assert(la.value() < pages_);
+  PhysicalPageAddr cached(0);
+  if (tcache_.lookup(la, cached)) return cached;
   const std::uint32_t x =
       outer_.empty() ? la.value() : outer_[0].remap(la.value());
-  return phys_of_intermediate(x);
+  const PhysicalPageAddr pa = phys_of_intermediate(x);
+  tcache_.insert(la, pa);
+  return pa;
 }
 
 void SecurityRefresh::inner_refresh(std::uint32_t region, WriteSink& sink) {
@@ -154,6 +177,21 @@ void SecurityRefresh::inner_refresh(std::uint32_t region, WriteSink& sink) {
                     PhysicalPageAddr(base + step.pa_to),
                     WritePurpose::kRefreshSwap);
     ++refresh_swaps_;
+    // Only a non-noop step changes the mapping (a noop step just advances
+    // the pointer past an already-consistent pair, and a re-key at wrap
+    // re-labels the fully-refreshed mapping without moving anything).
+    if (outer_.empty()) {
+      // Single level: the intermediate address IS the logical address, so
+      // the affected pair is known exactly: the refresh pointer and its
+      // partner under the current key pair.
+      const std::uint32_t rp = inner_[region].refresh_pointer();
+      const std::uint32_t partner = rp ^ step.pa_from ^ step.pa_to;
+      const std::uint32_t la_base = region * region_size_;
+      tcache_.invalidate(LogicalPageAddr(la_base + rp));
+      tcache_.invalidate(LogicalPageAddr(la_base + partner));
+    } else {
+      tcache_.invalidate_all();
+    }
   }
   inner_[region].commit_refresh(rng_);
 }
@@ -167,6 +205,7 @@ void SecurityRefresh::outer_refresh(WriteSink& sink) {
                     phys_of_intermediate(step.pa_to),
                     WritePurpose::kRefreshSwap);
     ++outer_swaps_;
+    tcache_.invalidate_all();
   }
   outer_[0].commit_refresh(rng_);
 }
@@ -178,12 +217,23 @@ void SecurityRefresh::write(LogicalPageAddr la, WriteSink& sink) {
 
   sink.demand_write(phys_of_intermediate(x), la);
 
-  if (++inner_writes_[region] % inner_interval_ == 0) {
+  // Compare-and-reset rather than `++count % interval`: the per-region
+  // counters are 32-bit, and on a multi-year horizon a region can absorb
+  // more than 2^32 writes. A raw modulo counter wraps to 0 mid-cadence —
+  // for non-power-of-two intervals the refresh then fires after the
+  // wrong number of writes (including twice in a row). Reset-at-fire
+  // keeps the counter bounded by the interval, so it can never wrap.
+  // (A counter loaded from an older snapshot may exceed the interval;
+  // >= fires the overdue refresh on the next write and re-synchronizes.)
+  if (++inner_writes_[region] >= inner_interval_) {
+    inner_writes_[region] = 0;
     inner_refresh(region, sink);
   }
-  if (!outer_.empty() && ++outer_writes_ % outer_interval_ == 0) {
+  if (!outer_.empty() && ++outer_writes_since_refresh_ >= outer_interval_) {
+    outer_writes_since_refresh_ = 0;
     outer_refresh(sink);
   }
+  ++outer_writes_;
 }
 
 bool SecurityRefresh::invariants_hold() const {
@@ -220,8 +270,11 @@ void SecurityRefresh::load_state(SnapshotReader& r) {
   inner_writes_ = writes;
   for (SrRegionState& region : outer_) region.load_state(r);
   outer_writes_ = r.get_u64();
+  outer_writes_since_refresh_ =
+      outer_.empty() ? 0 : outer_writes_ % outer_interval_;
   refresh_swaps_ = r.get_u64();
   outer_swaps_ = r.get_u64();
+  tcache_.invalidate_all();
 }
 
 void SecurityRefresh::append_stats(
@@ -232,6 +285,10 @@ void SecurityRefresh::append_stats(
   out.emplace_back("region_size", static_cast<double>(region_size_));
   out.emplace_back("inner_interval", static_cast<double>(inner_interval_));
   out.emplace_back("outer_interval", static_cast<double>(outer_interval_));
+  if (tcache_.enabled()) {
+    out.emplace_back("tcache_hits", static_cast<double>(tcache_.hits()));
+    out.emplace_back("tcache_misses", static_cast<double>(tcache_.misses()));
+  }
 }
 
 }  // namespace twl

@@ -23,6 +23,7 @@
 
 #include "common/config.h"
 #include "common/rng.h"
+#include "wl/translation_cache.h"
 #include "wl/wear_leveler.h"
 
 namespace twl {
@@ -72,6 +73,14 @@ class SecurityRefresh final : public WearLeveler {
   SecurityRefresh(std::uint64_t pages, const SrParams& params,
                   std::uint64_t seed);
 
+  /// Same scheme with the hot-path translation cache wired in. A refresh
+  /// swap remaps exactly one address pair; single-level instances
+  /// invalidate just those two logical pages, two-level instances flush
+  /// (the outer layer makes the logical pre-image of a swap non-trivial
+  /// to compute, and refreshes are rare enough that a flush is cheap).
+  SecurityRefresh(std::uint64_t pages, const SrParams& params,
+                  std::uint64_t seed, const HotpathParams& hotpath);
+
   [[nodiscard]] std::string name() const override { return "SR"; }
   [[nodiscard]] std::uint64_t logical_pages() const override {
     return pages_;
@@ -115,9 +124,16 @@ class SecurityRefresh final : public WearLeveler {
   // two_level and the page count is a power of two).
   std::vector<SrRegionState> outer_;  ///< 0 or 1 elements.
   std::uint64_t outer_writes_ = 0;
+  /// Writes since the last outer refresh step — derived phase counter
+  /// (outer_writes_ % outer_interval_), kept incrementally so the hot
+  /// path needs no 64-bit division. Not serialized; recomputed on load.
+  std::uint64_t outer_writes_since_refresh_ = 0;
   std::uint64_t outer_interval_ = 0;
   std::uint64_t refresh_swaps_ = 0;
   std::uint64_t outer_swaps_ = 0;
+  /// map_read memoization; derived data, never serialized. Mutable so the
+  /// const read path can fill it.
+  mutable TranslationCache tcache_{0};
 };
 
 }  // namespace twl

@@ -1,0 +1,103 @@
+// TLB-style memoization of WearLeveler::map_read().
+//
+// Start-Gap and Security Refresh recompute the logical->physical mapping
+// from registers on every access; the computation is cheap but sits on
+// the hottest path in the controller (every demand write translates at
+// least once, and the DCW read-before-write translates again). A small
+// direct-mapped cache turns the common case into one array load and one
+// compare.
+//
+// Correctness contract: the OWNING SCHEME must invalidate on every event
+// that changes the mapping — a gap move (Start-Gap), a refresh swap or
+// re-key (Security Refresh), retirement remaps, and any load_state().
+// The property test (tests/wl/translation_cache_property_test.cpp) drives
+// randomized sequences of all of those events and asserts cached and
+// uncached instances agree on every translation.
+//
+// Invalidation of the whole cache is O(1): entries are stamped with a
+// 16-bit generation and a lookup only hits when the stamp matches the
+// current generation. When the generation counter wraps (every 65536
+// flushes) the slots are genuinely cleared once, so a stale entry can
+// never alias a fresh generation.
+//
+// The cache is deliberately NOT part of snapshot state: it is derived
+// data, rebuilt on demand, and save/restore round-trips stay byte-
+// identical with the cache on or off.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace twl {
+
+class TranslationCache {
+ public:
+  /// `entries` is rounded up to a power of two so the index mask is a
+  /// single AND. Pass 0 to construct a disabled cache (never hits).
+  explicit TranslationCache(std::uint32_t entries) {
+    if (entries == 0) return;
+    std::uint32_t n = 1;
+    while (n < entries) n <<= 1;
+    mask_ = n - 1;
+    slots_.assign(n, Slot{});
+  }
+
+  [[nodiscard]] bool enabled() const { return !slots_.empty(); }
+
+  /// Returns true and fills `pa` on a hit.
+  bool lookup(LogicalPageAddr la, PhysicalPageAddr& pa) const {
+    if (slots_.empty()) return false;
+    const Slot& s = slots_[la.value() & mask_];
+    if (s.gen != gen_ || s.la != la.value()) {
+      ++misses_;
+      return false;
+    }
+    ++hits_;
+    pa = PhysicalPageAddr(s.pa);
+    return true;
+  }
+
+  void insert(LogicalPageAddr la, PhysicalPageAddr pa) {
+    if (slots_.empty()) return;
+    slots_[la.value() & mask_] = Slot{la.value(), pa.value(), gen_};
+  }
+
+  /// Drop one logical address (exact invalidation after a single-page
+  /// remap, e.g. a Start-Gap gap move that displaces one logical page).
+  void invalidate(LogicalPageAddr la) {
+    if (slots_.empty()) return;
+    Slot& s = slots_[la.value() & mask_];
+    if (s.gen == gen_ && s.la == la.value()) s.gen = gen_ - 1;
+  }
+
+  /// Drop everything (O(1) except on generation wrap).
+  void invalidate_all() {
+    if (slots_.empty()) return;
+    if (++gen_ == 0) {
+      // Generation wrapped: stale slots from 65536 flushes ago would now
+      // match, so clear them for real. Slot{} carries gen 0; bump past it.
+      for (Slot& s : slots_) s = Slot{};
+      gen_ = 1;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Slot {
+    std::uint32_t la = 0xFFFF'FFFFu;  ///< No valid page uses this la.
+    std::uint32_t pa = 0;
+    std::uint16_t gen = 0;
+  };
+
+  std::vector<Slot> slots_;
+  std::uint32_t mask_ = 0;
+  std::uint16_t gen_ = 1;  ///< Slots start at gen 0 == invalid.
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace twl

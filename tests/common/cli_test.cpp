@@ -140,6 +140,43 @@ TEST(CliArgs, UintRejectsMalformedValues) {
       "pages");
 }
 
+// Regression (hot-path audit): every numeric parser must reject trailing
+// garbage, surrounding whitespace and out-of-range values — strtol-family
+// functions accept leading whitespace and stop at the first bad char, so
+// "--writes=1e6" or "--pages= 42" used to half-parse into silent
+// nonsense. One corpus, all three parsers.
+TEST(CliArgs, NumericParsersRejectTrailingGarbageCorpus) {
+  const char* bad_uints[] = {"12abc",  "0x10", "1e6",  " 42", "42 ",
+                             "4 2",    "-1",   "--5",  "",    "abc",
+                             "18446744073709551616", "99999999999999999999"};
+  for (const char* v : bad_uints) {
+    const std::string arg = std::string("--pages=") + v;
+    expect_cli_error(
+        [&] { (void)make({arg.c_str()}).get_uint_or("pages", 0); }, "pages");
+  }
+  const char* bad_ints[] = {"12abc", "0x10", "1e6", " 42", "42 ",
+                            "4 2",   "",     "abc", "-",   "+-3"};
+  for (const char* v : bad_ints) {
+    const std::string arg = std::string("--delta=") + v;
+    expect_cli_error(
+        [&] { (void)make({arg.c_str()}).get_int_or("delta", 0); }, "delta");
+  }
+  const char* bad_doubles[] = {"0.1x", "abc", " 0.5", "0.5 ",
+                               "1e",   "-",   "0..1"};
+  for (const char* v : bad_doubles) {
+    const std::string arg = std::string("--sigma=") + v;
+    expect_cli_error(
+        [&] { (void)make({arg.c_str()}).get_double_or("sigma", 0.0); },
+        "sigma");
+  }
+}
+
+TEST(CliArgs, UintAcceptsFullU64Range) {
+  EXPECT_EQ(make({"--seed=18446744073709551615"}).get_uint_or("seed", 0),
+            18446744073709551615ULL);
+  EXPECT_EQ(make({"--seed=+7"}).get_uint_or("seed", 0), 7u);
+}
+
 TEST(CliArgs, RejectsMalformedDoubles) {
   expect_cli_error(
       [] { (void)make({"--sigma=0.1x"}).get_double_or("sigma", 0.0); },

@@ -150,6 +150,42 @@ TEST(Histogram, QuantileEmptyReturnsLow) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
 }
 
+// Regression (hot-path audit): a sample exactly on a bin edge must land
+// in the bin whose reported [bin_lo, bin_hi) range contains it. The raw
+// (x - lo) / (hi - lo) * bins classification and the reported edges are
+// different float expressions; for awkward ranges (0.3 is not
+// representable) they can disagree by an ulp, historically putting an
+// edge sample in a bin that excludes it — and which bin won depended on
+// the platform's rounding, breaking cross-machine report determinism.
+TEST(Histogram, EdgeSamplesLandInsideTheirReportedBin) {
+  Histogram h(0.0, 0.3, 3);
+  for (std::size_t edge = 1; edge < h.bins(); ++edge) {
+    h.add(h.bin_lo(edge));
+  }
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    EXPECT_EQ(h.bin_count(i), i == 0 ? 0u : 1u) << "bin " << i;
+  }
+}
+
+TEST(Histogram, EveryBinOwnsItsLowerEdgeAcrossAwkwardRanges) {
+  // Sweep ranges whose edges are non-representable; for every bin, adding
+  // bin_lo(i) must count in bin i (half-open ownership).
+  const double ranges[][2] = {
+      {0.0, 0.3}, {0.1, 0.7}, {-0.3, 0.3}, {0.0, 1e-9}, {1e6, 1e6 + 0.7}};
+  for (const auto& range : ranges) {
+    for (std::size_t bins : {3u, 7u, 10u, 13u}) {
+      Histogram h(range[0], range[1], bins);
+      for (std::size_t i = 0; i < bins; ++i) {
+        const std::uint64_t before = h.bin_count(i);
+        h.add(h.bin_lo(i));
+        EXPECT_EQ(h.bin_count(i), before + 1)
+            << "range [" << range[0] << ", " << range[1] << ") bins "
+            << bins << " bin " << i;
+      }
+    }
+  }
+}
+
 TEST(CoefficientOfVariation, ZeroForConstant) {
   const std::vector<double> v{3.0, 3.0, 3.0};
   EXPECT_DOUBLE_EQ(coefficient_of_variation(v), 0.0);

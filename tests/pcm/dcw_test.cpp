@@ -1,0 +1,88 @@
+// Data-comparison write: exact changed-line / flipped-bit accounting and
+// its hookup into the timing model's data_write_cycles().
+#include "pcm/dcw.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "pcm/timing.h"
+
+namespace twl {
+namespace {
+
+TEST(Dcw, IdenticalPagesChangeNothing) {
+  const std::vector<std::uint64_t> page(64, 0xABCDEF0123456789ULL);
+  const DcwResult r = dcw_compare(page, page, 16);
+  EXPECT_EQ(r.changed_lines, 0u);
+  EXPECT_EQ(r.flipped_bits, 0u);
+}
+
+TEST(Dcw, SingleBitFlipDirtiesExactlyOneLine) {
+  std::vector<std::uint64_t> old_words(64, 0);
+  std::vector<std::uint64_t> new_words(64, 0);
+  new_words[17] = 1;  // Line 1 (words 16..31) of 4 lines.
+  const DcwResult r = dcw_compare(old_words, new_words, 16);
+  EXPECT_EQ(r.changed_lines, 1u);
+  EXPECT_EQ(r.flipped_bits, 1u);
+}
+
+TEST(Dcw, CountsFlipsAcrossLinesIndependently) {
+  std::vector<std::uint64_t> old_words(48, 0);
+  std::vector<std::uint64_t> new_words(48, 0);
+  new_words[0] = 0xFF;                     // Line 0: 8 flips.
+  new_words[20] = 0xF0F0;                  // Line 1: 8 flips.
+  new_words[21] = 1;                       // Line 1 again: 1 flip.
+  const DcwResult r = dcw_compare(old_words, new_words, 16);
+  EXPECT_EQ(r.changed_lines, 2u);  // Line 2 untouched.
+  EXPECT_EQ(r.flipped_bits, 17u);
+}
+
+TEST(Dcw, FullInversionDirtiesEveryLineAndBit) {
+  std::vector<std::uint64_t> old_words(32, 0);
+  std::vector<std::uint64_t> new_words(32, ~std::uint64_t{0});
+  const DcwResult r = dcw_compare(old_words, new_words, 8);
+  EXPECT_EQ(r.changed_lines, 4u);
+  EXPECT_EQ(r.flipped_bits, 32u * 64u);
+}
+
+TEST(Dcw, WordsPerLineFromGeometry) {
+  PcmGeometry g;  // 128-byte lines.
+  EXPECT_EQ(dcw_words_per_line(g), 16u);
+}
+
+TEST(Dcw, DataWriteCyclesMatchesCalibratedPageWrite) {
+  // page_write_cycles() is data_write_cycles() at the kDcwFraction point:
+  // the calibrated constant and the exact-data path must agree there, or
+  // DCW-aware and DCW-oblivious runs would live on different clocks.
+  const PcmGeometry g;
+  const PcmTimingParams params;
+  const PcmTiming timing(g, params);
+  const auto changed = static_cast<std::uint32_t>(
+      g.lines_per_page() * PcmTiming::kDcwFraction);
+  EXPECT_EQ(timing.data_write_cycles(changed), timing.page_write_cycles());
+}
+
+TEST(Dcw, DataWriteCyclesChargesBatchesOfParallelLines) {
+  const PcmGeometry g;
+  const PcmTimingParams params;
+  const PcmTiming timing(g, params);
+  const Cycles line = params.line_write_latency();
+  // A clean page still burns one verify batch.
+  EXPECT_EQ(timing.data_write_cycles(0), line);
+  EXPECT_EQ(timing.data_write_cycles(1), line);
+  EXPECT_EQ(timing.data_write_cycles(PcmTiming::kWriteParallelism), line);
+  EXPECT_EQ(timing.data_write_cycles(PcmTiming::kWriteParallelism + 1),
+            2 * line);
+  // Monotone in the dirty-line count.
+  Cycles prev = 0;
+  for (std::uint32_t lines = 0; lines <= g.lines_per_page(); ++lines) {
+    const Cycles c = timing.data_write_cycles(lines);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+}  // namespace
+}  // namespace twl

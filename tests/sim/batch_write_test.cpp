@@ -1,0 +1,228 @@
+// WriteBegin/WriteCommit batch path: submit_write_batch() must produce a
+// physical write stream bit-identical to submitting the same addresses
+// one by one — only the journal traffic changes shape (BatchBegin /
+// BatchCommit brackets, chunked at kMaxJournalBatch) — and an uncommitted
+// batch must roll back as a unit on recovery.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "pcm/device.h"
+#include "recovery/journal.h"
+#include "recovery/recovery.h"
+#include "recovery/snapshot.h"
+#include "sim/memory_controller.h"
+#include "wl/factory.h"
+
+namespace twl {
+namespace {
+
+Config small_config() {
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 100000;
+  return Config::scaled(scale);
+}
+
+struct Rig {
+  Rig(const Config& config, const std::string& spec, bool timing = false)
+      : endurance(config.geometry.pages(), config.endurance, config.seed),
+        device(endurance, config.fault, config.seed),
+        wl(make_wear_leveler_spec(spec, endurance, config)),
+        controller(device, *wl, config, timing) {}
+
+  EnduranceMap endurance;
+  PcmDevice device;
+  std::unique_ptr<WearLeveler> wl;
+  MemoryController controller;
+};
+
+std::vector<LogicalPageAddr> test_addresses(std::uint64_t count,
+                                            std::uint64_t pages) {
+  std::vector<LogicalPageAddr> las;
+  las.reserve(count);
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    las.emplace_back(static_cast<std::uint32_t>(x % pages));
+  }
+  return las;
+}
+
+MemoryRequest write_req(LogicalPageAddr la) {
+  MemoryRequest req;
+  req.op = Op::kWrite;
+  req.addr = la;
+  return req;
+}
+
+TEST(BatchWrite, PhysicalStreamBitIdenticalToSingleSubmits) {
+  for (const char* spec : {"StartGap", "SR", "TWL"}) {
+    const Config config = small_config();
+    Rig batched(config, spec);
+    Rig single(config, spec);
+    const auto las = test_addresses(300, batched.wl->logical_pages());
+
+    batched.controller.submit_write_batch(las.data(), las.size(), 0);
+    for (const LogicalPageAddr la : las) {
+      single.controller.submit(write_req(la), 0);
+    }
+
+    // Scheme metadata, device wear and controller counters all match.
+    EXPECT_EQ(take_snapshot(*batched.wl), take_snapshot(*single.wl)) << spec;
+    EXPECT_EQ(batched.controller.stats().demand_writes,
+              single.controller.stats().demand_writes)
+        << spec;
+    EXPECT_EQ(batched.controller.stats().physical_writes(),
+              single.controller.stats().physical_writes())
+        << spec;
+    EXPECT_EQ(batched.device.total_writes(), single.device.total_writes());
+    for (std::uint64_t p = 0; p < batched.device.pages(); ++p) {
+      const PhysicalPageAddr pa(static_cast<std::uint32_t>(p));
+      ASSERT_EQ(batched.device.writes(pa), single.device.writes(pa))
+          << spec << " pa " << p;
+    }
+  }
+}
+
+TEST(BatchWrite, JournalBracketsChunkAtMaxBatch) {
+  const Config config = small_config();
+  Rig rig(config, "SR");
+  MetadataJournal journal;
+  rig.controller.attach_journal(&journal);
+  const auto las = test_addresses(70, rig.wl->logical_pages());
+  rig.controller.submit_write_batch(las.data(), las.size(), 0);
+
+  const JournalScan scan = scan_journal(journal.bytes());
+  ASSERT_FALSE(scan.torn_tail);
+  std::vector<const JournalRecord*> begins;
+  std::vector<const JournalRecord*> commits;
+  for (const JournalRecord& rec : scan.records) {
+    if (rec.type == JournalRecordType::kBatchBegin) begins.push_back(&rec);
+    if (rec.type == JournalRecordType::kBatchCommit) commits.push_back(&rec);
+    EXPECT_NE(rec.type, JournalRecordType::kWriteBegin);
+    EXPECT_NE(rec.type, JournalRecordType::kWriteCommit);
+  }
+  // 70 writes chunk as 32 + 32 + 6.
+  ASSERT_EQ(begins.size(), 3u);
+  ASSERT_EQ(commits.size(), 3u);
+  EXPECT_EQ(begins[0]->batch_las.size(), kMaxJournalBatch);
+  EXPECT_EQ(begins[1]->batch_las.size(), kMaxJournalBatch);
+  EXPECT_EQ(begins[2]->batch_las.size(), 6u);
+  // Sequence numbers keep counting individual demand writes.
+  EXPECT_EQ(begins[0]->seq, 1u);
+  EXPECT_EQ(begins[1]->seq, 33u);
+  EXPECT_EQ(begins[2]->seq, 65u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(commits[c]->seq, begins[c]->seq);
+    EXPECT_EQ(commits[c]->batch_count, begins[c]->batch_las.size());
+  }
+  // The recorded addresses are the submitted ones, in order.
+  std::size_t k = 0;
+  for (const JournalRecord* rec : begins) {
+    for (const LogicalPageAddr la : rec->batch_las) {
+      ASSERT_EQ(la, las[k]) << "index " << k;
+      ++k;
+    }
+  }
+  EXPECT_EQ(k, las.size());
+}
+
+TEST(BatchWrite, UncommittedBatchRollsBackWhole) {
+  const Config config = small_config();
+  Rig rig(config, "SR");
+  MetadataJournal journal;
+  rig.controller.attach_journal(&journal);
+
+  // Snapshot the pristine state, then run one committed and one
+  // uncommitted batch.
+  const std::vector<std::uint8_t> snapshot = take_snapshot(*rig.wl);
+  const auto las = test_addresses(24, rig.wl->logical_pages());
+  rig.controller.submit_write_batch(las.data(), 16, 0);
+  const std::size_t committed_bytes = journal.bytes().size();
+  rig.controller.submit_write_batch(las.data() + 16, 8, 0);
+
+  // Crash: cut the journal just past the second BatchBegin record (drop
+  // everything from the first subsequent record on — at minimum the
+  // BatchCommit), leaving the batch open.
+  const std::size_t begin_record_bytes = 2 + (9 + 4 * 8) + 4;
+  std::vector<std::uint8_t> cut(
+      journal.bytes().begin(),
+      journal.bytes().begin() + committed_bytes + begin_record_bytes);
+
+  Config fresh_config = small_config();
+  const EnduranceMap map(fresh_config.geometry.pages(),
+                         fresh_config.endurance, fresh_config.seed);
+  const auto recovered = make_wear_leveler_spec("SR", map, fresh_config);
+  const RecoveryOutcome outcome = recover(*recovered, snapshot, cut);
+
+  EXPECT_EQ(outcome.replayed_writes, 16u);
+  EXPECT_EQ(outcome.rolled_back_writes, 8u);
+  ASSERT_TRUE(outcome.rolled_back_la.has_value());
+  EXPECT_EQ(*outcome.rolled_back_la, las[16]);
+
+  // The recovered mapping equals a reference that only saw the committed
+  // batch — none of the rolled-back writes leaked in.
+  Rig reference(config, "SR");
+  const std::vector<std::uint8_t> ref_snapshot = take_snapshot(*reference.wl);
+  (void)ref_snapshot;
+  reference.controller.submit_write_batch(las.data(), 16, 0);
+  EXPECT_EQ(take_snapshot(*recovered), take_snapshot(*reference.wl));
+}
+
+TEST(BatchWrite, TornTailInsideBatchBeginDiscardsRecord) {
+  const Config config = small_config();
+  Rig rig(config, "StartGap");
+  MetadataJournal journal;
+  rig.controller.attach_journal(&journal);
+  const auto las = test_addresses(8, rig.wl->logical_pages());
+  rig.controller.submit_write_batch(las.data(), las.size(), 0);
+
+  // Truncate mid-BatchBegin: the scan must stop cleanly at the cut.
+  std::vector<std::uint8_t> torn(journal.bytes().begin(),
+                                 journal.bytes().begin() + 11);
+  const JournalScan scan = scan_journal(torn);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+TEST(BatchWrite, CorruptCountByteRejectsRecord) {
+  MetadataJournal journal;
+  const std::vector<LogicalPageAddr> las{LogicalPageAddr(1),
+                                         LogicalPageAddr(2)};
+  journal.append_batch_begin(1, las.data(), las.size());
+  std::vector<std::uint8_t> bytes = journal.bytes();
+  // Flip the internal count byte (offset 2 header + 8 seq): the length
+  // cross-check must reject the record even though its declared length
+  // is intact (the CRC would also catch this; corrupt both).
+  bytes[2 + 8] = 7;
+  const JournalScan scan = scan_journal(bytes);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+TEST(BatchWrite, TimingReturnsChainLatencyAndMatchesSingle) {
+  const Config config = small_config();
+  Rig batched(config, "StartGap", /*timing=*/true);
+  Rig single(config, "StartGap", /*timing=*/true);
+  const auto las = test_addresses(40, batched.wl->logical_pages());
+
+  const Cycles batch_latency =
+      batched.controller.submit_write_batch(las.data(), las.size(), 0);
+  Cycles now = 0;
+  for (const LogicalPageAddr la : las) {
+    now += single.controller.submit(write_req(la), now);
+  }
+  // Back-to-back issue: the batch completes exactly when the chained
+  // single submissions do.
+  EXPECT_EQ(batch_latency, now);
+}
+
+}  // namespace
+}  // namespace twl

@@ -91,6 +91,10 @@ TEST(ControllerJournal, BracketsEveryDemandWriteAndSwap) {
         swap_open = false;
         ++swap_commits;
         break;
+      case JournalRecordType::kBatchBegin:
+      case JournalRecordType::kBatchCommit:
+        ADD_FAILURE() << "batch record in the single-write protocol";
+        break;
     }
   }
   EXPECT_EQ(begins, kWrites);

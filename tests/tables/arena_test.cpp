@@ -1,0 +1,132 @@
+// TableArena / FlatArray: alignment, exhaustion accounting, deep copies
+// out of arena storage, and address stability of arena-backed views under
+// moves (the property TossUpWl/BloomWl rely on when they move-construct).
+#include "tables/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "common/config.h"
+#include "pcm/endurance.h"
+#include "tables/remapping_table.h"
+#include "wl/tossup_wl.h"
+
+namespace twl {
+namespace {
+
+TEST(TableArena, AllocationsAreAlignedAndAccounted) {
+  TableArena arena(TableArena::required<std::uint8_t>(3) +
+                   TableArena::required<std::uint64_t>(4));
+  std::uint8_t* bytes = arena.allocate<std::uint8_t>(3);
+  std::uint64_t* words = arena.allocate<std::uint64_t>(4);
+  EXPECT_NE(bytes, nullptr);
+  EXPECT_NE(words, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(words) % alignof(std::uint64_t),
+            0u);
+  EXPECT_LE(arena.used(), arena.capacity());
+  // The misaligned 3-byte prefix forces padding before the u64 block.
+  EXPECT_GE(arena.used(), 3u + 4 * sizeof(std::uint64_t));
+}
+
+TEST(TableArena, RequiredCoversWorstCasePadding) {
+  // Whatever order allocations happen in, summing required<T>() must be
+  // enough — emulate a pessimal interleaving of odd sizes.
+  TableArena arena(TableArena::required<std::uint8_t>(1) +
+                   TableArena::required<std::uint32_t>(5) +
+                   TableArena::required<std::uint8_t>(1) +
+                   TableArena::required<std::uint64_t>(2));
+  (void)arena.allocate<std::uint8_t>(1);
+  (void)arena.allocate<std::uint32_t>(5);
+  (void)arena.allocate<std::uint8_t>(1);
+  (void)arena.allocate<std::uint64_t>(2);
+  EXPECT_LE(arena.used(), arena.capacity());
+}
+
+TEST(FlatArray, OwnedModeActsLikeAVector) {
+  FlatArray<std::uint32_t> a(5, 7);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], 7u);
+  a[2] = 42;
+  EXPECT_EQ(a[2], 42u);
+}
+
+TEST(FlatArray, ArenaModeInitializesAndIndexes) {
+  TableArena arena(TableArena::required<std::uint32_t>(8));
+  FlatArray<std::uint32_t> a(8, 3, &arena);
+  ASSERT_EQ(a.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], 3u);
+  a[7] = 9;
+  EXPECT_EQ(a[7], 9u);
+  EXPECT_GE(arena.used(), 8 * sizeof(std::uint32_t));
+}
+
+TEST(FlatArray, CopiesAreDeepAndOutliveTheArena) {
+  FlatArray<std::uint32_t> copy;
+  {
+    TableArena arena(TableArena::required<std::uint32_t>(4));
+    FlatArray<std::uint32_t> a(4, 0, &arena);
+    for (std::size_t i = 0; i < 4; ++i) a[i] = static_cast<std::uint32_t>(i);
+    copy = a;
+    a[0] = 99;  // Must not reach the copy.
+  }  // Arena (and the original's storage) destroyed here.
+  ASSERT_EQ(copy.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(copy[i], static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(FlatArray, MovingTheArenaKeepsArrayStorageValid) {
+  TableArena arena(TableArena::required<std::uint32_t>(4));
+  FlatArray<std::uint32_t> a(4, 11, &arena);
+  const std::uint32_t* before = a.data();
+  TableArena moved = std::move(arena);  // Heap block is address-stable.
+  EXPECT_EQ(a.data(), before);
+  EXPECT_EQ(a[3], 11u);
+  EXPECT_GE(moved.used(), 4 * sizeof(std::uint32_t));
+}
+
+TEST(FlatArray, MovedFromArrayIsEmpty) {
+  FlatArray<std::uint32_t> a(3, 5);
+  FlatArray<std::uint32_t> b(std::move(a));
+  EXPECT_EQ(a.size(), 0u);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 5u);
+}
+
+TEST(ArenaTables, RemappingTableOnArenaMatchesOwnedBehaviour) {
+  TableArena arena(RemappingTable::arena_bytes(16));
+  RemappingTable on_arena(16, &arena);
+  RemappingTable owned(16);
+  for (std::uint32_t la = 0; la < 16; ++la) {
+    EXPECT_EQ(on_arena.to_physical(LogicalPageAddr(la)),
+              owned.to_physical(LogicalPageAddr(la)));
+  }
+  on_arena.swap_physical(PhysicalPageAddr(1), PhysicalPageAddr(9));
+  owned.swap_physical(PhysicalPageAddr(1), PhysicalPageAddr(9));
+  for (std::uint32_t la = 0; la < 16; ++la) {
+    EXPECT_EQ(on_arena.to_physical(LogicalPageAddr(la)),
+              owned.to_physical(LogicalPageAddr(la)));
+  }
+}
+
+TEST(ArenaTables, SchemeArenaHoldsItsWholeMetadataWorkingSet) {
+  // TossUpWl packs all four tables into its arena; the arena must have
+  // been sized by the same arithmetic (no assert fired in construction)
+  // and survive a move of the whole scheme.
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 1000;
+  const Config config = Config::scaled(scale);
+  const EnduranceMap map(64, config.endurance, 1);
+  TossUpWl wl(map, config.twl, config.wl_latencies,
+              config.endurance.table_bits, config.seed);
+  EXPECT_TRUE(wl.invariants_hold());
+  TossUpWl moved(std::move(wl));
+  EXPECT_TRUE(moved.invariants_hold());
+  EXPECT_EQ(moved.logical_pages(), 64u);
+}
+
+}  // namespace
+}  // namespace twl

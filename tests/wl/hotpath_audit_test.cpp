@@ -1,0 +1,146 @@
+// Hot-path bug-audit regressions: each test reproduces the bad input the
+// audit found first, then asserts the fixed behaviour.
+//
+//  * Security Refresh per-region write counters are 32-bit; a multi-year
+//    region can absorb more than 2^32 writes, and the old `++count %
+//    interval` cadence breaks when the counter wraps. The fix
+//    (compare-and-reset) keeps the counter bounded by the interval.
+//  * Start-Gap / Security Refresh silently truncated page counts beyond
+//    the 32-bit physical address space; both now refuse construction.
+//  * PcmTiming::service near the end of a u64 cycle horizon must not wrap
+//    a bank's free time backwards.
+//  * sat_add_u64 / sat_mul_u64 are the primitives those fixes lean on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "pcm/timing.h"
+#include "recovery/snapshot.h"
+#include "wl/security_refresh.h"
+#include "wl/start_gap.h"
+#include "wl/wear_leveler.h"
+
+namespace twl {
+namespace {
+
+TEST(SaturatingArithmetic, AddClampsAtMax) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(sat_add_u64(2, 3), 5u);
+  EXPECT_EQ(sat_add_u64(kMax, 1), kMax);
+  EXPECT_EQ(sat_add_u64(kMax - 1, 1), kMax);
+  EXPECT_EQ(sat_add_u64(kMax, kMax), kMax);
+  EXPECT_EQ(sat_add_u64(0, kMax), kMax);
+}
+
+TEST(SaturatingArithmetic, MulClampsAtMax) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(sat_mul_u64(6, 7), 42u);
+  EXPECT_EQ(sat_mul_u64(0, kMax), 0u);
+  EXPECT_EQ(sat_mul_u64(kMax, 1), kMax);
+  EXPECT_EQ(sat_mul_u64(kMax, 2), kMax);
+  EXPECT_EQ(sat_mul_u64(1ULL << 32, 1ULL << 32), kMax);
+}
+
+// Patch the serialized inner write counter of a single-region SR instance
+// to 2^32 - 2 (the bad input: a region two writes away from wrapping its
+// 32-bit counter). save_state ends with three u64 counters after the
+// counter vector, so with one region the counter's 4 bytes sit at
+// size - 24 - 4 regardless of the RNG's serialized size.
+std::vector<std::uint8_t> state_with_inner_counter(
+    const SecurityRefresh& sr, std::uint32_t counter) {
+  SnapshotWriter w;
+  sr.save_state(w);
+  std::vector<std::uint8_t> bytes = w.take();
+  const std::size_t at = bytes.size() - 24 - 4;
+  bytes[at] = static_cast<std::uint8_t>(counter);
+  bytes[at + 1] = static_cast<std::uint8_t>(counter >> 8);
+  bytes[at + 2] = static_cast<std::uint8_t>(counter >> 16);
+  bytes[at + 3] = static_cast<std::uint8_t>(counter >> 24);
+  return bytes;
+}
+
+std::uint32_t read_inner_counter(const SecurityRefresh& sr) {
+  SnapshotWriter w;
+  sr.save_state(w);
+  const std::vector<std::uint8_t>& bytes = w.bytes();
+  const std::size_t at = bytes.size() - 24 - 4;
+  return static_cast<std::uint32_t>(bytes[at]) |
+         (static_cast<std::uint32_t>(bytes[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[at + 3]) << 24);
+}
+
+TEST(SrCounterWrap, RefreshCadenceSurvivesCounterNearWrap) {
+  SrParams params;
+  params.refresh_interval = 7;
+  params.region_pages = 64;  // One region covering the whole device.
+  params.two_level = false;
+  params.auto_scale_to_endurance = false;
+  SecurityRefresh sr(64, params, /*seed=*/5);
+
+  // Load the bad input: counter at 2^32 - 2, one write shy of the old
+  // modulo cadence's wrap hazard.
+  const auto patched = state_with_inner_counter(sr, 0xFFFF'FFFEu);
+  SnapshotReader r(patched);
+  sr.load_state(r);
+  ASSERT_TRUE(r.exhausted());
+  ASSERT_EQ(read_inner_counter(sr), 0xFFFF'FFFEu);
+
+  // The overdue refresh fires on the very next write and the counter
+  // resets to 0 — under the old `++count % interval` cadence the counter
+  // would have kept climbing toward the wrap (4294967295 % 7 != 0).
+  NullWriteSink sink;
+  sr.write(LogicalPageAddr(0), sink);
+  EXPECT_EQ(read_inner_counter(sr), 0u);
+
+  // From there the normal cadence resumes: fires again exactly at the
+  // interval, and the counter never exceeds it.
+  for (std::uint32_t i = 1; i < params.refresh_interval; ++i) {
+    sr.write(LogicalPageAddr(i % 64), sink);
+    EXPECT_EQ(read_inner_counter(sr), i);
+  }
+  sr.write(LogicalPageAddr(9), sink);
+  EXPECT_EQ(read_inner_counter(sr), 0u);
+  EXPECT_TRUE(sr.invariants_hold());
+}
+
+TEST(AddressSpaceGuards, StartGapRejectsFramesBeyond32Bit) {
+  StartGapParams params;
+  EXPECT_THROW(StartGap((std::uint64_t{1} << 32) + 2, params),
+               std::invalid_argument);
+  EXPECT_NO_THROW(StartGap(64, params));
+}
+
+TEST(AddressSpaceGuards, SecurityRefreshRejectsPagesBeyond32Bit) {
+  SrParams params;
+  params.auto_scale_to_endurance = false;
+  EXPECT_THROW(SecurityRefresh(std::uint64_t{1} << 33, params, 1),
+               std::invalid_argument);
+}
+
+TEST(TimingSaturation, ServiceNearHorizonEndDoesNotWrap) {
+  const PcmGeometry g;
+  const PcmTimingParams params;
+  PcmTiming timing(g, params);
+  constexpr Cycles kMax = std::numeric_limits<Cycles>::max();
+  const Cycles start = kMax - 10;  // Less than one page write from the end.
+  const ServiceResult r =
+      timing.service(PhysicalPageAddr(0), Op::kWrite, start);
+  EXPECT_EQ(r.start, start);
+  EXPECT_EQ(r.done, kMax);  // Saturated, not wrapped.
+  EXPECT_GE(r.done, r.start);
+  EXPECT_EQ(timing.bank_free_at(timing.bank_of(PhysicalPageAddr(0))), kMax);
+  // A later request on the same bank still moves forward monotonically.
+  const ServiceResult r2 =
+      timing.service(PhysicalPageAddr(0), Op::kWrite, start);
+  EXPECT_GE(r2.start, r.done - 1);
+  EXPECT_EQ(r2.done, kMax);
+}
+
+}  // namespace
+}  // namespace twl

@@ -1,0 +1,195 @@
+// Property test for the hot-path translation cache: for every scheme
+// spec, a cached and an uncached instance driven through the same
+// randomized sequence of demand writes (which trigger gap moves, refresh
+// swaps and toss-ups internally), failure/retirement notifications and
+// snapshot round-trips must agree on every translation at every probe.
+//
+// This is the enforcement half of TranslationCache's invalidation
+// contract: any mapping-changing event a scheme forgets to invalidate on
+// shows up here as a stale translation. The snapshot comparison also
+// pins the cache out of serialized state — cached and uncached instances
+// must produce byte-identical snapshots throughout.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "pcm/endurance.h"
+#include "recovery/snapshot.h"
+#include "wl/factory.h"
+#include "wl/security_refresh.h"
+#include "wl/wear_leveler.h"
+
+namespace twl {
+namespace {
+
+constexpr std::uint64_t kPages = 64;
+
+Config base_config(std::uint64_t seed) {
+  SimScale scale;
+  scale.pages = kPages;
+  scale.endurance_mean = 4096;
+  scale.seed = seed;
+  Config config = Config::scaled(scale);
+  // A deliberately tiny cache: conflict evictions and reinsertion churn
+  // are part of what the property must survive.
+  config.hotpath.cache_entries = 8;
+  // Crank every mapping-churn cadence way up so short sequences hit many
+  // gap moves, refresh swaps and toss-ups.
+  config.start_gap.gap_write_interval = 3;
+  config.rbsg.gap_write_interval = 3;
+  config.sr.refresh_interval = 4;
+  config.sr.auto_scale_to_endurance = false;
+  config.twl.tossup_interval = 4;
+  config.twl.interpair_swap_interval = 16;
+  return config;
+}
+
+struct Pair {
+  std::unique_ptr<WearLeveler> cached;
+  std::unique_ptr<WearLeveler> plain;
+};
+
+Pair make_pair_for(const std::string& spec, const EnduranceMap& map,
+                   std::uint64_t seed) {
+  Config with = base_config(seed);
+  with.hotpath.translation_cache = true;
+  Config without = base_config(seed);
+  without.hotpath.translation_cache = false;
+  return {make_wear_leveler_spec(spec, map, with),
+          make_wear_leveler_spec(spec, map, without)};
+}
+
+void expect_all_translations_agree(const WearLeveler& cached,
+                                   const WearLeveler& plain,
+                                   const std::string& spec,
+                                   std::uint64_t sequence) {
+  for (std::uint64_t la = 0; la < cached.logical_pages(); ++la) {
+    ASSERT_EQ(cached.map_read(LogicalPageAddr(
+                  static_cast<std::uint32_t>(la))),
+              plain.map_read(LogicalPageAddr(static_cast<std::uint32_t>(la))))
+        << spec << " sequence " << sequence << " la " << la;
+  }
+}
+
+// One randomized sequence: writes interleaved with failure/retirement
+// notifications and snapshot round-trips, with translation probes after
+// every step (probing is itself part of the property: a probe populates
+// the cache, so a later mapping change must displace what the probe
+// cached).
+void run_sequence(const std::string& spec, std::uint64_t sequence) {
+  const std::uint64_t seed = 0xCAFE + sequence;
+  const Config config = base_config(seed);
+  const EnduranceMap map(kPages, config.endurance, seed);
+  Pair p = make_pair_for(spec, map, seed);
+  NullWriteSink sink;
+  XorShift64Star rng(0xD1CE0000 + sequence * 2654435761ULL);
+
+  const std::uint64_t n = p.cached->logical_pages();
+  const int steps = 40;
+  for (int s = 0; s < steps; ++s) {
+    const std::uint64_t kind = rng.next() % 12;
+    if (kind < 9) {
+      // Demand write: a hot page most of the time, so Start-Gap moves and
+      // SR refreshes concentrate where translations were just cached.
+      const auto la = LogicalPageAddr(static_cast<std::uint32_t>(
+          kind < 5 ? rng.next() % 4 : rng.next() % n));
+      p.cached->write(la, sink);
+      p.plain->write(la, sink);
+    } else if (kind == 9) {
+      const auto pa =
+          PhysicalPageAddr(static_cast<std::uint32_t>(rng.next() % n));
+      p.cached->on_page_failed(pa, sink);
+      p.plain->on_page_failed(pa, sink);
+    } else if (kind == 10) {
+      const auto pa =
+          PhysicalPageAddr(static_cast<std::uint32_t>(rng.next() % n));
+      const std::uint64_t e = 1000 + rng.next() % 4096;
+      p.cached->on_page_retired(pa, pa, e, sink);
+      p.plain->on_page_retired(pa, pa, e, sink);
+    } else {
+      // Crash-recovery event: snapshots must be byte-identical with the
+      // cache on or off (the cache is not serialized state), and a
+      // restore into warmed-up instances must invalidate stale entries.
+      const std::vector<std::uint8_t> blob_cached = take_snapshot(*p.cached);
+      const std::vector<std::uint8_t> blob_plain = take_snapshot(*p.plain);
+      ASSERT_EQ(blob_cached, blob_plain)
+          << spec << " sequence " << sequence << ": cache leaked into state";
+      // Cross-restore: the uncached snapshot feeds the cached instance.
+      restore_snapshot(*p.cached, blob_plain);
+      restore_snapshot(*p.plain, blob_cached);
+    }
+    // Probe a few translations (and thereby warm the cache).
+    for (int probes = 0; probes < 4; ++probes) {
+      const auto la =
+          LogicalPageAddr(static_cast<std::uint32_t>(rng.next() % n));
+      ASSERT_EQ(p.cached->map_read(la), p.plain->map_read(la))
+          << spec << " sequence " << sequence << " step " << s;
+    }
+  }
+  expect_all_translations_agree(*p.cached, *p.plain, spec, sequence);
+  EXPECT_EQ(p.cached->invariants_hold(), p.plain->invariants_hold());
+}
+
+class TranslationCacheProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TranslationCacheProperty, CachedAndUncachedAgree) {
+  // ~112 sequences x 9 specs ≈ 1000 randomized sequences total.
+  for (std::uint64_t sequence = 0; sequence < 112; ++sequence) {
+    run_sequence(GetParam(), sequence);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, TranslationCacheProperty,
+    ::testing::Values("StartGap", "SR", "RBSG", "TWL_swp", "TWL_ap", "BWL",
+                      "WRL", "guard:SR", "od3p:StartGap"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == ':') c = '_';
+      }
+      return name;
+    });
+
+// The factory default is two-level SR (whole-cache flush on refresh);
+// single-level SR takes the exact two-address invalidation path, which is
+// the subtlest piece of the contract — pin it with its own sweep.
+TEST(TranslationCachePropertySrSingleLevel, CachedAndUncachedAgree) {
+  for (std::uint64_t sequence = 0; sequence < 112; ++sequence) {
+    const std::uint64_t seed = 0xF00D + sequence;
+    Config config = base_config(seed);
+    config.sr.two_level = false;
+    HotpathParams cached_params = config.hotpath;
+    cached_params.translation_cache = true;
+    HotpathParams plain_params = config.hotpath;
+    plain_params.translation_cache = false;
+    SecurityRefresh cached(kPages, config.sr, seed, cached_params);
+    SecurityRefresh plain(kPages, config.sr, seed, plain_params);
+    NullWriteSink sink;
+    XorShift64Star rng(0xBEEF + sequence);
+    for (int s = 0; s < 60; ++s) {
+      const auto la = LogicalPageAddr(static_cast<std::uint32_t>(
+          s % 3 == 0 ? rng.next() % kPages : rng.next() % 4));
+      cached.write(la, sink);
+      plain.write(la, sink);
+      for (int probes = 0; probes < 4; ++probes) {
+        const auto probe =
+            LogicalPageAddr(static_cast<std::uint32_t>(rng.next() % kPages));
+        ASSERT_EQ(cached.map_read(probe), plain.map_read(probe))
+            << "sequence " << sequence << " step " << s;
+      }
+    }
+    expect_all_translations_agree(cached, plain, "SR(single-level)",
+                                  sequence);
+  }
+}
+
+}  // namespace
+}  // namespace twl

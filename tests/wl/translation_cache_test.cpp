@@ -1,0 +1,111 @@
+// TranslationCache unit tests: hit/miss behaviour, exact and full
+// invalidation, direct-mapped conflict eviction, and the generation-wrap
+// clearing that keeps O(1) flushes sound past 65536 of them.
+#include "wl/translation_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace twl {
+namespace {
+
+TEST(TranslationCache, DisabledCacheNeverHits) {
+  TranslationCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(LogicalPageAddr(3), PhysicalPageAddr(7));
+  PhysicalPageAddr pa(0);
+  EXPECT_FALSE(cache.lookup(LogicalPageAddr(3), pa));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);  // Disabled lookups are not even misses.
+}
+
+TEST(TranslationCache, InsertThenLookupHits) {
+  TranslationCache cache(16);
+  EXPECT_TRUE(cache.enabled());
+  PhysicalPageAddr pa(0);
+  EXPECT_FALSE(cache.lookup(LogicalPageAddr(5), pa));
+  cache.insert(LogicalPageAddr(5), PhysicalPageAddr(42));
+  ASSERT_TRUE(cache.lookup(LogicalPageAddr(5), pa));
+  EXPECT_EQ(pa.value(), 42u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(TranslationCache, EntryCountRoundsUpToPowerOfTwo) {
+  // 5 rounds to 8: las 0 and 8 conflict, 0 and 5 do not.
+  TranslationCache cache(5);
+  cache.insert(LogicalPageAddr(0), PhysicalPageAddr(100));
+  cache.insert(LogicalPageAddr(5), PhysicalPageAddr(105));
+  PhysicalPageAddr pa(0);
+  EXPECT_TRUE(cache.lookup(LogicalPageAddr(0), pa));
+  EXPECT_TRUE(cache.lookup(LogicalPageAddr(5), pa));
+  cache.insert(LogicalPageAddr(8), PhysicalPageAddr(108));  // Evicts la 0.
+  EXPECT_FALSE(cache.lookup(LogicalPageAddr(0), pa));
+  ASSERT_TRUE(cache.lookup(LogicalPageAddr(8), pa));
+  EXPECT_EQ(pa.value(), 108u);
+}
+
+TEST(TranslationCache, InvalidateDropsExactlyOneAddress) {
+  TranslationCache cache(16);
+  cache.insert(LogicalPageAddr(1), PhysicalPageAddr(11));
+  cache.insert(LogicalPageAddr(2), PhysicalPageAddr(12));
+  cache.invalidate(LogicalPageAddr(1));
+  PhysicalPageAddr pa(0);
+  EXPECT_FALSE(cache.lookup(LogicalPageAddr(1), pa));
+  ASSERT_TRUE(cache.lookup(LogicalPageAddr(2), pa));
+  EXPECT_EQ(pa.value(), 12u);
+}
+
+TEST(TranslationCache, InvalidateLeavesConflictingResidentAlone) {
+  // la 3 and la 19 share a slot in a 16-entry cache; invalidating the
+  // non-resident address must not evict the resident one.
+  TranslationCache cache(16);
+  cache.insert(LogicalPageAddr(3), PhysicalPageAddr(30));
+  cache.invalidate(LogicalPageAddr(19));
+  PhysicalPageAddr pa(0);
+  ASSERT_TRUE(cache.lookup(LogicalPageAddr(3), pa));
+  EXPECT_EQ(pa.value(), 30u);
+}
+
+TEST(TranslationCache, InvalidateAllDropsEverything) {
+  TranslationCache cache(16);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    cache.insert(LogicalPageAddr(i), PhysicalPageAddr(i + 100));
+  }
+  cache.invalidate_all();
+  PhysicalPageAddr pa(0);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_FALSE(cache.lookup(LogicalPageAddr(i), pa)) << i;
+  }
+}
+
+TEST(TranslationCache, ReinsertAfterFlushHitsAgain) {
+  TranslationCache cache(8);
+  cache.insert(LogicalPageAddr(4), PhysicalPageAddr(40));
+  cache.invalidate_all();
+  cache.insert(LogicalPageAddr(4), PhysicalPageAddr(41));
+  PhysicalPageAddr pa(0);
+  ASSERT_TRUE(cache.lookup(LogicalPageAddr(4), pa));
+  EXPECT_EQ(pa.value(), 41u);  // The post-flush mapping, not the stale one.
+}
+
+TEST(TranslationCache, GenerationWrapNeverResurrectsStaleEntries) {
+  // A stale entry left behind before 65536 flushes must not become a hit
+  // when the 16-bit generation counter wraps back to its stamp.
+  TranslationCache cache(4);
+  cache.insert(LogicalPageAddr(2), PhysicalPageAddr(20));
+  for (int i = 0; i < 65536 * 2 + 3; ++i) {
+    cache.invalidate_all();
+    PhysicalPageAddr pa(0);
+    ASSERT_FALSE(cache.lookup(LogicalPageAddr(2), pa)) << "flush " << i;
+  }
+  // And the cache still works after all that.
+  cache.insert(LogicalPageAddr(2), PhysicalPageAddr(21));
+  PhysicalPageAddr pa(0);
+  ASSERT_TRUE(cache.lookup(LogicalPageAddr(2), pa));
+  EXPECT_EQ(pa.value(), 21u);
+}
+
+}  // namespace
+}  // namespace twl
