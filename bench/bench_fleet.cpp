@@ -129,8 +129,8 @@ int run_impl(const CliArgs& args) {
     const FleetSimulator sim(setup.config, *s);
     FleetState state;
     if (resume) {
-      state = CheckpointManager::deserialize(
-          setup.config, *s, CheckpointManager::read_file(checkpoint_path));
+      state = CheckpointManager::load_for_resume(checkpoint_path,
+                                                 setup.config, *s);
     } else {
       state = sim.fresh_state();
     }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/checksum.h"
+#include "common/cli.h"
 #include "common/config.h"
 #include "fleet/scenario.h"
 #include "recovery/snapshot.h"
@@ -148,6 +149,18 @@ void CheckpointManager::write_file(const std::string& path,
   const bool flushed = std::fclose(f) == 0;
   if (written != blob.size() || !flushed) {
     throw CheckpointError("short write to checkpoint file: " + path);
+  }
+}
+
+FleetState CheckpointManager::load_for_resume(const std::string& path,
+                                              const Config& config,
+                                              const Scenario& scenario) {
+  try {
+    return deserialize(config, scenario, read_file(path));
+  } catch (const CheckpointError& e) {
+    throw CliError("cannot resume from checkpoint '" + path +
+                   "': " + e.what() + " — expected a 'TWLC' envelope (magic " +
+                   hex32(kCheckpointMagic) + ") written by --stop-day");
   }
 }
 

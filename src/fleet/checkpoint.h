@@ -58,6 +58,15 @@ class CheckpointManager {
                          const std::vector<std::uint8_t>& blob);
   [[nodiscard]] static std::vector<std::uint8_t> read_file(
       const std::string& path);
+
+  /// read_file + deserialize for a CLI --resume path. A missing,
+  /// truncated or otherwise damaged checkpoint file is an operator input
+  /// error, so failures surface as CliError — naming the path and the
+  /// expected 'TWLC' envelope magic — which run_cli_main turns into a
+  /// message + usage + exit 2 instead of an uncaught-exception abort.
+  [[nodiscard]] static FleetState load_for_resume(const std::string& path,
+                                                  const Config& config,
+                                                  const Scenario& scenario);
 };
 
 }  // namespace twl

@@ -1,6 +1,8 @@
 #include "obs/json.h"
 
+#include <cassert>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -111,16 +113,26 @@ void JsonWriter::value(double v) {
     out_ += "null";
     return;
   }
-  char buf[40];
   // Integer-valued doubles print without an exponent or trailing zeros so
-  // counters exported as doubles stay readable; everything else uses %.17g
-  // (round-trip exact for IEEE doubles).
-  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+  // counters exported as doubles stay readable. -0.0 must take the
+  // general path: printing it as "0" would drop the sign bit and break
+  // the write -> parse -> write fixpoint.
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15 &&
+      !(v == 0.0 && std::signbit(v))) {
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return;
   }
-  out_ += buf;
+  // Shortest round-trip representation: the fewest digits that parse
+  // back to exactly this double (denormals and extreme magnitudes
+  // included), so a document survives any number of write -> parse ->
+  // write cycles bit-identically — histogram bucket edges depend on it.
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v,
+                    std::chars_format::general);
+  assert(ec == std::errc());
+  out_.append(buf, end);
 }
 
 void JsonWriter::value(std::uint64_t v) {

@@ -1,0 +1,137 @@
+// Bounded MPSC submission queue for the real-time service front-end.
+//
+// Many client threads push requests; exactly one shard worker pops them.
+// The queue is the back-pressure point: a full queue either blocks the
+// producer (OverflowPolicy::kBlock) or makes try_push fail so the client
+// can retry with backoff and eventually shed the request with an error
+// (OverflowPolicy::kShed). Batch operations amortize the lock: a worker
+// drains up to a whole batch per acquisition, which is what lets the
+// front-end sustain millions of requests per second through a plain
+// mutex + condition-variable implementation (no lock-free machinery to
+// get wrong under TSan).
+//
+// close() wakes every waiter: producers give up (push returns false),
+// the consumer drains what remains and then sees pop_batch return 0.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace twl {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Blocks while full; returns false only if the queue is closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking; returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pushes as many of items[0..count) as currently fit; returns how many
+  /// were enqueued (0 when full or closed). Never blocks.
+  std::size_t try_push_batch(const T* items, std::size_t count) {
+    std::size_t pushed = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return 0;
+      while (pushed < count && items_.size() < capacity_) {
+        items_.push_back(items[pushed]);
+        ++pushed;
+      }
+    }
+    if (pushed > 0) not_empty_.notify_one();
+    return pushed;
+  }
+
+  /// Pushes all of items[0..count), blocking whenever the queue is full.
+  /// Returns the number enqueued — short only if the queue is closed.
+  std::size_t push_batch(const T* items, std::size_t count) {
+    std::size_t pushed = 0;
+    while (pushed < count) {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return pushed;
+      while (pushed < count && items_.size() < capacity_) {
+        items_.push_back(items[pushed]);
+        ++pushed;
+      }
+      lock.unlock();
+      not_empty_.notify_one();
+    }
+    return pushed;
+  }
+
+  /// Moves up to `max` items into `out` (cleared first). Blocks until at
+  /// least one item is available or the queue is closed and drained;
+  /// returns the number popped (0 signals closed-and-empty).
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    out.clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    while (!items_.empty() && out.size() < max) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    if (!out.empty()) not_full_.notify_all();
+    return out.size();
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace twl

@@ -1,0 +1,745 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "common/sim_runner.h"
+#include "obs/json.h"
+#include "service/queue.h"
+#include "wl/factory.h"
+#include "wl/wear_leveler.h"
+
+namespace twl {
+
+namespace {
+
+/// Per-client seed streams derived from the service seed.
+struct ClientSeeds {
+  std::uint64_t workload = 0;
+  std::uint64_t gap = 0;
+};
+
+ClientSeeds client_seeds(std::uint64_t service_seed, std::uint32_t client) {
+  SplitMix64 mix(service_seed ^ (0xC11E'A5E0'0000'0000ULL + client));
+  ClientSeeds s;
+  s.workload = mix.next();
+  s.gap = mix.next();
+  return s;
+}
+
+/// Salted mix for hash sharding: a plain modulo of the raw address would
+/// collapse to kModuloLa.
+std::uint32_t hash_la(std::uint32_t la) {
+  return static_cast<std::uint32_t>(
+      SplitMix64(0x5A1D'0000'0000'0000ULL ^ la).next());
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Real-time batch sizes: clients stage this many requests per shard
+/// before taking the queue lock once; workers drain up to this many per
+/// acquisition. The lock cost amortizes to a fraction of a nanosecond
+/// per request.
+constexpr std::size_t kClientFlushBatch = 256;
+constexpr std::size_t kWorkerDrainBatch = 256;
+
+}  // namespace
+
+std::string to_string(ShardingPolicy p) {
+  switch (p) {
+    case ShardingPolicy::kHashLa:
+      return "hash";
+    case ShardingPolicy::kModuloLa:
+      return "modulo";
+  }
+  return "unknown";
+}
+
+std::string to_string(OverflowPolicy p) {
+  switch (p) {
+    case OverflowPolicy::kShed:
+      return "shed";
+    case OverflowPolicy::kBlock:
+      return "block";
+  }
+  return "unknown";
+}
+
+ShardingPolicy parse_sharding_policy(const std::string& name) {
+  if (name == "hash") return ShardingPolicy::kHashLa;
+  if (name == "modulo") return ShardingPolicy::kModuloLa;
+  throw std::invalid_argument("unknown sharding policy '" + name +
+                              "' (valid: hash, modulo)");
+}
+
+OverflowPolicy parse_overflow_policy(const std::string& name) {
+  if (name == "shed") return OverflowPolicy::kShed;
+  if (name == "block") return OverflowPolicy::kBlock;
+  throw std::invalid_argument("unknown overflow policy '" + name +
+                              "' (valid: shed, block)");
+}
+
+void ServiceConfig::validate(const Config& config) const {
+  if (shards == 0 || clients == 0 || requests_per_client == 0) {
+    throw std::invalid_argument(
+        "service config: shards, clients and requests_per_client must all "
+        "be positive");
+  }
+  if (queue_capacity == 0) {
+    throw std::invalid_argument("service config: queue_capacity must be "
+                                "positive");
+  }
+  if (service_cycles == 0) {
+    throw std::invalid_argument("service config: service_cycles must be "
+                                "positive");
+  }
+  if (snapshot_interval_writes == 0) {
+    throw std::invalid_argument(
+        "service config: snapshot_interval_writes must be positive");
+  }
+  if (scheme_spec.empty()) {
+    throw std::invalid_argument("service config: scheme_spec must not be "
+                                "empty");
+  }
+  if (chaos.enabled() && config.fault.enabled()) {
+    throw std::invalid_argument(
+        "service config: chaos and the fault model are mutually exclusive "
+        "(crash recovery replays demand writes only)");
+  }
+  if (verify_final_state && config.fault.retirement_enabled()) {
+    throw std::invalid_argument(
+        "service config: verify_final_state requires the binary wear-out "
+        "model (whole-history replay)");
+  }
+}
+
+void ServiceRunResult::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("submitted", totals.submitted);
+  w.kv("accepted", totals.accepted);
+  w.kv("shed_overflow", totals.shed_overflow);
+  w.kv("shed_unavailable", totals.shed_unavailable);
+  w.kv("timed_out", totals.timed_out);
+  w.kv("retries", totals.retries);
+  w.kv("blocked", totals.blocked);
+  w.kv("deadline_overruns", totals.deadline_overruns);
+  w.kv("accounting_exact", totals.accounting_exact());
+  w.kv("latency_p50", latency_p50);
+  w.kv("latency_p99", latency_p99);
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("requests_per_second", requests_per_second);
+  w.kv("crashes", chaos_totals.crashes);
+  w.kv("recoveries", chaos_totals.recoveries);
+  w.kv("rollbacks", chaos_totals.rollbacks);
+  w.kv("snapshot_fallbacks", chaos_totals.snapshot_fallbacks);
+  w.kv("invariant_failures", chaos_totals.invariant_failures);
+  w.kv("replayed_writes", chaos_totals.replayed_writes);
+  w.kv("service_digest", service_digest);
+  w.key("shards");
+  w.begin_array();
+  for (const ShardReport& s : shards) {
+    w.begin_object();
+    w.kv("shard", s.shard);
+    w.kv("final_health", to_string(s.final_health));
+    w.kv("dead", s.dead);
+    w.kv("submitted", s.totals.submitted);
+    w.kv("accepted", s.totals.accepted);
+    w.kv("shed_overflow", s.totals.shed_overflow);
+    w.kv("shed_unavailable", s.totals.shed_unavailable);
+    w.kv("timed_out", s.totals.timed_out);
+    w.kv("retries", s.totals.retries);
+    w.kv("blocked", s.totals.blocked);
+    w.kv("deadline_overruns", s.totals.deadline_overruns);
+    w.kv("peak_queue_depth", s.peak_queue_depth);
+    w.kv("crashes", s.outcome.crashes);
+    w.kv("invariant_failures", s.outcome.invariant_failures);
+    w.kv("journal_bytes", s.journal_bytes);
+    w.kv("state_digest", s.state_digest);
+    w.kv("history_verified", s.history_verified);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+ServiceFrontEnd::ServiceFrontEnd(const Config& config,
+                                 const ServiceConfig& service)
+    : config_(config), service_(service) {
+  config_.validate();
+  service_.validate(config_);
+  // Logical capacity is a pure function of the configuration (never of
+  // the seed), so one probe scheme tells us every shard's local space.
+  EnduranceMap probe_endurance(config_.geometry.pages(), config_.endurance,
+                               /*seed=*/0);
+  const auto probe =
+      make_wear_leveler_spec(service_.scheme_spec, probe_endurance, config_);
+  local_pages_ = probe->logical_pages();
+  global_pages_ = local_pages_ * service_.shards;
+}
+
+std::pair<std::uint32_t, std::uint32_t> ServiceFrontEnd::route(
+    std::uint32_t global_la) const {
+  const std::uint32_t shards = service_.shards;
+  std::uint32_t shard = 0;
+  switch (service_.sharding) {
+    case ShardingPolicy::kHashLa:
+      shard = hash_la(global_la) % shards;
+      break;
+    case ShardingPolicy::kModuloLa:
+      shard = global_la % shards;
+      break;
+  }
+  return {shard, global_la / shards};
+}
+
+ShardParams ServiceFrontEnd::shard_params() const {
+  ShardParams p;
+  p.scheme_spec = service_.scheme_spec;
+  p.chaos = service_.chaos;
+  p.horizon_writes =
+      service_.clients * service_.requests_per_client;
+  p.snapshot_interval_writes = service_.snapshot_interval_writes;
+  p.degraded_window_writes = service_.degraded_window_writes;
+  p.quarantine_cycles = service_.quarantine_cycles;
+  p.recovery_base_cycles = service_.recovery_base_cycles;
+  p.recovery_per_replay_cycles = service_.recovery_per_replay_cycles;
+  p.keep_history = service_.verify_final_state;
+  return p;
+}
+
+/// One routed request in virtual time.
+struct ServiceFrontEnd::Arrival {
+  Cycles at = 0;
+  std::uint32_t client = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t la = 0;  ///< Shard-local logical page.
+};
+
+struct ServiceFrontEnd::ShardCellResult {
+  ShardReport report;
+  MetricsRegistry metrics;
+};
+
+std::vector<std::vector<ServiceFrontEnd::Arrival>>
+ServiceFrontEnd::generate_arrivals() const {
+  std::vector<std::vector<Arrival>> per_shard(service_.shards);
+  for (std::uint32_t c = 0; c < service_.clients; ++c) {
+    const ClientSeeds seeds = client_seeds(config_.seed, c);
+    FleetStream stream(service_.workload, global_pages_, seeds.workload);
+    XorShift64Star gap_rng(seeds.gap);
+    Cycles t = 0;
+    for (std::uint64_t seq = 0; seq < service_.requests_per_client; ++seq) {
+      const Cycles mean = service_.mean_gap_cycles;
+      t += mean == 0 ? 1 : 1 + gap_rng.next_below(2 * mean - 1);
+      const std::uint32_t global = stream.next().value();
+      const auto [shard, local] = route(global);
+      per_shard[shard].push_back(Arrival{t, c, seq, local});
+    }
+  }
+  return per_shard;
+}
+
+namespace {
+
+/// One pending admission attempt in the virtual-time engine. Ordered by
+/// (at, client, seq, attempt) so the processing order — and with it
+/// every retry, shed and accept decision — is a total order independent
+/// of heap internals.
+struct VirtualEvent {
+  Cycles at = 0;
+  Cycles submit = 0;  ///< Original arrival time (latency baseline).
+  std::uint32_t client = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t attempt = 0;
+  std::uint32_t la = 0;
+  bool parked = false;  ///< Waiting out a full queue under kBlock.
+
+  [[nodiscard]] std::tuple<Cycles, std::uint32_t, std::uint64_t,
+                           std::uint32_t>
+  key() const {
+    return {at, client, seq, attempt};
+  }
+};
+
+struct LaterEvent {
+  bool operator()(const VirtualEvent& a, const VirtualEvent& b) const {
+    return a.key() > b.key();
+  }
+};
+
+Cycles backoff_for(const ServiceConfig& cfg, std::uint32_t attempt) {
+  const Cycles base = cfg.backoff_base_cycles == 0 ? 1
+                                                   : cfg.backoff_base_cycles;
+  const Cycles cap = std::max<Cycles>(base, cfg.backoff_cap_cycles);
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt, 20);
+  const Cycles b = base << shift;
+  return (b >> shift) != base || b > cap ? cap : b;
+}
+
+}  // namespace
+
+void ServiceFrontEnd::run_shard_cell(std::vector<Arrival> arrivals,
+                                     std::uint32_t shard_index,
+                                     ShardCellResult& out) const {
+  // Arrivals were generated client by client; the shard serves them in
+  // global time order (ties broken by client, then sequence).
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) {
+              return std::tie(a.at, a.client, a.seq) <
+                     std::tie(b.at, b.client, b.seq);
+            });
+
+  ServiceShard shard(config_, shard_params(), shard_index);
+
+  MetricsRegistry& m = out.metrics;
+  LogHistogram& latency_hist =
+      m.histogram("service.request_latency_cycles");
+  LogHistogram& depth_hist = m.histogram("service.queue_depth");
+
+  ServiceTotals st;
+  st.submitted = arrivals.size();
+  std::uint64_t peak_depth = 0;
+
+  std::priority_queue<VirtualEvent, std::vector<VirtualEvent>, LaterEvent>
+      pending;
+  std::deque<Cycles> outstanding;  ///< Completion times: queued + serving.
+  Cycles busy_until = 0;
+  Cycles unavail_until = 0;  ///< Crash quarantine + recovery window.
+  std::uint64_t parked = 0;  ///< kBlock waiters currently in the heap.
+  const Cycles deadline = service_.deadline_cycles;
+
+  std::size_t next_arrival = 0;
+  while (next_arrival < arrivals.size() || !pending.empty()) {
+    VirtualEvent e;
+    if (pending.empty() ||
+        (next_arrival < arrivals.size() &&
+         std::make_tuple(arrivals[next_arrival].at,
+                         arrivals[next_arrival].client,
+                         arrivals[next_arrival].seq,
+                         std::uint32_t{0}) <= pending.top().key())) {
+      const Arrival& a = arrivals[next_arrival++];
+      e = VirtualEvent{a.at, a.at, a.client, a.seq, 0, a.la};
+    } else {
+      e = pending.top();
+      pending.pop();
+      if (e.parked) {
+        --parked;
+        e.parked = false;
+      }
+    }
+
+    const Cycles t = e.at;
+    while (!outstanding.empty() && outstanding.front() <= t) {
+      outstanding.pop_front();
+    }
+    const std::uint64_t depth = outstanding.size();
+    const Cycles deadline_abs = deadline == 0 ? 0 : e.submit + deadline;
+
+    // A request whose deadline already passed — while it waited out a
+    // backoff or a blocked queue — is a timeout, not a shed.
+    if (deadline != 0 && t > deadline_abs) {
+      ++st.timed_out;
+      continue;
+    }
+
+    // Health gate: quarantined/recovering (crash window) or dead
+    // (retirement exhausted) shards admit nothing; clients retry with
+    // bounded exponential backoff, then shed with an error.
+    if (shard.dead() || t < unavail_until) {
+      if (!shard.dead() && e.attempt < service_.max_retries) {
+        ++st.retries;
+        e.at = t + backoff_for(service_, e.attempt);
+        ++e.attempt;
+        pending.push(e);
+      } else {
+        ++st.shed_unavailable;
+      }
+      continue;
+    }
+
+    // Back-pressure gate: the bounded queue is full.
+    if (depth >= service_.queue_capacity) {
+      if (service_.overflow == OverflowPolicy::kBlock) {
+        // The producer waits for a projected slot: the i-th waiter needs
+        // i+1 completions, which land at the queued completion times and
+        // then every service_cycles once the queue drains FIFO. Waking
+        // each waiter at its own slot (instead of waking the whole
+        // backlog at the next completion) keeps the engine linear; a
+        // waiter that wakes while the queue is still full — a crash
+        // penalty shifted the schedule — simply re-parks at a fresh
+        // estimate.
+        ++st.blocked;
+        const std::uint64_t slot = parked;
+        e.at = slot < depth
+                   ? outstanding[static_cast<std::size_t>(slot)]
+                   : busy_until +
+                         service_.service_cycles * (slot - depth + 1);
+        e.parked = true;
+        ++parked;
+        pending.push(e);
+      } else if (e.attempt < service_.max_retries) {
+        ++st.retries;
+        e.at = t + backoff_for(service_, e.attempt);
+        ++e.attempt;
+        pending.push(e);
+      } else {
+        ++st.shed_overflow;
+      }
+      continue;
+    }
+
+    // Admission: FIFO service behind the writes already outstanding.
+    const Cycles start = std::max(t, busy_until);
+    Cycles completion = start + service_.service_cycles;
+    if (deadline != 0 && completion > deadline_abs) {
+      // Would miss its deadline even if nothing goes wrong: reject now
+      // instead of burning device writes on a dead-on-arrival request.
+      ++st.timed_out;
+      continue;
+    }
+
+    const ShardExecOutcome ex = shard.execute(LogicalPageAddr(e.la));
+    if (ex.crashed) {
+      completion += ex.penalty_cycles;
+      unavail_until = completion;
+      if (deadline != 0 && completion > deadline_abs) {
+        ++st.deadline_overruns;
+      }
+    }
+    ++st.accepted;
+    latency_hist.add(completion - e.submit);
+    depth_hist.add(depth + 1);
+    peak_depth = std::max(peak_depth, depth + 1);
+    busy_until = completion;
+    outstanding.push_back(completion);
+  }
+
+  ShardReport& rep = out.report;
+  rep.shard = shard_index;
+  rep.final_health = shard.health();
+  rep.dead = shard.dead();
+  rep.totals = st;
+  rep.peak_queue_depth = peak_depth;
+  rep.outcome = shard.outcome();
+  rep.journal_bytes = shard.journal_lifetime_bytes();
+  rep.state_digest = shard.state_digest();
+  rep.history_verified =
+      service_.verify_final_state && shard.verify_accepted_history();
+
+  shard.publish_metrics(m);
+  m.counter("service.submitted").add(st.submitted);
+  m.counter("service.accepted").add(st.accepted);
+  m.counter("service.shed.overflow").add(st.shed_overflow);
+  m.counter("service.shed.unavailable").add(st.shed_unavailable);
+  m.counter("service.timed_out").add(st.timed_out);
+  m.counter("service.retries").add(st.retries);
+  m.counter("service.blocked").add(st.blocked);
+  m.counter("service.deadline_overruns").add(st.deadline_overruns);
+  m.gauge("service.queue_depth_peak").set(static_cast<double>(peak_depth));
+}
+
+ServiceRunResult ServiceFrontEnd::assemble(
+    std::vector<ShardCellResult>& cells) const {
+  ServiceRunResult result;
+  result.shards.reserve(cells.size());
+  std::vector<std::uint8_t> digest_bytes;
+  for (ShardCellResult& cell : cells) {
+    const ShardReport& rep = cell.report;
+    result.totals.submitted += rep.totals.submitted;
+    result.totals.accepted += rep.totals.accepted;
+    result.totals.shed_overflow += rep.totals.shed_overflow;
+    result.totals.shed_unavailable += rep.totals.shed_unavailable;
+    result.totals.timed_out += rep.totals.timed_out;
+    result.totals.retries += rep.totals.retries;
+    result.totals.blocked += rep.totals.blocked;
+    result.totals.deadline_overruns += rep.totals.deadline_overruns;
+    result.chaos_totals.crashes += rep.outcome.crashes;
+    result.chaos_totals.recoveries += rep.outcome.recoveries;
+    result.chaos_totals.rollbacks += rep.outcome.rollbacks;
+    result.chaos_totals.snapshot_fallbacks += rep.outcome.snapshot_fallbacks;
+    result.chaos_totals.invariant_failures += rep.outcome.invariant_failures;
+    result.chaos_totals.replayed_writes += rep.outcome.replayed_writes;
+    for (std::size_t k = 0; k < kNumChaosKinds; ++k) {
+      result.chaos_totals.chaos_by_kind[k] += rep.outcome.chaos_by_kind[k];
+    }
+    for (int b = 0; b < 4; ++b) {
+      digest_bytes.push_back(
+          static_cast<std::uint8_t>(rep.state_digest >> (8 * b)));
+    }
+    result.metrics.merge_from(cell.metrics);
+    result.shards.push_back(rep);
+  }
+  result.service_digest = crc32(digest_bytes.data(), digest_bytes.size());
+
+  const LogHistogram* lat =
+      result.metrics.find_histogram("service.request_latency_cycles");
+  if (lat == nullptr) {
+    lat = result.metrics.find_histogram("service.request_latency_ns");
+  }
+  if (lat != nullptr && lat->count() > 0) {
+    result.latency_p50 = lat->quantile(0.5);
+    result.latency_p99 = lat->quantile(0.99);
+  }
+  return result;
+}
+
+ServiceRunResult ServiceFrontEnd::run_virtual(SimRunner& runner) const {
+  std::vector<std::vector<Arrival>> per_shard = generate_arrivals();
+  std::vector<ShardCellResult> cells(service_.shards);
+  std::vector<SimCell> grid;
+  grid.reserve(service_.shards);
+  for (std::uint32_t s = 0; s < service_.shards; ++s) {
+    grid.push_back(
+        [this, s, arrivals = std::move(per_shard[s]), &cells]() mutable {
+          run_shard_cell(std::move(arrivals), s, cells[s]);
+          return cells[s].report.totals.accepted;
+        });
+  }
+  runner.run_all(grid);
+  return assemble(cells);
+}
+
+namespace {
+
+/// One request on the wire in real-time mode.
+struct RtItem {
+  std::uint32_t la = 0;
+  std::uint64_t submit_ns = 0;
+  std::uint64_t deadline_ns = 0;  ///< 0 = none.
+};
+
+/// Client-side per-shard tallies, merged under a mutex at exit.
+struct RtClientTotals {
+  std::uint64_t submitted = 0;
+  std::uint64_t shed_overflow = 0;
+  std::uint64_t shed_unavailable = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t peak_queue_depth = 0;
+};
+
+}  // namespace
+
+ServiceRunResult ServiceFrontEnd::run_realtime() const {
+  const std::uint32_t shards = service_.shards;
+  std::vector<std::unique_ptr<ServiceShard>> shard_objs;
+  std::vector<std::unique_ptr<BoundedMpscQueue<RtItem>>> queues;
+  shard_objs.reserve(shards);
+  queues.reserve(shards);
+  const ShardParams params = shard_params();
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shard_objs.push_back(
+        std::make_unique<ServiceShard>(config_, params, s));
+    queues.push_back(
+        std::make_unique<BoundedMpscQueue<RtItem>>(service_.queue_capacity));
+  }
+
+  // Worker-side results: one slot per shard, written only by its worker.
+  struct WorkerSlot {
+    std::uint64_t accepted = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t deadline_overruns = 0;
+    std::uint64_t shed_dead = 0;  ///< Popped after the shard died.
+    LogHistogram latency_ns;
+  };
+  std::vector<WorkerSlot> worker(shards);
+
+  std::mutex client_mu;
+  std::vector<RtClientTotals> client_totals(shards);
+
+  const std::uint64_t t0 = now_ns();
+
+  std::vector<std::thread> worker_threads;
+  worker_threads.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    worker_threads.emplace_back([&, s] {
+      ServiceShard& shard = *shard_objs[s];
+      BoundedMpscQueue<RtItem>& q = *queues[s];
+      WorkerSlot& slot = worker[s];
+      std::vector<RtItem> batch;
+      batch.reserve(kWorkerDrainBatch);
+      std::uint64_t now = now_ns();
+      while (q.pop_batch(batch, kWorkerDrainBatch) > 0) {
+        for (const RtItem& item : batch) {
+          if (shard.dead()) {
+            // The shard failed after this request was queued: surface
+            // the same unavailability error a pre-queue check would.
+            ++slot.shed_dead;
+            continue;
+          }
+          if (item.deadline_ns != 0 && now > item.deadline_ns) {
+            ++slot.timed_out;
+            continue;
+          }
+          shard.execute(LogicalPageAddr(item.la));
+          now = now_ns();
+          const std::uint64_t latency = now - item.submit_ns;
+          slot.latency_ns.add(latency);
+          if (item.deadline_ns != 0 && now > item.deadline_ns) {
+            ++slot.deadline_overruns;
+          }
+          ++slot.accepted;
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(service_.clients);
+  for (std::uint32_t c = 0; c < service_.clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      const ClientSeeds seeds = client_seeds(config_.seed, c);
+      FleetStream stream(service_.workload, global_pages_, seeds.workload);
+      std::vector<std::vector<RtItem>> staging(shards);
+      for (auto& buf : staging) buf.reserve(kClientFlushBatch);
+      std::vector<RtClientTotals> local(shards);
+
+      const auto flush = [&](std::uint32_t s) {
+        std::vector<RtItem>& buf = staging[s];
+        if (buf.empty()) return;
+        BoundedMpscQueue<RtItem>& q = *queues[s];
+        RtClientTotals& tl = local[s];
+        tl.submitted += buf.size();
+        ServiceShard& shard = *shard_objs[s];
+        if (shard.dead()) {
+          tl.shed_unavailable += buf.size();
+          buf.clear();
+          return;
+        }
+        tl.peak_queue_depth = std::max<std::uint64_t>(
+            tl.peak_queue_depth, q.size() + buf.size());
+        if (service_.overflow == OverflowPolicy::kBlock) {
+          if (q.size() >= q.capacity()) ++tl.blocked;
+          // Cannot come up short: the queue only closes after every
+          // client has exited.
+          q.push_batch(buf.data(), buf.size());
+          buf.clear();
+          return;
+        }
+        std::size_t done = 0;
+        std::uint32_t attempt = 0;
+        while (done < buf.size()) {
+          const HealthState h = shard.health();
+          const bool unavailable = h == HealthState::kQuarantined ||
+                                   h == HealthState::kRecovering;
+          if (!unavailable) {
+            done += q.try_push_batch(buf.data() + done, buf.size() - done);
+            if (done == buf.size()) break;
+          }
+          if (attempt >= service_.max_retries) {
+            if (unavailable) {
+              tl.shed_unavailable += buf.size() - done;
+            } else {
+              tl.shed_overflow += buf.size() - done;
+            }
+            break;
+          }
+          ++tl.retries;
+          std::this_thread::sleep_for(std::chrono::nanoseconds(
+              backoff_for(service_, attempt)));
+          ++attempt;
+        }
+        buf.clear();
+      };
+
+      for (std::uint64_t seq = 0; seq < service_.requests_per_client;
+           ++seq) {
+        const std::uint32_t global = stream.next().value();
+        const auto [shard, local_la] = route(global);
+        const std::uint64_t submit = now_ns();
+        const std::uint64_t deadline =
+            service_.deadline_cycles == 0
+                ? 0
+                : submit + service_.deadline_cycles;
+        staging[shard].push_back(RtItem{local_la, submit, deadline});
+        if (staging[shard].size() >= kClientFlushBatch) flush(shard);
+      }
+      for (std::uint32_t s = 0; s < shards; ++s) flush(s);
+
+      std::lock_guard<std::mutex> lock(client_mu);
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        client_totals[s].submitted += local[s].submitted;
+        client_totals[s].shed_overflow += local[s].shed_overflow;
+        client_totals[s].shed_unavailable += local[s].shed_unavailable;
+        client_totals[s].retries += local[s].retries;
+        client_totals[s].blocked += local[s].blocked;
+        client_totals[s].peak_queue_depth =
+            std::max(client_totals[s].peak_queue_depth,
+                     local[s].peak_queue_depth);
+      }
+    });
+  }
+
+  for (std::thread& t : client_threads) t.join();
+  for (auto& q : queues) q->close();
+  for (std::thread& t : worker_threads) t.join();
+
+  const double wall =
+      static_cast<double>(now_ns() - t0) * 1e-9;
+
+  std::vector<ShardCellResult> cells(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    ShardCellResult& cell = cells[s];
+    const ServiceShard& shard = *shard_objs[s];
+    const WorkerSlot& slot = worker[s];
+    const RtClientTotals& ct = client_totals[s];
+
+    ServiceTotals st;
+    st.submitted = ct.submitted;
+    st.accepted = slot.accepted;
+    st.shed_overflow = ct.shed_overflow;
+    st.shed_unavailable = ct.shed_unavailable + slot.shed_dead;
+    st.timed_out = slot.timed_out;
+    st.retries = ct.retries;
+    st.blocked = ct.blocked;
+    st.deadline_overruns = slot.deadline_overruns;
+
+    ShardReport& rep = cell.report;
+    rep.shard = s;
+    rep.final_health = shard.health();
+    rep.dead = shard.dead();
+    rep.totals = st;
+    rep.peak_queue_depth = ct.peak_queue_depth;
+    rep.outcome = shard.outcome();
+    rep.journal_bytes = shard.journal_lifetime_bytes();
+    rep.state_digest = shard.state_digest();
+    rep.history_verified =
+        service_.verify_final_state && shard.verify_accepted_history();
+
+    MetricsRegistry& m = cell.metrics;
+    shard.publish_metrics(m);
+    m.histogram("service.request_latency_ns").merge_from(slot.latency_ns);
+    m.counter("service.submitted").add(st.submitted);
+    m.counter("service.accepted").add(st.accepted);
+    m.counter("service.shed.overflow").add(st.shed_overflow);
+    m.counter("service.shed.unavailable").add(st.shed_unavailable);
+    m.counter("service.timed_out").add(st.timed_out);
+    m.counter("service.retries").add(st.retries);
+    m.counter("service.blocked").add(st.blocked);
+    m.counter("service.deadline_overruns").add(st.deadline_overruns);
+    m.gauge("service.queue_depth_peak")
+        .set(static_cast<double>(ct.peak_queue_depth));
+  }
+
+  ServiceRunResult result = assemble(cells);
+  result.wall_seconds = wall;
+  result.requests_per_second =
+      wall > 0.0 ? static_cast<double>(result.totals.accepted) / wall : 0.0;
+  return result;
+}
+
+}  // namespace twl

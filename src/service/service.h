@@ -1,0 +1,213 @@
+// Service front-end: live concurrent clients over sharded controllers.
+//
+// ServiceFrontEnd turns the batch simulator into a request-serving
+// system: C seeded clients generate write traffic over a global logical
+// address space, a sharding policy routes each request to one of S
+// independent journaled MemoryController shards (service/shard.h), and
+// the full robustness envelope sits between them — bounded submission
+// queues with a configurable overflow policy (block, or shed with an
+// error), per-request deadlines with timeout accounting,
+// bounded-exponential-backoff retry against transiently unavailable
+// shards, and the per-shard health state machine fed by chaos injection
+// and the retirement availability signal.
+//
+// Two execution modes share the shard and accounting code:
+//
+//  * run_virtual — seeded discrete-event simulation in virtual cycles.
+//    Arrival times, deadlines, backoff and queue occupancy are all
+//    modeled analytically per shard, and each shard is one SimRunner
+//    cell, so the whole run is a pure function of (Config,
+//    ServiceConfig): byte-identical across --jobs 1 / --jobs N and
+//    across repeated runs at a fixed seed. This is the testable mode —
+//    chaos-under-load, accounting exactness and the five recovery
+//    invariants are all asserted here.
+//
+//  * run_realtime — real threads: one worker per shard popping a
+//    BoundedMpscQueue, C client threads pushing into them, wall-clock
+//    deadlines and backoff (virtual cycles are interpreted 1:1 as
+//    nanoseconds). Reports sustained requests/s and tail latency; not
+//    deterministic, but TSan-clean.
+//
+// Accounting invariant, both modes: every submitted request terminates
+// in exactly one of accepted / shed (overflow or unavailable) /
+// timed_out, so accepted + shed + timed_out == submitted — retries and
+// blocked waits are events along the way, not terminal outcomes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "fleet/chaos.h"
+#include "fleet/fleet.h"
+#include "fleet/workload.h"
+#include "obs/metrics.h"
+#include "service/shard.h"
+
+namespace twl {
+
+class JsonWriter;
+class SimRunner;
+
+enum class ShardingPolicy : std::uint8_t {
+  kHashLa = 0,  ///< shard = mix(la) % S — spreads any workload evenly.
+  kModuloLa,    ///< shard = la % S — per-rank striping, locality-blind.
+};
+
+enum class OverflowPolicy : std::uint8_t {
+  kShed = 0,  ///< Full queue: fail fast, client retries then sheds.
+  kBlock,     ///< Full queue: producer waits for space.
+};
+
+[[nodiscard]] std::string to_string(ShardingPolicy p);
+[[nodiscard]] std::string to_string(OverflowPolicy p);
+/// Throw std::invalid_argument listing the valid names on bad input.
+[[nodiscard]] ShardingPolicy parse_sharding_policy(const std::string& name);
+[[nodiscard]] OverflowPolicy parse_overflow_policy(const std::string& name);
+
+struct ServiceConfig {
+  std::uint32_t shards = 4;
+  std::uint32_t clients = 4;
+  std::uint64_t requests_per_client = 1 << 15;
+  std::string scheme_spec = "TWL";
+  ShardingPolicy sharding = ShardingPolicy::kHashLa;
+  OverflowPolicy overflow = OverflowPolicy::kShed;
+  /// Outstanding requests (queued + in service) one shard holds.
+  std::uint32_t queue_capacity = 256;
+
+  // Virtual-time request model. In real-time mode, cycle-valued knobs
+  // (deadline, backoff) are interpreted 1:1 as nanoseconds.
+  Cycles service_cycles = 600;     ///< Nominal per-write service time.
+  Cycles mean_gap_cycles = 0;      ///< Per-client inter-arrival mean; 0 =
+                                   ///< closed-loop back-to-back.
+  Cycles deadline_cycles = 0;      ///< Per-request deadline; 0 = none.
+  std::uint32_t max_retries = 3;   ///< Against unavailable/full shards.
+  Cycles backoff_base_cycles = 2000;
+  Cycles backoff_cap_cycles = 16000;
+
+  // Health state machine timing.
+  Cycles quarantine_cycles = 2000;
+  Cycles recovery_base_cycles = 8000;
+  Cycles recovery_per_replay_cycles = 50;
+  std::uint64_t degraded_window_writes = 128;
+
+  std::uint64_t snapshot_interval_writes = 4096;
+  FleetWorkload workload{};
+  ChaosProfile chaos{};
+  /// Keep the full accepted history per shard and prove zero
+  /// accepted-write loss by whole-run replay at finalization.
+  bool verify_final_state = false;
+
+  /// Throws std::invalid_argument on nonsense (zero shards/clients/
+  /// capacity, chaos combined with the fault model, ...).
+  void validate(const Config& config) const;
+};
+
+/// Terminal-outcome and event tallies, per shard and service-wide.
+struct ServiceTotals {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed_overflow = 0;
+  std::uint64_t shed_unavailable = 0;
+  std::uint64_t timed_out = 0;
+  // Non-terminal events.
+  std::uint64_t retries = 0;
+  std::uint64_t blocked = 0;
+  /// Accepted, but completed past the deadline because a crash recovery
+  /// extended the in-service time.
+  std::uint64_t deadline_overruns = 0;
+
+  [[nodiscard]] bool accounting_exact() const {
+    return accepted + shed_overflow + shed_unavailable + timed_out ==
+           submitted;
+  }
+
+  friend bool operator==(const ServiceTotals&,
+                         const ServiceTotals&) = default;
+};
+
+struct ShardReport {
+  std::uint32_t shard = 0;
+  HealthState final_health = HealthState::kHealthy;
+  bool dead = false;
+  ServiceTotals totals;  ///< This shard's slice of the traffic.
+  std::uint64_t peak_queue_depth = 0;
+  DeviceOutcome outcome;  ///< Chaos / recovery tallies.
+  std::uint64_t journal_bytes = 0;
+  std::uint32_t state_digest = 0;
+  /// verify_final_state only: whole-history replay matched byte-exactly.
+  bool history_verified = false;
+
+  friend bool operator==(const ShardReport&, const ShardReport&) = default;
+};
+
+struct ServiceRunResult {
+  std::vector<ShardReport> shards;
+  ServiceTotals totals;
+  DeviceOutcome chaos_totals;
+  /// CRC-32 over per-shard state digests: the byte-identity fingerprint.
+  std::uint32_t service_digest = 0;
+  /// Merged per-shard registries (commutative contract) plus service-wide
+  /// instruments: counters for every ServiceTotals field, the
+  /// service.request_latency histogram, queue-depth gauge/histogram.
+  MetricsRegistry metrics;
+  double latency_p50 = 0.0;  ///< Cycles (virtual) / ns (real-time).
+  double latency_p99 = 0.0;
+  // Real-time mode only (0 in virtual mode).
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;  ///< Accepted / wall.
+
+  /// One JSON object for twl-report/1 embedding.
+  void write_json(JsonWriter& w) const;
+
+  friend bool operator==(const ServiceRunResult&,
+                         const ServiceRunResult&) = default;
+};
+
+class ServiceFrontEnd {
+ public:
+  /// Validates both configs (throws std::invalid_argument).
+  ServiceFrontEnd(const Config& config, const ServiceConfig& service);
+
+  /// (shard, shard-local logical page) for a global logical page. With
+  /// kHashLa two global pages in the same S-aligned block can share a
+  /// local frame on one shard; the simulator stores no payloads, so
+  /// aliasing only shapes the per-shard workload and is benign.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> route(
+      std::uint32_t global_la) const;
+
+  /// Global logical pages clients draw from: shards * local pages.
+  [[nodiscard]] std::uint64_t global_pages() const { return global_pages_; }
+  [[nodiscard]] std::uint64_t local_pages() const { return local_pages_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const ServiceConfig& service_config() const {
+    return service_;
+  }
+
+  /// Deterministic discrete-event run; shards are SimRunner cells.
+  [[nodiscard]] ServiceRunResult run_virtual(SimRunner& runner) const;
+
+  /// Threaded run: one worker per shard + `clients` client threads.
+  [[nodiscard]] ServiceRunResult run_realtime() const;
+
+ private:
+  struct Arrival;
+  struct ShardCellResult;
+
+  [[nodiscard]] ShardParams shard_params() const;
+  [[nodiscard]] std::vector<std::vector<Arrival>> generate_arrivals() const;
+  void run_shard_cell(std::vector<Arrival> arrivals, std::uint32_t shard,
+                      ShardCellResult& out) const;
+  [[nodiscard]] ServiceRunResult assemble(
+      std::vector<ShardCellResult>& cells) const;
+
+  Config config_;
+  ServiceConfig service_;
+  std::uint64_t local_pages_ = 0;
+  std::uint64_t global_pages_ = 0;
+};
+
+}  // namespace twl

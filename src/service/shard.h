@@ -1,0 +1,198 @@
+// One service shard: a journaled MemoryController stack with crash
+// recovery, chaos injection and a health state machine.
+//
+// A shard is the unit of failure and recovery in the service front-end
+// (service/service.h). It owns a full simulation stack — PcmDevice over
+// its own process-variation draw, a wear-leveling scheme, a journaled
+// MemoryController — plus the persisted recovery artifacts (current and
+// previous snapshot, retained journal span, wear baselines) the fleet
+// harness introduced, and a seeded chaos schedule that crashes it while
+// requests are in flight.
+//
+// Unlike a fleet device, a shard has no workload stream of its own: the
+// addresses it commits arrive from live clients, so the reference
+// re-execution behind the five recovery invariants replays an *accepted
+// log* — the shard records every accepted local address since the
+// previous snapshot base, and recovery verification re-runs exactly that
+// suffix. The log is trimmed at every snapshot rotation, so its length
+// is bounded by two snapshot intervals.
+//
+// Health state machine (healthy → degraded → quarantined → recovering):
+//  * a chaos crash moves the shard to kQuarantined, then kRecovering
+//    while the snapshot+journal recovery attempt chain runs, then
+//    kDegraded for the next degraded_window_writes accepted writes
+//    before returning to kHealthy;
+//  * the PR-1 retirement feed (MemoryController::availability()) makes a
+//    shard with retired pages sticky-kDegraded, and a shard whose device
+//    failed with the spare pool exhausted permanently kQuarantined
+//    (dead()) — the front-end sheds its traffic and the rest of the
+//    service degrades gracefully instead of failing.
+//
+// Thread model: execute() and the finalization queries are single-owner
+// (one engine cell or one worker thread); health()/dead() are atomic so
+// real-time client threads may poll them concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "fleet/chaos.h"
+#include "fleet/fleet.h"
+#include "pcm/device.h"
+#include "pcm/endurance.h"
+#include "recovery/journal.h"
+#include "sim/memory_controller.h"
+
+namespace twl {
+
+class MetricsRegistry;
+class WearLeveler;
+
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,
+  kDegraded,
+  kQuarantined,
+  kRecovering,
+};
+
+[[nodiscard]] std::string to_string(HealthState s);
+
+/// Everything a shard needs beyond the base Config.
+struct ShardParams {
+  std::string scheme_spec = "TWL";
+  ChaosProfile chaos{};
+  /// Upper bound on accepted writes (sizes the chaos schedule).
+  std::uint64_t horizon_writes = 0;
+  std::uint64_t snapshot_interval_writes = 4096;
+  /// Accepted writes a shard stays kDegraded after a recovery.
+  std::uint64_t degraded_window_writes = 128;
+  Cycles quarantine_cycles = 2000;
+  Cycles recovery_base_cycles = 8000;
+  Cycles recovery_per_replay_cycles = 50;
+  /// Record the full accepted-address history so
+  /// verify_accepted_history() can prove zero accepted-write loss.
+  bool keep_history = false;
+};
+
+/// Result of one accepted write.
+struct ShardExecOutcome {
+  bool crashed = false;      ///< A chaos event hit this write.
+  bool rolled_back = false;  ///< Recovery rolled it back; it was redone.
+  std::uint64_t replayed = 0;
+  /// Virtual-time cost of the crash beyond the nominal service time:
+  /// quarantine + recovery_base + per_replay * replayed.
+  Cycles penalty_cycles = 0;
+};
+
+class ServiceShard {
+ public:
+  /// `config.seed` is the *service* seed; the shard derives its own
+  /// endurance / scheme / chaos streams from (seed, index).
+  ServiceShard(const Config& config, const ShardParams& params,
+               std::uint32_t index);
+  ~ServiceShard();
+
+  ServiceShard(const ServiceShard&) = delete;
+  ServiceShard& operator=(const ServiceShard&) = delete;
+
+  /// Commits one accepted write. Runs the chaos schedule: if an event is
+  /// due, the write is interrupted, the shard crashes, recovers through
+  /// the snapshot-fallback attempt chain, re-verifies the five recovery
+  /// invariants and re-admits the write — the caller's request is never
+  /// lost. Must not be called on a dead() shard.
+  ShardExecOutcome execute(LogicalPageAddr local_la);
+
+  [[nodiscard]] std::uint32_t index() const { return index_; }
+  [[nodiscard]] std::uint64_t logical_pages() const;
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+  [[nodiscard]] const DeviceOutcome& outcome() const { return outcome_; }
+  [[nodiscard]] const MemoryController& controller() const {
+    return *controller_;
+  }
+  [[nodiscard]] std::uint64_t journal_lifetime_bytes() const {
+    return journal_.total_bytes_appended();
+  }
+
+  /// Concurrent-safe health probes (relaxed atomics; the value is a
+  /// routing heuristic, not a synchronization point).
+  [[nodiscard]] HealthState health() const {
+    return health_.load(std::memory_order_relaxed);
+  }
+  /// Permanently failed: a page died with the spare pool exhausted. The
+  /// shard stays kQuarantined forever and accepts no further writes.
+  [[nodiscard]] bool dead() const {
+    return dead_.load(std::memory_order_relaxed);
+  }
+
+  /// CRC-32 over the final scheme snapshot body (excluding its own CRC
+  /// tail) chained into the device wear state — the byte-identity
+  /// fingerprint the determinism tests compare.
+  [[nodiscard]] std::uint32_t state_digest() const;
+
+  /// Zero accepted-write loss, end to end: re-executes the entire
+  /// accepted history on a fresh stack and compares scheme metadata
+  /// byte-for-byte. Requires keep_history and no retirement (the replay
+  /// model). Returns false if any accepted write was lost or
+  /// double-applied across all crashes and recoveries.
+  [[nodiscard]] bool verify_accepted_history() const;
+
+  /// Controller counters plus shard chaos/recovery tallies under
+  /// "service.shard." names. Commutative merges only.
+  void publish_metrics(MetricsRegistry& m) const;
+
+ private:
+  struct CrashContext;
+
+  [[nodiscard]] std::unique_ptr<WearLeveler> fresh_scheme() const;
+  [[nodiscard]] std::uint32_t log_at(std::uint64_t n) const;
+  ShardExecOutcome inject_crash(const ChaosEvent& ev, LogicalPageAddr la,
+                                std::uint64_t k);
+  [[nodiscard]] bool verify_invariants(const CrashContext& ctx,
+                                       const WearLeveler& recovered) const;
+  void rotate_snapshots();
+  void feed_availability();
+
+  std::uint32_t index_;
+  Config config_;  ///< Per-shard: service config with this shard's seed.
+  ShardParams params_;
+  EnduranceMap endurance_;
+  PcmDevice device_;
+  std::unique_ptr<WearLeveler> wl_;
+  std::unique_ptr<MemoryController> controller_;
+  MetadataJournal journal_;
+  std::vector<ChaosEvent> schedule_;
+  std::uint64_t chaos_cursor_ = 0;
+  XorShift64Star chaos_rng_;
+  std::uint64_t probe_seed_;  ///< Invariant-5 continuation probe stream.
+
+  // Persisted recovery artifacts (fleet protocol): current + previous
+  // snapshot, the journal span between them, device wear at each base.
+  std::vector<std::uint8_t> snapshot_cur_;
+  std::vector<std::uint8_t> snapshot_prev_;
+  std::vector<std::uint8_t> retained_journal_;
+  std::uint64_t base_cur_ = 0;
+  std::uint64_t base_prev_ = 0;
+  std::vector<std::uint8_t> wear_cur_;
+  std::vector<std::uint8_t> wear_prev_;
+
+  std::uint64_t accepted_ = 0;
+  /// Accepted local addresses for writes base_prev_+1 .. accepted_
+  /// (log_base_ == base_prev_): the recovery reference replay input.
+  std::vector<std::uint32_t> log_;
+  std::uint64_t log_base_ = 0;
+  std::vector<std::uint32_t> history_;  ///< keep_history only.
+
+  DeviceOutcome outcome_;
+  std::atomic<HealthState> health_{HealthState::kHealthy};
+  std::atomic<bool> dead_{false};
+  std::uint64_t degraded_remaining_ = 0;
+  bool retire_degraded_ = false;  ///< Retirement feed: sticky kDegraded.
+  std::uint32_t last_retired_ = 0;
+};
+
+}  // namespace twl

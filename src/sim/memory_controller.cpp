@@ -10,6 +10,18 @@
 
 namespace twl {
 
+std::string to_string(ControllerAvailability a) {
+  switch (a) {
+    case ControllerAvailability::kAvailable:
+      return "available";
+    case ControllerAvailability::kDegraded:
+      return "degraded";
+    case ControllerAvailability::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
 WriteCount ControllerStats::physical_writes() const {
   WriteCount total = 0;
   for (WriteCount w : writes_by_purpose) total += w;

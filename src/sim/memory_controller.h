@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/config.h"
@@ -68,6 +69,19 @@ struct ControllerStats {
   void save_state(SnapshotWriter& w) const;
   void load_state(SnapshotReader& r);
 };
+
+/// Coarse serving-fitness signal derived from the fault-tolerance state:
+/// the input a service front-end's per-shard health state machine
+/// consumes. kDegraded means the spare pool is being consumed (pages
+/// have been retired); kFailed means a page died with no spare left —
+/// the device can no longer serve its full address space.
+enum class ControllerAvailability : std::uint8_t {
+  kAvailable = 0,
+  kDegraded,
+  kFailed,
+};
+
+[[nodiscard]] std::string to_string(ControllerAvailability a);
 
 class MemoryController final : public WriteSink {
  public:
@@ -130,6 +144,15 @@ class MemoryController final : public WriteSink {
   /// not configured.
   [[nodiscard]] bool device_failed() const {
     return retirement_ ? fatal_failure_ : device_->failed();
+  }
+  /// Availability for admission control: failed once device_failed(),
+  /// degraded while retirement is consuming spares, available otherwise.
+  [[nodiscard]] ControllerAvailability availability() const {
+    if (device_failed()) return ControllerAvailability::kFailed;
+    if (stats_.pages_retired > 0 || stats_.unretired_failures > 0) {
+      return ControllerAvailability::kDegraded;
+    }
+    return ControllerAvailability::kAvailable;
   }
   [[nodiscard]] const PcmDevice& device() const { return *device_; }
   [[nodiscard]] const WearLeveler& wear_leveler() const { return *wl_; }

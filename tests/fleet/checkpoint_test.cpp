@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/config.h"
 #include "common/rng.h"
 #include "common/sim_runner.h"
@@ -156,6 +157,54 @@ TEST(Checkpoint, FileTransportRoundTripsAndReportsMissingFiles) {
 
   EXPECT_THROW((void)CheckpointManager::read_file(path + ".missing"),
                CheckpointError);
+}
+
+// --resume hands operator-supplied paths to load_for_resume, which must
+// turn any checkpoint problem into a CliError (a std::invalid_argument,
+// so run_cli_main prints message + usage and exits 2 instead of
+// std::terminate on an escaped CheckpointError). The message names the
+// offending path and the expected 'TWLC' envelope.
+TEST(Checkpoint, LoadForResumeSurfacesDamageAsCliError) {
+  const Config config = small_config();
+  const Scenario scenario = small_scenario();
+  const FleetState state = advanced_state(config, scenario);
+  const auto blob = CheckpointManager::serialize(config, scenario, state);
+
+  const auto expect_cli_error = [&](const std::string& path) {
+    try {
+      (void)CheckpointManager::load_for_resume(path, config, scenario);
+      FAIL() << "expected CliError for " << path;
+    } catch (const CliError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(path), std::string::npos) << what;
+      EXPECT_NE(what.find("TWLC"), std::string::npos) << what;
+    }
+  };
+
+  const std::string dir = ::testing::TempDir();
+  expect_cli_error(dir + "twl_resume_missing.bin");
+
+  // Truncated mid-header: shorter than the CRC tail needs.
+  const std::string truncated = dir + "twl_resume_truncated.bin";
+  CheckpointManager::write_file(
+      truncated, std::vector<std::uint8_t>(blob.begin(), blob.begin() + 3));
+  expect_cli_error(truncated);
+
+  // Corrupted first magic byte (caught by the CRC gate).
+  auto wrong_magic = blob;
+  wrong_magic[0] ^= 0xFF;
+  const std::string bad_magic = dir + "twl_resume_badmagic.bin";
+  CheckpointManager::write_file(bad_magic, wrong_magic);
+  expect_cli_error(bad_magic);
+
+  // And an intact checkpoint still resumes.
+  const std::string good = dir + "twl_resume_good.bin";
+  CheckpointManager::write_file(good, blob);
+  EXPECT_TRUE(CheckpointManager::load_for_resume(good, config, scenario) ==
+              state);
+  std::remove(truncated.c_str());
+  std::remove(bad_magic.c_str());
+  std::remove(good.c_str());
 }
 
 }  // namespace

@@ -3,9 +3,13 @@
 // malformed input must fail loudly with JsonError.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 
+#include "common/rng.h"
 #include "obs/json.h"
 
 namespace twl {
@@ -79,6 +83,89 @@ TEST(JsonParse, RejectsMalformedDocuments) {
   EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonError);
   EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), JsonError);
   EXPECT_THROW(JsonValue::parse("nul"), JsonError);
+}
+
+// Serializes one double as a bare JSON document and returns its text.
+std::string write_double(double v) {
+  JsonWriter w;
+  w.value(v);
+  return w.str();
+}
+
+// write -> parse -> write must be a bit-exact fixpoint: the parsed double
+// carries the same bit pattern (sign of zero included) and re-serializing
+// it reproduces the same text.
+void expect_double_round_trips(double v) {
+  const std::string text = write_double(v);
+  const JsonValue doc = JsonValue::parse(text);
+  const double back = doc.as_number();
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+            std::bit_cast<std::uint64_t>(v))
+      << "serialized as " << text;
+  EXPECT_EQ(write_double(back), text);
+}
+
+TEST(JsonDoubleRoundTrip, EdgeValuesSurviveBitExactly) {
+  expect_double_round_trips(0.0);
+  expect_double_round_trips(-0.0);  // Sign of zero must not be dropped.
+  expect_double_round_trips(1.0);
+  expect_double_round_trips(-1.0);
+  expect_double_round_trips(0.1);
+  expect_double_round_trips(1.0 / 3.0);
+  expect_double_round_trips(3.141592653589793);
+  expect_double_round_trips(std::numeric_limits<double>::min());
+  expect_double_round_trips(std::numeric_limits<double>::max());
+  expect_double_round_trips(std::numeric_limits<double>::denorm_min());
+  expect_double_round_trips(-std::numeric_limits<double>::denorm_min());
+  expect_double_round_trips(std::numeric_limits<double>::epsilon());
+  expect_double_round_trips(5e-324);
+  expect_double_round_trips(-1.7976931348623157e308);
+  expect_double_round_trips(9007199254740991.0);   // 2^53 - 1.
+  expect_double_round_trips(9007199254740992.0);   // 2^53.
+  expect_double_round_trips(-9007199254740993.0);  // Rounds to -2^53.
+}
+
+TEST(JsonDoubleRoundTrip, HistogramBucketEdgesSurvive) {
+  // LogHistogram bucket boundaries are powers of two across the full
+  // uint64 range; their double images must survive report round-trips.
+  for (int exp = -1074; exp <= 1023; ++exp) {
+    expect_double_round_trips(std::ldexp(1.0, exp));
+    const double mid = std::ldexp(1.0, exp) * 3.0;  // Mid-bucket.
+    if (std::isfinite(mid)) expect_double_round_trips(mid);
+  }
+  for (unsigned shift = 0; shift < 64; ++shift) {
+    const std::uint64_t edge = std::uint64_t{1} << shift;
+    expect_double_round_trips(static_cast<double>(edge));
+    expect_double_round_trips(static_cast<double>(edge - 1));
+  }
+}
+
+TEST(JsonDoubleRoundTrip, RandomBitPatternsSurvive) {
+  // Uniform random u64 bit patterns cover denormals, huge magnitudes,
+  // and every exponent; only non-finite patterns are excluded (JSON has
+  // no representation for them — they serialize as null by design).
+  SplitMix64 rng(0x6A50'4ED0'0B1E'5EEDULL);
+  int tested = 0;
+  while (tested < 20000) {
+    const double v = std::bit_cast<double>(rng.next());
+    if (!std::isfinite(v)) continue;
+    expect_double_round_trips(v);
+    ++tested;
+  }
+}
+
+TEST(JsonDoubleRoundTrip, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(write_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(write_double(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(write_double(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(JsonDoubleRoundTrip, IntegerValuedDoublesStayReadable) {
+  EXPECT_EQ(write_double(0.0), "0");
+  EXPECT_EQ(write_double(42.0), "42");
+  EXPECT_EQ(write_double(-7.0), "-7");
+  EXPECT_EQ(write_double(1000000.0), "1000000");
+  EXPECT_NE(write_double(-0.0), "0");  // The one integer-valued exception.
 }
 
 TEST(JsonValue, TypedAccessorsThrowOnMismatch) {

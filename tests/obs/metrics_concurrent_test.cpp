@@ -1,0 +1,128 @@
+// MetricsRegistry merge determinism under concurrency: N producer
+// threads merging into one registry (in whatever order the scheduler
+// picks) must equal merging the same per-producer registries in ANY
+// sequential order. This is the contract SimRunner and the service
+// front-end rely on for --jobs 1 == --jobs N identity, exercised with
+// real thread interleavings and histogram samples sitting exactly on
+// bucket boundaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace twl {
+namespace {
+
+constexpr unsigned kProducers = 8;
+
+// A deterministic per-producer registry. Producers share instrument
+// names (so merging actually combines) and include samples on every
+// log2 bucket edge: bucket_lo(i) is the first value of bucket i and
+// bucket_lo(i) - 1 the last value of bucket i - 1, the two spots where
+// an off-by-one in bucket_index would silently misplace counts.
+MetricsRegistry make_producer_registry(unsigned producer) {
+  MetricsRegistry r;
+  r.counter("shared.events").add(100 + producer);
+  r.counter("producer." + std::to_string(producer) + ".events").add(7);
+  r.gauge("shared.peak").set(static_cast<double>(producer * 3));
+
+  LogHistogram& edges = r.histogram("shared.latency");
+  for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+    const std::uint64_t lo = LogHistogram::bucket_lo(i);
+    edges.add(lo);
+    if (lo > 0) edges.add(lo - 1);  // Top of the previous bucket.
+  }
+  SplitMix64 rng(0x00D1'CE00ULL + producer);
+  LogHistogram& random = r.histogram("shared.random");
+  for (int i = 0; i < 256; ++i) random.add(rng.next() >> (i % 48));
+  return r;
+}
+
+MetricsRegistry merge_in_order(const std::vector<MetricsRegistry>& parts,
+                               const std::vector<unsigned>& order) {
+  MetricsRegistry out;
+  for (const unsigned i : order) out.merge_from(parts[i]);
+  return out;
+}
+
+TEST(MetricsConcurrent, ConcurrentMergeEqualsEverySequentialOrder) {
+  std::vector<MetricsRegistry> parts;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    parts.push_back(make_producer_registry(p));
+  }
+
+  std::vector<unsigned> order(kProducers);
+  std::iota(order.begin(), order.end(), 0u);
+  const MetricsRegistry forward = merge_in_order(parts, order);
+
+  // Every sequential order agrees (commutativity + associativity).
+  std::reverse(order.begin(), order.end());
+  EXPECT_EQ(merge_in_order(parts, order), forward);
+  SplitMix64 rng(0x0BDE'12ABu);
+  for (int trial = 0; trial < 8; ++trial) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next() % i]);
+    }
+    EXPECT_EQ(merge_in_order(parts, order), forward);
+  }
+
+  // N threads racing to merge into one registry: lock acquisition order
+  // is whatever the scheduler produces, so each run exercises a fresh
+  // interleaving — yet the result must still equal the sequential merge.
+  for (int round = 0; round < 16; ++round) {
+    MetricsRegistry shared;
+    std::mutex mu;
+    std::vector<std::thread> threads;
+    threads.reserve(kProducers);
+    for (unsigned p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&shared, &mu, &parts, p] {
+        const MetricsRegistry local = make_producer_registry(p);
+        ASSERT_EQ(local, parts[p]);  // Producer construction is pure.
+        const std::lock_guard<std::mutex> lock(mu);
+        shared.merge_from(local);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    ASSERT_EQ(shared, forward) << "round " << round;
+  }
+}
+
+TEST(MetricsConcurrent, MergedHistogramBucketEdgesLandExactly) {
+  std::vector<MetricsRegistry> parts;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    parts.push_back(make_producer_registry(p));
+  }
+  std::vector<unsigned> order(kProducers);
+  std::iota(order.begin(), order.end(), 0u);
+  const MetricsRegistry merged = merge_in_order(parts, order);
+
+  const LogHistogram* h = merged.find_histogram("shared.latency");
+  ASSERT_NE(h, nullptr);
+  // Each producer adds bucket_lo(i) (one sample in bucket i) and, for
+  // i >= 1, bucket_lo(i) - 1 == bucket_hi(i-1) - 1 (one more sample in
+  // bucket i - 1). So after the merge every bucket except the last holds
+  // exactly 2 * kProducers samples and the last holds kProducers.
+  for (std::size_t i = 0; i + 1 < LogHistogram::kBuckets; ++i) {
+    EXPECT_EQ(h->bucket_count(i), 2 * kProducers) << "bucket " << i;
+  }
+  EXPECT_EQ(h->bucket_count(LogHistogram::kBuckets - 1), kProducers);
+  EXPECT_EQ(h->min(), 0u);
+  EXPECT_EQ(h->max(), LogHistogram::bucket_lo(LogHistogram::kBuckets - 1));
+
+  // Counters summed, gauges took the max.
+  std::uint64_t expected_shared = 0;
+  for (unsigned p = 0; p < kProducers; ++p) expected_shared += 100 + p;
+  EXPECT_EQ(merged.counter_value("shared.events"), expected_shared);
+  EXPECT_EQ(merged.find_gauge("shared.peak")->value(),
+            static_cast<double>((kProducers - 1) * 3));
+}
+
+}  // namespace
+}  // namespace twl
