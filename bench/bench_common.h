@@ -10,6 +10,7 @@
 
 #include "common/cli.h"
 #include "common/config.h"
+#include "device/factory.h"
 #include "common/sim_runner.h"
 #include "analysis/report.h"
 #include "obs/report.h"
@@ -59,9 +60,27 @@ inline BenchSetup make_setup(const CliArgs& args,
   scale.seed = args.get_uint_or("seed", 20170618);
   BenchSetup setup{Config::scaled(scale), scale.pages, scale.endurance_mean,
                    /*jobs=*/1};
+  apply_device_flag(args, setup.config);
   setup.jobs = SimRunner::resolve_jobs(
       static_cast<unsigned>(args.get_uint_or("jobs", 0)));
   return setup;
+}
+
+/// One-line backend description for the banner; empty for PCM so the
+/// default banner (and every golden byte) is unchanged.
+inline std::string backend_banner_line(const Config& config) {
+  switch (config.device.backend) {
+    case DeviceBackend::kPcm:
+      return "";
+    case DeviceBackend::kNor:
+      return strfmt("backend:       nor-flash (%u-page erase blocks)\n\n",
+                    config.device.nor.pages_per_block);
+    case DeviceBackend::kHybrid:
+      return strfmt(
+          "backend:       hybrid (PCM + %u-page DRAM cache, %u-way)\n\n",
+          config.device.hybrid.cache_pages, config.device.hybrid.ways);
+  }
+  return "";
 }
 
 /// The banner reports what actually ran: every value comes from
@@ -80,6 +99,7 @@ inline void print_banner(const std::string& title, const BenchSetup& setup) {
       setup.config.endurance.mean,
       setup.config.endurance.sigma_frac * 100.0,
       static_cast<unsigned long long>(setup.config.seed));
+  std::printf("%s", backend_banner_line(setup.config).c_str());
 }
 
 /// Timing provenance for EXPERIMENTS.md: aggregate throughput of the
@@ -120,6 +140,11 @@ inline void report_banner(ReportBuilder& rep, const std::string& title,
                    setup.config.endurance.sigma_frac);
   rep.config_entry("seed", setup.config.seed);
   rep.config_entry("jobs", setup.jobs);
+  if (setup.config.device.backend != DeviceBackend::kPcm) {
+    rep.raw_text(backend_banner_line(setup.config));
+    rep.config_entry("device_backend",
+                     to_string(setup.config.device.backend));
+  }
 }
 
 /// Reporter-based runner footer: records the timing in the report AND

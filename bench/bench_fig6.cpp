@@ -33,6 +33,11 @@ constexpr const char kUsage[] =
     "cores; 1 = serial)\n"
     "  --format F             report format: text (default), json, csv\n"
     "  --out FILE             write the report to FILE instead of stdout\n"
+    "  --device B             storage backend: pcm (default), nor, hybrid\n"
+    "  --nor-block-pages N    NOR erase-block size in pages (default 16)\n"
+    "  --hybrid-cache-pages N  hybrid DRAM cache capacity in pages "
+    "(default 64)\n"
+    "  --hybrid-ways N        hybrid cache associativity (default 4)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {

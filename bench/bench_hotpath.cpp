@@ -48,6 +48,10 @@ double seconds_since(Clock::time_point t0) {
 // loop that produced it.
 volatile std::uint64_t g_sink = 0;
 
+/// Backend selection from --device, applied to every config this binary
+/// builds (single-threaded main, set once before any bench runs).
+DeviceParams g_device{};
+
 Config bench_config(std::uint64_t pages, std::uint64_t seed, bool cache_on) {
   SimScale scale;
   scale.pages = pages;
@@ -60,6 +64,7 @@ Config bench_config(std::uint64_t pages, std::uint64_t seed, bool cache_on) {
   // measure conflict misses.
   config.hotpath.cache_entries =
       static_cast<std::uint32_t>(pages < (1u << 20) ? pages : (1u << 20));
+  config.device = g_device;
   return config;
 }
 
@@ -91,7 +96,7 @@ std::uint32_t crc_u64(std::uint64_t v, std::uint32_t seed) {
 /// on/off and batch/single must agree byte for byte.
 std::uint32_t state_digest(const MemoryController& mc) {
   std::uint32_t c = 0;
-  const PcmDevice& dev = mc.device();
+  const Device& dev = mc.device();
   for (std::uint64_t pa = 0; pa < dev.pages(); ++pa) {
     c = crc_u64(dev.writes(PhysicalPageAddr(static_cast<std::uint32_t>(pa))),
                 c);
@@ -116,9 +121,9 @@ EndToEndResult run_end_to_end(const std::string& spec,
   for (unsigned rep = 0; rep < reps; ++rep) {
     const Config config = bench_config(pages, seed, cache_on);
     const EnduranceMap map(pages, config.endurance, config.seed);
-    PcmDevice device(map);
+    const auto device = make_latch_device(map, config);
     const auto wl = make_wear_leveler_spec(spec, map, config);
-    MemoryController mc(device, *wl, config, /*enable_timing=*/false);
+    MemoryController mc(*device, *wl, config, /*enable_timing=*/false);
     MetadataJournal journal;
     mc.attach_journal(&journal);
 
@@ -269,6 +274,11 @@ std::string hex_digest(std::uint32_t d) {
 
 int bench_main(const CliArgs& args) {
   const std::uint64_t pages = args.get_uint_or("pages", 4096);
+  {
+    Config devcfg;
+    apply_device_flag(args, devcfg);
+    g_device = devcfg.device;
+  }
   const std::uint64_t writes = args.get_uint_or("writes", 200000);
   const std::uint64_t seed = args.get_uint_or("seed", 20170618);
   const auto reps = static_cast<unsigned>(args.get_uint_or("reps", 5));
@@ -414,6 +424,7 @@ int main(int argc, const char** argv) {
       "  --schemes A,B,...      scheme specs (default StartGap,SR,RBSG,TWL)\n"
       "  --hotpath-cache B      pin the translation-cache axis (A/B mode)\n"
       "  --batch B              pin the batch-submit axis (A/B mode)\n"
+      + std::string(twl::kDeviceUsage)
       + std::string(twl::bench::kReportUsage),
       twl::bench_main);
 }

@@ -3,6 +3,7 @@
 // the attacker observes through the response-time side channel.
 //
 //   ./attack_demo [--pages N] [--endurance E] [--scheme BWL|WRL|TWL|SR]
+#include "device/factory.h"
 #include "analysis/extrapolate.h"
 #include "analysis/report.h"
 #include "common/cli.h"
@@ -20,6 +21,11 @@ constexpr const char kUsage[] =
     "  --seed S        RNG seed\n"
     "  --format F      report format: text (default), json, csv\n"
     "  --out FILE      write the report to FILE instead of stdout\n"
+    "  --device B             storage backend: pcm (default), nor, hybrid\n"
+    "  --nor-block-pages N    NOR erase-block size in pages (default 16)\n"
+    "  --hybrid-cache-pages N  hybrid DRAM cache capacity in pages "
+    "(default 64)\n"
+    "  --hybrid-ways N        hybrid cache associativity (default 4)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -28,7 +34,8 @@ int run_impl(const twl::CliArgs& args) {
   scale.pages = static_cast<std::uint64_t>(args.get_int_or("pages", 1024));
   scale.endurance_mean = args.get_double_or("endurance", 32768);
   scale.seed = args.get_uint_or("seed", scale.seed);
-  const Config config = Config::scaled(scale);
+  Config config = Config::scaled(scale);
+  apply_device_flag(args, config);
 
   ReportBuilder rep("attack_demo",
                     parse_report_format(args.get_or("format", "text")),

@@ -8,8 +8,8 @@
 #include "analysis/report.h"
 #include "common/cli.h"
 #include "common/config.h"
+#include "device/factory.h"
 #include "obs/report.h"
-#include "pcm/device.h"
 #include "recovery/journal.h"
 #include "recovery/recovery.h"
 #include "recovery/snapshot.h"
@@ -30,6 +30,11 @@ constexpr const char kUsage[] =
     "  --seed S        RNG seed (default 42)\n"
     "  --format F      report format: text (default), json, csv\n"
     "  --out FILE      write the report to FILE instead of stdout\n"
+    "  --device B             storage backend: pcm (default), nor, hybrid\n"
+    "  --nor-block-pages N    NOR erase-block size in pages (default 16)\n"
+    "  --hybrid-cache-pages N  hybrid DRAM cache capacity in pages "
+    "(default 64)\n"
+    "  --hybrid-ways N        hybrid cache associativity (default 4)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -39,7 +44,8 @@ int run_impl(const twl::CliArgs& args) {
   scale.pages = args.get_uint_or("pages", 256);
   scale.endurance_mean = 1e6;  // Nothing wears out in this walkthrough.
   scale.seed = args.get_uint_or("seed", 42);
-  const Config config = Config::scaled(scale);
+  Config config = Config::scaled(scale);
+  apply_device_flag(args, config);
   config.validate();
   const std::uint64_t writes = args.get_uint_or("writes", 1000);
   const std::uint64_t crash_at = args.get_uint_or("crash-at", 3);
@@ -59,7 +65,8 @@ int run_impl(const twl::CliArgs& args) {
   //    SwapIntent -> SwapCommit protocol.
   const EnduranceMap endurance(config.geometry.pages(), config.endurance,
                                config.seed);
-  PcmDevice device(endurance, config.fault, config.seed);
+  const auto device_ptr = make_device(endurance, config);
+  Device& device = *device_ptr;
   const auto wl = make_wear_leveler_spec("TWL", endurance, config);
   MemoryController controller(device, *wl, config, /*enable_timing=*/false);
   MetadataJournal journal;
@@ -136,7 +143,8 @@ int run_impl(const twl::CliArgs& args) {
   //    the committed writes.
   const auto reference = make_wear_leveler_spec("TWL", endurance, config);
   {
-    PcmDevice ref_device(endurance, config.fault, config.seed);
+    const auto ref_device_ptr = make_device(endurance, config);
+    Device& ref_device = *ref_device_ptr;
     MemoryController ref_controller(ref_device, *reference, config,
                                     /*enable_timing=*/false);
     SyntheticTrace replayed(wp, "zipf");

@@ -8,6 +8,7 @@
 #include "analysis/report.h"
 #include "common/cli.h"
 #include "common/config.h"
+#include "device/factory.h"
 #include "obs/report.h"
 #include "sim/fault_sim.h"
 #include "sim/lifetime_sim.h"
@@ -27,6 +28,11 @@ constexpr const char kUsage[] =
     "  --seed S        RNG seed (default 1)\n"
     "  --format F      report format: text (default), json, csv\n"
     "  --out FILE      write the report to FILE instead of stdout\n"
+    "  --device B             storage backend: pcm (default), nor, hybrid\n"
+    "  --nor-block-pages N    NOR erase-block size in pages (default 16)\n"
+    "  --hybrid-cache-pages N  hybrid DRAM cache capacity in pages "
+    "(default 64)\n"
+    "  --hybrid-ways N        hybrid cache associativity (default 4)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -41,6 +47,14 @@ int run_impl(const twl::CliArgs& args) {
   ReportBuilder rep("fault_tolerance",
                     parse_report_format(args.get_or("format", "text")),
                     args.get_or("out", ""));
+  // Consume the canonical device flags before the unconsumed check; the
+  // ECP/spare stages reject non-PCM backends in Config::validate.
+  DeviceParams device_params;
+  {
+    Config devcfg;
+    apply_device_flag(args, devcfg);
+    device_params = devcfg.device;
+  }
   args.reject_unconsumed();
 
   rep.begin_report("Fault tolerance & graceful degradation");
@@ -67,7 +81,8 @@ int run_impl(const twl::CliArgs& args) {
 
   // 1. Baseline: the paper's model. One dead page ends the device.
   {
-    const Config config = Config::scaled(scale);
+    Config config = Config::scaled(scale);
+    config.device = device_params;
     LifetimeSimulator sim(config);
     auto source = make_source(scale.pages);
     const auto r = sim.run(scheme, source, cap);
@@ -84,6 +99,7 @@ int run_impl(const twl::CliArgs& args) {
   //    (k+1)-th still kills the device.
   {
     Config config = Config::scaled(scale);
+    config.device = device_params;
     config.fault.ecp_k = ecp_k;
     FaultSimulator sim(config);
     auto source = make_source(scale.pages);
@@ -106,6 +122,7 @@ int run_impl(const twl::CliArgs& args) {
   //    the device keeps serving until the pool runs dry.
   {
     Config config = Config::scaled(scale);
+    config.device = device_params;
     config.fault.ecp_k = ecp_k;
     config.fault.spare_pages = static_cast<std::uint64_t>(
         static_cast<double>(scale.pages) * spare_frac);

@@ -11,6 +11,7 @@
 #include "analysis/report.h"
 #include "common/cli.h"
 #include "common/config.h"
+#include "device/factory.h"
 #include "common/sim_runner.h"
 #include "fleet/checkpoint.h"
 #include "fleet/fleet.h"
@@ -28,6 +29,11 @@ constexpr const char kUsage[] =
     "  --seed S         RNG seed (default 20170618)\n"
     "  --format F       report format: text (default), json, csv\n"
     "  --out FILE       write the report to FILE instead of stdout\n"
+    "  --device B             storage backend: pcm (default), nor, hybrid\n"
+    "  --nor-block-pages N    NOR erase-block size in pages (default 16)\n"
+    "  --hybrid-cache-pages N  hybrid DRAM cache capacity in pages "
+    "(default 64)\n"
+    "  --hybrid-ways N        hybrid cache associativity (default 4)\n"
     "  --help           show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -37,7 +43,8 @@ int run_impl(const twl::CliArgs& args) {
   scale.pages = args.get_uint_or("pages", 64);
   scale.endurance_mean = 1e6;  // Chaos, not wear-out, ends these runs.
   scale.seed = args.get_uint_or("seed", 20170618);
-  const Config config = Config::scaled(scale);
+  Config config = Config::scaled(scale);
+  apply_device_flag(args, config);
   const std::string name = args.get_or("scenario", "soak_attack_fleet");
 
   ReportBuilder rep("fleet_soak",

@@ -4,6 +4,7 @@
 // less swap overhead, so the largest admissible interval wins.
 //
 //   ./interval_tuning [--pages N] [--endurance E] [--floor-years Y]
+#include "device/factory.h"
 #include "analysis/extrapolate.h"
 #include "analysis/report.h"
 #include "common/cli.h"
@@ -21,6 +22,11 @@ constexpr const char kUsage[] =
     "  --seed S         RNG seed\n"
     "  --format F       report format: text (default), json, csv\n"
     "  --out FILE       write the report to FILE instead of stdout\n"
+    "  --device B             storage backend: pcm (default), nor, hybrid\n"
+    "  --nor-block-pages N    NOR erase-block size in pages (default 16)\n"
+    "  --hybrid-cache-pages N  hybrid DRAM cache capacity in pages "
+    "(default 64)\n"
+    "  --hybrid-ways N        hybrid cache associativity (default 4)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -52,6 +58,7 @@ int run_impl(const twl::CliArgs& args) {
   table.add_row({"interval", "scan lifetime", "extra writes", "verdict"});
   for (const std::uint32_t interval : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
     Config config = Config::scaled(scale);
+    apply_device_flag(args, config);
     config.twl.tossup_interval = interval;
     AttackSimulator sim(config);
     ScanAttack scan(scale.pages);

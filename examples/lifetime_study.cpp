@@ -6,6 +6,7 @@
 //   ./lifetime_study [--pages N] [--endurance E] [--top-frac F] [--jobs N]
 #include <vector>
 
+#include "device/factory.h"
 #include "analysis/report.h"
 #include "common/cli.h"
 #include "common/sim_runner.h"
@@ -27,6 +28,11 @@ constexpr const char kUsage[] =
     "1 = serial)\n"
     "  --format F      report format: text (default), json, csv\n"
     "  --out FILE      write the report to FILE instead of stdout\n"
+    "  --device B             storage backend: pcm (default), nor, hybrid\n"
+    "  --nor-block-pages N    NOR erase-block size in pages (default 16)\n"
+    "  --hybrid-cache-pages N  hybrid DRAM cache capacity in pages "
+    "(default 64)\n"
+    "  --hybrid-ways N        hybrid cache associativity (default 4)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -67,7 +73,9 @@ int run_impl(const twl::CliArgs& args) {
     scale.endurance_mean = endurance;
     scale.endurance_sigma_frac = sigma;
     scale.seed = seed;
-    sims.emplace_back(Config::scaled(scale));
+    Config config = Config::scaled(scale);
+    apply_device_flag(args, config);
+    sims.emplace_back(config);
   }
 
   std::vector<double> out(sigmas.size() * schemes.size(), 0.0);

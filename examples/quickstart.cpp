@@ -6,6 +6,7 @@
 #include "analysis/report.h"
 #include "common/cli.h"
 #include "common/config.h"
+#include "device/factory.h"
 #include "common/stats.h"
 #include "obs/report.h"
 #include "sim/lifetime_sim.h"
@@ -22,6 +23,11 @@ constexpr const char kUsage[] =
     "  --seed S        RNG seed (default 1)\n"
     "  --format F      report format: text (default), json, csv\n"
     "  --out FILE      write the report to FILE instead of stdout\n"
+    "  --device B             storage backend: pcm (default), nor, hybrid\n"
+    "  --nor-block-pages N    NOR erase-block size in pages (default 16)\n"
+    "  --hybrid-cache-pages N  hybrid DRAM cache capacity in pages "
+    "(default 64)\n"
+    "  --hybrid-ways N        hybrid cache associativity (default 4)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -33,7 +39,8 @@ int run_impl(const twl::CliArgs& args) {
   scale.pages = static_cast<std::uint64_t>(args.get_int_or("pages", 1024));
   scale.endurance_mean = args.get_double_or("endurance", 8192);
   scale.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
-  const Config config = Config::scaled(scale);
+  Config config = Config::scaled(scale);
+  apply_device_flag(args, config);
 
   ReportBuilder rep("quickstart",
                     parse_report_format(args.get_or("format", "text")),

@@ -14,6 +14,7 @@
 #include "analysis/report.h"
 #include "common/cli.h"
 #include "common/config.h"
+#include "device/factory.h"
 #include "common/sim_runner.h"
 #include "obs/report.h"
 #include "service/service.h"
@@ -32,6 +33,11 @@ constexpr const char kUsage[] =
     "  --seed S         RNG seed (default 20170618)\n"
     "  --format F       report format: text (default), json, csv\n"
     "  --out FILE       write the report to FILE instead of stdout\n"
+    "  --device B             storage backend: pcm (default), nor, hybrid\n"
+    "  --nor-block-pages N    NOR erase-block size in pages (default 16)\n"
+    "  --hybrid-cache-pages N  hybrid DRAM cache capacity in pages "
+    "(default 64)\n"
+    "  --hybrid-ways N        hybrid cache associativity (default 4)\n"
     "  --help           show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -41,7 +47,8 @@ int run_impl(const twl::CliArgs& args) {
   scale.pages = args.get_uint_or("pages", 64);
   scale.endurance_mean = 1e6;  // Chaos, not wear-out, is today's threat.
   scale.seed = args.get_uint_or("seed", 20170618);
-  const Config config = Config::scaled(scale);
+  Config config = Config::scaled(scale);
+  apply_device_flag(args, config);
 
   ServiceConfig service;
   service.shards = static_cast<std::uint32_t>(args.get_uint_or("shards", 4));

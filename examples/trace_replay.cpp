@@ -4,6 +4,7 @@
 // methodology, minus gem5).
 //
 //   ./trace_replay [--pages N] [--endurance E] [--trace PATH]
+#include "device/factory.h"
 #include "analysis/report.h"
 #include "common/cli.h"
 #include "obs/report.h"
@@ -23,6 +24,11 @@ constexpr const char kUsage[] =
     "  --seed S        RNG seed\n"
     "  --format F      report format: text (default), json, csv\n"
     "  --out FILE      write the report to FILE instead of stdout\n"
+    "  --device B             storage backend: pcm (default), nor, hybrid\n"
+    "  --nor-block-pages N    NOR erase-block size in pages (default 16)\n"
+    "  --hybrid-cache-pages N  hybrid DRAM cache capacity in pages "
+    "(default 64)\n"
+    "  --hybrid-ways N        hybrid cache associativity (default 4)\n"
     "  --help          show this message\n";
 
 int run_impl(const twl::CliArgs& args) {
@@ -32,7 +38,8 @@ int run_impl(const twl::CliArgs& args) {
   scale.endurance_mean = args.get_double_or("endurance", 4096);
   scale.seed = args.get_uint_or("seed", scale.seed);
   const std::string path = args.get_or("trace", "/tmp/twl_demo.trc");
-  const Config config = Config::scaled(scale);
+  Config config = Config::scaled(scale);
+  apply_device_flag(args, config);
 
   ReportBuilder rep("trace_replay",
                     parse_report_format(args.get_or("format", "text")),

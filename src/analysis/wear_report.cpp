@@ -9,6 +9,7 @@
 #include "analysis/report.h"
 #include "common/stats.h"
 #include "obs/json.h"
+#include "pcm/fault_model.h"
 
 namespace twl {
 
@@ -43,7 +44,7 @@ double gini_coefficient(std::vector<double> values) {
   return 2.0 * weighted / (n * total) - (n + 1.0) / n;
 }
 
-WearSummary summarize_wear(const PcmDevice& device) {
+WearSummary summarize_wear(const Device& device) {
   std::vector<double> fractions = device.wear_fractions();
   WearSummary s;
   RunningStats stats;
@@ -93,7 +94,7 @@ std::string format_wear_summary(const WearSummary& s) {
   return out.str();
 }
 
-std::uint64_t write_wear_csv(const PcmDevice& device,
+std::uint64_t write_wear_csv(const Device& device,
                              const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "pcm/device.h"
+#include "device/device.h"
 
 namespace twl {
 
@@ -36,8 +36,8 @@ struct WearSummary {
   void write_json(JsonWriter& w) const;
 };
 
-/// Summary of the device's current wear fractions.
-[[nodiscard]] WearSummary summarize_wear(const PcmDevice& device);
+/// Summary of the device's current wear fractions (any backend).
+[[nodiscard]] WearSummary summarize_wear(const Device& device);
 
 /// Gini coefficient of a non-negative sample (0 = all equal, ->1 = all
 /// mass on one element). Exposed for tests.
@@ -49,7 +49,7 @@ struct WearSummary {
 /// CSV with one row per page: page,endurance,writes,fraction.
 /// Returns the number of rows written. Throws std::runtime_error if the
 /// file cannot be opened.
-std::uint64_t write_wear_csv(const PcmDevice& device,
+std::uint64_t write_wear_csv(const Device& device,
                              const std::string& path);
 
 }  // namespace twl

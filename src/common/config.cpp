@@ -83,6 +83,21 @@ void Config::validate() const {
                std::to_string(geometry.pages()) + " pages)");
   }
 
+  require(device.nor.pages_per_block > 0, "device.nor.pages_per_block",
+          "must be > 0");
+  require(device.nor.erase_cycles > 0, "device.nor.erase_cycles",
+          "must be > 0");
+  require(device.hybrid.cache_pages > 0, "device.hybrid.cache_pages",
+          "must be > 0");
+  require(device.hybrid.ways > 0, "device.hybrid.ways", "must be > 0");
+  require(device.hybrid.cache_pages % device.hybrid.ways == 0,
+          "device.hybrid.cache_pages", "must be a multiple of hybrid.ways");
+  if (device.backend != DeviceBackend::kPcm && fault.enabled()) {
+    reject("device.backend",
+           "the stuck-at fault model and page retirement are PCM-only "
+           "(ecp_k and spare_pages must be 0 for non-PCM backends)");
+  }
+
   require(!hotpath.translation_cache || hotpath.cache_entries > 0,
           "hotpath.cache_entries", "must be > 0 when the cache is enabled");
 

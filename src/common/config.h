@@ -200,6 +200,51 @@ struct FaultParams {
   }
 };
 
+/// Storage substrate the simulation stack runs over (src/device/). kPcm
+/// is the paper's Table-1 device and the default everywhere; the other
+/// backends open the storage-stack and embedded scenarios the ROADMAP
+/// names. Parsing/printing lives in device/factory.h so every binary
+/// shares one --device vocabulary.
+enum class DeviceBackend : std::uint8_t {
+  kPcm = 0,    ///< Write-in-place PCM, per-page endurance (Table 1).
+  kNor,        ///< NOR-flash block device: erase-before-write,
+               ///< per-erase-block endurance.
+  kHybrid,     ///< DRAM write-back cache in front of a PCM backend.
+};
+
+/// NOR-flash block-device model (DeviceBackend::kNor). Endurance is
+/// consumed by *block erases*, not page programs: each erase block's
+/// cycle budget is the minimum manufacturer-tested endurance of its
+/// member pages (the conservative reading of the per-page PV map).
+struct NorParams {
+  /// Pages per erase block. Device page count need not divide evenly;
+  /// the last block is simply smaller.
+  std::uint32_t pages_per_block = 16;
+  /// Block-erase service time on the request path (NOR erases are
+  /// milliseconds against microsecond programs; 2e6 cycles = 1 ms at the
+  /// Table-1 2 GHz clock).
+  Cycles erase_cycles = 2'000'000;
+};
+
+/// DRAM-cache-fronted hybrid (DeviceBackend::kHybrid): a set-associative
+/// write-back cache absorbs hot page writes before they reach the
+/// endurance-limited PCM backend; only dirty evictions charge wear. The
+/// cache is modeled as flushed-on-crash (battery-backed controller DRAM),
+/// so its metadata checkpoints with the device state and the two-phase
+/// journaling recovery contract carries over unchanged (DESIGN.md §14).
+struct HybridParams {
+  std::uint32_t cache_pages = 64;  ///< Total cache capacity in pages.
+  std::uint32_t ways = 4;          ///< Associativity (divides cache_pages).
+};
+
+/// Backend selection plus per-backend knobs, bundled so one Config fully
+/// describes the simulated device stack.
+struct DeviceParams {
+  DeviceBackend backend = DeviceBackend::kPcm;
+  NorParams nor{};
+  HybridParams hybrid{};
+};
+
 /// Controller hot-path (translate -> DCW -> wear update) tuning knobs.
 /// These are pure performance options: with the cache on or off, batch
 /// submission or per-write submission, the physical write stream is
@@ -250,6 +295,7 @@ struct Config {
   StartGapParams start_gap{};
   RbsgParams rbsg{};
   FaultParams fault{};
+  DeviceParams device{};
   HotpathParams hotpath{};
   RealSystem real{};
   std::uint64_t seed = 20170618;

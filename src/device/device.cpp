@@ -1,0 +1,19 @@
+#include "device/device.h"
+
+#include <stdexcept>
+
+namespace twl {
+
+Cycles Device::apply_erase(PhysicalPageAddr pa,
+                           std::vector<PhysicalPageAddr>& newly_worn) {
+  (void)pa;
+  (void)newly_worn;
+  return 0;
+}
+
+const StuckAtFaultModel& Device::fault_model() const {
+  throw std::logic_error(
+      "fault_model() queried on a device without a stuck-at fault model");
+}
+
+}  // namespace twl

@@ -1,0 +1,106 @@
+// Device concept: the storage substrate under the memory controller.
+//
+// Everything above this interface — wear-leveling schemes, the
+// MemoryController, the recovery/fleet/service stacks and every bench —
+// is substrate-agnostic: it sees read/write/erase granularity, an
+// endurance model, a latency surcharge channel, fault/retirement hooks
+// (the newly-worn queue) and checkpointable state. The backends are:
+//
+//  * PcmDevice (pcm/device.h)        — write-in-place PCM, per-page
+//    endurance, the paper's Table-1 device and the default everywhere;
+//  * NorFlashDevice (device/nor_flash.h) — NOR-flash block device with
+//    erase-before-write semantics and per-erase-block endurance;
+//  * HybridDevice (device/hybrid.h)  — a DRAM write-back cache in front
+//    of a PCM backend that absorbs hot writes before they cost wear.
+//
+// Contract notes:
+//  * apply_write() is the single wear-charging entry point. It reports
+//    pages that crossed from serviceable to worn out by *appending* to
+//    the caller's queue rather than returning one address, because a
+//    write can wear a page other than its target (a hybrid write-back
+//    eviction) or several pages at once (a NOR block crossing its erase
+//    budget kills every page in the block).
+//  * The returned Cycles are the backend's service-time surcharge beyond
+//    the shared PCM timing model (pcm/timing.h) — 0 for PCM, the block
+//    erase time when a NOR write triggers a read-modify-erase-write.
+//    The controller adds them to the request's op chain.
+//  * save_state/load_state serialize the complete mutable state, so
+//    checkpoint/resume and the recovery reference replays stay byte-
+//    exact for every backend. PcmDevice's wire format is frozen (fleet
+//    state digests are built on it); the newer backends tag their
+//    payloads with a magic word and validate erase-unit-count vs
+//    page-count vector sizes on load.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "pcm/endurance.h"
+
+namespace twl {
+
+class SnapshotReader;
+class SnapshotWriter;
+class StuckAtFaultModel;
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  [[nodiscard]] virtual DeviceBackend backend() const = 0;
+  [[nodiscard]] virtual std::uint64_t pages() const = 0;
+  /// Pages per erase unit: 1 for write-in-place backends (PCM, hybrid),
+  /// the block size for NOR flash.
+  [[nodiscard]] virtual std::uint32_t erase_unit_pages() const { return 1; }
+
+  /// Apply one page write. Appends every page this write moved from
+  /// serviceable to worn out onto `newly_worn` (possibly none, possibly
+  /// several, possibly a page other than `pa` — see the header comment).
+  /// Returns the backend's extra service cycles beyond the PCM timing
+  /// model.
+  virtual Cycles apply_write(PhysicalPageAddr pa,
+                             std::vector<PhysicalPageAddr>& newly_worn) = 0;
+
+  /// Erase the erase unit containing `pa` (block-granularity backends;
+  /// driven by FTL-style schemes through WriteSink::erase_unit). Default:
+  /// no-op returning 0 — write-in-place backends have nothing to erase.
+  virtual Cycles apply_erase(PhysicalPageAddr pa,
+                             std::vector<PhysicalPageAddr>& newly_worn);
+
+  // ---- Endurance / wear model.
+  [[nodiscard]] virtual WriteCount writes(PhysicalPageAddr pa) const = 0;
+  /// Manufacturer-tested cycle budget governing `pa` (per page for PCM,
+  /// its erase block's budget for NOR).
+  [[nodiscard]] virtual std::uint64_t endurance(PhysicalPageAddr pa) const = 0;
+  /// The per-page process-variation map the device was built over.
+  [[nodiscard]] virtual const EnduranceMap& endurance_map() const = 0;
+  [[nodiscard]] virtual bool worn_out(PhysicalPageAddr pa) const = 0;
+  /// Fraction of each page's cycle budget consumed (report view).
+  [[nodiscard]] virtual std::vector<double> wear_fractions() const = 0;
+
+  // ---- Failure latch (the lifetime event every experiment measures).
+  [[nodiscard]] virtual bool failed() const = 0;
+  [[nodiscard]] virtual std::optional<PhysicalPageAddr> first_failed_page()
+      const = 0;
+  [[nodiscard]] virtual std::optional<WriteCount> writes_at_first_failure()
+      const = 0;
+  /// Total wear-charged page writes applied so far.
+  [[nodiscard]] virtual WriteCount total_writes() const = 0;
+
+  /// Stuck-at fault model hooks (PCM only; see pcm/fault_model.h).
+  [[nodiscard]] virtual bool has_fault_model() const { return false; }
+  /// Valid only when has_fault_model(); the default throws.
+  [[nodiscard]] virtual const StuckAtFaultModel& fault_model() const;
+
+  /// Reset wear (new device, same PV map).
+  virtual void reset_wear() = 0;
+
+  // ---- Checkpoint/resume (fleet, service and recovery stacks).
+  virtual void save_state(SnapshotWriter& w) const = 0;
+  virtual void load_state(SnapshotReader& r) = 0;
+};
+
+}  // namespace twl

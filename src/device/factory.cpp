@@ -1,0 +1,77 @@
+#include "device/factory.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "device/hybrid.h"
+#include "device/nor_flash.h"
+#include "pcm/device.h"
+
+namespace twl {
+
+std::string to_string(DeviceBackend backend) {
+  switch (backend) {
+    case DeviceBackend::kPcm:
+      return "pcm";
+    case DeviceBackend::kNor:
+      return "nor";
+    case DeviceBackend::kHybrid:
+      return "hybrid";
+  }
+  throw std::logic_error("unknown DeviceBackend");
+}
+
+const std::string& valid_device_backend_names() {
+  static const std::string names = "pcm, nor, hybrid";
+  return names;
+}
+
+DeviceBackend parse_device_backend(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "pcm") return DeviceBackend::kPcm;
+  if (lower == "nor" || lower == "nor-flash") return DeviceBackend::kNor;
+  if (lower == "hybrid") return DeviceBackend::kHybrid;
+  throw std::invalid_argument("unknown device backend '" + name +
+                              "' (valid: " + valid_device_backend_names() +
+                              ")");
+}
+
+std::unique_ptr<Device> make_device(const EnduranceMap& endurance,
+                                    const Config& config) {
+  switch (config.device.backend) {
+    case DeviceBackend::kPcm:
+      return std::make_unique<PcmDevice>(endurance, config.fault, config.seed);
+    case DeviceBackend::kNor:
+      return std::make_unique<NorFlashDevice>(endurance, config.device.nor);
+    case DeviceBackend::kHybrid:
+      return std::make_unique<HybridDevice>(endurance, config.device.hybrid);
+  }
+  throw std::logic_error("unknown DeviceBackend");
+}
+
+std::unique_ptr<Device> make_latch_device(const EnduranceMap& endurance,
+                                          const Config& config) {
+  if (config.device.backend == DeviceBackend::kPcm) {
+    return std::make_unique<PcmDevice>(endurance);
+  }
+  // The non-PCM backends have no fault model, so the latch construction
+  // is the only construction.
+  return make_device(endurance, config);
+}
+
+void apply_device_flag(const CliArgs& args, Config& config) {
+  config.device.backend = parse_device_backend(
+      args.get_or("device", to_string(config.device.backend)));
+  config.device.nor.pages_per_block = static_cast<std::uint32_t>(
+      args.get_uint_or("nor-block-pages", config.device.nor.pages_per_block));
+  config.device.hybrid.cache_pages = static_cast<std::uint32_t>(
+      args.get_uint_or("hybrid-cache-pages",
+                       config.device.hybrid.cache_pages));
+  config.device.hybrid.ways = static_cast<std::uint32_t>(
+      args.get_uint_or("hybrid-ways", config.device.hybrid.ways));
+}
+
+}  // namespace twl

@@ -1,0 +1,62 @@
+// Device backend registry: names, CLI wiring and construction.
+//
+// Mirrors the wear-leveler factory (wl/factory.h): a canonical name per
+// backend, a parse function whose error message lists the valid names,
+// and make_* functions that map a Config onto a concrete Device.
+//
+// Two construction entry points exist on purpose:
+//  * make_device()       — honors Config::fault for the PCM backend (the
+//    single-machine simulators construct their devices with the fault
+//    model when configured);
+//  * make_latch_device() — always the binary wear-out latch, ignoring
+//    Config::fault (the fleet, service and recovery-replay stacks
+//    checkpoint device state, and the fault model's RNG stream is not
+//    checkpointable; those stacks have always built latch-only devices).
+// Collapsing the two would silently change which model a service shard
+// runs when a config enables ECP without chaos.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/cli.h"
+#include "common/config.h"
+#include "device/device.h"
+#include "pcm/endurance.h"
+
+namespace twl {
+
+[[nodiscard]] std::string to_string(DeviceBackend backend);
+
+/// Case-insensitive backend lookup; throws std::invalid_argument listing
+/// valid_device_backend_names() for unknown names.
+[[nodiscard]] DeviceBackend parse_device_backend(const std::string& name);
+
+/// "pcm, nor, hybrid" — for usage text and error messages.
+[[nodiscard]] const std::string& valid_device_backend_names();
+
+/// Construct the configured backend over `endurance`. PCM honors
+/// config.fault (see header comment).
+[[nodiscard]] std::unique_ptr<Device> make_device(const EnduranceMap& endurance,
+                                                  const Config& config);
+
+/// Construct the configured backend with the binary wear-out latch,
+/// ignoring config.fault (fleet/service/replay stacks — see header
+/// comment).
+[[nodiscard]] std::unique_ptr<Device> make_latch_device(
+    const EnduranceMap& endurance, const Config& config);
+
+/// Reads the canonical --device flag (plus the backend knob flags below)
+/// into config.device. Shared by every bench and example binary; unknown
+/// backend names fail with the valid-name list.
+void apply_device_flag(const CliArgs& args, Config& config);
+
+/// Usage-text block for the flags apply_device_flag consumes.
+inline constexpr const char kDeviceUsage[] =
+    "  --device B           storage backend: pcm (default), nor, hybrid\n"
+    "  --nor-block-pages N  NOR erase-block size in pages (default 16)\n"
+    "  --hybrid-cache-pages N  hybrid DRAM cache capacity in pages "
+    "(default 64)\n"
+    "  --hybrid-ways N      hybrid cache associativity (default 4)\n";
+
+}  // namespace twl

@@ -1,0 +1,141 @@
+#include "device/hybrid.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "recovery/snapshot.h"
+
+namespace twl {
+
+namespace {
+
+constexpr std::uint32_t kHybridStateMagic = 0x48594231;  // "HYB1"
+
+}  // namespace
+
+HybridDevice::HybridDevice(EnduranceMap endurance, const HybridParams& params)
+    : pcm_(std::move(endurance)), params_(params) {
+  if (params_.cache_pages == 0 || params_.ways == 0 ||
+      params_.cache_pages % params_.ways != 0) {
+    throw std::invalid_argument(
+        "hybrid cache_pages must be a positive multiple of ways");
+  }
+  sets_ = params_.cache_pages / params_.ways;
+  lines_.assign(params_.cache_pages, Line{});
+}
+
+Cycles HybridDevice::apply_write(PhysicalPageAddr pa,
+                                 std::vector<PhysicalPageAddr>& newly_worn) {
+  assert(pa.value() < pages());
+  ++tick_;
+  ++front_writes_;
+  Line* base = &lines_[static_cast<std::size_t>(set_of(pa)) * params_.ways];
+  // Hit: refresh recency, mark dirty, no PCM wear.
+  for (std::uint32_t way = 0; way < params_.ways; ++way) {
+    Line& line = base[way];
+    if (line.valid != 0 && line.page == pa.value()) {
+      line.dirty = 1;
+      line.tick = tick_;
+      ++hits_;
+      return 0;
+    }
+  }
+  ++misses_;
+  // Victim: first invalid way, else least-recently-used (smallest tick;
+  // the scan order breaks ties toward the lowest way).
+  Line* victim = nullptr;
+  for (std::uint32_t way = 0; way < params_.ways; ++way) {
+    Line& line = base[way];
+    if (line.valid == 0) {
+      victim = &line;
+      break;
+    }
+    if (victim == nullptr || line.tick < victim->tick) victim = &line;
+  }
+  if (victim->valid != 0 && victim->dirty != 0) {
+    ++writebacks_;
+    pcm_.apply_write(PhysicalPageAddr(victim->page), newly_worn);
+  }
+  victim->page = pa.value();
+  victim->tick = tick_;
+  victim->valid = 1;
+  victim->dirty = 1;
+  return 0;
+}
+
+std::uint64_t HybridDevice::dirty_lines() const {
+  std::uint64_t n = 0;
+  for (const Line& line : lines_) {
+    if (line.valid != 0 && line.dirty != 0) ++n;
+  }
+  return n;
+}
+
+void HybridDevice::flush(std::vector<PhysicalPageAddr>& newly_worn) {
+  for (Line& line : lines_) {
+    if (line.valid != 0 && line.dirty != 0) {
+      ++writebacks_;
+      pcm_.apply_write(PhysicalPageAddr(line.page), newly_worn);
+      line.dirty = 0;
+    }
+  }
+}
+
+void HybridDevice::reset_wear() {
+  pcm_.reset_wear();
+  lines_.assign(params_.cache_pages, Line{});
+  tick_ = 0;
+  front_writes_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+  writebacks_ = 0;
+}
+
+void HybridDevice::save_state(SnapshotWriter& w) const {
+  w.put_u32(kHybridStateMagic);
+  pcm_.save_state(w);
+  w.put_u32(params_.cache_pages);
+  w.put_u32(params_.ways);
+  w.put_u64(tick_);
+  w.put_u64(front_writes_);
+  w.put_u64(hits_);
+  w.put_u64(misses_);
+  w.put_u64(writebacks_);
+  for (const Line& line : lines_) {
+    w.put_u32(line.page);
+    w.put_u64(line.tick);
+    w.put_bool(line.valid != 0);
+    w.put_bool(line.dirty != 0);
+  }
+}
+
+void HybridDevice::load_state(SnapshotReader& r) {
+  if (r.get_u32() != kHybridStateMagic) {
+    throw SnapshotError("not a hybrid device state payload");
+  }
+  pcm_.load_state(r);
+  if (r.get_u32() != params_.cache_pages || r.get_u32() != params_.ways) {
+    throw SnapshotError("hybrid cache geometry mismatch");
+  }
+  tick_ = r.get_u64();
+  front_writes_ = r.get_u64();
+  hits_ = r.get_u64();
+  misses_ = r.get_u64();
+  writebacks_ = r.get_u64();
+  std::vector<Line> lines(params_.cache_pages);
+  for (Line& line : lines) {
+    line.page = r.get_u32();
+    line.tick = r.get_u64();
+    line.valid = r.get_bool() ? 1 : 0;
+    line.dirty = r.get_bool() ? 1 : 0;
+    if (line.valid != 0 && line.page >= pages()) {
+      throw SnapshotError("hybrid cache line address out of range");
+    }
+    if (line.valid == 0 && line.dirty != 0) {
+      throw SnapshotError("hybrid cache line dirty but invalid");
+    }
+  }
+  lines_ = std::move(lines);
+}
+
+}  // namespace twl

@@ -1,0 +1,121 @@
+// Hybrid backend: a DRAM write-back cache in front of a PCM device.
+//
+// Models the standard DRAM/PCM hybrid organization: writes land in a
+// small set-associative DRAM buffer and only reach (and wear) the PCM
+// array when a dirty line is evicted. Hot pages — exactly the pages an
+// inconsistent-write attack hammers — coalesce in DRAM, so the PCM
+// behind the cache sees the eviction stream, not the raw write stream.
+//
+// Model decisions:
+//  * Write-allocate, write-back, true-LRU within a set (deterministic:
+//    a monotonic tick orders lines; ties and invalid lines resolve to
+//    the lowest way index). No RNG anywhere.
+//  * Only dirty evictions charge PCM wear; a cache hit costs nothing.
+//    DRAM latency is folded into the controller's existing timing model
+//    (the surcharge channel returns 0), keeping the comparison against
+//    bare PCM about *wear*, not row-buffer effects.
+//  * The cache is assumed battery/supercap-backed: save_state serializes
+//    the cache metadata (it does NOT flush), so checkpoint/resume and
+//    the recovery reference replays reproduce the exact cache state and
+//    the two-phase journaling contract is unchanged.
+//  * Wear queries (writes, worn_out, wear_fractions, failure latch)
+//    forward to the inner PCM: endurance is a PCM property; DRAM does
+//    not wear.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "device/device.h"
+#include "pcm/device.h"
+#include "pcm/endurance.h"
+
+namespace twl {
+
+class HybridDevice final : public Device {
+ public:
+  /// `params.ways` must divide `params.cache_pages` (Config::validate
+  /// enforces this for CLI-sourced configs; the constructor re-checks).
+  HybridDevice(EnduranceMap endurance, const HybridParams& params);
+
+  [[nodiscard]] DeviceBackend backend() const override {
+    return DeviceBackend::kHybrid;
+  }
+  [[nodiscard]] std::uint64_t pages() const override { return pcm_.pages(); }
+
+  Cycles apply_write(PhysicalPageAddr pa,
+                     std::vector<PhysicalPageAddr>& newly_worn) override;
+
+  [[nodiscard]] WriteCount writes(PhysicalPageAddr pa) const override {
+    return pcm_.writes(pa);
+  }
+  [[nodiscard]] std::uint64_t endurance(PhysicalPageAddr pa) const override {
+    return pcm_.endurance(pa);
+  }
+  [[nodiscard]] const EnduranceMap& endurance_map() const override {
+    return pcm_.endurance_map();
+  }
+  [[nodiscard]] bool worn_out(PhysicalPageAddr pa) const override {
+    return pcm_.worn_out(pa);
+  }
+  [[nodiscard]] std::vector<double> wear_fractions() const override {
+    return pcm_.wear_fractions();
+  }
+
+  [[nodiscard]] bool failed() const override { return pcm_.failed(); }
+  [[nodiscard]] std::optional<PhysicalPageAddr> first_failed_page()
+      const override {
+    return pcm_.first_failed_page();
+  }
+  [[nodiscard]] std::optional<WriteCount> writes_at_first_failure()
+      const override {
+    return pcm_.writes_at_first_failure();
+  }
+  /// Wear-charged PCM writes (evicted dirty lines), not front-end
+  /// writes — see front_writes() for the raw stream.
+  [[nodiscard]] WriteCount total_writes() const override {
+    return pcm_.total_writes();
+  }
+
+  void reset_wear() override;
+
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
+
+  // ---- Hybrid-specific observability.
+  [[nodiscard]] WriteCount front_writes() const { return front_writes_; }
+  [[nodiscard]] std::uint64_t cache_hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t writebacks() const { return writebacks_; }
+  [[nodiscard]] std::uint64_t dirty_lines() const;
+  /// Write back every dirty line (end-of-run accounting in benches; the
+  /// run itself never flushes implicitly).
+  void flush(std::vector<PhysicalPageAddr>& newly_worn);
+
+ private:
+  struct Line {
+    std::uint32_t page = 0;
+    std::uint64_t tick = 0;
+    std::uint8_t valid = 0;
+    std::uint8_t dirty = 0;
+  };
+
+  [[nodiscard]] std::uint32_t set_of(PhysicalPageAddr pa) const {
+    return pa.value() % sets_;
+  }
+
+  PcmDevice pcm_;
+  HybridParams params_;
+  std::uint32_t sets_;
+  std::vector<Line> lines_;  // sets_ * ways, way-major within a set
+  std::uint64_t tick_ = 0;
+  WriteCount front_writes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace twl

@@ -1,0 +1,183 @@
+#include "device/nor_flash.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "recovery/snapshot.h"
+
+namespace twl {
+
+namespace {
+
+/// Wire-format tag so a NOR payload can never be confused with the
+/// (untagged, frozen) PcmDevice format or another backend's.
+constexpr std::uint32_t kNorStateMagic = 0x4E4F5231;  // "NOR1"
+
+}  // namespace
+
+NorFlashDevice::NorFlashDevice(EnduranceMap endurance, const NorParams& params)
+    : endurance_(std::move(endurance)),
+      params_(params),
+      programs_(endurance_.pages(), 0),
+      programmed_(endurance_.pages(), 0) {
+  if (params_.pages_per_block == 0) {
+    throw std::invalid_argument("NOR pages_per_block must be > 0");
+  }
+  if (endurance_.pages() == 0) {
+    throw std::invalid_argument("NOR device needs at least one page");
+  }
+  const std::uint64_t blocks =
+      (endurance_.pages() + params_.pages_per_block - 1) /
+      params_.pages_per_block;
+  erases_.assign(blocks, 0);
+  block_endurance_.reserve(blocks);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::uint64_t lo = b * params_.pages_per_block;
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(lo + params_.pages_per_block,
+                                endurance_.pages());
+    std::uint64_t budget = ~std::uint64_t{0};
+    for (std::uint64_t p = lo; p < hi; ++p) {
+      budget = std::min(budget, endurance_.endurance(PhysicalPageAddr(
+                                    static_cast<std::uint32_t>(p))));
+    }
+    block_endurance_.push_back(budget);
+  }
+}
+
+void NorFlashDevice::erase_block(std::uint64_t block, bool clear_programmed,
+                                 std::vector<PhysicalPageAddr>& newly_worn) {
+  ++total_erases_;
+  const std::uint64_t count = ++erases_[block];
+  const std::uint64_t lo = block * params_.pages_per_block;
+  const std::uint64_t hi = std::min<std::uint64_t>(
+      lo + params_.pages_per_block, endurance_.pages());
+  if (clear_programmed) {
+    for (std::uint64_t p = lo; p < hi; ++p) programmed_[p] = 0;
+  }
+  // Erase counts only ever advance by one, so the block crosses its
+  // budget exactly at equality — mirror of PcmDevice::write_became_worn.
+  if (count == block_endurance_[block]) {
+    for (std::uint64_t p = lo; p < hi; ++p) {
+      newly_worn.push_back(PhysicalPageAddr(static_cast<std::uint32_t>(p)));
+    }
+    if (!first_failure_) {
+      first_failure_ = PhysicalPageAddr(static_cast<std::uint32_t>(lo));
+      writes_at_failure_ = total_writes_;
+    }
+  }
+}
+
+Cycles NorFlashDevice::apply_write(PhysicalPageAddr pa,
+                                   std::vector<PhysicalPageAddr>& newly_worn) {
+  assert(pa.value() < programs_.size());
+  ++total_writes_;
+  ++programs_[pa.value()];
+  Cycles extra = 0;
+  if (programmed_[pa.value()] != 0) {
+    // In-place overwrite: the controller transparently reads the block
+    // out, erases it and restores every page (so programmed bits are
+    // unchanged), charging one erase cycle and the erase service time.
+    ++auto_erases_;
+    erase_block(block_of(pa), /*clear_programmed=*/false, newly_worn);
+    extra = params_.erase_cycles;
+  }
+  programmed_[pa.value()] = 1;
+  return extra;
+}
+
+Cycles NorFlashDevice::apply_erase(PhysicalPageAddr pa,
+                                   std::vector<PhysicalPageAddr>& newly_worn) {
+  assert(pa.value() < programs_.size());
+  erase_block(block_of(pa), /*clear_programmed=*/true, newly_worn);
+  return params_.erase_cycles;
+}
+
+std::vector<double> NorFlashDevice::wear_fractions() const {
+  std::vector<double> out;
+  out.reserve(programs_.size());
+  for (std::size_t p = 0; p < programs_.size(); ++p) {
+    const std::uint64_t b = p / params_.pages_per_block;
+    out.push_back(static_cast<double>(erases_[b]) /
+                  static_cast<double>(block_endurance_[b]));
+  }
+  return out;
+}
+
+void NorFlashDevice::reset_wear() {
+  std::fill(erases_.begin(), erases_.end(), 0);
+  std::fill(programs_.begin(), programs_.end(), 0);
+  std::fill(programmed_.begin(), programmed_.end(), 0);
+  total_writes_ = 0;
+  total_erases_ = 0;
+  auto_erases_ = 0;
+  first_failure_.reset();
+  writes_at_failure_.reset();
+}
+
+void NorFlashDevice::save_state(SnapshotWriter& w) const {
+  w.put_u32(kNorStateMagic);
+  w.put_u64(pages());
+  w.put_u32(params_.pages_per_block);
+  w.put_u64_vec(erases_);
+  w.put_u64_vec(programs_);
+  w.put_u8_vec(programmed_);
+  w.put_u64(total_writes_);
+  w.put_u64(total_erases_);
+  w.put_u64(auto_erases_);
+  w.put_bool(first_failure_.has_value());
+  w.put_u32(first_failure_ ? first_failure_->value() : 0);
+  w.put_u64(writes_at_failure_.value_or(0));
+}
+
+void NorFlashDevice::load_state(SnapshotReader& r) {
+  if (r.get_u32() != kNorStateMagic) {
+    throw SnapshotError("not a NOR-flash device state payload");
+  }
+  r.expect_u64(pages(), "nor_device_pages");
+  if (r.get_u32() != params_.pages_per_block) {
+    throw SnapshotError("NOR erase-block geometry mismatch");
+  }
+  std::vector<std::uint64_t> erases = r.get_u64_vec();
+  // The erase-count vector is per *erase unit*, not per page — a payload
+  // with a page-granularity vector here belongs to a different geometry
+  // (or a buggy producer) and must not be grafted onto this device.
+  if (erases.size() != erases_.size()) {
+    throw SnapshotError("NOR erase-count vector is not block-granular");
+  }
+  std::vector<WriteCount> programs = r.get_u64_vec();
+  if (programs.size() != programs_.size()) {
+    throw SnapshotError("NOR program-count vector size mismatch");
+  }
+  std::vector<std::uint8_t> programmed = r.get_u8_vec();
+  if (programmed.size() != programmed_.size()) {
+    throw SnapshotError("NOR programmed-bit vector size mismatch");
+  }
+  for (const std::uint8_t bit : programmed) {
+    if (bit > 1) {
+      throw SnapshotError("NOR programmed bit is not 0/1");
+    }
+  }
+  erases_ = std::move(erases);
+  programs_ = std::move(programs);
+  programmed_ = std::move(programmed);
+  total_writes_ = r.get_u64();
+  total_erases_ = r.get_u64();
+  auto_erases_ = r.get_u64();
+  const bool failed = r.get_bool();
+  const std::uint32_t failed_pa = r.get_u32();
+  const std::uint64_t failed_writes = r.get_u64();
+  if (failed && failed_pa >= pages()) {
+    throw SnapshotError("device failed-page address out of range");
+  }
+  if (failed) {
+    first_failure_ = PhysicalPageAddr(failed_pa);
+    writes_at_failure_ = failed_writes;
+  } else {
+    first_failure_.reset();
+    writes_at_failure_.reset();
+  }
+}
+
+}  // namespace twl

@@ -1,0 +1,139 @@
+// NOR-flash block device: erase-before-write, per-erase-block endurance.
+//
+// The device is divided into erase blocks of NorParams::pages_per_block
+// pages (the last block may be smaller when the page count is not a
+// multiple). Pages program individually, but a programmed page cannot be
+// reprogrammed until its whole block is erased, and endurance is consumed
+// by *erases*, not programs: each block has a cycle budget equal to the
+// minimum EnduranceMap value over its member pages (the weakest cell
+// gates the block), and the block — every page in it — dies when its
+// erase count reaches that budget.
+//
+// Two erase paths exist:
+//  * apply_write() on an already-programmed page models the transparent
+//    controller-side read-modify-erase-write that write-in-place schemes
+//    (everything except FTL) force on NOR: the block's data is read out,
+//    the block erased, and all pages written back. It costs one erase
+//    cycle plus NorParams::erase_cycles of service time, and leaves every
+//    programmed bit as it was (the data comes back).
+//  * apply_erase() is the explicit path used by the FTL scheme through
+//    WriteSink::erase_unit: one erase cycle, and the block's pages return
+//    to the unprogrammed state.
+//
+// This asymmetry is the whole point of the backend: in-place schemes pay
+// a full block erase per overwrite (and burn the block's budget at write
+// rate), while the FTL's out-of-place logging erases only when garbage
+// collection reclaims a block.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "device/device.h"
+#include "pcm/endurance.h"
+
+namespace twl {
+
+class NorFlashDevice final : public Device {
+ public:
+  /// Block budgets derive from `endurance` (min over member pages);
+  /// `params` fixes the block geometry and erase service time.
+  NorFlashDevice(EnduranceMap endurance, const NorParams& params);
+
+  [[nodiscard]] DeviceBackend backend() const override {
+    return DeviceBackend::kNor;
+  }
+  [[nodiscard]] std::uint64_t pages() const override {
+    return endurance_.pages();
+  }
+  [[nodiscard]] std::uint32_t erase_unit_pages() const override {
+    return params_.pages_per_block;
+  }
+
+  Cycles apply_write(PhysicalPageAddr pa,
+                     std::vector<PhysicalPageAddr>& newly_worn) override;
+  Cycles apply_erase(PhysicalPageAddr pa,
+                     std::vector<PhysicalPageAddr>& newly_worn) override;
+
+  /// Program count of the page (how often it has taken data). Wear lives
+  /// at block granularity — see block_erases().
+  [[nodiscard]] WriteCount writes(PhysicalPageAddr pa) const override {
+    return programs_[pa.value()];
+  }
+  /// The erase budget of the block containing `pa`.
+  [[nodiscard]] std::uint64_t endurance(PhysicalPageAddr pa) const override {
+    return block_endurance_[block_of(pa)];
+  }
+  [[nodiscard]] const EnduranceMap& endurance_map() const override {
+    return endurance_;
+  }
+  [[nodiscard]] bool worn_out(PhysicalPageAddr pa) const override {
+    const std::uint64_t b = block_of(pa);
+    return erases_[b] >= block_endurance_[b];
+  }
+  /// Per-page view of block wear: erases/budget of the owning block.
+  [[nodiscard]] std::vector<double> wear_fractions() const override;
+
+  [[nodiscard]] bool failed() const override {
+    return first_failure_.has_value();
+  }
+  [[nodiscard]] std::optional<PhysicalPageAddr> first_failed_page()
+      const override {
+    return first_failure_;
+  }
+  [[nodiscard]] std::optional<WriteCount> writes_at_first_failure()
+      const override {
+    return writes_at_failure_;
+  }
+  [[nodiscard]] WriteCount total_writes() const override {
+    return total_writes_;
+  }
+
+  void reset_wear() override;
+
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
+
+  // ---- NOR-specific observability.
+  [[nodiscard]] std::uint64_t blocks() const { return erases_.size(); }
+  [[nodiscard]] std::uint64_t block_erases(std::uint64_t block) const {
+    return erases_[block];
+  }
+  [[nodiscard]] std::uint64_t block_endurance(std::uint64_t block) const {
+    return block_endurance_[block];
+  }
+  [[nodiscard]] bool page_programmed(PhysicalPageAddr pa) const {
+    return programmed_[pa.value()] != 0;
+  }
+  /// Erases from either path (explicit + read-modify-erase-write).
+  [[nodiscard]] std::uint64_t total_erases() const { return total_erases_; }
+  /// Erases forced by overwriting a programmed page in place.
+  [[nodiscard]] std::uint64_t auto_erases() const { return auto_erases_; }
+
+ private:
+  [[nodiscard]] std::uint64_t block_of(PhysicalPageAddr pa) const {
+    return pa.value() / params_.pages_per_block;
+  }
+  /// One erase cycle on `block`: bumps its count, latches the failure and
+  /// queues every member page the instant the budget is reached, and
+  /// clears programmed bits only on the explicit path.
+  void erase_block(std::uint64_t block, bool clear_programmed,
+                   std::vector<PhysicalPageAddr>& newly_worn);
+
+  EnduranceMap endurance_;
+  NorParams params_;
+  std::vector<std::uint64_t> block_endurance_;  // per block, min of members
+  std::vector<std::uint64_t> erases_;           // per block
+  std::vector<WriteCount> programs_;            // per page
+  std::vector<std::uint8_t> programmed_;        // per page, 0/1
+  WriteCount total_writes_ = 0;
+  std::uint64_t total_erases_ = 0;
+  std::uint64_t auto_erases_ = 0;
+  std::optional<PhysicalPageAddr> first_failure_;
+  std::optional<WriteCount> writes_at_failure_;
+};
+
+}  // namespace twl

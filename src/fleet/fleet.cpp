@@ -9,7 +9,7 @@
 #include "common/rng.h"
 #include "common/sim_runner.h"
 #include "obs/metrics.h"
-#include "pcm/device.h"
+#include "device/factory.h"
 #include "pcm/endurance.h"
 #include "recovery/journal.h"
 #include "recovery/recovery.h"
@@ -51,7 +51,7 @@ DeviceSeeds device_seeds(std::uint64_t config_seed, std::uint32_t device) {
   return s;
 }
 
-std::vector<std::uint8_t> wear_blob(const PcmDevice& device) {
+std::vector<std::uint8_t> wear_blob(const Device& device) {
   SnapshotWriter w;
   device.save_state(w);
   return w.take();
@@ -119,7 +119,7 @@ struct FleetSimulator::Live {
   std::uint32_t index;
   Config config;  ///< Per-device: config_ with this device's scheme seed.
   EnduranceMap endurance;
-  PcmDevice device;
+  std::unique_ptr<Device> device;
   std::unique_ptr<WearLeveler> wl;
   std::unique_ptr<MemoryController> controller;
   MetadataJournal journal;
@@ -142,13 +142,13 @@ struct FleetSimulator::Live {
   Live(const Config& fleet_config, const Scenario& scenario,
        std::uint32_t dev, const DeviceSeeds& seeds)
       : index(dev),
-        config(per_device_config(fleet_config, seeds)),
+        config(per_device_config(fleet_config, scenario, seeds)),
         endurance(config.geometry.pages(), config.endurance,
                   seeds.endurance),
-        device(endurance),
+        device(make_latch_device(endurance, config)),
         wl(make_wear_leveler_spec(scenario.scheme_spec, endurance, config)),
         controller(std::make_unique<MemoryController>(
-            device, *wl, config, /*enable_timing=*/false)),
+            *device, *wl, config, /*enable_timing=*/false)),
         stream(scenario.workload, wl->logical_pages(), seeds.workload),
         schedule(make_chaos_schedule(scenario.chaos,
                                      scenario.horizon_writes(),
@@ -158,14 +158,18 @@ struct FleetSimulator::Live {
     controller->attach_journal(&journal);
     snapshot_cur = take_snapshot(*wl);
     snapshot_prev = snapshot_cur;
-    wear_cur = wear_blob(device);
+    wear_cur = wear_blob(*device);
     wear_prev = wear_cur;
   }
 
   [[nodiscard]] static Config per_device_config(const Config& fleet_config,
+                                                const Scenario& scenario,
                                                 const DeviceSeeds& seeds) {
     Config c = fleet_config;
     c.seed = seeds.scheme;
+    // The scenario decides the storage substrate; backend knobs (block
+    // geometry, cache shape) ride through from the fleet config.
+    c.device.backend = scenario.device_backend;
     return c;
   }
 
@@ -224,7 +228,7 @@ DeviceState FleetSimulator::freeze(const Live& d) {
   DeviceState s;
   s.writes_done = d.writes_done;
   s.scheme = take_snapshot(*d.wl);
-  s.device_wear = wear_blob(d.device);
+  s.device_wear = wear_blob(*d.device);
   SnapshotWriter cw;
   d.controller->stats().save_state(cw);
   s.controller = cw.take();
@@ -252,7 +256,7 @@ std::unique_ptr<FleetSimulator::Live> FleetSimulator::thaw(
   auto d = make_live(device);
   restore_snapshot(*d->wl, cold.scheme);
   SnapshotReader dr(cold.device_wear);
-  d->device.load_state(dr);
+  d->device->load_state(dr);
   ControllerStats stats;
   SnapshotReader cr(cold.controller);
   stats.load_state(cr);
@@ -292,7 +296,7 @@ void FleetSimulator::rotate_snapshots(Live& d) const {
   d.journal.truncate();
   d.snapshot_cur = take_snapshot(*d.wl);
   d.base_cur = d.writes_done;
-  d.wear_cur = wear_blob(d.device);
+  d.wear_cur = wear_blob(*d.device);
 }
 
 bool FleetSimulator::verify_invariants(const Live& d,
@@ -314,12 +318,12 @@ bool FleetSimulator::verify_invariants(const Live& d,
 
   // Reference: re-execute exactly the committed writes since the used
   // snapshot on a device wound back to that snapshot's wear.
-  PcmDevice ref_device(d.endurance);
+  const auto ref_device = make_latch_device(d.endurance, d.config);
   SnapshotReader wr(*ctx.wear);
-  ref_device.load_state(wr);
+  ref_device->load_state(wr);
   const auto reference = d.fresh_scheme(scenario_);
   restore_snapshot(*reference, *ctx.snapshot);
-  MemoryController ref_controller(ref_device, *reference, d.config,
+  MemoryController ref_controller(*ref_device, *reference, d.config,
                                   /*enable_timing=*/false);
   FleetStream ref_stream = d.fresh_stream(scenario_);
   ref_stream.skip(ctx.base);
@@ -335,10 +339,10 @@ bool FleetSimulator::verify_invariants(const Live& d,
   // at most the interrupted attempt's physical writes (zero when its
   // commit survived).
   std::uint64_t drift = 0;
-  for (std::uint64_t p = 0; p < d.device.pages(); ++p) {
+  for (std::uint64_t p = 0; p < d.device->pages(); ++p) {
     const PhysicalPageAddr pa(static_cast<std::uint32_t>(p));
-    const WriteCount a = d.device.writes(pa);
-    const WriteCount b = ref_device.writes(pa);
+    const WriteCount a = d.device->writes(pa);
+    const WriteCount b = ref_device->writes(pa);
     drift += (a > b) ? (a - b) : (b - a);
   }
   ok = ok && drift <= (commit_survived ? 0 : ctx.in_flight);
@@ -348,8 +352,8 @@ bool FleetSimulator::verify_invariants(const Live& d,
   // byte-identical.
   const auto clone = d.fresh_scheme(scenario_);
   restore_snapshot(*clone, take_snapshot(recovered));
-  PcmDevice clone_device(d.endurance);
-  MemoryController clone_controller(clone_device, *clone, d.config,
+  const auto clone_device = make_latch_device(d.endurance, d.config);
+  MemoryController clone_controller(*clone_device, *clone, d.config,
                                     /*enable_timing=*/false);
   FleetStream clone_stream = d.fresh_stream(scenario_);
   clone_stream.skip(ctx.committed);
@@ -435,7 +439,7 @@ void FleetSimulator::inject(Live& d, const ChaosEvent& ev,
   if (mid_checkpoint) {
     std::vector<std::uint8_t> partial = take_snapshot(*d.wl);
     partial.resize(1 + d.chaos_rng.next_below(partial.size() - 1));
-    wear_now = wear_blob(d.device);
+    wear_now = wear_blob(*d.device);
     attempts.push_back(Attempt{std::move(partial), k, &wear_now, {}});
     attempts.push_back(
         Attempt{d.snapshot_cur, d.base_cur, &d.wear_cur, d.journal.bytes()});
@@ -498,7 +502,7 @@ void FleetSimulator::inject(Live& d, const ChaosEvent& ev,
   // as the host would re-issue the request that never completed.
   d.wl = std::move(recovered);
   d.controller = std::make_unique<MemoryController>(
-      d.device, *d.wl, d.config, /*enable_timing=*/false);
+      *d.device, *d.wl, d.config, /*enable_timing=*/false);
   d.controller->restore_stats(stats_at_crash);
   d.journal.truncate();
   d.controller->attach_journal(&d.journal);
@@ -507,7 +511,7 @@ void FleetSimulator::inject(Live& d, const ChaosEvent& ev,
   d.retained_journal.clear();
   d.base_cur = committed;
   d.base_prev = committed;
-  d.wear_cur = wear_blob(d.device);
+  d.wear_cur = wear_blob(*d.device);
   d.wear_prev = d.wear_cur;
   if (!commit_survived) {
     d.controller->submit(write_request(la), 0);

@@ -1,6 +1,6 @@
 // Fleet simulator: N independent journaled devices under chaos.
 //
-// Each fleet device is a full simulation stack — PcmDevice over its own
+// Each fleet device is a full simulation stack — a Device backend over its own
 // process-variation draw, a wear-leveling scheme, a MemoryController
 // with an attached MetadataJournal — driven day by day through a
 // deterministic workload stream while a seeded ChaosInjector schedule
@@ -57,7 +57,7 @@ struct DeviceOutcome {
 struct DeviceState {
   std::uint64_t writes_done = 0;  ///< Committed workload stream elements.
   std::vector<std::uint8_t> scheme;       ///< take_snapshot envelope.
-  std::vector<std::uint8_t> device_wear;  ///< PcmDevice::save_state.
+  std::vector<std::uint8_t> device_wear;  ///< Device::save_state.
   std::vector<std::uint8_t> controller;   ///< ControllerStats::save_state.
   std::vector<std::uint8_t> journal;      ///< Live journal bytes.
   std::uint64_t journal_total_bytes = 0;

@@ -11,6 +11,7 @@ namespace {
 struct Row {
   const char* name;
   const char* scheme;
+  DeviceBackend backend;
   WorkloadKind workload;
   std::uint64_t chaos_mean;  ///< 0 = no chaos.
   bool corruption;
@@ -24,26 +25,35 @@ struct Row {
 // chosen so the default grid injects well over a thousand crash and
 // corruption events in aggregate (~horizon/mean events per device).
 constexpr Row kBuiltinRows[] = {
-    // name                 scheme        workload                        chaos  corrupt dev days
-    {"baseline_zipf_twl",   "TWL",        WorkloadKind::kZipf,              192, false,  4,  8},
-    {"skewed_zipf_sr",      "SR",         WorkloadKind::kZipf,              192, false,  4,  8},
-    {"stream_bwl",          "BWL",        WorkloadKind::kZipf,              192, false,  4,  8},
-    {"crash_startgap",      "StartGap",   WorkloadKind::kZipf,               96, false,  4,  8},
-    {"crash_rbsg",          "RBSG",       WorkloadKind::kRandom,             96, false,  4,  8},
-    {"scan_wrl",            "WRL",        WorkloadKind::kScan,              160, false,  4,  8},
-    {"repeat_nowl",         "NOWL",       WorkloadKind::kRepeat,            192, true,   4,  8},
-    {"attack_twl",          "TWL",        WorkloadKind::kInconsistentAttack,160, false,  4,  8},
-    {"attack_guarded_twl",  "guard:TWL",  WorkloadKind::kInconsistentAttack,160, false,  4,  8},
-    {"attack_od3p_twl",     "od3p:TWL",   WorkloadKind::kInconsistentAttack,160, false,  4,  8},
-    {"corruption_twl",      "TWL",        WorkloadKind::kZipf,              128, true,   4,  8},
-    {"corruption_sr",       "SR",         WorkloadKind::kRandom,            128, true,   4,  8},
-    {"soak_attack_fleet",   "guard:TWL",  WorkloadKind::kInconsistentAttack,128, true,   8, 16},
+    // name                 scheme        backend                workload                        chaos  corrupt dev days
+    {"baseline_zipf_twl",   "TWL",        DeviceBackend::kPcm,    WorkloadKind::kZipf,              192, false,  4,  8},
+    {"skewed_zipf_sr",      "SR",         DeviceBackend::kPcm,    WorkloadKind::kZipf,              192, false,  4,  8},
+    {"stream_bwl",          "BWL",        DeviceBackend::kPcm,    WorkloadKind::kZipf,              192, false,  4,  8},
+    {"crash_startgap",      "StartGap",   DeviceBackend::kPcm,    WorkloadKind::kZipf,               96, false,  4,  8},
+    {"crash_rbsg",          "RBSG",       DeviceBackend::kPcm,    WorkloadKind::kRandom,             96, false,  4,  8},
+    {"scan_wrl",            "WRL",        DeviceBackend::kPcm,    WorkloadKind::kScan,              160, false,  4,  8},
+    {"repeat_nowl",         "NOWL",       DeviceBackend::kPcm,    WorkloadKind::kRepeat,            192, true,   4,  8},
+    {"attack_twl",          "TWL",        DeviceBackend::kPcm,    WorkloadKind::kInconsistentAttack,160, false,  4,  8},
+    {"attack_guarded_twl",  "guard:TWL",  DeviceBackend::kPcm,    WorkloadKind::kInconsistentAttack,160, false,  4,  8},
+    {"attack_od3p_twl",     "od3p:TWL",   DeviceBackend::kPcm,    WorkloadKind::kInconsistentAttack,160, false,  4,  8},
+    {"corruption_twl",      "TWL",        DeviceBackend::kPcm,    WorkloadKind::kZipf,              128, true,   4,  8},
+    {"corruption_sr",       "SR",         DeviceBackend::kPcm,    WorkloadKind::kRandom,            128, true,   4,  8},
+    {"soak_attack_fleet",   "guard:TWL",  DeviceBackend::kPcm,    WorkloadKind::kInconsistentAttack,128, true,   8, 16},
+    // Filesystem-metadata storms on the non-PCM backends. Chaos stays
+    // off: crash/corruption recovery for NOR and hybrid snapshots is
+    // covered by the device conformance tests, and the FTL journals no
+    // two-phase tokens for its GC erases yet.
+    {"fsmeta_inode_nor_ftl",     "FTL", DeviceBackend::kNor,    WorkloadKind::kInodeTable,          0, false,  4,  8},
+    {"fsmeta_journal_nor_ftl",   "FTL", DeviceBackend::kNor,    WorkloadKind::kJournalPages,        0, false,  4,  8},
+    {"fsmeta_inode_hybrid_twl",  "TWL", DeviceBackend::kHybrid, WorkloadKind::kInodeTable,          0, false,  4,  8},
+    {"fsmeta_journal_hybrid_twl","TWL", DeviceBackend::kHybrid, WorkloadKind::kJournalPages,        0, false,  4,  8},
 };
 
 Scenario from_row(const Row& row) {
   Scenario s;
   s.name = row.name;
   s.scheme_spec = row.scheme;
+  s.device_backend = row.backend;
   s.workload.kind = row.workload;
   // Heavier skew for the skewed row; longer streaming for the BWL row —
   // derived from the name so the table stays one line per scenario.

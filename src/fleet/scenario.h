@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config.h"
 #include "fleet/chaos.h"
 #include "fleet/workload.h"
 
@@ -22,6 +23,8 @@ namespace twl {
 struct Scenario {
   std::string name;
   std::string scheme_spec = "TWL";
+  /// Storage substrate each device in the fleet simulates.
+  DeviceBackend device_backend = DeviceBackend::kPcm;
   FleetWorkload workload{};
   ChaosProfile chaos{};
   std::uint32_t devices = 4;

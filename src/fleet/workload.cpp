@@ -20,6 +20,10 @@ std::string to_string(WorkloadKind k) {
       return "random";
     case WorkloadKind::kInconsistentAttack:
       return "inconsistent-attack";
+    case WorkloadKind::kInodeTable:
+      return "inode-table";
+    case WorkloadKind::kJournalPages:
+      return "journal-pages";
   }
   return "unknown";
 }
@@ -40,8 +44,10 @@ FleetStream::FleetStream(const FleetWorkload& workload,
       break;
     }
     case WorkloadKind::kScan:
+    case WorkloadKind::kJournalPages:
       break;  // Position alone determines the address.
     case WorkloadKind::kRandom:
+    case WorkloadKind::kInodeTable:
       rng_ = std::make_unique<XorShift64Star>(seed);
       break;
     case WorkloadKind::kRepeat:
@@ -102,6 +108,31 @@ LogicalPageAddr FleetStream::generate() {
       }
       if (reversed) idx = attack_set_.size() - 1 - idx;
       return LogicalPageAddr(attack_set_[idx]);
+    }
+    case WorkloadKind::kInodeTable: {
+      // At least 8 pages (or the whole space when smaller) so the scaled
+      // fleet devices still see a region, not a single hammered page.
+      const std::uint64_t region = std::max<std::uint64_t>(
+          std::min<std::uint64_t>(8, pages_), pages_ / 64);
+      if (consumed_ % 8 == 7) {
+        // Allocation-bitmap refresh: the last page of the inode region.
+        return LogicalPageAddr(static_cast<std::uint32_t>(region - 1));
+      }
+      // Low inode numbers churn hardest; min of two uniform draws skews
+      // the mass toward the front of the table.
+      const std::uint64_t a = rng_->next_below(region);
+      const std::uint64_t b = rng_->next_below(region);
+      return LogicalPageAddr(static_cast<std::uint32_t>(std::min(a, b)));
+    }
+    case WorkloadKind::kJournalPages: {
+      const std::uint64_t journal =
+          std::max<std::uint64_t>(2, pages_ / 32);
+      if (consumed_ % 4 == 3) {
+        return LogicalPageAddr(0);  // Commit record.
+      }
+      const std::uint64_t body = consumed_ - consumed_ / 4;
+      return LogicalPageAddr(
+          static_cast<std::uint32_t>(1 + body % (journal - 1)));
     }
   }
   return LogicalPageAddr(0);

@@ -34,6 +34,8 @@ enum class WorkloadKind : std::uint8_t {
   kScan,                ///< Sequential full-space scan.
   kRandom,              ///< Uniform random.
   kInconsistentAttack,  ///< Phase-reversing skewed set (Section 3.2).
+  kInodeTable,          ///< FS metadata storm: skewed inode region + bitmaps.
+  kJournalPages,        ///< FS journal: cycling body pages + commit block.
 };
 
 [[nodiscard]] std::string to_string(WorkloadKind k);
@@ -52,6 +54,15 @@ struct FleetWorkload {
   std::uint64_t mid_weight = 4;
   std::uint64_t flip_interval = 256;
 };
+
+// kInodeTable models a filesystem inode-table write storm: nearly all
+// writes land in a small leading "inode region" (pages/64, floor 8) with a skew
+// toward low inode numbers (min of two uniform draws), and every 8th
+// write refreshes the allocation-bitmap page at the end of the region.
+// kJournalPages models journal commit traffic: body pages advance
+// round-robin through a tiny journal area (pages/32) and every 4th
+// write hits the commit page 0. Both are purely position/RNG driven, so
+// they stay skip-replayable.
 
 /// One device's infinite write-address stream. Deterministic in
 /// (workload, logical_pages, seed); position is fully described by the

@@ -107,6 +107,9 @@ void PcmDevice::load_state(SnapshotReader& r) {
   const bool failed = r.get_bool();
   const std::uint32_t failed_pa = r.get_u32();
   const std::uint64_t failed_writes = r.get_u64();
+  if (failed && failed_pa >= pages()) {
+    throw SnapshotError("device failed-page address out of range");
+  }
   if (failed) {
     first_failure_ = PhysicalPageAddr(failed_pa);
     writes_at_failure_ = failed_writes;

@@ -22,6 +22,7 @@
 
 #include "common/config.h"
 #include "common/types.h"
+#include "device/device.h"
 #include "pcm/endurance.h"
 #include "pcm/fault_model.h"
 
@@ -30,7 +31,7 @@ namespace twl {
 class SnapshotReader;
 class SnapshotWriter;
 
-class PcmDevice {
+class PcmDevice final : public Device {
  public:
   /// Paper model: binary wear-out latch at the PV endurance.
   explicit PcmDevice(EnduranceMap endurance);
@@ -52,59 +53,84 @@ class PcmDevice {
   /// write.
   bool write_became_worn(PhysicalPageAddr pa);
 
-  [[nodiscard]] std::uint64_t pages() const { return endurance_.pages(); }
-  [[nodiscard]] WriteCount writes(PhysicalPageAddr pa) const {
+  /// Device entry point: write_became_worn() plus the newly-worn queue.
+  /// PCM is write-in-place, so the only page a write can wear is its
+  /// target, and there is no service-time surcharge beyond the shared
+  /// timing model.
+  Cycles apply_write(PhysicalPageAddr pa,
+                     std::vector<PhysicalPageAddr>& newly_worn) override {
+    if (write_became_worn(pa)) newly_worn.push_back(pa);
+    return 0;
+  }
+
+  [[nodiscard]] DeviceBackend backend() const override {
+    return DeviceBackend::kPcm;
+  }
+  [[nodiscard]] std::uint64_t pages() const override {
+    return endurance_.pages();
+  }
+  [[nodiscard]] WriteCount writes(PhysicalPageAddr pa) const override {
     return wear_[pa.value()];
   }
-  [[nodiscard]] std::uint64_t endurance(PhysicalPageAddr pa) const {
+  [[nodiscard]] std::uint64_t endurance(
+      PhysicalPageAddr pa) const override {
     return endurance_.endurance(pa);
   }
-  [[nodiscard]] const EnduranceMap& endurance_map() const {
+  [[nodiscard]] const EnduranceMap& endurance_map() const override {
     return endurance_;
   }
 
   /// Dead under the active model: write count at/past the endurance
   /// (latch model) or more stuck cells than ECP-k patches (fault model).
-  [[nodiscard]] bool worn_out(PhysicalPageAddr pa) const {
+  [[nodiscard]] bool worn_out(PhysicalPageAddr pa) const override {
     return faults_ ? faults_->uncorrectable(pa)
                    : wear_[pa.value()] >= endurance_.endurance(pa);
   }
 
-  [[nodiscard]] bool has_fault_model() const { return faults_.has_value(); }
+  [[nodiscard]] bool has_fault_model() const override {
+    return faults_.has_value();
+  }
   /// Valid only when has_fault_model().
-  [[nodiscard]] const StuckAtFaultModel& fault_model() const {
+  [[nodiscard]] const StuckAtFaultModel& fault_model() const override {
     return *faults_;
   }
 
   /// True once any page has failed.
-  [[nodiscard]] bool failed() const { return first_failure_.has_value(); }
-  [[nodiscard]] std::optional<PhysicalPageAddr> first_failed_page() const {
+  [[nodiscard]] bool failed() const override {
+    return first_failure_.has_value();
+  }
+  [[nodiscard]] std::optional<PhysicalPageAddr> first_failed_page()
+      const override {
     return first_failure_;
   }
   /// Total physical page writes applied when the first page failed.
-  [[nodiscard]] std::optional<WriteCount> writes_at_first_failure() const {
+  [[nodiscard]] std::optional<WriteCount> writes_at_first_failure()
+      const override {
     return writes_at_failure_;
   }
 
   /// Total physical page writes applied so far (demand + migration).
-  [[nodiscard]] WriteCount total_writes() const { return total_writes_; }
+  [[nodiscard]] WriteCount total_writes() const override {
+    return total_writes_;
+  }
 
   /// Fraction of each page's endurance consumed; the standard wear-map
   /// view for reports.
-  [[nodiscard]] std::vector<double> wear_fractions() const;
+  [[nodiscard]] std::vector<double> wear_fractions() const override;
 
   /// Reset wear (new device, same PV map).
-  void reset_wear();
+  void reset_wear() override;
 
   /// Checkpoint/resume (fleet harness): serialize the mutable wear state
   /// (wear counters, total writes, failure latch). The EnduranceMap is
   /// config-derived and is rebuilt by the caller, not stored. Throws
   /// SnapshotError when a fault model is active — its RNG stream is not
   /// checkpointable and the fleet harness runs the paper's latch model.
-  void save_state(SnapshotWriter& w) const;
+  void save_state(SnapshotWriter& w) const override;
   /// Restores state saved by save_state() into a device with the same
-  /// geometry. Throws SnapshotError on size mismatch or fault model.
-  void load_state(SnapshotReader& r);
+  /// geometry. Throws SnapshotError on size mismatch, an out-of-range
+  /// failed-page address, or an active fault model.
+  void load_state(SnapshotReader& r) override;
 
  private:
   EnduranceMap endurance_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/checksum.h"
+#include "device/factory.h"
 #include "obs/metrics.h"
 #include "recovery/recovery.h"
 #include "recovery/snapshot.h"
@@ -51,7 +52,7 @@ Config per_shard_config(const Config& service_config,
   return c;
 }
 
-std::vector<std::uint8_t> wear_blob(const PcmDevice& device) {
+std::vector<std::uint8_t> wear_blob(const Device& device) {
   SnapshotWriter w;
   device.save_state(w);
   return w.take();
@@ -93,10 +94,10 @@ ServiceShard::ServiceShard(const Config& config, const ShardParams& params,
       params_(params),
       endurance_(config_.geometry.pages(), config_.endurance,
                  shard_seeds(config.seed, index).endurance),
-      device_(endurance_),
+      device_(make_latch_device(endurance_, config_)),
       wl_(make_wear_leveler_spec(params_.scheme_spec, endurance_, config_)),
       controller_(std::make_unique<MemoryController>(
-          device_, *wl_, config_, /*enable_timing=*/false)),
+          *device_, *wl_, config_, /*enable_timing=*/false)),
       schedule_(make_chaos_schedule(params_.chaos, params_.horizon_writes,
                                     shard_seeds(config.seed, index).schedule)),
       chaos_rng_(shard_seeds(config.seed, index).chaos_rng),
@@ -115,7 +116,7 @@ ServiceShard::ServiceShard(const Config& config, const ShardParams& params,
   controller_->attach_journal(&journal_);
   snapshot_cur_ = take_snapshot(*wl_);
   snapshot_prev_ = snapshot_cur_;
-  wear_cur_ = wear_blob(device_);
+  wear_cur_ = wear_blob(*device_);
   wear_prev_ = wear_cur_;
 }
 
@@ -142,7 +143,7 @@ void ServiceShard::rotate_snapshots() {
   journal_.truncate();
   snapshot_cur_ = take_snapshot(*wl_);
   base_cur_ = accepted_;
-  wear_cur_ = wear_blob(device_);
+  wear_cur_ = wear_blob(*device_);
   // The reference replay never reaches further back than base_prev_.
   assert(base_prev_ >= log_base_);
   log_.erase(log_.begin(),
@@ -222,7 +223,8 @@ bool ServiceShard::verify_invariants(const CrashContext& ctx,
   // Reference: re-execute exactly the committed writes since the used
   // snapshot — from the shard's accepted log, the addresses live clients
   // actually submitted — on a device wound back to that snapshot's wear.
-  PcmDevice ref_device(endurance_);
+  const auto ref_device_ptr = make_latch_device(endurance_, config_);
+  Device& ref_device = *ref_device_ptr;
   SnapshotReader wr(*ctx.wear);
   ref_device.load_state(wr);
   const auto reference = fresh_scheme();
@@ -241,9 +243,9 @@ bool ServiceShard::verify_invariants(const CrashContext& ctx,
   // at most the interrupted attempt's physical writes (zero when its
   // commit survived).
   std::uint64_t drift = 0;
-  for (std::uint64_t p = 0; p < device_.pages(); ++p) {
+  for (std::uint64_t p = 0; p < device_->pages(); ++p) {
     const PhysicalPageAddr pa(static_cast<std::uint32_t>(p));
-    const WriteCount a = device_.writes(pa);
+    const WriteCount a = device_->writes(pa);
     const WriteCount b = ref_device.writes(pa);
     drift += (a > b) ? (a - b) : (b - a);
   }
@@ -255,7 +257,8 @@ bool ServiceShard::verify_invariants(const CrashContext& ctx,
   // so the probe addresses are a seeded synthetic continuation.)
   const auto clone = fresh_scheme();
   restore_snapshot(*clone, take_snapshot(recovered));
-  PcmDevice clone_device(endurance_);
+  const auto clone_device_ptr = make_latch_device(endurance_, config_);
+  Device& clone_device = *clone_device_ptr;
   MemoryController clone_controller(clone_device, *clone, config_,
                                     /*enable_timing=*/false);
   SplitMix64 probe(probe_seed_ ^ (0x9E37'79B9'7F4A'7C15ULL * ctx.k));
@@ -347,7 +350,7 @@ ShardExecOutcome ServiceShard::inject_crash(const ChaosEvent& ev,
   if (mid_checkpoint) {
     std::vector<std::uint8_t> partial = take_snapshot(*wl_);
     partial.resize(1 + chaos_rng_.next_below(partial.size() - 1));
-    wear_now = wear_blob(device_);
+    wear_now = wear_blob(*device_);
     attempts.push_back(Attempt{std::move(partial), k, &wear_now, {}});
     attempts.push_back(Attempt{snapshot_cur_, base_cur_, &wear_cur_,
                                journal_.bytes()});
@@ -410,7 +413,7 @@ ShardExecOutcome ServiceShard::inject_crash(const ChaosEvent& ev,
   // accepted request is never lost.
   wl_ = std::move(recovered);
   controller_ = std::make_unique<MemoryController>(
-      device_, *wl_, config_, /*enable_timing=*/false);
+      *device_, *wl_, config_, /*enable_timing=*/false);
   controller_->restore_stats(stats_at_crash);
   journal_.truncate();
   controller_->attach_journal(&journal_);
@@ -419,7 +422,7 @@ ShardExecOutcome ServiceShard::inject_crash(const ChaosEvent& ev,
   retained_journal_.clear();
   base_cur_ = committed;
   base_prev_ = committed;
-  wear_cur_ = wear_blob(device_);
+  wear_cur_ = wear_blob(*device_);
   wear_prev_ = wear_cur_;
   // Trim the accepted log to the post-recovery window (committed, k]:
   // the re-based snapshots cover everything before it.
@@ -449,7 +452,7 @@ std::uint32_t ServiceShard::state_digest() const {
   // the CRC residue property, crc32 over message ++ crc32(message) is a
   // constant and would erase the scheme state from the digest.
   const std::vector<std::uint8_t> scheme = take_snapshot(*wl_);
-  const std::vector<std::uint8_t> wear = wear_blob(device_);
+  const std::vector<std::uint8_t> wear = wear_blob(*device_);
   const std::size_t body = scheme.size() >= 4 ? scheme.size() - 4
                                               : scheme.size();
   const std::uint32_t scheme_crc = crc32(scheme.data(), body);
@@ -460,7 +463,8 @@ bool ServiceShard::verify_accepted_history() const {
   if (!params_.keep_history || config_.fault.retirement_enabled()) {
     return false;
   }
-  PcmDevice replay_device(endurance_);
+  const auto replay_device_ptr = make_latch_device(endurance_, config_);
+  Device& replay_device = *replay_device_ptr;
   const auto replay = fresh_scheme();
   MemoryController replay_controller(replay_device, *replay, config_,
                                      /*enable_timing=*/false);

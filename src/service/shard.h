@@ -2,7 +2,7 @@
 // recovery, chaos injection and a health state machine.
 //
 // A shard is the unit of failure and recovery in the service front-end
-// (service/service.h). It owns a full simulation stack — PcmDevice over
+// (service/service.h). It owns a full simulation stack — a Device over
 // its own process-variation draw, a wear-leveling scheme, a journaled
 // MemoryController — plus the persisted recovery artifacts (current and
 // previous snapshot, retained journal span, wear baselines) the fleet
@@ -43,7 +43,7 @@
 #include "common/rng.h"
 #include "fleet/chaos.h"
 #include "fleet/fleet.h"
-#include "pcm/device.h"
+#include "device/device.h"
 #include "pcm/endurance.h"
 #include "recovery/journal.h"
 #include "sim/memory_controller.h"
@@ -161,7 +161,7 @@ class ServiceShard {
   Config config_;  ///< Per-shard: service config with this shard's seed.
   ShardParams params_;
   EnduranceMap endurance_;
-  PcmDevice device_;
+  std::unique_ptr<Device> device_;
   std::unique_ptr<WearLeveler> wl_;
   std::unique_ptr<MemoryController> controller_;
   MetadataJournal journal_;

@@ -1,5 +1,6 @@
 #include "sim/attack_sim.h"
 
+#include "device/factory.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -28,7 +29,8 @@ AttackResult AttackSimulator::run(Scheme scheme, AttackProgram& attack,
                                   WriteCount max_demand,
                                   MetricsRegistry* metrics,
                                   EventTracer* tracer) const {
-  PcmDevice device(endurance_, config_.fault, config_.seed);
+  const auto device_ptr = make_device(endurance_, config_);
+  Device& device = *device_ptr;
   const auto wl = make_wear_leveler(scheme, endurance_, config_);
   MemoryController controller(device, *wl, config_, /*enable_timing=*/true);
   controller.attach_metrics(metrics);

@@ -8,7 +8,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "pcm/device.h"
+#include "device/factory.h"
 #include "recovery/journal.h"
 #include "recovery/recovery.h"
 #include "recovery/snapshot.h"
@@ -109,7 +109,8 @@ CrashTrialResult CrashSimulator::run_trial(std::uint64_t trial,
   result.crash_write = k;
 
   // --- Journaled run, interrupted during demand write k. ---
-  PcmDevice device(endurance_, config_.fault, config_.seed);
+  const auto device_ptr = make_device(endurance_, config_);
+  Device& device = *device_ptr;
   const auto wl =
       make_wear_leveler_spec(params_.scheme_spec, endurance_, config_);
   MemoryController controller(device, *wl, config_,
@@ -197,7 +198,8 @@ CrashTrialResult CrashSimulator::run_trial(std::uint64_t trial,
        *outcome.rolled_back_la == crash_la);
 
   // --- Reference: a crash-free run of exactly the committed writes. ---
-  PcmDevice ref_device(endurance_, config_.fault, config_.seed);
+  const auto ref_device_ptr = make_device(endurance_, config_);
+  Device& ref_device = *ref_device_ptr;
   const auto reference =
       make_wear_leveler_spec(params_.scheme_spec, endurance_, config_);
   MemoryController ref_controller(ref_device, *reference, config_,
@@ -229,8 +231,8 @@ CrashTrialResult CrashSimulator::run_trial(std::uint64_t trial,
   // the reference's — continue both to total_writes on identical streams
   // and compare final metadata.
   if (params_.verify_continuation) {
-    PcmDevice cont_device(endurance_, config_.fault, config_.seed);
-    MemoryController cont_controller(cont_device, *recovered, config_,
+    const auto cont_device = make_device(endurance_, config_);
+    MemoryController cont_controller(*cont_device, *recovered, config_,
                                      /*enable_timing=*/false);
     WriteStream cont_stream(params_, recovered->logical_pages(),
                             workload_seed);

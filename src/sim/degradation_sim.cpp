@@ -4,6 +4,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "pcm/device.h"
 
 namespace twl {
 

@@ -1,5 +1,6 @@
 #include "sim/lifetime_sim.h"
 
+#include "device/factory.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -30,7 +31,8 @@ LifetimeResult LifetimeSimulator::run(Scheme scheme, RequestSource& source,
                                       WriteCount max_demand,
                                       MetricsRegistry* metrics,
                                       EventTracer* tracer) const {
-  PcmDevice device(endurance_, config_.fault, config_.seed);
+  const auto device_ptr = make_device(endurance_, config_);
+  Device& device = *device_ptr;
   const auto wl = make_wear_leveler(scheme, endurance_, config_);
   MemoryController controller(device, *wl, config_, /*enable_timing=*/false);
   controller.attach_metrics(metrics);

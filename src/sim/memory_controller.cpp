@@ -88,7 +88,7 @@ void ControllerStats::load_state(SnapshotReader& r) {
   unretired_failures = r.get_u32();
 }
 
-MemoryController::MemoryController(PcmDevice& device, WearLeveler& wl,
+MemoryController::MemoryController(Device& device, WearLeveler& wl,
                                    const Config& config, bool enable_timing)
     : device_(&device),
       wl_(&wl),
@@ -138,14 +138,16 @@ void MemoryController::restore_stats(const ControllerStats& stats) {
 
 void MemoryController::device_write(PhysicalPageAddr device_pa,
                                     WritePurpose purpose) {
+  Cycles extra = 0;
   if (migration_wear_ || purpose == WritePurpose::kDemand) {
-    if (device_->write_became_worn(device_pa)) {
-      newly_worn_.push_back(device_pa);
-    }
+    extra = device_->apply_write(device_pa, newly_worn_);
   }
   ++stats_.writes_by_purpose[static_cast<std::size_t>(purpose)];
   if (timing_enabled_) {
     chain_ = timing_.service(device_pa, Op::kWrite, chain_).done;
+    // Backend surcharge beyond the PCM timing model (0 for PCM; the
+    // block-erase time when a NOR write triggers an in-place erase).
+    if (extra != 0) chain_ = sat_add_u64(chain_, extra);
   }
 }
 
@@ -211,6 +213,11 @@ void MemoryController::swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
 
 void MemoryController::engine_delay(Cycles cycles) {
   if (timing_enabled_) chain_ = sat_add_u64(chain_, cycles);
+}
+
+void MemoryController::erase_unit(PhysicalPageAddr pa) {
+  const Cycles extra = device_->apply_erase(to_device(pa), newly_worn_);
+  if (timing_enabled_ && extra != 0) chain_ = sat_add_u64(chain_, extra);
 }
 
 void MemoryController::begin_blocking() {

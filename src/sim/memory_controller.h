@@ -24,8 +24,8 @@
 
 #include "common/config.h"
 #include "common/types.h"
+#include "device/device.h"
 #include "obs/trace.h"
-#include "pcm/device.h"
 #include "pcm/retirement.h"
 #include "pcm/timing.h"
 #include "wl/wear_leveler.h"
@@ -88,7 +88,7 @@ class MemoryController final : public WriteSink {
   /// `device` and `wl` must outlive the controller. With
   /// `enable_timing == false`, submit() returns 0 and only wear and
   /// counters are tracked (the fast path for whole-lifetime simulation).
-  MemoryController(PcmDevice& device, WearLeveler& wl, const Config& config,
+  MemoryController(Device& device, WearLeveler& wl, const Config& config,
                    bool enable_timing);
 
   /// Serve one request arriving at `now`; returns its response latency.
@@ -140,7 +140,7 @@ class MemoryController final : public WriteSink {
   /// whose entire mutable state is the counter block.
   void restore_stats(const ControllerStats& stats);
   /// End-of-life: first page death without retirement, with the spare
-  /// pool exhausted — identical to PcmDevice::failed() when retirement is
+  /// pool exhausted — identical to Device::failed() when retirement is
   /// not configured.
   [[nodiscard]] bool device_failed() const {
     return retirement_ ? fatal_failure_ : device_->failed();
@@ -154,7 +154,7 @@ class MemoryController final : public WriteSink {
     }
     return ControllerAvailability::kAvailable;
   }
-  [[nodiscard]] const PcmDevice& device() const { return *device_; }
+  [[nodiscard]] const Device& device() const { return *device_; }
   [[nodiscard]] const WearLeveler& wear_leveler() const { return *wl_; }
   [[nodiscard]] bool retirement_active() const {
     return retirement_.has_value();
@@ -171,6 +171,7 @@ class MemoryController final : public WriteSink {
   void swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
                   WritePurpose purpose) override;
   void engine_delay(Cycles cycles) override;
+  void erase_unit(PhysicalPageAddr pa) override;
   void begin_blocking() override;
   void end_blocking() override;
 
@@ -189,7 +190,7 @@ class MemoryController final : public WriteSink {
   /// otherwise deliver on_page_failed and latch device failure.
   void handle_failures();
 
-  PcmDevice* device_;
+  Device* device_;
   WearLeveler* wl_;
   PcmTiming timing_;
   bool timing_enabled_;

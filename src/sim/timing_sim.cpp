@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "device/factory.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -71,7 +72,8 @@ TimingResult TimingSimulator::run(Scheme scheme, RequestSource& source,
                                   std::uint64_t num_requests,
                                   MetricsRegistry* metrics,
                                   EventTracer* tracer) const {
-  PcmDevice device(endurance_, config_.fault, config_.seed);
+  const auto device_ptr = make_device(endurance_, config_);
+  Device& device = *device_ptr;
   const auto wl = make_wear_leveler(scheme, endurance_, config_);
   MemoryController controller(device, *wl, config_, /*enable_timing=*/true);
   controller.attach_metrics(metrics);

@@ -8,6 +8,7 @@
 
 #include "wl/attack_guard.h"
 #include "wl/bloom_wl.h"
+#include "wl/ftl.h"
 #include "wl/no_wl.h"
 #include "wl/od3p.h"
 #include "wl/rbsg.h"
@@ -38,6 +39,8 @@ std::string to_string(Scheme s) {
       return "TWL_swp";
     case Scheme::kTossUpRandomPair:
       return "TWL_rnd";
+    case Scheme::kFtl:
+      return "FTL";
   }
   return "unknown";
 }
@@ -45,7 +48,7 @@ std::string to_string(Scheme s) {
 const std::string& valid_scheme_names() {
   static const std::string names =
       "NOWL, none, StartGap, start-gap, RBSG, SR, WRL, BWL, TWL, TWL_ap, "
-      "TWL_swp, TWL_rnd";
+      "TWL_swp, TWL_rnd, FTL";
   return names;
 }
 
@@ -62,6 +65,7 @@ Scheme parse_scheme(const std::string& name) {
   if (lower == "twl_ap") return Scheme::kTossUpAdjacent;
   if (lower == "twl" || lower == "twl_swp") return Scheme::kTossUpStrongWeak;
   if (lower == "twl_rnd") return Scheme::kTossUpRandomPair;
+  if (lower == "ftl") return Scheme::kFtl;
   throw std::invalid_argument(
       "unknown wear-leveling scheme: '" + name + "' (valid schemes: " +
       valid_scheme_names() +
@@ -132,6 +136,14 @@ std::unique_ptr<WearLeveler> make_wear_leveler(Scheme scheme,
                                         config.endurance.table_bits,
                                         config.seed);
     }
+    case Scheme::kFtl:
+      if (config.device.backend != DeviceBackend::kNor) {
+        throw std::invalid_argument(
+            "scheme FTL requires the NOR-flash backend (pass --device nor)");
+      }
+      return std::make_unique<FtlWl>(endurance.pages(),
+                                     config.device.nor.pages_per_block,
+                                     config.wl_latencies);
   }
   throw std::invalid_argument("unhandled scheme");
 }

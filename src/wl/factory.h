@@ -22,13 +22,15 @@ enum class Scheme : std::uint8_t {
   kTossUpAdjacent,    ///< TWL_ap in Figure 6.
   kTossUpStrongWeak,  ///< TWL_swp / the paper's TWL.
   kTossUpRandomPair,  ///< Ablation.
+  kFtl,               ///< Block-mapped log-structured FTL (NOR backend only).
 };
 
 [[nodiscard]] std::string to_string(Scheme s);
 
 /// Parses "NOWL", "SR", "BWL", "WRL", "StartGap", "TWL", "TWL_ap",
-/// "TWL_swp", "TWL_rnd" (case-insensitive). Throws std::invalid_argument
-/// on anything else; the message lists valid_scheme_names().
+/// "TWL_swp", "TWL_rnd", "FTL" (case-insensitive). Throws
+/// std::invalid_argument on anything else; the message lists
+/// valid_scheme_names().
 [[nodiscard]] Scheme parse_scheme(const std::string& name);
 
 /// Comma-separated list of every name parse_scheme accepts. Unknown-key
@@ -36,7 +38,10 @@ enum class Scheme : std::uint8_t {
 /// command line always shows the menu it missed.
 [[nodiscard]] const std::string& valid_scheme_names();
 
-/// All schemes in the order the paper's figures list them.
+/// All schemes in the order the paper's figures list them. Frozen to the
+/// paper's in-place roster: kFtl is device-specific (NOR backend only)
+/// and is deliberately NOT included — the figure benches iterate this
+/// list over the PCM backend.
 [[nodiscard]] std::vector<Scheme> all_schemes();
 
 /// Builds a scheme instance over `endurance` using the knobs in `config`.

@@ -1,0 +1,113 @@
+// FTL: block-mapped log-structured wear leveling for the NOR backend.
+//
+// The paper's schemes all write in place, which on NOR flash forces a
+// full block erase per overwrite. This scheme is the classic flash-
+// translation-layer alternative: demand writes append to an active
+// erase block (out-of-place), the previous physical home of the logical
+// page is merely marked invalid, and a greedy garbage collector
+// reclaims the most-invalidated block — migrating its still-valid pages
+// under the blocking-reorganization protocol, then erasing it through
+// WriteSink::erase_unit. Erases (the NOR wear currency) happen only at
+// reclamation, amortized over a block's worth of appends.
+//
+// Deterministic throughout — no RNG:
+//  * free-block allocation picks the lowest-erase-count free block
+//    (ties toward the lowest index), which is also the wear-leveling
+//    policy;
+//  * the GC victim is the block with the most invalid pages (ties
+//    toward the lowest index).
+//
+// The scheme manages only whole erase blocks (a partial tail block is
+// left unused) and keeps kReserveBlocks blocks of over-provisioning;
+// the exposed logical space is the rest. Registered as Scheme::kFtl and
+// rejected by the factory unless the NOR backend is configured — on a
+// write-in-place device an FTL is pure overhead and the comparison
+// would be meaningless.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "wl/wear_leveler.h"
+
+namespace twl {
+
+class FtlWl final : public WearLeveler {
+ public:
+  /// Blocks of over-provisioning an FTL keeps for GC headroom.
+  static constexpr std::uint32_t kReserveBlocks = 2;
+
+  /// `pages` is the device size; `pages_per_block` the NOR erase-block
+  /// geometry. Throws std::invalid_argument when the device has fewer
+  /// than kReserveBlocks + 1 full blocks.
+  FtlWl(std::uint64_t pages, std::uint32_t pages_per_block,
+        const WlLatencies& latencies);
+
+  [[nodiscard]] std::string name() const override { return "FTL"; }
+  [[nodiscard]] std::uint64_t logical_pages() const override {
+    return logical_pages_;
+  }
+  [[nodiscard]] PhysicalPageAddr map_read(LogicalPageAddr la) const override {
+    return PhysicalPageAddr(map_[la.value()]);
+  }
+
+  void write(LogicalPageAddr la, WriteSink& sink) override;
+
+  [[nodiscard]] Cycles read_indirection_cycles() const override {
+    return latencies_.table;
+  }
+  /// One 32-bit forward-map entry per page (Section 5.4-style
+  /// accounting; the reverse map and page states live in controller
+  /// SRAM too but are bounded by the same order).
+  [[nodiscard]] std::uint32_t storage_bits_per_page() const override {
+    return 32;
+  }
+
+  [[nodiscard]] bool invariants_hold() const override;
+
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
+
+  void append_stats(
+      std::vector<std::pair<std::string, double>>& out) const override;
+
+  // ---- Observability (tests, benches).
+  [[nodiscard]] std::uint64_t gc_collections() const { return gc_; }
+  [[nodiscard]] std::uint64_t gc_migrated_pages() const { return migrated_; }
+  [[nodiscard]] std::uint64_t blocks_erased() const { return erased_; }
+  [[nodiscard]] std::uint32_t blocks() const {
+    return static_cast<std::uint32_t>(erase_count_.size());
+  }
+
+ private:
+  enum PageState : std::uint8_t { kFree = 0, kValid = 1, kInvalid = 2 };
+
+  [[nodiscard]] std::uint64_t managed_pages() const {
+    return static_cast<std::uint64_t>(erase_count_.size()) * block_pages_;
+  }
+  [[nodiscard]] bool block_is_free(std::uint32_t b) const;
+  /// Next append slot; runs GC when the free-block pool is down to its
+  /// last block.
+  std::uint32_t allocate_page(WriteSink& sink);
+  void select_new_active(WriteSink& sink);
+  void gc(WriteSink& sink);
+  /// Rebuild reverse_/invalid_count_ from map_/state_ (load_state).
+  void rebuild_derived();
+
+  WlLatencies latencies_;
+  std::uint32_t block_pages_;
+  std::uint64_t logical_pages_ = 0;
+  std::vector<std::uint32_t> map_;       // logical -> physical
+  std::vector<std::uint32_t> reverse_;   // physical -> logical (kInvalidPage)
+  std::vector<std::uint8_t> state_;      // per managed page, PageState
+  std::vector<std::uint64_t> erase_count_;   // per block (FTL's own view)
+  std::vector<std::uint32_t> invalid_count_; // per block, derived
+  std::uint32_t active_block_ = 0;
+  std::uint32_t write_ptr_ = 0;  // next free slot index within active block
+  std::uint64_t gc_ = 0;
+  std::uint64_t migrated_ = 0;
+  std::uint64_t erased_ = 0;
+};
+
+}  // namespace twl

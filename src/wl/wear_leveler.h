@@ -71,6 +71,13 @@ class WriteSink {
   /// current request (table lookups, RNG, control logic).
   virtual void engine_delay(Cycles cycles) = 0;
 
+  /// Erase the device erase unit containing `pa` (block-granularity
+  /// backends; the FTL scheme's garbage collector reclaims victim blocks
+  /// through this). Default no-op: in-place schemes never erase, and
+  /// replay sinks ignore physical effects — device wear is non-volatile
+  /// and already reflects the erase.
+  virtual void erase_unit(PhysicalPageAddr pa) { (void)pa; }
+
   /// Bracket a whole-memory blocking reorganization.
   virtual void begin_blocking() {}
   virtual void end_blocking() {}

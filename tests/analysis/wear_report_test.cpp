@@ -1,4 +1,5 @@
 #include "analysis/wear_report.h"
+#include "pcm/device.h"
 
 #include <gtest/gtest.h>
 

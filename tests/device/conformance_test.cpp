@@ -1,0 +1,269 @@
+// Device-concept conformance: every backend honors the same contract —
+// wear accounting through apply_write, a latched worn-out/failure state,
+// exactly-once newly-worn signaling (the retirement feed), byte-exact
+// snapshot round-trips, and bit-identical behavior across runs (the
+// property --jobs determinism is built on: a device is a pure function
+// of its construction parameters and applied operations).
+#include "device/factory.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "device/device.h"
+#include "pcm/endurance.h"
+#include "recovery/snapshot.h"
+
+namespace twl {
+namespace {
+
+constexpr std::uint64_t kPages = 48;
+
+Config backend_config(DeviceBackend backend) {
+  SimScale scale;
+  scale.pages = kPages;
+  scale.endurance_mean = 40;
+  scale.endurance_sigma_frac = 0.11;
+  Config c = Config::scaled(scale);
+  c.device.backend = backend;
+  c.device.nor.pages_per_block = 8;
+  c.device.hybrid.cache_pages = 8;
+  c.device.hybrid.ways = 2;
+  return c;
+}
+
+EnduranceMap map_for(const Config& c) {
+  return EnduranceMap(c.geometry.pages(), c.endurance, c.seed);
+}
+
+/// A deterministic write stream that hammers a few pages and sprays the
+/// rest — enough pressure to wear something out on every backend.
+std::vector<PhysicalPageAddr> pressure_stream(std::uint64_t n) {
+  std::vector<PhysicalPageAddr> pas;
+  pas.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint32_t pa = (i % 3 == 0)
+                                 ? static_cast<std::uint32_t>(i % kPages)
+                                 : static_cast<std::uint32_t>(i % 5);
+    pas.emplace_back(pa);
+  }
+  return pas;
+}
+
+class DeviceConformanceTest
+    : public ::testing::TestWithParam<DeviceBackend> {};
+
+TEST_P(DeviceConformanceTest, ReportsItsBackendAndGeometry) {
+  const Config config = backend_config(GetParam());
+  const auto dev = make_latch_device(map_for(config), config);
+  EXPECT_EQ(dev->backend(), GetParam());
+  EXPECT_EQ(dev->pages(), kPages);
+  EXPECT_GE(dev->erase_unit_pages(), 1u);
+  if (GetParam() == DeviceBackend::kNor) {
+    EXPECT_EQ(dev->erase_unit_pages(), config.device.nor.pages_per_block);
+  } else {
+    EXPECT_EQ(dev->erase_unit_pages(), 1u);
+  }
+  EXPECT_EQ(dev->endurance_map().pages(), kPages);
+  EXPECT_EQ(dev->wear_fractions().size(), kPages);
+}
+
+TEST_P(DeviceConformanceTest, AccountsWearAndTotals) {
+  const Config config = backend_config(GetParam());
+  const auto dev = make_latch_device(map_for(config), config);
+  std::vector<PhysicalPageAddr> worn;
+  EXPECT_EQ(dev->total_writes(), 0u);
+  dev->apply_write(PhysicalPageAddr(1), worn);
+  dev->apply_write(PhysicalPageAddr(1), worn);
+  dev->apply_write(PhysicalPageAddr(2), worn);
+  // Every backend charges the stream somewhere: the hybrid may still be
+  // buffering in DRAM, but page-granular backends must have landed all
+  // three.
+  if (GetParam() == DeviceBackend::kHybrid) {
+    EXPECT_LE(dev->total_writes(), 3u);
+  } else {
+    EXPECT_EQ(dev->total_writes(), 3u);
+    EXPECT_GE(dev->writes(PhysicalPageAddr(1)), 2u);
+  }
+  for (std::uint64_t p = 0; p < kPages; ++p) {
+    EXPECT_GT(dev->endurance(PhysicalPageAddr(
+                  static_cast<std::uint32_t>(p))),
+              0u);
+  }
+}
+
+TEST_P(DeviceConformanceTest, WornOutLatchesAndSignalsExactlyOnce) {
+  const Config config = backend_config(GetParam());
+  const auto dev = make_latch_device(map_for(config), config);
+
+  std::vector<PhysicalPageAddr> worn;
+  const auto stream = pressure_stream(12000);
+  std::set<std::uint32_t> signaled;
+  for (const PhysicalPageAddr pa : stream) {
+    const std::size_t before = worn.size();
+    dev->apply_write(pa, worn);
+    for (std::size_t i = before; i < worn.size(); ++i) {
+      // Exactly-once: a page never crosses the worn-out boundary twice.
+      EXPECT_TRUE(signaled.insert(worn[i].value()).second)
+          << "page " << worn[i].value() << " signaled twice";
+      EXPECT_TRUE(dev->worn_out(worn[i]));
+    }
+    if (dev->failed()) break;
+  }
+
+  ASSERT_TRUE(dev->failed()) << "pressure stream never wore the device";
+  ASSERT_FALSE(worn.empty());
+  ASSERT_TRUE(dev->first_failed_page().has_value());
+  ASSERT_TRUE(dev->writes_at_first_failure().has_value());
+  // The latch holds the *first* signaled page and never moves.
+  EXPECT_EQ(dev->first_failed_page()->value(), worn.front().value());
+  const WriteCount at_failure = *dev->writes_at_first_failure();
+  std::vector<PhysicalPageAddr> more;
+  dev->apply_write(PhysicalPageAddr(0), more);
+  EXPECT_EQ(*dev->writes_at_first_failure(), at_failure);
+  EXPECT_EQ(dev->first_failed_page()->value(), worn.front().value());
+
+  // Worn pages stay worn; wear fractions for them sit at >= 1.
+  const auto fractions = dev->wear_fractions();
+  for (const std::uint32_t p : signaled) {
+    EXPECT_TRUE(dev->worn_out(PhysicalPageAddr(p)));
+    EXPECT_GE(fractions[p], 1.0);
+  }
+}
+
+TEST_P(DeviceConformanceTest, SnapshotRoundTripsByteExact) {
+  const Config config = backend_config(GetParam());
+  const auto dev = make_latch_device(map_for(config), config);
+  std::vector<PhysicalPageAddr> worn;
+  for (const PhysicalPageAddr pa : pressure_stream(700)) {
+    dev->apply_write(pa, worn);
+  }
+
+  SnapshotWriter w;
+  dev->save_state(w);
+  const std::vector<std::uint8_t> blob = w.bytes();
+
+  const auto restored = make_latch_device(map_for(config), config);
+  SnapshotReader r(blob);
+  restored->load_state(r);
+  EXPECT_TRUE(r.exhausted()) << "loader left trailing bytes unread";
+
+  // Byte-equal re-save...
+  SnapshotWriter w2;
+  restored->save_state(w2);
+  EXPECT_EQ(w2.bytes(), blob);
+
+  // ...and behavior-equal continuation: the restored device reacts to
+  // further writes exactly like the original.
+  std::vector<PhysicalPageAddr> worn_a;
+  std::vector<PhysicalPageAddr> worn_b;
+  for (const PhysicalPageAddr pa : pressure_stream(4000)) {
+    dev->apply_write(pa, worn_a);
+    restored->apply_write(pa, worn_b);
+  }
+  for (std::uint64_t p = 0; p < kPages; ++p) {
+    const PhysicalPageAddr pa(static_cast<std::uint32_t>(p));
+    EXPECT_EQ(dev->writes(pa), restored->writes(pa)) << "page " << p;
+  }
+  EXPECT_EQ(dev->total_writes(), restored->total_writes());
+  EXPECT_EQ(dev->failed(), restored->failed());
+  ASSERT_EQ(worn_a.size(), worn_b.size());
+  for (std::size_t i = 0; i < worn_a.size(); ++i) {
+    EXPECT_EQ(worn_a[i].value(), worn_b[i].value());
+  }
+}
+
+TEST_P(DeviceConformanceTest, IdenticalRunsAreBitIdentical) {
+  // The determinism the fleet's --jobs invariance rests on: two devices
+  // fed the same stream serialize to identical bytes.
+  const Config config = backend_config(GetParam());
+  const auto a = make_latch_device(map_for(config), config);
+  const auto b = make_latch_device(map_for(config), config);
+  std::vector<PhysicalPageAddr> worn_a;
+  std::vector<PhysicalPageAddr> worn_b;
+  for (const PhysicalPageAddr pa : pressure_stream(3000)) {
+    const Cycles ca = a->apply_write(pa, worn_a);
+    const Cycles cb = b->apply_write(pa, worn_b);
+    EXPECT_EQ(ca, cb);
+  }
+  SnapshotWriter wa;
+  SnapshotWriter wb;
+  a->save_state(wa);
+  b->save_state(wb);
+  EXPECT_EQ(wa.bytes(), wb.bytes());
+}
+
+TEST_P(DeviceConformanceTest, ResetWearRestoresAFreshDevice) {
+  const Config config = backend_config(GetParam());
+  const auto dev = make_latch_device(map_for(config), config);
+  std::vector<PhysicalPageAddr> worn;
+  for (const PhysicalPageAddr pa : pressure_stream(5000)) {
+    dev->apply_write(pa, worn);
+  }
+  dev->reset_wear();
+  EXPECT_EQ(dev->total_writes(), 0u);
+  EXPECT_FALSE(dev->failed());
+  EXPECT_FALSE(dev->first_failed_page().has_value());
+  for (std::uint64_t p = 0; p < kPages; ++p) {
+    const PhysicalPageAddr pa(static_cast<std::uint32_t>(p));
+    EXPECT_EQ(dev->writes(pa), 0u);
+    EXPECT_FALSE(dev->worn_out(pa));
+  }
+  // A reset device serializes like a freshly constructed one.
+  SnapshotWriter reset_bytes;
+  dev->save_state(reset_bytes);
+  SnapshotWriter fresh_bytes;
+  make_latch_device(map_for(config), config)->save_state(fresh_bytes);
+  EXPECT_EQ(reset_bytes.bytes(), fresh_bytes.bytes());
+}
+
+TEST_P(DeviceConformanceTest, FactoryHonorsTheConfiguredBackend) {
+  const Config config = backend_config(GetParam());
+  const EnduranceMap map = map_for(config);
+  EXPECT_EQ(make_device(map, config)->backend(), GetParam());
+  EXPECT_EQ(make_latch_device(map, config)->backend(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, DeviceConformanceTest,
+                         ::testing::Values(DeviceBackend::kPcm,
+                                           DeviceBackend::kNor,
+                                           DeviceBackend::kHybrid),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(DeviceFactory, ParseAcceptsCanonicalAndAliasNames) {
+  EXPECT_EQ(parse_device_backend("pcm"), DeviceBackend::kPcm);
+  EXPECT_EQ(parse_device_backend("PCM"), DeviceBackend::kPcm);
+  EXPECT_EQ(parse_device_backend("nor"), DeviceBackend::kNor);
+  EXPECT_EQ(parse_device_backend("nor-flash"), DeviceBackend::kNor);
+  EXPECT_EQ(parse_device_backend("hybrid"), DeviceBackend::kHybrid);
+  EXPECT_EQ(parse_device_backend("Hybrid"), DeviceBackend::kHybrid);
+}
+
+TEST(DeviceFactory, UnknownBackendErrorListsValidNames) {
+  std::string what;
+  try {
+    (void)parse_device_backend("dram");
+  } catch (const std::invalid_argument& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("'dram'"), std::string::npos) << what;
+  EXPECT_NE(what.find(valid_device_backend_names()), std::string::npos)
+      << what;
+}
+
+TEST(DeviceFactory, NonPcmBackendsRejectTheFaultModel) {
+  Config config = backend_config(DeviceBackend::kNor);
+  config.fault.ecp_k = 2;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = backend_config(DeviceBackend::kHybrid);
+  config.fault.spare_pages = 4;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace twl

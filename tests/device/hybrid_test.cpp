@@ -1,0 +1,163 @@
+// Hybrid backend semantics: DRAM write-back cache accounting, LRU
+// victim choice, dirty-eviction-only wear, and cache-inclusive
+// snapshots.
+#include "device/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/config.h"
+#include "pcm/endurance.h"
+#include "recovery/snapshot.h"
+
+namespace twl {
+namespace {
+
+HybridParams params(std::uint32_t cache_pages, std::uint32_t ways) {
+  HybridParams p;
+  p.cache_pages = cache_pages;
+  p.ways = ways;
+  return p;
+}
+
+EnduranceMap uniform_map(std::uint64_t pages, std::uint64_t endurance) {
+  return EnduranceMap(
+      std::vector<std::uint64_t>(pages, endurance));
+}
+
+TEST(HybridDevice, ConstructorRejectsBadCacheGeometry) {
+  EXPECT_THROW(HybridDevice(uniform_map(8, 100), params(0, 4)),
+               std::invalid_argument);
+  EXPECT_THROW(HybridDevice(uniform_map(8, 100), params(6, 4)),
+               std::invalid_argument);
+}
+
+TEST(HybridDevice, HitsCostNoPcmWear) {
+  // One set, two ways: pages map to set pa % 1 = 0.
+  HybridDevice dev(uniform_map(8, 100), params(2, 2));
+  std::vector<PhysicalPageAddr> worn;
+  for (int i = 0; i < 50; ++i) {
+    dev.apply_write(PhysicalPageAddr(3), worn);
+  }
+  EXPECT_EQ(dev.front_writes(), 50u);
+  EXPECT_EQ(dev.cache_hits(), 49u);
+  EXPECT_EQ(dev.cache_misses(), 1u);
+  EXPECT_EQ(dev.writebacks(), 0u);
+  // Nothing reached PCM: the hot page is absorbed entirely.
+  EXPECT_EQ(dev.total_writes(), 0u);
+  EXPECT_EQ(dev.writes(PhysicalPageAddr(3)), 0u);
+  EXPECT_EQ(dev.dirty_lines(), 1u);
+}
+
+TEST(HybridDevice, EvictionWritesBackTheLruDirtyLine) {
+  // One set, two ways; three distinct pages force an eviction of the
+  // least recently used line.
+  HybridDevice dev(uniform_map(9, 100), params(2, 2));
+  std::vector<PhysicalPageAddr> worn;
+  dev.apply_write(PhysicalPageAddr(0), worn);  // way 0
+  dev.apply_write(PhysicalPageAddr(3), worn);  // way 1
+  dev.apply_write(PhysicalPageAddr(0), worn);  // hit, refresh page 0
+  dev.apply_write(PhysicalPageAddr(6), worn);  // evicts page 3 (LRU)
+  EXPECT_EQ(dev.writebacks(), 1u);
+  EXPECT_EQ(dev.total_writes(), 1u);
+  EXPECT_EQ(dev.writes(PhysicalPageAddr(3)), 1u);
+  EXPECT_EQ(dev.writes(PhysicalPageAddr(0)), 0u);
+}
+
+TEST(HybridDevice, FlushWritesBackEveryDirtyLineExactlyOnce) {
+  HybridDevice dev(uniform_map(16, 100), params(4, 2));
+  std::vector<PhysicalPageAddr> worn;
+  dev.apply_write(PhysicalPageAddr(0), worn);
+  dev.apply_write(PhysicalPageAddr(1), worn);
+  dev.apply_write(PhysicalPageAddr(2), worn);
+  EXPECT_EQ(dev.dirty_lines(), 3u);
+  EXPECT_EQ(dev.total_writes(), 0u);
+
+  dev.flush(worn);
+  EXPECT_EQ(dev.dirty_lines(), 0u);
+  EXPECT_EQ(dev.total_writes(), 3u);
+  EXPECT_EQ(dev.writebacks(), 3u);
+  EXPECT_EQ(dev.writes(PhysicalPageAddr(0)), 1u);
+  EXPECT_EQ(dev.writes(PhysicalPageAddr(1)), 1u);
+  EXPECT_EQ(dev.writes(PhysicalPageAddr(2)), 1u);
+
+  // Clean lines don't write back twice.
+  dev.flush(worn);
+  EXPECT_EQ(dev.total_writes(), 3u);
+}
+
+TEST(HybridDevice, EvictionWearCanKillAPageOtherThanTheTarget) {
+  // PCM endurance of 1: the first writeback kills its page. The worn
+  // page is the *evicted* page, not the page being written — the reason
+  // the device concept reports newly-worn pages by queue, not by return
+  // value.
+  HybridDevice dev(uniform_map(9, 1), params(2, 2));
+  std::vector<PhysicalPageAddr> worn;
+  dev.apply_write(PhysicalPageAddr(0), worn);
+  dev.apply_write(PhysicalPageAddr(3), worn);
+  dev.apply_write(PhysicalPageAddr(6), worn);  // evicts dirty page 0
+  ASSERT_EQ(worn.size(), 1u);
+  EXPECT_EQ(worn[0].value(), 0u);
+  EXPECT_TRUE(dev.failed());
+  EXPECT_EQ(dev.first_failed_page()->value(), 0u);
+}
+
+TEST(HybridDevice, SnapshotPreservesCacheStateWithoutFlushing) {
+  HybridDevice dev(uniform_map(16, 100), params(4, 2));
+  std::vector<PhysicalPageAddr> worn;
+  for (const std::uint32_t p : {0u, 1u, 2u, 4u, 0u, 5u, 8u}) {
+    dev.apply_write(PhysicalPageAddr(p), worn);
+  }
+  const WriteCount backend_writes_before = dev.total_writes();
+  const std::uint64_t dirty_before = dev.dirty_lines();
+  ASSERT_GT(dirty_before, 0u);
+
+  SnapshotWriter w;
+  dev.save_state(w);
+  // Battery-backed model: saving must not flush the cache.
+  EXPECT_EQ(dev.total_writes(), backend_writes_before);
+  EXPECT_EQ(dev.dirty_lines(), dirty_before);
+
+  HybridDevice restored(uniform_map(16, 100), params(4, 2));
+  SnapshotReader r(w.bytes());
+  restored.load_state(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(restored.dirty_lines(), dirty_before);
+  EXPECT_EQ(restored.front_writes(), dev.front_writes());
+  EXPECT_EQ(restored.cache_hits(), dev.cache_hits());
+  EXPECT_EQ(restored.cache_misses(), dev.cache_misses());
+  EXPECT_EQ(restored.writebacks(), dev.writebacks());
+  EXPECT_EQ(restored.total_writes(), dev.total_writes());
+
+  // The restored cache evicts the same victims: flush both and compare
+  // the PCM wear underneath.
+  std::vector<PhysicalPageAddr> wa;
+  std::vector<PhysicalPageAddr> wb;
+  dev.flush(wa);
+  restored.flush(wb);
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    EXPECT_EQ(dev.writes(PhysicalPageAddr(p)),
+              restored.writes(PhysicalPageAddr(p)))
+        << "page " << p;
+  }
+}
+
+TEST(HybridDevice, ResetWearEmptiesTheCache) {
+  HybridDevice dev(uniform_map(8, 100), params(2, 2));
+  std::vector<PhysicalPageAddr> worn;
+  dev.apply_write(PhysicalPageAddr(0), worn);
+  dev.apply_write(PhysicalPageAddr(1), worn);
+  dev.reset_wear();
+  EXPECT_EQ(dev.dirty_lines(), 0u);
+  EXPECT_EQ(dev.front_writes(), 0u);
+  EXPECT_EQ(dev.cache_hits(), 0u);
+  EXPECT_EQ(dev.total_writes(), 0u);
+  // Post-reset, a flush finds nothing to write back.
+  dev.flush(worn);
+  EXPECT_EQ(dev.total_writes(), 0u);
+}
+
+}  // namespace
+}  // namespace twl

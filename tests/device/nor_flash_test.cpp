@@ -1,0 +1,199 @@
+// NOR backend semantics: erase-before-write, per-block erase budgets,
+// the auto read-modify-erase-write path, and block-granular death.
+#include "device/nor_flash.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/config.h"
+#include "pcm/endurance.h"
+#include "recovery/snapshot.h"
+
+namespace twl {
+namespace {
+
+NorParams params(std::uint32_t pages_per_block,
+                 Cycles erase_cycles = 2'000'000) {
+  NorParams p;
+  p.pages_per_block = pages_per_block;
+  p.erase_cycles = erase_cycles;
+  return p;
+}
+
+TEST(NorFlashDevice, FirstProgramIsFreeOverwriteForcesAnErase) {
+  NorFlashDevice dev(EnduranceMap({10, 10, 10, 10}), params(2, 777));
+  std::vector<PhysicalPageAddr> worn;
+
+  // First program of an unprogrammed page: no erase, no surcharge.
+  EXPECT_EQ(dev.apply_write(PhysicalPageAddr(0), worn), 0u);
+  EXPECT_TRUE(dev.page_programmed(PhysicalPageAddr(0)));
+  EXPECT_EQ(dev.total_erases(), 0u);
+
+  // Rewriting the programmed page triggers the transparent
+  // read-modify-erase-write: one erase on the block, the erase-cycle
+  // surcharge, and the block's data (programmed bits) comes back.
+  EXPECT_EQ(dev.apply_write(PhysicalPageAddr(0), worn), 777u);
+  EXPECT_EQ(dev.total_erases(), 1u);
+  EXPECT_EQ(dev.auto_erases(), 1u);
+  EXPECT_EQ(dev.block_erases(0), 1u);
+  EXPECT_TRUE(dev.page_programmed(PhysicalPageAddr(0)));
+
+  // The sibling page in the block is untouched by the data restore.
+  EXPECT_FALSE(dev.page_programmed(PhysicalPageAddr(1)));
+  EXPECT_TRUE(worn.empty());
+  EXPECT_EQ(dev.total_writes(), 2u);
+}
+
+TEST(NorFlashDevice, ExplicitEraseClearsProgrammedBits) {
+  NorFlashDevice dev(EnduranceMap({10, 10, 10, 10}), params(2, 500));
+  std::vector<PhysicalPageAddr> worn;
+  dev.apply_write(PhysicalPageAddr(0), worn);
+  dev.apply_write(PhysicalPageAddr(1), worn);
+
+  EXPECT_EQ(dev.apply_erase(PhysicalPageAddr(1), worn), 500u);
+  EXPECT_FALSE(dev.page_programmed(PhysicalPageAddr(0)));
+  EXPECT_FALSE(dev.page_programmed(PhysicalPageAddr(1)));
+  EXPECT_EQ(dev.total_erases(), 1u);
+  EXPECT_EQ(dev.auto_erases(), 0u);
+
+  // Both pages program again without an erase.
+  EXPECT_EQ(dev.apply_write(PhysicalPageAddr(0), worn), 0u);
+  EXPECT_EQ(dev.apply_write(PhysicalPageAddr(1), worn), 0u);
+  EXPECT_EQ(dev.total_erases(), 1u);
+}
+
+TEST(NorFlashDevice, BlockBudgetIsTheMinimumMemberEndurance) {
+  // Block 0 = pages {0,1} budgets {9,4}; block 1 = {2,3} budgets {7,12}.
+  NorFlashDevice dev(EnduranceMap({9, 4, 7, 12}), params(2));
+  EXPECT_EQ(dev.blocks(), 2u);
+  EXPECT_EQ(dev.block_endurance(0), 4u);
+  EXPECT_EQ(dev.block_endurance(1), 7u);
+  EXPECT_EQ(dev.endurance(PhysicalPageAddr(0)), 4u);
+  EXPECT_EQ(dev.endurance(PhysicalPageAddr(1)), 4u);
+  EXPECT_EQ(dev.endurance(PhysicalPageAddr(3)), 7u);
+}
+
+TEST(NorFlashDevice, BlockDeathWearsEveryMemberPageAscending) {
+  NorFlashDevice dev(EnduranceMap({3, 3, 3, 100, 100, 100}), params(3));
+  std::vector<PhysicalPageAddr> worn;
+
+  // Burn block 0's three-erase budget with explicit erases.
+  dev.apply_erase(PhysicalPageAddr(0), worn);
+  dev.apply_erase(PhysicalPageAddr(0), worn);
+  EXPECT_TRUE(worn.empty());
+  EXPECT_FALSE(dev.failed());
+
+  dev.apply_erase(PhysicalPageAddr(0), worn);
+  // Budget reached: the whole block dies at once, member pages queued in
+  // ascending order, the failure latch holding the first of them.
+  ASSERT_EQ(worn.size(), 3u);
+  EXPECT_EQ(worn[0].value(), 0u);
+  EXPECT_EQ(worn[1].value(), 1u);
+  EXPECT_EQ(worn[2].value(), 2u);
+  EXPECT_TRUE(dev.failed());
+  ASSERT_TRUE(dev.first_failed_page().has_value());
+  EXPECT_EQ(dev.first_failed_page()->value(), 0u);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    EXPECT_TRUE(dev.worn_out(PhysicalPageAddr(p)));
+  }
+  EXPECT_FALSE(dev.worn_out(PhysicalPageAddr(3)));
+
+  // A later erase elsewhere signals its own pages but the latch holds.
+  std::vector<PhysicalPageAddr> more;
+  for (int i = 0; i < 100 && more.empty(); ++i) {
+    dev.apply_erase(PhysicalPageAddr(3), more);
+  }
+  ASSERT_EQ(more.size(), 3u);
+  EXPECT_EQ(more[0].value(), 3u);
+  EXPECT_EQ(dev.first_failed_page()->value(), 0u);
+}
+
+TEST(NorFlashDevice, TailBlockSmallerThanGeometryStillWorks) {
+  // 5 pages at 2 pages/block: blocks {0,1}, {2,3}, {4}.
+  NorFlashDevice dev(EnduranceMap({8, 6, 9, 9, 2}), params(2));
+  EXPECT_EQ(dev.blocks(), 3u);
+  EXPECT_EQ(dev.block_endurance(2), 2u);
+  std::vector<PhysicalPageAddr> worn;
+  dev.apply_erase(PhysicalPageAddr(4), worn);
+  dev.apply_erase(PhysicalPageAddr(4), worn);
+  ASSERT_EQ(worn.size(), 1u);
+  EXPECT_EQ(worn[0].value(), 4u);
+  EXPECT_TRUE(dev.failed());
+}
+
+TEST(NorFlashDevice, InPlaceOverwritesBurnTheBudgetAtWriteRate) {
+  // The asymmetry the FTL exists to fix: hammering one page in place
+  // costs one erase per rewrite, so the block dies after budget + 1
+  // writes to the same page.
+  NorFlashDevice dev(EnduranceMap({5, 5}), params(2));
+  std::vector<PhysicalPageAddr> worn;
+  WriteCount writes = 0;
+  while (!dev.failed()) {
+    dev.apply_write(PhysicalPageAddr(0), worn);
+    ++writes;
+    ASSERT_LE(writes, 100u);
+  }
+  EXPECT_EQ(writes, 6u);  // 1 free program + 5 erase-backed rewrites.
+  EXPECT_EQ(dev.auto_erases(), 5u);
+  ASSERT_TRUE(dev.writes_at_first_failure().has_value());
+  EXPECT_EQ(*dev.writes_at_first_failure(), dev.total_writes());
+}
+
+TEST(NorFlashDevice, SnapshotRoundTripPreservesNorState) {
+  NorFlashDevice dev(EnduranceMap({10, 10, 10, 10, 10}), params(2));
+  std::vector<PhysicalPageAddr> worn;
+  dev.apply_write(PhysicalPageAddr(0), worn);
+  dev.apply_write(PhysicalPageAddr(0), worn);  // auto erase
+  dev.apply_write(PhysicalPageAddr(3), worn);
+  dev.apply_erase(PhysicalPageAddr(4), worn);
+
+  SnapshotWriter w;
+  dev.save_state(w);
+
+  NorFlashDevice restored(EnduranceMap({10, 10, 10, 10, 10}), params(2));
+  SnapshotReader r(w.bytes());
+  restored.load_state(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(restored.total_erases(), dev.total_erases());
+  EXPECT_EQ(restored.auto_erases(), dev.auto_erases());
+  EXPECT_EQ(restored.total_writes(), dev.total_writes());
+  EXPECT_EQ(restored.block_erases(0), 1u);
+  EXPECT_TRUE(restored.page_programmed(PhysicalPageAddr(0)));
+  EXPECT_TRUE(restored.page_programmed(PhysicalPageAddr(3)));
+  EXPECT_FALSE(restored.page_programmed(PhysicalPageAddr(4)));
+}
+
+TEST(NorFlashDevice, LoadRejectsAPageGranularEraseVector) {
+  // The serialization seam the satellite bugfix guards: a NOR envelope
+  // whose erase-count vector is sized per page (a plausible writer bug)
+  // must be rejected, not silently reinterpreted as block counts.
+  NorFlashDevice dev(EnduranceMap({10, 10, 10, 10}), params(2));
+
+  SnapshotWriter w;
+  w.put_u32(0x4E4F5231);                      // "NOR1"
+  w.put_u64(4);                               // pages
+  w.put_u32(2);                               // pages_per_block
+  w.put_u64_vec({0, 0, 0, 0});                // erases, sized as PAGES
+  w.put_u64_vec({0, 0, 0, 0});                // programs (per page)
+  w.put_u8_vec(std::vector<std::uint8_t>{0, 0, 0, 0});  // programmed
+  w.put_u64(0);                               // total_writes
+  w.put_u64(0);                               // total_erases
+  w.put_u64(0);                               // auto_erases
+  w.put_bool(false);
+  w.put_u32(0);
+  w.put_u64(0);
+
+  SnapshotReader r(w.bytes());
+  try {
+    dev.load_state(r);
+    FAIL() << "page-granular erase vector accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("block-granular"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace twl

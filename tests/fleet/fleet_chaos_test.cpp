@@ -58,7 +58,11 @@ TEST_P(FleetScenarioTest, SurvivesChaosAndResumesBitIdentically) {
 
   EXPECT_EQ(result.totals.invariant_failures, 0u);
   EXPECT_EQ(result.totals.recoveries, result.totals.crashes);
-  EXPECT_GT(result.totals.crashes, 0u);
+  if (scenario.chaos.enabled()) {
+    EXPECT_GT(result.totals.crashes, 0u);
+  } else {
+    EXPECT_EQ(result.totals.crashes, 0u);
+  }
   EXPECT_EQ(result.committed_writes,
             scenario.horizon_writes() * scenario.devices);
 
@@ -180,7 +184,8 @@ TEST(FleetChaos, RejectsFaultModelConfigsAndMalformedScenarios) {
 TEST(FleetWorkloadStreams, SkipReplaysEveryWorkloadKind) {
   for (const WorkloadKind kind :
        {WorkloadKind::kZipf, WorkloadKind::kRepeat, WorkloadKind::kScan,
-        WorkloadKind::kRandom, WorkloadKind::kInconsistentAttack}) {
+        WorkloadKind::kRandom, WorkloadKind::kInconsistentAttack,
+        WorkloadKind::kInodeTable, WorkloadKind::kJournalPages}) {
     FleetWorkload w;
     w.kind = kind;
     FleetStream reference(w, 64, 99);

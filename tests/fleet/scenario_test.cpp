@@ -29,7 +29,11 @@ TEST(ScenarioRegistry, BuiltinCoversEverySchemeFamilyAndChaosProfile) {
     has_corruption = has_corruption || s.chaos.corruption;
     has_attack = has_attack ||
                  s.workload.kind == WorkloadKind::kInconsistentAttack;
-    EXPECT_TRUE(s.chaos.enabled()) << s.name << " runs no chaos";
+    // Chaos is mandatory on the PCM rows (the recovery-protocol grid);
+    // the non-PCM filesystem-metadata rows run chaos-free by design.
+    if (s.device_backend == DeviceBackend::kPcm) {
+      EXPECT_TRUE(s.chaos.enabled()) << s.name << " runs no chaos";
+    }
     EXPECT_GT(s.devices, 0u);
     EXPECT_GT(s.horizon_writes(), 0u);
   }
@@ -43,6 +47,16 @@ TEST(ScenarioRegistry, BuiltinCoversEverySchemeFamilyAndChaosProfile) {
   }
   EXPECT_TRUE(has_corruption);
   EXPECT_TRUE(has_attack);
+
+  // Every non-PCM backend has scenario coverage too.
+  bool has_nor = false;
+  bool has_hybrid = false;
+  for (const Scenario& s : r.all()) {
+    has_nor = has_nor || s.device_backend == DeviceBackend::kNor;
+    has_hybrid = has_hybrid || s.device_backend == DeviceBackend::kHybrid;
+  }
+  EXPECT_TRUE(has_nor);
+  EXPECT_TRUE(has_hybrid);
 }
 
 TEST(ScenarioRegistry, FindReturnsTheNamedScenario) {
@@ -112,19 +126,27 @@ TEST(UnknownKeyErrors, AdvertisedNamesAllConstruct) {
   const EnduranceMap map(config.geometry.pages(), config.endurance,
                          config.seed);
 
+  // FTL is documented as NOR-only, so the menu sweep constructs it over
+  // the backend it requires; everything else must build on plain PCM.
+  Config nor_config = config;
+  nor_config.device.backend = DeviceBackend::kNor;
+
   const std::string& menu = valid_scheme_names();
   std::size_t begin = 0;
   while (begin < menu.size()) {
     std::size_t end = menu.find(", ", begin);
     if (end == std::string::npos) end = menu.size();
     const std::string name = menu.substr(begin, end - begin);
-    EXPECT_NO_THROW((void)make_wear_leveler_spec(name, map, config))
+    const Config& c = name == "FTL" ? nor_config : config;
+    EXPECT_NO_THROW((void)make_wear_leveler_spec(name, map, c))
         << "advertised scheme '" << name << "' does not construct";
     begin = end + 2;
   }
 
   for (const Scenario& s : ScenarioRegistry::builtin().all()) {
-    EXPECT_NO_THROW((void)make_wear_leveler_spec(s.scheme_spec, map, config))
+    Config c = config;
+    c.device.backend = s.device_backend;
+    EXPECT_NO_THROW((void)make_wear_leveler_spec(s.scheme_spec, map, c))
         << "scenario " << s.name << " names unbuildable scheme '"
         << s.scheme_spec << "'";
   }

@@ -1,3 +1,4 @@
+#include "pcm/device.h"
 #include "sim/memory_controller.h"
 
 #include <gtest/gtest.h>

@@ -31,23 +31,26 @@ TEST(Factory, ParsesAllNames) {
   EXPECT_EQ(parse_scheme("TWL_ap"), Scheme::kTossUpAdjacent);
   EXPECT_EQ(parse_scheme("TWL_swp"), Scheme::kTossUpStrongWeak);
   EXPECT_EQ(parse_scheme("TWL_rnd"), Scheme::kTossUpRandomPair);
+  EXPECT_EQ(parse_scheme("FTL"), Scheme::kFtl);
+  EXPECT_EQ(parse_scheme("ftl"), Scheme::kFtl);
 }
 
 TEST(Factory, RejectsUnknownNames) {
-  EXPECT_THROW((void)parse_scheme("FTL"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheme("FTL2"), std::invalid_argument);
   EXPECT_THROW((void)parse_scheme(""), std::invalid_argument);
 }
 
 TEST(Factory, UnknownSchemeErrorListsValidNames) {
   std::string what;
   try {
-    (void)parse_scheme("FTL");
+    (void)parse_scheme("FTL2");
   } catch (const std::invalid_argument& e) {
     what = e.what();
   }
   // The error names the rejected input and every accepted scheme name, so
   // a typo on the command line is self-correcting.
-  EXPECT_NE(what.find("'FTL'"), std::string::npos) << what;
+  EXPECT_NE(what.find("'FTL2'"), std::string::npos) << what;
+  EXPECT_NE(what.find("FTL"), std::string::npos) << what;
   for (const Scheme s : all_schemes()) {
     EXPECT_NE(what.find(to_string(s)), std::string::npos)
         << what << " missing " << to_string(s);
@@ -72,6 +75,22 @@ TEST(Factory, BuildsEveryScheme) {
     EXPECT_LE(wl->logical_pages(), map.pages());
     EXPECT_TRUE(wl->invariants_hold()) << to_string(s);
   }
+}
+
+// FTL is NOR-only: the factory must refuse to build it over a
+// write-in-place backend instead of silently erasing nothing.
+TEST(Factory, FtlRequiresTheNorBackend) {
+  Config config = small_config();
+  const EnduranceMap map = small_map(config);
+  EXPECT_THROW((void)make_wear_leveler(Scheme::kFtl, map, config),
+               std::invalid_argument);
+  config.device.backend = DeviceBackend::kNor;
+  const auto wl = make_wear_leveler(Scheme::kFtl, map, config);
+  ASSERT_NE(wl, nullptr);
+  EXPECT_EQ(wl->name(), "FTL");
+  EXPECT_GT(wl->logical_pages(), 0u);
+  EXPECT_LT(wl->logical_pages(), map.pages());
+  EXPECT_TRUE(wl->invariants_hold());
 }
 
 TEST(Factory, TossUpVariantsGetTheRightPairing) {

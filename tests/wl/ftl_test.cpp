@@ -1,0 +1,224 @@
+// FTL scheme: out-of-place mapping, greedy garbage collection, erase
+// accounting through WriteSink::erase_unit, and snapshot round-trips.
+#include "wl/ftl.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/config.h"
+#include "recovery/snapshot.h"
+#include "shadow_sink.h"
+#include "wl/wear_leveler.h"
+
+namespace twl {
+namespace {
+
+using testing::ShadowSink;
+
+/// Forwards everything to a ShadowSink (content integrity) while also
+/// recording which pages the scheme erased through erase_unit.
+class EraseRecordingSink final : public WriteSink {
+ public:
+  explicit EraseRecordingSink(std::uint64_t pages) : shadow_(pages) {}
+
+  void demand_write(PhysicalPageAddr pa, LogicalPageAddr la) override {
+    shadow_.demand_write(pa, la);
+  }
+  void migrate(PhysicalPageAddr from, PhysicalPageAddr to,
+               WritePurpose purpose) override {
+    shadow_.migrate(from, to, purpose);
+  }
+  void swap_pages(PhysicalPageAddr a, PhysicalPageAddr b,
+                  WritePurpose purpose) override {
+    shadow_.swap_pages(a, b, purpose);
+  }
+  void engine_delay(Cycles cycles) override { shadow_.engine_delay(cycles); }
+  void erase_unit(PhysicalPageAddr pa) override { erases.push_back(pa); }
+  void begin_blocking() override { shadow_.begin_blocking(); }
+  void end_blocking() override { shadow_.end_blocking(); }
+
+  [[nodiscard]] const ShadowSink& shadow() const { return shadow_; }
+
+  std::vector<PhysicalPageAddr> erases;
+
+ private:
+  ShadowSink shadow_;
+};
+
+WlLatencies latencies() { return WlLatencies{}; }
+
+TEST(FtlWl, GeometryExposesAllButTheReserveBlocks) {
+  // 32 pages at 4/block = 8 blocks; 2 reserved -> 24 logical pages.
+  FtlWl wl(32, 4, latencies());
+  EXPECT_EQ(wl.blocks(), 8u);
+  EXPECT_EQ(wl.logical_pages(), 24u);
+  EXPECT_EQ(wl.name(), "FTL");
+  EXPECT_EQ(wl.storage_bits_per_page(), 32u);
+  EXPECT_TRUE(wl.invariants_hold());
+
+  // A partial tail block is left unmanaged.
+  FtlWl tail(34, 4, latencies());
+  EXPECT_EQ(tail.blocks(), 8u);
+  EXPECT_EQ(tail.logical_pages(), 24u);
+}
+
+TEST(FtlWl, ConstructorRejectsFewerThanThreeFullBlocks) {
+  EXPECT_THROW(FtlWl(8, 4, latencies()), std::invalid_argument);
+  EXPECT_THROW(FtlWl(11, 4, latencies()), std::invalid_argument);
+  EXPECT_NO_THROW(FtlWl(12, 4, latencies()));
+}
+
+TEST(FtlWl, RewritesGoOutOfPlaceAndTheMapFollows) {
+  FtlWl wl(32, 4, latencies());
+  EraseRecordingSink sink(32);
+
+  wl.write(LogicalPageAddr(0), sink);
+  const PhysicalPageAddr first = wl.map_read(LogicalPageAddr(0));
+  wl.write(LogicalPageAddr(0), sink);
+  const PhysicalPageAddr second = wl.map_read(LogicalPageAddr(0));
+  // Out-of-place: the rewrite appends to a fresh slot.
+  EXPECT_NE(first.value(), second.value());
+  EXPECT_EQ(sink.shadow().writes_with_purpose(WritePurpose::kDemand), 2u);
+  EXPECT_FALSE(sink.shadow().first_integrity_violation(wl).has_value());
+  EXPECT_TRUE(wl.invariants_hold());
+}
+
+TEST(FtlWl, LiveLogicalPagesAlwaysMapToDistinctPhysicalPages) {
+  FtlWl wl(32, 4, latencies());
+  EraseRecordingSink sink(32);
+  // Enough rewrites to cycle through GC several times.
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    wl.write(LogicalPageAddr(i % wl.logical_pages()), sink);
+    ASSERT_TRUE(wl.invariants_hold()) << "after write " << i;
+  }
+  std::set<std::uint32_t> mapped;
+  for (std::uint32_t la = 0; la < wl.logical_pages(); ++la) {
+    EXPECT_TRUE(mapped.insert(wl.map_read(LogicalPageAddr(la)).value())
+                    .second)
+        << "logical " << la << " shares a physical page";
+  }
+  EXPECT_FALSE(sink.shadow().first_integrity_violation(wl).has_value());
+}
+
+TEST(FtlWl, GcReclaimsBlocksThroughEraseUnit) {
+  FtlWl wl(32, 4, latencies());
+  EraseRecordingSink sink(32);
+  // Round-robin over the whole logical space: by the time a block is
+  // collected every slot in it has been rewritten, so victims are fully
+  // invalid and migrate nothing.
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    wl.write(LogicalPageAddr(i % wl.logical_pages()), sink);
+  }
+  EXPECT_GT(wl.gc_collections(), 0u);
+  EXPECT_EQ(wl.blocks_erased(), wl.gc_collections());
+  EXPECT_EQ(sink.erases.size(), wl.blocks_erased());
+  EXPECT_EQ(wl.gc_migrated_pages(), 0u);
+  // Blocking brackets stay balanced across collections.
+  EXPECT_TRUE(sink.shadow().blocking_balanced());
+  EXPECT_FALSE(sink.shadow().first_integrity_violation(wl).has_value());
+}
+
+TEST(FtlWl, GcMigratesTheVictimsLivePages) {
+  FtlWl wl(32, 4, latencies());
+  EraseRecordingSink sink(32);
+  // Hammer one logical page while the rest of the logical space sits
+  // cold in its pre-mapped blocks: the hot page's live slot rides along
+  // in every victim, so collections must migrate (with the bulk-phase
+  // purpose) to reclaim.
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    wl.write(LogicalPageAddr(0), sink);
+  }
+  ASSERT_GT(wl.gc_collections(), 0u);
+  EXPECT_GT(wl.gc_migrated_pages(), 0u);
+  EXPECT_EQ(sink.shadow().writes_with_purpose(WritePurpose::kPhaseSwap),
+            wl.gc_migrated_pages());
+  EXPECT_FALSE(sink.shadow().first_integrity_violation(wl).has_value());
+  EXPECT_TRUE(wl.invariants_hold());
+}
+
+TEST(FtlWl, IdenticalRunsAreDeterministic) {
+  FtlWl a(48, 4, latencies());
+  FtlWl b(48, 4, latencies());
+  EraseRecordingSink sa(48);
+  EraseRecordingSink sb(48);
+  for (std::uint32_t i = 0; i < 600; ++i) {
+    const LogicalPageAddr la((i * 7 + i / 3) % a.logical_pages());
+    a.write(la, sa);
+    b.write(la, sb);
+  }
+  for (std::uint32_t la = 0; la < a.logical_pages(); ++la) {
+    EXPECT_EQ(a.map_read(LogicalPageAddr(la)).value(),
+              b.map_read(LogicalPageAddr(la)).value());
+  }
+  EXPECT_EQ(a.gc_collections(), b.gc_collections());
+  ASSERT_EQ(sa.erases.size(), sb.erases.size());
+  for (std::size_t i = 0; i < sa.erases.size(); ++i) {
+    EXPECT_EQ(sa.erases[i].value(), sb.erases[i].value());
+  }
+}
+
+TEST(FtlWl, SnapshotRoundTripContinuesIdentically) {
+  FtlWl wl(32, 4, latencies());
+  EraseRecordingSink sink(32);
+  for (std::uint32_t i = 0; i < 150; ++i) {
+    wl.write(LogicalPageAddr(i % wl.logical_pages()), sink);
+  }
+
+  SnapshotWriter w;
+  wl.save_state(w);
+
+  FtlWl restored(32, 4, latencies());
+  SnapshotReader r(w.bytes());
+  restored.load_state(r);
+  EXPECT_TRUE(restored.invariants_hold());
+  EXPECT_EQ(restored.gc_collections(), wl.gc_collections());
+  EXPECT_EQ(restored.blocks_erased(), wl.blocks_erased());
+  for (std::uint32_t la = 0; la < wl.logical_pages(); ++la) {
+    EXPECT_EQ(restored.map_read(LogicalPageAddr(la)).value(),
+              wl.map_read(LogicalPageAddr(la)).value());
+  }
+
+  // The restored scheme makes the same decisions from here on.
+  EraseRecordingSink sink_a(32);
+  EraseRecordingSink sink_b(32);
+  for (std::uint32_t i = 0; i < 150; ++i) {
+    const LogicalPageAddr la(i % wl.logical_pages());
+    wl.write(la, sink_a);
+    restored.write(la, sink_b);
+  }
+  for (std::uint32_t la = 0; la < wl.logical_pages(); ++la) {
+    EXPECT_EQ(restored.map_read(LogicalPageAddr(la)).value(),
+              wl.map_read(LogicalPageAddr(la)).value());
+  }
+}
+
+TEST(FtlWl, LoadRejectsTruncatedOrForeignState) {
+  FtlWl wl(32, 4, latencies());
+  EraseRecordingSink sink(32);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    wl.write(LogicalPageAddr(i % wl.logical_pages()), sink);
+  }
+  SnapshotWriter w;
+  wl.save_state(w);
+  const std::vector<std::uint8_t> blob = w.bytes();
+
+  // Truncation at every prefix is rejected.
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    FtlWl victim(32, 4, latencies());
+    const std::vector<std::uint8_t> truncated(blob.begin(),
+                                              blob.begin() + len);
+    SnapshotReader r(truncated);
+    EXPECT_THROW(victim.load_state(r), SnapshotError) << "prefix " << len;
+  }
+
+  // A different geometry's state is rejected, not reinterpreted.
+  FtlWl other(48, 4, latencies());
+  SnapshotReader r(blob);
+  EXPECT_THROW(other.load_state(r), SnapshotError);
+}
+
+}  // namespace
+}  // namespace twl

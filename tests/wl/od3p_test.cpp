@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "pcm/device.h"
 #include "sim/memory_controller.h"
 #include "wl/no_wl.h"
 #include "wl/shadow_sink.h"

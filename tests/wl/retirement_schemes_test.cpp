@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "pcm/device.h"
 #include "sim/fault_sim.h"
 #include "sim/memory_controller.h"
 #include "trace/synthetic.h"

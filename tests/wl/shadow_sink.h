@@ -72,7 +72,7 @@ class ShadowSink final : public WriteSink {
   std::vector<bool> la_written_;
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;
-  std::array<std::uint64_t, 6> by_purpose_{};
+  std::array<std::uint64_t, kNumWritePurposes> by_purpose_{};
   Cycles engine_cycles_ = 0;
   std::uint64_t blocks_ = 0;
   int depth_ = 0;
