@@ -33,6 +33,14 @@ constexpr const char kUsage[] =
     "  --capacity N     per-shard queue capacity (default 256)\n"
     "  --deadline C     per-request deadline in cycles/ns (0 = none)\n"
     "  --gap C          mean client inter-arrival gap (0 = closed loop)\n"
+    "  --tenants N      tenant count (default 1; > 1 engages tenant mode)\n"
+    "  --tenant-blend B uniform (default), hostile or hammer\n"
+    "  --quota-pages N  per-tenant per-shard page budget (0 = equal split)\n"
+    "  --quota-rate N   per-tenant write-rate quota, tokens per 1000\n"
+    "                   cycles per shard (0 = unlimited)\n"
+    "  --quota-burst N  quota token-bucket capacity (default 16)\n"
+    "  --drr-quantum N  requests one tenant drains per DRR turn "
+    "(default 16)\n"
     "  --chaos N        mean writes between chaos events (0 = off)\n"
     "  --corruption     enable artifact corruption kinds\n"
     "  --verify         prove zero accepted-write loss by full replay\n"
@@ -73,6 +81,34 @@ void report_result(ReportBuilder& rep, const ServiceConfig& service,
   }
   rep.table("service_" + mode, table);
 
+  const bool tenant_mode = !r.tenants.empty();
+  if (tenant_mode) {
+    TextTable tt;
+    tt.add_row({"tenant", "pages", "submitted", "accepted", "shed",
+                "quota-shed", "timeout", "books"});
+    for (const TenantReport& t : r.tenants) {
+      tt.add_row({std::to_string(t.tenant), std::to_string(t.pages),
+                  std::to_string(t.totals.submitted),
+                  std::to_string(t.totals.accepted),
+                  std::to_string(t.totals.shed_overflow +
+                                 t.totals.shed_unavailable),
+                  std::to_string(t.totals.quota_shed),
+                  std::to_string(t.totals.timed_out),
+                  t.totals.accounting_exact() ? "exact" : "BROKEN"});
+    }
+    rep.table("tenants_" + mode, tt);
+    rep.note(strfmt(
+        "%s tenants: %llu quota-shed aggregate; per-tenant books %s\n",
+        mode.c_str(),
+        static_cast<unsigned long long>(r.totals.quota_shed),
+        [&] {
+          for (const TenantReport& t : r.tenants) {
+            if (!t.totals.accounting_exact()) return "BROKEN";
+          }
+          return "exact";
+        }()));
+  }
+
   const char* unit = mode == "realtime" ? "ns" : "cycles";
   rep.note(strfmt(
       "%s: %llu submitted = %llu accepted + %llu shed + %llu timed out "
@@ -82,7 +118,8 @@ void report_result(ReportBuilder& rep, const ServiceConfig& service,
       mode.c_str(), static_cast<unsigned long long>(r.totals.submitted),
       static_cast<unsigned long long>(r.totals.accepted),
       static_cast<unsigned long long>(r.totals.shed_overflow +
-                                      r.totals.shed_unavailable),
+                                      r.totals.shed_unavailable +
+                                      r.totals.quota_shed),
       static_cast<unsigned long long>(r.totals.timed_out),
       r.totals.accounting_exact() ? "exact" : "BROKEN",
       r.latency_p50, unit, r.latency_p99, unit,
@@ -114,6 +151,15 @@ void report_result(ReportBuilder& rep, const ServiceConfig& service,
              static_cast<double>(r.totals.timed_out));
   rep.scalar(mode + ".accounting_exact",
              r.totals.accounting_exact() ? 1.0 : 0.0);
+  if (tenant_mode) {
+    bool books = true;
+    for (const TenantReport& t : r.tenants) {
+      books = books && t.totals.accounting_exact();
+    }
+    rep.scalar(mode + ".quota_shed",
+               static_cast<double>(r.totals.quota_shed));
+    rep.scalar(mode + ".tenant_books_exact", books ? 1.0 : 0.0);
+  }
   rep.scalar(mode + ".latency_p50", r.latency_p50);
   rep.scalar(mode + ".latency_p99", r.latency_p99);
   rep.scalar(mode + ".crashes", static_cast<double>(r.chaos_totals.crashes));
@@ -132,9 +178,18 @@ int run_impl(const CliArgs& args) {
   const std::string mode = args.get_or("mode", "virtual");
 
   ServiceConfig service;
+  service.tenancy.tenants =
+      static_cast<std::uint32_t>(args.get_uint_or("tenants", 1));
+  service.tenancy.blend =
+      parse_tenant_blend(args.get_or("tenant-blend", "uniform"));
+  service.tenancy.quota_pages = args.get_uint_or("quota-pages", 0);
+  service.tenancy.quota_rate = args.get_uint_or("quota-rate", 0);
+  service.tenancy.quota_burst = args.get_uint_or("quota-burst", 16);
+  service.tenancy.drr_quantum = args.get_uint_or("drr-quantum", 16);
   service.shards = static_cast<std::uint32_t>(args.get_uint_or("shards", 4));
-  service.clients =
-      static_cast<std::uint32_t>(args.get_uint_or("clients", 4));
+  // Every tenant gets at least one client by default.
+  service.clients = static_cast<std::uint32_t>(args.get_uint_or(
+      "clients", std::max<std::uint64_t>(4, service.tenancy.tenants)));
   service.requests_per_client = args.get_uint_or("requests", 1 << 18);
   service.scheme_spec = args.get_or("scheme", "TWL");
   service.sharding = parse_sharding_policy(args.get_or("sharding", "hash"));
@@ -167,10 +222,29 @@ int run_impl(const CliArgs& args) {
   rep.config_entry("deadline_cycles", service.deadline_cycles);
   rep.config_entry("chaos_interval", service.chaos.mean_interval_writes);
   rep.config_entry("corruption", service.chaos.corruption);
+  if (service.tenancy.active()) {
+    rep.config_entry("tenants", service.tenancy.tenants);
+    rep.config_entry("tenant_blend", to_string(service.tenancy.blend));
+    rep.config_entry("quota_pages", service.tenancy.quota_pages);
+    rep.config_entry("quota_rate", service.tenancy.quota_rate);
+    rep.config_entry("quota_burst", service.tenancy.quota_burst);
+    rep.config_entry("drr_quantum", service.tenancy.drr_quantum);
+  }
 
   const ServiceFrontEnd fe(setup.config, service);
   std::uint64_t invariant_failures = 0;
   bool accounting_ok = true;
+
+  // Aggregate, per-tenant AND directory checks must all pass for a
+  // zero exit.
+  const auto books_exact = [](const ServiceRunResult& r) {
+    bool ok = r.totals.accounting_exact();
+    for (const TenantReport& t : r.tenants) {
+      ok = ok && t.totals.accounting_exact();
+    }
+    for (const ShardReport& s : r.shards) ok = ok && s.directory_verified;
+    return ok;
+  };
 
   if (mode == "virtual") {
     SimRunner runner(setup.jobs);
@@ -178,14 +252,14 @@ int run_impl(const CliArgs& args) {
     report_result(rep, service, r, "virtual");
     rep.metrics(r.metrics);
     invariant_failures = r.chaos_totals.invariant_failures;
-    accounting_ok = r.totals.accounting_exact();
+    accounting_ok = books_exact(r);
     bench::report_runner_footer(rep, runner.report());
   } else {
     const ServiceRunResult r = fe.run_realtime();
     report_result(rep, service, r, "realtime");
     rep.metrics(r.metrics);
     invariant_failures = r.chaos_totals.invariant_failures;
-    accounting_ok = r.totals.accounting_exact();
+    accounting_ok = books_exact(r);
   }
 
   rep.finish();

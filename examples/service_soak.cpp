@@ -9,6 +9,10 @@
 // Exits 0 only when all of it holds — CI runs `service_soak --chaos`.
 //
 //   ./service_soak [--chaos] [--shards N] [--clients N] [--seed S]
+//
+// Tenant mode (--tenants N > 1) additionally checks the per-tenant
+// terminal books and the directory surviving recovery on every shard.
+#include <algorithm>
 #include <string>
 
 #include "analysis/report.h"
@@ -27,7 +31,12 @@ constexpr const char kUsage[] =
     "  recovery invariants and --jobs byte-identity.\n"
     "  --chaos          inject crash/corruption chaos while serving\n"
     "  --shards N       controller shards (default 4)\n"
-    "  --clients N      concurrent clients (default 4)\n"
+    "  --clients N      concurrent clients (default max(4, tenants))\n"
+    "  --tenants N      tenant count (default 1; > 1 engages tenant mode)\n"
+    "  --tenant-blend B uniform (default), hostile or hammer\n"
+    "  --quota-pages N  per-tenant per-shard page budget (0 = equal split)\n"
+    "  --quota-rate N   per-tenant write-rate quota, tokens per 1000\n"
+    "                   cycles per shard (0 = unlimited)\n"
     "  --requests N     requests per client (default 4096)\n"
     "  --pages N        scaled device size in pages (default 64)\n"
     "  --seed S         RNG seed (default 20170618)\n"
@@ -51,9 +60,15 @@ int run_impl(const twl::CliArgs& args) {
   apply_device_flag(args, config);
 
   ServiceConfig service;
+  service.tenancy.tenants =
+      static_cast<std::uint32_t>(args.get_uint_or("tenants", 1));
+  service.tenancy.blend =
+      parse_tenant_blend(args.get_or("tenant-blend", "uniform"));
+  service.tenancy.quota_pages = args.get_uint_or("quota-pages", 0);
+  service.tenancy.quota_rate = args.get_uint_or("quota-rate", 0);
   service.shards = static_cast<std::uint32_t>(args.get_uint_or("shards", 4));
-  service.clients =
-      static_cast<std::uint32_t>(args.get_uint_or("clients", 4));
+  service.clients = static_cast<std::uint32_t>(args.get_uint_or(
+      "clients", std::max<std::uint64_t>(4, service.tenancy.tenants)));
   service.requests_per_client = args.get_uint_or("requests", 4096);
   service.queue_capacity = 64;
   // Paced arrivals with blocking back-pressure: the soak's claim is that
@@ -79,6 +94,12 @@ int run_impl(const twl::CliArgs& args) {
   rep.config_entry("clients", service.clients);
   rep.config_entry("requests_per_client", service.requests_per_client);
   rep.config_entry("chaos", service.chaos.enabled());
+  if (service.tenancy.active()) {
+    rep.config_entry("tenants", service.tenancy.tenants);
+    rep.config_entry("tenant_blend", to_string(service.tenancy.blend));
+    rep.config_entry("quota_pages", service.tenancy.quota_pages);
+    rep.config_entry("quota_rate", service.tenancy.quota_rate);
+  }
 
   const ServiceFrontEnd fe(config, service);
   rep.note(strfmt(
@@ -112,6 +133,23 @@ int run_impl(const twl::CliArgs& args) {
   }
   rep.table("soak", table);
 
+  if (!r.tenants.empty()) {
+    TextTable tt;
+    tt.add_row({"tenant", "pages", "submitted", "accepted", "shed",
+                "quota-shed", "timeout", "books"});
+    for (const TenantReport& t : r.tenants) {
+      tt.add_row({std::to_string(t.tenant), std::to_string(t.pages),
+                  std::to_string(t.totals.submitted),
+                  std::to_string(t.totals.accepted),
+                  std::to_string(t.totals.shed_overflow +
+                                 t.totals.shed_unavailable),
+                  std::to_string(t.totals.quota_shed),
+                  std::to_string(t.totals.timed_out),
+                  t.totals.accounting_exact() ? "exact" : "BROKEN"});
+    }
+    rep.table("tenants", tt);
+  }
+
   // 2. The same universe at --jobs 4 must be byte-identical.
   SimRunner parallel(4);
   const ServiceRunResult r4 = fe.run_virtual(parallel);
@@ -122,6 +160,18 @@ int run_impl(const twl::CliArgs& args) {
     if (!r.totals.accounting_exact()) return false;
     for (const ShardReport& s : r.shards) {
       if (!s.totals.accounting_exact()) return false;
+      for (const TenantReport& t : s.tenants) {
+        if (!t.totals.accounting_exact()) return false;
+      }
+    }
+    for (const TenantReport& t : r.tenants) {
+      if (!t.totals.accounting_exact()) return false;
+    }
+    return true;
+  }();
+  const bool directory_ok = [&] {
+    for (const ShardReport& s : r.shards) {
+      if (!s.directory_verified) return false;
     }
     return true;
   }();
@@ -146,7 +196,8 @@ int run_impl(const twl::CliArgs& args) {
       static_cast<unsigned long long>(r.totals.submitted),
       static_cast<unsigned long long>(r.totals.accepted),
       static_cast<unsigned long long>(r.totals.shed_overflow +
-                                      r.totals.shed_unavailable),
+                                      r.totals.shed_unavailable +
+                                      r.totals.quota_shed),
       static_cast<unsigned long long>(r.totals.timed_out),
       accounting_ok ? "exact" : "BROKEN",
       static_cast<unsigned long long>(r.chaos_totals.crashes),
@@ -165,10 +216,14 @@ int run_impl(const twl::CliArgs& args) {
   rep.scalar("jobs_identical", jobs_identical ? 1.0 : 0.0);
   rep.scalar("latency_p50", r.latency_p50);
   rep.scalar("latency_p99", r.latency_p99);
+  if (service.tenancy.active()) {
+    rep.scalar("quota_shed", static_cast<double>(r.totals.quota_shed));
+    rep.scalar("directory_verified", directory_ok ? 1.0 : 0.0);
+  }
   rep.finish();
 
   return accounting_ok && recovered_all && no_loss && jobs_identical &&
-                 chaos_fired
+                 chaos_fired && directory_ok
              ? 0
              : 1;
 }

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <string_view>
 
 namespace twl {
@@ -48,6 +49,13 @@ deprecated_flag_aliases() {
 }
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
+  // Wraps canonical_name so each use of a deprecated spelling is
+  // recorded; run_cli_main turns the record into one warning per alias.
+  const auto canonicalize = [this](std::string name) {
+    std::string canonical = canonical_name(name);
+    if (canonical != name) aliases_used_.emplace_back(name, canonical);
+    return canonical;
+  };
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
     if (arg.rfind("--benchmark_", 0) == 0) continue;  // google-benchmark's.
@@ -64,12 +72,12 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
         throw CliError("expected --flag=value, got: '--" + std::string(arg) +
                        "'");
       }
-      values_[canonical_name(std::string(arg.substr(0, eq)))] =
+      values_[canonicalize(std::string(arg.substr(0, eq)))] =
           std::string(arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[canonical_name(std::string(arg))] = argv[++i];
+      values_[canonicalize(std::string(arg))] = argv[++i];
     } else {
-      values_[canonical_name(std::string(arg))] = "true";  // bare boolean flag
+      values_[canonicalize(std::string(arg))] = "true";  // bare boolean flag
     }
   }
 }
@@ -173,6 +181,15 @@ int run_cli_main(int argc, const char* const* argv, const std::string& usage,
                  const std::function<int(const CliArgs&)>& body) {
   try {
     const CliArgs args(argc, argv);
+    // One warning per alias per process, on stderr so report output
+    // (often diffed byte-for-byte) stays clean.
+    static std::set<std::string> warned;
+    for (const auto& [alias, canonical] : args.deprecated_aliases_used()) {
+      if (!warned.insert(alias).second) continue;
+      std::fprintf(stderr,
+                   "warning: flag --%s is deprecated; use --%s instead\n",
+                   alias.c_str(), canonical.c_str());
+    }
     if (args.has("help")) {
       std::printf("%s", usage.c_str());
       std::printf("\ndeprecated flag aliases (accepted, hidden):");

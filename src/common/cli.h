@@ -60,6 +60,15 @@ class CliArgs {
 
   [[nodiscard]] bool has(const std::string& name) const;
 
+  /// Deprecated alias spellings this command line actually used, as
+  /// (alias, canonical) pairs in argv order. run_cli_main prints a
+  /// one-time warning per alias to stderr; exposed so tests can assert
+  /// the detection without capturing stderr.
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  deprecated_aliases_used() const {
+    return aliases_used_;
+  }
+
   /// Names the caller never queried — used to reject typos.
   [[nodiscard]] std::vector<std::string> unconsumed() const;
 
@@ -70,6 +79,7 @@ class CliArgs {
  private:
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> consumed_;
+  std::vector<std::pair<std::string, std::string>> aliases_used_;
 };
 
 /// Standard main() wrapper for flag-driven binaries: parses argv, handles

@@ -1,0 +1,34 @@
+#include "common/names.h"
+
+namespace twl {
+
+namespace {
+
+std::string pluralize(const std::string& kind) {
+  // "scenario" -> "scenarios", "sharding policy" -> "sharding policies".
+  if (!kind.empty() && kind.back() == 'y') {
+    return kind.substr(0, kind.size() - 1) + "ies";
+  }
+  return kind + "s";
+}
+
+}  // namespace
+
+std::string unknown_name_message(const std::string& kind,
+                                 const std::string& got,
+                                 const std::string& valid,
+                                 const std::string& hint) {
+  std::string msg =
+      "unknown " + kind + ": '" + got + "' (valid " + pluralize(kind) + ": " +
+      valid;
+  if (!hint.empty()) msg += "; " + hint;
+  msg += ")";
+  return msg;
+}
+
+void throw_unknown_name(const std::string& kind, const std::string& got,
+                        const std::string& valid, const std::string& hint) {
+  throw std::invalid_argument(unknown_name_message(kind, got, valid, hint));
+}
+
+}  // namespace twl

@@ -1,0 +1,34 @@
+// Shared construction for "unknown name -> list the valid names" errors.
+//
+// The scheme factory, the device factory and the ScenarioRegistry (and now
+// the tenant-blend parser) all reject unrecognized names the same way: name
+// the kind, echo the offending spelling, and list every valid name so a
+// typo in a sweep script is self-correcting. This helper keeps the message
+// format uniform across all of them:
+//
+//   unknown <kind>: '<got>' (valid <kind-plural>: a, b, c[; <hint>])
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace twl {
+
+/// Builds the uniform unknown-name message. `kind` is the singular noun
+/// ("scenario", "device backend", "wear-leveling scheme"); the plural in
+/// the parenthetical is derived from it (trailing "y" -> "ies", else "s").
+/// `valid` is the pre-joined comma-separated list of valid names; `hint`
+/// (optional) is appended after the list, separated by "; ".
+[[nodiscard]] std::string unknown_name_message(const std::string& kind,
+                                               const std::string& got,
+                                               const std::string& valid,
+                                               const std::string& hint = "");
+
+/// Throws std::invalid_argument with unknown_name_message(...). All three
+/// factory call sites funnel through here so tests can assert one format.
+[[noreturn]] void throw_unknown_name(const std::string& kind,
+                                     const std::string& got,
+                                     const std::string& valid,
+                                     const std::string& hint = "");
+
+}  // namespace twl

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "common/names.h"
 #include "device/hybrid.h"
 #include "device/nor_flash.h"
 #include "pcm/device.h"
@@ -34,9 +35,7 @@ DeviceBackend parse_device_backend(const std::string& name) {
   if (lower == "pcm") return DeviceBackend::kPcm;
   if (lower == "nor" || lower == "nor-flash") return DeviceBackend::kNor;
   if (lower == "hybrid") return DeviceBackend::kHybrid;
-  throw std::invalid_argument("unknown device backend '" + name +
-                              "' (valid: " + valid_device_backend_names() +
-                              ")");
+  throw_unknown_name("device backend", name, valid_device_backend_names());
 }
 
 std::unique_ptr<Device> make_device(const EnduranceMap& endurance,

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/names.h"
+
 namespace twl {
 
 namespace {
@@ -39,6 +41,12 @@ constexpr Row kBuiltinRows[] = {
     {"corruption_twl",      "TWL",        DeviceBackend::kPcm,    WorkloadKind::kZipf,              128, true,   4,  8},
     {"corruption_sr",       "SR",         DeviceBackend::kPcm,    WorkloadKind::kRandom,            128, true,   4,  8},
     {"soak_attack_fleet",   "guard:TWL",  DeviceBackend::kPcm,    WorkloadKind::kInconsistentAttack,128, true,   8, 16},
+    // Multi-tenant blends: one hostile tenant hammering its private
+    // slice while zipf background tenants share the rest of the device
+    // (the device-level view of the service front-end's kHostile blend).
+    {"tenant_hostile_twl",       "TWL",       DeviceBackend::kPcm, WorkloadKind::kMultiTenant,      160, false,  4,  8},
+    {"tenant_hostile_guard_twl", "guard:TWL", DeviceBackend::kPcm, WorkloadKind::kMultiTenant,      160, false,  4,  8},
+    {"tenant_blend_sr",          "SR",        DeviceBackend::kPcm, WorkloadKind::kMultiTenant,      128, true,   4,  8},
     // Filesystem-metadata storms on the non-PCM backends. Chaos stays
     // off: crash/corruption recovery for NOR and hybrid snapshots is
     // covered by the device conformance tests, and the FTL journals no
@@ -91,8 +99,7 @@ const Scenario& ScenarioRegistry::find(const std::string& name) const {
   for (const Scenario& s : scenarios_) {
     if (s.name == name) return s;
   }
-  throw std::invalid_argument("unknown scenario: '" + name +
-                              "' (valid scenarios: " + names() + ")");
+  throw_unknown_name("scenario", name, names());
 }
 
 std::string ScenarioRegistry::names() const {

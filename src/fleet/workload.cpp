@@ -24,6 +24,8 @@ std::string to_string(WorkloadKind k) {
       return "inode-table";
     case WorkloadKind::kJournalPages:
       return "journal-pages";
+    case WorkloadKind::kMultiTenant:
+      return "multi-tenant";
   }
   return "unknown";
 }
@@ -51,23 +53,39 @@ FleetStream::FleetStream(const FleetWorkload& workload,
       rng_ = std::make_unique<XorShift64Star>(seed);
       break;
     case WorkloadKind::kRepeat:
-    case WorkloadKind::kInconsistentAttack: {
-      // Spread the attacked set evenly over the space so the addresses
-      // land in distinct regions/pairs of every scheme.
+    case WorkloadKind::kInconsistentAttack:
+    case WorkloadKind::kMultiTenant: {
+      // kMultiTenant confines the attacked set to the hostile tenant's
+      // private slice (the leading eighth); the other kinds spread it
+      // evenly over the whole space so the addresses land in distinct
+      // regions/pairs of every scheme.
+      const std::uint64_t space =
+          workload_.kind == WorkloadKind::kMultiTenant
+              ? std::max<std::uint64_t>(1, pages_ / 8)
+              : pages_;
       const std::uint32_t n =
           static_cast<std::uint32_t>(std::min<std::uint64_t>(
-              std::max<std::uint32_t>(workload_.attack_addrs, 1), pages_));
+              std::max<std::uint32_t>(workload_.attack_addrs, 1), space));
       attack_set_.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) {
         attack_set_.push_back(
-            static_cast<std::uint32_t>((pages_ * i) / n));
+            static_cast<std::uint32_t>((space * i) / n));
       }
-      if (workload_.kind == WorkloadKind::kInconsistentAttack) {
+      if (workload_.kind != WorkloadKind::kRepeat) {
         rng_ = std::make_unique<XorShift64Star>(seed);
         weights_.assign(n, workload_.mid_weight);
         weights_.front() = 1;
         weights_.back() = workload_.heavy_weight;
         for (std::uint64_t w : weights_) weight_total_ += w;
+      }
+      if (workload_.kind == WorkloadKind::kMultiTenant) {
+        SyntheticParams sp;
+        sp.pages = pages_;
+        sp.zipf_s = workload_.zipf_s;
+        sp.stream_frac = workload_.stream_frac;
+        sp.read_frac = 0.0;
+        sp.seed = seed ^ 0x7E4A'4000'0000'0001ULL;
+        zipf_ = std::make_unique<SyntheticTrace>(sp, "fleet-bg");
       }
       break;
     }
@@ -133,6 +151,36 @@ LogicalPageAddr FleetStream::generate() {
       const std::uint64_t body = consumed_ - consumed_ / 4;
       return LogicalPageAddr(
           static_cast<std::uint32_t>(1 + body % (journal - 1)));
+    }
+    case WorkloadKind::kMultiTenant: {
+      const std::uint64_t slice = std::max<std::uint64_t>(1, pages_ / 8);
+      if (consumed_ % 4 == 3) {
+        // The hostile tenant's turn: the phase-reversing skewed pick,
+        // confined to its slice.
+        const bool reversed =
+            (consumed_ / workload_.flip_interval) % 2 == 1;
+        std::uint64_t pick = rng_->next_below(weight_total_);
+        std::size_t idx = 0;
+        while (pick >= weights_[idx]) {
+          pick -= weights_[idx];
+          ++idx;
+        }
+        if (reversed) idx = attack_set_.size() - 1 - idx;
+        return LogicalPageAddr(attack_set_[idx]);
+      }
+      // Background tenants: zipf traffic folded into the rest of the
+      // space (the whole space when the device is a single slice).
+      const std::uint64_t span = pages_ - slice;
+      for (;;) {
+        const MemoryRequest req = zipf_->next();
+        if (req.op != Op::kWrite) continue;
+        if (span == 0) {
+          return LogicalPageAddr(
+              static_cast<std::uint32_t>(req.addr.value() % pages_));
+        }
+        return LogicalPageAddr(static_cast<std::uint32_t>(
+            slice + req.addr.value() % span));
+      }
     }
   }
   return LogicalPageAddr(0);

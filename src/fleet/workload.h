@@ -36,6 +36,7 @@ enum class WorkloadKind : std::uint8_t {
   kInconsistentAttack,  ///< Phase-reversing skewed set (Section 3.2).
   kInodeTable,          ///< FS metadata storm: skewed inode region + bitmaps.
   kJournalPages,        ///< FS journal: cycling body pages + commit block.
+  kMultiTenant,         ///< Hostile tenant slice + zipf background blend.
 };
 
 [[nodiscard]] std::string to_string(WorkloadKind k);
@@ -55,6 +56,14 @@ struct FleetWorkload {
   std::uint64_t flip_interval = 256;
 };
 
+// kMultiTenant models a shared device serving a hostile tenant next to
+// well-behaved neighbors, collapsed into one skip-replayable stream:
+// every 4th write is the attacker — the phase-reversing inconsistent
+// pattern confined to the tenant's private slice (the first pages/8) —
+// and the rest is zipf background traffic over the remaining space.
+// This is the device-level view of the service front-end's kHostile
+// tenant blend (service/tenant.h), usable from the fleet harness where
+// no front-end exists.
 // kInodeTable models a filesystem inode-table write storm: nearly all
 // writes land in a small leading "inode region" (pages/64, floor 8) with a skew
 // toward low inode numbers (min of two uniform draws), and every 8th

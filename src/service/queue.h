@@ -104,6 +104,23 @@ class BoundedMpscQueue {
     return out.size();
   }
 
+  /// Non-blocking pop_batch: moves up to `max` items into `out` (cleared
+  /// first) and returns immediately — 0 when nothing is queued. Used by
+  /// the multi-tenant worker, which round-robins across per-tenant
+  /// queues and must not sleep on an empty one while others hold work.
+  std::size_t try_pop_batch(std::vector<T>& out, std::size_t max) {
+    out.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (!items_.empty() && out.size() < max) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    if (!out.empty()) not_full_.notify_all();
+    return out.size();
+  }
+
   void close() {
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/checksum.h"
+#include "common/names.h"
 #include "common/rng.h"
 #include "common/sim_runner.h"
 #include "obs/json.h"
@@ -34,13 +35,6 @@ ClientSeeds client_seeds(std::uint64_t service_seed, std::uint32_t client) {
   s.workload = mix.next();
   s.gap = mix.next();
   return s;
-}
-
-/// Salted mix for hash sharding: a plain modulo of the raw address would
-/// collapse to kModuloLa.
-std::uint32_t hash_la(std::uint32_t la) {
-  return static_cast<std::uint32_t>(
-      SplitMix64(0x5A1D'0000'0000'0000ULL ^ la).next());
 }
 
 std::uint64_t now_ns() {
@@ -82,15 +76,13 @@ std::string to_string(OverflowPolicy p) {
 ShardingPolicy parse_sharding_policy(const std::string& name) {
   if (name == "hash") return ShardingPolicy::kHashLa;
   if (name == "modulo") return ShardingPolicy::kModuloLa;
-  throw std::invalid_argument("unknown sharding policy '" + name +
-                              "' (valid: hash, modulo)");
+  throw_unknown_name("sharding policy", name, "hash, modulo");
 }
 
 OverflowPolicy parse_overflow_policy(const std::string& name) {
   if (name == "shed") return OverflowPolicy::kShed;
   if (name == "block") return OverflowPolicy::kBlock;
-  throw std::invalid_argument("unknown overflow policy '" + name +
-                              "' (valid: shed, block)");
+  throw_unknown_name("overflow policy", name, "shed, block");
 }
 
 void ServiceConfig::validate(const Config& config) const {
@@ -125,14 +117,34 @@ void ServiceConfig::validate(const Config& config) const {
         "service config: verify_final_state requires the binary wear-out "
         "model (whole-history replay)");
   }
+  if (tenancy.tenants == 0) {
+    throw std::invalid_argument("service config: tenants must be positive");
+  }
+  if (tenancy.drr_quantum == 0) {
+    throw std::invalid_argument(
+        "service config: drr_quantum must be positive");
+  }
+  if (tenancy.quota_rate > 0 && tenancy.quota_burst == 0) {
+    throw std::invalid_argument(
+        "service config: quota_burst must be positive when quota_rate is "
+        "set");
+  }
+  if (min_cache_hit_rate < 0.0 || min_cache_hit_rate > 1.0) {
+    throw std::invalid_argument(
+        "service config: min_cache_hit_rate must be in [0, 1]");
+  }
 }
 
 void ServiceRunResult::write_json(JsonWriter& w) const {
+  // Tenant fields are emitted only in tenant mode: the single-tenant
+  // default document stays byte-identical to the pre-tenant format.
+  const bool tenant_mode = !tenants.empty();
   w.begin_object();
   w.kv("submitted", totals.submitted);
   w.kv("accepted", totals.accepted);
   w.kv("shed_overflow", totals.shed_overflow);
   w.kv("shed_unavailable", totals.shed_unavailable);
+  if (tenant_mode) w.kv("quota_shed", totals.quota_shed);
   w.kv("timed_out", totals.timed_out);
   w.kv("retries", totals.retries);
   w.kv("blocked", totals.blocked);
@@ -149,6 +161,27 @@ void ServiceRunResult::write_json(JsonWriter& w) const {
   w.kv("invariant_failures", chaos_totals.invariant_failures);
   w.kv("replayed_writes", chaos_totals.replayed_writes);
   w.kv("service_digest", service_digest);
+  if (tenant_mode) {
+    w.key("tenants");
+    w.begin_array();
+    for (const TenantReport& t : tenants) {
+      w.begin_object();
+      w.kv("tenant", t.tenant);
+      w.kv("pages", t.pages);
+      w.kv("submitted", t.totals.submitted);
+      w.kv("accepted", t.totals.accepted);
+      w.kv("shed_overflow", t.totals.shed_overflow);
+      w.kv("shed_unavailable", t.totals.shed_unavailable);
+      w.kv("quota_shed", t.totals.quota_shed);
+      w.kv("timed_out", t.totals.timed_out);
+      w.kv("retries", t.totals.retries);
+      w.kv("blocked", t.totals.blocked);
+      w.kv("deadline_overruns", t.totals.deadline_overruns);
+      w.kv("accounting_exact", t.totals.accounting_exact());
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.key("shards");
   w.begin_array();
   for (const ShardReport& s : shards) {
@@ -160,6 +193,7 @@ void ServiceRunResult::write_json(JsonWriter& w) const {
     w.kv("accepted", s.totals.accepted);
     w.kv("shed_overflow", s.totals.shed_overflow);
     w.kv("shed_unavailable", s.totals.shed_unavailable);
+    if (tenant_mode) w.kv("quota_shed", s.totals.quota_shed);
     w.kv("timed_out", s.totals.timed_out);
     w.kv("retries", s.totals.retries);
     w.kv("blocked", s.totals.blocked);
@@ -170,6 +204,8 @@ void ServiceRunResult::write_json(JsonWriter& w) const {
     w.kv("journal_bytes", s.journal_bytes);
     w.kv("state_digest", s.state_digest);
     w.kv("history_verified", s.history_verified);
+    if (tenant_mode) w.kv("directory_verified", s.directory_verified);
+    if (s.cache_hit_rate >= 0) w.kv("cache_hit_rate", s.cache_hit_rate);
     w.end_object();
   }
   w.end_array();
@@ -189,6 +225,13 @@ ServiceFrontEnd::ServiceFrontEnd(const Config& config,
       make_wear_leveler_spec(service_.scheme_spec, probe_endurance, config_);
   local_pages_ = probe->logical_pages();
   global_pages_ = local_pages_ * service_.shards;
+  // The directory exists in every mode (one full-space tenant by
+  // default); carve() throws on oversubscribed budgets or a tenant
+  // population the shard space cannot fit.
+  directory_ = TenantDirectory::carve(
+      local_pages_, service_.shards,
+      std::vector<std::uint64_t>(service_.tenancy.tenants,
+                                 service_.tenancy.quota_pages));
 }
 
 std::pair<std::uint32_t, std::uint32_t> ServiceFrontEnd::route(
@@ -197,7 +240,7 @@ std::pair<std::uint32_t, std::uint32_t> ServiceFrontEnd::route(
   std::uint32_t shard = 0;
   switch (service_.sharding) {
     case ShardingPolicy::kHashLa:
-      shard = hash_la(global_la) % shards;
+      shard = service_mix_la(global_la) % shards;
       break;
     case ShardingPolicy::kModuloLa:
       shard = global_la % shards;
@@ -218,6 +261,10 @@ ShardParams ServiceFrontEnd::shard_params() const {
   p.recovery_base_cycles = service_.recovery_base_cycles;
   p.recovery_per_replay_cycles = service_.recovery_per_replay_cycles;
   p.keep_history = service_.verify_final_state;
+  p.min_cache_hit_rate = service_.min_cache_hit_rate;
+  if (service_.tenancy.active()) {
+    p.directory_blob = directory_.serialize();
+  }
   return p;
 }
 
@@ -226,7 +273,8 @@ struct ServiceFrontEnd::Arrival {
   Cycles at = 0;
   std::uint32_t client = 0;
   std::uint64_t seq = 0;
-  std::uint32_t la = 0;  ///< Shard-local logical page.
+  std::uint32_t la = 0;      ///< Shard-local logical page.
+  TenantId tenant = 0;       ///< Tenant mode only (client % tenants).
 };
 
 struct ServiceFrontEnd::ShardCellResult {
@@ -237,6 +285,30 @@ struct ServiceFrontEnd::ShardCellResult {
 std::vector<std::vector<ServiceFrontEnd::Arrival>>
 ServiceFrontEnd::generate_arrivals() const {
   std::vector<std::vector<Arrival>> per_shard(service_.shards);
+  if (service_.tenancy.active()) {
+    // Tenant mode: clients are assigned round-robin to tenants, draw
+    // from their tenant's private space under the blend's per-tenant
+    // workload, and route through the directory.
+    const TenancyConfig& ten = service_.tenancy;
+    for (std::uint32_t c = 0; c < service_.clients; ++c) {
+      const TenantId tenant = c % ten.tenants;
+      const ClientSeeds seeds = client_seeds(config_.seed, c);
+      FleetStream stream(blend_workload(ten.blend, tenant, service_.workload),
+                         directory_.tenant_pages(tenant), seeds.workload);
+      XorShift64Star gap_rng(seeds.gap);
+      Cycles t = 0;
+      for (std::uint64_t seq = 0; seq < service_.requests_per_client;
+           ++seq) {
+        const Cycles mean = service_.mean_gap_cycles;
+        t += mean == 0 ? 1 : 1 + gap_rng.next_below(2 * mean - 1);
+        const std::uint32_t tla = stream.next().value();
+        const auto [shard, local] =
+            directory_.translate(tenant, tla, service_.sharding);
+        per_shard[shard].push_back(Arrival{t, c, seq, local, tenant});
+      }
+    }
+    return per_shard;
+  }
   for (std::uint32_t c = 0; c < service_.clients; ++c) {
     const ClientSeeds seeds = client_seeds(config_.seed, c);
     FleetStream stream(service_.workload, global_pages_, seeds.workload);
@@ -266,6 +338,8 @@ struct VirtualEvent {
   std::uint64_t seq = 0;
   std::uint32_t attempt = 0;
   std::uint32_t la = 0;
+  TenantId tenant = 0;    ///< Tenant engine only.
+  bool quota_paid = false;  ///< Token already charged (retries don't re-pay).
   bool parked = false;  ///< Waiting out a full queue under kBlock.
 
   [[nodiscard]] std::tuple<Cycles, std::uint32_t, std::uint64_t,
@@ -439,6 +513,7 @@ void ServiceFrontEnd::run_shard_cell(std::vector<Arrival> arrivals,
   rep.state_digest = shard.state_digest();
   rep.history_verified =
       service_.verify_final_state && shard.verify_accepted_history();
+  rep.cache_hit_rate = shard.cache_hit_rate();
 
   shard.publish_metrics(m);
   m.counter("service.submitted").add(st.submitted);
@@ -452,6 +527,289 @@ void ServiceFrontEnd::run_shard_cell(std::vector<Arrival> arrivals,
   m.gauge("service.queue_depth_peak").set(static_cast<double>(peak_depth));
 }
 
+void ServiceFrontEnd::run_shard_cell_drr(std::vector<Arrival> arrivals,
+                                         std::uint32_t shard_index,
+                                         ShardCellResult& out) const {
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) {
+              return std::tie(a.at, a.client, a.seq) <
+                     std::tie(b.at, b.client, b.seq);
+            });
+
+  ServiceShard shard(config_, shard_params(), shard_index);
+  const TenancyConfig& ten = service_.tenancy;
+  const std::uint32_t tenant_count = ten.tenants;
+
+  MetricsRegistry& m = out.metrics;
+  LogHistogram& latency_hist =
+      m.histogram("service.request_latency_cycles");
+  LogHistogram& depth_hist = m.histogram("service.queue_depth");
+
+  ServiceTotals st;
+  std::vector<ServiceTotals> tt(tenant_count);
+  st.submitted = arrivals.size();
+  for (const Arrival& a : arrivals) ++tt[a.tenant].submitted;
+  std::uint64_t peak_depth = 0;
+
+  // Per-tenant admission state: FIFO queue, quota bucket, DRR deficit.
+  // Buckets live per (tenant, shard), so admission in this cell is a
+  // pure function of this cell's event order — shard independence, and
+  // with it --jobs byte-identity, is preserved.
+  struct Queued {
+    Cycles submit = 0;
+    std::uint32_t la = 0;
+  };
+  std::vector<std::deque<Queued>> tenant_q(tenant_count);
+  std::vector<TokenBucket> buckets;
+  buckets.reserve(tenant_count);
+  for (std::uint32_t t = 0; t < tenant_count; ++t) {
+    buckets.emplace_back(ten.quota_rate, ten.quota_burst);
+  }
+  std::vector<std::uint64_t> deficit(tenant_count, 0);
+  std::uint64_t queued_total = 0;
+  std::uint32_t rr = 0;  ///< DRR cursor.
+
+  std::priority_queue<VirtualEvent, std::vector<VirtualEvent>, LaterEvent>
+      pending;
+  Cycles busy_until = 0;
+  Cycles unavail_until = 0;
+  const Cycles deadline = service_.deadline_cycles;
+
+  // Exactly one tenant drain is in flight at a time; its requests are
+  // "in service" until drain_done, when the next DRR turn starts.
+  bool in_drain = false;
+  Cycles drain_done = 0;
+  std::uint64_t in_service = 0;
+
+  std::vector<Queued> batch;
+  std::vector<LogicalPageAddr> las;
+
+  // One DRR turn: pick the next tenant with queued work, top up its
+  // deficit, drain up to that many requests as one execute_batch group.
+  // Loops only while selected batches come up empty (all expired).
+  const auto start_drain = [&](Cycles t) {
+    while (queued_total > 0 && !shard.dead()) {
+      std::uint32_t chosen = rr;
+      for (std::uint32_t probe = 0; probe < tenant_count; ++probe) {
+        const std::uint32_t cand = (rr + probe) % tenant_count;
+        if (!tenant_q[cand].empty()) {
+          chosen = cand;
+          break;
+        }
+      }
+      std::deque<Queued>& q = tenant_q[chosen];
+      deficit[chosen] += ten.drr_quantum;
+      batch.clear();
+      las.clear();
+      while (deficit[chosen] > 0 && !q.empty()) {
+        const Queued item = q.front();
+        q.pop_front();
+        --queued_total;
+        if (deadline != 0 && t > item.submit + deadline) {
+          // Expired while queued — a timeout, not charged to the
+          // tenant's deficit.
+          ++st.timed_out;
+          ++tt[chosen].timed_out;
+          continue;
+        }
+        batch.push_back(item);
+        las.push_back(LogicalPageAddr(item.la));
+        --deficit[chosen];
+      }
+      if (q.empty()) deficit[chosen] = 0;  // DRR: an idle tenant forfeits.
+      rr = (chosen + 1) % tenant_count;
+      if (batch.empty()) continue;
+
+      const ShardBatchOutcome bo =
+          shard.execute_batch(las.data(), las.size());
+      Cycles comp = std::max(t, busy_until);
+      for (std::size_t p = 0; p < batch.size(); ++p) {
+        if (p >= bo.executed) {
+          // The shard died mid-batch; the remainder was never written.
+          ++st.shed_unavailable;
+          ++tt[chosen].shed_unavailable;
+          continue;
+        }
+        comp += service_.service_cycles + bo.penalty_cycles[p];
+        if (bo.penalty_cycles[p] > 0) unavail_until = comp;
+        ++st.accepted;
+        ++tt[chosen].accepted;
+        latency_hist.add(comp - batch[p].submit);
+        if (deadline != 0 && comp > batch[p].submit + deadline) {
+          ++st.deadline_overruns;
+          ++tt[chosen].deadline_overruns;
+        }
+      }
+      busy_until = std::max(busy_until, comp);
+      if (bo.executed > 0) {
+        in_service = bo.executed;
+        drain_done = comp;
+        in_drain = true;
+        return;
+      }
+    }
+  };
+
+  std::size_t next_arrival = 0;
+  while (next_arrival < arrivals.size() || !pending.empty() || in_drain) {
+    if (in_drain) {
+      // The drain completion fires first on ties so waiters parked at
+      // drain_done observe the freed queue capacity.
+      Cycles next_t = drain_done;
+      bool have_event = false;
+      if (next_arrival < arrivals.size()) {
+        next_t = arrivals[next_arrival].at;
+        have_event = true;
+      }
+      if (!pending.empty() &&
+          (!have_event || pending.top().at < next_t)) {
+        next_t = pending.top().at;
+        have_event = true;
+      }
+      if (!have_event || drain_done <= next_t) {
+        const Cycles t = drain_done;
+        in_drain = false;
+        in_service = 0;
+        if (queued_total > 0) start_drain(t);
+        continue;
+      }
+    }
+
+    VirtualEvent e;
+    if (pending.empty() ||
+        (next_arrival < arrivals.size() &&
+         std::make_tuple(arrivals[next_arrival].at,
+                         arrivals[next_arrival].client,
+                         arrivals[next_arrival].seq,
+                         std::uint32_t{0}) <= pending.top().key())) {
+      const Arrival& a = arrivals[next_arrival++];
+      e = VirtualEvent{a.at, a.at, a.client, a.seq, 0, a.la, a.tenant};
+    } else {
+      e = pending.top();
+      pending.pop();
+      e.parked = false;
+    }
+
+    const Cycles t = e.at;
+    const std::uint64_t depth = queued_total + in_service;
+    const Cycles deadline_abs = deadline == 0 ? 0 : e.submit + deadline;
+
+    if (deadline != 0 && t > deadline_abs) {
+      ++st.timed_out;
+      ++tt[e.tenant].timed_out;
+      continue;
+    }
+
+    // Quota gate: the tenant's token-bucket write-rate limit, charged
+    // once per request (retries and blocked waits don't re-pay).
+    // Rejection is a terminal policy outcome — no retry.
+    if (!e.quota_paid) {
+      if (!buckets[e.tenant].try_take(t)) {
+        ++st.quota_shed;
+        ++tt[e.tenant].quota_shed;
+        continue;
+      }
+      e.quota_paid = true;
+    }
+
+    // Health gate, exactly as the legacy engine.
+    if (shard.dead() || t < unavail_until) {
+      if (!shard.dead() && e.attempt < service_.max_retries) {
+        ++st.retries;
+        ++tt[e.tenant].retries;
+        e.at = t + backoff_for(service_, e.attempt);
+        ++e.attempt;
+        pending.push(e);
+      } else {
+        ++st.shed_unavailable;
+        ++tt[e.tenant].shed_unavailable;
+      }
+      continue;
+    }
+
+    // Back-pressure gate: total outstanding (queued across all tenants
+    // plus the drain in flight) against the shared queue capacity.
+    if (depth >= service_.queue_capacity) {
+      if (service_.overflow == OverflowPolicy::kBlock) {
+        // Park until the active drain completes; capacity can only free
+        // then. drain_done > t here because completions fire first on
+        // ties, so the waiter always makes progress.
+        ++st.blocked;
+        ++tt[e.tenant].blocked;
+        e.at = in_drain ? drain_done : t + 1;
+        e.parked = true;
+        pending.push(e);
+      } else if (e.attempt < service_.max_retries) {
+        ++st.retries;
+        ++tt[e.tenant].retries;
+        e.at = t + backoff_for(service_, e.attempt);
+        ++e.attempt;
+        pending.push(e);
+      } else {
+        ++st.shed_overflow;
+        ++tt[e.tenant].shed_overflow;
+      }
+      continue;
+    }
+
+    // Admission: join the tenant's FIFO; the DRR drain picks it up.
+    tenant_q[e.tenant].push_back(Queued{e.submit, e.la});
+    ++queued_total;
+    depth_hist.add(depth + 1);
+    peak_depth = std::max(peak_depth, depth + 1);
+    if (!in_drain) start_drain(t);
+  }
+
+  // A shard that died mid-run strands whatever was still queued.
+  for (std::uint32_t t = 0; t < tenant_count; ++t) {
+    st.shed_unavailable += tenant_q[t].size();
+    tt[t].shed_unavailable += tenant_q[t].size();
+  }
+
+  ShardReport& rep = out.report;
+  rep.shard = shard_index;
+  rep.final_health = shard.health();
+  rep.dead = shard.dead();
+  rep.totals = st;
+  rep.peak_queue_depth = peak_depth;
+  rep.outcome = shard.outcome();
+  rep.journal_bytes = shard.journal_lifetime_bytes();
+  rep.state_digest = shard.state_digest();
+  rep.history_verified =
+      service_.verify_final_state && shard.verify_accepted_history();
+  rep.cache_hit_rate = shard.cache_hit_rate();
+  rep.directory_verified = shard.directory_verified();
+  rep.tenants.reserve(tenant_count);
+  for (std::uint32_t t = 0; t < tenant_count; ++t) {
+    rep.tenants.push_back(
+        TenantReport{t, tt[t], directory_.tenant_pages(t)});
+  }
+
+  shard.publish_metrics(m);
+  m.counter("service.submitted").add(st.submitted);
+  m.counter("service.accepted").add(st.accepted);
+  m.counter("service.shed.overflow").add(st.shed_overflow);
+  m.counter("service.shed.unavailable").add(st.shed_unavailable);
+  m.counter("service.quota_shed").add(st.quota_shed);
+  m.counter("service.timed_out").add(st.timed_out);
+  m.counter("service.retries").add(st.retries);
+  m.counter("service.blocked").add(st.blocked);
+  m.counter("service.deadline_overruns").add(st.deadline_overruns);
+  m.gauge("service.queue_depth_peak").set(static_cast<double>(peak_depth));
+  for (std::uint32_t t = 0; t < tenant_count; ++t) {
+    const std::string ns = "service.tenant." + std::to_string(t) + ".";
+    m.counter(ns + "submitted").add(tt[t].submitted);
+    m.counter(ns + "accepted").add(tt[t].accepted);
+    m.counter(ns + "shed.overflow").add(tt[t].shed_overflow);
+    m.counter(ns + "shed.unavailable").add(tt[t].shed_unavailable);
+    m.counter(ns + "quota_shed").add(tt[t].quota_shed);
+    m.counter(ns + "timed_out").add(tt[t].timed_out);
+    m.counter(ns + "retries").add(tt[t].retries);
+    m.counter(ns + "blocked").add(tt[t].blocked);
+    m.counter(ns + "deadline_overruns").add(tt[t].deadline_overruns);
+  }
+}
+
 ServiceRunResult ServiceFrontEnd::assemble(
     std::vector<ShardCellResult>& cells) const {
   ServiceRunResult result;
@@ -459,14 +817,7 @@ ServiceRunResult ServiceFrontEnd::assemble(
   std::vector<std::uint8_t> digest_bytes;
   for (ShardCellResult& cell : cells) {
     const ShardReport& rep = cell.report;
-    result.totals.submitted += rep.totals.submitted;
-    result.totals.accepted += rep.totals.accepted;
-    result.totals.shed_overflow += rep.totals.shed_overflow;
-    result.totals.shed_unavailable += rep.totals.shed_unavailable;
-    result.totals.timed_out += rep.totals.timed_out;
-    result.totals.retries += rep.totals.retries;
-    result.totals.blocked += rep.totals.blocked;
-    result.totals.deadline_overruns += rep.totals.deadline_overruns;
+    result.totals.add(rep.totals);
     result.chaos_totals.crashes += rep.outcome.crashes;
     result.chaos_totals.recoveries += rep.outcome.recoveries;
     result.chaos_totals.rollbacks += rep.outcome.rollbacks;
@@ -484,6 +835,24 @@ ServiceRunResult ServiceFrontEnd::assemble(
     result.shards.push_back(rep);
   }
   result.service_digest = crc32(digest_bytes.data(), digest_bytes.size());
+
+  // Tenant mode: aggregate per-tenant books across shards. The
+  // accounting identity must hold per tenant here exactly as it does
+  // per shard and in aggregate.
+  if (!cells.empty() && !cells.front().report.tenants.empty()) {
+    const std::size_t tenant_count = cells.front().report.tenants.size();
+    result.tenants.resize(tenant_count);
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      result.tenants[t].tenant = static_cast<TenantId>(t);
+      result.tenants[t].pages =
+          directory_.tenant_pages(static_cast<TenantId>(t));
+    }
+    for (const ShardCellResult& cell : cells) {
+      for (const TenantReport& tr : cell.report.tenants) {
+        result.tenants[tr.tenant].totals.add(tr.totals);
+      }
+    }
+  }
 
   const LogHistogram* lat =
       result.metrics.find_histogram("service.request_latency_cycles");
@@ -505,7 +874,11 @@ ServiceRunResult ServiceFrontEnd::run_virtual(SimRunner& runner) const {
   for (std::uint32_t s = 0; s < service_.shards; ++s) {
     grid.push_back(
         [this, s, arrivals = std::move(per_shard[s]), &cells]() mutable {
-          run_shard_cell(std::move(arrivals), s, cells[s]);
+          if (service_.tenancy.active()) {
+            run_shard_cell_drr(std::move(arrivals), s, cells[s]);
+          } else {
+            run_shard_cell(std::move(arrivals), s, cells[s]);
+          }
           return cells[s].report.totals.accepted;
         });
   }
@@ -527,6 +900,7 @@ struct RtClientTotals {
   std::uint64_t submitted = 0;
   std::uint64_t shed_overflow = 0;
   std::uint64_t shed_unavailable = 0;
+  std::uint64_t quota_shed = 0;  ///< Tenant mode only.
   std::uint64_t retries = 0;
   std::uint64_t blocked = 0;
   std::uint64_t peak_queue_depth = 0;
@@ -535,6 +909,7 @@ struct RtClientTotals {
 }  // namespace
 
 ServiceRunResult ServiceFrontEnd::run_realtime() const {
+  if (service_.tenancy.active()) return run_realtime_tenant();
   const std::uint32_t shards = service_.shards;
   std::vector<std::unique_ptr<ServiceShard>> shard_objs;
   std::vector<std::unique_ptr<BoundedMpscQueue<RtItem>>> queues;
@@ -719,6 +1094,7 @@ ServiceRunResult ServiceFrontEnd::run_realtime() const {
     rep.state_digest = shard.state_digest();
     rep.history_verified =
         service_.verify_final_state && shard.verify_accepted_history();
+    rep.cache_hit_rate = shard.cache_hit_rate();
 
     MetricsRegistry& m = cell.metrics;
     shard.publish_metrics(m);
@@ -733,6 +1109,337 @@ ServiceRunResult ServiceFrontEnd::run_realtime() const {
     m.counter("service.deadline_overruns").add(st.deadline_overruns);
     m.gauge("service.queue_depth_peak")
         .set(static_cast<double>(ct.peak_queue_depth));
+  }
+
+  ServiceRunResult result = assemble(cells);
+  result.wall_seconds = wall;
+  result.requests_per_second =
+      wall > 0.0 ? static_cast<double>(result.totals.accepted) / wall : 0.0;
+  return result;
+}
+
+ServiceRunResult ServiceFrontEnd::run_realtime_tenant() const {
+  // Tenant-mode threaded run. Differences from the legacy path:
+  //  * each shard fronts one bounded queue *per tenant* (the shared
+  //    capacity split evenly), so a flooding tenant fills only its own
+  //    queue and back-pressure is tenant-local;
+  //  * client flushes pay the (tenant, shard) token-bucket quota before
+  //    touching the queue — rejected requests are quota_shed terminally;
+  //  * the shard worker drains the tenant queues deficit-round-robin and
+  //    commits each drain through execute_batch, so journaling amortizes
+  //    over the batch exactly as in the virtual engine.
+  const std::uint32_t shards = service_.shards;
+  const TenancyConfig& ten = service_.tenancy;
+  const std::uint32_t tenant_count = ten.tenants;
+  const std::size_t lanes = static_cast<std::size_t>(shards) * tenant_count;
+  // Tenant-local back-pressure splits the shared capacity, but a lane
+  // shallower than the drain batch would lock-step clients against the
+  // worker, so the floor keeps each lane one drain deep.
+  const std::size_t lane_capacity = std::min<std::size_t>(
+      std::max<std::size_t>(service_.queue_capacity / tenant_count, 64),
+      std::max<std::size_t>(service_.queue_capacity, 1));
+  // Wall-clock efficiency wants whole-lane drains: the quantum sets the
+  // *relative* DRR shares (uniform across tenants), so scaling it up to
+  // the lane depth changes no share, only the drain granularity.
+  const std::uint64_t rt_quantum =
+      std::max<std::uint64_t>(ten.drr_quantum, lane_capacity);
+
+  std::vector<std::unique_ptr<ServiceShard>> shard_objs;
+  std::vector<std::unique_ptr<BoundedMpscQueue<RtItem>>> queues;
+  shard_objs.reserve(shards);
+  queues.reserve(lanes);
+  const ShardParams params = shard_params();
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shard_objs.push_back(std::make_unique<ServiceShard>(config_, params, s));
+    for (std::uint32_t t = 0; t < tenant_count; ++t) {
+      queues.push_back(
+          std::make_unique<BoundedMpscQueue<RtItem>>(lane_capacity));
+    }
+  }
+
+  /// Per-(shard, tenant) quota bucket; clients of one tenant contend on
+  /// the gate's mutex only among themselves.
+  struct QuotaGate {
+    std::mutex mu;
+    TokenBucket bucket;
+  };
+  std::vector<std::unique_ptr<QuotaGate>> gates;
+  gates.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    auto g = std::make_unique<QuotaGate>();
+    g->bucket = TokenBucket(ten.quota_rate, ten.quota_burst);
+    gates.push_back(std::move(g));
+  }
+
+  // Worker-side results, one slot per (shard, tenant), written only by
+  // that shard's worker.
+  struct WorkerSlot {
+    std::uint64_t accepted = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t deadline_overruns = 0;
+    std::uint64_t shed_dead = 0;
+    LogHistogram latency_ns;
+  };
+  std::vector<WorkerSlot> worker(lanes);
+
+  std::mutex client_mu;
+  std::vector<RtClientTotals> client_totals(lanes);
+
+  const std::uint64_t t0 = now_ns();
+
+  std::vector<std::thread> worker_threads;
+  worker_threads.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    worker_threads.emplace_back([&, s] {
+      ServiceShard& shard = *shard_objs[s];
+      std::vector<std::uint64_t> deficit(tenant_count, 0);
+      std::vector<RtItem> batch;
+      std::vector<RtItem> exec_items;
+      std::vector<LogicalPageAddr> exec_las;
+      batch.reserve(kWorkerDrainBatch);
+      exec_items.reserve(kWorkerDrainBatch);
+      exec_las.reserve(kWorkerDrainBatch);
+
+      const auto process = [&](std::uint32_t tenant) {
+        WorkerSlot& slot = worker[s * tenant_count + tenant];
+        std::uint64_t now = now_ns();
+        exec_items.clear();
+        exec_las.clear();
+        for (const RtItem& item : batch) {
+          if (shard.dead()) {
+            ++slot.shed_dead;
+            continue;
+          }
+          if (item.deadline_ns != 0 && now > item.deadline_ns) {
+            ++slot.timed_out;
+            continue;
+          }
+          exec_items.push_back(item);
+          exec_las.push_back(LogicalPageAddr(item.la));
+        }
+        if (exec_las.empty()) return;
+        const ShardBatchOutcome bo =
+            shard.execute_batch(exec_las.data(), exec_las.size());
+        now = now_ns();
+        for (std::size_t p = 0; p < exec_items.size(); ++p) {
+          if (p >= bo.executed) {
+            ++slot.shed_dead;
+            continue;
+          }
+          slot.latency_ns.add(now - exec_items[p].submit_ns);
+          if (exec_items[p].deadline_ns != 0 &&
+              now > exec_items[p].deadline_ns) {
+            ++slot.deadline_overruns;
+          }
+          ++slot.accepted;
+        }
+      };
+
+      while (true) {
+        bool any = false;
+        for (std::uint32_t t = 0; t < tenant_count; ++t) {
+          BoundedMpscQueue<RtItem>& q = *queues[s * tenant_count + t];
+          deficit[t] += rt_quantum;
+          const std::size_t want = static_cast<std::size_t>(
+              std::min<std::uint64_t>(deficit[t], kWorkerDrainBatch));
+          if (q.try_pop_batch(batch, want) == 0) {
+            deficit[t] = 0;  // DRR: an idle tenant forfeits its deficit.
+            continue;
+          }
+          any = true;
+          deficit[t] -= batch.size();
+          process(t);
+        }
+        if (!any) {
+          bool all_done = true;
+          for (std::uint32_t t = 0; t < tenant_count; ++t) {
+            BoundedMpscQueue<RtItem>& q = *queues[s * tenant_count + t];
+            if (!q.closed() || q.size() > 0) {
+              all_done = false;
+              break;
+            }
+          }
+          if (all_done) break;
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(service_.clients);
+  for (std::uint32_t c = 0; c < service_.clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      const TenantId tenant = c % tenant_count;
+      const ClientSeeds seeds = client_seeds(config_.seed, c);
+      FleetStream stream(
+          blend_workload(ten.blend, tenant, service_.workload),
+          directory_.tenant_pages(tenant), seeds.workload);
+      std::vector<std::vector<RtItem>> staging(shards);
+      for (auto& buf : staging) buf.reserve(kClientFlushBatch);
+      std::vector<RtClientTotals> local(shards);
+
+      const auto flush = [&](std::uint32_t s) {
+        std::vector<RtItem>& buf = staging[s];
+        if (buf.empty()) return;
+        BoundedMpscQueue<RtItem>& q = *queues[s * tenant_count + tenant];
+        RtClientTotals& tl = local[s];
+        tl.submitted += buf.size();
+        ServiceShard& shard = *shard_objs[s];
+        if (shard.dead()) {
+          tl.shed_unavailable += buf.size();
+          buf.clear();
+          return;
+        }
+        // Quota gate: batch admission against the (tenant, shard)
+        // bucket; the ungranted tail is quota_shed terminally.
+        std::size_t admitted = buf.size();
+        if (ten.quota_rate > 0) {
+          QuotaGate& gate = *gates[s * tenant_count + tenant];
+          std::lock_guard<std::mutex> lock(gate.mu);
+          admitted = static_cast<std::size_t>(
+              gate.bucket.take_up_to(buf.size(), now_ns()));
+        }
+        tl.quota_shed += buf.size() - admitted;
+        if (admitted == 0) {
+          buf.clear();
+          return;
+        }
+        tl.peak_queue_depth = std::max<std::uint64_t>(
+            tl.peak_queue_depth, q.size() + admitted);
+        if (service_.overflow == OverflowPolicy::kBlock) {
+          if (q.size() >= q.capacity()) ++tl.blocked;
+          q.push_batch(buf.data(), admitted);
+          buf.clear();
+          return;
+        }
+        std::size_t done = 0;
+        std::uint32_t attempt = 0;
+        while (done < admitted) {
+          const HealthState h = shard.health();
+          const bool unavailable = h == HealthState::kQuarantined ||
+                                   h == HealthState::kRecovering;
+          if (!unavailable) {
+            done += q.try_push_batch(buf.data() + done, admitted - done);
+            if (done == admitted) break;
+          }
+          if (attempt >= service_.max_retries) {
+            if (unavailable) {
+              tl.shed_unavailable += admitted - done;
+            } else {
+              tl.shed_overflow += admitted - done;
+            }
+            break;
+          }
+          ++tl.retries;
+          std::this_thread::sleep_for(std::chrono::nanoseconds(
+              backoff_for(service_, attempt)));
+          ++attempt;
+        }
+        buf.clear();
+      };
+
+      for (std::uint64_t seq = 0; seq < service_.requests_per_client;
+           ++seq) {
+        const std::uint32_t tla = stream.next().value();
+        const auto [shard, local_la] =
+            directory_.translate(tenant, tla, service_.sharding);
+        const std::uint64_t submit = now_ns();
+        const std::uint64_t deadline =
+            service_.deadline_cycles == 0
+                ? 0
+                : submit + service_.deadline_cycles;
+        staging[shard].push_back(RtItem{local_la, submit, deadline});
+        if (staging[shard].size() >= kClientFlushBatch) flush(shard);
+      }
+      for (std::uint32_t s = 0; s < shards; ++s) flush(s);
+
+      std::lock_guard<std::mutex> lock(client_mu);
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        RtClientTotals& ct = client_totals[s * tenant_count + tenant];
+        ct.submitted += local[s].submitted;
+        ct.shed_overflow += local[s].shed_overflow;
+        ct.shed_unavailable += local[s].shed_unavailable;
+        ct.quota_shed += local[s].quota_shed;
+        ct.retries += local[s].retries;
+        ct.blocked += local[s].blocked;
+        ct.peak_queue_depth =
+            std::max(ct.peak_queue_depth, local[s].peak_queue_depth);
+      }
+    });
+  }
+
+  for (std::thread& t : client_threads) t.join();
+  for (auto& q : queues) q->close();
+  for (std::thread& t : worker_threads) t.join();
+
+  const double wall = static_cast<double>(now_ns() - t0) * 1e-9;
+
+  std::vector<ShardCellResult> cells(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    ShardCellResult& cell = cells[s];
+    const ServiceShard& shard = *shard_objs[s];
+
+    ServiceTotals st;
+    std::uint64_t peak = 0;
+    MetricsRegistry& m = cell.metrics;
+    LogHistogram& lat = m.histogram("service.request_latency_ns");
+    ShardReport& rep = cell.report;
+    rep.tenants.reserve(tenant_count);
+    for (std::uint32_t t = 0; t < tenant_count; ++t) {
+      const WorkerSlot& slot = worker[s * tenant_count + t];
+      const RtClientTotals& ct = client_totals[s * tenant_count + t];
+      ServiceTotals tt;
+      tt.submitted = ct.submitted;
+      tt.accepted = slot.accepted;
+      tt.shed_overflow = ct.shed_overflow;
+      tt.shed_unavailable = ct.shed_unavailable + slot.shed_dead;
+      tt.quota_shed = ct.quota_shed;
+      tt.timed_out = slot.timed_out;
+      tt.retries = ct.retries;
+      tt.blocked = ct.blocked;
+      tt.deadline_overruns = slot.deadline_overruns;
+      st.add(tt);
+      peak = std::max(peak, ct.peak_queue_depth);
+      lat.merge_from(slot.latency_ns);
+      rep.tenants.push_back(
+          TenantReport{t, tt, directory_.tenant_pages(t)});
+      const std::string ns = "service.tenant." + std::to_string(t) + ".";
+      m.counter(ns + "submitted").add(tt.submitted);
+      m.counter(ns + "accepted").add(tt.accepted);
+      m.counter(ns + "shed.overflow").add(tt.shed_overflow);
+      m.counter(ns + "shed.unavailable").add(tt.shed_unavailable);
+      m.counter(ns + "quota_shed").add(tt.quota_shed);
+      m.counter(ns + "timed_out").add(tt.timed_out);
+      m.counter(ns + "retries").add(tt.retries);
+      m.counter(ns + "blocked").add(tt.blocked);
+      m.counter(ns + "deadline_overruns").add(tt.deadline_overruns);
+    }
+
+    rep.shard = s;
+    rep.final_health = shard.health();
+    rep.dead = shard.dead();
+    rep.totals = st;
+    rep.peak_queue_depth = peak;
+    rep.outcome = shard.outcome();
+    rep.journal_bytes = shard.journal_lifetime_bytes();
+    rep.state_digest = shard.state_digest();
+    rep.history_verified =
+        service_.verify_final_state && shard.verify_accepted_history();
+    rep.cache_hit_rate = shard.cache_hit_rate();
+    rep.directory_verified = shard.directory_verified();
+
+    shard.publish_metrics(m);
+    m.counter("service.submitted").add(st.submitted);
+    m.counter("service.accepted").add(st.accepted);
+    m.counter("service.shed.overflow").add(st.shed_overflow);
+    m.counter("service.shed.unavailable").add(st.shed_unavailable);
+    m.counter("service.quota_shed").add(st.quota_shed);
+    m.counter("service.timed_out").add(st.timed_out);
+    m.counter("service.retries").add(st.retries);
+    m.counter("service.blocked").add(st.blocked);
+    m.counter("service.deadline_overruns").add(st.deadline_overruns);
+    m.gauge("service.queue_depth_peak").set(static_cast<double>(peak));
   }
 
   ServiceRunResult result = assemble(cells);

@@ -30,8 +30,21 @@
 //
 // Accounting invariant, both modes: every submitted request terminates
 // in exactly one of accepted / shed (overflow or unavailable) /
-// timed_out, so accepted + shed + timed_out == submitted — retries and
-// blocked waits are events along the way, not terminal outcomes.
+// quota_shed / timed_out, so accepted + shed + quota_shed + timed_out ==
+// submitted — retries and blocked waits are events along the way, not
+// terminal outcomes. With tenants the identity holds per tenant AND
+// aggregate.
+//
+// Multi-tenant mode (service/tenant.h): requests become {TenantId,
+// tenant-scoped page, deadline}; a TenantDirectory carves per-tenant
+// spans out of each shard's local space; admission enforces per-tenant
+// quotas (page budget + token-bucket write rate, rejections accounted
+// as quota_shed); per-shard queues are per-tenant FIFOs drained
+// deficit-round-robin so one hot tenant cannot starve the rest, and
+// each tenant drain executes as one submit_write_batch group so
+// journaling amortizes across the drain. The single-tenant default
+// (tenants == 1, no quotas) takes the legacy engine verbatim and is
+// bit-identical to the pre-tenant code.
 #pragma once
 
 #include <cstdint>
@@ -46,16 +59,12 @@
 #include "fleet/workload.h"
 #include "obs/metrics.h"
 #include "service/shard.h"
+#include "service/tenant.h"
 
 namespace twl {
 
 class JsonWriter;
 class SimRunner;
-
-enum class ShardingPolicy : std::uint8_t {
-  kHashLa = 0,  ///< shard = mix(la) % S — spreads any workload evenly.
-  kModuloLa,    ///< shard = la % S — per-rank striping, locality-blind.
-};
 
 enum class OverflowPolicy : std::uint8_t {
   kShed = 0,  ///< Full queue: fail fast, client retries then sheds.
@@ -67,6 +76,30 @@ enum class OverflowPolicy : std::uint8_t {
 /// Throw std::invalid_argument listing the valid names on bad input.
 [[nodiscard]] ShardingPolicy parse_sharding_policy(const std::string& name);
 [[nodiscard]] OverflowPolicy parse_overflow_policy(const std::string& name);
+
+/// Multi-tenant knobs. Defaults describe exactly one unlimited tenant,
+/// which routes the front-end onto the legacy (pre-tenant) engine.
+struct TenancyConfig {
+  std::uint32_t tenants = 1;
+  TenantBlend blend = TenantBlend::kUniform;
+  /// Per-tenant per-shard page budget; 0 = equal split of the shard.
+  std::uint64_t quota_pages = 0;
+  /// Token-bucket write-rate limit, tokens per 1000 cycles (ns in
+  /// realtime) per shard; 0 = unlimited. Enforced per (tenant, shard)
+  /// so shard cells stay independent — the aggregate allowance is
+  /// rate * shards.
+  std::uint64_t quota_rate = 0;
+  std::uint64_t quota_burst = 16;  ///< Bucket capacity.
+  /// Deficit-round-robin quantum: max requests one tenant drains (and
+  /// batches through submit_write_batch) per turn.
+  std::uint64_t drr_quantum = 16;
+
+  /// Anything beyond the single-unlimited-tenant default engages the
+  /// tenant engine; the default keeps the legacy bit-identical path.
+  [[nodiscard]] bool active() const {
+    return tenants > 1 || quota_rate > 0 || quota_pages > 0;
+  }
+};
 
 struct ServiceConfig {
   std::uint32_t shards = 4;
@@ -96,7 +129,11 @@ struct ServiceConfig {
 
   std::uint64_t snapshot_interval_writes = 4096;
   FleetWorkload workload{};
+  TenancyConfig tenancy{};
   ChaosProfile chaos{};
+  /// Hybrid backend only: shards whose DRAM cache hit rate sits below
+  /// this floor are held degraded (0 = gate disabled).
+  double min_cache_hit_rate = 0.0;
   /// Keep the full accepted history per shard and prove zero
   /// accepted-write loss by whole-run replay at finalization.
   bool verify_final_state = false;
@@ -112,6 +149,9 @@ struct ServiceTotals {
   std::uint64_t accepted = 0;
   std::uint64_t shed_overflow = 0;
   std::uint64_t shed_unavailable = 0;
+  /// Rejected by the tenant's token-bucket rate quota — a policy
+  /// outcome, deliberately distinct from back-pressure sheds.
+  std::uint64_t quota_shed = 0;
   std::uint64_t timed_out = 0;
   // Non-terminal events.
   std::uint64_t retries = 0;
@@ -121,12 +161,35 @@ struct ServiceTotals {
   std::uint64_t deadline_overruns = 0;
 
   [[nodiscard]] bool accounting_exact() const {
-    return accepted + shed_overflow + shed_unavailable + timed_out ==
+    return accepted + shed_overflow + shed_unavailable + quota_shed +
+               timed_out ==
            submitted;
+  }
+
+  void add(const ServiceTotals& o) {
+    submitted += o.submitted;
+    accepted += o.accepted;
+    shed_overflow += o.shed_overflow;
+    shed_unavailable += o.shed_unavailable;
+    quota_shed += o.quota_shed;
+    timed_out += o.timed_out;
+    retries += o.retries;
+    blocked += o.blocked;
+    deadline_overruns += o.deadline_overruns;
   }
 
   friend bool operator==(const ServiceTotals&,
                          const ServiceTotals&) = default;
+};
+
+/// One tenant's aggregate slice of a run (or of one shard's traffic).
+struct TenantReport {
+  TenantId tenant = 0;
+  ServiceTotals totals;
+  /// Size of the tenant's private logical space (pages).
+  std::uint64_t pages = 0;
+
+  friend bool operator==(const TenantReport&, const TenantReport&) = default;
 };
 
 struct ShardReport {
@@ -140,6 +203,14 @@ struct ShardReport {
   std::uint32_t state_digest = 0;
   /// verify_final_state only: whole-history replay matched byte-exactly.
   bool history_verified = false;
+  /// Tenant mode only: this shard's per-tenant books (empty otherwise).
+  std::vector<TenantReport> tenants;
+  /// Hybrid backend only: DRAM cache hit rate at finalization; negative
+  /// when the backend has no cache.
+  double cache_hit_rate = -1.0;
+  /// Tenant mode only: the directory survived crash recovery intact on
+  /// this shard (trivially true without chaos).
+  bool directory_verified = true;
 
   friend bool operator==(const ShardReport&, const ShardReport&) = default;
 };
@@ -147,6 +218,9 @@ struct ShardReport {
 struct ServiceRunResult {
   std::vector<ShardReport> shards;
   ServiceTotals totals;
+  /// Tenant mode only: aggregate per-tenant books across all shards
+  /// (empty in the single-tenant default, keeping output bit-identical).
+  std::vector<TenantReport> tenants;
   DeviceOutcome chaos_totals;
   /// CRC-32 over per-shard state digests: the byte-identity fingerprint.
   std::uint32_t service_digest = 0;
@@ -179,6 +253,18 @@ class ServiceFrontEnd {
   [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> route(
       std::uint32_t global_la) const;
 
+  /// Tenant-scoped routing: (shard, shard-local page) for a request.
+  /// Reduces to route(r.la) when the directory holds one full-space
+  /// tenant. r.la must be < directory().tenant_pages(r.tenant).
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> route_request(
+      const ServiceRequest& r) const {
+    return directory_.translate(r.tenant, r.la, service_.sharding);
+  }
+
+  [[nodiscard]] const TenantDirectory& directory() const {
+    return directory_;
+  }
+
   /// Global logical pages clients draw from: shards * local pages.
   [[nodiscard]] std::uint64_t global_pages() const { return global_pages_; }
   [[nodiscard]] std::uint64_t local_pages() const { return local_pages_; }
@@ -201,13 +287,18 @@ class ServiceFrontEnd {
   [[nodiscard]] std::vector<std::vector<Arrival>> generate_arrivals() const;
   void run_shard_cell(std::vector<Arrival> arrivals, std::uint32_t shard,
                       ShardCellResult& out) const;
+  /// Tenant engine: per-tenant FIFOs, quota gates, DRR batch drains.
+  void run_shard_cell_drr(std::vector<Arrival> arrivals, std::uint32_t shard,
+                          ShardCellResult& out) const;
   [[nodiscard]] ServiceRunResult assemble(
       std::vector<ShardCellResult>& cells) const;
+  [[nodiscard]] ServiceRunResult run_realtime_tenant() const;
 
   Config config_;
   ServiceConfig service_;
   std::uint64_t local_pages_ = 0;
   std::uint64_t global_pages_ = 0;
+  TenantDirectory directory_;
 };
 
 }  // namespace twl

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "recovery/recovery.h"
 #include "recovery/snapshot.h"
+#include "service/tenant.h"
 #include "wl/factory.h"
 #include "wl/wear_leveler.h"
 
@@ -153,7 +154,8 @@ void ServiceShard::rotate_snapshots() {
 }
 
 void ServiceShard::feed_availability() {
-  switch (controller_->availability()) {
+  const AvailabilitySignal sig = controller_->availability_signal();
+  switch (sig.state) {
     case ControllerAvailability::kAvailable:
       break;
     case ControllerAvailability::kDegraded:
@@ -167,7 +169,32 @@ void ServiceShard::feed_availability() {
       health_.store(HealthState::kQuarantined, std::memory_order_relaxed);
       break;
   }
+  // Hybrid cache-thrash gate: a shard whose DRAM cache absorbs too few
+  // writes serves everything at PCM cost — hold it degraded until the
+  // hit rate recovers. Consulted only after the degraded window's worth
+  // of writes has warmed the cache.
+  if (params_.min_cache_hit_rate > 0 && sig.cache_hit_rate >= 0 &&
+      accepted_ >= params_.degraded_window_writes) {
+    if (sig.cache_hit_rate < params_.min_cache_hit_rate) {
+      cache_degraded_ = true;
+      if (!dead()) {
+        health_.store(HealthState::kDegraded, std::memory_order_relaxed);
+      }
+    } else {
+      cache_degraded_ = false;  // Heals; decay_degraded restores healthy.
+    }
+  }
   last_retired_ = controller_->stats().pages_retired;
+}
+
+void ServiceShard::decay_degraded() {
+  if (!retire_degraded_ && !cache_degraded_ && !dead() &&
+      health_.load(std::memory_order_relaxed) == HealthState::kDegraded) {
+    if (degraded_remaining_ > 0) --degraded_remaining_;
+    if (degraded_remaining_ == 0) {
+      health_.store(HealthState::kHealthy, std::memory_order_relaxed);
+    }
+  }
 }
 
 ShardExecOutcome ServiceShard::execute(LogicalPageAddr local_la) {
@@ -192,15 +219,70 @@ ShardExecOutcome ServiceShard::execute(LogicalPageAddr local_la) {
   }
   accepted_ = k;
 
-  if (!retire_degraded_ && !dead() &&
-      health_.load(std::memory_order_relaxed) == HealthState::kDegraded) {
-    if (degraded_remaining_ > 0) --degraded_remaining_;
-    if (degraded_remaining_ == 0) {
-      health_.store(HealthState::kHealthy, std::memory_order_relaxed);
-    }
-  }
+  decay_degraded();
   if (accepted_ - base_cur_ >= params_.snapshot_interval_writes) {
     rotate_snapshots();
+  }
+  return out;
+}
+
+ShardBatchOutcome ServiceShard::execute_batch(const LogicalPageAddr* las,
+                                              std::size_t count) {
+  assert(!dead() && "execute_batch() on a dead shard");
+  ShardBatchOutcome out;
+  out.penalty_cycles.assign(count, 0);
+  std::size_t i = 0;
+  while (i < count && !dead()) {
+    const std::uint64_t k = accepted_ + 1;
+    if (chaos_cursor_ < schedule_.size() &&
+        schedule_[chaos_cursor_].at_write <= k) {
+      // A chaos event targets this write: take the single-write crash
+      // path so damage windows and recovery semantics are unchanged.
+      const ChaosEvent& ev = schedule_[chaos_cursor_];
+      ++chaos_cursor_;
+      log_.push_back(las[i].value());
+      if (params_.keep_history) history_.push_back(las[i].value());
+      const ShardExecOutcome single = inject_crash(ev, las[i], k);
+      accepted_ = k;
+      out.penalty_cycles[i] = single.penalty_cycles;
+      ++out.crashes;
+      decay_degraded();
+      if (accepted_ - base_cur_ >= params_.snapshot_interval_writes) {
+        rotate_snapshots();
+      }
+      ++i;
+      ++out.executed;
+      continue;
+    }
+    // Chaos-free run: journaled as one BatchBegin/BatchCommit group.
+    // Capped at the next chaos point AND the next snapshot-rotation
+    // boundary — a snapshot must cover exactly base_cur_ writes, so
+    // rotation may only happen at a write boundary.
+    const std::uint64_t until_rotation =
+        base_cur_ + params_.snapshot_interval_writes - accepted_;
+    std::size_t run = 0;
+    while (i + run < count && run < until_rotation) {
+      if (chaos_cursor_ < schedule_.size() &&
+          schedule_[chaos_cursor_].at_write <= accepted_ + 1 + run) {
+        break;
+      }
+      ++run;
+    }
+    for (std::size_t j = 0; j < run; ++j) {
+      log_.push_back(las[i + j].value());
+      if (params_.keep_history) history_.push_back(las[i + j].value());
+    }
+    controller_->submit_write_batch(las + i, run, 0);
+    feed_availability();
+    for (std::size_t j = 0; j < run; ++j) {
+      ++accepted_;
+      decay_degraded();
+    }
+    if (accepted_ - base_cur_ >= params_.snapshot_interval_writes) {
+      rotate_snapshots();
+    }
+    i += run;
+    out.executed += run;
   }
   return out;
 }
@@ -436,6 +518,9 @@ ShardExecOutcome ServiceShard::inject_crash(const ChaosEvent& ev,
 
   health_.store(HealthState::kDegraded, std::memory_order_relaxed);
   degraded_remaining_ = params_.degraded_window_writes;
+  // Tenant mode: the directory must come back intact from the same
+  // recovery pass; damage counts as an invariant failure.
+  verify_directory_blob();
 
   ShardExecOutcome out;
   out.crashed = true;
@@ -445,6 +530,25 @@ ShardExecOutcome ServiceShard::inject_crash(const ChaosEvent& ev,
                        params_.recovery_base_cycles +
                        params_.recovery_per_replay_cycles * recovery.replayed_writes;
   return out;
+}
+
+void ServiceShard::verify_directory_blob() {
+  if (params_.directory_blob.empty()) return;
+  bool ok = false;
+  try {
+    const TenantDirectory restored =
+        TenantDirectory::deserialize(params_.directory_blob);
+    // Byte round-trip plus shape agreement with the live scheme: the
+    // restored carve must still describe this shard's local space.
+    ok = restored.serialize() == params_.directory_blob &&
+         restored.local_pages() == wl_->logical_pages();
+  } catch (const SnapshotError&) {
+    ok = false;
+  }
+  if (!ok) {
+    directory_verified_ = false;
+    ++outcome_.invariant_failures;
+  }
 }
 
 std::uint32_t ServiceShard::state_digest() const {
@@ -490,6 +594,12 @@ void ServiceShard::publish_metrics(MetricsRegistry& m) const {
   }
   m.histogram("service.accepted_per_shard").add(accepted_);
   m.histogram("service.crashes_per_shard").add(outcome_.crashes);
+  // Hybrid backend only — absent on PCM/NOR so the default service
+  // output stays bit-identical to the pre-gauge tree.
+  const double hit_rate = cache_hit_rate();
+  if (hit_rate >= 0) {
+    m.gauge("service.shard.cache_hit_rate").set(hit_rate);
+  }
 }
 
 }  // namespace twl

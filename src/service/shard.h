@@ -77,6 +77,16 @@ struct ShardParams {
   /// Record the full accepted-address history so
   /// verify_accepted_history() can prove zero accepted-write loss.
   bool keep_history = false;
+  /// Tenant mode: serialized TenantDirectory (TenantDirectory::
+  /// serialize()). The shard re-parses and compares it after every crash
+  /// recovery; a mismatch counts as an invariant failure. Empty =
+  /// single-tenant, no check.
+  std::vector<std::uint8_t> directory_blob;
+  /// Hybrid backend only: hold the shard kDegraded while the DRAM cache
+  /// hit rate sits below this floor (0 = gate disabled). The signal is
+  /// only consulted once degraded_window_writes writes have warmed the
+  /// cache.
+  double min_cache_hit_rate = 0.0;
 };
 
 /// Result of one accepted write.
@@ -87,6 +97,18 @@ struct ShardExecOutcome {
   /// Virtual-time cost of the crash beyond the nominal service time:
   /// quarantine + recovery_base + per_replay * replayed.
   Cycles penalty_cycles = 0;
+};
+
+/// Result of one batched drain (execute_batch).
+struct ShardBatchOutcome {
+  /// Writes actually committed; < count only if the shard died mid-batch
+  /// (the caller re-disposes the remainder).
+  std::size_t executed = 0;
+  std::uint32_t crashes = 0;
+  /// Per executed write: crash penalty charged to that position (0 for
+  /// clean writes) — lets the caller model per-request completion times
+  /// exactly as the single-write path would.
+  std::vector<Cycles> penalty_cycles;
 };
 
 class ServiceShard {
@@ -106,6 +128,16 @@ class ServiceShard {
   /// invariants and re-admits the write — the caller's request is never
   /// lost. Must not be called on a dead() shard.
   ShardExecOutcome execute(LogicalPageAddr local_la);
+
+  /// Commits a tenant drain as one group: chaos-free stretches go
+  /// through MemoryController::submit_write_batch so journaling
+  /// amortizes (PR-6 BatchBegin/BatchCommit records); a write the chaos
+  /// schedule targets is executed via the single-write crash path so
+  /// recovery semantics are unchanged. Stops early if the shard dies
+  /// mid-batch. The physical write stream and accepted log are
+  /// write-for-write identical to count execute() calls.
+  ShardBatchOutcome execute_batch(const LogicalPageAddr* las,
+                                  std::size_t count);
 
   [[nodiscard]] std::uint32_t index() const { return index_; }
   [[nodiscard]] std::uint64_t logical_pages() const;
@@ -134,6 +166,19 @@ class ServiceShard {
   /// fingerprint the determinism tests compare.
   [[nodiscard]] std::uint32_t state_digest() const;
 
+  /// Tenant mode: false once a post-recovery re-parse of the directory
+  /// blob failed or disagreed with the configured carve. True (trivial)
+  /// when no directory_blob was configured.
+  [[nodiscard]] bool directory_verified() const {
+    return directory_verified_;
+  }
+
+  /// Hybrid backend only: current DRAM cache hit rate; negative when the
+  /// backing device has no cache.
+  [[nodiscard]] double cache_hit_rate() const {
+    return controller_->availability_signal().cache_hit_rate;
+  }
+
   /// Zero accepted-write loss, end to end: re-executes the entire
   /// accepted history on a fresh stack and compares scheme metadata
   /// byte-for-byte. Requires keep_history and no retirement (the replay
@@ -156,6 +201,12 @@ class ServiceShard {
                                        const WearLeveler& recovered) const;
   void rotate_snapshots();
   void feed_availability();
+  /// Counts one accepted write against the post-recovery degraded
+  /// window; shared by execute() and execute_batch().
+  void decay_degraded();
+  /// Re-parses the configured directory blob (after a crash recovery)
+  /// and clears directory_verified_ on damage or shape mismatch.
+  void verify_directory_blob();
 
   std::uint32_t index_;
   Config config_;  ///< Per-shard: service config with this shard's seed.
@@ -192,7 +243,9 @@ class ServiceShard {
   std::atomic<bool> dead_{false};
   std::uint64_t degraded_remaining_ = 0;
   bool retire_degraded_ = false;  ///< Retirement feed: sticky kDegraded.
+  bool cache_degraded_ = false;   ///< Hit-rate floor: sticky kDegraded.
   std::uint32_t last_retired_ = 0;
+  bool directory_verified_ = true;
 };
 
 }  // namespace twl

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "device/hybrid.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "recovery/journal.h"
@@ -20,6 +21,22 @@ std::string to_string(ControllerAvailability a) {
       return "failed";
   }
   return "unknown";
+}
+
+AvailabilitySignal MemoryController::availability_signal() const {
+  AvailabilitySignal sig;
+  sig.state = availability();
+  if (device_->backend() == DeviceBackend::kHybrid) {
+    const auto& hybrid = static_cast<const HybridDevice&>(*device_);
+    const std::uint64_t accesses = hybrid.cache_hits() + hybrid.cache_misses();
+    // No front-end traffic yet: report a full cache rather than a
+    // spurious 0% that would trip a min-hit-rate health gate at boot.
+    sig.cache_hit_rate =
+        accesses == 0 ? 1.0
+                      : static_cast<double>(hybrid.cache_hits()) /
+                            static_cast<double>(accesses);
+  }
+  return sig;
 }
 
 WriteCount ControllerStats::physical_writes() const {

@@ -83,6 +83,19 @@ enum class ControllerAvailability : std::uint8_t {
 
 [[nodiscard]] std::string to_string(ControllerAvailability a);
 
+/// Availability plus backend-specific serving-quality detail. The
+/// service-layer health model consumes this richer signal: a hybrid
+/// device whose DRAM cache is thrashing is still *available* but serves
+/// every write at PCM cost, which the per-shard model can choose to
+/// treat as degraded.
+struct AvailabilitySignal {
+  ControllerAvailability state = ControllerAvailability::kAvailable;
+  /// Hybrid backend only: fraction of front-end writes absorbed by the
+  /// DRAM cache so far, in [0,1]. Negative when the backend has no
+  /// cache (PCM, NOR) — "no signal", not "zero hit rate".
+  double cache_hit_rate = -1.0;
+};
+
 class MemoryController final : public WriteSink {
  public:
   /// `device` and `wl` must outlive the controller. With
@@ -154,6 +167,9 @@ class MemoryController final : public WriteSink {
     }
     return ControllerAvailability::kAvailable;
   }
+  /// availability() plus the hybrid cache hit rate when the backing
+  /// device is a HybridDevice (negative otherwise).
+  [[nodiscard]] AvailabilitySignal availability_signal() const;
   [[nodiscard]] const Device& device() const { return *device_; }
   [[nodiscard]] const WearLeveler& wear_leveler() const { return *wl_; }
   [[nodiscard]] bool retirement_active() const {

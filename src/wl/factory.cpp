@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/names.h"
 #include "wl/attack_guard.h"
 #include "wl/bloom_wl.h"
 #include "wl/ftl.h"
@@ -66,10 +67,8 @@ Scheme parse_scheme(const std::string& name) {
   if (lower == "twl" || lower == "twl_swp") return Scheme::kTossUpStrongWeak;
   if (lower == "twl_rnd") return Scheme::kTossUpRandomPair;
   if (lower == "ftl") return Scheme::kFtl;
-  throw std::invalid_argument(
-      "unknown wear-leveling scheme: '" + name + "' (valid schemes: " +
-      valid_scheme_names() +
-      "; specs may be prefixed with 'guard:' and/or 'od3p:')");
+  throw_unknown_name("wear-leveling scheme", name, valid_scheme_names(),
+                     "specs may be prefixed with 'guard:' and/or 'od3p:'");
 }
 
 std::vector<Scheme> all_schemes() {

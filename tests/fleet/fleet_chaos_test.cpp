@@ -185,7 +185,8 @@ TEST(FleetWorkloadStreams, SkipReplaysEveryWorkloadKind) {
   for (const WorkloadKind kind :
        {WorkloadKind::kZipf, WorkloadKind::kRepeat, WorkloadKind::kScan,
         WorkloadKind::kRandom, WorkloadKind::kInconsistentAttack,
-        WorkloadKind::kInodeTable, WorkloadKind::kJournalPages}) {
+        WorkloadKind::kInodeTable, WorkloadKind::kJournalPages,
+        WorkloadKind::kMultiTenant}) {
     FleetWorkload w;
     w.kind = kind;
     FleetStream reference(w, 64, 99);

@@ -1,0 +1,431 @@
+// Multi-tenant service front-end: the tenant directory carve and wire
+// format, the deterministic token-bucket quota, the blend -> workload
+// mapping, and the engine-level claims — exact per-tenant terminal
+// books through chaos for every overflow x quota combination, DRR
+// fairness against a hammering tenant, journal amortization from
+// batched drains, and the single-tenant default keeping its pre-tenant
+// report shape.
+#include "service/tenant.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/sim_runner.h"
+#include "obs/json.h"
+#include "recovery/snapshot.h"
+#include "service/service.h"
+
+namespace twl {
+namespace {
+
+Config small_config() {
+  SimScale scale;
+  scale.pages = 64;
+  scale.endurance_mean = 1e6;
+  return Config::scaled(scale);
+}
+
+// ---------------------------------------------------------------------------
+// TenantDirectory.
+
+TEST(TenantDirectory, CarvesEvenlyAndTranslatesWithinSpans) {
+  const TenantDirectory dir =
+      TenantDirectory::carve(64, 4, std::vector<std::uint64_t>(3, 0));
+  EXPECT_EQ(dir.tenant_count(), 3u);
+  EXPECT_EQ(dir.shards(), 4u);
+  EXPECT_EQ(dir.local_pages(), 64u);
+  // 64 / 3 = 21 per tenant; the leftover page stays unassigned.
+  for (TenantId t = 0; t < 3; ++t) {
+    EXPECT_EQ(dir.span(t), 21u) << "tenant " << t;
+    EXPECT_EQ(dir.tenant_pages(t), 21u * 4) << "tenant " << t;
+  }
+  // Spans are disjoint and contiguous.
+  EXPECT_EQ(dir.base(0), 0u);
+  EXPECT_EQ(dir.base(1), 21u);
+  EXPECT_EQ(dir.base(2), 42u);
+
+  // Every tenant-scoped page lands on a valid shard, inside the
+  // tenant's own span — a tenant cannot name another tenant's pages.
+  for (TenantId t = 0; t < 3; ++t) {
+    for (std::uint32_t la = 0; la < dir.tenant_pages(t); ++la) {
+      for (const ShardingPolicy policy :
+           {ShardingPolicy::kHashLa, ShardingPolicy::kModuloLa}) {
+        const auto [shard, local] = dir.translate(t, la, policy);
+        EXPECT_LT(shard, dir.shards());
+        EXPECT_GE(local, dir.base(t));
+        EXPECT_LT(local, dir.base(t) + dir.span(t));
+      }
+    }
+  }
+}
+
+TEST(TenantDirectory, HonorsExplicitBudgetsAndSplitsTheRemainder) {
+  const TenantDirectory dir =
+      TenantDirectory::carve(64, 2, std::vector<std::uint64_t>{8, 0, 0});
+  EXPECT_EQ(dir.span(0), 8u);   // Exact budget.
+  EXPECT_EQ(dir.span(1), 28u);  // (64 - 8) / 2 each.
+  EXPECT_EQ(dir.span(2), 28u);
+  EXPECT_EQ(dir.base(1), 8u);
+  EXPECT_EQ(dir.base(2), 36u);
+}
+
+TEST(TenantDirectory, RejectsOversubscriptionAndZeroSpans) {
+  // Budgets exceeding the local space.
+  EXPECT_THROW(
+      (void)TenantDirectory::carve(64, 4, std::vector<std::uint64_t>{65}),
+      std::invalid_argument);
+  EXPECT_THROW((void)TenantDirectory::carve(
+                   64, 4, std::vector<std::uint64_t>{60, 5, 0}),
+               std::invalid_argument);
+  // More tenants than pages: somebody ends up with zero.
+  EXPECT_THROW(
+      (void)TenantDirectory::carve(2, 4, std::vector<std::uint64_t>(3, 0)),
+      std::invalid_argument);
+}
+
+TEST(TenantDirectory, WireFormatRoundTripsAndDetectsDamage) {
+  const TenantDirectory dir =
+      TenantDirectory::carve(64, 4, std::vector<std::uint64_t>{8, 0, 0, 0});
+  const std::vector<std::uint8_t> blob = dir.serialize();
+  EXPECT_EQ(TenantDirectory::deserialize(blob), dir);
+
+  // Truncation at any point is detected, not misread.
+  std::vector<std::uint8_t> cut = blob;
+  cut.pop_back();
+  EXPECT_THROW((void)TenantDirectory::deserialize(cut), SnapshotError);
+
+  // A single flipped byte anywhere trips the CRC seal (or the magic /
+  // version checks when it lands in the header).
+  for (const std::size_t at :
+       {std::size_t{0}, blob.size() / 2, blob.size() - 1}) {
+    std::vector<std::uint8_t> bad = blob;
+    bad[at] ^= 0x40;
+    EXPECT_THROW((void)TenantDirectory::deserialize(bad), SnapshotError)
+        << "flip at byte " << at;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TokenBucket.
+
+TEST(TokenBucket, IntegerRefillIsExactAndCapped) {
+  TokenBucket b(/*rate_per_kcycle=*/2, /*burst=*/4);
+  // Starts full.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(b.try_take(0)) << i;
+  EXPECT_FALSE(b.try_take(0));
+  // 2 tokens per 1000 cycles: 500 cycles buys exactly one.
+  EXPECT_FALSE(b.try_take(499));
+  EXPECT_TRUE(b.try_take(500));
+  EXPECT_FALSE(b.try_take(500));
+  // Sub-token carry accumulates with no loss: 250-cycle steps.
+  EXPECT_FALSE(b.try_take(750));
+  EXPECT_TRUE(b.try_take(1000));
+  // A long idle stretch refills to the burst cap, not beyond.
+  EXPECT_EQ(b.take_up_to(100, 1'000'000), 4u);
+  EXPECT_EQ(b.tokens(), 0u);
+}
+
+TEST(TokenBucket, RateZeroIsUnlimited) {
+  TokenBucket b(/*rate_per_kcycle=*/0, /*burst=*/1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(b.try_take(0));
+  EXPECT_EQ(b.take_up_to(1000, 0), 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Blends.
+
+TEST(TenantBlend, ParsesNamesAndRejectsUnknownOnesListingTheValidSet) {
+  EXPECT_EQ(parse_tenant_blend("uniform"), TenantBlend::kUniform);
+  EXPECT_EQ(parse_tenant_blend("hostile"), TenantBlend::kHostile);
+  EXPECT_EQ(parse_tenant_blend("hammer"), TenantBlend::kHammer);
+  try {
+    (void)parse_tenant_blend("zipfish");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("zipfish"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(valid_tenant_blend_names()), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(TenantBlend, MapsTenantsOntoWorkloadKinds) {
+  FleetWorkload base;
+  base.kind = WorkloadKind::kZipf;
+  base.zipf_s = 1.2;
+
+  // Uniform: everybody runs the base workload.
+  EXPECT_EQ(blend_workload(TenantBlend::kUniform, 0, base).kind,
+            WorkloadKind::kZipf);
+  EXPECT_EQ(blend_workload(TenantBlend::kUniform, 5, base).kind,
+            WorkloadKind::kZipf);
+  // Hostile: tenant 0 mounts the inconsistent-write attack, the rest
+  // run zipf background traffic with the base skew preserved.
+  EXPECT_EQ(blend_workload(TenantBlend::kHostile, 0, base).kind,
+            WorkloadKind::kInconsistentAttack);
+  const FleetWorkload bg = blend_workload(TenantBlend::kHostile, 3, base);
+  EXPECT_EQ(bg.kind, WorkloadKind::kZipf);
+  EXPECT_DOUBLE_EQ(bg.zipf_s, 1.2);
+  // Hammer: tenant 0 pounds a tiny repeat set.
+  EXPECT_EQ(blend_workload(TenantBlend::kHammer, 0, base).kind,
+            WorkloadKind::kRepeat);
+  EXPECT_EQ(blend_workload(TenantBlend::kHammer, 1, base).kind,
+            WorkloadKind::kZipf);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level claims.
+
+ServiceConfig tenant_service(std::uint32_t tenants) {
+  ServiceConfig s;
+  s.shards = 4;
+  s.clients = tenants;  // One client per tenant.
+  s.requests_per_client = 2000;
+  s.queue_capacity = 32;
+  s.overflow = OverflowPolicy::kBlock;
+  s.mean_gap_cycles = 900;
+  s.tenancy.tenants = tenants;
+  s.tenancy.blend = TenantBlend::kHostile;
+  return s;
+}
+
+void expect_books_exact(const ServiceRunResult& r, std::uint32_t tenants) {
+  EXPECT_TRUE(r.totals.accounting_exact());
+  ASSERT_EQ(r.tenants.size(), tenants);
+  std::uint64_t submitted = 0;
+  for (const TenantReport& t : r.tenants) {
+    EXPECT_TRUE(t.totals.accounting_exact()) << "tenant " << t.tenant;
+    submitted += t.totals.submitted;
+  }
+  EXPECT_EQ(submitted, r.totals.submitted)
+      << "tenant books must partition the aggregate";
+  for (const ShardReport& s : r.shards) {
+    EXPECT_TRUE(s.totals.accounting_exact()) << "shard " << s.shard;
+    for (const TenantReport& t : s.tenants) {
+      EXPECT_TRUE(t.totals.accounting_exact())
+          << "shard " << s.shard << " tenant " << t.tenant;
+    }
+  }
+}
+
+// The headline claim: per-tenant terminal books stay exact through
+// crash/corruption chaos — crashes mid-batch, recovery, re-admission —
+// for every overflow policy x quota combination, and the whole run is
+// byte-identical across --jobs levels.
+TEST(TenantEngine, BooksStayExactThroughChaosForEveryPolicyCombination) {
+  const Config config = small_config();
+  for (const OverflowPolicy overflow :
+       {OverflowPolicy::kBlock, OverflowPolicy::kShed}) {
+    for (const std::uint64_t quota_rate : {std::uint64_t{0}, std::uint64_t{5}}) {
+      ServiceConfig s = tenant_service(3);
+      s.overflow = overflow;
+      s.tenancy.quota_rate = quota_rate;
+      s.chaos.mean_interval_writes = 64;
+      s.chaos.corruption = true;
+      s.verify_final_state = true;
+      const ServiceFrontEnd fe(config, s);
+
+      SimRunner serial(1);
+      const ServiceRunResult r = fe.run_virtual(serial);
+      SimRunner parallel(3);
+      const ServiceRunResult r3 = fe.run_virtual(parallel);
+      const std::string label =
+          std::string(overflow == OverflowPolicy::kBlock ? "block" : "shed") +
+          "/quota=" + std::to_string(quota_rate);
+      EXPECT_TRUE(r == r3) << label << ": --jobs 1 vs 3 diverged";
+
+      expect_books_exact(r, 3);
+      EXPECT_EQ(r.totals.submitted, 3u * 2000u) << label;
+      EXPECT_GT(r.chaos_totals.crashes, 0u) << label;
+      EXPECT_EQ(r.chaos_totals.recoveries, r.chaos_totals.crashes) << label;
+      EXPECT_EQ(r.chaos_totals.invariant_failures, 0u) << label;
+      for (const ShardReport& shard : r.shards) {
+        EXPECT_TRUE(shard.history_verified)
+            << label << ": accepted-write loss on shard " << shard.shard;
+        EXPECT_TRUE(shard.directory_verified)
+            << label << ": directory damaged on shard " << shard.shard;
+      }
+    }
+  }
+}
+
+TEST(TenantEngine, QuotaRejectionsAreTerminalAndAccountedDistinctly) {
+  const Config config = small_config();
+  ServiceConfig s = tenant_service(2);
+  s.tenancy.blend = TenantBlend::kUniform;
+  s.tenancy.quota_rate = 1;  // 1 write per 1000 cycles per shard...
+  s.tenancy.quota_burst = 4;
+  s.mean_gap_cycles = 200;  // ...against a much faster arrival rate.
+  const ServiceFrontEnd fe(config, s);
+  SimRunner runner(1);
+  const ServiceRunResult r = fe.run_virtual(runner);
+
+  expect_books_exact(r, 2);
+  EXPECT_GT(r.totals.quota_shed, 0u);
+  for (const TenantReport& t : r.tenants) {
+    EXPECT_GT(t.totals.quota_shed, 0u) << "tenant " << t.tenant;
+  }
+  // quota_shed is its own book entry and its own counter, never folded
+  // into the back-pressure sheds.
+  const Counter* c = r.metrics.find_counter("service.quota_shed");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), r.totals.quota_shed);
+  const Counter* t0 =
+      r.metrics.find_counter("service.tenant.0.quota_shed");
+  ASSERT_NE(t0, nullptr);
+  EXPECT_EQ(t0->value(), r.tenants[0].totals.quota_shed);
+}
+
+// Deficit round robin: a tenant hammering the queues cannot starve the
+// background tenants — with equal offered load every tenant's accepted
+// share stays within a small factor of the others'.
+TEST(TenantEngine, DrrKeepsBackgroundTenantsServedUnderHammer) {
+  const Config config = small_config();
+  ServiceConfig s = tenant_service(4);
+  s.tenancy.blend = TenantBlend::kHammer;
+  s.overflow = OverflowPolicy::kShed;
+  s.queue_capacity = 16;
+  s.mean_gap_cycles = 0;  // Closed loop: sustained over-subscription.
+  const ServiceFrontEnd fe(config, s);
+  SimRunner runner(1);
+  const ServiceRunResult r = fe.run_virtual(runner);
+
+  expect_books_exact(r, 4);
+  std::uint64_t min_accepted = ~0ull;
+  std::uint64_t max_accepted = 0;
+  for (const TenantReport& t : r.tenants) {
+    EXPECT_GT(t.totals.accepted, 0u) << "tenant " << t.tenant << " starved";
+    min_accepted = std::min(min_accepted, t.totals.accepted);
+    max_accepted = std::max(max_accepted, t.totals.accepted);
+  }
+  EXPECT_LE(max_accepted, 8 * min_accepted)
+      << "DRR failed to keep service shares comparable";
+}
+
+// Each DRR drain groups a tenant's batch through submit_write_batch, so
+// a bigger quantum amortizes journal bracket records over more writes.
+TEST(TenantEngine, BatchedDrainsAmortizeJournalTraffic) {
+  const Config config = small_config();
+  ServiceConfig s = tenant_service(2);
+  s.tenancy.blend = TenantBlend::kUniform;
+  s.mean_gap_cycles = 0;  // Closed loop so queues actually build batches.
+
+  const auto journal_bytes = [&](std::uint32_t quantum) {
+    ServiceConfig with = s;
+    with.tenancy.drr_quantum = quantum;
+    const ServiceFrontEnd fe(config, with);
+    SimRunner runner(1);
+    const ServiceRunResult r = fe.run_virtual(runner);
+    std::uint64_t bytes = 0;
+    for (const ShardReport& shard : r.shards) bytes += shard.journal_bytes;
+    return bytes;
+  };
+
+  EXPECT_LT(journal_bytes(16), journal_bytes(1));
+}
+
+// The single-tenant default must keep the pre-tenant report shape:
+// no tenant array, no quota books, no directory field — bit-identical
+// output is the compatibility contract.
+TEST(TenantEngine, SingleTenantDefaultKeepsThePreTenantReportShape) {
+  const Config config = small_config();
+  ServiceConfig s;
+  s.shards = 4;
+  s.clients = 3;
+  s.requests_per_client = 1000;
+  s.mean_gap_cycles = 900;
+  const ServiceFrontEnd fe(config, s);
+  SimRunner runner(1);
+  const ServiceRunResult r = fe.run_virtual(runner);
+
+  EXPECT_TRUE(r.tenants.empty());
+  for (const ShardReport& shard : r.shards) {
+    EXPECT_TRUE(shard.tenants.empty());
+    EXPECT_LT(shard.cache_hit_rate, 0.0);  // PCM: no cache to report.
+  }
+  EXPECT_EQ(r.metrics.find_counter("service.quota_shed"), nullptr);
+  EXPECT_EQ(r.metrics.find_counter("service.tenant.0.submitted"), nullptr);
+  EXPECT_EQ(r.metrics.find_gauge("service.shard.cache_hit_rate"), nullptr);
+
+  JsonWriter w;
+  r.write_json(w);
+  const std::string json = w.str();
+  EXPECT_EQ(json.find("tenants"), std::string::npos);
+  EXPECT_EQ(json.find("quota_shed"), std::string::npos);
+  EXPECT_EQ(json.find("directory_verified"), std::string::npos);
+  EXPECT_EQ(json.find("cache_hit_rate"), std::string::npos);
+
+  // And the tenant-mode document does carry the new fields.
+  ServiceConfig multi = tenant_service(2);
+  const ServiceFrontEnd fe2(config, multi);
+  SimRunner runner2(1);
+  JsonWriter w2;
+  fe2.run_virtual(runner2).write_json(w2);
+  const std::string json2 = w2.str();
+  EXPECT_NE(json2.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(json2.find("quota_shed"), std::string::npos);
+  EXPECT_NE(json2.find("directory_verified"), std::string::npos);
+}
+
+// Hybrid backend: the DRAM cache hit rate surfaces through the shard
+// health signal into the report and the shard gauge (satellite: cache
+// observability through ControllerAvailability).
+TEST(TenantEngine, HybridCacheHitRateSurfacesInShardReports) {
+  Config config = small_config();
+  config.device.backend = DeviceBackend::kHybrid;
+  ServiceConfig s;
+  s.shards = 2;
+  s.clients = 2;
+  s.requests_per_client = 1000;
+  s.mean_gap_cycles = 900;
+  const ServiceFrontEnd fe(config, s);
+  SimRunner runner(1);
+  const ServiceRunResult r = fe.run_virtual(runner);
+
+  for (const ShardReport& shard : r.shards) {
+    EXPECT_GE(shard.cache_hit_rate, 0.0) << "shard " << shard.shard;
+    EXPECT_LE(shard.cache_hit_rate, 1.0) << "shard " << shard.shard;
+  }
+  EXPECT_NE(r.metrics.find_gauge("service.shard.cache_hit_rate"), nullptr);
+}
+
+// A cache hit-rate floor holds under-performing shards degraded: with an
+// unreachable floor every shard finishes degraded, with the gate off
+// (0.0) they finish healthy.
+TEST(TenantEngine, CacheHitRateFloorGatesShardHealth) {
+  Config config = small_config();
+  config.device.backend = DeviceBackend::kHybrid;
+  config.device.hybrid.cache_pages = 4;  // Tiny cache: misses guaranteed.
+  config.device.hybrid.ways = 2;
+  ServiceConfig s;
+  s.shards = 2;
+  s.clients = 2;
+  s.requests_per_client = 1000;
+  s.mean_gap_cycles = 900;
+
+  const ServiceFrontEnd healthy_fe(config, s);
+  SimRunner a(1);
+  const ServiceRunResult healthy = healthy_fe.run_virtual(a);
+  for (const ShardReport& shard : healthy.shards) {
+    EXPECT_EQ(shard.final_health, HealthState::kHealthy)
+        << "shard " << shard.shard;
+  }
+
+  s.min_cache_hit_rate = 0.999;  // Unreachable with a 4-page cache.
+  const ServiceFrontEnd gated_fe(config, s);
+  SimRunner b(1);
+  const ServiceRunResult gated = gated_fe.run_virtual(b);
+  for (const ShardReport& shard : gated.shards) {
+    EXPECT_NE(shard.final_health, HealthState::kHealthy)
+        << "shard " << shard.shard << " ignored the hit-rate floor";
+  }
+}
+
+}  // namespace
+}  // namespace twl
